@@ -1,0 +1,29 @@
+//! # cirgps-baselines
+//!
+//! Re-implementations of the paper's two comparison baselines —
+//! **ParaGraph** (Ren et al., DAC 2020) and **DLPL-Cap** (Shen et al.,
+//! GLSVLSI 2024) — adapted to the coupling-prediction task exactly as in
+//! Section IV-B: full-graph message passing with circuit statistics `XC`
+//! as node features, no subgraph sampling and no positional encoding.
+//!
+//! ## Example
+//!
+//! ```
+//! use cirgps_baselines::{Baseline, BaselineConfig, BaselineKind};
+//!
+//! let model = Baseline::new(BaselineKind::ParaGraph, BaselineConfig::default());
+//! assert!(model.num_params() > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod models;
+mod sage;
+mod train;
+
+pub use models::{Baseline, BaselineConfig, BaselineKind, DLPL_EXPERTS, PARAGRAPH_ENSEMBLE};
+pub use sage::{FullGraphInputs, SageLayer, INPUT_DIM};
+pub use train::{
+    evaluate_link, evaluate_node_regression, evaluate_regression, train_link,
+    train_node_regression, train_regression, BaselineTrainConfig, NodeTask, PairTask,
+};

@@ -1,0 +1,15 @@
+//! Runs every table and figure in sequence, printing a full
+//! EXPERIMENTS-style report.
+fn main() {
+    let (preset, seed) = cirgps_bench::parse_cli();
+    eprintln!("== running all experiments at {preset:?}, seed {seed} ==");
+    println!("{}", cirgps_bench::table2(preset, seed));
+    println!("{}", cirgps_bench::table3(preset, seed));
+    println!("{}", cirgps_bench::table4(preset, seed));
+    let cmp = cirgps_bench::main_comparison(preset, seed);
+    println!("{}", cirgps_bench::table5(&cmp));
+    println!("{}", cirgps_bench::table6(&cmp));
+    println!("{}", cirgps_bench::table7(preset, seed));
+    println!("{}", cirgps_bench::table8(preset, seed));
+    println!("{}", cirgps_bench::fig4(preset, seed, &cmp));
+}

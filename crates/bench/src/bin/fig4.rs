@@ -1,0 +1,8 @@
+//! Regenerates Fig. 4: simulated switching energy with ground-truth vs
+//! predicted capacitances (requires the Table V/VI training run to get
+//! the fine-tuned model).
+fn main() {
+    let (preset, seed) = cirgps_bench::parse_cli();
+    let cmp = cirgps_bench::main_comparison(preset, seed);
+    println!("{}", cirgps_bench::fig4(preset, seed, &cmp));
+}

@@ -1,0 +1,7 @@
+//! Regenerates Tables V and VI (shared training run).
+fn main() {
+    let (preset, seed) = cirgps_bench::parse_cli();
+    let cmp = cirgps_bench::main_comparison(preset, seed);
+    println!("{}", cirgps_bench::table5(&cmp));
+    println!("{}", cirgps_bench::table6(&cmp));
+}

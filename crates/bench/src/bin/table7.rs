@@ -1,0 +1,5 @@
+//! Regenerates Table 7 of the paper (see DESIGN.md experiment index).
+fn main() {
+    let (preset, seed) = cirgps_bench::parse_cli();
+    println!("{}", cirgps_bench::table7(preset, seed));
+}

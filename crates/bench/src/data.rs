@@ -1,0 +1,177 @@
+//! Shared experiment data: generated designs, extracted parasitics,
+//! graphs and datasets, with consistent seeds across all tables.
+
+use ams_datagen::{extract_parasitics, generate, Design, DesignKind, ExtractConfig, SizePreset};
+use ams_netlist::SpfFile;
+use circuit_graph::{netlist_to_graph, CircuitGraph, GraphStats, NodeMap};
+use subgraph_sample::{DatasetConfig, LinkDataset, NodeDataset, XcNormalizer};
+
+/// Everything derived from one generated design.
+#[derive(Debug)]
+pub struct DesignData {
+    /// The design archetype.
+    pub kind: DesignKind,
+    /// The placed design (netlist + floorplan).
+    pub design: Design,
+    /// Synthesized parasitic ground truth.
+    pub spf: SpfFile,
+    /// Heterogeneous circuit graph.
+    pub graph: CircuitGraph,
+    /// Netlist-to-graph node map.
+    pub map: NodeMap,
+}
+
+impl DesignData {
+    /// Generates and extracts one design.
+    ///
+    /// # Panics
+    ///
+    /// Panics on generator bugs (all archetypes are covered by tests).
+    pub fn load(kind: DesignKind, preset: SizePreset, seed: u64) -> DesignData {
+        let design = generate(kind, preset).expect("design generation");
+        let spf = extract_parasitics(
+            &design,
+            &ExtractConfig { seed: seed ^ kind_seed(kind), ..Default::default() },
+        );
+        let (graph, map) = netlist_to_graph(&design.netlist);
+        DesignData { kind, design, spf, graph, map }
+    }
+
+    /// Table IV-style statistics line.
+    pub fn stats(&self) -> GraphStats {
+        GraphStats::of(self.kind.paper_name(), &self.graph)
+    }
+
+    /// Builds the link dataset for this design.
+    pub fn link_dataset(&self, cfg: &DatasetConfig) -> LinkDataset {
+        LinkDataset::build(
+            self.kind.paper_name(),
+            &self.graph,
+            &self.design.netlist,
+            &self.map,
+            &self.spf,
+            cfg,
+        )
+    }
+
+    /// Builds the node (ground-capacitance) dataset for this design.
+    pub fn node_dataset(&self, max_samples: usize, hops: u32, seed: u64) -> NodeDataset {
+        NodeDataset::build(
+            self.kind.paper_name(),
+            &self.graph,
+            &self.design.netlist,
+            &self.map,
+            &self.spf,
+            max_samples,
+            hops,
+            seed,
+        )
+    }
+}
+
+fn kind_seed(kind: DesignKind) -> u64 {
+    match kind {
+        DesignKind::Ssram => 0x51,
+        DesignKind::Ultra8t => 0x52,
+        DesignKind::SandwichRam => 0x53,
+        DesignKind::DigitalClkGen => 0x54,
+        DesignKind::TimingControl => 0x55,
+        DesignKind::Array128x32 => 0x56,
+    }
+}
+
+/// Loads the three training designs (SSRAM, ULTRA8T, SANDWICH-RAM).
+pub fn training_designs(preset: SizePreset, seed: u64) -> Vec<DesignData> {
+    [DesignKind::Ssram, DesignKind::Ultra8t, DesignKind::SandwichRam]
+        .into_iter()
+        .map(|k| DesignData::load(k, preset, seed))
+        .collect()
+}
+
+/// Loads the three zero-shot test designs.
+pub fn test_designs(preset: SizePreset, seed: u64) -> Vec<DesignData> {
+    [DesignKind::DigitalClkGen, DesignKind::TimingControl, DesignKind::Array128x32]
+        .into_iter()
+        .map(|k| DesignData::load(k, preset, seed))
+        .collect()
+}
+
+/// Fits the `XC` normalizer on training graphs only (no test leakage).
+pub fn fit_normalizer(training: &[DesignData]) -> XcNormalizer {
+    let graphs: Vec<&CircuitGraph> = training.iter().map(|d| &d.graph).collect();
+    XcNormalizer::fit(&graphs)
+}
+
+/// Parses `--preset tiny|small|paper` and `--seed N` from argv, with
+/// defaults `(small, 7)`. Unknown arguments are ignored so binaries can
+/// add their own flags.
+pub fn parse_cli() -> (SizePreset, u64) {
+    let args: Vec<String> = std::env::args().collect();
+    let mut preset = SizePreset::Small;
+    let mut seed = 7u64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--preset" if i + 1 < args.len() => {
+                preset = match args[i + 1].as_str() {
+                    "tiny" => SizePreset::Tiny,
+                    "small" => SizePreset::Small,
+                    "paper" => SizePreset::Paper,
+                    other => panic!("unknown preset {other:?} (tiny|small|paper)"),
+                };
+                i += 1;
+            }
+            "--seed" if i + 1 < args.len() => {
+                seed = args[i + 1].parse().expect("--seed takes an integer");
+                i += 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    (preset, seed)
+}
+
+/// Renders a markdown table.
+pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push('|');
+    for h in headers {
+        out.push_str(&format!(" {h} |"));
+    }
+    out.push('\n');
+    out.push('|');
+    for _ in headers {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for row in rows {
+        out.push('|');
+        for cell in row {
+            out.push_str(&format!(" {cell} |"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_design_data_loads() {
+        let d = DesignData::load(DesignKind::TimingControl, SizePreset::Tiny, 3);
+        assert!(d.graph.num_nodes() > 100);
+        assert!(!d.spf.coupling_caps.is_empty());
+        let ds = d.link_dataset(&DatasetConfig { max_per_type: 50, ..Default::default() });
+        assert!(!ds.is_empty());
+    }
+
+    #[test]
+    fn markdown_renders() {
+        let t = markdown_table(&["a", "b"], &[vec!["1".into(), "2".into()]]);
+        assert!(t.contains("| a | b |"));
+        assert!(t.contains("| 1 | 2 |"));
+    }
+}

@@ -1,0 +1,25 @@
+//! # cirgps-bench
+//!
+//! Experiment harnesses that regenerate every table and figure of the
+//! paper's evaluation section. Each `table*`/`fig4` binary prints the
+//! corresponding markdown table; `cargo bench` runs criterion
+//! micro-benchmarks for the performance-bearing components (PE cost,
+//! layer forward cost, sampling throughput, inference latency, simulator
+//! throughput).
+//!
+//! ```bash
+//! cargo run --release -p cirgps-bench --bin table2 -- --preset small --seed 7
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod data;
+pub mod experiments;
+
+pub use data::{
+    fit_normalizer, markdown_table, parse_cli, test_designs, training_designs, DesignData,
+};
+pub use experiments::{
+    default_model, fig4, layer_ablation_configs, main_comparison, table2, table3, table4, table5,
+    table6, table7, table8, MainComparison, Scale,
+};

@@ -1,0 +1,46 @@
+//! # circuitgps
+//!
+//! The paper's primary contribution: a few-shot graph-learning framework
+//! for parasitic-capacitance prediction on AMS circuits. A hybrid
+//! GraphGPS-style model (GatedGCN message passing in parallel with global
+//! attention) consumes SEAL-style enclosing subgraphs with the paper's
+//! DSPD positional encoding, is pre-trained on coupling link prediction,
+//! and is fine-tuned (head-only or fully) for capacitance regression —
+//! plus node-level ground-capacitance regression as an extension.
+//!
+//! ## Pipeline
+//!
+//! ```text
+//! netlist ──ams-netlist──▶ heterogeneous graph ──subgraph-sample──▶
+//! enclosing subgraphs ──graph-pe──▶ +DSPD ──circuitgps──▶
+//! pre-train (link) → fine-tune (regression) → zero-shot on unseen designs
+//! ```
+//!
+//! ## Example
+//!
+//! ```
+//! use circuitgps::{CircuitGps, ModelConfig};
+//!
+//! let model = CircuitGps::new(ModelConfig {
+//!     hidden_dim: 16, pe_dim: 4, heads: 2, num_layers: 1,
+//!     ..ModelConfig::default()
+//! });
+//! assert!(model.num_params() > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod config;
+mod metrics;
+mod model;
+mod prepared;
+mod train;
+
+pub use config::{AttnKind, FinetuneMode, ModelConfig, MpnnKind, TrainConfig};
+pub use metrics::{link_metrics, mape, reg_metrics, roc_auc, LinkMetrics, RegMetrics};
+pub use model::CircuitGps;
+pub use prepared::{prepare_link_dataset, prepare_node_dataset, PreparedSample};
+pub use train::{
+    evaluate_link, evaluate_regression, finetune_regression, predict_regression, pretrain_link,
+    train, Task, TrainHistory,
+};

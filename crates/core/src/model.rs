@@ -1,0 +1,723 @@
+//! The CircuitGPS model: type/PE encoders, a stack of GPS layers
+//! (parallel MPNN + global attention, Section III-D) and the two task
+//! heads (link-prediction head for pre-training, regression head with
+//! circuit-statistics injection per eq. (6)–(7)).
+
+use std::sync::Arc;
+
+use cirgps_nn::{
+    Activation, BatchNorm1d, EdgeIndex, Embedding, GatedGcn, Linear, Mlp, MultiHeadAttention,
+    ParamStore, PerformerAttention, Tape, Tensor, Var,
+};
+use circuit_graph::{NodeType, PinKind, XC_DIM};
+use graph_pe::PeFeatures;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::config::{AttnKind, ModelConfig, MpnnKind};
+use crate::prepared::PreparedSample;
+
+/// Positional-encoding encoder: turns [`PeFeatures`] into a dense
+/// `N × 2·pe_dim` block concatenated before the node-type embedding.
+#[derive(Debug, Clone)]
+enum PeEncoder {
+    None,
+    /// DSPD: two distance-embedding tables `D0`, `D1` (eq. (1)).
+    Pair { d0: Embedding, d1: Embedding },
+    /// DRNL: one label-embedding table.
+    Single { emb: Embedding },
+    /// Dense PEs (RWSE / LapPE / XC): linear projection.
+    Dense { lin: Linear },
+}
+
+/// One branch of global attention.
+#[derive(Debug, Clone)]
+enum AttnBlock {
+    Mha(MultiHeadAttention),
+    Performer(PerformerAttention),
+}
+
+/// One GPS layer (eq. (2)–(5)): parallel MPNN + attention, fused by a
+/// 2-layer MLP, with residual connections and batch norm.
+#[derive(Debug, Clone)]
+struct GpsLayer {
+    mpnn: Option<GatedGcn>,
+    attn: Option<AttnBlock>,
+    bn_attn: Option<BatchNorm1d>,
+    mlp: Mlp,
+    bn_mlp: BatchNorm1d,
+    dropout: f32,
+}
+
+impl GpsLayer {
+    fn forward(&self, tape: &mut Tape, x: Var, e: Var, idx: &EdgeIndex) -> (Var, Var) {
+        let (x_m, e_out) = match &self.mpnn {
+            Some(g) if !idx.is_empty() => {
+                let (xm, em) = g.forward(tape, x, e, idx);
+                (Some(xm), em)
+            }
+            _ => (None, e),
+        };
+        let x_a = match (&self.attn, &self.bn_attn) {
+            (Some(block), Some(bn)) => {
+                let h = match block {
+                    AttnBlock::Mha(a) => a.forward(tape, x),
+                    AttnBlock::Performer(a) => a.forward(tape, x),
+                };
+                let h = tape.dropout(h, self.dropout);
+                let s = tape.add(x, h);
+                Some(bn.forward(tape, s))
+            }
+            _ => None,
+        };
+        let combined = match (x_m, x_a) {
+            (Some(m), Some(a)) => tape.add(m, a),
+            (Some(m), None) => m,
+            (None, Some(a)) => a,
+            (None, None) => x,
+        };
+        let h = self.mlp.forward(tape, combined);
+        let h = tape.dropout(h, self.dropout);
+        let s = tape.add(combined, h);
+        let x_out = self.bn_mlp.forward(tape, s);
+        (x_out, e_out)
+    }
+}
+
+/// Node-to-graph assignment of a block-diagonally packed batch.
+#[derive(Debug, Clone)]
+pub struct BatchLayout {
+    /// Graph id per concatenated node row.
+    pub graph_ids: Arc<Vec<usize>>,
+    /// Node count per graph.
+    pub counts: Vec<f32>,
+    /// Row index of each graph's first (anchor) node.
+    pub anchor_rows: Vec<usize>,
+}
+
+/// Regression head with per-type circuit-statistics projection (eq. (6)).
+#[derive(Debug, Clone)]
+struct RegHead {
+    net_proj: Linear,
+    dev_proj: Linear,
+    pin_emb: Embedding,
+    mlp: Mlp,
+}
+
+/// The CircuitGPS model.
+///
+/// Owns its [`ParamStore`]; forward passes borrow the store immutably so
+/// minibatch samples can be evaluated on worker threads.
+#[derive(Debug)]
+pub struct CircuitGps {
+    /// The configuration the model was built with.
+    pub cfg: ModelConfig,
+    store: ParamStore,
+    pe_enc: PeEncoder,
+    node_type_emb: Embedding,
+    edge_type_emb: Embedding,
+    layers: Vec<GpsLayer>,
+    link_head: Mlp,
+    reg_head: RegHead,
+}
+
+impl CircuitGps {
+    /// Builds a model with freshly initialized parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`ModelConfig::validate`]).
+    pub fn new(cfg: ModelConfig) -> Self {
+        cfg.validate();
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let d = cfg.hidden_dim;
+        let pe_total = match cfg.pe {
+            graph_pe::PeKind::None => 0,
+            _ => 2 * cfg.pe_dim,
+        };
+
+        let pe_enc = match cfg.pe {
+            graph_pe::PeKind::None => PeEncoder::None,
+            graph_pe::PeKind::Dspd => PeEncoder::Pair {
+                d0: Embedding::new(&mut store, "enc.pe.d0", graph_pe::DIST_CLASSES, cfg.pe_dim, &mut rng),
+                d1: Embedding::new(&mut store, "enc.pe.d1", graph_pe::DIST_CLASSES, cfg.pe_dim, &mut rng),
+            },
+            graph_pe::PeKind::Drnl => {
+                // DRNL table size is the clamped-distance worst case; keep
+                // in sync with graph_pe::drnl.
+                let worst = {
+                    let ur = subgraph_sample::UNREACHABLE as usize;
+                    let half = (2 * (ur - 1)) / 2;
+                    2 + ur + half * (half - 1)
+                };
+                PeEncoder::Single {
+                    emb: Embedding::new(&mut store, "enc.pe.drnl", worst, 2 * cfg.pe_dim, &mut rng),
+                }
+            }
+            graph_pe::PeKind::Rwse { k } => PeEncoder::Dense {
+                lin: Linear::new(&mut store, "enc.pe.rwse", k, 2 * cfg.pe_dim, true, &mut rng),
+            },
+            graph_pe::PeKind::LapPe { k } => PeEncoder::Dense {
+                lin: Linear::new(&mut store, "enc.pe.lap", k, 2 * cfg.pe_dim, true, &mut rng),
+            },
+            graph_pe::PeKind::Xc => PeEncoder::Dense {
+                lin: Linear::new(&mut store, "enc.pe.xc", XC_DIM, 2 * cfg.pe_dim, true, &mut rng),
+            },
+        };
+
+        let node_type_emb =
+            Embedding::new(&mut store, "enc.node_type", NodeType::COUNT, d - pe_total, &mut rng);
+        let edge_type_emb = Embedding::new(
+            &mut store,
+            "enc.edge_type",
+            circuit_graph::EdgeType::COUNT,
+            d,
+            &mut rng,
+        );
+
+        let layers = (0..cfg.num_layers)
+            .map(|l| {
+                let name = format!("gps.{l}");
+                let mpnn = match cfg.mpnn {
+                    MpnnKind::GatedGcn => Some(GatedGcn::new(
+                        &mut store,
+                        &format!("{name}.mpnn"),
+                        d,
+                        cfg.dropout,
+                        &mut rng,
+                    )),
+                    MpnnKind::None => None,
+                };
+                let (attn, bn_attn) = match cfg.attn {
+                    AttnKind::Transformer => (
+                        Some(AttnBlock::Mha(MultiHeadAttention::new(
+                            &mut store,
+                            &format!("{name}.attn"),
+                            d,
+                            cfg.heads,
+                            &mut rng,
+                        ))),
+                        Some(BatchNorm1d::new(&mut store, &format!("{name}.bn_attn"), d)),
+                    ),
+                    AttnKind::Performer { features } => (
+                        Some(AttnBlock::Performer(PerformerAttention::new(
+                            &mut store,
+                            &format!("{name}.attn"),
+                            d,
+                            cfg.heads,
+                            features,
+                            &mut rng,
+                        ))),
+                        Some(BatchNorm1d::new(&mut store, &format!("{name}.bn_attn"), d)),
+                    ),
+                    AttnKind::None => (None, None),
+                };
+                GpsLayer {
+                    mpnn,
+                    attn,
+                    bn_attn,
+                    mlp: Mlp::new(
+                        &mut store,
+                        &format!("{name}.mlp"),
+                        &[d, 2 * d, d],
+                        Activation::Relu,
+                        cfg.dropout,
+                        &mut rng,
+                    ),
+                    bn_mlp: BatchNorm1d::new(&mut store, &format!("{name}.bn_mlp"), d),
+                    dropout: cfg.dropout,
+                }
+            })
+            .collect();
+
+        let link_head =
+            Mlp::new(&mut store, "head_link.mlp", &[d, d, 1], Activation::Relu, cfg.dropout, &mut rng);
+        let reg_head = RegHead {
+            net_proj: Linear::new(&mut store, "head_reg.net", XC_DIM, d, true, &mut rng),
+            dev_proj: Linear::new(&mut store, "head_reg.dev", XC_DIM, d, true, &mut rng),
+            pin_emb: Embedding::new(&mut store, "head_reg.pin", PinKind::COUNT, d, &mut rng),
+            mlp: Mlp::new(
+                &mut store,
+                "head_reg.mlp",
+                &[d, d, 1],
+                Activation::Relu,
+                cfg.dropout,
+                &mut rng,
+            ),
+        };
+
+        CircuitGps { cfg, store, pe_enc, node_type_emb, edge_type_emb, layers, link_head, reg_head }
+    }
+
+    /// The parameter store (borrow for forward passes).
+    pub fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    /// Mutable parameter store (for the optimizer).
+    pub fn store_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+
+    /// Number of trainable scalar parameters (Table III's `#Param.`).
+    pub fn num_params(&self) -> usize {
+        self.store.num_trainable()
+    }
+
+    /// Freezes encoders and GPS layers for head-only fine-tuning.
+    /// Returns the number of frozen tensors.
+    pub fn freeze_backbone(&mut self) -> usize {
+        self.store.set_trainable_by_prefix("enc.", false)
+            + self.store.set_trainable_by_prefix("gps.", false)
+    }
+
+    /// Unfreezes every parameter (undo [`CircuitGps::freeze_backbone`]).
+    pub fn unfreeze_all(&mut self) {
+        self.store.set_trainable_by_prefix("", true);
+        // Performer projections must stay frozen.
+        self.store.set_trainable_by_prefix_proj_frozen();
+    }
+
+    /// Runs the encoder + GPS stack over a *batch* of subgraphs packed
+    /// block-diagonally (the GraphGPS batching scheme: batch norm sees
+    /// every node of the minibatch, pooling is per-graph segment mean).
+    ///
+    /// Returns the concatenated node features and the per-node graph ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or a sample's PE does not match the
+    /// model's configured [`graph_pe::PeKind`].
+    pub fn embed_batch(&self, tape: &mut Tape, samples: &[&PreparedSample]) -> (Var, BatchLayout) {
+        assert!(!samples.is_empty(), "embed_batch needs at least one sample");
+        let total_n: usize = samples.iter().map(|s| s.sub.num_nodes()).sum();
+
+        // Concatenate node-level inputs with block offsets.
+        let mut node_types = Vec::with_capacity(total_n);
+        let mut graph_ids = Vec::with_capacity(total_n);
+        let mut src = Vec::new();
+        let mut dst = Vec::new();
+        let mut edge_types = Vec::new();
+        let mut anchor_rows = Vec::with_capacity(samples.len() * 2);
+        let mut offset = 0usize;
+        for (gi, s) in samples.iter().enumerate() {
+            node_types.extend(s.sub.node_types.iter().copied());
+            graph_ids.extend(std::iter::repeat(gi).take(s.sub.num_nodes()));
+            src.extend(s.sub.src.iter().map(|&x| x + offset));
+            dst.extend(s.sub.dst.iter().map(|&x| x + offset));
+            edge_types.extend(s.sub.edge_types.iter().copied());
+            anchor_rows.push(offset);
+            offset += s.sub.num_nodes();
+        }
+
+        // Positional encoding block.
+        let mut parts: Vec<Var> = Vec::with_capacity(3);
+        match &self.pe_enc {
+            PeEncoder::None => {}
+            PeEncoder::Pair { d0, d1 } => {
+                let mut a = Vec::with_capacity(total_n);
+                let mut b = Vec::with_capacity(total_n);
+                for s in samples {
+                    match &s.pe {
+                        PeFeatures::CategoricalPair { a: pa, b: pb, .. } => {
+                            a.extend_from_slice(pa);
+                            b.extend_from_slice(pb);
+                        }
+                        other => panic!(
+                            "PE features {other:?} do not match the model's encoder (DSPD); \
+                             prepare the dataset with the model's PeKind"
+                        ),
+                    }
+                }
+                parts.push(d0.forward(tape, &a));
+                parts.push(d1.forward(tape, &b));
+            }
+            PeEncoder::Single { emb } => {
+                let mut codes = Vec::with_capacity(total_n);
+                for s in samples {
+                    match &s.pe {
+                        PeFeatures::Categorical { codes: c, .. } => codes.extend_from_slice(c),
+                        other => panic!(
+                            "PE features {other:?} do not match the model's encoder (DRNL); \
+                             prepare the dataset with the model's PeKind"
+                        ),
+                    }
+                }
+                parts.push(emb.forward(tape, &codes));
+            }
+            PeEncoder::Dense { lin } => {
+                let dim = lin.in_dim();
+                let mut data = Vec::with_capacity(total_n * dim);
+                for s in samples {
+                    match &s.pe {
+                        PeFeatures::Dense { data: d, dim: sd } if *sd == dim => {
+                            data.extend_from_slice(d)
+                        }
+                        other => panic!(
+                            "PE features {other:?} do not match the model's encoder \
+                             (dense, dim {dim}); prepare the dataset with the model's PeKind"
+                        ),
+                    }
+                }
+                let x = tape.input(Tensor::from_vec(total_n, dim, data));
+                parts.push(lin.forward(tape, x));
+            }
+        }
+        parts.push(self.node_type_emb.forward(tape, &node_types));
+        let mut x = if parts.len() == 1 { parts[0] } else { tape.concat_cols(&parts) };
+
+        let idx = EdgeIndex { src: Arc::new(src), dst: Arc::new(dst) };
+        let mut e = if edge_types.is_empty() {
+            tape.input(Tensor::zeros(0, self.cfg.hidden_dim))
+        } else {
+            self.edge_type_emb.forward(tape, &edge_types)
+        };
+        for layer in &self.layers {
+            let (nx, ne) = layer.forward(tape, x, e, &idx);
+            x = nx;
+            e = ne;
+        }
+
+        let counts: Vec<f32> = samples.iter().map(|s| s.sub.num_nodes() as f32).collect();
+        (x, BatchLayout { graph_ids: Arc::new(graph_ids), counts, anchor_rows })
+    }
+
+    /// Per-graph segment mean pooling.
+    fn segment_mean(&self, tape: &mut Tape, x: Var, layout: &BatchLayout) -> Var {
+        let b = layout.counts.len();
+        let sums = tape.scatter_add(x, layout.graph_ids.clone(), b);
+        let inv: Vec<f32> = layout.counts.iter().map(|&c| 1.0 / c.max(1.0)).collect();
+        let inv = tape.input(Tensor::col(&inv));
+        tape.mul_colvec(sums, inv)
+    }
+
+    /// Link-existence logits for a batch (`B × 1`).
+    ///
+    /// Per Observation 1, the link head uses *only* structural embeddings
+    /// (no circuit statistics).
+    pub fn link_logits_batch(&self, tape: &mut Tape, samples: &[&PreparedSample]) -> Var {
+        let (xl, layout) = self.embed_batch(tape, samples);
+        let pooled = self.segment_mean(tape, xl, &layout);
+        self.link_head.forward(tape, pooled)
+    }
+
+    /// Regression outputs in `[0, 1]` for a batch (`B × 1`), using the
+    /// task head with circuit statistics injected per eq. (6)–(7).
+    pub fn reg_outputs_batch(&self, tape: &mut Tape, samples: &[&PreparedSample]) -> Var {
+        let (xl, layout) = self.embed_batch(tape, samples);
+        let total_n: usize = samples.iter().map(|s| s.sub.num_nodes()).sum();
+
+        let mut xc_data = Vec::with_capacity(total_n * XC_DIM);
+        for s in samples {
+            xc_data.extend_from_slice(&s.xc_norm);
+        }
+        let xc = tape.input(Tensor::from_vec(total_n, XC_DIM, xc_data));
+
+        // Group global node indices by type.
+        let mut net_idx = Vec::new();
+        let mut dev_idx = Vec::new();
+        let mut pin_idx = Vec::new();
+        let mut pin_codes = Vec::new();
+        let mut base = 0usize;
+        for s in samples {
+            for (i, &t) in s.sub.node_types.iter().enumerate() {
+                let gidx = base + i;
+                match t {
+                    t if t == NodeType::Net.code() => net_idx.push(gidx),
+                    t if t == NodeType::Device.code() => dev_idx.push(gidx),
+                    _ => {
+                        pin_idx.push(gidx);
+                        pin_codes.push(s.pin_codes[i]);
+                    }
+                }
+            }
+            base += s.sub.num_nodes();
+        }
+
+        // C: per-type projection scattered back to node order (eq. (6)).
+        let mut c = tape.input(Tensor::zeros(total_n, self.cfg.hidden_dim));
+        for (idx, proj) in [(&net_idx, &self.reg_head.net_proj), (&dev_idx, &self.reg_head.dev_proj)] {
+            if idx.is_empty() {
+                continue;
+            }
+            let rows = tape.gather(xc, Arc::new(idx.clone()));
+            let proj_rows = proj.forward(tape, rows);
+            let scattered = tape.scatter_add(proj_rows, Arc::new(idx.clone()), total_n);
+            c = tape.add(c, scattered);
+        }
+        if !pin_idx.is_empty() {
+            let emb = self.reg_head.pin_emb.forward(tape, &pin_codes);
+            let scattered = tape.scatter_add(emb, Arc::new(pin_idx), total_n);
+            c = tape.add(c, scattered);
+        }
+
+        // XH = Pool(XL + C) (eq. (7)) plus an anchor skip-connection: the
+        // target node's own row is added to the pooled readout. Without
+        // it, mean pooling over 2-hop node-task subgraphs dilutes the
+        // anchor whose capacitance is being predicted (see DESIGN.md).
+        let sum = tape.add(xl, c);
+        let pooled = self.segment_mean(tape, sum, &layout);
+        let anchors = tape.gather(sum, Arc::new(layout.anchor_rows.clone()));
+        let readout = tape.add(pooled, anchors);
+        let out = self.reg_head.mlp.forward(tape, readout);
+        tape.sigmoid(out)
+    }
+
+    /// Mean BCE pre-training loss over a batch.
+    pub fn loss_link_batch(&self, tape: &mut Tape, samples: &[&PreparedSample]) -> Var {
+        let logits = self.link_logits_batch(tape, samples);
+        let labels: Vec<f32> = samples.iter().map(|s| s.label).collect();
+        tape.bce_with_logits(logits, &labels)
+    }
+
+    /// Mean L1 regression loss over a batch.
+    pub fn loss_reg_batch(&self, tape: &mut Tape, samples: &[&PreparedSample]) -> Var {
+        let outs = self.reg_outputs_batch(tape, samples);
+        let targets: Vec<f32> = samples.iter().map(|s| s.target).collect();
+        tape.l1_loss(outs, &targets)
+    }
+
+    /// Runs the encoder + GPS stack for one subgraph (`N × d`).
+    pub fn embed(&self, tape: &mut Tape, s: &PreparedSample) -> Var {
+        self.embed_batch(tape, &[s]).0
+    }
+
+    /// Link-existence logit for one sample (`1 × 1`).
+    pub fn link_logit(&self, tape: &mut Tape, s: &PreparedSample) -> Var {
+        self.link_logits_batch(tape, &[s])
+    }
+
+    /// Regression output for one sample (`1 × 1`).
+    pub fn reg_output(&self, tape: &mut Tape, s: &PreparedSample) -> Var {
+        self.reg_outputs_batch(tape, &[s])
+    }
+
+    /// BCE pre-training loss for one sample.
+    pub fn loss_link(&self, tape: &mut Tape, s: &PreparedSample) -> Var {
+        self.loss_link_batch(tape, &[s])
+    }
+
+    /// L1 regression loss for one sample.
+    pub fn loss_reg(&self, tape: &mut Tape, s: &PreparedSample) -> Var {
+        self.loss_reg_batch(tape, &[s])
+    }
+
+    /// Link-existence probability (evaluation mode).
+    pub fn predict_link(&self, s: &PreparedSample) -> f32 {
+        let mut tape = Tape::new(&self.store, false, 0);
+        let logit = self.link_logit(&mut tape, s);
+        let z = tape.value(logit).item();
+        1.0 / (1.0 + (-z).exp())
+    }
+
+    /// Normalized capacitance prediction (evaluation mode).
+    pub fn predict_reg(&self, s: &PreparedSample) -> f32 {
+        let mut tape = Tape::new(&self.store, false, 0);
+        let out = self.reg_output(&mut tape, s);
+        tape.value(out).item()
+    }
+
+    /// Serializes all parameters to a writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save<W: std::io::Write>(&self, w: W) -> std::io::Result<()> {
+        self.store.save(w)
+    }
+
+    /// Loads parameters from a reader into this model (must have been
+    /// built with the same [`ModelConfig`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors or architecture mismatch.
+    pub fn load<R: std::io::Read>(&mut self, r: R) -> std::io::Result<()> {
+        self.store.load(r)
+    }
+}
+
+/// Helper trait impl: keep Performer random projections frozen after a
+/// global unfreeze.
+trait FreezeProj {
+    fn set_trainable_by_prefix_proj_frozen(&mut self);
+}
+
+impl FreezeProj for ParamStore {
+    fn set_trainable_by_prefix_proj_frozen(&mut self) {
+        let ids: Vec<_> = self
+            .iter()
+            .filter(|(_, name, _)| name.ends_with(".proj"))
+            .map(|(id, _, _)| id)
+            .collect();
+        for id in ids {
+            self.set_trainable(id, false);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prepared::PreparedSample;
+    use cirgps_nn::GradStore;
+    use circuit_graph::{EdgeType, GraphBuilder};
+    use graph_pe::PeKind;
+    use subgraph_sample::{SamplerConfig, SubgraphSampler, XcNormalizer};
+
+    fn sample_with(pe: PeKind) -> PreparedSample {
+        let mut b = GraphBuilder::new();
+        let n1 = b.add_node(NodeType::Net, "n1");
+        let p1 = b.add_node(NodeType::Pin, "p1");
+        let d1 = b.add_node(NodeType::Device, "d1");
+        let p2 = b.add_node(NodeType::Pin, "p2");
+        let n2 = b.add_node(NodeType::Net, "n2");
+        b.set_xc(p1, 0, 1.0);
+        b.set_xc(p2, 0, 0.0);
+        b.set_xc(n1, 0, 3.0);
+        b.add_edge(n1, p1, EdgeType::NetPin);
+        b.add_edge(p1, d1, EdgeType::DevicePin);
+        b.add_edge(d1, p2, EdgeType::DevicePin);
+        b.add_edge(p2, n2, EdgeType::NetPin);
+        let g = b.build();
+        let g = g.with_injected_links(&[circuit_graph::Edge {
+            a: n1,
+            b: n2,
+            ty: EdgeType::CouplingNetNet,
+        }]);
+        let xcn = XcNormalizer::fit(&[&g]);
+        let mut s = SubgraphSampler::new(&g, SamplerConfig { hops: 2, max_nodes: 32 });
+        let sub = s.enclosing_subgraph(n1, n2);
+        PreparedSample::new(sub, pe, &xcn, 1.0, 0.42)
+    }
+
+    fn configs_under_test() -> Vec<ModelConfig> {
+        let base = ModelConfig { hidden_dim: 16, pe_dim: 4, heads: 2, num_layers: 2, ..Default::default() };
+        vec![
+            ModelConfig { mpnn: MpnnKind::GatedGcn, attn: AttnKind::None, ..base.clone() },
+            ModelConfig { mpnn: MpnnKind::None, attn: AttnKind::Transformer, ..base.clone() },
+            ModelConfig {
+                mpnn: MpnnKind::GatedGcn,
+                attn: AttnKind::Performer { features: 8 },
+                ..base.clone()
+            },
+        ]
+    }
+
+    #[test]
+    fn forward_shapes_for_all_layer_configs() {
+        let s = sample_with(PeKind::Dspd);
+        for cfg in configs_under_test() {
+            let model = CircuitGps::new(cfg.clone());
+            let mut tape = Tape::new(model.store(), false, 0);
+            let logit = model.link_logit(&mut tape, &s);
+            assert_eq!(tape.shape(logit), (1, 1), "{cfg:?}");
+            let mut tape2 = Tape::new(model.store(), false, 0);
+            let reg = model.reg_output(&mut tape2, &s);
+            let v = tape2.value(reg).item();
+            assert!((0.0..=1.0).contains(&v), "{cfg:?} produced {v}");
+        }
+    }
+
+    #[test]
+    fn forward_works_for_all_pe_kinds() {
+        for pe in PeKind::TABLE2 {
+            let s = sample_with(pe);
+            let model = CircuitGps::new(ModelConfig {
+                hidden_dim: 16,
+                pe_dim: 4,
+                heads: 2,
+                num_layers: 1,
+                pe,
+                ..Default::default()
+            });
+            let p = model.predict_link(&s);
+            assert!(p.is_finite() && (0.0..=1.0).contains(&p), "{pe:?} -> {p}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "do not match the model's encoder")]
+    fn mismatched_pe_panics() {
+        let s = sample_with(PeKind::Drnl);
+        let model = CircuitGps::new(ModelConfig {
+            hidden_dim: 16,
+            pe_dim: 4,
+            heads: 2,
+            num_layers: 1,
+            pe: PeKind::Dspd,
+            ..Default::default()
+        });
+        let _ = model.predict_link(&s);
+    }
+
+    #[test]
+    fn gradients_flow_to_heads_and_backbone() {
+        let s = sample_with(PeKind::Dspd);
+        let model = CircuitGps::new(ModelConfig {
+            hidden_dim: 16,
+            pe_dim: 4,
+            heads: 2,
+            num_layers: 2,
+            ..Default::default()
+        });
+        let mut tape = Tape::new(model.store(), true, 1);
+        let loss = model.loss_link(&mut tape, &s);
+        let mut grads = GradStore::new(model.store());
+        tape.backward(loss, &mut grads);
+        for prefix in ["enc.pe.d0", "enc.node_type", "gps.0.mpnn", "head_link"] {
+            let hit = model
+                .store()
+                .iter()
+                .any(|(id, name, _)| name.starts_with(prefix) && grads.get(id).is_some());
+            assert!(hit, "no gradient under {prefix}");
+        }
+    }
+
+    #[test]
+    fn head_only_freeze_blocks_backbone_grads() {
+        let s = sample_with(PeKind::Dspd);
+        let mut model = CircuitGps::new(ModelConfig {
+            hidden_dim: 16,
+            pe_dim: 4,
+            heads: 2,
+            num_layers: 1,
+            ..Default::default()
+        });
+        let frozen = model.freeze_backbone();
+        assert!(frozen > 0);
+        let mut tape = Tape::new(model.store(), true, 1);
+        let loss = model.loss_reg(&mut tape, &s);
+        let mut grads = GradStore::new(model.store());
+        tape.backward(loss, &mut grads);
+        let backbone_hit = model
+            .store()
+            .iter()
+            .any(|(id, name, _)| (name.starts_with("enc.") || name.starts_with("gps.")) && grads.get(id).is_some());
+        assert!(!backbone_hit, "frozen backbone received gradients");
+        let head_hit = model
+            .store()
+            .iter()
+            .any(|(id, name, _)| name.starts_with("head_reg") && grads.get(id).is_some());
+        assert!(head_hit, "head should train");
+        model.unfreeze_all();
+        assert!(model.num_params() > 0);
+    }
+
+    #[test]
+    fn save_load_round_trip_preserves_predictions() {
+        let s = sample_with(PeKind::Dspd);
+        let cfg = ModelConfig { hidden_dim: 16, pe_dim: 4, heads: 2, num_layers: 1, ..Default::default() };
+        let model = CircuitGps::new(cfg.clone());
+        let p1 = model.predict_link(&s);
+        let mut bytes = Vec::new();
+        model.save(&mut bytes).unwrap();
+        let mut model2 = CircuitGps::new(ModelConfig { seed: 999, ..cfg });
+        assert_ne!(model2.predict_link(&s), p1);
+        model2.load(&bytes[..]).unwrap();
+        let p2 = model2.predict_link(&s);
+        assert!((p1 - p2).abs() < 1e-6, "{p1} vs {p2}");
+    }
+}

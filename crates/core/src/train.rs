@@ -1,0 +1,307 @@
+//! Training loops: link-prediction pre-training, regression fine-tuning
+//! (scratch / head-only / all, Section III-E) and evaluation.
+//!
+//! Minibatches are data-parallel: each sample's forward/backward runs on a
+//! rayon worker with its own tape; per-worker gradient stores are merged,
+//! averaged, clipped and applied with AdamW under a cosine schedule.
+
+use cirgps_nn::{Adam, CosineSchedule, GradStore, Tape};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rayon::prelude::*;
+
+use crate::config::{FinetuneMode, TrainConfig};
+use crate::metrics::{link_metrics, reg_metrics, LinkMetrics, RegMetrics};
+use crate::model::CircuitGps;
+use crate::prepared::PreparedSample;
+
+/// Which loss the loop optimizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Task {
+    /// Binary link prediction (BCE) — the pre-training task.
+    LinkPrediction,
+    /// Capacitance regression (L1) — the downstream task.
+    Regression,
+}
+
+/// Per-epoch training record.
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+pub struct TrainHistory {
+    /// Mean training loss per epoch.
+    pub epoch_losses: Vec<f32>,
+    /// Wall-clock seconds spent in training.
+    pub seconds: f64,
+}
+
+/// Trains the model on `samples` for the given task.
+///
+/// Returns the per-epoch loss history. Training is deterministic for a
+/// fixed `TrainConfig::seed` and rayon-independent reduction order is
+/// enforced by merging gradients in sample order.
+pub fn train(
+    model: &mut CircuitGps,
+    samples: &[PreparedSample],
+    task: Task,
+    cfg: &TrainConfig,
+) -> TrainHistory {
+    let start = std::time::Instant::now();
+    let mut opt = Adam::new(cfg.lr).with_weight_decay(cfg.weight_decay);
+    let steps_per_epoch = samples.len().div_ceil(cfg.batch_size).max(1);
+    let schedule =
+        CosineSchedule::new(cfg.lr, cfg.lr * 0.05, cfg.warmup, cfg.epochs * steps_per_epoch);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut history = TrainHistory::default();
+    let mut step = 0usize;
+
+    for epoch in 0..cfg.epochs {
+        let mut order: Vec<usize> = (0..samples.len()).collect();
+        order.shuffle(&mut rng);
+        let mut epoch_loss = 0.0f64;
+        let mut seen = 0usize;
+
+        for batch in order.chunks(cfg.batch_size) {
+            let store = model.store();
+            // The batch is split into a few sub-batches, each packed
+            // block-diagonally onto one tape (so batch norm sees many
+            // graphs); sub-batches run on rayon workers in parallel.
+            let n_sub = rayon::current_num_threads().clamp(1, batch.len().div_ceil(2).max(1));
+            let sub_size = batch.len().div_ceil(n_sub);
+            let results: Vec<(f64, usize, GradStore)> = batch
+                .chunks(sub_size)
+                .collect::<Vec<_>>()
+                .par_iter()
+                .enumerate()
+                .map(|(ci, chunk)| {
+                    let subs: Vec<&PreparedSample> =
+                        chunk.iter().map(|&i| &samples[i]).collect();
+                    let mut tape = Tape::new(
+                        store,
+                        true,
+                        cfg.seed ^ (ci as u64) ^ ((epoch as u64) << 24) ^ ((step as u64) << 40),
+                    );
+                    let loss = match task {
+                        Task::LinkPrediction => model.loss_link_batch(&mut tape, &subs),
+                        Task::Regression => model.loss_reg_batch(&mut tape, &subs),
+                    };
+                    let mut grads = GradStore::new(store);
+                    tape.backward(loss, &mut grads);
+                    // Gradients of a per-sub-batch *mean* loss: reweight by
+                    // sub-batch size so merging yields the full-batch mean.
+                    grads.scale(subs.len() as f32);
+                    (tape.value(loss).item() as f64 * subs.len() as f64, subs.len(), grads)
+                })
+                .collect();
+
+            let mut merged = GradStore::new(model.store());
+            let mut batch_loss = 0.0f64;
+            for (loss, _, g) in results {
+                batch_loss += loss;
+                merged.merge(g);
+            }
+            merged.scale(1.0 / batch.len() as f32);
+            merged.clip_global_norm(cfg.clip);
+
+            opt.set_lr(schedule.lr_at(step));
+            opt.step(model.store_mut(), &merged);
+            step += 1;
+            epoch_loss += batch_loss;
+            seen += batch.len();
+        }
+
+        let mean = (epoch_loss / seen.max(1) as f64) as f32;
+        history.epoch_losses.push(mean);
+        if cfg.log_every > 0 && (epoch + 1) % cfg.log_every == 0 {
+            eprintln!("epoch {:>3}: loss {:.4}", epoch + 1, mean);
+        }
+    }
+    history.seconds = start.elapsed().as_secs_f64();
+    history
+}
+
+/// Pre-trains on link prediction (the meta-learning phase).
+pub fn pretrain_link(
+    model: &mut CircuitGps,
+    samples: &[PreparedSample],
+    cfg: &TrainConfig,
+) -> TrainHistory {
+    train(model, samples, Task::LinkPrediction, cfg)
+}
+
+/// Fine-tunes for regression per [`FinetuneMode`]:
+///
+/// * `Scratch` — the caller passes a freshly initialized model;
+/// * `HeadOnly` — freezes encoders + GPS layers first (fast convergence);
+/// * `All` — trains every parameter from the pre-trained initialization.
+pub fn finetune_regression(
+    model: &mut CircuitGps,
+    samples: &[PreparedSample],
+    mode: FinetuneMode,
+    cfg: &TrainConfig,
+) -> TrainHistory {
+    match mode {
+        FinetuneMode::Scratch | FinetuneMode::All => {
+            model.unfreeze_all();
+        }
+        FinetuneMode::HeadOnly => {
+            model.freeze_backbone();
+        }
+    }
+    let history = train(model, samples, Task::Regression, cfg);
+    if mode == FinetuneMode::HeadOnly {
+        model.unfreeze_all();
+    }
+    history
+}
+
+/// Evaluates link prediction (zero-shot when `samples` come from designs
+/// unseen in training).
+pub fn evaluate_link(model: &CircuitGps, samples: &[PreparedSample]) -> LinkMetrics {
+    let scores: Vec<f32> = samples.par_iter().map(|s| model.predict_link(s)).collect();
+    let labels: Vec<f32> = samples.iter().map(|s| s.label).collect();
+    link_metrics(&scores, &labels)
+}
+
+/// Evaluates regression.
+pub fn evaluate_regression(model: &CircuitGps, samples: &[PreparedSample]) -> RegMetrics {
+    let preds: Vec<f32> = samples.par_iter().map(|s| model.predict_reg(s)).collect();
+    let targets: Vec<f32> = samples.iter().map(|s| s.target).collect();
+    reg_metrics(&preds, &targets)
+}
+
+/// Per-sample regression predictions (used by the energy-validation flow).
+pub fn predict_regression(model: &CircuitGps, samples: &[PreparedSample]) -> Vec<f32> {
+    samples.par_iter().map(|s| model.predict_reg(s)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use circuit_graph::{Edge, EdgeType, GraphBuilder, NodeType};
+    use graph_pe::PeKind;
+    use subgraph_sample::{SamplerConfig, SubgraphSampler, XcNormalizer};
+
+    /// Builds a toy dataset where positives are graph-adjacent pairs with
+    /// a shared neighborhood and negatives are distant pairs — separable
+    /// from structure alone.
+    fn toy_dataset() -> Vec<PreparedSample> {
+        let mut b = GraphBuilder::new();
+        // Two clusters of net-pin stars joined by a long path.
+        let mut cluster = |b: &mut GraphBuilder, tag: &str| -> Vec<u32> {
+            let hub = b.add_node(NodeType::Net, &format!("{tag}hub"));
+            let mut out = vec![hub];
+            for i in 0..6 {
+                let p = b.add_node(NodeType::Pin, &format!("{tag}p{i}"));
+                b.add_edge(hub, p, EdgeType::NetPin);
+                out.push(p);
+            }
+            out
+        };
+        let c1 = cluster(&mut b, "a");
+        let c2 = cluster(&mut b, "b");
+        // Path between hubs.
+        let mut prev = c1[0];
+        for i in 0..4 {
+            let mid = b.add_node(NodeType::Device, &format!("m{i}"));
+            b.add_edge(prev, mid, EdgeType::DevicePin);
+            prev = mid;
+        }
+        b.add_edge(prev, c2[0], EdgeType::DevicePin);
+        let g = b.build();
+
+        // Positive links: pin pairs within a cluster. Negatives: across.
+        let mut links = Vec::new();
+        for i in 1..5 {
+            links.push((c1[i], c1[i + 1], 1.0f32));
+            links.push((c2[i], c2[i + 1], 1.0f32));
+            links.push((c1[i], c2[i], 0.0f32));
+            links.push((c1[i + 1], c2[i], 0.0f32));
+        }
+        let injected: Vec<Edge> = links
+            .iter()
+            .map(|&(a, b2, _)| Edge { a, b: b2, ty: EdgeType::CouplingPinPin })
+            .collect();
+        let aug = g.with_injected_links(&injected);
+        let xcn = XcNormalizer::fit(&[&aug]);
+        let mut sampler = SubgraphSampler::new(&aug, SamplerConfig { hops: 1, max_nodes: 64 });
+        links
+            .iter()
+            .map(|&(a, b2, y)| {
+                let sub = sampler.enclosing_subgraph(a, b2);
+                PreparedSample::new(sub, PeKind::Dspd, &xcn, y, y * 0.6)
+            })
+            .collect()
+    }
+
+    fn tiny_model() -> CircuitGps {
+        CircuitGps::new(ModelConfig {
+            hidden_dim: 16,
+            pe_dim: 4,
+            heads: 2,
+            num_layers: 2,
+            dropout: 0.0,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn link_training_reduces_loss_and_separates() {
+        let data = toy_dataset();
+        let mut model = tiny_model();
+        let cfg = TrainConfig { epochs: 30, batch_size: 8, lr: 5e-3, ..Default::default() };
+        let hist = pretrain_link(&mut model, &data, &cfg);
+        let first = hist.epoch_losses[0];
+        let last = *hist.epoch_losses.last().unwrap();
+        assert!(last < first * 0.7, "loss did not drop: {first} -> {last}");
+        let m = evaluate_link(&model, &data);
+        assert!(m.accuracy > 0.8, "train accuracy {:.3}", m.accuracy);
+        assert!(m.auc > 0.9, "train AUC {:.3}", m.auc);
+    }
+
+    #[test]
+    fn regression_training_fits_targets() {
+        let data = toy_dataset();
+        let mut model = tiny_model();
+        let cfg = TrainConfig { epochs: 40, batch_size: 8, lr: 5e-3, ..Default::default() };
+        let hist = finetune_regression(&mut model, &data, FinetuneMode::Scratch, &cfg);
+        assert!(hist.epoch_losses.last().unwrap() < &0.2);
+        let m = evaluate_regression(&model, &data);
+        assert!(m.mae < 0.2, "MAE {:.3}", m.mae);
+    }
+
+    #[test]
+    fn head_only_finetune_changes_only_head() {
+        let data = toy_dataset();
+        let mut model = tiny_model();
+        let cfg = TrainConfig { epochs: 2, batch_size: 8, ..Default::default() };
+        pretrain_link(&mut model, &data, &cfg);
+
+        // Snapshot a backbone parameter.
+        let backbone_before: Vec<f32> = model
+            .store()
+            .iter()
+            .find(|(_, name, _)| name.starts_with("gps.0.mpnn"))
+            .map(|(_, _, t)| t.as_slice().to_vec())
+            .unwrap();
+        finetune_regression(&mut model, &data, FinetuneMode::HeadOnly, &cfg);
+        let backbone_after: Vec<f32> = model
+            .store()
+            .iter()
+            .find(|(_, name, _)| name.starts_with("gps.0.mpnn"))
+            .map(|(_, _, t)| t.as_slice().to_vec())
+            .unwrap();
+        assert_eq!(backbone_before, backbone_after, "backbone changed in head-only mode");
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let data = toy_dataset();
+        let cfg = TrainConfig { epochs: 2, batch_size: 4, ..Default::default() };
+        let mut m1 = tiny_model();
+        let h1 = pretrain_link(&mut m1, &data, &cfg);
+        let mut m2 = tiny_model();
+        let h2 = pretrain_link(&mut m2, &data, &cfg);
+        assert_eq!(h1.epoch_losses, h2.epoch_losses);
+    }
+}

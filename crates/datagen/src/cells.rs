@@ -1,0 +1,319 @@
+//! Leaf-cell library: SPICE `.SUBCKT` definitions for the standard cells,
+//! SRAM bitcells and analog blocks the design generators compose.
+//!
+//! All cells are sized for a generic 28 nm-class technology (L = 30 nm,
+//! minimal widths around 100 nm) so the geometric statistics in `XC`
+//! match the magnitudes the paper's designs would produce.
+
+/// Name and SPICE text of every cell in the library, as one parseable
+/// SPICE fragment.
+pub fn library_spice() -> &'static str {
+    LIBRARY
+}
+
+/// Port lists per cell (cell name, ports). Used by the design builder to
+/// validate instantiations early instead of failing at flatten time.
+pub fn cell_ports(cell: &str) -> Option<&'static [&'static str]> {
+    Some(match cell {
+        "INV" => &["A", "Z", "VDD", "VSS"],
+        "INVX4" => &["A", "Z", "VDD", "VSS"],
+        "BUF" => &["A", "Z", "VDD", "VSS"],
+        "NAND2" => &["A", "B", "Z", "VDD", "VSS"],
+        "NAND3" => &["A", "B", "C", "Z", "VDD", "VSS"],
+        "NOR2" => &["A", "B", "Z", "VDD", "VSS"],
+        "XOR2" => &["A", "B", "Z", "VDD", "VSS"],
+        "MUX2" => &["A", "B", "S", "Z", "VDD", "VSS"],
+        "DFF" => &["D", "CK", "Q", "VDD", "VSS"],
+        "TGATE" => &["A", "Z", "EN", "ENB", "VDD", "VSS"],
+        "SRAM6T" => &["BL", "BLB", "WL", "VDD", "VSS"],
+        "SRAM8T" => &["WBL", "WBLB", "WWL", "RBL", "RWL", "VDD", "VSS"],
+        "PRECH" => &["BL", "BLB", "PCB", "VDD"],
+        "SENSEAMP" => &["BL", "BLB", "SAE", "OUT", "OUTB", "VDD", "VSS"],
+        "WRDRV" => &["D", "WEN", "BL", "BLB", "VDD", "VSS"],
+        "COLMUX" => &["BL0", "BL1", "SEL", "BLO", "VDD", "VSS"],
+        "WLDRV" => &["IN", "WL", "VDD", "VSS"],
+        "DIFFAMP" => &["INP", "INN", "OUT", "VBN", "VDD", "VSS"],
+        "COMPARATOR" => &["INP", "INN", "CLK", "OUTP", "OUTN", "VDD", "VSS"],
+        "CURMIR" => &["IREF", "IOUT", "VSS"],
+        "LVLSHIFT" => &["A", "Z", "VDDL", "VDDH", "VSS"],
+        "VREF" => &["VOUT", "VDD", "VSS"],
+        "RCDELAY" => &["A", "Z", "VDD", "VSS"],
+        "FULLADD" => &["A", "B", "CI", "S", "CO", "VDD", "VSS"],
+        _ => return None,
+    })
+}
+
+/// Approximate primitive-device count per cell (for sizing estimates).
+pub fn cell_device_count(cell: &str) -> Option<usize> {
+    Some(match cell {
+        "INV" | "INVX4" => 2,
+        "BUF" => 4,
+        "NAND2" | "NOR2" => 4,
+        "NAND3" => 6,
+        "XOR2" => 12,
+        "MUX2" => 10,
+        "DFF" => 20,
+        "TGATE" => 2,
+        "SRAM6T" => 6,
+        "SRAM8T" => 8,
+        "PRECH" => 3,
+        "SENSEAMP" => 9,
+        "WRDRV" => 14,
+        "COLMUX" => 4,
+        "WLDRV" => 4,
+        "DIFFAMP" => 5,
+        "COMPARATOR" => 11,
+        "CURMIR" => 2,
+        "LVLSHIFT" => 7,
+        "VREF" => 6,
+        "RCDELAY" => 6,
+        "FULLADD" => 36,
+        _ => return None,
+    })
+}
+
+const LIBRARY: &str = r#"
+* cirgps cell library (generic 28nm-class sizing)
+
+.SUBCKT INV A Z VDD VSS
+M1 Z A VSS VSS nch W=0.1u L=0.03u
+M2 Z A VDD VDD pch W=0.2u L=0.03u
+.ENDS
+
+.SUBCKT INVX4 A Z VDD VSS
+M1 Z A VSS VSS nch W=0.4u L=0.03u M=2
+M2 Z A VDD VDD pch W=0.8u L=0.03u M=2
+.ENDS
+
+.SUBCKT BUF A Z VDD VSS
+Xi1 A mid VDD VSS INV
+Xi2 mid Z VDD VSS INVX4
+.ENDS
+
+.SUBCKT NAND2 A B Z VDD VSS
+M1 Z A net1 VSS nch W=0.2u L=0.03u
+M2 net1 B VSS VSS nch W=0.2u L=0.03u
+M3 Z A VDD VDD pch W=0.2u L=0.03u
+M4 Z B VDD VDD pch W=0.2u L=0.03u
+.ENDS
+
+.SUBCKT NAND3 A B C Z VDD VSS
+M1 Z A n1 VSS nch W=0.3u L=0.03u
+M2 n1 B n2 VSS nch W=0.3u L=0.03u
+M3 n2 C VSS VSS nch W=0.3u L=0.03u
+M4 Z A VDD VDD pch W=0.2u L=0.03u
+M5 Z B VDD VDD pch W=0.2u L=0.03u
+M6 Z C VDD VDD pch W=0.2u L=0.03u
+.ENDS
+
+.SUBCKT NOR2 A B Z VDD VSS
+M1 Z A VSS VSS nch W=0.1u L=0.03u
+M2 Z B VSS VSS nch W=0.1u L=0.03u
+M3 Z A net1 VDD pch W=0.4u L=0.03u
+M4 net1 B VDD VDD pch W=0.4u L=0.03u
+.ENDS
+
+.SUBCKT XOR2 A B Z VDD VSS
+Xa A ab VDD VSS INV
+Xb B bb VDD VSS INV
+M1 Z A n1 VSS nch W=0.15u L=0.03u
+M2 n1 bb VSS VSS nch W=0.15u L=0.03u
+M3 Z ab n2 VSS nch W=0.15u L=0.03u
+M4 n2 B VSS VSS nch W=0.15u L=0.03u
+M5 Z ab p1 VDD pch W=0.3u L=0.03u
+M6 p1 bb VDD VDD pch W=0.3u L=0.03u
+M7 Z A p2 VDD pch W=0.3u L=0.03u
+M8 p2 B VDD VDD pch W=0.3u L=0.03u
+.ENDS
+
+.SUBCKT MUX2 A B S Z VDD VSS
+Xs S sb VDD VSS INV
+M1 Z sb ma VSS nch W=0.15u L=0.03u
+M2 ma A VSS VSS nch W=0.15u L=0.03u
+M3 Z S mb VSS nch W=0.15u L=0.03u
+M4 mb B VSS VSS nch W=0.15u L=0.03u
+M5 Z sb pa VDD pch W=0.3u L=0.03u
+M6 pa B VDD VDD pch W=0.3u L=0.03u
+M7 Z S pb VDD pch W=0.3u L=0.03u
+M8 pb A VDD VDD pch W=0.3u L=0.03u
+.ENDS
+
+.SUBCKT TGATE A Z EN ENB VDD VSS
+M1 A EN Z VSS nch W=0.12u L=0.03u
+M2 A ENB Z VDD pch W=0.24u L=0.03u
+.ENDS
+
+.SUBCKT DFF D CK Q VDD VSS
+Xck CK ckb VDD VSS INV
+Xck2 ckb cki VDD VSS INV
+Xtg1 D m1 ckb cki VDD VSS TGATE
+Xi1 m1 m2 VDD VSS INV
+Xi2 m2 m1b VDD VSS INV
+Xtg2 m1b m1 cki ckb VDD VSS TGATE
+Xtg3 m2 s1 cki ckb VDD VSS TGATE
+Xi3 s1 Q VDD VSS INV
+Xi4 Q s1b VDD VSS INV
+Xtg4 s1b s1 ckb cki VDD VSS TGATE
+.ENDS
+
+.SUBCKT SRAM6T BL BLB WL VDD VSS
+M1 q qb VSS VSS nch W=0.14u L=0.03u
+M2 q qb VDD VDD pch W=0.1u L=0.03u
+M3 qb q VSS VSS nch W=0.14u L=0.03u
+M4 qb q VDD VDD pch W=0.1u L=0.03u
+M5 BL WL q VSS nch W=0.12u L=0.03u
+M6 BLB WL qb VSS nch W=0.12u L=0.03u
+.ENDS
+
+.SUBCKT SRAM8T WBL WBLB WWL RBL RWL VDD VSS
+M1 q qb VSS VSS nch W=0.14u L=0.03u
+M2 q qb VDD VDD pch W=0.1u L=0.03u
+M3 qb q VSS VSS nch W=0.14u L=0.03u
+M4 qb q VDD VDD pch W=0.1u L=0.03u
+M5 WBL WWL q VSS nch W=0.12u L=0.03u
+M6 WBLB WWL qb VSS nch W=0.12u L=0.03u
+M7 rint qb VSS VSS nch W=0.16u L=0.03u
+M8 RBL RWL rint VSS nch W=0.16u L=0.03u
+.ENDS
+
+.SUBCKT PRECH BL BLB PCB VDD
+M1 BL PCB VDD VDD pch W=0.3u L=0.03u
+M2 BLB PCB VDD VDD pch W=0.3u L=0.03u
+M3 BL PCB BLB VDD pch W=0.2u L=0.03u
+.ENDS
+
+.SUBCKT SENSEAMP BL BLB SAE OUT OUTB VDD VSS
+M1 OUT OUTB tail VSS nch W=0.2u L=0.03u
+M2 OUTB OUT tail VSS nch W=0.2u L=0.03u
+M3 OUT OUTB VDD VDD pch W=0.2u L=0.03u
+M4 OUTB OUT VDD VDD pch W=0.2u L=0.03u
+M5 tail SAE VSS VSS nch W=0.4u L=0.03u
+M6 OUT SAE BL VDD pch W=0.15u L=0.03u
+M7 OUTB SAE BLB VDD pch W=0.15u L=0.03u
+M8 OUT SAE OUTB VDD pch W=0.1u L=0.03u
+M9 tail SAE VDD VDD pch W=0.1u L=0.03u
+.ENDS
+
+.SUBCKT WRDRV D WEN BL BLB VDD VSS
+Xd D db VDD VSS INV
+Xn1 db WEN w1 VDD VSS NAND2
+Xn2 D WEN w2 VDD VSS NAND2
+Xi1 w1 BL VDD VSS INVX4
+Xi2 w2 BLB VDD VSS INVX4
+.ENDS
+
+.SUBCKT COLMUX BL0 BL1 SEL BLO VDD VSS
+Xs SEL selb VDD VSS INV
+M1 BLO SEL BL0 VDD pch W=0.2u L=0.03u
+M2 BLO selb BL1 VDD pch W=0.2u L=0.03u
+.ENDS
+
+.SUBCKT WLDRV IN WL VDD VSS
+Xi1 IN nb VDD VSS INV
+Xi2 nb WL VDD VSS INVX4
+.ENDS
+
+.SUBCKT DIFFAMP INP INN OUT VBN VDD VSS
+M1 o1 INP tail VSS nch W=0.5u L=0.06u
+M2 OUT INN tail VSS nch W=0.5u L=0.06u
+M3 o1 o1 VDD VDD pch W=0.3u L=0.06u
+M4 OUT o1 VDD VDD pch W=0.3u L=0.06u
+M5 tail VBN VSS VSS nch W=0.6u L=0.1u
+.ENDS
+
+.SUBCKT COMPARATOR INP INN CLK OUTP OUTN VDD VSS
+M1 d1 INP tail VSS nch W=0.4u L=0.03u
+M2 d2 INN tail VSS nch W=0.4u L=0.03u
+M3 tail CLK VSS VSS nch W=0.6u L=0.03u
+M4 OUTP d2 VSS VSS nch W=0.2u L=0.03u
+M5 OUTN d1 VSS VSS nch W=0.2u L=0.03u
+M6 OUTP d2 VDD VDD pch W=0.3u L=0.03u
+M7 OUTN d1 VDD VDD pch W=0.3u L=0.03u
+M8 d1 CLK VDD VDD pch W=0.2u L=0.03u
+M9 d2 CLK VDD VDD pch W=0.2u L=0.03u
+M10 OUTP CLK VDD VDD pch W=0.15u L=0.03u
+M11 OUTN CLK VDD VDD pch W=0.15u L=0.03u
+.ENDS
+
+.SUBCKT CURMIR IREF IOUT VSS
+M1 IREF IREF VSS VSS nch W=1u L=0.2u
+M2 IOUT IREF VSS VSS nch W=1u L=0.2u
+.ENDS
+
+.SUBCKT LVLSHIFT A Z VDDL VDDH VSS
+Xi A ab VDDL VSS INV
+M1 n1 A VSS VSS nch W=0.2u L=0.03u
+M2 Z ab VSS VSS nch W=0.2u L=0.03u
+M3 n1 Z VDDH VDDH pch W=0.15u L=0.03u
+M4 Z n1 VDDH VDDH pch W=0.15u L=0.03u
+M5 Z n1 VDDH VDDH pch W=0.1u L=0.06u
+.ENDS
+
+.SUBCKT VREF VOUT VDD VSS
+R1 VDD VOUT rpoly R=50k W=0.4u L=20u
+R2 VOUT n1 rpoly R=25k W=0.4u L=10u
+D1 n1 VSS dnwps
+C1 VOUT VSS mim C=0.5p L=10u NF=4
+M1 VOUT n1 VSS VSS nch W=0.3u L=0.1u
+M2 n1 VOUT VSS VSS nch W=0.1u L=0.1u
+.ENDS
+
+.SUBCKT RCDELAY A Z VDD VSS
+Xi1 A m VDD VSS INV
+R1 m z1 rpoly R=10k W=0.2u L=5u
+C1 z1 VSS mom C=20f L=3u NF=8
+Xi2 z1 Z VDD VSS INV
+.ENDS
+
+.SUBCKT FULLADD A B CI S CO VDD VSS
+Xx1 A B x1 VDD VSS XOR2
+Xx2 x1 CI S VDD VSS XOR2
+Xn1 A B n1 VDD VSS NAND2
+Xn2 x1 CI n2 VDD VSS NAND2
+Xn3 n1 n2 CO VDD VSS NAND2
+.ENDS
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ams_netlist::SpiceFile;
+
+    #[test]
+    fn library_parses() {
+        let f = SpiceFile::parse(library_spice()).unwrap();
+        assert!(f.subckts.len() >= 20);
+    }
+
+    #[test]
+    fn every_listed_cell_exists_and_flattens() {
+        let f = SpiceFile::parse(library_spice()).unwrap();
+        for cell in [
+            "INV", "INVX4", "BUF", "NAND2", "NAND3", "NOR2", "XOR2", "MUX2", "DFF", "TGATE",
+            "SRAM6T", "SRAM8T", "PRECH", "SENSEAMP", "WRDRV", "COLMUX", "WLDRV", "DIFFAMP",
+            "COMPARATOR", "CURMIR", "LVLSHIFT", "VREF", "RCDELAY", "FULLADD",
+        ] {
+            let def = f.subckt(cell).unwrap_or_else(|| panic!("missing cell {cell}"));
+            let ports = cell_ports(cell).unwrap_or_else(|| panic!("no port list for {cell}"));
+            assert_eq!(def.ports, ports, "port mismatch for {cell}");
+            let flat = f.flatten(cell).unwrap_or_else(|e| panic!("flatten {cell}: {e}"));
+            let expected = cell_device_count(cell).unwrap();
+            assert_eq!(flat.num_devices(), expected, "device count for {cell}");
+        }
+    }
+
+    #[test]
+    fn bitcells_have_cross_coupled_pair() {
+        let f = SpiceFile::parse(library_spice()).unwrap();
+        let flat = f.flatten("SRAM6T").unwrap();
+        assert!(flat.net_id("q").is_some());
+        assert!(flat.net_id("qb").is_some());
+        assert_eq!(flat.transistor_count(), 6);
+    }
+
+    #[test]
+    fn unknown_cell_is_none() {
+        assert!(cell_ports("NOPE").is_none());
+        assert!(cell_device_count("NOPE").is_none());
+    }
+}

@@ -1,0 +1,85 @@
+//! ARRAY_128_32 archetype: a bare 6T SRAM array test design — 128 rows by
+//! 32 columns at paper scale, with wordline straps and bitline loads but
+//! no periphery logic. The densest, most regular coupling environment of
+//! the three test designs.
+
+use crate::builder::{BuildDesignError, Design, DesignBuilder};
+use crate::designs::sram_common::{bitcell_array_6t, CELL_H, CELL_W};
+use crate::designs::SizePreset;
+
+/// `(rows, cols)` per preset.
+pub fn dims(preset: SizePreset) -> (usize, usize) {
+    match preset {
+        SizePreset::Tiny => (16, 8),
+        SizePreset::Small => (64, 16),
+        SizePreset::Paper => (128, 32),
+    }
+}
+
+/// Generates the ARRAY_128_32 design.
+pub fn generate(preset: SizePreset) -> Result<Design, BuildDesignError> {
+    let (rows, cols) = dims(preset);
+    let mut b = DesignBuilder::new("ARRAY_128_32");
+    for r in 0..rows {
+        b.port(&format!("WL{r}"));
+    }
+    for c in 0..cols {
+        b.port(&format!("BL{c}"));
+        b.port(&format!("BLB{c}"));
+    }
+
+    bitcell_array_6t(&mut b, "", rows, cols, 0.0, 0.0)?;
+
+    // Wordline strap buffers every 16 rows (as a real array would have
+    // for RC management) and bitline keeper loads at the column edge.
+    for r in (0..rows).step_by(16) {
+        b.instance(
+            &format!("Xwls{r}"),
+            "INVX4",
+            &[&format!("WL{r}"), &format!("wlb{r}"), "VDD", "VSS"],
+            -1.0,
+            r as f64 * CELL_H,
+        )?;
+    }
+    let top = rows as f64 * CELL_H;
+    for c in 0..cols {
+        b.raw_device(
+            &format!("Ckeep{c} BL{c} VSS mom C=2f L=1u NF=2"),
+            c as f64 * CELL_W,
+            top + 0.4,
+        );
+    }
+
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn array_counts() {
+        let d = generate(SizePreset::Tiny).unwrap();
+        let (rows, cols) = dims(SizePreset::Tiny);
+        // 6 devices per cell + straps + keepers.
+        let expected_min = rows * cols * 6;
+        assert!(d.netlist.num_devices() >= expected_min);
+        assert!(d.netlist.net_id(&format!("BL{}", cols - 1)).is_some());
+        assert!(d.netlist.net_id(&format!("WL{}", rows - 1)).is_some());
+    }
+
+    #[test]
+    fn bitlines_span_whole_column() {
+        let d = generate(SizePreset::Tiny).unwrap();
+        let (g, m) = circuit_graph::netlist_to_graph(&d.netlist);
+        let (rows, _) = dims(SizePreset::Tiny);
+        let bl = m.net_nodes[d.netlist.net_id("BL0").unwrap().0 as usize];
+        // One access pin per row plus the keeper cap.
+        assert!(g.degree(bl) >= rows, "BL0 degree {}", g.degree(bl));
+    }
+
+    #[test]
+    fn paper_preset_matches_name() {
+        assert_eq!(dims(SizePreset::Paper), (128, 32));
+    }
+}

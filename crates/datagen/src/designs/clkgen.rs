@@ -1,0 +1,152 @@
+//! DIGITAL_CLK_GEN archetype: the SRAM-internal clock generator test
+//! design — a gated ring oscillator, divider chain, SRAM replica column
+//! for bitline-delay tracking, and output clock tree. The paper calls
+//! this its most challenging test case because it mixes digital cells
+//! with SRAM columns.
+
+use crate::builder::{BuildDesignError, Design, DesignBuilder};
+use crate::designs::sram_common::{clock_tree, CELL_H};
+use crate::designs::SizePreset;
+
+/// `(ring_stages, replica_rows, divider_bits, n_branches)` per preset.
+pub fn dims(preset: SizePreset) -> (usize, usize, usize, usize) {
+    match preset {
+        SizePreset::Tiny => (5, 8, 3, 2),
+        SizePreset::Small => (9, 32, 5, 6),
+        SizePreset::Paper => (11, 64, 6, 16),
+    }
+}
+
+/// Generates the DIGITAL_CLK_GEN design.
+pub fn generate(preset: SizePreset) -> Result<Design, BuildDesignError> {
+    let (stages, repl_rows, div_bits, branches) = dims(preset);
+    assert!(stages % 2 == 1, "ring oscillator needs an odd stage count");
+    let mut b = DesignBuilder::new("DIGITAL_CLK_GEN");
+    for p in ["EN", "SEL0", "SEL1", "CKOUT", "PCB_OUT", "SAE_OUT"] {
+        b.port(p);
+    }
+
+    // Gated ring oscillator: NAND2(EN, feedback) followed by an even
+    // inverter chain.
+    b.instance("Xring_g", "NAND2", &["EN", &format!("r{}", stages - 1), "r0", "VDD", "VSS"], 0.0, 0.0)?;
+    for s in 1..stages {
+        b.instance(
+            &format!("Xring{s}"),
+            "INV",
+            &[&format!("r{}", s - 1), &format!("r{s}"), "VDD", "VSS"],
+            s as f64 * 0.4,
+            0.0,
+        )?;
+    }
+    b.instance("Xrbuf", "BUF", &[&format!("r{}", stages - 1), "osc", "VDD", "VSS"], stages as f64 * 0.4, 0.0)?;
+
+    // Divider chain: toggle DFFs (Q fed back through an inverter).
+    let mut prev_ck = "osc".to_string();
+    for d in 0..div_bits {
+        b.instance(
+            &format!("Xdivi{d}"),
+            "INV",
+            &[&format!("div{d}"), &format!("divb{d}"), "VDD", "VSS"],
+            d as f64 * 0.8,
+            1.0,
+        )?;
+        b.instance(
+            &format!("Xdiv{d}"),
+            "DFF",
+            &[&format!("divb{d}"), &prev_ck, &format!("div{d}"), "VDD", "VSS"],
+            d as f64 * 0.8,
+            1.6,
+        )?;
+        prev_ck = format!("div{d}");
+    }
+
+    // Clock select mux between divided clocks.
+    b.instance("Xm0", "MUX2", &["osc", "div0", "SEL0", "mx0", "VDD", "VSS"], 0.0, 3.0)?;
+    b.instance(
+        "Xm1",
+        "MUX2",
+        &["mx0", &format!("div{}", div_bits - 1), "SEL1", "ck_core", "VDD", "VSS"],
+        0.8,
+        3.0,
+    )?;
+
+    // SRAM replica column for bitline delay tracking: replica bitcells on
+    // a shared replica bitline, a precharge and a sense trigger.
+    for r in 0..repl_rows {
+        b.instance(
+            &format!("Xrep{r}"),
+            "SRAM6T",
+            &["rbl", "rblb", &format!("rwl{}", r % 4), "VDD", "VSS"],
+            6.0,
+            r as f64 * CELL_H,
+        )?;
+    }
+    for w in 0..4usize {
+        b.instance(
+            &format!("Xrwld{w}"),
+            "WLDRV",
+            &["ck_core", &format!("rwl{w}"), "VDD", "VSS"],
+            5.2,
+            w as f64 * 1.0,
+        )?;
+    }
+    let repl_top = repl_rows as f64 * CELL_H;
+    b.instance("Xrpch", "PRECH", &["rbl", "rblb", "pcb_i", "VDD"], 6.0, repl_top + 0.5)?;
+    b.instance("Xrinv", "INV", &["rbl", "rbl_fall", "VDD", "VSS"], 6.0, repl_top + 1.1)?;
+    b.instance("Xrdel", "RCDELAY", &["rbl_fall", "sae_i", "VDD", "VSS"], 6.0, repl_top + 1.7)?;
+
+    // Pulse generation: precharge bar and SAE from replica timing.
+    b.instance("Xpg1", "INV", &["ck_core", "ckb", "VDD", "VSS"], 0.0, 4.0)?;
+    b.instance("Xpg2", "NAND2", &["ck_core", "rbl_fall", "pcb_i", "VDD", "VSS"], 0.8, 4.0)?;
+    b.instance("Xpg3", "BUF", &["pcb_i", "PCB_OUT", "VDD", "VSS"], 1.6, 4.0)?;
+    b.instance("Xpg4", "NAND2", &["sae_i", "ck_core", "saeb", "VDD", "VSS"], 0.8, 4.6)?;
+    b.instance("Xpg5", "INV", &["saeb", "SAE_OUT", "VDD", "VSS"], 1.6, 4.6)?;
+
+    // Output clock tree to `branches` buffered loads plus the CKOUT port.
+    let leaves: Vec<String> = (0..branches).map(|i| format!("ckb{i}")).collect();
+    clock_tree(&mut b, "ot_", "ck_core", &leaves, 10.0, 0.0)?;
+    for (i, leaf) in leaves.iter().enumerate() {
+        // Each branch drives a small load chain (models downstream macros).
+        b.instance(
+            &format!("Xload{i}a"),
+            "BUF",
+            &[leaf, &format!("ld{i}"), "VDD", "VSS"],
+            12.0,
+            i as f64 * 1.0,
+        )?;
+        b.instance(
+            &format!("Xload{i}b"),
+            "INV",
+            &[&format!("ld{i}"), &format!("ldb{i}"), "VDD", "VSS"],
+            12.6,
+            i as f64 * 1.0,
+        )?;
+    }
+    b.instance("Xout", "BUF", &["ckb0", "CKOUT", "VDD", "VSS"], 14.0, 0.0)?;
+
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_and_replica_exist() {
+        let d = generate(SizePreset::Tiny).unwrap();
+        assert!(d.netlist.net_id("osc").is_some());
+        assert!(d.netlist.net_id("rbl").is_some());
+        assert!(d.netlist.net_id("ck_core").is_some());
+        // Replica bitline touches all replica cells: high fanout net.
+        let (g, m) = circuit_graph::netlist_to_graph(&d.netlist);
+        let rbl = m.net_nodes[d.netlist.net_id("rbl").unwrap().0 as usize];
+        assert!(g.degree(rbl) >= 8, "replica bitline degree {}", g.degree(rbl));
+    }
+
+    #[test]
+    fn stage_count_is_odd() {
+        for p in [SizePreset::Tiny, SizePreset::Small, SizePreset::Paper] {
+            assert_eq!(dims(p).0 % 2, 1);
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! SANDWICH-RAM archetype: two SRAM banks around a digital compute layer
+//! (ripple-carry adders, accumulator registers and pulse-width-modulation
+//! delay counters), modeled on the paper's training design [30] — an
+//! in-memory binary-weight-network accelerator where storage and compute
+//! are physically interleaved.
+
+use crate::builder::{BuildDesignError, Design, DesignBuilder};
+use crate::designs::sram_common::{bitcell_array_6t, column_periphery, row_decoder, CELL_H, CELL_W};
+use crate::designs::SizePreset;
+
+/// `(rows_per_bank, cols, adder_width)` per preset.
+pub fn dims(preset: SizePreset) -> (usize, usize, usize) {
+    match preset {
+        SizePreset::Tiny => (6, 8, 4),
+        SizePreset::Small => (24, 16, 8),
+        SizePreset::Paper => (48, 32, 16),
+    }
+}
+
+/// Generates the SANDWICH-RAM design.
+pub fn generate(preset: SizePreset) -> Result<Design, BuildDesignError> {
+    let (rows, cols, adder_w) = dims(preset);
+    let mut b = DesignBuilder::new("SANDWICH_RAM");
+    for p in ["CLK", "CEN", "WEN", "PWM_OUT"] {
+        b.port(p);
+    }
+    let abits = rows.next_power_of_two().trailing_zeros().max(1) as usize;
+    for i in 0..abits {
+        b.port(&format!("A{i}"));
+    }
+    for i in 0..adder_w {
+        b.port(&format!("ACT{i}"));
+    }
+
+    let bank_h = rows as f64 * CELL_H;
+    let compute_h = 6.0;
+
+    // Bottom bank (weights), compute layer, top bank (weights) — the
+    // "sandwich" floorplan.
+    bitcell_array_6t(&mut b, "bb_", rows, cols, 0.0, 0.0)?;
+    row_decoder(&mut b, "bb_", rows, "bb_", 0.0, 0.0)?;
+    column_periphery(&mut b, "bb_", cols, 0.0, bank_h)?;
+
+    let top_y = bank_h + compute_h + 4.0;
+    bitcell_array_6t(&mut b, "tb_", rows, cols, 0.0, top_y)?;
+    row_decoder(&mut b, "tb_", rows, "tb_", 0.0, top_y)?;
+    column_periphery(&mut b, "tb_", cols, 0.0, top_y + bank_h)?;
+
+    // Shared address registers feeding both decoders.
+    for i in 0..abits {
+        b.instance(
+            &format!("Xaff{i}"),
+            "DFF",
+            &[&format!("A{i}"), "clkb_i", &format!("abuf{i}"), "VDD", "VSS"],
+            -5.0,
+            bank_h + i as f64 * 0.8,
+        )?;
+        for (bank, pfx) in [("bb_", "bb_"), ("tb_", "tb_")] {
+            let _ = bank;
+            b.instance(
+                &format!("Xad{pfx}{i}"),
+                "BUF",
+                &[&format!("abuf{i}"), &format!("{pfx}A{i}"), "VDD", "VSS"],
+                -4.2,
+                bank_h + i as f64 * 0.8,
+            )?;
+        }
+    }
+    b.instance("Xcg", "NAND2", &["CLK", "CEN", "clkgb", "VDD", "VSS"], -5.0, bank_h - 1.0)?;
+    b.instance("Xcgi", "INV", &["clkgb", "clkb_i", "VDD", "VSS"], -4.4, bank_h - 1.0)?;
+
+    // Compute layer between the banks: per group of columns a bit-serial
+    // adder slice accumulating (weight XNOR activation) products.
+    let y_cmp = bank_h + 2.0;
+    let groups = cols.div_ceil(4).max(1);
+    for g in 0..groups {
+        let x = (4 * g) as f64 * CELL_W;
+        // XNOR of bottom/top sense-amp outputs with activation bits.
+        b.instance(
+            &format!("Xxn{g}"),
+            "XOR2",
+            &[&format!("bb_SA{g}"), &format!("ACT{}", g % adder_w), &format!("pp{g}"), "VDD", "VSS"],
+            x,
+            y_cmp,
+        )?;
+        // Ripple-carry accumulator of width adder_w.
+        let mut carry = "VSS".to_string();
+        for k in 0..adder_w {
+            let s = format!("sum{g}_{k}");
+            let co = format!("cout{g}_{k}");
+            let acc = format!("acc{g}_{k}");
+            b.instance(
+                &format!("Xfa{g}_{k}"),
+                "FULLADD",
+                &[&format!("pp{g}"), &acc, &carry, &s, &co, "VDD", "VSS"],
+                x + k as f64 * 0.3,
+                y_cmp + 1.0,
+            )?;
+            b.instance(
+                &format!("Xaccr{g}_{k}"),
+                "DFF",
+                &[&s, "clkb_i", &acc, "VDD", "VSS"],
+                x + k as f64 * 0.3,
+                y_cmp + 2.0,
+            )?;
+            carry = co;
+        }
+        // PWM stage: accumulator MSB modulates a delay line.
+        b.instance(
+            &format!("Xpwm{g}"),
+            "RCDELAY",
+            &[&format!("acc{g}_{}", adder_w - 1), &format!("pwm{g}"), "VDD", "VSS"],
+            x,
+            y_cmp + 3.0,
+        )?;
+    }
+    // PWM output combine tree.
+    let mut prev = "pwm0".to_string();
+    for g in 1..groups {
+        let next = format!("pwm_or{g}");
+        b.instance(
+            &format!("Xpor{g}"),
+            "NOR2",
+            &[&prev, &format!("pwm{g}"), &next, "VDD", "VSS"],
+            (4 * g) as f64 * CELL_W,
+            y_cmp + 3.6,
+        )?;
+        prev = next;
+    }
+    b.instance("Xpout", "BUF", &[&prev, "PWM_OUT", "VDD", "VSS"], 0.0, y_cmp + 4.2)?;
+
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sandwich_structure() {
+        let d = generate(SizePreset::Tiny).unwrap();
+        assert!(d.netlist.net_id("bb_BL0").is_some());
+        assert!(d.netlist.net_id("tb_BL0").is_some());
+        assert!(d.netlist.net_id("sum0_0").is_some());
+        assert!(d.netlist.net_id("PWM_OUT").is_some());
+        // Roughly balanced storage vs compute (the paper's point): both
+        // banks plus a substantial adder layer.
+        let (rows, cols, adder_w) = dims(SizePreset::Tiny);
+        let storage = 2 * rows * cols * 6;
+        let compute = cols.div_ceil(4) * adder_w * (28 + 18);
+        let total = d.netlist.num_devices();
+        assert!(total > storage + compute / 2, "total {total} storage {storage}");
+    }
+
+    #[test]
+    fn compute_layer_sits_between_banks() {
+        let d = generate(SizePreset::Tiny).unwrap();
+        let (_, y_bot) = d.placement.device_position("Xbb_bit_r0_c0.M1");
+        let (_, y_fa) = d.placement.device_position("Xfa0_0.Xx1.M1");
+        let (_, y_top) = d.placement.device_position("Xtb_bit_r0_c0.M1");
+        assert!(y_bot < y_fa && y_fa < y_top, "{y_bot} {y_fa} {y_top}");
+    }
+}

@@ -1,0 +1,133 @@
+//! SSRAM archetype: an energy-efficient SRAM macro with a 6T array and a
+//! complete standard-cell periphery (decoders, sense amps, write drivers,
+//! IO latches, control), modeled on the paper's training design [23].
+
+use crate::builder::{BuildDesignError, Design, DesignBuilder};
+use crate::designs::sram_common::{
+    bitcell_array_6t, clock_tree, column_periphery, row_decoder, CELL_H, CELL_W,
+};
+use crate::designs::SizePreset;
+
+/// Array dimensions per preset.
+pub fn dims(preset: SizePreset) -> (usize, usize) {
+    match preset {
+        SizePreset::Tiny => (8, 8),
+        SizePreset::Small => (32, 16),
+        SizePreset::Paper => (64, 32),
+    }
+}
+
+/// Generates the SSRAM design.
+pub fn generate(preset: SizePreset) -> Result<Design, BuildDesignError> {
+    let (rows, cols) = dims(preset);
+    let mut b = DesignBuilder::new("SSRAM");
+    for p in ["CLK", "CEN", "WEN"] {
+        b.port(p);
+    }
+    let abits = rows.next_power_of_two().trailing_zeros().max(1) as usize;
+    for i in 0..abits {
+        b.port(&format!("A{i}"));
+    }
+    let io = cols.div_ceil(4).max(1);
+    for i in 0..io {
+        b.port(&format!("D{i}"));
+        b.port(&format!("Q{i}"));
+    }
+
+    let arr_top = rows as f64 * CELL_H;
+
+    bitcell_array_6t(&mut b, "m_", rows, cols, 0.0, 0.0)?;
+    column_periphery(&mut b, "m_", cols, 0.0, arr_top)?;
+    row_decoder(&mut b, "m_", rows, "m_", 0.0, 0.0)?;
+
+    // Address input latches feeding the decoder address lines.
+    for i in 0..abits {
+        b.instance(
+            &format!("Xaff{i}"),
+            "DFF",
+            &[&format!("A{i}"), "clk_i", &format!("m_A{i}"), "VDD", "VSS"],
+            -4.0,
+            i as f64 * 0.8,
+        )?;
+    }
+
+    // Control logic: clock gate, precharge pulse, SAE pulse, write enable.
+    b.instance("Xcg1", "NAND2", &["CLK", "CEN", "cgb", "VDD", "VSS"], -4.0, arr_top + 1.0)?;
+    b.instance("Xcg2", "INV", &["cgb", "clk_i", "VDD", "VSS"], -3.4, arr_top + 1.0)?;
+    b.instance("Xpc1", "RCDELAY", &["clk_i", "pcd", "VDD", "VSS"], -4.0, arr_top + 1.6)?;
+    b.instance("Xpc2", "NAND2", &["clk_i", "pcd", "m_PCB", "VDD", "VSS"], -3.2, arr_top + 1.6)?;
+    b.instance("Xsae1", "RCDELAY", &["pcd", "saed", "VDD", "VSS"], -4.0, arr_top + 2.2)?;
+    b.instance("Xsae2", "BUF", &["saed", "m_SAE", "VDD", "VSS"], -3.2, arr_top + 2.2)?;
+    b.instance("Xwe1", "NAND2", &["WEN", "clk_i", "wenb", "VDD", "VSS"], -4.0, arr_top + 2.8)?;
+    b.instance("Xwe2", "INV", &["wenb", "m_WEN", "VDD", "VSS"], -3.2, arr_top + 2.8)?;
+    b.instance("Xcs0", "DFF", &["A0", "clk_i", "m_CSEL0", "VDD", "VSS"], -4.0, arr_top + 3.6)?;
+    b.instance("Xcs1", "DFF", &["A1", "clk_i", "m_CSEL1", "VDD", "VSS"], -4.0, arr_top + 4.4)?;
+
+    // Data IO: input latch per D bit (spread over 4 columns), output DFF
+    // per sense amp.
+    for g in 0..io {
+        for k in 0..4usize {
+            let c = 4 * g + k;
+            if c >= cols {
+                break;
+            }
+            b.instance(
+                &format!("Xdin{c}"),
+                "DFF",
+                &[&format!("D{g}"), "clk_i", &format!("m_D{c}"), "VDD", "VSS"],
+                c as f64 * CELL_W,
+                arr_top + 5.2,
+            )?;
+        }
+        b.instance(
+            &format!("Xqout{g}"),
+            "DFF",
+            &[&format!("m_SA{g}"), "clk_i", &format!("Q{g}"), "VDD", "VSS"],
+            (4 * g) as f64 * CELL_W,
+            arr_top + 6.0,
+        )?;
+    }
+
+    // Clock distribution to the wordline-driver rows (loads the clock like
+    // a real macro's decoder strobes).
+    let leaves: Vec<String> = (0..rows.div_ceil(8)).map(|i| format!("ckrow{i}")).collect();
+    clock_tree(&mut b, "ct_", "clk_i", &leaves, -6.0, 0.0)?;
+    for (i, leaf) in leaves.iter().enumerate() {
+        b.instance(
+            &format!("Xckload{i}"),
+            "INV",
+            &[leaf, &format!("ckload{i}"), "VDD", "VSS"],
+            -5.0,
+            i as f64 * 2.0,
+        )?;
+    }
+
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_ssram_structure() {
+        let d = generate(SizePreset::Tiny).unwrap();
+        // 64 bitcells -> 384 array devices; total must exceed that.
+        assert!(d.netlist.num_devices() > 384 + 100);
+        assert!(d.netlist.net_id("m_BL0").is_some());
+        assert!(d.netlist.net_id("m_WL7").is_some());
+        assert!(d.netlist.net_id("m_SAE").is_some());
+        // Ports exist.
+        assert!(d.netlist.net_id("CLK").map(|n| d.netlist.net(n).is_port).unwrap_or(false));
+    }
+
+    #[test]
+    fn array_cells_are_placed_on_grid() {
+        let d = generate(SizePreset::Tiny).unwrap();
+        let (x0, y0) = d.placement.device_position("Xm_bit_r0_c0.M1");
+        let (x1, _) = d.placement.device_position("Xm_bit_r0_c1.M1");
+        let (_, y1) = d.placement.device_position("Xm_bit_r1_c0.M1");
+        assert!((x1 - x0 - CELL_W).abs() < 0.8);
+        assert!((y1 - y0 - CELL_H).abs() < 0.8);
+    }
+}

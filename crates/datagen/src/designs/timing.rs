@@ -1,0 +1,161 @@
+//! TIMING_CONTROL archetype: the SRAM timing-control test design — pure
+//! standard-cell logic producing control pulses (precharge, wordline
+//! enable, sense enable, write enable) from a clock and mode inputs.
+
+use crate::builder::{BuildDesignError, Design, DesignBuilder};
+use crate::designs::SizePreset;
+
+/// `(pipeline_depth, decoder_bits, pulse_chains)` per preset.
+pub fn dims(preset: SizePreset) -> (usize, usize, usize) {
+    match preset {
+        SizePreset::Tiny => (4, 3, 2),
+        SizePreset::Small => (12, 5, 6),
+        SizePreset::Paper => (24, 6, 12),
+    }
+}
+
+/// Generates the TIMING_CONTROL design.
+pub fn generate(preset: SizePreset) -> Result<Design, BuildDesignError> {
+    let (depth, dec_bits, chains) = dims(preset);
+    let mut b = DesignBuilder::new("TIMING_CONTROL");
+    for p in ["CLK", "CEN", "WEN", "RSTB"] {
+        b.port(p);
+    }
+    for i in 0..dec_bits {
+        b.port(&format!("MODE{i}"));
+    }
+    for s in ["PCB", "WLEN", "SAE", "WDRV"] {
+        b.port(s);
+    }
+
+    // Clock gating + internal clock.
+    b.instance("Xcg1", "NAND2", &["CLK", "CEN", "cgb", "VDD", "VSS"], 0.0, 0.0)?;
+    b.instance("Xcg2", "INV", &["cgb", "cki", "VDD", "VSS"], 0.6, 0.0)?;
+
+    // Mode register + one-hot decoder (NAND3 tree over mode bits).
+    for i in 0..dec_bits {
+        b.instance(
+            &format!("Xmr{i}"),
+            "DFF",
+            &[&format!("MODE{i}"), "cki", &format!("md{i}"), "VDD", "VSS"],
+            0.0,
+            1.0 + i as f64 * 0.8,
+        )?;
+        b.instance(
+            &format!("Xmi{i}"),
+            "INV",
+            &[&format!("md{i}"), &format!("mdb{i}"), "VDD", "VSS"],
+            0.8,
+            1.0 + i as f64 * 0.8,
+        )?;
+    }
+    let n_dec = 1usize << dec_bits.min(4);
+    for d in 0..n_dec {
+        let pick = |bit: usize| {
+            if (d >> bit) & 1 == 1 {
+                format!("md{bit}")
+            } else {
+                format!("mdb{bit}")
+            }
+        };
+        let (n0, n1, n2) = (pick(0), pick(1 % dec_bits), pick(2 % dec_bits));
+        b.instance(
+            &format!("Xdec{d}"),
+            "NAND3",
+            &[&n0, &n1, &n2, &format!("sel{d}"), "VDD", "VSS"],
+            2.0,
+            d as f64 * 0.5,
+        )?;
+    }
+
+    // Main pipeline: DFF shift register clocked by cki; taps feed pulse
+    // generators.
+    let mut prev = "cgb".to_string();
+    for s in 0..depth {
+        let q = format!("pipe{s}");
+        b.instance(
+            &format!("Xp{s}"),
+            "DFF",
+            &[&prev, "cki", &q, "VDD", "VSS"],
+            4.0 + s as f64 * 0.9,
+            0.0,
+        )?;
+        prev = q;
+    }
+
+    // Pulse chains: delay line (RCDELAY + inverters) AND-ed with its
+    // undelayed input produces a pulse; selected by the decoder.
+    let outs = ["PCB", "WLEN", "SAE", "WDRV"];
+    for c in 0..chains {
+        let tap = format!("pipe{}", (c * depth / chains).min(depth - 1));
+        let d1 = format!("ch{c}_d1");
+        let d2 = format!("ch{c}_d2");
+        let pulse = format!("ch{c}_p");
+        let y = 3.0 + c as f64 * 1.2;
+        b.instance(&format!("Xcd{c}a"), "RCDELAY", &[&tap, &d1, "VDD", "VSS"], 4.0, y)?;
+        b.instance(&format!("Xcd{c}b"), "INV", &[&d1, &d2, "VDD", "VSS"], 5.0, y)?;
+        b.instance(&format!("Xcp{c}"), "NAND2", &[&tap, &d2, &pulse, "VDD", "VSS"], 5.6, y)?;
+        // Gate with a decoder select and reset.
+        let gated = format!("ch{c}_g");
+        b.instance(
+            &format!("Xcg{c}"),
+            "NAND3",
+            &[&pulse, &format!("sel{}", c % n_dec), "RSTB", &gated, "VDD", "VSS"],
+            6.4,
+            y,
+        )?;
+        let out: &str = outs[c % outs.len()];
+        if c < outs.len() {
+            b.instance(&format!("Xco{c}"), "INVX4", &[&gated, out, "VDD", "VSS"], 7.2, y)?;
+        } else {
+            b.instance(
+                &format!("Xco{c}"),
+                "INVX4",
+                &[&gated, &format!("aux{c}"), "VDD", "VSS"],
+                7.2,
+                y,
+            )?;
+        }
+    }
+
+    // Write path gating.
+    b.instance("Xwg1", "NAND2", &["WEN", "cki", "wgb", "VDD", "VSS"], 0.0, 8.0)?;
+    b.instance("Xwg2", "BUF", &["wgb", "wen_i", "VDD", "VSS"], 0.8, 8.0)?;
+    b.instance("Xwg3", "NOR2", &["wen_i", "ch0_p", "wcomb", "VDD", "VSS"], 1.6, 8.0)?;
+
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ams_netlist::DeviceKind;
+
+    #[test]
+    fn pure_digital_content() {
+        let d = generate(SizePreset::Tiny).unwrap();
+        // Mostly MOS; the only passives are in the RC delay cells.
+        let mos = d.netlist.devices().filter(|(_, x)| x.kind.is_mos()).count();
+        let total = d.netlist.num_devices();
+        assert!(mos as f64 / total as f64 > 0.9, "{mos}/{total}");
+        assert!(d
+            .netlist
+            .devices()
+            .any(|(_, x)| x.kind == DeviceKind::Capacitor));
+    }
+
+    #[test]
+    fn control_outputs_exist() {
+        let d = generate(SizePreset::Tiny).unwrap();
+        for p in ["PCB", "WLEN", "SAE", "WDRV"] {
+            assert!(d.netlist.net_id(p).is_some(), "missing {p}");
+        }
+    }
+
+    #[test]
+    fn pipeline_scales_with_preset() {
+        let t = generate(SizePreset::Tiny).unwrap();
+        let s = generate(SizePreset::Small).unwrap();
+        assert!(s.netlist.num_devices() > t.netlist.num_devices() * 2);
+    }
+}

@@ -1,0 +1,193 @@
+//! ULTRA8T archetype: a multi-voltage sub-threshold 8T SRAM with analog
+//! leakage detection, modeled on the paper's training design [29]. Large
+//! analog modules (reference generator, differential sensing, comparators,
+//! current mirrors) coexist with SRAM banks and level shifters between the
+//! VDDL core and VDDH periphery domains.
+
+use crate::builder::{BuildDesignError, Design, DesignBuilder};
+use crate::designs::sram_common::{bitcell_array_8t, row_decoder, CELL_H, CELL_W};
+use crate::designs::SizePreset;
+
+/// `(rows, cols, banks)` per preset.
+pub fn dims(preset: SizePreset) -> (usize, usize, usize) {
+    match preset {
+        SizePreset::Tiny => (8, 8, 1),
+        SizePreset::Small => (32, 16, 2),
+        SizePreset::Paper => (64, 32, 4),
+    }
+}
+
+/// Generates the ULTRA8T design.
+pub fn generate(preset: SizePreset) -> Result<Design, BuildDesignError> {
+    let (rows, cols, banks) = dims(preset);
+    let mut b = DesignBuilder::new("ULTRA8T");
+    for p in ["CLK", "CEN", "WEN", "VDDL", "VDDH", "LEAKOUT"] {
+        b.port(p);
+    }
+    let abits = rows.next_power_of_two().trailing_zeros().max(1) as usize;
+    for i in 0..abits {
+        b.port(&format!("A{i}"));
+    }
+
+    let bank_w = cols as f64 * CELL_W * 1.3 + 4.0;
+    for bk in 0..banks {
+        let p = format!("b{bk}_");
+        let x0 = bk as f64 * bank_w;
+        bitcell_array_8t(&mut b, &p, rows, cols, x0, 0.0)?;
+        row_decoder(&mut b, &p, rows, &format!("{p}W"), x0, 0.0)?;
+        // Bind decoder address lines to the shifted address bus.
+        for i in 0..abits {
+            b.instance(
+                &format!("X{p}abuf{i}"),
+                "BUF",
+                &[&format!("a_h{i}"), &format!("{p}A{i}"), "VDD", "VSS"],
+                x0 - 3.0,
+                i as f64 * 0.5,
+            )?;
+        }
+        let arr_top = rows as f64 * CELL_H * 1.2;
+        // Read wordline drivers (separate read port).
+        for r in 0..rows {
+            b.instance(
+                &format!("X{p}rwld{r}"),
+                "WLDRV",
+                &[&format!("{p}decb{r}"), &format!("{p}RWL{r}"), "VDD", "VSS"],
+                x0 - 0.2,
+                r as f64 * CELL_H * 1.2,
+            )?;
+        }
+        // Write drivers and read sensing per column: sub-threshold read
+        // uses a differential amplifier on the read bitline vs a reference.
+        for c in 0..cols {
+            let x = x0 + c as f64 * CELL_W * 1.3;
+            b.instance(
+                &format!("X{p}wd{c}"),
+                "WRDRV",
+                &[
+                    &format!("{p}D{c}"),
+                    "wen_l",
+                    &format!("{p}WBL{c}"),
+                    &format!("{p}WBLB{c}"),
+                    "VDD",
+                    "VSS",
+                ],
+                x,
+                arr_top + 0.6,
+            )?;
+            if c % 4 == 0 {
+                b.instance(
+                    &format!("X{p}rs{c}"),
+                    "DIFFAMP",
+                    &[&format!("{p}RBL{c}"), "vref", &format!("{p}RO{c}"), "vbn", "VDD", "VSS"],
+                    x,
+                    arr_top + 1.4,
+                )?;
+            }
+        }
+        // Level shifters VDDL -> VDDH on bank outputs.
+        for c in (0..cols).step_by(4) {
+            b.instance(
+                &format!("X{p}ls{c}"),
+                "LVLSHIFT",
+                &[&format!("{p}RO{c}"), &format!("{p}QH{c}"), "VDDL", "VDDH", "VSS"],
+                x0 + c as f64 * CELL_W * 1.3,
+                arr_top + 2.2,
+            )?;
+        }
+        // Leakage detection replica column: comparator against the
+        // reference plus a current mirror bias.
+        b.instance(
+            &format!("X{p}leakcmp"),
+            "COMPARATOR",
+            &[
+                &format!("{p}RBL0"),
+                "vref",
+                "CLK",
+                &format!("{p}leakp"),
+                &format!("{p}leakn"),
+                "VDD",
+                "VSS",
+            ],
+            x0 + bank_w - 2.0,
+            arr_top + 2.2,
+        )?;
+        b.instance(
+            &format!("X{p}mir"),
+            "CURMIR",
+            &["ibias", &format!("{p}ileak"), "VSS"],
+            x0 + bank_w - 1.0,
+            arr_top + 2.8,
+        )?;
+    }
+
+    // Shared analog: bandgap-ish reference, bias amp, RC filter.
+    let ax = banks as f64 * bank_w + 2.0;
+    b.instance("Xvref", "VREF", &["vref", "VDD", "VSS"], ax, 0.0)?;
+    b.instance("Xbias", "DIFFAMP", &["vref", "vfb", "vbn", "vbn", "VDD", "VSS"], ax, 2.0)?;
+    b.instance("Xfb", "RCDELAY", &["vbn", "vfb", "VDD", "VSS"], ax, 3.0)?;
+    b.raw_device("Rbias vref ibias rpoly R=100k W=0.4u L=40u", ax, 4.0);
+    b.raw_device("Cbias ibias VSS mim C=1p L=12u NF=6", ax, 4.5);
+    // Leakage summary OR-tree across banks.
+    let mut prev = "b0_leakp".to_string();
+    for bk in 1..banks {
+        let next = format!("lk_or{bk}");
+        b.instance(
+            &format!("Xlkor{bk}"),
+            "NOR2",
+            &[&prev, &format!("b{bk}_leakp"), &next, "VDD", "VSS"],
+            ax,
+            5.0 + bk as f64 * 0.5,
+        )?;
+        prev = next;
+    }
+    b.instance("Xlkout", "BUF", &[&prev, "LEAKOUT", "VDD", "VSS"], ax, 5.0)?;
+
+    // Address level shifters into the VDDH domain + write-enable gating.
+    for i in 0..abits {
+        b.instance(
+            &format!("Xals{i}"),
+            "LVLSHIFT",
+            &[&format!("A{i}"), &format!("a_h{i}"), "VDDL", "VDDH", "VSS"],
+            -2.0,
+            i as f64 * 0.6,
+        )?;
+    }
+    b.instance("Xweg", "NAND2", &["WEN", "CEN", "wengb", "VDD", "VSS"], -2.0, 5.0)?;
+    b.instance("Xwei", "INV", &["wengb", "wen_l", "VDD", "VSS"], -1.4, 5.0)?;
+
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ams_netlist::DeviceKind;
+
+    #[test]
+    fn has_analog_and_memory_content() {
+        let d = generate(SizePreset::Tiny).unwrap();
+        let kinds: Vec<DeviceKind> =
+            d.netlist.devices().map(|(_, dev)| dev.kind).collect();
+        assert!(kinds.contains(&DeviceKind::Resistor), "analog resistors present");
+        assert!(kinds.contains(&DeviceKind::Capacitor), "analog capacitors present");
+        assert!(kinds.contains(&DeviceKind::Diode), "vref diode present");
+        assert!(d.netlist.net_id("b0_RBL0").is_some());
+        assert!(d.netlist.net_id("vref").is_some());
+    }
+
+    #[test]
+    fn multi_voltage_ports() {
+        let d = generate(SizePreset::Tiny).unwrap();
+        for p in ["VDDL", "VDDH", "LEAKOUT"] {
+            let id = d.netlist.net_id(p).unwrap();
+            assert!(d.netlist.net(id).is_port, "{p} must be a port");
+        }
+    }
+
+    #[test]
+    fn banks_scale() {
+        let t = generate(SizePreset::Tiny).unwrap();
+        let s = generate(SizePreset::Small).unwrap();
+        assert!(s.netlist.num_devices() > 3 * t.netlist.num_devices());
+    }
+}

@@ -1,0 +1,52 @@
+//! # ams-datagen
+//!
+//! Synthetic AMS design generation for the CirGPS reproduction. The
+//! paper's datasets are proprietary 28 nm designs; this crate generates
+//! the same six *archetypes* (Table IV) as real hierarchical SPICE —
+//! SRAM arrays with full periphery, multi-voltage analog blocks,
+//! compute-in-memory structures and standard-cell control logic — places
+//! them on a floorplan, and synthesizes post-layout parasitic ground truth
+//! through a geometric extraction model written to SPF.
+//!
+//! ## Example
+//!
+//! ```
+//! use ams_datagen::{generate, extract_parasitics, DesignKind, ExtractConfig, SizePreset};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let design = generate(DesignKind::Ssram, SizePreset::Tiny)?;
+//! let spf = extract_parasitics(&design, &ExtractConfig::default());
+//! println!("{}: {} devices, {} couplings",
+//!     design.name, design.netlist.num_devices(), spf.coupling_caps.len());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod builder;
+mod cells;
+mod designs;
+mod extract;
+
+pub use builder::{BuildDesignError, Design, DesignBuilder, Placement};
+pub use cells::{cell_device_count, cell_ports, library_spice};
+pub use designs::{generate, DesignKind, SizePreset};
+pub use extract::{extract_parasitics, ExtractConfig};
+
+/// Convenience: generates a design and its parasitic ground truth in one
+/// call with a seed for extraction jitter.
+///
+/// # Errors
+///
+/// Propagates generator errors (see [`generate`]).
+pub fn generate_with_parasitics(
+    kind: DesignKind,
+    preset: SizePreset,
+    seed: u64,
+) -> Result<(Design, ams_netlist::SpfFile), BuildDesignError> {
+    let design = generate(kind, preset)?;
+    let cfg = ExtractConfig { seed, ..Default::default() };
+    let spf = extract_parasitics(&design, &cfg);
+    Ok((design, spf))
+}

@@ -1,0 +1,161 @@
+//! Reusable breadth-first search scratch space.
+//!
+//! Enclosing-subgraph sampling runs thousands of small BFS traversals over
+//! a graph with millions of nodes; allocating a fresh distance array per
+//! query would dominate the runtime. [`BfsScratch`] keeps a versioned
+//! distance array so a reset is `O(1)`.
+
+use crate::graph::CircuitGraph;
+
+/// Versioned BFS scratch for repeated limited-hop traversals.
+///
+/// # Examples
+///
+/// ```
+/// use circuit_graph::{BfsScratch, EdgeType, GraphBuilder, NodeType};
+///
+/// let mut b = GraphBuilder::new();
+/// let a = b.add_node(NodeType::Net, "a");
+/// let p = b.add_node(NodeType::Pin, "p");
+/// b.add_edge(a, p, EdgeType::NetPin);
+/// let g = b.build();
+///
+/// let mut bfs = BfsScratch::new(g.num_nodes());
+/// let visited = bfs.run(&g, a, 1);
+/// assert_eq!(visited, vec![a, p]);
+/// assert_eq!(bfs.distance(p), Some(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BfsScratch {
+    dist: Vec<u32>,
+    stamp: Vec<u32>,
+    epoch: u32,
+    queue: std::collections::VecDeque<u32>,
+}
+
+impl BfsScratch {
+    /// Creates scratch space for a graph with `num_nodes` nodes.
+    pub fn new(num_nodes: usize) -> Self {
+        BfsScratch {
+            dist: vec![0; num_nodes],
+            stamp: vec![0; num_nodes],
+            epoch: 0,
+            queue: std::collections::VecDeque::new(),
+        }
+    }
+
+    /// Runs a BFS from `src` up to `max_hops`, returning visited nodes in
+    /// BFS order (including `src`). Distances remain queryable via
+    /// [`BfsScratch::distance`] until the next `run`/`run_multi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scratch was sized for a smaller graph.
+    pub fn run(&mut self, graph: &CircuitGraph, src: u32, max_hops: u32) -> Vec<u32> {
+        self.run_multi(graph, &[src], max_hops)
+    }
+
+    /// Multi-source BFS (used for the union neighborhood of link anchors).
+    pub fn run_multi(&mut self, graph: &CircuitGraph, sources: &[u32], max_hops: u32) -> Vec<u32> {
+        assert!(self.dist.len() >= graph.num_nodes(), "scratch sized for smaller graph");
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Stamp wrap-around: clear everything once every 2^32 runs.
+            self.stamp.iter_mut().for_each(|s| *s = u32::MAX);
+            self.epoch = 1;
+        }
+        self.queue.clear();
+        let mut order = Vec::new();
+        for &s in sources {
+            if self.stamp[s as usize] != self.epoch {
+                self.stamp[s as usize] = self.epoch;
+                self.dist[s as usize] = 0;
+                self.queue.push_back(s);
+                order.push(s);
+            }
+        }
+        while let Some(v) = self.queue.pop_front() {
+            let d = self.dist[v as usize];
+            if d >= max_hops {
+                continue;
+            }
+            for &n in graph.adjacency(v).0 {
+                if self.stamp[n as usize] != self.epoch {
+                    self.stamp[n as usize] = self.epoch;
+                    self.dist[n as usize] = d + 1;
+                    self.queue.push_back(n);
+                    order.push(n);
+                }
+            }
+        }
+        order
+    }
+
+    /// Distance of `v` from the most recent run's sources, if reached.
+    pub fn distance(&self, v: u32) -> Option<u32> {
+        (self.stamp[v as usize] == self.epoch).then(|| self.dist[v as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+    use crate::types::{EdgeType, NodeType};
+
+    fn path(n: usize) -> CircuitGraph {
+        let mut b = GraphBuilder::new();
+        let ids: Vec<u32> = (0..n)
+            .map(|i| {
+                b.add_node(if i % 2 == 0 { NodeType::Net } else { NodeType::Pin }, &format!("v{i}"))
+            })
+            .collect();
+        for w in ids.windows(2) {
+            b.add_edge(w[0], w[1], EdgeType::NetPin);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn single_source_matches_graph_bfs() {
+        let g = path(8);
+        let mut s = BfsScratch::new(g.num_nodes());
+        s.run(&g, 0, 3);
+        let reference = g.bfs_distances(0, 3);
+        for v in 0..8u32 {
+            let expected = (reference[v as usize] != u32::MAX).then(|| reference[v as usize]);
+            assert_eq!(s.distance(v), expected, "node {v}");
+        }
+    }
+
+    #[test]
+    fn multi_source_union() {
+        let g = path(10);
+        let mut s = BfsScratch::new(g.num_nodes());
+        let visited = s.run_multi(&g, &[0, 9], 1);
+        // 0,9 plus their 1-hop neighbors 1 and 8.
+        assert_eq!(visited.len(), 4);
+        assert_eq!(s.distance(1), Some(1));
+        assert_eq!(s.distance(8), Some(1));
+        assert_eq!(s.distance(5), None);
+    }
+
+    #[test]
+    fn epochs_reset_cheaply() {
+        let g = path(5);
+        let mut s = BfsScratch::new(g.num_nodes());
+        s.run(&g, 0, 4);
+        assert_eq!(s.distance(4), Some(4));
+        s.run(&g, 4, 0);
+        assert_eq!(s.distance(0), None);
+        assert_eq!(s.distance(4), Some(0));
+    }
+
+    #[test]
+    fn duplicate_sources_ok() {
+        let g = path(4);
+        let mut s = BfsScratch::new(g.num_nodes());
+        let visited = s.run_multi(&g, &[2, 2], 1);
+        assert_eq!(visited.len(), 3); // 2, 1, 3
+    }
+}

@@ -1,0 +1,384 @@
+//! Netlist → heterogeneous graph conversion ("AMS netlist conversion",
+//! step 1 of the paper's pipeline) including the circuit-statistics matrix
+//! `XC` of Table I.
+
+use std::collections::HashMap;
+
+use ams_netlist::{DeviceKind, Netlist, SpfNode};
+
+use crate::graph::{CircuitGraph, GraphBuilder, NodeOrigin};
+use crate::types::{EdgeType, NodeType, PinKind};
+
+/// Unit scale for geometric statistics: meters → microns keeps the raw
+/// feature magnitudes near 1 for 28 nm-class devices.
+const UM: f64 = 1e6;
+
+/// Table I dimension indices for net-node statistics.
+pub mod net_dims {
+    /// \# of connected transistors.
+    pub const TRANSISTORS: usize = 0;
+    /// \# of connected gate terminals.
+    pub const GATES: usize = 1;
+    /// \# of connected source/drain terminals.
+    pub const SOURCE_DRAIN: usize = 2;
+    /// \# of connected base (bulk) terminals.
+    pub const BASE: usize = 3;
+    /// Total width of connected transistors (µm).
+    pub const MOS_WIDTH: usize = 4;
+    /// Total length of connected transistors (µm).
+    pub const MOS_LENGTH: usize = 5;
+    /// \# of connected capacitors.
+    pub const CAPACITORS: usize = 6;
+    /// Total length of connected capacitors (µm).
+    pub const CAP_LENGTH: usize = 7;
+    /// Total # of connected capacitor fingers.
+    pub const CAP_FINGERS: usize = 8;
+    /// \# of connected resistors.
+    pub const RESISTORS: usize = 9;
+    /// Total width of connected resistors (µm).
+    pub const RES_WIDTH: usize = 10;
+    /// Total length of connected resistors (µm).
+    pub const RES_LENGTH: usize = 11;
+    /// \# of connected ports (1 if the net itself is a port).
+    pub const PORTS: usize = 12;
+}
+
+/// Table I dimension indices for device-node statistics.
+pub mod device_dims {
+    /// Multiplier of transistors.
+    pub const MOS_MULT: usize = 0;
+    /// Length of the transistor (µm).
+    pub const MOS_LENGTH: usize = 1;
+    /// Width of the transistor (µm).
+    pub const MOS_WIDTH: usize = 2;
+    /// Multiplier of connected resistors.
+    pub const RES_MULT: usize = 3;
+    /// Length of resistor (µm).
+    pub const RES_LENGTH: usize = 4;
+    /// Width of resistor (µm).
+    pub const RES_WIDTH: usize = 5;
+    /// Multiplier of connected capacitor.
+    pub const CAP_MULT: usize = 6;
+    /// Length of capacitor (µm).
+    pub const CAP_LENGTH: usize = 7;
+    /// \# of capacitor fingers.
+    pub const CAP_FINGERS: usize = 8;
+    /// \# of ports (pins) in the device instance.
+    pub const PORTS: usize = 9;
+    /// Type code of the device instance.
+    pub const TYPE_CODE: usize = 10;
+}
+
+fn device_type_code(kind: DeviceKind) -> f32 {
+    match kind {
+        DeviceKind::Nmos => 1.0,
+        DeviceKind::Pmos => 2.0,
+        DeviceKind::Resistor => 3.0,
+        DeviceKind::Capacitor => 4.0,
+        DeviceKind::Diode => 5.0,
+    }
+}
+
+/// Mapping from netlist entities to graph node ids, kept alongside the
+/// graph so SPF parasitics can be joined back onto nodes.
+#[derive(Debug, Clone, Default)]
+pub struct NodeMap {
+    /// Net id → node id (indexed by `NetId.0`).
+    pub net_nodes: Vec<u32>,
+    /// Device id → node id (indexed by `DeviceId.0`).
+    pub device_nodes: Vec<u32>,
+    /// `(device index, net node)` → pin node.
+    pin_nodes: HashMap<(u32, u32), u32>,
+    name_to_net: HashMap<String, u32>,
+    name_to_device: HashMap<String, u32>,
+}
+
+impl NodeMap {
+    /// Pin node of `device` connected to graph node `net_node`, if any.
+    pub fn pin_node(&self, device: u32, net_node: u32) -> Option<u32> {
+        self.pin_nodes.get(&(device, net_node)).copied()
+    }
+
+    /// Resolves an SPF node reference to a graph node id.
+    ///
+    /// Net references resolve to net nodes; pin references (`device:PIN`)
+    /// resolve to the merged pin node for that terminal's net.
+    pub fn resolve(&self, netlist: &Netlist, node: &SpfNode) -> Option<u32> {
+        match node {
+            SpfNode::Net(name) => self.name_to_net.get(name).copied(),
+            SpfNode::Pin { device, pin } => {
+                let &dev_node = self.name_to_device.get(device)?;
+                let (dev_id, dev) = netlist.device_by_name(device)?;
+                let term_idx =
+                    dev.kind.terminal_names().iter().position(|t| t == pin)?;
+                let net = dev.terminals[term_idx];
+                let net_node = *self.net_nodes.get(net.0 as usize)?;
+                let _ = (dev_node, dev_id);
+                self.pin_node(self.name_to_device[device], net_node)
+            }
+        }
+    }
+}
+
+/// Converts a flattened netlist to the heterogeneous graph of Section
+/// III-A, computing `XC` statistics (Table I) along the way.
+///
+/// Terminals of one device that share a net are merged into a single pin
+/// node (as in the paper's Fig. 1, where source and bulk of `M1` share one
+/// pin). Returns the graph and a [`NodeMap`] for joining SPF parasitics.
+///
+/// # Examples
+///
+/// ```
+/// use ams_netlist::SpiceFile;
+/// use circuit_graph::netlist_to_graph;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let src = "
+/// .SUBCKT BUF N1 N2 N3 N4
+/// M1 N2 N1 N3 N3 nch W=0.1u L=0.03u
+/// M2 N2 N1 N4 N4 pch W=0.4u L=0.03u
+/// .ENDS
+/// ";
+/// let nl = SpiceFile::parse(src)?.flatten("BUF")?;
+/// let (graph, _map) = netlist_to_graph(&nl);
+/// // Fig. 1: 4 nets + 2 devices + 6 pins.
+/// assert_eq!(graph.num_nodes(), 12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn netlist_to_graph(netlist: &Netlist) -> (CircuitGraph, NodeMap) {
+    let mut b = GraphBuilder::new();
+    let mut map = NodeMap::default();
+
+    // Net nodes.
+    for (id, net) in netlist.nets() {
+        let v = b.add_node_with_origin(NodeType::Net, &net.name, NodeOrigin::Net(id));
+        map.net_nodes.push(v);
+        map.name_to_net.insert(net.name.clone(), v);
+        if net.is_port {
+            b.set_xc(v, net_dims::PORTS, 1.0);
+        }
+    }
+
+    // Device + pin nodes.
+    for (dev_id, dev) in netlist.devices() {
+        let d = b.add_node_with_origin(NodeType::Device, &dev.name, NodeOrigin::Device(dev_id));
+        map.device_nodes.push(d);
+        map.name_to_device.insert(dev.name.clone(), d);
+
+        let p = &dev.params;
+        match dev.kind {
+            DeviceKind::Nmos | DeviceKind::Pmos => {
+                b.set_xc(d, device_dims::MOS_MULT, p.multiplier as f32);
+                b.set_xc(d, device_dims::MOS_LENGTH, (p.length * UM) as f32);
+                b.set_xc(d, device_dims::MOS_WIDTH, (p.width * UM) as f32);
+            }
+            DeviceKind::Resistor => {
+                b.set_xc(d, device_dims::RES_MULT, p.multiplier as f32);
+                b.set_xc(d, device_dims::RES_LENGTH, (p.length * UM) as f32);
+                b.set_xc(d, device_dims::RES_WIDTH, (p.width * UM) as f32);
+            }
+            DeviceKind::Capacitor => {
+                b.set_xc(d, device_dims::CAP_MULT, p.multiplier as f32);
+                b.set_xc(d, device_dims::CAP_LENGTH, (p.length * UM) as f32);
+                b.set_xc(d, device_dims::CAP_FINGERS, p.fingers as f32);
+            }
+            DeviceKind::Diode => {}
+        }
+        b.set_xc(d, device_dims::TYPE_CODE, device_type_code(dev.kind));
+
+        // One pin node per distinct connected net.
+        let term_names = dev.kind.terminal_names();
+        let mut n_pins = 0.0f32;
+        for (ti, &net) in dev.terminals.iter().enumerate() {
+            let net_node = map.net_nodes[net.0 as usize];
+            let key = (d, net_node);
+            if map.pin_nodes.contains_key(&key) {
+                continue;
+            }
+            let kind = PinKind::from_terminal(term_names[ti]);
+            let pin_name = format!("{}:{}", dev.name, term_names[ti]);
+            let pv = b.add_node_with_origin(
+                NodeType::Pin,
+                &pin_name,
+                NodeOrigin::Pin { device: dev_id, kind, net },
+            );
+            b.set_xc(pv, 0, kind.code() as f32);
+            b.add_edge(d, pv, EdgeType::DevicePin);
+            b.add_edge(net_node, pv, EdgeType::NetPin);
+            map.pin_nodes.insert(key, pv);
+            n_pins += 1.0;
+        }
+        b.set_xc(d, device_dims::PORTS, n_pins);
+
+        // Accumulate net-side statistics per terminal (not per merged pin:
+        // a net touching both S and B of a MOS sees both counted, matching
+        // "number of connected ... terminals").
+        for (ti, &net) in dev.terminals.iter().enumerate() {
+            let nv = map.net_nodes[net.0 as usize];
+            match dev.kind {
+                DeviceKind::Nmos | DeviceKind::Pmos => {
+                    match PinKind::from_terminal(term_names[ti]) {
+                        PinKind::Gate => b.add_xc(nv, net_dims::GATES, 1.0),
+                        PinKind::Drain | PinKind::Source => {
+                            b.add_xc(nv, net_dims::SOURCE_DRAIN, 1.0)
+                        }
+                        PinKind::Bulk => b.add_xc(nv, net_dims::BASE, 1.0),
+                        _ => {}
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Per-device (not per-terminal) net statistics: count each device
+        // once per distinct connected net.
+        let mut seen = Vec::new();
+        for &net in &dev.terminals {
+            if seen.contains(&net) {
+                continue;
+            }
+            seen.push(net);
+            let nv = map.net_nodes[net.0 as usize];
+            match dev.kind {
+                DeviceKind::Nmos | DeviceKind::Pmos => {
+                    b.add_xc(nv, net_dims::TRANSISTORS, p.multiplier.max(1.0) as f32);
+                    b.add_xc(nv, net_dims::MOS_WIDTH, (p.width * UM) as f32);
+                    b.add_xc(nv, net_dims::MOS_LENGTH, (p.length * UM) as f32);
+                }
+                DeviceKind::Capacitor => {
+                    b.add_xc(nv, net_dims::CAPACITORS, 1.0);
+                    b.add_xc(nv, net_dims::CAP_LENGTH, (p.length * UM) as f32);
+                    b.add_xc(nv, net_dims::CAP_FINGERS, p.fingers as f32);
+                }
+                DeviceKind::Resistor => {
+                    b.add_xc(nv, net_dims::RESISTORS, 1.0);
+                    b.add_xc(nv, net_dims::RES_WIDTH, (p.width * UM) as f32);
+                    b.add_xc(nv, net_dims::RES_LENGTH, (p.length * UM) as f32);
+                }
+                DeviceKind::Diode => {}
+            }
+        }
+    }
+
+    (b.build(), map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ams_netlist::SpiceFile;
+
+    const BUFFER: &str = "
+.SUBCKT BUF N1 N2 N3 N4
+M1 N2 N1 N3 N3 nch W=0.1u L=0.03u
+M2 N2 N1 N4 N4 pch W=0.4u L=0.03u
+.ENDS
+";
+
+    fn buffer_graph() -> (CircuitGraph, NodeMap, Netlist) {
+        let nl = SpiceFile::parse(BUFFER).unwrap().flatten("BUF").unwrap();
+        let (g, m) = netlist_to_graph(&nl);
+        (g, m, nl)
+    }
+
+    #[test]
+    fn figure1_node_and_edge_counts() {
+        let (g, _, _) = buffer_graph();
+        // Fig. 1: nets N1..N4, devices M1 M2, pins P1..P6.
+        assert_eq!(g.node_type_counts(), [4, 2, 6]);
+        // Each pin has one device edge and one net edge.
+        let e = g.edge_type_counts();
+        assert_eq!(e[EdgeType::DevicePin.code()], 6);
+        assert_eq!(e[EdgeType::NetPin.code()], 6);
+    }
+
+    #[test]
+    fn shared_source_bulk_pin_is_merged() {
+        let (g, m, nl) = buffer_graph();
+        let (m1_id, _) = nl.device_by_name("M1").unwrap();
+        let d = m.device_nodes[m1_id.0 as usize];
+        // M1 touches 3 distinct nets (N2, N1, N3), so 3 pins.
+        let pin_count = g.neighbors(d).filter(|(_, t)| *t == EdgeType::DevicePin).count();
+        assert_eq!(pin_count, 3);
+    }
+
+    #[test]
+    fn net_statistics_match_table1_semantics() {
+        let (g, m, nl) = buffer_graph();
+        let n1 = m.net_nodes[nl.net_id("N1").unwrap().0 as usize];
+        let row = g.xc_row(n1);
+        // N1 is the gate of both transistors.
+        assert_eq!(row[net_dims::TRANSISTORS], 2.0);
+        assert_eq!(row[net_dims::GATES], 2.0);
+        assert_eq!(row[net_dims::SOURCE_DRAIN], 0.0);
+        // Total widths: 0.1 + 0.4 µm.
+        assert!((row[net_dims::MOS_WIDTH] - 0.5).abs() < 1e-4);
+        assert_eq!(row[net_dims::PORTS], 1.0);
+
+        let n3 = m.net_nodes[nl.net_id("N3").unwrap().0 as usize];
+        let row3 = g.xc_row(n3);
+        // N3 is source+bulk of M1: one transistor, 1 S/D terminal, 1 base.
+        assert_eq!(row3[net_dims::TRANSISTORS], 1.0);
+        assert_eq!(row3[net_dims::SOURCE_DRAIN], 1.0);
+        assert_eq!(row3[net_dims::BASE], 1.0);
+    }
+
+    #[test]
+    fn device_statistics() {
+        let (g, m, nl) = buffer_graph();
+        let (m2_id, _) = nl.device_by_name("M2").unwrap();
+        let d = m.device_nodes[m2_id.0 as usize];
+        let row = g.xc_row(d);
+        assert!((row[device_dims::MOS_WIDTH] - 0.4).abs() < 1e-4);
+        assert!((row[device_dims::MOS_LENGTH] - 0.03).abs() < 1e-4);
+        assert_eq!(row[device_dims::PORTS], 3.0);
+        assert_eq!(row[device_dims::TYPE_CODE], 2.0); // pmos
+    }
+
+    #[test]
+    fn pin_statistics_and_names() {
+        let (g, m, nl) = buffer_graph();
+        let (m1_id, m1) = nl.device_by_name("M1").unwrap();
+        let gate_net = m1.terminals[1];
+        let gate_net_node = m.net_nodes[gate_net.0 as usize];
+        let pin = m.pin_node(m.device_nodes[m1_id.0 as usize], gate_net_node).unwrap();
+        assert_eq!(g.node_type(pin), NodeType::Pin);
+        assert_eq!(g.xc_row(pin)[0], PinKind::Gate.code() as f32);
+        assert_eq!(g.node_name(pin), "M1:G");
+    }
+
+    #[test]
+    fn spf_resolution() {
+        let (_, m, nl) = buffer_graph();
+        let n = m.resolve(&nl, &SpfNode::Net("N2".into()));
+        assert!(n.is_some());
+        let p = m.resolve(&nl, &SpfNode::Pin { device: "M1".into(), pin: "G".into() });
+        assert!(p.is_some());
+        // Bulk resolves to the same merged pin as source for M1.
+        let s = m.resolve(&nl, &SpfNode::Pin { device: "M1".into(), pin: "S".into() });
+        let b = m.resolve(&nl, &SpfNode::Pin { device: "M1".into(), pin: "B".into() });
+        assert_eq!(s, b);
+        assert!(m.resolve(&nl, &SpfNode::Net("nope".into())).is_none());
+    }
+
+    #[test]
+    fn rc_statistics_accumulate() {
+        let src = "
+.SUBCKT T A B
+R1 A B rp W=1u L=10u
+C1 A B mom L=5u NF=8
+C2 A B mom L=3u NF=4
+.ENDS
+";
+        let nl = SpiceFile::parse(src).unwrap().flatten("T").unwrap();
+        let (g, m) = netlist_to_graph(&nl);
+        let a = m.net_nodes[nl.net_id("A").unwrap().0 as usize];
+        let row = g.xc_row(a);
+        assert_eq!(row[net_dims::RESISTORS], 1.0);
+        assert_eq!(row[net_dims::CAPACITORS], 2.0);
+        assert!((row[net_dims::CAP_LENGTH] - 8.0).abs() < 1e-4);
+        assert_eq!(row[net_dims::CAP_FINGERS], 12.0);
+        assert!((row[net_dims::RES_LENGTH] - 10.0).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,40 @@
+//! # ams-netlist
+//!
+//! SPICE schematic netlists and DSPF parasitic files for the CirGPS
+//! reproduction: an in-memory [`Netlist`] model, a parser for the SPICE
+//! subset that AMS schematic exporters emit (with hierarchical `.SUBCKT`
+//! flattening), a writer, and a simplified [`SpfFile`] reader/writer used
+//! to interchange parasitic-capacitance ground truth.
+//!
+//! ## Example
+//!
+//! ```
+//! use ams_netlist::SpiceFile;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let src = "
+//! .SUBCKT INV A Z VDD VSS
+//! M1 Z A VSS VSS nch W=0.1u L=0.03u
+//! M2 Z A VDD VDD pch W=0.4u L=0.03u
+//! .ENDS
+//! ";
+//! let file = SpiceFile::parse(src)?;
+//! let flat = file.flatten("INV")?;
+//! assert_eq!(flat.num_devices(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod ast;
+mod parser;
+mod spf;
+mod units;
+mod writer;
+
+pub use ast::{Device, DeviceId, DeviceKind, DeviceParams, Net, NetId, Netlist};
+pub use parser::{Element, ParseSpiceError, SpiceFile, Subckt};
+pub use spf::{CouplingCap, GroundCap, ParseSpfError, SpfFile, SpfNode};
+pub use units::{format_spice_value, parse_spice_value, ParseValueError};
+pub use writer::netlist_to_spice;

@@ -1,0 +1,506 @@
+//! Parser for the SPICE netlist subset emitted by AMS schematic exporters.
+//!
+//! Supported syntax: `.SUBCKT`/`.ENDS` definitions, `.GLOBAL`, comment and
+//! continuation lines, `M`/`R`/`C`/`D` primitives with `K=V` parameters and
+//! `X` subcircuit instances. Hierarchical designs are flattened with
+//! dotted instance prefixes (`Xcell0.M1`), which is the naming convention
+//! the SPF ground-truth files use as well.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use crate::ast::{DeviceKind, DeviceParams, Netlist};
+use crate::units::parse_spice_value;
+
+/// A parsed element line inside a subcircuit (or at top level).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Element {
+    /// A primitive device.
+    Device {
+        /// Instance name as written (`M1`, `R3`, ...).
+        name: String,
+        /// Device kind derived from the leading letter and model.
+        kind: DeviceKind,
+        /// Model name (empty for value-only R/C).
+        model: String,
+        /// Connected net names in terminal order.
+        nets: Vec<String>,
+        /// Parsed sizing parameters.
+        params: DeviceParams,
+    },
+    /// A subcircuit instance (`X` card).
+    Instance {
+        /// Instance name as written (`Xbit0`).
+        name: String,
+        /// Connection net names, in the subcircuit's port order.
+        nets: Vec<String>,
+        /// Name of the referenced subcircuit.
+        subckt: String,
+    },
+}
+
+/// A `.SUBCKT` definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Subckt {
+    /// Subcircuit name.
+    pub name: String,
+    /// Port net names.
+    pub ports: Vec<String>,
+    /// Body elements.
+    pub elements: Vec<Element>,
+}
+
+/// A parsed SPICE file: subcircuit definitions plus top-level elements.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SpiceFile {
+    /// Design name from `.TITLE` or the first comment, if any.
+    pub title: String,
+    /// Subcircuit definitions in file order.
+    pub subckts: Vec<Subckt>,
+    /// Elements outside any `.SUBCKT`.
+    pub top: Vec<Element>,
+    /// Nets declared `.GLOBAL` (never prefixed during flattening).
+    pub globals: Vec<String>,
+}
+
+/// Error produced while parsing or flattening a SPICE file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseSpiceError {
+    /// 1-based line number, 0 when not line-specific.
+    pub line: usize,
+    /// Explanation.
+    pub message: String,
+}
+
+impl fmt::Display for ParseSpiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "spice parse error at line {}: {}", self.line, self.message)
+        } else {
+            write!(f, "spice error: {}", self.message)
+        }
+    }
+}
+
+impl std::error::Error for ParseSpiceError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseSpiceError {
+    ParseSpiceError { line, message: message.into() }
+}
+
+impl SpiceFile {
+    /// Parses SPICE source text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseSpiceError`] with a line number on malformed cards,
+    /// unbalanced `.SUBCKT`/`.ENDS`, or invalid numeric literals.
+    pub fn parse(source: &str) -> Result<Self, ParseSpiceError> {
+        let mut file = SpiceFile::default();
+        let mut current: Option<Subckt> = None;
+
+        for (lineno, raw) in logical_lines(source) {
+            let line = strip_comment(raw.trim());
+            if line.is_empty() {
+                continue;
+            }
+            let tokens: Vec<&str> = line.split_whitespace().collect();
+            let first = tokens[0].to_ascii_lowercase();
+            match first.as_str() {
+                ".subckt" => {
+                    if current.is_some() {
+                        return Err(err(lineno, "nested .subckt is not supported"));
+                    }
+                    if tokens.len() < 2 {
+                        return Err(err(lineno, ".subckt needs a name"));
+                    }
+                    current = Some(Subckt {
+                        name: tokens[1].to_string(),
+                        ports: tokens[2..].iter().map(|s| s.to_string()).collect(),
+                        elements: Vec::new(),
+                    });
+                }
+                ".ends" => match current.take() {
+                    Some(s) => file.subckts.push(s),
+                    None => return Err(err(lineno, ".ends without .subckt")),
+                },
+                ".global" => {
+                    file.globals.extend(tokens[1..].iter().map(|s| s.to_string()));
+                }
+                ".title" => {
+                    file.title = tokens[1..].join(" ");
+                }
+                ".end" | ".option" | ".options" | ".param" | ".include" | ".lib" | ".model"
+                | ".temp" => {
+                    // Accepted and ignored: not needed for topology extraction.
+                }
+                _ if first.starts_with('.') => {
+                    return Err(err(lineno, format!("unsupported card {:?}", tokens[0])));
+                }
+                _ => {
+                    let elem = parse_element(&tokens, lineno)?;
+                    match &mut current {
+                        Some(s) => s.elements.push(elem),
+                        None => file.top.push(elem),
+                    }
+                }
+            }
+        }
+        if let Some(s) = current {
+            return Err(err(0, format!(".subckt {} missing .ends", s.name)));
+        }
+        Ok(file)
+    }
+
+    /// Looks up a subcircuit definition by name.
+    pub fn subckt(&self, name: &str) -> Option<&Subckt> {
+        self.subckts.iter().find(|s| s.name == name)
+    }
+
+    /// Flattens the subcircuit `top` into a primitive-only [`Netlist`].
+    ///
+    /// Instance paths are joined with `.`, so device `M1` inside instance
+    /// `Xbit0` becomes `Xbit0.M1`. Ports of `top` and `.GLOBAL` nets keep
+    /// their bare names and are marked as ports.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown subcircuits, port-count mismatches, or
+    /// instantiation cycles.
+    pub fn flatten(&self, top: &str) -> Result<Netlist, ParseSpiceError> {
+        let sub = self
+            .subckt(top)
+            .ok_or_else(|| err(0, format!("unknown subckt {top:?}")))?;
+        let mut nl = Netlist::new(top);
+        let globals: HashSet<&str> = self.globals.iter().map(|s| s.as_str()).collect();
+        for g in &self.globals {
+            nl.add_net(g, true);
+        }
+        let mut port_map = HashMap::new();
+        for p in &sub.ports {
+            let id = nl.add_net(p, true);
+            port_map.insert(p.clone(), id);
+        }
+        let mut stack = vec![top.to_string()];
+        self.flatten_into(&mut nl, sub, "", &port_map, &globals, &mut stack)?;
+        Ok(nl)
+    }
+
+    /// Flattens the top-level elements (cards outside any `.SUBCKT`).
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`SpiceFile::flatten`].
+    pub fn flatten_top(&self, name: &str) -> Result<Netlist, ParseSpiceError> {
+        let sub = Subckt { name: name.to_string(), ports: Vec::new(), elements: self.top.clone() };
+        let mut nl = Netlist::new(name);
+        let globals: HashSet<&str> = self.globals.iter().map(|s| s.as_str()).collect();
+        for g in &self.globals {
+            nl.add_net(g, true);
+        }
+        let mut stack = vec![name.to_string()];
+        self.flatten_into(&mut nl, &sub, "", &HashMap::new(), &globals, &mut stack)?;
+        Ok(nl)
+    }
+
+    fn flatten_into(
+        &self,
+        nl: &mut Netlist,
+        sub: &Subckt,
+        prefix: &str,
+        bindings: &HashMap<String, crate::ast::NetId>,
+        globals: &HashSet<&str>,
+        stack: &mut Vec<String>,
+    ) -> Result<(), ParseSpiceError> {
+        let resolve = |nl: &mut Netlist, net: &str| {
+            if let Some(&id) = bindings.get(net) {
+                return id;
+            }
+            if globals.contains(net) || net == "0" || net.eq_ignore_ascii_case("gnd") {
+                return nl.add_net(net, true);
+            }
+            let full = if prefix.is_empty() { net.to_string() } else { format!("{prefix}{net}") };
+            nl.add_net(&full, prefix.is_empty() && false)
+        };
+
+        for elem in &sub.elements {
+            match elem {
+                Element::Device { name, kind, model, nets, params } => {
+                    let ids: Vec<_> = nets.iter().map(|n| resolve(nl, n)).collect();
+                    let full = if prefix.is_empty() {
+                        name.clone()
+                    } else {
+                        format!("{prefix}{name}")
+                    };
+                    nl.add_device(&full, *kind, model, &ids, *params);
+                }
+                Element::Instance { name, nets, subckt } => {
+                    if stack.iter().any(|s| s == subckt) {
+                        return Err(err(0, format!("recursive instantiation of {subckt:?}")));
+                    }
+                    let child = self
+                        .subckt(subckt)
+                        .ok_or_else(|| err(0, format!("unknown subckt {subckt:?}")))?;
+                    if child.ports.len() != nets.len() {
+                        return Err(err(
+                            0,
+                            format!(
+                                "instance {name}: {} connections for subckt {subckt} with {} ports",
+                                nets.len(),
+                                child.ports.len()
+                            ),
+                        ));
+                    }
+                    let mut child_bindings = HashMap::new();
+                    for (port, net) in child.ports.iter().zip(nets) {
+                        let id = resolve(nl, net);
+                        child_bindings.insert(port.clone(), id);
+                    }
+                    let child_prefix = if prefix.is_empty() {
+                        format!("{name}.")
+                    } else {
+                        format!("{prefix}{name}.")
+                    };
+                    stack.push(subckt.clone());
+                    self.flatten_into(nl, child, &child_prefix, &child_bindings, globals, stack)?;
+                    stack.pop();
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Joins `+` continuation lines and yields `(line_number, text)`.
+fn logical_lines(source: &str) -> Vec<(usize, String)> {
+    let mut out: Vec<(usize, String)> = Vec::new();
+    for (i, line) in source.lines().enumerate() {
+        let trimmed = line.trim_start();
+        if let Some(rest) = trimmed.strip_prefix('+') {
+            if let Some(last) = out.last_mut() {
+                last.1.push(' ');
+                last.1.push_str(rest);
+                continue;
+            }
+        }
+        if trimmed.starts_with('*') {
+            continue;
+        }
+        out.push((i + 1, line.to_string()));
+    }
+    out
+}
+
+fn strip_comment(line: &str) -> &str {
+    let end = line.find(['$', ';']).unwrap_or(line.len());
+    line[..end].trim()
+}
+
+fn parse_params(tokens: &[&str], lineno: usize) -> Result<DeviceParams, ParseSpiceError> {
+    let mut p = DeviceParams { multiplier: 1.0, ..Default::default() };
+    for t in tokens {
+        let Some((k, v)) = t.split_once('=') else {
+            return Err(err(lineno, format!("expected K=V parameter, got {t:?}")));
+        };
+        let value = parse_spice_value(v).map_err(|e| err(lineno, e.to_string()))?;
+        match k.to_ascii_lowercase().as_str() {
+            "w" => p.width = value,
+            "l" => p.length = value,
+            "m" => p.multiplier = value,
+            "nf" => p.fingers = value,
+            "c" | "r" => p.value = value,
+            // Unknown parameters are tolerated (AD/AS/PD/PS etc.).
+            _ => {}
+        }
+    }
+    Ok(p)
+}
+
+fn parse_element(tokens: &[&str], lineno: usize) -> Result<Element, ParseSpiceError> {
+    let name = tokens[0].to_string();
+    // Flattened hierarchical names are dot-joined (`Xcell0.M1`); the
+    // element type is determined by the *leaf* segment so re-parsing a
+    // flattened netlist classifies devices correctly.
+    let leaf = name.rsplit('.').next().unwrap_or(&name);
+    let lead = leaf.chars().next().unwrap_or(' ').to_ascii_uppercase();
+    match lead {
+        'M' => {
+            if tokens.len() < 6 {
+                return Err(err(lineno, "MOSFET card needs 4 nets and a model"));
+            }
+            let nets = tokens[1..5].iter().map(|s| s.to_string()).collect();
+            let model = tokens[5].to_string();
+            let kind = if model.to_ascii_lowercase().starts_with('p') {
+                DeviceKind::Pmos
+            } else {
+                DeviceKind::Nmos
+            };
+            let params = parse_params(&tokens[6..], lineno)?;
+            Ok(Element::Device { name, kind, model, nets, params })
+        }
+        'R' | 'C' => {
+            if tokens.len() < 4 {
+                return Err(err(lineno, "R/C card needs 2 nets and a value or model"));
+            }
+            let nets: Vec<String> = tokens[1..3].iter().map(|s| s.to_string()).collect();
+            let kind = if lead == 'R' { DeviceKind::Resistor } else { DeviceKind::Capacitor };
+            // Either `R1 a b 100` or `R1 a b model R=100 W=1u L=2u`.
+            if tokens[3].contains('=') {
+                let params = parse_params(&tokens[3..], lineno)?;
+                Ok(Element::Device { name, kind, model: String::new(), nets, params })
+            } else if let Ok(v) = parse_spice_value(tokens[3]) {
+                let mut params = parse_params(&tokens[4..], lineno)?;
+                params.value = v;
+                Ok(Element::Device { name, kind, model: String::new(), nets, params })
+            } else {
+                let model = tokens[3].to_string();
+                let params = parse_params(&tokens[4..], lineno)?;
+                Ok(Element::Device { name, kind, model, nets, params })
+            }
+        }
+        'D' => {
+            if tokens.len() < 4 {
+                return Err(err(lineno, "diode card needs 2 nets and a model"));
+            }
+            let nets = tokens[1..3].iter().map(|s| s.to_string()).collect();
+            let model = tokens[3].to_string();
+            let params = parse_params(&tokens[4..], lineno)?;
+            Ok(Element::Device { name, kind: DeviceKind::Diode, model, nets, params })
+        }
+        'X' => {
+            if tokens.len() < 3 {
+                return Err(err(lineno, "subcircuit instance needs nets and a name"));
+            }
+            // Last non-K=V token is the subcircuit name.
+            let mut end = tokens.len();
+            while end > 1 && tokens[end - 1].contains('=') {
+                end -= 1;
+            }
+            let subckt = tokens[end - 1].to_string();
+            let nets = tokens[1..end - 1].iter().map(|s| s.to_string()).collect();
+            Ok(Element::Instance { name, nets, subckt })
+        }
+        other => Err(err(lineno, format!("unsupported element type {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BUFFER: &str = r#"
+* a simple buffer
+.GLOBAL VDD VSS
+.SUBCKT INV A Z VDD VSS
+M1 Z A VSS VSS nch W=0.1u L=0.03u
+M2 Z A VDD VDD pch W=0.4u L=0.03u
+.ENDS
+.SUBCKT BUF A Z VDD VSS
+Xi1 A mid VDD VSS INV
+Xi2 mid Z VDD VSS INV
+.ENDS
+"#;
+
+    #[test]
+    fn parses_subckts() {
+        let f = SpiceFile::parse(BUFFER).unwrap();
+        assert_eq!(f.subckts.len(), 2);
+        assert_eq!(f.subckt("INV").unwrap().ports, vec!["A", "Z", "VDD", "VSS"]);
+        assert_eq!(f.globals, vec!["VDD", "VSS"]);
+    }
+
+    #[test]
+    fn flatten_buffer() {
+        let f = SpiceFile::parse(BUFFER).unwrap();
+        let nl = f.flatten("BUF").unwrap();
+        assert_eq!(nl.num_devices(), 4);
+        // Nets: VDD, VSS (global), A, Z (ports), Xi1.mid... no — `mid` is a
+        // local of BUF so it is named `mid` (top-level flatten has no prefix).
+        assert!(nl.net_id("mid").is_some());
+        assert!(nl.device_by_name("Xi1.M1").is_some());
+        assert!(nl.device_by_name("Xi2.M2").is_some());
+        let m1 = nl.device_by_name("Xi1.M1").unwrap().1;
+        assert_eq!(m1.kind, DeviceKind::Nmos);
+        assert!((m1.params.width - 1e-7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn continuation_lines_join() {
+        let src = ".SUBCKT T A B\nM1 A B 0 0 nch\n+ W=0.2u\n+ L=0.05u\n.ENDS\n";
+        let f = SpiceFile::parse(src).unwrap();
+        let nl = f.flatten("T").unwrap();
+        let d = nl.device_by_name("M1").unwrap().1;
+        assert!((d.params.width - 2e-7).abs() < 1e-12);
+        assert!((d.params.length - 5e-8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resistor_value_and_model_forms() {
+        let src = ".SUBCKT T A B\nR1 A B 1k\nR2 A B rppoly W=1u L=10u\nC1 A B 10f\n.ENDS\n";
+        let f = SpiceFile::parse(src).unwrap();
+        let nl = f.flatten("T").unwrap();
+        assert_eq!(nl.device_by_name("R1").unwrap().1.params.value, 1e3);
+        let r2 = nl.device_by_name("R2").unwrap().1;
+        assert_eq!(r2.model, "rppoly");
+        assert!((r2.params.length - 1e-5).abs() < 1e-12);
+        assert!((nl.device_by_name("C1").unwrap().1.params.value - 1e-14).abs() < 1e-20);
+    }
+
+    #[test]
+    fn detects_recursion() {
+        let src = ".SUBCKT A X\nXi X A\n.ENDS\n";
+        let f = SpiceFile::parse(src).unwrap();
+        assert!(f.flatten("A").is_err());
+    }
+
+    #[test]
+    fn reports_line_numbers() {
+        let src = ".SUBCKT T A\nM1 A\n.ENDS\n";
+        let e = SpiceFile::parse(src).unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn unbalanced_subckt_is_error() {
+        assert!(SpiceFile::parse(".SUBCKT T A\n").is_err());
+        assert!(SpiceFile::parse(".ENDS\n").is_err());
+    }
+
+    #[test]
+    fn port_count_mismatch_is_error() {
+        let src = ".SUBCKT I A B\nR1 A B 1\n.ENDS\n.SUBCKT T X\nXi X extra I2\n.ENDS\n";
+        let f = SpiceFile::parse(src).unwrap();
+        assert!(f.flatten("T").is_err());
+        let src2 = ".SUBCKT I A B\nR1 A B 1\n.ENDS\n.SUBCKT T X\nXi X I\n.ENDS\n";
+        let f2 = SpiceFile::parse(src2).unwrap();
+        assert!(f2.flatten("T").is_err());
+    }
+
+    #[test]
+    fn ground_aliases_are_shared() {
+        let src = ".SUBCKT T A\nR1 A 0 1\nR2 A gnd 1\n.ENDS\n";
+        let f = SpiceFile::parse(src).unwrap();
+        let nl = f.flatten("T").unwrap();
+        // "0" and "gnd" are distinct nets but both port-like globals.
+        assert!(nl.net_id("0").is_some());
+    }
+
+    #[test]
+    fn deep_hierarchy_prefixes() {
+        let src = "
+.SUBCKT LEAF A
+R1 A int 1
+.ENDS
+.SUBCKT MID A
+Xl A LEAF
+.ENDS
+.SUBCKT TOP A
+Xm A MID
+.ENDS
+";
+        let f = SpiceFile::parse(src).unwrap();
+        let nl = f.flatten("TOP").unwrap();
+        assert!(nl.device_by_name("Xm.Xl.R1").is_some());
+        assert!(nl.net_id("Xm.Xl.int").is_some());
+    }
+}

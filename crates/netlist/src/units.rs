@@ -1,0 +1,203 @@
+//! SPICE numeric literals with engineering suffixes.
+
+use std::fmt;
+
+/// Parses a SPICE value like `0.1u`, `30n`, `2.5e-15`, `1meg`, `10f`.
+///
+/// Suffixes are case-insensitive: `t p g meg k m u n p f a` (SPICE uses
+/// `meg` for 1e6 because `m` means milli).
+///
+/// # Examples
+///
+/// ```
+/// use ams_netlist::parse_spice_value;
+///
+/// assert_eq!(parse_spice_value("0.1u").unwrap(), 1e-7);
+/// assert_eq!(parse_spice_value("1meg").unwrap(), 1e6);
+/// assert_eq!(parse_spice_value("3.5").unwrap(), 3.5);
+/// ```
+///
+/// # Errors
+///
+/// Returns [`ParseValueError`] if the mantissa is not a number or the
+/// suffix is unknown.
+pub fn parse_spice_value(s: &str) -> Result<f64, ParseValueError> {
+    let s = s.trim();
+    if s.is_empty() {
+        return Err(ParseValueError { input: s.to_string() });
+    }
+    let lower = s.to_ascii_lowercase();
+    // Find the longest numeric prefix (digits, sign, dot, exponent).
+    let mut split = lower.len();
+    for (i, c) in lower.char_indices() {
+        let numeric = c.is_ascii_digit()
+            || c == '.'
+            || c == '-'
+            || c == '+'
+            || c == 'e' && {
+                // 'e' is part of the exponent only if followed by digit/sign.
+                lower[i + 1..]
+                    .chars()
+                    .next()
+                    .map(|n| n.is_ascii_digit() || n == '-' || n == '+')
+                    .unwrap_or(false)
+            };
+        if !numeric {
+            split = i;
+            break;
+        }
+    }
+    let (num, suffix) = lower.split_at(split);
+    let mantissa: f64 = num.parse().map_err(|_| ParseValueError { input: s.to_string() })?;
+    let mult = match suffix {
+        "" => 1.0,
+        "t" => 1e12,
+        "g" => 1e9,
+        "meg" | "x" => 1e6,
+        "k" => 1e3,
+        "m" => 1e-3,
+        "u" => 1e-6,
+        "n" => 1e-9,
+        "p" => 1e-12,
+        "f" => 1e-15,
+        "a" => 1e-18,
+        // Trailing unit letters are tolerated, e.g. "1pf", "0.1um".
+        other => {
+            let stripped = other
+                .strip_suffix("ohm")
+                .or_else(|| other.strip_suffix('f'))
+                .or_else(|| other.strip_suffix('m'))
+                .unwrap_or(other);
+            match stripped {
+                "t" => 1e12,
+                "g" => 1e9,
+                "meg" | "x" => 1e6,
+                "k" => 1e3,
+                "m" => 1e-3,
+                "u" => 1e-6,
+                "n" => 1e-9,
+                "p" => 1e-12,
+                "f" => 1e-15,
+                "a" => 1e-18,
+                "" => 1.0,
+                _ => return Err(ParseValueError { input: s.to_string() }),
+            }
+        }
+    };
+    Ok(mantissa * mult)
+}
+
+/// Formats a value in engineering notation with a SPICE suffix.
+///
+/// # Examples
+///
+/// ```
+/// use ams_netlist::format_spice_value;
+///
+/// assert_eq!(format_spice_value(1e-7), "100n");
+/// assert_eq!(format_spice_value(2.5e-15), "2.5f");
+/// ```
+pub fn format_spice_value(v: f64) -> String {
+    if v == 0.0 {
+        return "0".to_string();
+    }
+    let suffixes: [(f64, &str); 9] = [
+        (1e12, "t"),
+        (1e9, "g"),
+        (1e6, "meg"),
+        (1e3, "k"),
+        (1.0, ""),
+        (1e-3, "m"),
+        (1e-6, "u"),
+        (1e-9, "n"),
+        (1e-12, "p"),
+    ];
+    let abs = v.abs();
+    for &(scale, suffix) in &suffixes {
+        if abs >= scale {
+            let scaled = v / scale;
+            return trim_float(scaled) + suffix;
+        }
+    }
+    if abs >= 1e-15 {
+        return trim_float(v / 1e-15) + "f";
+    }
+    if abs >= 1e-18 {
+        return trim_float(v / 1e-18) + "a";
+    }
+    format!("{v:e}")
+}
+
+fn trim_float(v: f64) -> String {
+    let s = format!("{v:.4}");
+    let s = s.trim_end_matches('0').trim_end_matches('.');
+    s.to_string()
+}
+
+/// Error parsing a SPICE numeric literal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseValueError {
+    input: String,
+}
+
+impl fmt::Display for ParseValueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid spice value {:?}", self.input)
+    }
+}
+
+impl std::error::Error for ParseValueError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_plain_numbers() {
+        assert_eq!(parse_spice_value("42").unwrap(), 42.0);
+        assert_eq!(parse_spice_value("-1.5").unwrap(), -1.5);
+        assert_eq!(parse_spice_value("2e-15").unwrap(), 2e-15);
+    }
+
+    #[test]
+    fn parses_suffixes() {
+        assert_eq!(parse_spice_value("1k").unwrap(), 1e3);
+        assert_eq!(parse_spice_value("1K").unwrap(), 1e3);
+        assert!((parse_spice_value("10f").unwrap() - 1e-14).abs() < 1e-20);
+        assert_eq!(parse_spice_value("1meg").unwrap(), 1e6);
+        assert_eq!(parse_spice_value("1m").unwrap(), 1e-3);
+        assert_eq!(parse_spice_value("0.03u").unwrap(), 3e-8);
+    }
+
+    #[test]
+    fn parses_unit_suffixes() {
+        assert_eq!(parse_spice_value("1pf").unwrap(), 1e-12);
+        assert_eq!(parse_spice_value("0.1um").unwrap(), 1e-7);
+        assert_eq!(parse_spice_value("1kohm").unwrap(), 1e3);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_spice_value("abc").is_err());
+        assert!(parse_spice_value("").is_err());
+        assert!(parse_spice_value("1.2.3").is_err());
+    }
+
+    #[test]
+    fn format_round_trips() {
+        for v in [1e-7, 2.5e-15, 3.3, 1e6, 4.7e3, 1.2e-12, 9e-16] {
+            let s = format_spice_value(v);
+            let back = parse_spice_value(&s).unwrap();
+            assert!(
+                (back - v).abs() / v.abs() < 1e-3,
+                "round trip {v} -> {s} -> {back}"
+            );
+        }
+    }
+
+    #[test]
+    fn exponent_not_confused_with_suffix() {
+        assert_eq!(parse_spice_value("1e3").unwrap(), 1000.0);
+        assert_eq!(parse_spice_value("1e-3").unwrap(), 0.001);
+    }
+}

@@ -1,0 +1,272 @@
+//! Global attention mechanisms for the GPS layer: exact multi-head softmax
+//! attention (the paper's "Transformer" rows) and FAVOR+ linear attention
+//! (the "Performer" rows).
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+
+use crate::layers::Linear;
+use crate::params::{normal_init, ParamId, ParamStore};
+use crate::tape::{Tape, Var};
+
+/// Exact multi-head softmax self-attention over all nodes of a (sub)graph.
+///
+/// Complexity is `O(N²·d)`; on the paper's 1-hop enclosing subgraphs
+/// (hundreds of nodes) this is affordable, and Table III/VII quantify the
+/// cost against the Performer variant.
+#[derive(Debug, Clone)]
+pub struct MultiHeadAttention {
+    wq: Linear,
+    wk: Linear,
+    wv: Linear,
+    wo: Linear,
+    heads: usize,
+    head_dim: usize,
+}
+
+impl MultiHeadAttention {
+    /// Registers a new attention block with `heads` heads over width `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is not divisible by `heads`.
+    pub fn new(store: &mut ParamStore, name: &str, dim: usize, heads: usize, rng: &mut StdRng) -> Self {
+        assert_eq!(dim % heads, 0, "dim {dim} not divisible by heads {heads}");
+        MultiHeadAttention {
+            wq: Linear::new(store, &format!("{name}.wq"), dim, dim, false, rng),
+            wk: Linear::new(store, &format!("{name}.wk"), dim, dim, false, rng),
+            wv: Linear::new(store, &format!("{name}.wv"), dim, dim, false, rng),
+            wo: Linear::new(store, &format!("{name}.wo"), dim, dim, true, rng),
+            heads,
+            head_dim: dim / heads,
+        }
+    }
+
+    /// Number of attention heads.
+    pub fn heads(&self) -> usize {
+        self.heads
+    }
+
+    /// Self-attention over an `N × dim` node-feature matrix.
+    pub fn forward(&self, tape: &mut Tape, x: Var) -> Var {
+        let q = self.wq.forward(tape, x);
+        let k = self.wk.forward(tape, x);
+        let v = self.wv.forward(tape, x);
+        let scale = 1.0 / (self.head_dim as f32).sqrt();
+        let mut outs = Vec::with_capacity(self.heads);
+        for h in 0..self.heads {
+            let off = h * self.head_dim;
+            let qh = tape.col_slice(q, off, self.head_dim);
+            let kh = tape.col_slice(k, off, self.head_dim);
+            let vh = tape.col_slice(v, off, self.head_dim);
+            let kt = tape.transpose(kh);
+            let scores = tape.matmul(qh, kt);
+            let scores = tape.scale(scores, scale);
+            let attn = tape.softmax_rows(scores);
+            outs.push(tape.matmul(attn, vh));
+        }
+        let cat = tape.concat_cols(&outs);
+        self.wo.forward(tape, cat)
+    }
+}
+
+/// FAVOR+ linear attention (Performer, Choromanski et al. 2021).
+///
+/// Approximates softmax attention with positive random features so the cost
+/// is `O(N·m·d)` instead of `O(N²·d)`. The random projection is a frozen
+/// parameter (not updated by the optimizer), matching the reference
+/// implementation's default of non-redrawn features.
+#[derive(Debug, Clone)]
+pub struct PerformerAttention {
+    wq: Linear,
+    wk: Linear,
+    wv: Linear,
+    wo: Linear,
+    proj: ParamId,
+    heads: usize,
+    head_dim: usize,
+    features: usize,
+}
+
+impl PerformerAttention {
+    /// Registers a Performer block with `features` random features per head.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is not divisible by `heads`.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        dim: usize,
+        heads: usize,
+        features: usize,
+        rng: &mut StdRng,
+    ) -> Self {
+        assert_eq!(dim % heads, 0, "dim {dim} not divisible by heads {heads}");
+        let head_dim = dim / heads;
+        // One stacked projection for all heads: (heads*features) × head_dim,
+        // rows are N(0, I) — frozen.
+        let proj = store.register(
+            &format!("{name}.proj"),
+            normal_init(heads * features, head_dim, 1.0, rng),
+            false,
+        );
+        PerformerAttention {
+            wq: Linear::new(store, &format!("{name}.wq"), dim, dim, false, rng),
+            wk: Linear::new(store, &format!("{name}.wk"), dim, dim, false, rng),
+            wv: Linear::new(store, &format!("{name}.wv"), dim, dim, false, rng),
+            wo: Linear::new(store, &format!("{name}.wo"), dim, dim, true, rng),
+            proj,
+            heads,
+            head_dim,
+            features,
+        }
+    }
+
+    /// Number of random features per head.
+    pub fn features(&self) -> usize {
+        self.features
+    }
+
+    /// φ(x) = exp(x̂ Ωᵀ − ‖x̂‖²/2 ) / √m with x̂ = x / d^{1/4}.
+    fn feature_map(&self, tape: &mut Tape, x: Var, head: usize) -> Var {
+        let scale = 1.0 / (self.head_dim as f32).powf(0.25);
+        let xs = tape.scale(x, scale);
+        // Row slice of the stacked projection for this head.
+        let omega_all = tape.param(self.proj);
+        let rows: Vec<usize> =
+            (head * self.features..(head + 1) * self.features).collect();
+        let omega = tape.gather(omega_all, Arc::new(rows));
+        let omega_t = tape.transpose(omega);
+        let prod = tape.matmul(xs, omega_t); // N × m
+        let sq = tape.mul(xs, xs);
+        let half_norms = tape.row_sum(sq); // N × 1
+        let half_norms = tape.scale(half_norms, 0.5);
+        let shifted = tape.sub_colvec(prod, half_norms);
+        let phi = tape.exp(shifted);
+        // Stabilizer: add a tiny epsilon so the denominator never vanishes.
+        let phi = tape.add_scalar(phi, 1e-6);
+        tape.scale(phi, 1.0 / (self.features as f32).sqrt())
+    }
+
+    /// Linear-attention forward pass over an `N × dim` matrix.
+    pub fn forward(&self, tape: &mut Tape, x: Var) -> Var {
+        let q = self.wq.forward(tape, x);
+        let k = self.wk.forward(tape, x);
+        let v = self.wv.forward(tape, x);
+        let n = tape.shape(x).0;
+        let mut outs = Vec::with_capacity(self.heads);
+        for h in 0..self.heads {
+            let off = h * self.head_dim;
+            let qh = tape.col_slice(q, off, self.head_dim);
+            let kh = tape.col_slice(k, off, self.head_dim);
+            let vh = tape.col_slice(v, off, self.head_dim);
+            let phi_q = self.feature_map(tape, qh, h); // N × m
+            let phi_k = self.feature_map(tape, kh, h); // N × m
+            let phi_k_t = tape.transpose(phi_k); // m × N
+            let kv = tape.matmul(phi_k_t, vh); // m × d_h
+            let num = tape.matmul(phi_q, kv); // N × d_h
+            // Denominator: φ(Q) (φ(K)ᵀ 1)
+            let ones = tape.input(crate::tensor::Tensor::ones(n, 1));
+            let k_sum = tape.matmul(phi_k_t, ones); // m × 1
+            let den = tape.matmul(phi_q, k_sum); // N × 1
+            outs.push(tape.div_colvec(num, den));
+        }
+        let cat = tape.concat_cols(&outs);
+        self.wo.forward(tape, cat)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::GradStore;
+    use crate::tensor::Tensor;
+    use rand::{Rng, SeedableRng};
+
+    fn random_input(n: usize, d: usize, seed: u64) -> Tensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Tensor::from_vec(n, d, (0..n * d).map(|_| rng.gen_range(-1.0..1.0)).collect())
+    }
+
+    #[test]
+    fn mha_output_shape() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let attn = MultiHeadAttention::new(&mut store, "a", 16, 4, &mut rng);
+        let mut tape = Tape::new(&store, false, 0);
+        let x = tape.input(random_input(9, 16, 1));
+        let y = attn.forward(&mut tape, x);
+        assert_eq!(tape.shape(y), (9, 16));
+    }
+
+    #[test]
+    fn mha_gradients_flow() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let attn = MultiHeadAttention::new(&mut store, "a", 8, 2, &mut rng);
+        let mut tape = Tape::new(&store, true, 0);
+        let x = tape.input(random_input(5, 8, 2));
+        let y = attn.forward(&mut tape, x);
+        let loss = tape.mse_loss(y, &vec![0.1; 40]);
+        let mut grads = GradStore::new(&store);
+        tape.backward(loss, &mut grads);
+        let touched = store.iter().filter(|(id, _, _)| grads.get(*id).is_some()).count();
+        assert_eq!(touched, 5, "wq, wk, wv, wo.weight, wo.bias");
+    }
+
+    #[test]
+    fn performer_output_shape_and_grads() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let attn = PerformerAttention::new(&mut store, "p", 8, 2, 16, &mut rng);
+        let mut tape = Tape::new(&store, true, 0);
+        let x = tape.input(random_input(6, 8, 3));
+        let y = attn.forward(&mut tape, x);
+        assert_eq!(tape.shape(y), (6, 8));
+        let loss = tape.mse_loss(y, &vec![0.0; 48]);
+        let mut grads = GradStore::new(&store);
+        tape.backward(loss, &mut grads);
+        // The frozen projection must NOT receive a gradient.
+        let frozen: Vec<_> = store
+            .iter()
+            .filter(|(id, name, _)| name.ends_with(".proj") && grads.get(*id).is_some())
+            .collect();
+        assert!(frozen.is_empty(), "projection should be frozen");
+        let touched = store.iter().filter(|(id, _, _)| grads.get(*id).is_some()).count();
+        assert_eq!(touched, 5);
+    }
+
+    #[test]
+    fn performer_approximates_softmax_attention_loosely() {
+        // With many random features, Performer output should correlate with
+        // exact attention when using the SAME q/k/v projections. We test the
+        // kernel property directly: φ(q)·φ(k) ≈ exp(q·k/√d) on average.
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut store = ParamStore::new();
+        let attn = PerformerAttention::new(&mut store, "p", 8, 1, 512, &mut rng);
+        let mut tape = Tape::new(&store, false, 0);
+        let q = tape.input(random_input(4, 8, 10));
+        let k = tape.input(random_input(4, 8, 11));
+        let pq = attn.feature_map(&mut tape, q, 0);
+        let pk = attn.feature_map(&mut tape, k, 0);
+        let pk_t = tape.transpose(pk);
+        let approx = tape.matmul(pq, pk_t);
+        let qv = tape.value(q).clone();
+        let kv = tape.value(k).clone();
+        let d = 8.0f32;
+        let mut max_rel = 0.0f32;
+        for i in 0..4 {
+            for j in 0..4 {
+                let dot: f32 =
+                    qv.row_slice(i).iter().zip(kv.row_slice(j)).map(|(&a, &b)| a * b).sum();
+                let exact = (dot / d.sqrt()).exp();
+                let got = tape.value(approx).get(i, j);
+                let rel = (got - exact).abs() / exact;
+                max_rel = max_rel.max(rel);
+            }
+        }
+        assert!(max_rel < 0.6, "kernel approximation too loose: {max_rel}");
+    }
+}

@@ -1,0 +1,356 @@
+//! Standard neural-network layers built on the autograd [`Tape`].
+//!
+//! Layers own only [`ParamId`]/[`BufferId`] handles; the actual weights live
+//! in the shared [`ParamStore`]. Constructing a layer registers its
+//! parameters under a dotted name prefix so checkpoints and freeze-by-prefix
+//! fine-tuning work uniformly.
+
+use rand::rngs::StdRng;
+
+use crate::params::{normal_init, xavier_uniform, BufferId, ParamId, ParamStore};
+use crate::tape::{Tape, Var};
+use crate::tensor::Tensor;
+
+/// Activation functions selectable in [`Mlp`] and model configs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub enum Activation {
+    /// Rectified linear unit (the paper's default).
+    #[default]
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// No activation.
+    Identity,
+}
+
+impl Activation {
+    /// Applies the activation on the tape.
+    pub fn apply(self, tape: &mut Tape, x: Var) -> Var {
+        match self {
+            Activation::Relu => tape.relu(x),
+            Activation::Tanh => tape.tanh(x),
+            Activation::Sigmoid => tape.sigmoid(x),
+            Activation::Identity => x,
+        }
+    }
+}
+
+/// Fully connected layer `y = xW + b`.
+///
+/// # Examples
+///
+/// ```
+/// use cirgps_nn::{Linear, ParamStore, Tape, Tensor};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let mut store = ParamStore::new();
+/// let lin = Linear::new(&mut store, "proj", 4, 8, true, &mut rng);
+/// let mut tape = Tape::new(&store, false, 0);
+/// let x = tape.input(Tensor::zeros(3, 4));
+/// let y = lin.forward(&mut tape, x);
+/// assert_eq!(tape.shape(y), (3, 8));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Linear {
+    w: ParamId,
+    b: Option<ParamId>,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Linear {
+    /// Registers a new linear layer under `name`.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        bias: bool,
+        rng: &mut StdRng,
+    ) -> Self {
+        let w = store.register(&format!("{name}.weight"), xavier_uniform(in_dim, out_dim, rng), true);
+        let b = bias.then(|| store.register(&format!("{name}.bias"), Tensor::zeros(1, out_dim), true));
+        Linear { w, b, in_dim, out_dim }
+    }
+
+    /// Input feature dimension.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output feature dimension.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Applies the layer to an `N × in_dim` input.
+    pub fn forward(&self, tape: &mut Tape, x: Var) -> Var {
+        let w = tape.param(self.w);
+        let y = tape.matmul(x, w);
+        match self.b {
+            Some(b) => {
+                let bv = tape.param(b);
+                tape.add_bias(y, bv)
+            }
+            None => y,
+        }
+    }
+}
+
+/// Lookup table mapping integer codes to dense embeddings.
+#[derive(Debug, Clone)]
+pub struct Embedding {
+    w: ParamId,
+    num: usize,
+    dim: usize,
+}
+
+impl Embedding {
+    /// Registers an embedding table with `num` entries of width `dim`.
+    pub fn new(store: &mut ParamStore, name: &str, num: usize, dim: usize, rng: &mut StdRng) -> Self {
+        let std = 1.0 / (dim as f32).sqrt();
+        let w = store.register(&format!("{name}.weight"), normal_init(num, dim, std, rng), true);
+        Embedding { w, num, dim }
+    }
+
+    /// Number of entries in the table.
+    pub fn num_embeddings(&self) -> usize {
+        self.num
+    }
+
+    /// Embedding width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Looks up a batch of codes, producing an `N × dim` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any code is out of range.
+    pub fn forward(&self, tape: &mut Tape, codes: &[usize]) -> Var {
+        for &c in codes {
+            assert!(c < self.num, "embedding code {c} out of range {}", self.num);
+        }
+        let w = tape.param(self.w);
+        tape.gather(w, std::sync::Arc::new(codes.to_vec()))
+    }
+}
+
+/// Batch normalization over the row (node/sample) dimension with running
+/// statistics for evaluation mode.
+#[derive(Debug, Clone)]
+pub struct BatchNorm1d {
+    gamma: ParamId,
+    beta: ParamId,
+    running_mean: BufferId,
+    running_var: BufferId,
+    momentum: f32,
+    eps: f32,
+    dim: usize,
+}
+
+impl BatchNorm1d {
+    /// Registers a batch-norm layer over `dim` features.
+    pub fn new(store: &mut ParamStore, name: &str, dim: usize) -> Self {
+        let gamma = store.register(&format!("{name}.gamma"), Tensor::ones(1, dim), true);
+        let beta = store.register(&format!("{name}.beta"), Tensor::zeros(1, dim), true);
+        let running_mean = store.register_buffer(&format!("{name}.running_mean"), Tensor::zeros(1, dim));
+        let running_var = store.register_buffer(&format!("{name}.running_var"), Tensor::ones(1, dim));
+        BatchNorm1d { gamma, beta, running_mean, running_var, momentum: 0.1, eps: 1e-5, dim }
+    }
+
+    /// Feature dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Applies batch normalization. In training mode the running statistics
+    /// are updated with momentum 0.1 (PyTorch convention).
+    pub fn forward(&self, tape: &mut Tape, x: Var) -> Var {
+        let gamma = tape.param(self.gamma);
+        let beta = tape.param(self.beta);
+        if tape.is_training() {
+            let (y, mean, var) = tape.batch_norm(x, gamma, beta, self.eps, None);
+            let m = self.momentum;
+            tape.params().update_buffer(self.running_mean, |rm| {
+                for (r, &b) in rm.as_mut_slice().iter_mut().zip(mean.as_slice()) {
+                    *r = (1.0 - m) * *r + m * b;
+                }
+            });
+            tape.params().update_buffer(self.running_var, |rv| {
+                for (r, &b) in rv.as_mut_slice().iter_mut().zip(var.as_slice()) {
+                    *r = (1.0 - m) * *r + m * b;
+                }
+            });
+            y
+        } else {
+            let mean = tape.params().buffer(self.running_mean);
+            let var = tape.params().buffer(self.running_var);
+            let (y, _, _) = tape.batch_norm(x, gamma, beta, self.eps, Some((&mean, &var)));
+            y
+        }
+    }
+}
+
+/// Multi-layer perceptron with a shared hidden width.
+///
+/// The paper's GPS layer uses a 2-layer MLP block; heads use deeper stacks.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+    act: Activation,
+    dropout: f32,
+}
+
+impl Mlp {
+    /// Builds an MLP with the given layer widths, e.g. `&[64, 128, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two widths are given.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        dims: &[usize],
+        act: Activation,
+        dropout: f32,
+        rng: &mut StdRng,
+    ) -> Self {
+        assert!(dims.len() >= 2, "Mlp needs at least input and output widths");
+        let layers = dims
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| Linear::new(store, &format!("{name}.{i}"), w[0], w[1], true, rng))
+            .collect();
+        Mlp { layers, act, dropout }
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.layers.first().map_or(0, Linear::in_dim)
+    }
+
+    /// Output width.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().map_or(0, Linear::out_dim)
+    }
+
+    /// Applies the MLP; the activation and dropout are applied between
+    /// layers, not after the last one.
+    pub fn forward(&self, tape: &mut Tape, x: Var) -> Var {
+        let n = self.layers.len();
+        let mut h = x;
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.forward(tape, h);
+            if i + 1 < n {
+                h = self.act.apply(tape, h);
+                h = tape.dropout(h, self.dropout);
+            }
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::GradStore;
+    use rand::SeedableRng;
+
+    #[test]
+    fn linear_shapes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let lin = Linear::new(&mut store, "l", 3, 5, true, &mut rng);
+        let mut tape = Tape::new(&store, false, 0);
+        let x = tape.input(Tensor::zeros(7, 3));
+        let y = lin.forward(&mut tape, x);
+        assert_eq!(tape.shape(y), (7, 5));
+    }
+
+    #[test]
+    fn linear_without_bias_has_fewer_params() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        Linear::new(&mut store, "a", 3, 5, false, &mut rng);
+        assert_eq!(store.num_trainable(), 15);
+        Linear::new(&mut store, "b", 3, 5, true, &mut rng);
+        assert_eq!(store.num_trainable(), 35);
+    }
+
+    #[test]
+    fn embedding_lookup_returns_rows() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let emb = Embedding::new(&mut store, "e", 4, 6, &mut rng);
+        let mut tape = Tape::new(&store, false, 0);
+        let v = emb.forward(&mut tape, &[2, 2, 0]);
+        assert_eq!(tape.shape(v), (3, 6));
+        let t = tape.value(v);
+        assert_eq!(t.row_slice(0), t.row_slice(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn embedding_rejects_bad_code() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let emb = Embedding::new(&mut store, "e", 4, 6, &mut rng);
+        let mut tape = Tape::new(&store, false, 0);
+        let _ = emb.forward(&mut tape, &[4]);
+    }
+
+    #[test]
+    fn batch_norm_normalizes_in_training() {
+        let mut store = ParamStore::new();
+        let bn = BatchNorm1d::new(&mut store, "bn", 2);
+        let mut tape = Tape::new(&store, true, 0);
+        let x = tape.input(Tensor::from_rows(&[&[1.0, 10.0], &[3.0, 20.0], &[5.0, 30.0]]));
+        let y = bn.forward(&mut tape, x);
+        let t = tape.value(y);
+        // Each column should have ~zero mean and ~unit variance.
+        for c in 0..2 {
+            let col: Vec<f32> = (0..3).map(|r| t.get(r, c)).collect();
+            let mean: f32 = col.iter().sum::<f32>() / 3.0;
+            assert!(mean.abs() < 1e-5, "column {c} mean {mean}");
+        }
+    }
+
+    #[test]
+    fn batch_norm_eval_uses_running_stats() {
+        let mut store = ParamStore::new();
+        let bn = BatchNorm1d::new(&mut store, "bn", 1);
+        // Run many training steps so running stats converge to data stats.
+        for _ in 0..200 {
+            let mut tape = Tape::new(&store, true, 0);
+            let x = tape.input(Tensor::col(&[4.0, 6.0]));
+            let _ = bn.forward(&mut tape, x);
+        }
+        let mut tape = Tape::new(&store, false, 0);
+        let x = tape.input(Tensor::col(&[5.0]));
+        let y = bn.forward(&mut tape, x);
+        // 5.0 is the running mean, so the normalized output should be ~0.
+        assert!(tape.value(y).item().abs() < 0.05);
+    }
+
+    #[test]
+    fn mlp_learns_xor_direction() {
+        // Not a full training test; just check gradients flow through
+        // every layer of a 3-layer MLP.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut store = ParamStore::new();
+        let mlp = Mlp::new(&mut store, "mlp", &[2, 8, 1], Activation::Relu, 0.0, &mut rng);
+        let mut tape = Tape::new(&store, true, 0);
+        let x = tape.input(Tensor::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]));
+        let y = mlp.forward(&mut tape, x);
+        let loss = tape.mse_loss(y, &[1.0, 1.0]);
+        let mut grads = GradStore::new(&store);
+        tape.backward(loss, &mut grads);
+        let touched = store.iter().filter(|(id, _, _)| grads.get(*id).is_some()).count();
+        assert_eq!(touched, 4, "all weight+bias tensors should have grads");
+    }
+}

@@ -1,0 +1,276 @@
+//! Optimizers and learning-rate schedules.
+
+use crate::params::{GradStore, ParamStore};
+use crate::tensor::Tensor;
+
+/// Adam / AdamW optimizer (Kingma & Ba 2015; decoupled weight decay per
+/// Loshchilov & Hutter 2019 when `weight_decay > 0`).
+///
+/// # Examples
+///
+/// ```
+/// use cirgps_nn::{Adam, GradStore, ParamStore, Tensor};
+///
+/// let mut store = ParamStore::new();
+/// let w = store.register("w", Tensor::ones(1, 1), true);
+/// let mut opt = Adam::new(0.1);
+/// let mut grads = GradStore::new(&store);
+/// grads.accumulate(w, &Tensor::scalar(1.0));
+/// opt.step(&mut store, &grads);
+/// assert!(store.get(w).item() < 1.0);
+/// ```
+#[derive(Debug)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    t: u64,
+    m: Vec<Option<Tensor>>,
+    v: Vec<Option<Tensor>>,
+}
+
+impl Adam {
+    /// Creates Adam with the given learning rate and default betas
+    /// `(0.9, 0.999)`.
+    pub fn new(lr: f32) -> Self {
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    /// Sets decoupled weight decay (AdamW).
+    pub fn with_weight_decay(mut self, wd: f32) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+
+    /// Overrides the default betas.
+    pub fn with_betas(mut self, beta1: f32, beta2: f32) -> Self {
+        self.beta1 = beta1;
+        self.beta2 = beta2;
+        self
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Sets the learning rate (used by schedulers between steps).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    /// Applies one update step. Parameters without gradients, and frozen
+    /// parameters, are left untouched.
+    pub fn step(&mut self, store: &mut ParamStore, grads: &GradStore) {
+        if self.m.len() < store.len() {
+            self.m.resize_with(store.len(), || None);
+            self.v.resize_with(store.len(), || None);
+        }
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        let ids: Vec<_> = store.iter().map(|(id, _, _)| id).collect();
+        for id in ids {
+            if !store.is_trainable(id) {
+                continue;
+            }
+            let Some(g) = grads.get(id) else { continue };
+            let g = g.clone();
+            let shape = store.get(id).shape();
+            let m = self.m[id_index(id)].get_or_insert_with(|| Tensor::zeros(shape.0, shape.1));
+            let v = self.v[id_index(id)].get_or_insert_with(|| Tensor::zeros(shape.0, shape.1));
+            let p = store.get_mut(id);
+            let (b1, b2, eps, lr, wd) = (self.beta1, self.beta2, self.eps, self.lr, self.weight_decay);
+            for i in 0..p.len() {
+                let gi = g.as_slice()[i];
+                let mi = b1 * m.as_slice()[i] + (1.0 - b1) * gi;
+                let vi = b2 * v.as_slice()[i] + (1.0 - b2) * gi * gi;
+                m.as_mut_slice()[i] = mi;
+                v.as_mut_slice()[i] = vi;
+                let mhat = mi / b1t;
+                let vhat = vi / b2t;
+                let mut update = lr * mhat / (vhat.sqrt() + eps);
+                if wd > 0.0 {
+                    update += lr * wd * p.as_slice()[i];
+                }
+                p.as_mut_slice()[i] -= update;
+            }
+        }
+    }
+}
+
+fn id_index(id: crate::params::ParamId) -> usize {
+    // ParamId is an index newtype; this helper keeps the field private.
+    id.0
+}
+
+/// Plain stochastic gradient descent with optional momentum.
+#[derive(Debug)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Option<Tensor>>,
+}
+
+impl Sgd {
+    /// Creates SGD with the given learning rate and no momentum.
+    pub fn new(lr: f32) -> Self {
+        Sgd { lr, momentum: 0.0, velocity: Vec::new() }
+    }
+
+    /// Enables classical momentum.
+    pub fn with_momentum(mut self, momentum: f32) -> Self {
+        self.momentum = momentum;
+        self
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Sets the learning rate.
+    pub fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    /// Applies one update step.
+    pub fn step(&mut self, store: &mut ParamStore, grads: &GradStore) {
+        if self.velocity.len() < store.len() {
+            self.velocity.resize_with(store.len(), || None);
+        }
+        let ids: Vec<_> = store.iter().map(|(id, _, _)| id).collect();
+        for id in ids {
+            if !store.is_trainable(id) {
+                continue;
+            }
+            let Some(g) = grads.get(id) else { continue };
+            let g = g.clone();
+            let shape = store.get(id).shape();
+            let vel =
+                self.velocity[id_index(id)].get_or_insert_with(|| Tensor::zeros(shape.0, shape.1));
+            let p = store.get_mut(id);
+            for i in 0..p.len() {
+                let v = self.momentum * vel.as_slice()[i] + g.as_slice()[i];
+                vel.as_mut_slice()[i] = v;
+                p.as_mut_slice()[i] -= self.lr * v;
+            }
+        }
+    }
+}
+
+/// Cosine-annealing learning-rate schedule with linear warmup, as used by
+/// GraphGPS configs.
+#[derive(Debug, Clone, Copy)]
+pub struct CosineSchedule {
+    base_lr: f32,
+    min_lr: f32,
+    warmup_steps: usize,
+    total_steps: usize,
+}
+
+impl CosineSchedule {
+    /// Creates a schedule ramping to `base_lr` over `warmup_steps` and
+    /// annealing to `min_lr` at `total_steps`.
+    pub fn new(base_lr: f32, min_lr: f32, warmup_steps: usize, total_steps: usize) -> Self {
+        CosineSchedule { base_lr, min_lr, warmup_steps, total_steps }
+    }
+
+    /// Learning rate at `step` (0-based).
+    pub fn lr_at(&self, step: usize) -> f32 {
+        if self.warmup_steps > 0 && step < self.warmup_steps {
+            return self.base_lr * (step + 1) as f32 / self.warmup_steps as f32;
+        }
+        let progress = if self.total_steps <= self.warmup_steps {
+            1.0
+        } else {
+            ((step - self.warmup_steps) as f32
+                / (self.total_steps - self.warmup_steps) as f32)
+                .min(1.0)
+        };
+        let cos = 0.5 * (1.0 + (std::f32::consts::PI * progress).cos());
+        self.min_lr + (self.base_lr - self.min_lr) * cos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::xavier_uniform;
+    use crate::tape::Tape;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn adam_minimizes_quadratic() {
+        // Minimize ||w - target||² — Adam should converge quickly.
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let w = store.register("w", xavier_uniform(1, 4, &mut rng), true);
+        let target = [0.3f32, -0.7, 1.2, 0.0];
+        let mut opt = Adam::new(0.05);
+        for _ in 0..300 {
+            let mut tape = Tape::new(&store, true, 0);
+            let wv = tape.param(w);
+            let loss = tape.mse_loss(wv, &target);
+            let mut grads = GradStore::new(&store);
+            tape.backward(loss, &mut grads);
+            opt.step(&mut store, &grads);
+        }
+        for (got, want) in store.get(w).as_slice().iter().zip(&target) {
+            assert!((got - want).abs() < 1e-2, "got {got}, want {want}");
+        }
+    }
+
+    #[test]
+    fn sgd_with_momentum_converges() {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Tensor::row(&[5.0]), true);
+        let mut opt = Sgd::new(0.05).with_momentum(0.9);
+        for _ in 0..200 {
+            let mut tape = Tape::new(&store, true, 0);
+            let wv = tape.param(w);
+            let loss = tape.mse_loss(wv, &[1.0]);
+            let mut grads = GradStore::new(&store);
+            tape.backward(loss, &mut grads);
+            opt.step(&mut store, &grads);
+        }
+        assert!((store.get(w).item() - 1.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn adam_skips_frozen_params() {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Tensor::row(&[1.0]), false);
+        let mut grads = GradStore::new(&store);
+        grads.accumulate(w, &Tensor::row(&[10.0]));
+        let mut opt = Adam::new(0.1);
+        opt.step(&mut store, &grads);
+        assert_eq!(store.get(w).item(), 1.0);
+    }
+
+    #[test]
+    fn cosine_schedule_shape() {
+        let s = CosineSchedule::new(1.0, 0.1, 10, 110);
+        assert!(s.lr_at(0) < s.lr_at(9));
+        assert!((s.lr_at(9) - 1.0).abs() < 0.11);
+        assert!((s.lr_at(10) - 1.0).abs() < 1e-5);
+        assert!((s.lr_at(110) - 0.1).abs() < 1e-4);
+        assert!(s.lr_at(60) > 0.1 && s.lr_at(60) < 1.0);
+        // Never below min_lr even past the end.
+        assert!(s.lr_at(10_000) >= 0.1 - 1e-6);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights() {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Tensor::row(&[1.0]), true);
+        let mut grads = GradStore::new(&store);
+        grads.accumulate(w, &Tensor::row(&[0.0]));
+        let mut opt = Adam::new(0.1).with_weight_decay(0.5);
+        opt.step(&mut store, &grads);
+        assert!(store.get(w).item() < 1.0);
+    }
+}

@@ -1,0 +1,1101 @@
+//! Reverse-mode automatic differentiation on a per-sample tape.
+//!
+//! A [`Tape`] is a flat arena of operations built during a forward pass.
+//! Variables are plain indices ([`Var`]), so there are no reference cycles
+//! and no interior mutability during the forward pass; a tape borrows the
+//! [`ParamStore`] immutably, which lets minibatch samples run on worker
+//! threads in parallel. Calling [`Tape::backward`] walks the arena in
+//! reverse and accumulates parameter gradients into a [`GradStore`].
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::params::{GradStore, ParamId, ParamStore};
+use crate::tensor::Tensor;
+
+/// Handle to a value on a [`Tape`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Var(usize);
+
+#[derive(Debug)]
+enum Val {
+    Owned(Tensor),
+    Param(ParamId),
+}
+
+// `Gather.1` and `ScatterAdd.2` are recorded for Debug/audit but not read
+// on the backward path (gradients re-derive them from the output shape).
+#[allow(dead_code)]
+#[derive(Debug)]
+enum Op {
+    /// Constant input; gradient is not propagated past it.
+    Input,
+    /// Reference to a model parameter; backward accumulates into the grad store.
+    Param(ParamId),
+    Matmul(Var, Var),
+    Add(Var, Var),
+    /// `N×d` matrix plus a `1×d` row vector broadcast over rows.
+    AddBias(Var, Var),
+    Sub(Var, Var),
+    Mul(Var, Var),
+    Div(Var, Var),
+    Scale(Var, f32),
+    AddScalar(Var, f32),
+    Relu(Var),
+    Sigmoid(Var),
+    Tanh(Var),
+    Exp(Var),
+    SoftmaxRows(Var),
+    Transpose(Var),
+    ConcatCols(Vec<Var>),
+    ColSlice(Var, usize, usize),
+    /// `out[i] = x[idx[i]]` (row gather).
+    Gather(Var, Arc<Vec<usize>>),
+    /// `out[idx[i]] += x[i]` into `n_out` rows (row scatter-add).
+    ScatterAdd(Var, Arc<Vec<usize>>, usize),
+    /// `1×d` mean over rows.
+    MeanRows(Var),
+    /// `1×d` sum over rows.
+    SumRows(Var),
+    /// `N×1` sum over columns of each row.
+    RowSum(Var),
+    /// `N×d ⊙ N×1` broadcast across columns.
+    MulColVec(Var, Var),
+    /// `N×d / N×1` broadcast across columns.
+    DivColVec(Var, Var),
+    /// `N×d − N×1` broadcast across columns.
+    SubColVec(Var, Var),
+    Dropout(Var, Arc<Vec<f32>>),
+    BatchNorm {
+        x: Var,
+        gamma: Var,
+        beta: Var,
+        xhat: Tensor,
+        invstd: Tensor,
+    },
+    BceWithLogits(Var, Arc<Vec<f32>>),
+    MseLoss(Var, Arc<Vec<f32>>),
+    L1Loss(Var, Arc<Vec<f32>>),
+    HuberLoss(Var, Arc<Vec<f32>>, f32),
+    CrossEntropy {
+        logits: Var,
+        labels: Arc<Vec<usize>>,
+        softmax: Tensor,
+    },
+}
+
+/// Forward-pass recorder and reverse-mode differentiator.
+///
+/// # Examples
+///
+/// ```
+/// use cirgps_nn::{GradStore, ParamStore, Tape, Tensor, xavier_uniform};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let mut store = ParamStore::new();
+/// let w = store.register("w", xavier_uniform(2, 1, &mut rng), true);
+///
+/// let mut tape = Tape::new(&store, true, 0);
+/// let x = tape.input(Tensor::from_rows(&[&[1.0, 2.0]]));
+/// let wv = tape.param(w);
+/// let y = tape.matmul(x, wv);
+/// let loss = tape.mse_loss(y, &[0.5]);
+///
+/// let mut grads = GradStore::new(&store);
+/// tape.backward(loss, &mut grads);
+/// assert!(grads.get(w).is_some());
+/// ```
+#[derive(Debug)]
+pub struct Tape<'p> {
+    params: &'p ParamStore,
+    vals: Vec<Val>,
+    ops: Vec<Op>,
+    training: bool,
+    rng: StdRng,
+}
+
+impl<'p> Tape<'p> {
+    /// Creates a tape over `params`. `training` controls dropout and
+    /// batch-norm statistics; `seed` makes dropout masks reproducible.
+    pub fn new(params: &'p ParamStore, training: bool, seed: u64) -> Self {
+        Tape { params, vals: Vec::new(), ops: Vec::new(), training, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Whether the tape is in training mode.
+    pub fn is_training(&self) -> bool {
+        self.training
+    }
+
+    /// The parameter store the tape reads from.
+    pub fn params(&self) -> &ParamStore {
+        self.params
+    }
+
+    /// Value of a variable.
+    pub fn value(&self, v: Var) -> &Tensor {
+        match &self.vals[v.0] {
+            Val::Owned(t) => t,
+            Val::Param(id) => self.params.get(*id),
+        }
+    }
+
+    /// Shape of a variable.
+    pub fn shape(&self, v: Var) -> (usize, usize) {
+        self.value(v).shape()
+    }
+
+    fn push(&mut self, val: Tensor, op: Op) -> Var {
+        self.vals.push(Val::Owned(val));
+        self.ops.push(op);
+        Var(self.vals.len() - 1)
+    }
+
+    /// Registers a constant input tensor.
+    pub fn input(&mut self, t: Tensor) -> Var {
+        self.vals.push(Val::Owned(t));
+        self.ops.push(Op::Input);
+        Var(self.vals.len() - 1)
+    }
+
+    /// Brings a model parameter onto the tape (no copy).
+    pub fn param(&mut self, id: ParamId) -> Var {
+        self.vals.push(Val::Param(id));
+        self.ops.push(Op::Param(id));
+        Var(self.vals.len() - 1)
+    }
+
+    /// Matrix product.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).matmul(self.value(b));
+        self.push(v, Op::Matmul(a, b))
+    }
+
+    /// Elementwise sum.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).add(self.value(b));
+        self.push(v, Op::Add(a, b))
+    }
+
+    /// `N×d` matrix plus `1×d` bias row, broadcast over rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is not `1×d` with matching `d`.
+    pub fn add_bias(&mut self, a: Var, b: Var) -> Var {
+        let (n, d) = self.shape(a);
+        let (br, bc) = self.shape(b);
+        assert_eq!((br, bc), (1, d), "bias must be 1x{d}");
+        let bv = self.value(b).as_slice().to_vec();
+        let mut out = self.value(a).clone();
+        for r in 0..n {
+            for (o, &x) in out.row_slice_mut(r).iter_mut().zip(&bv) {
+                *o += x;
+            }
+        }
+        self.push(out, Op::AddBias(a, b))
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).sub(self.value(b));
+        self.push(v, Op::Sub(a, b))
+    }
+
+    /// Elementwise product.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).mul(self.value(b));
+        self.push(v, Op::Mul(a, b))
+    }
+
+    /// Elementwise quotient.
+    pub fn div(&mut self, a: Var, b: Var) -> Var {
+        let av = self.value(a);
+        let bv = self.value(b);
+        assert_eq!(av.shape(), bv.shape(), "div shape mismatch");
+        let data = av.as_slice().iter().zip(bv.as_slice()).map(|(&x, &y)| x / y).collect();
+        let v = Tensor::from_vec(av.rows(), av.cols(), data);
+        self.push(v, Op::Div(a, b))
+    }
+
+    /// Multiplies by a scalar constant.
+    pub fn scale(&mut self, a: Var, s: f32) -> Var {
+        let v = self.value(a).scale(s);
+        self.push(v, Op::Scale(a, s))
+    }
+
+    /// Adds a scalar constant.
+    pub fn add_scalar(&mut self, a: Var, s: f32) -> Var {
+        let v = self.value(a).map(|x| x + s);
+        self.push(v, Op::AddScalar(a, s))
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| x.max(0.0));
+        self.push(v, Op::Relu(a))
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(stable_sigmoid);
+        self.push(v, Op::Sigmoid(a))
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(f32::tanh);
+        self.push(v, Op::Tanh(a))
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(f32::exp);
+        self.push(v, Op::Exp(a))
+    }
+
+    /// Row-wise softmax.
+    pub fn softmax_rows(&mut self, a: Var) -> Var {
+        let x = self.value(a);
+        let (n, d) = x.shape();
+        let mut out = Tensor::zeros(n, d);
+        for r in 0..n {
+            softmax_into(x.row_slice(r), out.row_slice_mut(r));
+        }
+        self.push(out, Op::SoftmaxRows(a))
+    }
+
+    /// Transpose.
+    pub fn transpose(&mut self, a: Var) -> Var {
+        let v = self.value(a).transpose();
+        self.push(v, Op::Transpose(a))
+    }
+
+    /// Concatenates along columns (all inputs must share a row count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if row counts differ or `vars` is empty.
+    pub fn concat_cols(&mut self, vars: &[Var]) -> Var {
+        assert!(!vars.is_empty(), "concat_cols needs at least one input");
+        let n = self.shape(vars[0]).0;
+        let total: usize = vars.iter().map(|&v| self.shape(v).1).sum();
+        let mut out = Tensor::zeros(n, total);
+        let mut off = 0;
+        for &v in vars {
+            let t = self.value(v);
+            assert_eq!(t.rows(), n, "concat_cols row mismatch");
+            let c = t.cols();
+            for r in 0..n {
+                out.row_slice_mut(r)[off..off + c].copy_from_slice(t.row_slice(r));
+            }
+            off += c;
+        }
+        self.push(out, Op::ConcatCols(vars.to_vec()))
+    }
+
+    /// Slices columns `[start, start+len)`.
+    pub fn col_slice(&mut self, a: Var, start: usize, len: usize) -> Var {
+        let t = self.value(a);
+        let (n, d) = t.shape();
+        assert!(start + len <= d, "col_slice out of bounds");
+        let mut out = Tensor::zeros(n, len);
+        for r in 0..n {
+            out.row_slice_mut(r).copy_from_slice(&t.row_slice(r)[start..start + len]);
+        }
+        self.push(out, Op::ColSlice(a, start, len))
+    }
+
+    /// Row gather: `out[i] = a[idx[i]]`.
+    pub fn gather(&mut self, a: Var, idx: Arc<Vec<usize>>) -> Var {
+        let t = self.value(a);
+        let d = t.cols();
+        let mut out = Tensor::zeros(idx.len(), d);
+        for (i, &j) in idx.iter().enumerate() {
+            out.row_slice_mut(i).copy_from_slice(t.row_slice(j));
+        }
+        self.push(out, Op::Gather(a, idx))
+    }
+
+    /// Row scatter-add into `n_out` rows: `out[idx[i]] += a[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx.len()` differs from the row count of `a` or an index
+    /// is out of range.
+    pub fn scatter_add(&mut self, a: Var, idx: Arc<Vec<usize>>, n_out: usize) -> Var {
+        let t = self.value(a);
+        assert_eq!(t.rows(), idx.len(), "scatter_add index length mismatch");
+        let d = t.cols();
+        let mut out = Tensor::zeros(n_out, d);
+        for (i, &j) in idx.iter().enumerate() {
+            assert!(j < n_out, "scatter index {j} out of range {n_out}");
+            for (o, &x) in out.row_slice_mut(j).iter_mut().zip(t.row_slice(i)) {
+                *o += x;
+            }
+        }
+        self.push(out, Op::ScatterAdd(a, idx, n_out))
+    }
+
+    /// Mean over rows, producing a `1×d` row vector.
+    pub fn mean_rows(&mut self, a: Var) -> Var {
+        let v = self.value(a).col_mean();
+        self.push(v, Op::MeanRows(a))
+    }
+
+    /// Sum over rows, producing a `1×d` row vector.
+    pub fn sum_rows(&mut self, a: Var) -> Var {
+        let t = self.value(a);
+        let v = t.col_mean().scale(t.rows() as f32);
+        self.push(v, Op::SumRows(a))
+    }
+
+    /// Sum over columns of each row, producing an `N×1` column vector.
+    pub fn row_sum(&mut self, a: Var) -> Var {
+        let t = self.value(a);
+        let data: Vec<f32> = (0..t.rows()).map(|r| t.row_slice(r).iter().sum()).collect();
+        let v = Tensor::col(&data);
+        self.push(v, Op::RowSum(a))
+    }
+
+    /// Broadcast multiply: `N×d ⊙ N×1` across columns.
+    pub fn mul_colvec(&mut self, a: Var, v: Var) -> Var {
+        let out = colvec_zip(self.value(a), self.value(v), |x, s| x * s);
+        self.push(out, Op::MulColVec(a, v))
+    }
+
+    /// Broadcast divide: `N×d / N×1` across columns.
+    pub fn div_colvec(&mut self, a: Var, v: Var) -> Var {
+        let out = colvec_zip(self.value(a), self.value(v), |x, s| x / s);
+        self.push(out, Op::DivColVec(a, v))
+    }
+
+    /// Broadcast subtract: `N×d − N×1` across columns.
+    pub fn sub_colvec(&mut self, a: Var, v: Var) -> Var {
+        let out = colvec_zip(self.value(a), self.value(v), |x, s| x - s);
+        self.push(out, Op::SubColVec(a, v))
+    }
+
+    /// Inverted dropout with keep-probability `1 - p`. Identity in eval mode.
+    pub fn dropout(&mut self, a: Var, p: f32) -> Var {
+        if !self.training || p <= 0.0 {
+            return a;
+        }
+        let n = self.value(a).len();
+        let keep = 1.0 - p;
+        let mask: Vec<f32> = (0..n)
+            .map(|_| if self.rng.gen::<f32>() < keep { 1.0 / keep } else { 0.0 })
+            .collect();
+        let mask = Arc::new(mask);
+        let t = self.value(a);
+        let data = t.as_slice().iter().zip(mask.iter()).map(|(&x, &m)| x * m).collect();
+        let v = Tensor::from_vec(t.rows(), t.cols(), data);
+        self.push(v, Op::Dropout(a, mask))
+    }
+
+    /// Batch normalization over the row dimension.
+    ///
+    /// In training mode, normalizes by batch statistics and returns the
+    /// `(mean, var)` actually used so the caller (the layer) can update its
+    /// running estimates. In eval mode, the caller passes the running
+    /// statistics via `running`.
+    pub fn batch_norm(
+        &mut self,
+        x: Var,
+        gamma: Var,
+        beta: Var,
+        eps: f32,
+        running: Option<(&Tensor, &Tensor)>,
+    ) -> (Var, Tensor, Tensor) {
+        let t = self.value(x);
+        let (n, d) = t.shape();
+        let (mean, var) = match (self.training, running) {
+            (false, Some((m, v))) => (m.clone(), v.clone()),
+            _ => {
+                let mean = t.col_mean();
+                let mut var = Tensor::zeros(1, d);
+                for r in 0..n {
+                    for c in 0..d {
+                        let diff = t.get(r, c) - mean.get(0, c);
+                        var.set(0, c, var.get(0, c) + diff * diff);
+                    }
+                }
+                let inv_n = if n == 0 { 0.0 } else { 1.0 / n as f32 };
+                for c in 0..d {
+                    var.set(0, c, var.get(0, c) * inv_n);
+                }
+                (mean, var)
+            }
+        };
+        let invstd = var.map(|v| 1.0 / (v + eps).sqrt());
+        let mut xhat = Tensor::zeros(n, d);
+        for r in 0..n {
+            for c in 0..d {
+                xhat.set(r, c, (t.get(r, c) - mean.get(0, c)) * invstd.get(0, c));
+            }
+        }
+        let g = self.value(gamma).as_slice().to_vec();
+        let b = self.value(beta).as_slice().to_vec();
+        let mut out = Tensor::zeros(n, d);
+        for r in 0..n {
+            for c in 0..d {
+                out.set(r, c, xhat.get(r, c) * g[c] + b[c]);
+            }
+        }
+        let var_out = var.clone();
+        let v = self.push(
+            out,
+            Op::BatchNorm { x, gamma, beta, xhat, invstd },
+        );
+        (v, mean, var_out)
+    }
+
+    /// Mean binary-cross-entropy with logits (numerically stable).
+    ///
+    /// `a` must be a column of logits (`N×1`); `targets` are 0/1 labels.
+    pub fn bce_with_logits(&mut self, a: Var, targets: &[f32]) -> Var {
+        let t = self.value(a);
+        assert_eq!(t.len(), targets.len(), "bce target length mismatch");
+        let mut loss = 0.0f64;
+        for (&z, &y) in t.as_slice().iter().zip(targets) {
+            loss += (z.max(0.0) - z * y + (-z.abs()).exp().ln_1p()) as f64;
+        }
+        let v = Tensor::scalar((loss / targets.len().max(1) as f64) as f32);
+        self.push(v, Op::BceWithLogits(a, Arc::new(targets.to_vec())))
+    }
+
+    /// Mean squared error against `targets`.
+    pub fn mse_loss(&mut self, a: Var, targets: &[f32]) -> Var {
+        let t = self.value(a);
+        assert_eq!(t.len(), targets.len(), "mse target length mismatch");
+        let n = targets.len().max(1) as f32;
+        let loss: f32 =
+            t.as_slice().iter().zip(targets).map(|(&p, &y)| (p - y) * (p - y)).sum::<f32>() / n;
+        self.push(Tensor::scalar(loss), Op::MseLoss(a, Arc::new(targets.to_vec())))
+    }
+
+    /// Mean absolute error against `targets`.
+    pub fn l1_loss(&mut self, a: Var, targets: &[f32]) -> Var {
+        let t = self.value(a);
+        assert_eq!(t.len(), targets.len(), "l1 target length mismatch");
+        let n = targets.len().max(1) as f32;
+        let loss: f32 = t.as_slice().iter().zip(targets).map(|(&p, &y)| (p - y).abs()).sum::<f32>() / n;
+        self.push(Tensor::scalar(loss), Op::L1Loss(a, Arc::new(targets.to_vec())))
+    }
+
+    /// Huber (smooth-L1) loss with threshold `delta`.
+    pub fn huber_loss(&mut self, a: Var, targets: &[f32], delta: f32) -> Var {
+        let t = self.value(a);
+        assert_eq!(t.len(), targets.len(), "huber target length mismatch");
+        let n = targets.len().max(1) as f32;
+        let loss: f32 = t
+            .as_slice()
+            .iter()
+            .zip(targets)
+            .map(|(&p, &y)| {
+                let r = (p - y).abs();
+                if r < delta {
+                    0.5 * r * r
+                } else {
+                    delta * (r - 0.5 * delta)
+                }
+            })
+            .sum::<f32>()
+            / n;
+        self.push(Tensor::scalar(loss), Op::HuberLoss(a, Arc::new(targets.to_vec()), delta))
+    }
+
+    /// Mean cross-entropy between row-wise logits and integer class labels.
+    pub fn cross_entropy(&mut self, logits: Var, labels: &[usize]) -> Var {
+        let t = self.value(logits);
+        let (n, c) = t.shape();
+        assert_eq!(n, labels.len(), "cross_entropy label length mismatch");
+        let mut softmax = Tensor::zeros(n, c);
+        let mut loss = 0.0f64;
+        for r in 0..n {
+            softmax_into(t.row_slice(r), softmax.row_slice_mut(r));
+            let p = softmax.get(r, labels[r]).max(1e-12);
+            loss -= (p as f64).ln();
+        }
+        let v = Tensor::scalar((loss / n.max(1) as f64) as f32);
+        self.push(v, Op::CrossEntropy { logits, labels: Arc::new(labels.to_vec()), softmax })
+    }
+
+    /// Runs reverse-mode differentiation from `loss`, accumulating parameter
+    /// gradients into `grads`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is not on this tape.
+    pub fn backward(&self, loss: Var, grads: &mut GradStore) {
+        let mut local: Vec<Option<Tensor>> = (0..self.vals.len()).map(|_| None).collect();
+        let (lr, lc) = self.shape(loss);
+        local[loss.0] = Some(Tensor::ones(lr, lc));
+
+        for i in (0..=loss.0).rev() {
+            let g = match local[i].take() {
+                Some(g) => g,
+                None => continue,
+            };
+            match &self.ops[i] {
+                Op::Input => {}
+                Op::Param(id) => {
+                    if self.params.is_trainable(*id) {
+                        grads.accumulate(*id, &g);
+                    }
+                }
+                Op::Matmul(a, b) => {
+                    let ga = g.matmul_t(self.value(*b));
+                    let gb = self.value(*a).t_matmul(&g);
+                    acc(&mut local, *a, ga);
+                    acc(&mut local, *b, gb);
+                }
+                Op::Add(a, b) => {
+                    acc(&mut local, *a, g.clone());
+                    acc(&mut local, *b, g);
+                }
+                Op::AddBias(a, b) => {
+                    let gb = g.col_mean().scale(g.rows() as f32);
+                    acc(&mut local, *a, g);
+                    acc(&mut local, *b, gb);
+                }
+                Op::Sub(a, b) => {
+                    acc(&mut local, *a, g.clone());
+                    acc(&mut local, *b, g.scale(-1.0));
+                }
+                Op::Mul(a, b) => {
+                    let ga = g.mul(self.value(*b));
+                    let gb = g.mul(self.value(*a));
+                    acc(&mut local, *a, ga);
+                    acc(&mut local, *b, gb);
+                }
+                Op::Div(a, b) => {
+                    let bv = self.value(*b);
+                    let cv = self.value(Var(i));
+                    let ga = g.zip3(bv, |gi, bi| gi / bi);
+                    let gb = g.zip3_2(cv, bv, |gi, ci, bi| -gi * ci / bi);
+                    acc(&mut local, *a, ga);
+                    acc(&mut local, *b, gb);
+                }
+                Op::Scale(a, s) => acc(&mut local, *a, g.scale(*s)),
+                Op::AddScalar(a, _) => acc(&mut local, *a, g),
+                Op::Relu(a) => {
+                    let x = self.value(*a);
+                    let data = g
+                        .as_slice()
+                        .iter()
+                        .zip(x.as_slice())
+                        .map(|(&gi, &xi)| if xi > 0.0 { gi } else { 0.0 })
+                        .collect();
+                    acc(&mut local, *a, Tensor::from_vec(g.rows(), g.cols(), data));
+                }
+                Op::Sigmoid(a) => {
+                    let y = self.value(Var(i));
+                    let ga = g.zip3(y, |gi, yi| gi * yi * (1.0 - yi));
+                    acc(&mut local, *a, ga);
+                }
+                Op::Tanh(a) => {
+                    let y = self.value(Var(i));
+                    let ga = g.zip3(y, |gi, yi| gi * (1.0 - yi * yi));
+                    acc(&mut local, *a, ga);
+                }
+                Op::Exp(a) => {
+                    let y = self.value(Var(i));
+                    acc(&mut local, *a, g.mul(y));
+                }
+                Op::SoftmaxRows(a) => {
+                    let y = self.value(Var(i));
+                    let (n, d) = y.shape();
+                    let mut ga = Tensor::zeros(n, d);
+                    for r in 0..n {
+                        let dot: f32 =
+                            g.row_slice(r).iter().zip(y.row_slice(r)).map(|(&a, &b)| a * b).sum();
+                        for c in 0..d {
+                            ga.set(r, c, (g.get(r, c) - dot) * y.get(r, c));
+                        }
+                    }
+                    acc(&mut local, *a, ga);
+                }
+                Op::Transpose(a) => acc(&mut local, *a, g.transpose()),
+                Op::ConcatCols(vars) => {
+                    let mut off = 0;
+                    for &v in vars {
+                        let c = self.shape(v).1;
+                        let mut gv = Tensor::zeros(g.rows(), c);
+                        for r in 0..g.rows() {
+                            gv.row_slice_mut(r).copy_from_slice(&g.row_slice(r)[off..off + c]);
+                        }
+                        acc(&mut local, v, gv);
+                        off += c;
+                    }
+                }
+                Op::ColSlice(a, start, len) => {
+                    let (n, d) = self.shape(*a);
+                    let mut ga = Tensor::zeros(n, d);
+                    for r in 0..n {
+                        ga.row_slice_mut(r)[*start..*start + *len].copy_from_slice(g.row_slice(r));
+                    }
+                    acc(&mut local, *a, ga);
+                }
+                Op::Gather(a, idx) => {
+                    let (n, d) = self.shape(*a);
+                    let mut ga = Tensor::zeros(n, d);
+                    for (i2, &j) in idx.iter().enumerate() {
+                        for (o, &x) in ga.row_slice_mut(j).iter_mut().zip(g.row_slice(i2)) {
+                            *o += x;
+                        }
+                    }
+                    acc(&mut local, *a, ga);
+                }
+                Op::ScatterAdd(a, idx, _) => {
+                    let d = g.cols();
+                    let mut ga = Tensor::zeros(idx.len(), d);
+                    for (i2, &j) in idx.iter().enumerate() {
+                        ga.row_slice_mut(i2).copy_from_slice(g.row_slice(j));
+                    }
+                    acc(&mut local, *a, ga);
+                }
+                Op::MeanRows(a) => {
+                    let (n, d) = self.shape(*a);
+                    let inv = 1.0 / n.max(1) as f32;
+                    let mut ga = Tensor::zeros(n, d);
+                    for r in 0..n {
+                        for c in 0..d {
+                            ga.set(r, c, g.get(0, c) * inv);
+                        }
+                    }
+                    acc(&mut local, *a, ga);
+                }
+                Op::SumRows(a) => {
+                    let (n, d) = self.shape(*a);
+                    let mut ga = Tensor::zeros(n, d);
+                    for r in 0..n {
+                        ga.row_slice_mut(r).copy_from_slice(g.row_slice(0));
+                    }
+                    acc(&mut local, *a, ga);
+                }
+                Op::RowSum(a) => {
+                    let (n, d) = self.shape(*a);
+                    let mut ga = Tensor::zeros(n, d);
+                    for r in 0..n {
+                        let gv = g.get(r, 0);
+                        for c in 0..d {
+                            ga.set(r, c, gv);
+                        }
+                    }
+                    acc(&mut local, *a, ga);
+                }
+                Op::MulColVec(a, v) => {
+                    let av = self.value(*a);
+                    let vv = self.value(*v);
+                    let ga = colvec_zip(&g, vv, |gi, s| gi * s);
+                    let mut gv = Tensor::zeros(vv.rows(), 1);
+                    for r in 0..g.rows() {
+                        let s: f32 =
+                            g.row_slice(r).iter().zip(av.row_slice(r)).map(|(&x, &y)| x * y).sum();
+                        gv.set(r, 0, s);
+                    }
+                    acc(&mut local, *a, ga);
+                    acc(&mut local, *v, gv);
+                }
+                Op::DivColVec(a, v) => {
+                    let vv = self.value(*v);
+                    let cv = self.value(Var(i));
+                    let ga = colvec_zip(&g, vv, |gi, s| gi / s);
+                    let mut gv = Tensor::zeros(vv.rows(), 1);
+                    for r in 0..g.rows() {
+                        let s: f32 =
+                            g.row_slice(r).iter().zip(cv.row_slice(r)).map(|(&x, &y)| x * y).sum();
+                        gv.set(r, 0, -s / vv.get(r, 0));
+                    }
+                    acc(&mut local, *a, ga);
+                    acc(&mut local, *v, gv);
+                }
+                Op::SubColVec(a, v) => {
+                    let mut gv = Tensor::zeros(g.rows(), 1);
+                    for r in 0..g.rows() {
+                        gv.set(r, 0, -g.row_slice(r).iter().sum::<f32>());
+                    }
+                    acc(&mut local, *a, g);
+                    acc(&mut local, *v, gv);
+                }
+                Op::Dropout(a, mask) => {
+                    let data =
+                        g.as_slice().iter().zip(mask.iter()).map(|(&gi, &m)| gi * m).collect();
+                    acc(&mut local, *a, Tensor::from_vec(g.rows(), g.cols(), data));
+                }
+                Op::BatchNorm { x, gamma, beta, xhat, invstd } => {
+                    let (n, d) = xhat.shape();
+                    let gv = self.value(*gamma);
+                    // dgamma, dbeta
+                    let mut dgamma = Tensor::zeros(1, d);
+                    let mut dbeta = Tensor::zeros(1, d);
+                    for r in 0..n {
+                        for c in 0..d {
+                            dgamma.set(0, c, dgamma.get(0, c) + g.get(r, c) * xhat.get(r, c));
+                            dbeta.set(0, c, dbeta.get(0, c) + g.get(r, c));
+                        }
+                    }
+                    // dx via standard BN backward (per column)
+                    let mut gx = Tensor::zeros(n, d);
+                    let nf = n.max(1) as f32;
+                    for c in 0..d {
+                        let gam = gv.get(0, c);
+                        let istd = invstd.get(0, c);
+                        let mut sum_dxhat = 0.0f32;
+                        let mut sum_dxhat_xhat = 0.0f32;
+                        for r in 0..n {
+                            let dxh = g.get(r, c) * gam;
+                            sum_dxhat += dxh;
+                            sum_dxhat_xhat += dxh * xhat.get(r, c);
+                        }
+                        for r in 0..n {
+                            let dxh = g.get(r, c) * gam;
+                            let val = (istd / nf)
+                                * (nf * dxh - sum_dxhat - xhat.get(r, c) * sum_dxhat_xhat);
+                            gx.set(r, c, val);
+                        }
+                    }
+                    acc(&mut local, *x, gx);
+                    acc(&mut local, *gamma, dgamma);
+                    acc(&mut local, *beta, dbeta);
+                }
+                Op::BceWithLogits(a, y) => {
+                    let z = self.value(*a);
+                    let gscale = g.item() / y.len().max(1) as f32;
+                    let data = z
+                        .as_slice()
+                        .iter()
+                        .zip(y.iter())
+                        .map(|(&zi, &yi)| (stable_sigmoid(zi) - yi) * gscale)
+                        .collect();
+                    acc(&mut local, *a, Tensor::from_vec(z.rows(), z.cols(), data));
+                }
+                Op::MseLoss(a, y) => {
+                    let p = self.value(*a);
+                    let gscale = 2.0 * g.item() / y.len().max(1) as f32;
+                    let data =
+                        p.as_slice().iter().zip(y.iter()).map(|(&pi, &yi)| (pi - yi) * gscale).collect();
+                    acc(&mut local, *a, Tensor::from_vec(p.rows(), p.cols(), data));
+                }
+                Op::L1Loss(a, y) => {
+                    let p = self.value(*a);
+                    let gscale = g.item() / y.len().max(1) as f32;
+                    let data = p
+                        .as_slice()
+                        .iter()
+                        .zip(y.iter())
+                        .map(|(&pi, &yi)| (pi - yi).signum() * gscale)
+                        .collect();
+                    acc(&mut local, *a, Tensor::from_vec(p.rows(), p.cols(), data));
+                }
+                Op::HuberLoss(a, y, delta) => {
+                    let p = self.value(*a);
+                    let gscale = g.item() / y.len().max(1) as f32;
+                    let data = p
+                        .as_slice()
+                        .iter()
+                        .zip(y.iter())
+                        .map(|(&pi, &yi)| (pi - yi).clamp(-delta, *delta) * gscale)
+                        .collect();
+                    acc(&mut local, *a, Tensor::from_vec(p.rows(), p.cols(), data));
+                }
+                Op::CrossEntropy { logits, labels, softmax } => {
+                    let (n, c) = softmax.shape();
+                    let gscale = g.item() / n.max(1) as f32;
+                    let mut ga = softmax.scale(gscale);
+                    for (r, &lab) in labels.iter().enumerate() {
+                        ga.set(r, lab, ga.get(r, lab) - gscale);
+                    }
+                    let _ = c;
+                    acc(&mut local, *logits, ga);
+                }
+            }
+        }
+    }
+}
+
+fn acc(local: &mut [Option<Tensor>], v: Var, g: Tensor) {
+    match &mut local[v.0] {
+        Some(t) => t.add_assign(&g),
+        slot @ None => *slot = Some(g),
+    }
+}
+
+fn colvec_zip(a: &Tensor, v: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+    assert_eq!(v.cols(), 1, "broadcast vector must be a column");
+    assert_eq!(a.rows(), v.rows(), "broadcast row mismatch");
+    let (n, d) = a.shape();
+    let mut out = Tensor::zeros(n, d);
+    for r in 0..n {
+        let s = v.get(r, 0);
+        for (o, &x) in out.row_slice_mut(r).iter_mut().zip(a.row_slice(r)) {
+            *o = f(x, s);
+        }
+    }
+    out
+}
+
+fn softmax_into(row: &[f32], out: &mut [f32]) {
+    let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f32;
+    for (o, &x) in out.iter_mut().zip(row) {
+        let e = (x - max).exp();
+        *o = e;
+        sum += e;
+    }
+    let inv = 1.0 / sum.max(1e-30);
+    for o in out.iter_mut() {
+        *o *= inv;
+    }
+}
+
+fn stable_sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+impl Tensor {
+    fn zip3(&self, b: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        let data = self.as_slice().iter().zip(b.as_slice()).map(|(&x, &y)| f(x, y)).collect();
+        Tensor::from_vec(self.rows(), self.cols(), data)
+    }
+
+    fn zip3_2(&self, b: &Tensor, c: &Tensor, f: impl Fn(f32, f32, f32) -> f32) -> Tensor {
+        let data = self
+            .as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .zip(c.as_slice())
+            .map(|((&x, &y), &z)| f(x, y, z))
+            .collect();
+        Tensor::from_vec(self.rows(), self.cols(), data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::xavier_uniform;
+
+    /// Finite-difference gradient check for a scalar-valued function of one
+    /// parameter.
+    fn grad_check<F>(shape: (usize, usize), build: F)
+    where
+        F: Fn(&mut Tape, Var) -> Var,
+    {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut store = ParamStore::new();
+        let init = xavier_uniform(shape.0, shape.1, &mut rng);
+        let w = store.register("w", init, true);
+
+        // analytic gradient
+        let mut tape = Tape::new(&store, false, 0);
+        let wv = tape.param(w);
+        let loss = build(&mut tape, wv);
+        assert_eq!(tape.shape(loss), (1, 1), "grad_check requires a scalar loss");
+        let mut grads = GradStore::new(&store);
+        tape.backward(loss, &mut grads);
+        let analytic = grads.get(w).expect("missing gradient").clone();
+
+        // numeric gradient
+        let eps = 1e-3f32;
+        for idx in 0..shape.0 * shape.1 {
+            let orig = store.get(w).as_slice()[idx];
+            store.get_mut(w).as_mut_slice()[idx] = orig + eps;
+            let mut tp = Tape::new(&store, false, 0);
+            let wv = tp.param(w);
+            let vp = build(&mut tp, wv);
+            let lp = tp.value(vp).item();
+            store.get_mut(w).as_mut_slice()[idx] = orig - eps;
+            let mut tm = Tape::new(&store, false, 0);
+            let wv = tm.param(w);
+            let vm = build(&mut tm, wv);
+            let lm = tm.value(vm).item();
+            store.get_mut(w).as_mut_slice()[idx] = orig;
+
+            let numeric = (lp - lm) / (2.0 * eps);
+            let a = analytic.as_slice()[idx];
+            assert!(
+                (a - numeric).abs() < 2e-2 * (1.0 + a.abs().max(numeric.abs())),
+                "grad mismatch at {idx}: analytic {a} vs numeric {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn grad_matmul_mse() {
+        grad_check((3, 2), |t, w| {
+            let x = t.input(Tensor::from_rows(&[&[0.5, -1.0, 2.0]]));
+            let y = t.matmul(x, w);
+            t.mse_loss(y, &[0.3, -0.7])
+        });
+    }
+
+    #[test]
+    fn grad_sigmoid_bce() {
+        grad_check((4, 1), |t, w| {
+            let x = t.input(Tensor::from_rows(&[&[1.0, -0.5, 0.2, 0.9], &[0.1, 0.4, -1.2, 0.0]]));
+            let z = t.matmul(x, w);
+            t.bce_with_logits(z, &[1.0, 0.0])
+        });
+    }
+
+    #[test]
+    fn grad_relu_tanh_chain() {
+        grad_check((2, 3), |t, w| {
+            let x = t.input(Tensor::from_rows(&[&[1.0, -2.0], &[0.5, 0.25]]));
+            let h = t.matmul(x, w);
+            let h = t.relu(h);
+            let h = t.tanh(h);
+            t.mse_loss(h, &[0.1, 0.2, 0.3, 0.4, 0.5, 0.6])
+        });
+    }
+
+    #[test]
+    fn grad_softmax_rows() {
+        grad_check((2, 4), |t, w| {
+            let x = t.input(Tensor::from_rows(&[&[1.0, -1.0], &[2.0, 0.3], &[0.0, 1.0]]));
+            let h = t.matmul(x, w);
+            let s = t.softmax_rows(h);
+            t.mse_loss(s, &[0.1, 0.2, 0.3, 0.4, 0.25, 0.25, 0.25, 0.25, 0.7, 0.1, 0.1, 0.1])
+        });
+    }
+
+    #[test]
+    fn grad_gather_scatter() {
+        grad_check((4, 2), |t, w| {
+            let idx = Arc::new(vec![0usize, 2, 2, 3, 1]);
+            let gathered = t.gather(w, idx.clone());
+            let back = t.scatter_add(gathered, Arc::new(vec![0usize, 1, 1, 0, 2]), 3);
+            t.mse_loss(back, &[0.1; 6])
+        });
+    }
+
+    #[test]
+    fn grad_colvec_broadcasts() {
+        grad_check((3, 3), |t, w| {
+            let s = t.row_sum(w);
+            let s = t.add_scalar(s, 2.0);
+            let d = t.div_colvec(w, s);
+            let m = t.mul_colvec(d, s);
+            let sub = t.sub_colvec(m, s);
+            t.mse_loss(sub, &[0.0; 9])
+        });
+    }
+
+    #[test]
+    fn grad_batch_norm() {
+        grad_check((3, 2), |t, w| {
+            let gamma = t.input(Tensor::row(&[1.3, 0.7]));
+            let beta = t.input(Tensor::row(&[0.1, -0.2]));
+            let x = t.input(Tensor::from_rows(&[
+                &[1.0, 2.0, 3.0],
+                &[-1.0, 0.5, 1.5],
+                &[2.0, -0.3, 0.7],
+                &[0.2, 0.9, -1.1],
+            ]));
+            let h = t.matmul(x, w);
+            let (y, _, _) = t.batch_norm(h, gamma, beta, 1e-5, None);
+            t.mse_loss(y, &[0.1; 8])
+        });
+    }
+
+    #[test]
+    fn grad_concat_slice() {
+        grad_check((2, 4), |t, w| {
+            let left = t.col_slice(w, 0, 2);
+            let right = t.col_slice(w, 2, 2);
+            let swapped = t.concat_cols(&[right, left]);
+            let act = t.sigmoid(swapped);
+            t.l1_loss(act, &[0.5; 8])
+        });
+    }
+
+    #[test]
+    fn grad_cross_entropy() {
+        grad_check((3, 3), |t, w| {
+            let x = t.input(Tensor::from_rows(&[&[1.0, 0.0, -1.0], &[0.2, 0.4, 0.8]]));
+            let logits = t.matmul(x, w);
+            t.cross_entropy(logits, &[2, 0])
+        });
+    }
+
+    #[test]
+    fn grad_huber() {
+        grad_check((2, 2), |t, w| {
+            let x = t.input(Tensor::from_rows(&[&[3.0, -2.0]]));
+            let y = t.matmul(x, w);
+            t.huber_loss(y, &[0.0, 10.0], 1.0)
+        });
+    }
+
+    #[test]
+    fn grad_exp_div() {
+        grad_check((2, 2), |t, w| {
+            let e = t.exp(w);
+            let one = t.input(Tensor::ones(2, 2));
+            let s = t.add(e, one);
+            let d = t.div(e, s);
+            t.mse_loss(d, &[0.3, 0.4, 0.5, 0.6])
+        });
+    }
+
+    #[test]
+    fn grad_mean_sum_rows() {
+        grad_check((3, 2), |t, w| {
+            let m = t.mean_rows(w);
+            let s = t.sum_rows(w);
+            let both = t.concat_cols(&[m, s]);
+            t.mse_loss(both, &[0.1, 0.2, 0.3, 0.4])
+        });
+    }
+
+    #[test]
+    fn grad_transpose_matmul() {
+        grad_check((3, 2), |t, w| {
+            let wt = t.transpose(w);
+            let prod = t.matmul(w, wt);
+            t.mse_loss(prod, &[1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0])
+        });
+    }
+
+    #[test]
+    fn dropout_eval_is_identity() {
+        let store = ParamStore::new();
+        let mut tape = Tape::new(&store, false, 0);
+        let x = tape.input(Tensor::row(&[1.0, 2.0, 3.0]));
+        let y = tape.dropout(x, 0.5);
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn dropout_train_scales_by_keep() {
+        let store = ParamStore::new();
+        let mut tape = Tape::new(&store, true, 7);
+        let x = tape.input(Tensor::ones(100, 10));
+        let y = tape.dropout(x, 0.4);
+        let m = tape.value(y).mean();
+        // Inverted dropout preserves the expectation.
+        assert!((m - 1.0).abs() < 0.15, "dropout mean {m}");
+    }
+
+    #[test]
+    fn frozen_params_receive_no_grads() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let w = store.register("w", xavier_uniform(2, 2, &mut rng), false);
+        let mut tape = Tape::new(&store, true, 0);
+        let wv = tape.param(w);
+        let loss = tape.mse_loss(wv, &[0.0; 4]);
+        let mut grads = GradStore::new(&store);
+        tape.backward(loss, &mut grads);
+        assert!(grads.get(w).is_none());
+    }
+}

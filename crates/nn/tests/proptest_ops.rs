@@ -1,0 +1,154 @@
+//! Property-based tests for the tensor and autograd layers: algebraic
+//! identities on random tensors and finite-difference gradient checks on
+//! random op chains.
+
+use cirgps_nn::{GradStore, ParamStore, Tape, Tensor, Var};
+use proptest::prelude::*;
+
+fn tensor_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-2.0f32..2.0, rows * cols)
+        .prop_map(move |v| Tensor::from_vec(rows, cols, v))
+}
+
+proptest! {
+    #[test]
+    fn matmul_is_associative_enough(
+        a in tensor_strategy(3, 4),
+        b in tensor_strategy(4, 2),
+        c in tensor_strategy(2, 5),
+    ) {
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_distributes_over_add(
+        a in tensor_strategy(3, 3),
+        b in tensor_strategy(3, 3),
+        c in tensor_strategy(3, 3),
+    ) {
+        let left = a.add(&b).matmul(&c);
+        let right = a.matmul(&c).add(&b.matmul(&c));
+        for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn transpose_variants_agree(
+        a in tensor_strategy(4, 3),
+        b in tensor_strategy(4, 5),
+    ) {
+        // aᵀ·b three ways.
+        let v1 = a.t_matmul(&b);
+        let v2 = a.transpose().matmul(&b);
+        prop_assert_eq!(v1.shape(), v2.shape());
+        for (x, y) in v1.as_slice().iter().zip(v2.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(a in tensor_strategy(5, 7)) {
+        let store = ParamStore::new();
+        let mut tape = Tape::new(&store, false, 0);
+        let x = tape.input(a);
+        let s = tape.softmax_rows(x);
+        let t = tape.value(s);
+        for r in 0..t.rows() {
+            let sum: f32 = t.row_slice(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4, "row {r} sums to {sum}");
+            prop_assert!(t.row_slice(r).iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn random_op_chain_gradcheck(
+        data in proptest::collection::vec(-1.0f32..1.0, 6),
+        ops in proptest::collection::vec(0u8..5, 1..5),
+        targets in proptest::collection::vec(-1.0f32..1.0, 6),
+    ) {
+        // Build w (2x3), apply a random chain of shape-preserving unary
+        // ops, take MSE against targets, compare analytic vs numeric
+        // gradient at a few coordinates.
+        let mut store = ParamStore::new();
+        let w = store.register("w", Tensor::from_vec(2, 3, data.clone()), true);
+
+        let run = |store: &ParamStore| -> (f32, Option<Tensor>) {
+            let mut tape = Tape::new(store, false, 0);
+            let wv = tape.param(w);
+            let mut h: Var = wv;
+            for &op in &ops {
+                h = match op {
+                    0 => tape.relu(h),
+                    1 => tape.sigmoid(h),
+                    2 => tape.tanh(h),
+                    3 => tape.scale(h, 0.7),
+                    _ => tape.add_scalar(h, 0.3),
+                };
+            }
+            let loss = tape.mse_loss(h, &targets);
+            let mut grads = GradStore::new(store);
+            tape.backward(loss, &mut grads);
+            (tape.value(loss).item(), grads.get(w).cloned())
+        };
+
+        let (_, analytic) = run(&store);
+        let analytic = analytic.expect("gradient must exist");
+        let eps = 1e-3f32;
+        for idx in [0usize, 3, 5] {
+            let orig = store.get(w).as_slice()[idx];
+            // ReLU kinks make finite differences unreliable near zero.
+            if orig.abs() < 5e-3 {
+                continue;
+            }
+            store.get_mut(w).as_mut_slice()[idx] = orig + eps;
+            let (lp, _) = run(&store);
+            store.get_mut(w).as_mut_slice()[idx] = orig - eps;
+            let (lm, _) = run(&store);
+            store.get_mut(w).as_mut_slice()[idx] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            let a = analytic.as_slice()[idx];
+            prop_assert!(
+                (a - numeric).abs() < 5e-2 * (1.0 + a.abs().max(numeric.abs())),
+                "ops {ops:?} idx {idx}: analytic {a} numeric {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn gather_scatter_inverse_on_permutations(perm_seed in 0u64..1000) {
+        // scatter_add(gather(x, p), p) == x when p is a permutation.
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(perm_seed);
+        let mut perm: Vec<usize> = (0..8).collect();
+        perm.shuffle(&mut rng);
+
+        let store = ParamStore::new();
+        let mut tape = Tape::new(&store, false, 0);
+        let xv: Vec<f32> = (0..16).map(|i| i as f32 * 0.5 - 3.0).collect();
+        let x = tape.input(Tensor::from_vec(8, 2, xv.clone()));
+        let g = tape.gather(x, std::sync::Arc::new(perm.clone()));
+        let back = tape.scatter_add(g, std::sync::Arc::new(perm), 8);
+        prop_assert_eq!(tape.value(back).as_slice(), &xv[..]);
+    }
+
+    #[test]
+    fn bce_loss_is_nonnegative_and_bounded_for_confident_preds(
+        logits in proptest::collection::vec(-10.0f32..10.0, 8),
+        labels in proptest::collection::vec(0u8..2, 8),
+    ) {
+        let store = ParamStore::new();
+        let mut tape = Tape::new(&store, false, 0);
+        let z = tape.input(Tensor::col(&logits));
+        let y: Vec<f32> = labels.iter().map(|&l| l as f32).collect();
+        let loss = tape.bce_with_logits(z, &y);
+        let v = tape.value(loss).item();
+        prop_assert!(v >= 0.0, "BCE {v} < 0");
+        prop_assert!(v.is_finite());
+    }
+}

@@ -1,0 +1,273 @@
+//! Joins SPF coupling capacitances onto graph node pairs, generates
+//! structural negative links and balances the dataset (Section III-B).
+
+use std::collections::HashSet;
+
+use ams_netlist::{Netlist, SpfFile};
+use circuit_graph::{CircuitGraph, EdgeType, NodeMap};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// A labeled (possibly negative) coupling link between two graph nodes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Link {
+    /// First endpoint (graph node id).
+    pub a: u32,
+    /// Second endpoint (graph node id).
+    pub b: u32,
+    /// Coupling link type (`p2n`, `p2p` or `n2n`).
+    pub ty: EdgeType,
+    /// 1.0 for observed couplings, 0.0 for structural negatives.
+    pub label: f32,
+    /// Coupling capacitance in farads (0.0 for negatives).
+    pub cap: f64,
+}
+
+/// Positive links of one design, grouped by type.
+#[derive(Debug, Clone, Default)]
+pub struct LinkSet {
+    /// Pin-net couplings.
+    pub p2n: Vec<Link>,
+    /// Pin-pin couplings.
+    pub p2p: Vec<Link>,
+    /// Net-net couplings.
+    pub n2n: Vec<Link>,
+}
+
+impl LinkSet {
+    /// Total number of positive links.
+    pub fn len(&self) -> usize {
+        self.p2n.len() + self.p2p.len() + self.n2n.len()
+    }
+
+    /// Whether no links were joined.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counts per type `[p2n, p2p, n2n]`.
+    pub fn counts(&self) -> [usize; 3] {
+        [self.p2n.len(), self.p2p.len(), self.n2n.len()]
+    }
+
+    /// Extracts the positive links of a design by joining its SPF coupling
+    /// capacitances onto graph nodes.
+    ///
+    /// Couplings whose endpoints cannot be resolved (e.g. pins optimized
+    /// away) are skipped; couplings outside `cap_range` are dropped, as in
+    /// the paper's filtering step.
+    pub fn from_spf(
+        spf: &SpfFile,
+        netlist: &Netlist,
+        graph: &CircuitGraph,
+        map: &NodeMap,
+        cap_range: (f64, f64),
+    ) -> LinkSet {
+        let mut set = LinkSet::default();
+        let mut seen: HashSet<(u32, u32)> = HashSet::new();
+        for c in &spf.coupling_caps {
+            if c.value < cap_range.0 || c.value > cap_range.1 {
+                continue;
+            }
+            let (Some(a), Some(b)) = (map.resolve(netlist, &c.a), map.resolve(netlist, &c.b))
+            else {
+                continue;
+            };
+            if a == b {
+                continue;
+            }
+            let key = (a.min(b), a.max(b));
+            if !seen.insert(key) {
+                continue;
+            }
+            let Some(ty) = EdgeType::link_between(graph.node_type(a), graph.node_type(b)) else {
+                continue;
+            };
+            let link = Link { a, b, ty, label: 1.0, cap: c.value };
+            match ty {
+                EdgeType::CouplingPinNet => set.p2n.push(link),
+                EdgeType::CouplingPinPin => set.p2p.push(link),
+                EdgeType::CouplingNetNet => set.n2n.push(link),
+                _ => unreachable!("link_between only returns coupling types"),
+            }
+        }
+        set
+    }
+
+    /// Balances the set by sampling `per_type` links from each type
+    /// (the paper samples `|E_n2n|` from each type to fight imbalance).
+    /// Types with fewer links contribute all of them.
+    pub fn balanced(&self, per_type: usize, rng: &mut StdRng) -> Vec<Link> {
+        let mut out = Vec::new();
+        for group in [&self.p2n, &self.p2p, &self.n2n] {
+            if group.len() <= per_type {
+                out.extend_from_slice(group);
+            } else {
+                let mut idx: Vec<usize> = (0..group.len()).collect();
+                idx.shuffle(rng);
+                out.extend(idx[..per_type].iter().map(|&i| group[i]));
+            }
+        }
+        out
+    }
+
+    /// The paper's balancing count: the size of the rarest type (`n2n`).
+    pub fn balance_count(&self) -> usize {
+        self.counts().into_iter().min().unwrap_or(0)
+    }
+}
+
+/// Generates structural negative links for a slice of positives by
+/// permuting sources/destinations within each link type (Section III-B:
+/// negatives keep the node-type signature of their type).
+///
+/// A candidate is rejected if it coincides with a schematic edge, an
+/// observed positive, or a previously generated negative; rejected
+/// candidates are retried with random partners so the return length
+/// matches `positives.len()` unless the graph is too small.
+pub fn generate_negatives(
+    graph: &CircuitGraph,
+    positives: &[Link],
+    all_positives: &LinkSet,
+    seed: u64,
+) -> Vec<Link> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut taken: HashSet<(u32, u32)> = HashSet::new();
+    for group in [&all_positives.p2n, &all_positives.p2p, &all_positives.n2n] {
+        for l in group {
+            taken.insert((l.a.min(l.b), l.a.max(l.b)));
+        }
+    }
+
+    // Per-type endpoint pools drawn from the positives themselves
+    // (permutation negatives, as in SEAL and the paper).
+    let mut srcs: [Vec<u32>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    let mut dsts: [Vec<u32>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    let type_slot = |ty: EdgeType| ty.code() - 2;
+    for l in positives {
+        srcs[type_slot(l.ty)].push(l.a);
+        dsts[type_slot(l.ty)].push(l.b);
+    }
+
+    let mut negatives = Vec::with_capacity(positives.len());
+    for l in positives {
+        let slot = type_slot(l.ty);
+        let mut found = None;
+        for _ in 0..64 {
+            let a = srcs[slot][rng.gen_range(0..srcs[slot].len())];
+            let b = dsts[slot][rng.gen_range(0..dsts[slot].len())];
+            if a == b {
+                continue;
+            }
+            let key = (a.min(b), a.max(b));
+            if taken.contains(&key) || graph.has_edge(a, b) {
+                continue;
+            }
+            taken.insert(key);
+            found = Some((a, b));
+            break;
+        }
+        if let Some((a, b)) = found {
+            negatives.push(Link { a, b, ty: l.ty, label: 0.0, cap: 0.0 });
+        }
+    }
+    negatives
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ams_datagen::{generate_with_parasitics, DesignKind, SizePreset};
+    use circuit_graph::netlist_to_graph;
+
+    fn tiny_links() -> (CircuitGraph, LinkSet) {
+        let (design, spf) =
+            generate_with_parasitics(DesignKind::Array128x32, SizePreset::Tiny, 1).unwrap();
+        let (graph, map) = netlist_to_graph(&design.netlist);
+        let links = LinkSet::from_spf(&spf, &design.netlist, &graph, &map, (1e-21, 1e-15));
+        (graph, links)
+    }
+
+    #[test]
+    fn joins_all_three_types() {
+        let (_, links) = tiny_links();
+        let [p2n, p2p, n2n] = links.counts();
+        assert!(p2n > 0 && p2p > 0 && n2n > 0, "{p2n}/{p2p}/{n2n}");
+        assert!(p2n >= n2n, "paper: p2n should dominate");
+    }
+
+    #[test]
+    fn link_types_match_endpoint_node_types() {
+        let (graph, links) = tiny_links();
+        for l in &links.p2p {
+            assert_eq!(
+                EdgeType::link_between(graph.node_type(l.a), graph.node_type(l.b)),
+                Some(EdgeType::CouplingPinPin)
+            );
+        }
+        for l in &links.n2n {
+            assert_eq!(
+                EdgeType::link_between(graph.node_type(l.a), graph.node_type(l.b)),
+                Some(EdgeType::CouplingNetNet)
+            );
+        }
+    }
+
+    #[test]
+    fn balanced_sampling_caps_each_type() {
+        let (_, links) = tiny_links();
+        let mut rng = StdRng::seed_from_u64(0);
+        let n = links.balance_count();
+        let bal = links.balanced(n, &mut rng);
+        assert!(bal.len() <= 3 * n);
+        let p2n = bal.iter().filter(|l| l.ty == EdgeType::CouplingPinNet).count();
+        assert!(p2n <= n);
+    }
+
+    #[test]
+    fn negatives_are_disjoint_from_positives_and_edges() {
+        let (graph, links) = tiny_links();
+        let mut rng = StdRng::seed_from_u64(7);
+        let pos = links.balanced(links.balance_count(), &mut rng);
+        let neg = generate_negatives(&graph, &pos, &links, 3);
+        assert!(!neg.is_empty());
+        let pos_keys: HashSet<(u32, u32)> = links
+            .p2n
+            .iter()
+            .chain(&links.p2p)
+            .chain(&links.n2n)
+            .map(|l| (l.a.min(l.b), l.a.max(l.b)))
+            .collect();
+        for n in &neg {
+            assert_eq!(n.label, 0.0);
+            assert_eq!(n.cap, 0.0);
+            assert!(!pos_keys.contains(&(n.a.min(n.b), n.a.max(n.b))), "negative hit a positive");
+            assert!(!graph.has_edge(n.a, n.b), "negative coincides with a schematic edge");
+        }
+    }
+
+    #[test]
+    fn negatives_preserve_type_signature() {
+        let (graph, links) = tiny_links();
+        let mut rng = StdRng::seed_from_u64(7);
+        let pos = links.balanced(links.balance_count(), &mut rng);
+        let neg = generate_negatives(&graph, &pos, &links, 3);
+        for n in &neg {
+            assert_eq!(
+                EdgeType::link_between(graph.node_type(n.a), graph.node_type(n.b)),
+                Some(n.ty),
+                "negative endpoints must match their link type"
+            );
+        }
+    }
+
+    #[test]
+    fn cap_filter_applies() {
+        let (design, spf) =
+            generate_with_parasitics(DesignKind::Array128x32, SizePreset::Tiny, 1).unwrap();
+        let (graph, map) = netlist_to_graph(&design.netlist);
+        let none = LinkSet::from_spf(&spf, &design.netlist, &graph, &map, (1.0, 2.0));
+        assert!(none.is_empty());
+    }
+}

@@ -1,0 +1,39 @@
+//! # mini-spice
+//!
+//! Switch-level circuit simulation and switching-energy estimation for
+//! the CirGPS reproduction's Fig. 4 validation. Transistors are modeled
+//! as voltage-controlled switches (IRSIM-style): nets take values
+//! {0, 1, X}, undriven nets retain charge (so SRAM cells and latches
+//! work), and toggle counts integrated against per-net parasitic
+//! capacitance give `E = Σ ½·α·C·V²`.
+//!
+//! ## Example
+//!
+//! ```
+//! use ams_netlist::SpiceFile;
+//! use mini_spice::{Logic, SwitchSim};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let src = "
+//! .GLOBAL VDD VSS
+//! .SUBCKT INV A Z VDD VSS
+//! M1 Z A VSS VSS nch W=0.1u L=0.03u
+//! M2 Z A VDD VDD pch W=0.2u L=0.03u
+//! .ENDS
+//! ";
+//! let netlist = SpiceFile::parse(src)?.flatten("INV")?;
+//! let mut sim = SwitchSim::new(&netlist);
+//! sim.drive("A", Logic::One);
+//! sim.settle();
+//! assert_eq!(sim.value("Z"), Logic::Zero);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod energy;
+mod sim;
+
+pub use energy::{net_capacitances, net_capacitances_with, simulate_energy, EnergyResult};
+pub use sim::{Logic, SwitchSim};

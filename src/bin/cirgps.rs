@@ -1,0 +1,216 @@
+//! `cirgps` — command-line front end for the CirGPS pipeline.
+//!
+//! ```text
+//! cirgps gen     --kind ssram --preset tiny --seed 7 --out designs/
+//! cirgps stats   --netlist designs/SSRAM.sp --top SSRAM
+//! cirgps sample  --netlist designs/SSRAM.sp --top SSRAM --spf designs/SSRAM.spf
+//! cirgps energy  --netlist designs/SSRAM.sp --top SSRAM --spf designs/SSRAM.spf --vectors 32
+//! ```
+
+use std::collections::HashMap;
+use std::fs;
+use std::process::ExitCode;
+
+use cirgps::datagen::{generate_with_parasitics, DesignKind, SizePreset};
+use cirgps::graph::{netlist_to_graph, GraphStats, XcSpec};
+use cirgps::netlist::{Netlist, SpfFile, SpiceFile};
+use cirgps::sample::{DatasetConfig, LinkDataset};
+use cirgps::spice::{net_capacitances, simulate_energy};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let flags = parse_flags(&args[1..]);
+    let result = match cmd.as_str() {
+        "gen" => cmd_gen(&flags),
+        "stats" => cmd_stats(&flags),
+        "sample" => cmd_sample(&flags),
+        "energy" => cmd_energy(&flags),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+cirgps — few-shot parasitic prediction pipeline
+
+USAGE:
+  cirgps gen    --kind <ssram|ultra8t|sandwich|clkgen|timing|array>
+                [--preset tiny|small|paper] [--seed N] [--out DIR]
+      Generate a synthetic AMS design; writes <NAME>.sp and <NAME>.spf.
+
+  cirgps stats  --netlist FILE.sp --top NAME
+      Parse + flatten a SPICE netlist and print heterogeneous-graph
+      statistics (Table IV format) and the Table-I feature spec.
+
+  cirgps sample --netlist FILE.sp --top NAME --spf FILE.spf
+                [--per-type N]
+      Join SPF couplings, build the balanced link dataset with 1-hop
+      enclosing subgraphs, and print dataset statistics.
+
+  cirgps energy --netlist FILE.sp --top NAME --spf FILE.spf
+                [--vectors N] [--vdd V]
+      Run the switch-level simulator and report switching energy.";
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(key) = args[i].strip_prefix("--") {
+            let value = args.get(i + 1).cloned().unwrap_or_default();
+            flags.insert(key.to_string(), value);
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    flags
+}
+
+fn design_kind(name: &str) -> Result<DesignKind, String> {
+    Ok(match name {
+        "ssram" => DesignKind::Ssram,
+        "ultra8t" => DesignKind::Ultra8t,
+        "sandwich" => DesignKind::SandwichRam,
+        "clkgen" => DesignKind::DigitalClkGen,
+        "timing" => DesignKind::TimingControl,
+        "array" => DesignKind::Array128x32,
+        other => return Err(format!("unknown design kind {other:?}")),
+    })
+}
+
+fn preset(flags: &HashMap<String, String>) -> Result<SizePreset, String> {
+    Ok(match flags.get("preset").map(String::as_str).unwrap_or("tiny") {
+        "tiny" => SizePreset::Tiny,
+        "small" => SizePreset::Small,
+        "paper" => SizePreset::Paper,
+        other => return Err(format!("unknown preset {other:?}")),
+    })
+}
+
+fn seed(flags: &HashMap<String, String>) -> Result<u64, String> {
+    flags
+        .get("seed")
+        .map(|s| s.parse().map_err(|_| format!("bad --seed {s:?}")))
+        .unwrap_or(Ok(7))
+}
+
+fn load_netlist(flags: &HashMap<String, String>) -> Result<Netlist, String> {
+    let path = flags.get("netlist").ok_or("--netlist is required")?;
+    let top = flags.get("top").ok_or("--top is required")?;
+    let text = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let file = SpiceFile::parse(&text).map_err(|e| e.to_string())?;
+    file.flatten(top).map_err(|e| e.to_string())
+}
+
+fn load_spf(flags: &HashMap<String, String>) -> Result<SpfFile, String> {
+    let path = flags.get("spf").ok_or("--spf is required")?;
+    let text = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    SpfFile::parse(&text).map_err(|e| e.to_string())
+}
+
+fn cmd_gen(flags: &HashMap<String, String>) -> Result<(), String> {
+    let kind = design_kind(flags.get("kind").ok_or("--kind is required")?)?;
+    let out_dir = flags.get("out").cloned().unwrap_or_else(|| ".".into());
+    let (design, spf) = generate_with_parasitics(kind, preset(flags)?, seed(flags)?)
+        .map_err(|e| e.to_string())?;
+    fs::create_dir_all(&out_dir).map_err(|e| e.to_string())?;
+    let sp_path = format!("{out_dir}/{}.sp", design.name);
+    let spf_path = format!("{out_dir}/{}.spf", design.name);
+    // The hierarchical source is more useful than the flattened netlist.
+    fs::write(&sp_path, &design.spice).map_err(|e| e.to_string())?;
+    fs::write(&spf_path, spf.to_text()).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {sp_path} ({} devices flattened) and {spf_path} ({} ground + {} coupling caps)",
+        design.netlist.num_devices(),
+        spf.ground_caps.len(),
+        spf.coupling_caps.len()
+    );
+    Ok(())
+}
+
+fn cmd_stats(flags: &HashMap<String, String>) -> Result<(), String> {
+    let netlist = load_netlist(flags)?;
+    let (graph, _) = netlist_to_graph(&netlist);
+    println!("{}", GraphStats::of(&netlist.name, &graph));
+    println!("transistors: {}", netlist.transistor_count());
+    let e = graph.edge_type_counts();
+    println!("edges: {} device-pin, {} net-pin", e[0], e[1]);
+    println!("\nTable-I circuit statistics (XC) dimensions:");
+    for ty in [
+        cirgps::graph::NodeType::Net,
+        cirgps::graph::NodeType::Device,
+        cirgps::graph::NodeType::Pin,
+    ] {
+        println!("  {ty} nodes:");
+        for (i, d) in XcSpec::dims(ty).iter().enumerate() {
+            println!("    [{i:2}] {d}");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_sample(flags: &HashMap<String, String>) -> Result<(), String> {
+    let netlist = load_netlist(flags)?;
+    let spf = load_spf(flags)?;
+    let per_type: usize = flags
+        .get("per-type")
+        .map(|s| s.parse().map_err(|_| format!("bad --per-type {s:?}")))
+        .unwrap_or(Ok(200))?;
+    let (graph, map) = netlist_to_graph(&netlist);
+    let ds = LinkDataset::build(
+        &netlist.name,
+        &graph,
+        &netlist,
+        &map,
+        &spf,
+        &DatasetConfig { max_per_type: per_type, ..Default::default() },
+    );
+    println!("design {}: {} samples", ds.design, ds.len());
+    println!(
+        "raw positive couplings: {} p2n, {} p2p, {} n2n",
+        ds.raw_counts[0], ds.raw_counts[1], ds.raw_counts[2]
+    );
+    println!(
+        "mean enclosing subgraph: {:.1} nodes, {:.1} edges",
+        ds.mean_subgraph_nodes, ds.mean_subgraph_edges
+    );
+    let pos = ds.samples.iter().filter(|s| s.link.label > 0.5).count();
+    println!("balance: {} positive / {} negative", pos, ds.len() - pos);
+    Ok(())
+}
+
+fn cmd_energy(flags: &HashMap<String, String>) -> Result<(), String> {
+    let netlist = load_netlist(flags)?;
+    let spf = load_spf(flags)?;
+    let vectors: usize = flags
+        .get("vectors")
+        .map(|s| s.parse().map_err(|_| format!("bad --vectors {s:?}")))
+        .unwrap_or(Ok(32))?;
+    let vdd: f64 = flags
+        .get("vdd")
+        .map(|s| s.parse().map_err(|_| format!("bad --vdd {s:?}")))
+        .unwrap_or(Ok(0.9))?;
+    let caps = net_capacitances(&netlist, &spf);
+    let total_cap: f64 = caps.iter().sum();
+    let result = simulate_energy(&netlist, &caps, vdd, vectors, seed(flags)?);
+    println!("total lumped capacitance: {:.3e} F over {} nets", total_cap, netlist.num_nets());
+    println!(
+        "switching energy: {:.3e} J across {} vectors ({} toggles)",
+        result.energy, result.vectors, result.total_toggles
+    );
+    Ok(())
+}

@@ -1,0 +1,51 @@
+//! # cirgps
+//!
+//! Facade crate for the CirGPS reproduction — a Rust implementation of
+//! *"Few-shot Learning on AMS Circuits and Its Application to Parasitic
+//! Capacitance Prediction"* (CircuitGPS, DAC 2025).
+//!
+//! Every subsystem is its own crate; this facade re-exports them under
+//! stable module names so examples and downstream users need a single
+//! dependency:
+//!
+//! | module | crate | role |
+//! |---|---|---|
+//! | [`netlist`] | `ams-netlist` | SPICE + SPF parsing/writing |
+//! | [`graph`] | `circuit-graph` | heterogeneous circuit graph, `XC` stats |
+//! | [`datagen`] | `ams-datagen` | synthetic designs + layout-proxy extraction |
+//! | [`sample`] | `subgraph-sample` | enclosing-subgraph datasets |
+//! | [`pe`] | `graph-pe` | DSPD/DRNL/RWSE/LapPE encodings |
+//! | [`nn`] | `cirgps-nn` | tensors, autograd, layers, optimizers |
+//! | [`model`] | `circuitgps` | the CircuitGPS model + training |
+//! | [`baselines`] | `cirgps-baselines` | ParaGraph, DLPL-Cap |
+//! | [`spice`] | `mini-spice` | switch-level energy simulation |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cirgps::datagen::{generate_with_parasitics, DesignKind, SizePreset};
+//! use cirgps::graph::netlist_to_graph;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let (design, spf) =
+//!     generate_with_parasitics(DesignKind::TimingControl, SizePreset::Tiny, 7)?;
+//! let (graph, _map) = netlist_to_graph(&design.netlist);
+//! println!("{} nodes, {} couplings", graph.num_nodes(), spf.coupling_caps.len());
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `examples/` for full training pipelines and `crates/bench` for the
+//! harnesses that regenerate every table and figure of the paper.
+
+#![warn(missing_docs)]
+
+pub use ams_datagen as datagen;
+pub use ams_netlist as netlist;
+pub use cirgps_baselines as baselines;
+pub use cirgps_nn as nn;
+pub use circuit_graph as graph;
+pub use circuitgps as model;
+pub use graph_pe as pe;
+pub use mini_spice as spice;
+pub use subgraph_sample as sample;

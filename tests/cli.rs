@@ -1,0 +1,92 @@
+//! Integration test for the `cirgps` command-line tool: generate a design
+//! to disk, then run every subcommand against the written files.
+
+use std::process::Command;
+
+fn cirgps() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_cirgps"))
+}
+
+#[test]
+fn cli_full_workflow() {
+    let dir = std::env::temp_dir().join(format!("cirgps_cli_test_{}", std::process::id()));
+    let dir_s = dir.to_str().unwrap().to_string();
+
+    // gen
+    let out = cirgps()
+        .args(["gen", "--kind", "timing", "--preset", "tiny", "--seed", "3", "--out", &dir_s])
+        .output()
+        .expect("run gen");
+    assert!(out.status.success(), "gen failed: {}", String::from_utf8_lossy(&out.stderr));
+    let sp = format!("{dir_s}/TIMING_CONTROL.sp");
+    let spf = format!("{dir_s}/TIMING_CONTROL.spf");
+    assert!(std::path::Path::new(&sp).exists());
+    assert!(std::path::Path::new(&spf).exists());
+
+    // stats
+    let out = cirgps()
+        .args(["stats", "--netlist", &sp, "--top", "TIMING_CONTROL"])
+        .output()
+        .expect("run stats");
+    assert!(out.status.success(), "stats failed: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("TIMING_CONTROL"), "{text}");
+    assert!(text.contains("transistors"), "{text}");
+
+    // sample
+    let out = cirgps()
+        .args([
+            "sample",
+            "--netlist",
+            &sp,
+            "--top",
+            "TIMING_CONTROL",
+            "--spf",
+            &spf,
+            "--per-type",
+            "30",
+        ])
+        .output()
+        .expect("run sample");
+    assert!(out.status.success(), "sample failed: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("mean enclosing subgraph"), "{text}");
+
+    // energy
+    let out = cirgps()
+        .args([
+            "energy",
+            "--netlist",
+            &sp,
+            "--top",
+            "TIMING_CONTROL",
+            "--spf",
+            &spf,
+            "--vectors",
+            "8",
+        ])
+        .output()
+        .expect("run energy");
+    assert!(out.status.success(), "energy failed: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("switching energy"), "{text}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cli_reports_errors_cleanly() {
+    let out = cirgps().args(["frobnicate"]).output().expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    let out = cirgps().args(["gen", "--kind", "nonexistent"]).output().expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown design kind"));
+
+    let out = cirgps()
+        .args(["stats", "--netlist", "/nonexistent/file.sp", "--top", "X"])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+}

@@ -1,0 +1,62 @@
+//! Integration tests for the interchange formats: SPICE and SPF files
+//! written by one subsystem must parse and join correctly in another.
+
+use cirgps::datagen::{generate_with_parasitics, DesignKind, SizePreset};
+use cirgps::graph::netlist_to_graph;
+use cirgps::netlist::{netlist_to_spice, SpfFile, SpiceFile};
+
+#[test]
+fn generated_design_round_trips_through_spice_text() {
+    let (design, _) = generate_with_parasitics(DesignKind::TimingControl, SizePreset::Tiny, 1)
+        .expect("generation");
+    // Flattened netlist → SPICE text → parse → flatten again.
+    let text = netlist_to_spice(&design.netlist);
+    let reparsed = SpiceFile::parse(&text)
+        .expect("writer output must parse")
+        .flatten(&design.name)
+        .expect("writer output must flatten");
+    assert_eq!(reparsed.num_devices(), design.netlist.num_devices());
+    assert_eq!(reparsed.num_nets(), design.netlist.num_nets());
+
+    // The graphs built from both netlists are isomorphic in size.
+    let (g1, _) = netlist_to_graph(&design.netlist);
+    let (g2, _) = netlist_to_graph(&reparsed);
+    assert_eq!(g1.num_nodes(), g2.num_nodes());
+    assert_eq!(g1.num_edges(), g2.num_edges());
+    assert_eq!(g1.node_type_counts(), g2.node_type_counts());
+}
+
+#[test]
+fn spf_round_trips_and_rejoins_onto_graph() {
+    let (design, spf) = generate_with_parasitics(DesignKind::Array128x32, SizePreset::Tiny, 2)
+        .expect("generation");
+    let text = spf.to_text();
+    let reparsed = SpfFile::parse(&text).expect("spf must re-parse");
+    assert_eq!(reparsed.coupling_caps.len(), spf.coupling_caps.len());
+    assert_eq!(reparsed.ground_caps.len(), spf.ground_caps.len());
+
+    // Every coupling endpoint written by the extractor must resolve onto
+    // the graph built from the same netlist.
+    let (graph, map) = netlist_to_graph(&design.netlist);
+    let mut resolved = 0usize;
+    for c in &reparsed.coupling_caps {
+        let a = map.resolve(&design.netlist, &c.a);
+        let b = map.resolve(&design.netlist, &c.b);
+        assert!(a.is_some(), "unresolvable SPF node {:?}", c.a);
+        assert!(b.is_some(), "unresolvable SPF node {:?}", c.b);
+        resolved += 1;
+        let _ = graph.node_type(a.unwrap());
+    }
+    assert_eq!(resolved, reparsed.coupling_caps.len());
+}
+
+#[test]
+fn values_survive_spf_text_with_tight_tolerance() {
+    let (_, spf) = generate_with_parasitics(DesignKind::TimingControl, SizePreset::Tiny, 3)
+        .expect("generation");
+    let reparsed = SpfFile::parse(&spf.to_text()).expect("parse");
+    for (orig, back) in spf.coupling_caps.iter().zip(&reparsed.coupling_caps) {
+        let rel = (orig.value - back.value).abs() / orig.value;
+        assert!(rel < 1e-3, "value drift {rel} for {:?}", orig);
+    }
+}

@@ -1,0 +1,129 @@
+//! Cross-crate integration test: the complete pipeline from synthetic
+//! design generation to a trained, evaluated CircuitGPS model.
+
+use cirgps::datagen::{generate_with_parasitics, DesignKind, SizePreset};
+use cirgps::graph::{netlist_to_graph, NodeType};
+use cirgps::model::{
+    evaluate_link, evaluate_regression, finetune_regression, prepare_link_dataset, pretrain_link,
+    CircuitGps, FinetuneMode, ModelConfig, TrainConfig,
+};
+use cirgps::pe::PeKind;
+use cirgps::sample::{CapNormalizer, DatasetConfig, LinkDataset, XcNormalizer};
+
+fn tiny_pipeline_data() -> (cirgps::graph::CircuitGraph, LinkDataset) {
+    let (design, spf) =
+        generate_with_parasitics(DesignKind::TimingControl, SizePreset::Tiny, 3).unwrap();
+    let (graph, map) = netlist_to_graph(&design.netlist);
+    let ds = LinkDataset::build(
+        "TIMING_CONTROL",
+        &graph,
+        &design.netlist,
+        &map,
+        &spf,
+        &DatasetConfig { max_per_type: 80, ..Default::default() },
+    );
+    (graph, ds)
+}
+
+#[test]
+fn end_to_end_link_prediction_learns() {
+    let (graph, ds) = tiny_pipeline_data();
+    assert!(ds.len() > 100, "dataset too small: {}", ds.len());
+
+    let xcn = XcNormalizer::fit(&[&graph]);
+    let cap = CapNormalizer::paper_range();
+    let samples = prepare_link_dataset(&ds, PeKind::Dspd, &xcn, |c| cap.encode(c));
+
+    let mut model = CircuitGps::new(ModelConfig {
+        hidden_dim: 32,
+        num_layers: 2,
+        ..ModelConfig::default()
+    });
+    let cfg = TrainConfig { epochs: 3, ..Default::default() };
+    let hist = pretrain_link(&mut model, &samples, &cfg);
+    assert!(
+        hist.epoch_losses.last().unwrap() < &hist.epoch_losses[0],
+        "loss should decrease: {:?}",
+        hist.epoch_losses
+    );
+    let m = evaluate_link(&model, &samples);
+    assert!(m.auc > 0.85, "training-set AUC too low: {:.3}", m.auc);
+    assert!(m.accuracy > 0.75, "training-set accuracy too low: {:.3}", m.accuracy);
+}
+
+#[test]
+fn end_to_end_regression_beats_constant_predictor() {
+    let (graph, ds) = tiny_pipeline_data();
+    let xcn = XcNormalizer::fit(&[&graph]);
+    let cap = CapNormalizer::paper_range();
+    let samples = prepare_link_dataset(&ds, PeKind::Dspd, &xcn, |c| cap.encode(c));
+
+    let mut model = CircuitGps::new(ModelConfig {
+        hidden_dim: 32,
+        num_layers: 2,
+        ..ModelConfig::default()
+    });
+    let cfg = TrainConfig { epochs: 4, ..Default::default() };
+    finetune_regression(&mut model, &samples, FinetuneMode::Scratch, &cfg);
+    let m = evaluate_regression(&model, &samples);
+
+    // A constant predictor at the target mean has MAE equal to the mean
+    // absolute deviation; the model must do better.
+    let mean: f32 = samples.iter().map(|s| s.target).sum::<f32>() / samples.len() as f32;
+    let mad: f64 = samples.iter().map(|s| (s.target - mean).abs() as f64).sum::<f64>()
+        / samples.len() as f64;
+    assert!(m.mae < mad, "model MAE {:.3} not better than constant {:.3}", m.mae, mad);
+    assert!(m.r2 > 0.3, "R2 too low: {:.3}", m.r2);
+}
+
+#[test]
+fn zero_shot_transfer_between_archetypes() {
+    // Pre-train on TIMING_CONTROL, test on ARRAY_128_32 — completely
+    // different circuit structure, same universal subgraph vocabulary.
+    let (train_graph, train_ds) = tiny_pipeline_data();
+    let (design, spf) =
+        generate_with_parasitics(DesignKind::Array128x32, SizePreset::Tiny, 4).unwrap();
+    let (test_graph, map) = netlist_to_graph(&design.netlist);
+    let test_ds = LinkDataset::build(
+        "ARRAY_128_32",
+        &test_graph,
+        &design.netlist,
+        &map,
+        &spf,
+        &DatasetConfig { max_per_type: 80, ..Default::default() },
+    );
+
+    let xcn = XcNormalizer::fit(&[&train_graph]);
+    let cap = CapNormalizer::paper_range();
+    let train = prepare_link_dataset(&train_ds, PeKind::Dspd, &xcn, |c| cap.encode(c));
+    let test = prepare_link_dataset(&test_ds, PeKind::Dspd, &xcn, |c| cap.encode(c));
+
+    let mut model = CircuitGps::new(ModelConfig::default());
+    pretrain_link(&mut model, &train, &TrainConfig { epochs: 4, ..Default::default() });
+    let m = evaluate_link(&model, &test);
+    assert!(m.auc > 0.7, "zero-shot AUC {:.3} should beat chance by a wide margin", m.auc);
+}
+
+#[test]
+fn graph_invariants_hold_on_generated_designs() {
+    for kind in [DesignKind::Ssram, DesignKind::Ultra8t] {
+        let (design, _) = generate_with_parasitics(kind, SizePreset::Tiny, 5).unwrap();
+        let (graph, _) = netlist_to_graph(&design.netlist);
+        // Pins connect exactly one device and one net.
+        for v in 0..graph.num_nodes() as u32 {
+            if graph.node_type(v) == NodeType::Pin {
+                let mut dev = 0;
+                let mut net = 0;
+                for (_, t) in graph.neighbors(v) {
+                    match t {
+                        cirgps::graph::EdgeType::DevicePin => dev += 1,
+                        cirgps::graph::EdgeType::NetPin => net += 1,
+                        _ => {}
+                    }
+                }
+                assert_eq!(dev, 1, "pin {v} has {dev} device edges");
+                assert_eq!(net, 1, "pin {v} has {net} net edges");
+            }
+        }
+    }
+}

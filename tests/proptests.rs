@@ -1,0 +1,123 @@
+//! Property-based tests over the public API: parser/writer round trips
+//! and subgraph-sampling invariants on randomized graphs.
+
+use cirgps::graph::{EdgeType, GraphBuilder, NodeType};
+use cirgps::netlist::{format_spice_value, parse_spice_value};
+use cirgps::pe::{compute_pe, PeFeatures, PeKind};
+use cirgps::sample::{SamplerConfig, SubgraphSampler, UNREACHABLE};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn spice_values_round_trip(mantissa in 1.0e-2f64..9.99e2, exp in -19i32..9) {
+        let v = mantissa * 10f64.powi(exp);
+        let s = format_spice_value(v);
+        let back = parse_spice_value(&s).expect("formatted value must parse");
+        prop_assert!(((back - v) / v).abs() < 1e-3, "{v} -> {s} -> {back}");
+    }
+
+    #[test]
+    fn random_graph_subgraphs_uphold_invariants(
+        edges in proptest::collection::vec((0u32..40, 0u32..40), 1..120),
+        hops in 1u32..4,
+    ) {
+        // Build a random (multi-)graph over 40 nodes with alternating
+        // types; skip self loops and duplicate edges.
+        let mut b = GraphBuilder::new();
+        for i in 0..40u32 {
+            let ty = match i % 3 {
+                0 => NodeType::Net,
+                1 => NodeType::Device,
+                _ => NodeType::Pin,
+            };
+            b.add_node(ty, &format!("v{i}"));
+        }
+        let mut seen = std::collections::HashSet::new();
+        let mut added = Vec::new();
+        for &(a, c) in &edges {
+            if a == c || !seen.insert((a.min(c), a.max(c))) {
+                continue;
+            }
+            b.add_edge(a, c, EdgeType::NetPin);
+            added.push((a, c));
+        }
+        prop_assume!(!added.is_empty());
+        let g = b.build();
+
+        let (m, n) = added[0];
+        let mut sampler = SubgraphSampler::new(&g, SamplerConfig { hops, max_nodes: 4096 });
+        let sub = sampler.enclosing_subgraph(m, n);
+
+        // Anchors first.
+        prop_assert_eq!(sub.nodes[0], m);
+        prop_assert_eq!(sub.nodes[1], n);
+        prop_assert_eq!(sub.dist_a[0], 0);
+        prop_assert_eq!(sub.dist_b[1], 0);
+
+        // Every node is within `hops` of an anchor (union definition).
+        for i in 0..sub.num_nodes() {
+            let da = sub.dist_a[i];
+            let db = sub.dist_b[i];
+            prop_assert!(
+                da.min(db) <= hops || da.min(db) == UNREACHABLE,
+                "node {i}: ({da},{db}) vs hops {hops}"
+            );
+        }
+
+        // Directed arcs come in reverse pairs and reference valid nodes.
+        let arcs: std::collections::HashSet<(usize, usize)> =
+            sub.src.iter().zip(&sub.dst).map(|(&s, &d)| (s, d)).collect();
+        for &(s, d) in &arcs {
+            prop_assert!(s < sub.num_nodes() && d < sub.num_nodes());
+            prop_assert!(arcs.contains(&(d, s)), "missing reverse arc of ({s},{d})");
+        }
+
+        // DSPD codes stay within the embedding-table range.
+        if let PeFeatures::CategoricalPair { a, b, num_classes } = compute_pe(&sub, PeKind::Dspd) {
+            for (&x, &y) in a.iter().zip(&b) {
+                prop_assert!(x < num_classes && y < num_classes);
+            }
+        } else {
+            prop_assert!(false, "DSPD must produce a categorical pair");
+        }
+
+        // DRNL is consistent: same distance pair => same code.
+        if let PeFeatures::Categorical { codes, .. } = compute_pe(&sub, PeKind::Drnl) {
+            let mut by_pair = std::collections::HashMap::new();
+            for i in sub.num_anchors..sub.num_nodes() {
+                let key = (sub.dist_a[i], sub.dist_b[i]);
+                if let Some(prev) = by_pair.insert(key, codes[i]) {
+                    prop_assert_eq!(prev, codes[i]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rwse_values_are_probabilities(
+        edges in proptest::collection::vec((0u32..20, 0u32..20), 1..60),
+    ) {
+        let mut b = GraphBuilder::new();
+        for i in 0..20u32 {
+            b.add_node(NodeType::Net, &format!("v{i}"));
+        }
+        let mut seen = std::collections::HashSet::new();
+        let mut any = None;
+        for &(a, c) in &edges {
+            if a == c || !seen.insert((a.min(c), a.max(c))) {
+                continue;
+            }
+            b.add_edge(a, c, EdgeType::NetPin);
+            any = Some(a);
+        }
+        prop_assume!(any.is_some());
+        let g = b.build();
+        let mut sampler = SubgraphSampler::new(&g, SamplerConfig { hops: 3, max_nodes: 64 });
+        let sub = sampler.node_subgraph(any.unwrap());
+        if let PeFeatures::Dense { data, .. } = compute_pe(&sub, PeKind::Rwse { k: 6 }) {
+            for &v in &data {
+                prop_assert!((0.0..=1.0 + 1e-5).contains(&v), "rwse value {v}");
+            }
+        }
+    }
+}
