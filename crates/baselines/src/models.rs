@@ -59,7 +59,11 @@ pub struct BaselineConfig {
 
 impl Default for BaselineConfig {
     fn default() -> Self {
-        BaselineConfig { hidden_dim: 16, num_layers: 3, seed: 0xBA5E }
+        BaselineConfig {
+            hidden_dim: 16,
+            num_layers: 3,
+            seed: 0xBA5E,
+        }
     }
 }
 
@@ -89,21 +93,48 @@ impl Baseline {
         let mut layers = Vec::new();
         for l in 0..cfg.num_layers {
             let in_dim = if l == 0 { INPUT_DIM } else { d };
-            layers.push(SageLayer::new(&mut store, &format!("sage.{l}"), in_dim, d, &mut rng));
+            layers.push(SageLayer::new(
+                &mut store,
+                &format!("sage.{l}"),
+                in_dim,
+                d,
+                &mut rng,
+            ));
         }
         let n_experts = match kind {
             BaselineKind::ParaGraph => PARAGRAPH_ENSEMBLE,
             BaselineKind::DlplCap => DLPL_EXPERTS,
         };
-        let link_mlp =
-            Mlp::new(&mut store, "link", &[d, d, 1], Activation::Relu, 0.0, &mut rng);
+        let link_mlp = Mlp::new(
+            &mut store,
+            "link",
+            &[d, d, 1],
+            Activation::Relu,
+            0.0,
+            &mut rng,
+        );
         let gate = Linear::new(&mut store, "gate", d, n_experts, true, &mut rng);
         let experts = (0..n_experts)
             .map(|e| {
-                Mlp::new(&mut store, &format!("expert.{e}"), &[d, d, 1], Activation::Relu, 0.0, &mut rng)
+                Mlp::new(
+                    &mut store,
+                    &format!("expert.{e}"),
+                    &[d, d, 1],
+                    Activation::Relu,
+                    0.0,
+                    &mut rng,
+                )
             })
             .collect();
-        Baseline { kind, cfg, store, layers, link_mlp, gate, experts }
+        Baseline {
+            kind,
+            cfg,
+            store,
+            layers,
+            link_mlp,
+            gate,
+            experts,
+        }
     }
 
     /// The parameter store.
@@ -207,7 +238,11 @@ mod tests {
         let mut prev = b.add_node(NodeType::Net, "n0");
         for i in 1..8 {
             let v = b.add_node(
-                if i % 2 == 0 { NodeType::Net } else { NodeType::Pin },
+                if i % 2 == 0 {
+                    NodeType::Net
+                } else {
+                    NodeType::Pin
+                },
                 &format!("v{i}"),
             );
             b.add_edge(prev, v, EdgeType::NetPin);

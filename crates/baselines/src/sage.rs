@@ -8,8 +8,8 @@
 
 use std::sync::Arc;
 
-use cirgps_nn::{Linear, ParamStore, Tape, Tensor, Var};
 use circuit_graph::{CircuitGraph, NodeType, XC_DIM};
+use cirgps_nn::{Linear, ParamStore, Tape, Tensor, Var};
 use rand::rngs::StdRng;
 use subgraph_sample::XcNormalizer;
 
@@ -61,7 +61,12 @@ impl FullGraphInputs {
                 })
                 .collect::<Vec<f32>>(),
         );
-        FullGraphInputs { features: Tensor::from_vec(n, INPUT_DIM, feats), src: Arc::new(src), dst: Arc::new(dst), inv_degree }
+        FullGraphInputs {
+            features: Tensor::from_vec(n, INPUT_DIM, feats),
+            src: Arc::new(src),
+            dst: Arc::new(dst),
+            inv_degree,
+        }
     }
 
     /// Number of nodes.

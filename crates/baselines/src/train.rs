@@ -6,8 +6,8 @@
 //! which is also why these models cannot exploit the paper's few-shot
 //! pre-training.
 
-use cirgps_nn::{Adam, GradStore, Tape};
 use circuitgps::{link_metrics, reg_metrics, LinkMetrics, RegMetrics};
+use cirgps_nn::{Adam, GradStore, Tape};
 use subgraph_sample::Link;
 
 use crate::models::{Baseline, BaselineKind};
@@ -69,7 +69,12 @@ pub struct BaselineTrainConfig {
 
 impl Default for BaselineTrainConfig {
     fn default() -> Self {
-        BaselineTrainConfig { epochs: 60, lr: 5e-3, clip: 1.0, router_weight: 0.3 }
+        BaselineTrainConfig {
+            epochs: 60,
+            lr: 5e-3,
+            clip: 1.0,
+            router_weight: 0.3,
+        }
     }
 }
 
@@ -89,13 +94,17 @@ pub fn train_link(
             if task.is_empty() {
                 continue;
             }
-            let mut tape = Tape::new(model.store(), true, 0);
-            let logits = model.link_logits(&mut tape, g, &task.pairs);
-            let loss = tape.bce_with_logits(logits, &task.labels);
             let mut grads = GradStore::new(model.store());
-            tape.backward(loss, &mut grads);
+            {
+                // Inner scope: the tape borrows the store and recycles its
+                // buffers on drop, so it must die before the optimizer step.
+                let mut tape = Tape::new(model.store(), true, 0);
+                let logits = model.link_logits(&mut tape, g, &task.pairs);
+                let loss = tape.bce_with_logits(logits, &task.labels);
+                tape.backward(loss, &mut grads);
+                total += tape.value(loss).item();
+            }
             grads.clip_global_norm(cfg.clip);
-            total += tape.value(loss).item();
             opt.step(model.store_mut(), &grads);
         }
         last = total / designs.len().max(1) as f32;
@@ -117,22 +126,27 @@ pub fn train_regression(
             if task.is_empty() {
                 continue;
             }
-            let mut tape = Tape::new(model.store(), true, 0);
-            let h = model.node_embeddings(&mut tape, g);
-            let emb = model.pair_embeddings(&mut tape, h, &task.pairs);
-            let outs = model.expert_outputs(&mut tape, emb);
-            let mut loss = tape.l1_loss(outs, &task.targets);
-            if model.kind == BaselineKind::DlplCap && cfg.router_weight > 0.0 {
-                let bins: Vec<usize> =
-                    task.targets.iter().map(|&t| model.magnitude_bin(t)).collect();
-                let aux = model.router_loss(&mut tape, emb, &bins);
-                let aux = tape.scale(aux, cfg.router_weight);
-                loss = tape.add(loss, aux);
-            }
             let mut grads = GradStore::new(model.store());
-            tape.backward(loss, &mut grads);
+            {
+                let mut tape = Tape::new(model.store(), true, 0);
+                let h = model.node_embeddings(&mut tape, g);
+                let emb = model.pair_embeddings(&mut tape, h, &task.pairs);
+                let outs = model.expert_outputs(&mut tape, emb);
+                let mut loss = tape.l1_loss(outs, &task.targets);
+                if model.kind == BaselineKind::DlplCap && cfg.router_weight > 0.0 {
+                    let bins: Vec<usize> = task
+                        .targets
+                        .iter()
+                        .map(|&t| model.magnitude_bin(t))
+                        .collect();
+                    let aux = model.router_loss(&mut tape, emb, &bins);
+                    let aux = tape.scale(aux, cfg.router_weight);
+                    loss = tape.add(loss, aux);
+                }
+                tape.backward(loss, &mut grads);
+                total += tape.value(loss).item();
+            }
             grads.clip_global_norm(cfg.clip);
-            total += tape.value(loss).item();
             opt.step(model.store_mut(), &grads);
         }
         last = total / designs.len().max(1) as f32;
@@ -154,13 +168,15 @@ pub fn train_node_regression(
             if task.nodes.is_empty() {
                 continue;
             }
-            let mut tape = Tape::new(model.store(), true, 0);
-            let outs = model.node_reg_outputs(&mut tape, g, &task.nodes);
-            let loss = tape.l1_loss(outs, &task.targets);
             let mut grads = GradStore::new(model.store());
-            tape.backward(loss, &mut grads);
+            {
+                let mut tape = Tape::new(model.store(), true, 0);
+                let outs = model.node_reg_outputs(&mut tape, g, &task.nodes);
+                let loss = tape.l1_loss(outs, &task.targets);
+                tape.backward(loss, &mut grads);
+                total += tape.value(loss).item();
+            }
             grads.clip_global_norm(cfg.clip);
-            total += tape.value(loss).item();
             opt.step(model.store_mut(), &grads);
         }
         last = total / designs.len().max(1) as f32;
@@ -172,8 +188,12 @@ pub fn train_node_regression(
 pub fn evaluate_link(model: &Baseline, g: &FullGraphInputs, task: &PairTask) -> LinkMetrics {
     let mut tape = Tape::new(model.store(), false, 0);
     let logits = model.link_logits(&mut tape, g, &task.pairs);
-    let scores: Vec<f32> =
-        tape.value(logits).as_slice().iter().map(|&z| 1.0 / (1.0 + (-z).exp())).collect();
+    let scores: Vec<f32> = tape
+        .value(logits)
+        .as_slice()
+        .iter()
+        .map(|&z| 1.0 / (1.0 + (-z).exp()))
+        .collect();
     link_metrics(&scores, &task.labels)
 }
 
@@ -210,7 +230,7 @@ mod tests {
     /// limitation CircuitGPS's enclosing subgraphs address.
     fn toy() -> (FullGraphInputs, PairTask) {
         let mut b = GraphBuilder::new();
-        let mut make_cluster = |b: &mut GraphBuilder, tag: &str, width: f32| -> Vec<u32> {
+        let make_cluster = |b: &mut GraphBuilder, tag: &str, width: f32| -> Vec<u32> {
             let hub = b.add_node(NodeType::Net, &format!("{tag}h"));
             b.set_xc(hub, 4, width * 3.0);
             let mut v = vec![hub];
@@ -243,7 +263,11 @@ mod tests {
     fn baseline_link_training_learns_toy_task() {
         let (g, task) = toy();
         let mut m = Baseline::new(BaselineKind::ParaGraph, BaselineConfig::default());
-        let cfg = BaselineTrainConfig { epochs: 150, lr: 1e-2, ..Default::default() };
+        let cfg = BaselineTrainConfig {
+            epochs: 150,
+            lr: 1e-2,
+            ..Default::default()
+        };
         let loss = train_link(&mut m, &[(&g, &task)], &cfg);
         assert!(loss < 0.5, "loss {loss}");
         let metrics = evaluate_link(&m, &g, &task);
@@ -254,7 +278,11 @@ mod tests {
     fn baseline_regression_fits() {
         let (g, task) = toy();
         let mut m = Baseline::new(BaselineKind::DlplCap, BaselineConfig::default());
-        let cfg = BaselineTrainConfig { epochs: 200, lr: 1e-2, ..Default::default() };
+        let cfg = BaselineTrainConfig {
+            epochs: 200,
+            lr: 1e-2,
+            ..Default::default()
+        };
         train_regression(&mut m, &[(&g, &task)], &cfg);
         let metrics = evaluate_regression(&m, &g, &task);
         assert!(metrics.mae < 0.25, "mae {:.3}", metrics.mae);
@@ -263,9 +291,16 @@ mod tests {
     #[test]
     fn node_regression_round_trip() {
         let (g, _) = toy();
-        let task = NodeTask { nodes: vec![0, 1, 2], targets: vec![0.2, 0.5, 0.7] };
+        let task = NodeTask {
+            nodes: vec![0, 1, 2],
+            targets: vec![0.2, 0.5, 0.7],
+        };
         let mut m = Baseline::new(BaselineKind::ParaGraph, BaselineConfig::default());
-        let cfg = BaselineTrainConfig { epochs: 150, lr: 1e-2, ..Default::default() };
+        let cfg = BaselineTrainConfig {
+            epochs: 150,
+            lr: 1e-2,
+            ..Default::default()
+        };
         train_node_regression(&mut m, &[(&g, &task)], &cfg);
         let metrics = evaluate_node_regression(&m, &g, &task);
         assert!(metrics.mae < 0.3, "mae {:.3}", metrics.mae);

@@ -17,9 +17,7 @@ fn bench_energy(c: &mut Criterion) {
         b.iter(|| std::hint::black_box(sim.settle()))
     });
     group.bench_function("energy_16_vectors", |b| {
-        b.iter(|| {
-            std::hint::black_box(simulate_energy(&d.design.netlist, &caps, 0.9, 16, 3))
-        })
+        b.iter(|| std::hint::black_box(simulate_energy(&d.design.netlist, &caps, 0.9, 16, 3)))
     });
     group.finish();
 }

@@ -1,55 +1,8 @@
-//! Tables V/VI/VIII driver: end-to-end per-link inference latency
-//! (sample → PE → model forward), the number that governs how fast a
-//! trained CircuitGPS screens coupling candidates on a new design.
+//! Tables V/VI/VIII driver: end-to-end per-link inference latency. The
+//! measurement body lives in `cirgps_bench::perf` so `bench_json` can
+//! snapshot it too.
 
-use ams_datagen::{DesignKind, SizePreset};
-use cirgps_bench::{default_model, DesignData};
-use circuitgps::{prepare_link_dataset, CircuitGps, PreparedSample};
-use criterion::{criterion_group, criterion_main, Criterion};
-use graph_pe::{compute_pe, PeKind};
-use subgraph_sample::{CapNormalizer, DatasetConfig, SamplerConfig, SubgraphSampler, XcNormalizer};
+use criterion::{criterion_group, criterion_main};
 
-fn bench_pipeline(c: &mut Criterion) {
-    let d = DesignData::load(DesignKind::TimingControl, SizePreset::Tiny, 7);
-    let ds = d.link_dataset(&DatasetConfig { max_per_type: 30, ..Default::default() });
-    let xcn = XcNormalizer::fit(&[&d.graph]);
-    let cap = CapNormalizer::paper_range();
-    let samples = prepare_link_dataset(&ds, PeKind::Dspd, &xcn, |v| cap.encode(v));
-    let model = CircuitGps::new(default_model(PeKind::Dspd, 7));
-
-    let mut group = c.benchmark_group("table5_inference");
-    group.bench_function("predict_link_per_sample", |b| {
-        let mut i = 0;
-        b.iter(|| {
-            let s = &samples[i % samples.len()];
-            i += 1;
-            std::hint::black_box(model.predict_link(s))
-        })
-    });
-    group.bench_function("predict_reg_per_sample", |b| {
-        let mut i = 0;
-        b.iter(|| {
-            let s = &samples[i % samples.len()];
-            i += 1;
-            std::hint::black_box(model.predict_reg(s))
-        })
-    });
-    group.bench_function("sample_pe_predict_end_to_end", |b| {
-        let pairs: Vec<(u32, u32)> =
-            ds.samples.iter().map(|s| (s.link.a, s.link.b)).take(16).collect();
-        let mut sampler = SubgraphSampler::new(&d.graph, SamplerConfig { hops: 1, max_nodes: 2048 });
-        let mut i = 0;
-        b.iter(|| {
-            let (a, bb) = pairs[i % pairs.len()];
-            i += 1;
-            let sub = sampler.enclosing_subgraph(a, bb);
-            let _pe = compute_pe(&sub, PeKind::Dspd);
-            let prepared = PreparedSample::new(sub, PeKind::Dspd, &xcn, 1.0, 0.0);
-            std::hint::black_box(model.predict_link(&prepared))
-        })
-    });
-    group.finish();
-}
-
-criterion_group!(benches, bench_pipeline);
+criterion_group!(benches, cirgps_bench::perf::full_pipeline_suite);
 criterion_main!(benches);

@@ -1,40 +1,8 @@
 //! Tables III/VII "Time" column driver: forward+backward cost of one
-//! training step for each GPS-layer configuration.
+//! training step for each GPS-layer configuration. The measurement body
+//! lives in `cirgps_bench::perf` so `bench_json` can snapshot it too.
 
-use ams_datagen::{DesignKind, SizePreset};
-use cirgps_bench::{default_model, layer_ablation_configs, DesignData};
-use cirgps_nn::{GradStore, Tape};
-use circuitgps::{prepare_link_dataset, CircuitGps, ModelConfig, PreparedSample};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use graph_pe::PeKind;
-use subgraph_sample::{CapNormalizer, DatasetConfig, XcNormalizer};
+use criterion::{criterion_group, criterion_main};
 
-fn bench_layers(c: &mut Criterion) {
-    let d = DesignData::load(DesignKind::DigitalClkGen, SizePreset::Tiny, 7);
-    let ds = d.link_dataset(&DatasetConfig { max_per_type: 30, ..Default::default() });
-    let xcn = XcNormalizer::fit(&[&d.graph]);
-    let cap = CapNormalizer::paper_range();
-    let samples = prepare_link_dataset(&ds, PeKind::Dspd, &xcn, |v| cap.encode(v));
-    let batch: Vec<&PreparedSample> = samples.iter().take(8).collect();
-
-    let mut group = c.benchmark_group("table3_layer_step");
-    group.sample_size(10);
-    for (mpnn_name, attn_name, mpnn, attn) in layer_ablation_configs() {
-        let cfg = ModelConfig { mpnn, attn, ..default_model(PeKind::Dspd, 7) };
-        let model = CircuitGps::new(cfg);
-        let label = format!("{mpnn_name}+{attn_name}");
-        group.bench_with_input(BenchmarkId::from_parameter(label), &model, |b, model| {
-            b.iter(|| {
-                let mut tape = Tape::new(model.store(), true, 0);
-                let loss = model.loss_link_batch(&mut tape, &batch);
-                let mut grads = GradStore::new(model.store());
-                tape.backward(loss, &mut grads);
-                std::hint::black_box(grads);
-            })
-        });
-    }
-    group.finish();
-}
-
-criterion_group!(benches, bench_layers);
+criterion_group!(benches, cirgps_bench::perf::layer_forward_suite);
 criterion_main!(benches);

@@ -9,19 +9,31 @@ use subgraph_sample::DatasetConfig;
 
 fn bench_pe(c: &mut Criterion) {
     let d = DesignData::load(DesignKind::DigitalClkGen, SizePreset::Tiny, 7);
-    let ds = d.link_dataset(&DatasetConfig { max_per_type: 40, ..Default::default() });
-    let subs: Vec<_> = ds.samples.iter().map(|s| s.subgraph.clone()).take(32).collect();
+    let ds = d.link_dataset(&DatasetConfig {
+        max_per_type: 40,
+        ..Default::default()
+    });
+    let subs: Vec<_> = ds
+        .samples
+        .iter()
+        .map(|s| s.subgraph.clone())
+        .take(32)
+        .collect();
     assert!(!subs.is_empty());
 
     let mut group = c.benchmark_group("table2_pe_time_per_graph");
     for pe in PeKind::TABLE2 {
-        group.bench_with_input(BenchmarkId::from_parameter(pe.paper_name()), &pe, |b, &pe| {
-            b.iter(|| {
-                for s in &subs {
-                    std::hint::black_box(compute_pe(s, pe));
-                }
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(pe.paper_name()),
+            &pe,
+            |b, &pe| {
+                b.iter(|| {
+                    for s in &subs {
+                        std::hint::black_box(compute_pe(s, pe));
+                    }
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -1,48 +1,8 @@
-//! Table IV driver: enclosing-subgraph sampling throughput (the paper's
-//! sampling step is the dataset-construction bottleneck at scale).
+//! Table IV driver: enclosing-subgraph sampling throughput. The
+//! measurement body lives in `cirgps_bench::perf` so `bench_json` can
+//! snapshot it too.
 
-use ams_datagen::{DesignKind, SizePreset};
-use cirgps_bench::DesignData;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use subgraph_sample::{SamplerConfig, SubgraphSampler};
+use criterion::{criterion_group, criterion_main};
 
-fn bench_sampling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table4_subgraph_sampling");
-    for kind in [DesignKind::TimingControl, DesignKind::Array128x32] {
-        let d = DesignData::load(kind, SizePreset::Tiny, 7);
-        // Pick pin/net pairs spread over the graph.
-        let n = d.graph.num_nodes() as u32;
-        let pairs: Vec<(u32, u32)> =
-            (0..64).map(|i| ((i * 37) % n, (i * 61 + 13) % n)).filter(|(a, b)| a != b).collect();
-        group.bench_with_input(
-            BenchmarkId::new("one_hop_pairs", kind.paper_name()),
-            &d,
-            |b, d| {
-                let mut sampler =
-                    SubgraphSampler::new(&d.graph, SamplerConfig { hops: 1, max_nodes: 2048 });
-                b.iter(|| {
-                    for &(x, y) in &pairs {
-                        std::hint::black_box(sampler.enclosing_subgraph(x, y));
-                    }
-                })
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("two_hop_nodes", kind.paper_name()),
-            &d,
-            |b, d| {
-                let mut sampler =
-                    SubgraphSampler::new(&d.graph, SamplerConfig { hops: 2, max_nodes: 2048 });
-                b.iter(|| {
-                    for &(x, _) in &pairs {
-                        std::hint::black_box(sampler.node_subgraph(x));
-                    }
-                })
-            },
-        );
-    }
-    group.finish();
-}
-
-criterion_group!(benches, bench_sampling);
+criterion_group!(benches, cirgps_bench::perf::sampling_suite);
 criterion_main!(benches);

@@ -4,8 +4,8 @@
 //! quantify the trade-off on our data.
 
 use ams_datagen::DesignKind;
-use cirgps_bench::{default_model, DesignData, Scale};
 use circuitgps::{evaluate_link, prepare_link_dataset, pretrain_link, CircuitGps, TrainConfig};
+use cirgps_bench::{default_model, DesignData, Scale};
 use graph_pe::PeKind;
 use subgraph_sample::{CapNormalizer, DatasetConfig, XcNormalizer};
 
@@ -28,7 +28,10 @@ fn main() {
         };
         let t0 = std::time::Instant::now();
         let train_ds = train_d.link_dataset(&cfg);
-        let test_ds = test_d.link_dataset(&DatasetConfig { seed: seed ^ 1, ..cfg });
+        let test_ds = test_d.link_dataset(&DatasetConfig {
+            seed: seed ^ 1,
+            ..cfg
+        });
         let sampling_secs = t0.elapsed().as_secs_f64();
 
         let train = prepare_link_dataset(&train_ds, PeKind::Dspd, &xcn, |c| cap.encode(c));
@@ -37,7 +40,11 @@ fn main() {
         let hist = pretrain_link(
             &mut model,
             &train,
-            &TrainConfig { epochs: scale.epochs, seed, ..Default::default() },
+            &TrainConfig {
+                epochs: scale.epochs,
+                seed,
+                ..Default::default()
+            },
         );
         let m = evaluate_link(&model, &test);
         rows.push(vec![

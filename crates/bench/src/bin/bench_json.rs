@@ -1,0 +1,56 @@
+//! Perf-snapshot harness: runs the criterion suites (`layer_forward`,
+//! `sampling`, `full_pipeline`) in-process and writes every result as a
+//! JSON line `{"group", "name", "ns_per_iter", "iters"}` to
+//! `BENCH_<date>.json`, so successive PRs accumulate a comparable perf
+//! trajectory.
+//!
+//! ```bash
+//! cargo run --release -p cirgps-bench --bin bench_json            # BENCH_<today>.json
+//! cargo run --release -p cirgps-bench --bin bench_json -- out.json
+//! CIRGPS_BENCH_MS=100 cargo run --release -p cirgps-bench --bin bench_json
+//! ```
+
+use std::io::Write as _;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use cirgps_bench::perf;
+use criterion::Criterion;
+
+/// Civil date from a Unix timestamp (days-from-epoch algorithm, UTC).
+fn today_utc() -> (i64, u32, u32) {
+    let secs = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs() as i64)
+        .unwrap_or(0);
+    let z = secs.div_euclid(86_400) + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = (if mp < 10 { mp + 3 } else { mp - 9 }) as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| {
+        let (y, m, d) = today_utc();
+        format!("BENCH_{y:04}-{m:02}-{d:02}.json")
+    });
+
+    let mut c = Criterion::default();
+    eprintln!("== layer_forward ==");
+    perf::layer_forward_suite(&mut c);
+    eprintln!("== sampling ==");
+    perf::sampling_suite(&mut c);
+    eprintln!("== full_pipeline ==");
+    perf::full_pipeline_suite(&mut c);
+
+    let mut f = std::fs::File::create(&out_path).expect("cannot create bench output file");
+    for r in c.results() {
+        writeln!(f, "{}", r.to_json()).expect("write failed");
+    }
+    eprintln!("wrote {} results to {out_path}", c.results().len());
+}

@@ -31,10 +31,19 @@ impl DesignData {
         let design = generate(kind, preset).expect("design generation");
         let spf = extract_parasitics(
             &design,
-            &ExtractConfig { seed: seed ^ kind_seed(kind), ..Default::default() },
+            &ExtractConfig {
+                seed: seed ^ kind_seed(kind),
+                ..Default::default()
+            },
         );
         let (graph, map) = netlist_to_graph(&design.netlist);
-        DesignData { kind, design, spf, graph, map }
+        DesignData {
+            kind,
+            design,
+            spf,
+            graph,
+            map,
+        }
     }
 
     /// Table IV-style statistics line.
@@ -82,18 +91,26 @@ fn kind_seed(kind: DesignKind) -> u64 {
 
 /// Loads the three training designs (SSRAM, ULTRA8T, SANDWICH-RAM).
 pub fn training_designs(preset: SizePreset, seed: u64) -> Vec<DesignData> {
-    [DesignKind::Ssram, DesignKind::Ultra8t, DesignKind::SandwichRam]
-        .into_iter()
-        .map(|k| DesignData::load(k, preset, seed))
-        .collect()
+    [
+        DesignKind::Ssram,
+        DesignKind::Ultra8t,
+        DesignKind::SandwichRam,
+    ]
+    .into_iter()
+    .map(|k| DesignData::load(k, preset, seed))
+    .collect()
 }
 
 /// Loads the three zero-shot test designs.
 pub fn test_designs(preset: SizePreset, seed: u64) -> Vec<DesignData> {
-    [DesignKind::DigitalClkGen, DesignKind::TimingControl, DesignKind::Array128x32]
-        .into_iter()
-        .map(|k| DesignData::load(k, preset, seed))
-        .collect()
+    [
+        DesignKind::DigitalClkGen,
+        DesignKind::TimingControl,
+        DesignKind::Array128x32,
+    ]
+    .into_iter()
+    .map(|k| DesignData::load(k, preset, seed))
+    .collect()
 }
 
 /// Fits the `XC` normalizer on training graphs only (no test leakage).
@@ -164,7 +181,10 @@ mod tests {
         let d = DesignData::load(DesignKind::TimingControl, SizePreset::Tiny, 3);
         assert!(d.graph.num_nodes() > 100);
         assert!(!d.spf.coupling_caps.is_empty());
-        let ds = d.link_dataset(&DatasetConfig { max_per_type: 50, ..Default::default() });
+        let ds = d.link_dataset(&DatasetConfig {
+            max_per_type: 50,
+            ..Default::default()
+        });
         assert!(!ds.is_empty());
     }
 

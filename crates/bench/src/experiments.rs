@@ -8,25 +8,21 @@
 use std::time::Instant;
 
 use ams_datagen::{DesignKind, SizePreset};
-use cirgps_baselines::{
-    Baseline, BaselineConfig, BaselineKind, BaselineTrainConfig, FullGraphInputs, NodeTask,
-    PairTask,
-};
 use circuitgps::{
     evaluate_link, evaluate_regression, finetune_regression, prepare_link_dataset,
     prepare_node_dataset, pretrain_link, AttnKind, CircuitGps, FinetuneMode, LinkMetrics,
     ModelConfig, MpnnKind, PreparedSample, RegMetrics, TrainConfig,
 };
+use cirgps_baselines::{
+    Baseline, BaselineConfig, BaselineKind, BaselineTrainConfig, FullGraphInputs, NodeTask,
+    PairTask,
+};
 use graph_pe::{compute_pe, PeKind};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use subgraph_sample::{
-    generate_negatives, CapNormalizer, DatasetConfig, LinkSet, XcNormalizer,
-};
+use subgraph_sample::{generate_negatives, CapNormalizer, DatasetConfig, LinkSet, XcNormalizer};
 
-use crate::data::{
-    fit_normalizer, markdown_table, test_designs, training_designs, DesignData,
-};
+use crate::data::{fit_normalizer, markdown_table, test_designs, training_designs, DesignData};
 
 /// Per-preset experiment scale.
 #[derive(Debug, Clone, Copy)]
@@ -94,19 +90,35 @@ pub fn default_model(pe: PeKind, seed: u64) -> ModelConfig {
 }
 
 fn dataset_cfg(scale: &Scale, seed: u64) -> DatasetConfig {
-    DatasetConfig { max_per_type: scale.max_per_type, seed, ..Default::default() }
+    DatasetConfig {
+        max_per_type: scale.max_per_type,
+        seed,
+        ..Default::default()
+    }
 }
 
 fn train_cfg(scale: &Scale, seed: u64) -> TrainConfig {
-    TrainConfig { epochs: scale.epochs, seed, ..Default::default() }
+    TrainConfig {
+        epochs: scale.epochs,
+        seed,
+        ..Default::default()
+    }
 }
 
 fn fmt_m(m: &LinkMetrics) -> [String; 3] {
-    [format!("{:.3}", m.accuracy), format!("{:.3}", m.f1), format!("{:.3}", m.auc)]
+    [
+        format!("{:.3}", m.accuracy),
+        format!("{:.3}", m.f1),
+        format!("{:.3}", m.auc),
+    ]
 }
 
 fn fmt_r(m: &RegMetrics) -> [String; 3] {
-    [format!("{:.3}", m.mae), format!("{:.3}", m.rmse), format!("{:.3}", m.r2)]
+    [
+        format!("{:.3}", m.mae),
+        format!("{:.3}", m.rmse),
+        format!("{:.3}", m.r2),
+    ]
 }
 
 /// Builds prepared link samples for several designs under one PE.
@@ -121,7 +133,9 @@ fn prepared_links(
     let mut out = Vec::new();
     for d in designs {
         let ds = d.link_dataset(&dataset_cfg(scale, seed));
-        out.extend(prepare_link_dataset(&ds, pe, xcn, |cap| cap_norm.encode(cap)));
+        out.extend(prepare_link_dataset(&ds, pe, xcn, |cap| {
+            cap_norm.encode(cap)
+        }));
     }
     out
 }
@@ -170,10 +184,25 @@ pub fn table2(preset: SizePreset, seed: u64) -> String {
 /// The five GPS-layer configurations of Tables III and VII.
 pub fn layer_ablation_configs() -> Vec<(&'static str, &'static str, MpnnKind, AttnKind)> {
     vec![
-        ("None", "Performer", MpnnKind::None, AttnKind::Performer { features: 32 }),
+        (
+            "None",
+            "Performer",
+            MpnnKind::None,
+            AttnKind::Performer { features: 32 },
+        ),
         ("None", "Transformer", MpnnKind::None, AttnKind::Transformer),
-        ("GatedGCN", "Performer", MpnnKind::GatedGcn, AttnKind::Performer { features: 32 }),
-        ("GatedGCN", "Transformer", MpnnKind::GatedGcn, AttnKind::Transformer),
+        (
+            "GatedGCN",
+            "Performer",
+            MpnnKind::GatedGcn,
+            AttnKind::Performer { features: 32 },
+        ),
+        (
+            "GatedGCN",
+            "Transformer",
+            MpnnKind::GatedGcn,
+            AttnKind::Transformer,
+        ),
         ("GatedGCN", "None", MpnnKind::GatedGcn, AttnKind::None),
     ]
 }
@@ -192,7 +221,11 @@ pub fn table3(preset: SizePreset, seed: u64) -> String {
 
     let mut rows = Vec::new();
     for (mpnn_name, attn_name, mpnn, attn) in layer_ablation_configs() {
-        let cfg = ModelConfig { mpnn, attn, ..default_model(PeKind::Dspd, seed) };
+        let cfg = ModelConfig {
+            mpnn,
+            attn,
+            ..default_model(PeKind::Dspd, seed)
+        };
         let mut model = CircuitGps::new(cfg);
         let hist = pretrain_link(&mut model, &train, &train_cfg(&scale, seed));
         let m = evaluate_link(&model, &test);
@@ -209,7 +242,18 @@ pub fn table3(preset: SizePreset, seed: u64) -> String {
     }
     format!(
         "### Table III: Ablation of GPS Layer Configurations on Link Prediction\n\n{}",
-        markdown_table(&["MPNN", "Attention", "Acc.", "F1", "AUC", "Time(s)", "#Param."], &rows)
+        markdown_table(
+            &[
+                "MPNN",
+                "Attention",
+                "Acc.",
+                "F1",
+                "AUC",
+                "Time(s)",
+                "#Param."
+            ],
+            &rows
+        )
     )
 }
 
@@ -234,7 +278,10 @@ pub fn table4(preset: SizePreset, seed: u64) -> String {
     }
     format!(
         "### Table IV: AMS Circuit Dataset Statistics\n\n{}",
-        markdown_table(&["Split", "Dataset", "N", "NE", "#Links", "N/G1mn", "NE/G1mn"], &rows)
+        markdown_table(
+            &["Split", "Dataset", "N", "NE", "#Links", "N/G1mn", "NE/G1mn"],
+            &rows
+        )
     )
 }
 
@@ -265,7 +312,14 @@ pub fn main_comparison(preset: SizePreset, seed: u64) -> MainComparison {
     let cap_norm = CapNormalizer::paper_range();
 
     // --- CircuitGPS datasets ---------------------------------------------
-    let train = prepared_links(&train_designs_v, &scale, PeKind::Dspd, &xcn, &cap_norm, seed);
+    let train = prepared_links(
+        &train_designs_v,
+        &scale,
+        PeKind::Dspd,
+        &xcn,
+        &cap_norm,
+        seed,
+    );
     let tests: Vec<Vec<PreparedSample>> = test_designs_v
         .iter()
         .map(|d| {
@@ -286,30 +340,52 @@ pub fn main_comparison(preset: SizePreset, seed: u64) -> MainComparison {
     };
     let train_graphs: Vec<(FullGraphInputs, PairTask)> = train_designs_v
         .iter()
-        .map(|d| (FullGraphInputs::new(&d.graph, &xcn), make_pair_task(d, &mut rng)))
+        .map(|d| {
+            (
+                FullGraphInputs::new(&d.graph, &xcn),
+                make_pair_task(d, &mut rng),
+            )
+        })
         .collect();
     let test_graphs: Vec<(FullGraphInputs, PairTask)> = test_designs_v
         .iter()
-        .map(|d| (FullGraphInputs::new(&d.graph, &xcn), make_pair_task(d, &mut rng)))
+        .map(|d| {
+            (
+                FullGraphInputs::new(&d.graph, &xcn),
+                make_pair_task(d, &mut rng),
+            )
+        })
         .collect();
     let bl_train: Vec<(&FullGraphInputs, &PairTask)> =
         train_graphs.iter().map(|(g, t)| (g, t)).collect();
-    let bl_cfg = BaselineTrainConfig { epochs: scale.baseline_epochs, ..Default::default() };
+    let bl_cfg = BaselineTrainConfig {
+        epochs: scale.baseline_epochs,
+        ..Default::default()
+    };
 
     // --- Train the three main models ---------------------------------------
     eprintln!("[main] training ParaGraph (link)...");
     let mut paragraph = Baseline::new(
         BaselineKind::ParaGraph,
-        BaselineConfig { seed: seed ^ 0xAA, ..Default::default() },
+        BaselineConfig {
+            seed: seed ^ 0xAA,
+            ..Default::default()
+        },
     );
     cirgps_baselines::train_link(&mut paragraph, &bl_train, &bl_cfg);
     eprintln!("[main] training DLPL-Cap (link)...");
     let mut dlpl = Baseline::new(
         BaselineKind::DlplCap,
-        BaselineConfig { seed: seed ^ 0xD1, ..Default::default() },
+        BaselineConfig {
+            seed: seed ^ 0xD1,
+            ..Default::default()
+        },
     );
     cirgps_baselines::train_link(&mut dlpl, &bl_train, &bl_cfg);
-    eprintln!("[main] pre-training CircuitGPS ({} samples)...", train.len());
+    eprintln!(
+        "[main] pre-training CircuitGPS ({} samples)...",
+        train.len()
+    );
     let mut cirgps = CircuitGps::new(default_model(PeKind::Dspd, seed));
     pretrain_link(&mut cirgps, &train, &train_cfg(&scale, seed));
 
@@ -330,31 +406,52 @@ pub fn main_comparison(preset: SizePreset, seed: u64) -> MainComparison {
     eprintln!("[main] training ParaGraph (regression)...");
     let mut paragraph_r = Baseline::new(
         BaselineKind::ParaGraph,
-        BaselineConfig { seed: seed ^ 0xAB, ..Default::default() },
+        BaselineConfig {
+            seed: seed ^ 0xAB,
+            ..Default::default()
+        },
     );
     cirgps_baselines::train_regression(&mut paragraph_r, &bl_train, &bl_cfg);
     eprintln!("[main] training DLPL-Cap (regression)...");
     let mut dlpl_r = Baseline::new(
         BaselineKind::DlplCap,
-        BaselineConfig { seed: seed ^ 0xD2, ..Default::default() },
+        BaselineConfig {
+            seed: seed ^ 0xD2,
+            ..Default::default()
+        },
     );
     cirgps_baselines::train_regression(&mut dlpl_r, &bl_train, &bl_cfg);
 
     eprintln!("[main] CircuitGPS regression from scratch...");
     let mut scratch = CircuitGps::new(default_model(PeKind::Dspd, seed ^ 2));
-    finetune_regression(&mut scratch, &train, FinetuneMode::Scratch, &train_cfg(&scale, seed));
+    finetune_regression(
+        &mut scratch,
+        &train,
+        FinetuneMode::Scratch,
+        &train_cfg(&scale, seed),
+    );
 
     eprintln!("[main] CircuitGPS head-only fine-tune...");
     let mut head_ft = CircuitGps::new(default_model(PeKind::Dspd, seed));
     let mut bytes = Vec::new();
     cirgps.save(&mut bytes).expect("checkpoint");
     head_ft.load(&bytes[..]).expect("load checkpoint");
-    finetune_regression(&mut head_ft, &train, FinetuneMode::HeadOnly, &train_cfg(&scale, seed));
+    finetune_regression(
+        &mut head_ft,
+        &train,
+        FinetuneMode::HeadOnly,
+        &train_cfg(&scale, seed),
+    );
 
     eprintln!("[main] CircuitGPS all-parameters fine-tune...");
     let mut all_ft = CircuitGps::new(default_model(PeKind::Dspd, seed));
     all_ft.load(&bytes[..]).expect("load checkpoint");
-    finetune_regression(&mut all_ft, &train, FinetuneMode::All, &train_cfg(&scale, seed));
+    finetune_regression(
+        &mut all_ft,
+        &train,
+        FinetuneMode::All,
+        &train_cfg(&scale, seed),
+    );
 
     let reg_rows: Vec<[RegMetrics; 5]> = test_designs_v
         .iter()
@@ -374,7 +471,10 @@ pub fn main_comparison(preset: SizePreset, seed: u64) -> MainComparison {
     MainComparison {
         link_rows,
         reg_rows,
-        names: test_designs_v.iter().map(|d| d.kind.paper_name().to_string()).collect(),
+        names: test_designs_v
+            .iter()
+            .map(|d| d.kind.paper_name().to_string())
+            .collect(),
         model_all_ft: all_ft,
         xcn,
         cap_norm,
@@ -393,9 +493,11 @@ pub fn table5(cmp: &MainComparison) -> String {
         rows.push(row);
     }
     let headers: Vec<String> = std::iter::once("Method".to_string())
-        .chain(cmp.names.iter().flat_map(|n| {
-            [format!("{n} Acc."), format!("{n} F1"), format!("{n} AUC")]
-        }))
+        .chain(
+            cmp.names
+                .iter()
+                .flat_map(|n| [format!("{n} Acc."), format!("{n} F1"), format!("{n} AUC")]),
+        )
         .collect();
     let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
     format!(
@@ -407,8 +509,13 @@ pub fn table5(cmp: &MainComparison) -> String {
 /// Table VI markdown from a [`MainComparison`].
 pub fn table6(cmp: &MainComparison) -> String {
     let mut rows = Vec::new();
-    let method_names =
-        ["ParaGraph", "DLPL-Cap", "CircuitGPS", "CircuitGPS head-ft", "CircuitGPS all-ft"];
+    let method_names = [
+        "ParaGraph",
+        "DLPL-Cap",
+        "CircuitGPS",
+        "CircuitGPS head-ft",
+        "CircuitGPS all-ft",
+    ];
     for (mi, name) in method_names.iter().enumerate() {
         let mut row = vec![name.to_string()];
         for dr in &cmp.reg_rows {
@@ -418,9 +525,11 @@ pub fn table6(cmp: &MainComparison) -> String {
         rows.push(row);
     }
     let headers: Vec<String> = std::iter::once("Method".to_string())
-        .chain(cmp.names.iter().flat_map(|n| {
-            [format!("{n} MAE"), format!("{n} RMSE"), format!("{n} R2")]
-        }))
+        .chain(
+            cmp.names
+                .iter()
+                .flat_map(|n| [format!("{n} MAE"), format!("{n} RMSE"), format!("{n} R2")]),
+        )
         .collect();
     let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
     format!(
@@ -443,10 +552,18 @@ pub fn table7(preset: SizePreset, seed: u64) -> String {
 
     let mut rows = Vec::new();
     for (mpnn_name, attn_name, mpnn, attn) in layer_ablation_configs() {
-        let cfg = ModelConfig { mpnn, attn, ..default_model(PeKind::Dspd, seed) };
+        let cfg = ModelConfig {
+            mpnn,
+            attn,
+            ..default_model(PeKind::Dspd, seed)
+        };
         let mut model = CircuitGps::new(cfg);
-        let hist =
-            finetune_regression(&mut model, &train, FinetuneMode::Scratch, &train_cfg(&scale, seed));
+        let hist = finetune_regression(
+            &mut model,
+            &train,
+            FinetuneMode::Scratch,
+            &train_cfg(&scale, seed),
+        );
         let m = evaluate_regression(&model, &test);
         let [mae, rmse, r2] = fmt_r(&m);
         rows.push(vec![
@@ -461,7 +578,18 @@ pub fn table7(preset: SizePreset, seed: u64) -> String {
     }
     format!(
         "### Table VII: Ablation of GPS Layer Configurations on Edge Regression\n\n{}",
-        markdown_table(&["MPNN", "Attention", "MAE", "RMSE", "R2", "Time(s)", "#Param."], &rows)
+        markdown_table(
+            &[
+                "MPNN",
+                "Attention",
+                "MAE",
+                "RMSE",
+                "R2",
+                "Time(s)",
+                "#Param."
+            ],
+            &rows
+        )
     )
 }
 
@@ -477,7 +605,9 @@ pub fn table8(preset: SizePreset, seed: u64) -> String {
     let mut train = Vec::new();
     for d in &train_designs_v {
         let ds = d.node_dataset(scale.node_samples, 2, seed);
-        train.extend(prepare_node_dataset(&ds, PeKind::Dspd, &xcn, |c| cap_norm.encode(c)));
+        train.extend(prepare_node_dataset(&ds, PeKind::Dspd, &xcn, |c| {
+            cap_norm.encode(c)
+        }));
     }
     let tests: Vec<Vec<PreparedSample>> = test_designs_v
         .iter()
@@ -486,9 +616,17 @@ pub fn table8(preset: SizePreset, seed: u64) -> String {
             prepare_node_dataset(&ds, PeKind::Dspd, &xcn, |c| cap_norm.encode(c))
         })
         .collect();
-    eprintln!("[table8] training CircuitGPS node regression ({} samples)...", train.len());
+    eprintln!(
+        "[table8] training CircuitGPS node regression ({} samples)...",
+        train.len()
+    );
     let mut cirgps = CircuitGps::new(default_model(PeKind::Dspd, seed));
-    finetune_regression(&mut cirgps, &train, FinetuneMode::Scratch, &train_cfg(&scale, seed));
+    finetune_regression(
+        &mut cirgps,
+        &train,
+        FinetuneMode::Scratch,
+        &train_cfg(&scale, seed),
+    );
 
     // Baselines: node tasks over full graphs.
     let make_node_task = |d: &DesignData| -> NodeTask {
@@ -508,16 +646,25 @@ pub fn table8(preset: SizePreset, seed: u64) -> String {
         .collect();
     let bl_train: Vec<(&FullGraphInputs, &NodeTask)> =
         train_graphs.iter().map(|(g, t)| (g, t)).collect();
-    let bl_cfg = BaselineTrainConfig { epochs: scale.baseline_epochs, ..Default::default() };
+    let bl_cfg = BaselineTrainConfig {
+        epochs: scale.baseline_epochs,
+        ..Default::default()
+    };
     eprintln!("[table8] training baselines...");
     let mut paragraph = Baseline::new(
         BaselineKind::ParaGraph,
-        BaselineConfig { seed: seed ^ 0xAC, ..Default::default() },
+        BaselineConfig {
+            seed: seed ^ 0xAC,
+            ..Default::default()
+        },
     );
     cirgps_baselines::train_node_regression(&mut paragraph, &bl_train, &bl_cfg);
     let mut dlpl = Baseline::new(
         BaselineKind::DlplCap,
-        BaselineConfig { seed: seed ^ 0xD3, ..Default::default() },
+        BaselineConfig {
+            seed: seed ^ 0xD3,
+            ..Default::default()
+        },
     );
     cirgps_baselines::train_node_regression(&mut dlpl, &bl_train, &bl_cfg);
 
@@ -588,17 +735,19 @@ pub fn fig4(preset: SizePreset, seed: u64, cmp: &MainComparison) -> String {
             if a == b {
                 continue;
             }
-            let Some(ty) = circuit_graph::EdgeType::link_between(
-                d.graph.node_type(a),
-                d.graph.node_type(b),
-            ) else {
+            let Some(ty) =
+                circuit_graph::EdgeType::link_between(d.graph.node_type(a), d.graph.node_type(b))
+            else {
                 continue;
             };
             link_edges.push(circuit_graph::Edge { a, b, ty });
             entries.push((ci, a, b));
         }
         let aug = d.graph.with_injected_links(&link_edges);
-        let sampler_cfg = subgraph_sample::SamplerConfig { hops: 1, max_nodes: 2048 };
+        let sampler_cfg = subgraph_sample::SamplerConfig {
+            hops: 1,
+            max_nodes: 2048,
+        };
         use rayon::prelude::*;
         let samples: Vec<(usize, PreparedSample)> = entries
             .par_chunks(64)
@@ -608,7 +757,10 @@ pub fn fig4(preset: SizePreset, seed: u64, cmp: &MainComparison) -> String {
                     .iter()
                     .map(|&(ci, a, b)| {
                         let sub = sampler.enclosing_subgraph(a, b);
-                        (ci, PreparedSample::new(sub, PeKind::Dspd, &cmp.xcn, 1.0, 0.0))
+                        (
+                            ci,
+                            PreparedSample::new(sub, PeKind::Dspd, &cmp.xcn, 1.0, 0.0),
+                        )
                     })
                     .collect::<Vec<_>>()
             })
@@ -622,12 +774,11 @@ pub fn fig4(preset: SizePreset, seed: u64, cmp: &MainComparison) -> String {
         // Assemble per-net capacitances (gt vs predicted couplings).
         let caps_gt = mini_spice::net_capacitances(&d.design.netlist, &d.spf);
         let mut idx = 0usize;
-        let caps_pred =
-            mini_spice::net_capacitances_with(&d.design.netlist, &d.spf, |c| {
-                let v = predicted.get(&idx).copied().unwrap_or(c.value);
-                idx += 1;
-                v
-            });
+        let caps_pred = mini_spice::net_capacitances_with(&d.design.netlist, &d.spf, |c| {
+            let v = predicted.get(&idx).copied().unwrap_or(c.value);
+            idx += 1;
+            v
+        });
 
         let e_gt = mini_spice::simulate_energy(
             &d.design.netlist,
@@ -643,7 +794,11 @@ pub fn fig4(preset: SizePreset, seed: u64, cmp: &MainComparison) -> String {
             scale.energy_vectors,
             seed,
         );
-        let norm_pred = if e_gt.energy > 0.0 { e_pred.energy / e_gt.energy } else { 0.0 };
+        let norm_pred = if e_gt.energy > 0.0 {
+            e_pred.energy / e_gt.energy
+        } else {
+            0.0
+        };
         gts.push(1.0);
         preds.push(norm_pred);
         rows.push(vec![

@@ -15,6 +15,7 @@
 
 pub mod data;
 pub mod experiments;
+pub mod perf;
 
 pub use data::{
     fit_normalizer, markdown_table, parse_cli, test_designs, training_designs, DesignData,

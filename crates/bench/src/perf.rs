@@ -1,0 +1,162 @@
+//! Criterion benchmark suites shared between `cargo bench` harnesses and
+//! the `bench_json` snapshot binary.
+//!
+//! Each suite is a plain function over `&mut Criterion`, so the
+//! `benches/*.rs` harnesses stay one-liners and `bench_json` can run the
+//! same measurements in-process and serialize them to a
+//! `BENCH_<date>.json` trajectory file.
+
+use ams_datagen::{DesignKind, SizePreset};
+use circuitgps::{prepare_link_dataset, CircuitGps, ModelConfig, PreparedSample};
+use cirgps_nn::{GradStore, Tape};
+use criterion::{BenchmarkId, Criterion};
+use graph_pe::{compute_pe, PeKind};
+use subgraph_sample::{CapNormalizer, DatasetConfig, SamplerConfig, SubgraphSampler, XcNormalizer};
+
+use crate::{default_model, layer_ablation_configs, DesignData};
+
+/// Tables III/VII "Time" column driver: forward+backward cost of one
+/// training step for each GPS-layer configuration.
+pub fn layer_forward_suite(c: &mut Criterion) {
+    let d = DesignData::load(DesignKind::DigitalClkGen, SizePreset::Tiny, 7);
+    let ds = d.link_dataset(&DatasetConfig {
+        max_per_type: 30,
+        ..Default::default()
+    });
+    let xcn = XcNormalizer::fit(&[&d.graph]);
+    let cap = CapNormalizer::paper_range();
+    let samples = prepare_link_dataset(&ds, PeKind::Dspd, &xcn, |v| cap.encode(v));
+    let batch: Vec<&PreparedSample> = samples.iter().take(8).collect();
+
+    let mut group = c.benchmark_group("table3_layer_step");
+    group.sample_size(10);
+    for (mpnn_name, attn_name, mpnn, attn) in layer_ablation_configs() {
+        let cfg = ModelConfig {
+            mpnn,
+            attn,
+            ..default_model(PeKind::Dspd, 7)
+        };
+        let model = CircuitGps::new(cfg);
+        let label = format!("{mpnn_name}+{attn_name}");
+        group.bench_with_input(BenchmarkId::from_parameter(label), &model, |b, model| {
+            b.iter(|| {
+                let mut grads = GradStore::new(model.store());
+                let mut tape = Tape::new(model.store(), true, 0);
+                let loss = model.loss_link_batch(&mut tape, &batch);
+                tape.backward(loss, &mut grads);
+                std::hint::black_box(&grads);
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Table IV driver: enclosing-subgraph sampling throughput (the paper's
+/// sampling step is the dataset-construction bottleneck at scale).
+pub fn sampling_suite(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4_subgraph_sampling");
+    for kind in [DesignKind::TimingControl, DesignKind::Array128x32] {
+        let d = DesignData::load(kind, SizePreset::Tiny, 7);
+        // Pick pin/net pairs spread over the graph.
+        let n = d.graph.num_nodes() as u32;
+        let pairs: Vec<(u32, u32)> = (0..64)
+            .map(|i| ((i * 37) % n, (i * 61 + 13) % n))
+            .filter(|(a, b)| a != b)
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("one_hop_pairs", kind.paper_name()),
+            &d,
+            |b, d| {
+                let mut sampler = SubgraphSampler::new(
+                    &d.graph,
+                    SamplerConfig {
+                        hops: 1,
+                        max_nodes: 2048,
+                    },
+                );
+                b.iter(|| {
+                    for &(x, y) in &pairs {
+                        std::hint::black_box(sampler.enclosing_subgraph(x, y));
+                    }
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("two_hop_nodes", kind.paper_name()),
+            &d,
+            |b, d| {
+                let mut sampler = SubgraphSampler::new(
+                    &d.graph,
+                    SamplerConfig {
+                        hops: 2,
+                        max_nodes: 2048,
+                    },
+                );
+                b.iter(|| {
+                    for &(x, _) in &pairs {
+                        std::hint::black_box(sampler.node_subgraph(x));
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Tables V/VI/VIII driver: end-to-end per-link inference latency
+/// (sample → PE → model forward), the number that governs how fast a
+/// trained CircuitGPS screens coupling candidates on a new design.
+pub fn full_pipeline_suite(c: &mut Criterion) {
+    let d = DesignData::load(DesignKind::TimingControl, SizePreset::Tiny, 7);
+    let ds = d.link_dataset(&DatasetConfig {
+        max_per_type: 30,
+        ..Default::default()
+    });
+    let xcn = XcNormalizer::fit(&[&d.graph]);
+    let cap = CapNormalizer::paper_range();
+    let samples = prepare_link_dataset(&ds, PeKind::Dspd, &xcn, |v| cap.encode(v));
+    let model = CircuitGps::new(default_model(PeKind::Dspd, 7));
+
+    let mut group = c.benchmark_group("table5_inference");
+    group.bench_function("predict_link_per_sample", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let s = &samples[i % samples.len()];
+            i += 1;
+            std::hint::black_box(model.predict_link(s))
+        })
+    });
+    group.bench_function("predict_reg_per_sample", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let s = &samples[i % samples.len()];
+            i += 1;
+            std::hint::black_box(model.predict_reg(s))
+        })
+    });
+    group.bench_function("sample_pe_predict_end_to_end", |b| {
+        let pairs: Vec<(u32, u32)> = ds
+            .samples
+            .iter()
+            .map(|s| (s.link.a, s.link.b))
+            .take(16)
+            .collect();
+        let mut sampler = SubgraphSampler::new(
+            &d.graph,
+            SamplerConfig {
+                hops: 1,
+                max_nodes: 2048,
+            },
+        );
+        let mut i = 0;
+        b.iter(|| {
+            let (a, bb) = pairs[i % pairs.len()];
+            i += 1;
+            let sub = sampler.enclosing_subgraph(a, bb);
+            let _pe = compute_pe(&sub, PeKind::Dspd);
+            let prepared = PreparedSample::new(sub, PeKind::Dspd, &xcn, 1.0, 0.0);
+            std::hint::black_box(model.predict_link(&prepared))
+        })
+    });
+    group.finish();
+}

@@ -1,0 +1,130 @@
+//! Offline stand-in for the `rayon` parallel-iterator API.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the subset of rayon's API the workspace uses — `par_iter`,
+//! `par_chunks`, the common adapters and [`current_num_threads`] — with
+//! *sequential* execution. Results are bit-identical to rayon's (the
+//! workspace merges worker results in deterministic order anyway), and
+//! heavy data-parallel kernels in `cirgps-nn` use `std::thread::scope`
+//! directly for real parallelism rather than going through this shim.
+
+/// Number of threads a real work-stealing pool would use on this host.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Sequential stand-in for a rayon parallel iterator.
+///
+/// Wraps a standard iterator and forwards every `Iterator` adapter; adds
+/// the rayon-only methods the workspace uses (`flat_map_iter`).
+pub struct ParIter<I>(I);
+
+impl<I: Iterator> Iterator for ParIter<I> {
+    type Item = I::Item;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.0.next()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.0.size_hint()
+    }
+}
+
+impl<I: Iterator> ParIter<I> {
+    /// rayon's `flat_map_iter`: flat-map with a serial inner iterator.
+    pub fn flat_map_iter<U, F>(self, f: F) -> ParIter<std::iter::FlatMap<I, U, F>>
+    where
+        U: IntoIterator,
+        F: FnMut(I::Item) -> U,
+    {
+        ParIter(self.0.flat_map(f))
+    }
+}
+
+/// `par_iter`/`par_chunks` entry points on slices (and via deref, `Vec`).
+pub trait ParallelSlice<T> {
+    /// Sequential stand-in for `rayon`'s `par_iter`.
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>>;
+
+    /// Sequential stand-in for `rayon`'s `par_chunks`.
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>> {
+        ParIter(self.iter())
+    }
+
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>> {
+        ParIter(self.chunks(chunk_size))
+    }
+}
+
+/// `into_par_iter` on owned collections.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item;
+    /// Underlying iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+
+    /// Sequential stand-in for `rayon`'s `into_par_iter`.
+    fn into_par_iter(self) -> ParIter<Self::Iter>;
+}
+
+impl<T> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = std::vec::IntoIter<T>;
+
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter(self.into_iter())
+    }
+}
+
+impl<A, B> IntoParallelIterator for std::ops::Range<A>
+where
+    std::ops::Range<A>: Iterator<Item = B>,
+{
+    type Item = B;
+    type Iter = std::ops::Range<A>;
+
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter(self)
+    }
+}
+
+/// Glob import mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParIter, ParallelSlice};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_iter() {
+        let v = vec![1, 2, 3, 4];
+        let doubled: Vec<i32> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        let indexed: Vec<(usize, i32)> = v.par_iter().enumerate().map(|(i, &x)| (i, x)).collect();
+        assert_eq!(indexed[3], (3, 4));
+    }
+
+    #[test]
+    fn par_chunks_flat_map_iter() {
+        let v: Vec<usize> = (0..10).collect();
+        let out: Vec<usize> = v
+            .par_chunks(3)
+            .flat_map_iter(|c| c.iter().map(|&x| x + 1).collect::<Vec<_>>())
+            .collect();
+        assert_eq!(out, (1..11).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn thread_count_positive() {
+        assert!(super::current_num_threads() >= 1);
+    }
+}

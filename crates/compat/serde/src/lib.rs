@@ -1,0 +1,23 @@
+//! Offline no-op stand-in for `serde`'s derive macros.
+//!
+//! The workspace annotates data types with `#[derive(serde::Serialize,
+//! serde::Deserialize)]` so they are checkpoint/interchange-ready, but no
+//! code in the workspace currently performs (de)serialization through
+//! serde's traits. The build environment has no crates.io access, so this
+//! proc-macro crate accepts the derive syntax (including inert `#[serde(...)]`
+//! helper attributes such as `#[serde(skip)]`) and expands to nothing.
+//! Swapping in the real `serde` is a one-line Cargo change.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive: accepted and expanded to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive: accepted and expanded to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -73,7 +73,10 @@ impl ModelConfig {
     /// Panics if `heads` does not divide `hidden_dim`, or the PE parts do
     /// not leave room for the node-type embedding.
     pub fn validate(&self) {
-        assert!(self.hidden_dim % self.heads == 0, "heads must divide hidden_dim");
+        assert!(
+            self.hidden_dim.is_multiple_of(self.heads),
+            "heads must divide hidden_dim"
+        );
         assert!(
             2 * self.pe_dim < self.hidden_dim,
             "2·pe_dim ({}) must leave room for the type embedding in hidden_dim ({})",
@@ -144,12 +147,23 @@ mod tests {
     #[test]
     #[should_panic(expected = "heads must divide")]
     fn bad_heads_rejected() {
-        ModelConfig { hidden_dim: 30, heads: 4, ..Default::default() }.validate();
+        ModelConfig {
+            hidden_dim: 30,
+            heads: 4,
+            ..Default::default()
+        }
+        .validate();
     }
 
     #[test]
     #[should_panic(expected = "room for the type embedding")]
     fn oversized_pe_rejected() {
-        ModelConfig { hidden_dim: 16, pe_dim: 8, heads: 4, ..Default::default() }.validate();
+        ModelConfig {
+            hidden_dim: 16,
+            pe_dim: 8,
+            heads: 4,
+            ..Default::default()
+        }
+        .validate();
     }
 }

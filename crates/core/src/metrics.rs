@@ -42,7 +42,11 @@ pub fn link_metrics(scores: &[f32], labels: &[f32]) -> LinkMetrics {
     } else {
         0.0
     };
-    LinkMetrics { accuracy, f1, auc: roc_auc(scores, labels) }
+    LinkMetrics {
+        accuracy,
+        f1,
+        auc: roc_auc(scores, labels),
+    }
 }
 
 /// Rank-based ROC-AUC (Mann–Whitney U with midranks for ties).
@@ -56,7 +60,11 @@ pub fn roc_auc(scores: &[f32], labels: &[f32]) -> f64 {
         return 0.5;
     }
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&a, &b| {
+        scores[a]
+            .partial_cmp(&scores[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     // Midranks over tied score groups.
     let mut rank_sum_pos = 0.0f64;
     let mut i = 0;
@@ -97,13 +105,35 @@ pub fn reg_metrics(preds: &[f32], targets: &[f32]) -> RegMetrics {
     assert_eq!(preds.len(), targets.len(), "preds/targets length mismatch");
     assert!(!preds.is_empty(), "cannot compute metrics on an empty set");
     let n = preds.len() as f64;
-    let mae = preds.iter().zip(targets).map(|(&p, &y)| (p - y).abs() as f64).sum::<f64>() / n;
-    let mse = preds.iter().zip(targets).map(|(&p, &y)| ((p - y) as f64).powi(2)).sum::<f64>() / n;
+    let mae = preds
+        .iter()
+        .zip(targets)
+        .map(|(&p, &y)| (p - y).abs() as f64)
+        .sum::<f64>()
+        / n;
+    let mse = preds
+        .iter()
+        .zip(targets)
+        .map(|(&p, &y)| ((p - y) as f64).powi(2))
+        .sum::<f64>()
+        / n;
     let mean_y = targets.iter().map(|&y| y as f64).sum::<f64>() / n;
     let ss_tot: f64 = targets.iter().map(|&y| (y as f64 - mean_y).powi(2)).sum();
-    let ss_res: f64 = preds.iter().zip(targets).map(|(&p, &y)| ((y - p) as f64).powi(2)).sum();
-    let r2 = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 0.0 };
-    RegMetrics { mae, rmse: mse.sqrt(), r2 }
+    let ss_res: f64 = preds
+        .iter()
+        .zip(targets)
+        .map(|(&p, &y)| ((y - p) as f64).powi(2))
+        .sum();
+    let r2 = if ss_tot > 0.0 {
+        1.0 - ss_res / ss_tot
+    } else {
+        0.0
+    };
+    RegMetrics {
+        mae,
+        rmse: mse.sqrt(),
+        r2,
+    }
 }
 
 /// Mean absolute percentage error (Fig. 4's energy-validation metric),
@@ -139,7 +169,10 @@ mod tests {
     #[test]
     fn random_classifier_auc_half() {
         // All scores identical → AUC must be exactly 0.5 via midranks.
-        let m = link_metrics(&[0.5; 10], &[1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0]);
+        let m = link_metrics(
+            &[0.5; 10],
+            &[1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0],
+        );
         assert!((m.auc - 0.5).abs() < 1e-9);
     }
 

@@ -5,11 +5,11 @@
 
 use std::sync::Arc;
 
+use circuit_graph::{NodeType, PinKind, XC_DIM};
 use cirgps_nn::{
     Activation, BatchNorm1d, EdgeIndex, Embedding, GatedGcn, Linear, Mlp, MultiHeadAttention,
     ParamStore, PerformerAttention, Tape, Tensor, Var,
 };
-use circuit_graph::{NodeType, PinKind, XC_DIM};
 use graph_pe::PeFeatures;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -23,11 +23,18 @@ use crate::prepared::PreparedSample;
 enum PeEncoder {
     None,
     /// DSPD: two distance-embedding tables `D0`, `D1` (eq. (1)).
-    Pair { d0: Embedding, d1: Embedding },
+    Pair {
+        d0: Embedding,
+        d1: Embedding,
+    },
     /// DRNL: one label-embedding table.
-    Single { emb: Embedding },
+    Single {
+        emb: Embedding,
+    },
     /// Dense PEs (RWSE / LapPE / XC): linear projection.
-    Dense { lin: Linear },
+    Dense {
+        lin: Linear,
+    },
 }
 
 /// One branch of global attention.
@@ -64,21 +71,27 @@ impl GpsLayer {
                     AttnBlock::Mha(a) => a.forward(tape, x),
                     AttnBlock::Performer(a) => a.forward(tape, x),
                 };
+                // The attention output (a Linear output, whose backward
+                // never reads its own value) is single-use: consume it in
+                // the residual add. `x` stays readable for the backbone.
                 let h = tape.dropout(h, self.dropout);
-                let s = tape.add(x, h);
+                let s = tape.add_inplace(h, x);
                 Some(bn.forward(tape, s))
             }
             _ => None,
         };
         let combined = match (x_m, x_a) {
-            (Some(m), Some(a)) => tape.add(m, a),
+            // Both branch outputs are single-use BN/residual results.
+            (Some(m), Some(a)) => tape.add_inplace(m, a),
             (Some(m), None) => m,
             (None, Some(a)) => a,
             (None, None) => x,
         };
+        // `combined` must stay readable: the MLP's fused-linear backward
+        // reads its input value. Only the MLP output is consumed.
         let h = self.mlp.forward(tape, combined);
         let h = tape.dropout(h, self.dropout);
-        let s = tape.add(combined, h);
+        let s = tape.add_inplace(h, combined);
         let x_out = self.bn_mlp.forward(tape, s);
         (x_out, e_out)
     }
@@ -141,8 +154,20 @@ impl CircuitGps {
         let pe_enc = match cfg.pe {
             graph_pe::PeKind::None => PeEncoder::None,
             graph_pe::PeKind::Dspd => PeEncoder::Pair {
-                d0: Embedding::new(&mut store, "enc.pe.d0", graph_pe::DIST_CLASSES, cfg.pe_dim, &mut rng),
-                d1: Embedding::new(&mut store, "enc.pe.d1", graph_pe::DIST_CLASSES, cfg.pe_dim, &mut rng),
+                d0: Embedding::new(
+                    &mut store,
+                    "enc.pe.d0",
+                    graph_pe::DIST_CLASSES,
+                    cfg.pe_dim,
+                    &mut rng,
+                ),
+                d1: Embedding::new(
+                    &mut store,
+                    "enc.pe.d1",
+                    graph_pe::DIST_CLASSES,
+                    cfg.pe_dim,
+                    &mut rng,
+                ),
             },
             graph_pe::PeKind::Drnl => {
                 // DRNL table size is the clamped-distance worst case; keep
@@ -163,12 +188,24 @@ impl CircuitGps {
                 lin: Linear::new(&mut store, "enc.pe.lap", k, 2 * cfg.pe_dim, true, &mut rng),
             },
             graph_pe::PeKind::Xc => PeEncoder::Dense {
-                lin: Linear::new(&mut store, "enc.pe.xc", XC_DIM, 2 * cfg.pe_dim, true, &mut rng),
+                lin: Linear::new(
+                    &mut store,
+                    "enc.pe.xc",
+                    XC_DIM,
+                    2 * cfg.pe_dim,
+                    true,
+                    &mut rng,
+                ),
             },
         };
 
-        let node_type_emb =
-            Embedding::new(&mut store, "enc.node_type", NodeType::COUNT, d - pe_total, &mut rng);
+        let node_type_emb = Embedding::new(
+            &mut store,
+            "enc.node_type",
+            NodeType::COUNT,
+            d - pe_total,
+            &mut rng,
+        );
         let edge_type_emb = Embedding::new(
             &mut store,
             "enc.edge_type",
@@ -232,8 +269,14 @@ impl CircuitGps {
             })
             .collect();
 
-        let link_head =
-            Mlp::new(&mut store, "head_link.mlp", &[d, d, 1], Activation::Relu, cfg.dropout, &mut rng);
+        let link_head = Mlp::new(
+            &mut store,
+            "head_link.mlp",
+            &[d, d, 1],
+            Activation::Relu,
+            cfg.dropout,
+            &mut rng,
+        );
         let reg_head = RegHead {
             net_proj: Linear::new(&mut store, "head_reg.net", XC_DIM, d, true, &mut rng),
             dev_proj: Linear::new(&mut store, "head_reg.dev", XC_DIM, d, true, &mut rng),
@@ -248,7 +291,16 @@ impl CircuitGps {
             ),
         };
 
-        CircuitGps { cfg, store, pe_enc, node_type_emb, edge_type_emb, layers, link_head, reg_head }
+        CircuitGps {
+            cfg,
+            store,
+            pe_enc,
+            node_type_emb,
+            edge_type_emb,
+            layers,
+            link_head,
+            reg_head,
+        }
     }
 
     /// The parameter store (borrow for forward passes).
@@ -304,7 +356,7 @@ impl CircuitGps {
         let mut offset = 0usize;
         for (gi, s) in samples.iter().enumerate() {
             node_types.extend(s.sub.node_types.iter().copied());
-            graph_ids.extend(std::iter::repeat(gi).take(s.sub.num_nodes()));
+            graph_ids.extend(std::iter::repeat_n(gi, s.sub.num_nodes()));
             src.extend(s.sub.src.iter().map(|&x| x + offset));
             dst.extend(s.sub.dst.iter().map(|&x| x + offset));
             edge_types.extend(s.sub.edge_types.iter().copied());
@@ -349,7 +401,9 @@ impl CircuitGps {
             }
             PeEncoder::Dense { lin } => {
                 let dim = lin.in_dim();
-                let mut data = Vec::with_capacity(total_n * dim);
+                // Pool-backed: the tape recycles the buffer on drop, so
+                // per-batch PE assembly stops reallocating.
+                let mut data = cirgps_nn::pool::take_capacity(total_n * dim);
                 for s in samples {
                     match &s.pe {
                         PeFeatures::Dense { data: d, dim: sd } if *sd == dim => {
@@ -366,9 +420,16 @@ impl CircuitGps {
             }
         }
         parts.push(self.node_type_emb.forward(tape, &node_types));
-        let mut x = if parts.len() == 1 { parts[0] } else { tape.concat_cols(&parts) };
+        let mut x = if parts.len() == 1 {
+            parts[0]
+        } else {
+            tape.concat_cols(&parts)
+        };
 
-        let idx = EdgeIndex { src: Arc::new(src), dst: Arc::new(dst) };
+        let idx = EdgeIndex {
+            src: Arc::new(src),
+            dst: Arc::new(dst),
+        };
         let mut e = if edge_types.is_empty() {
             tape.input(Tensor::zeros(0, self.cfg.hidden_dim))
         } else {
@@ -381,7 +442,14 @@ impl CircuitGps {
         }
 
         let counts: Vec<f32> = samples.iter().map(|s| s.sub.num_nodes() as f32).collect();
-        (x, BatchLayout { graph_ids: Arc::new(graph_ids), counts, anchor_rows })
+        (
+            x,
+            BatchLayout {
+                graph_ids: Arc::new(graph_ids),
+                counts,
+                anchor_rows,
+            },
+        )
     }
 
     /// Per-graph segment mean pooling.
@@ -409,7 +477,7 @@ impl CircuitGps {
         let (xl, layout) = self.embed_batch(tape, samples);
         let total_n: usize = samples.iter().map(|s| s.sub.num_nodes()).sum();
 
-        let mut xc_data = Vec::with_capacity(total_n * XC_DIM);
+        let mut xc_data = cirgps_nn::pool::take_capacity(total_n * XC_DIM);
         for s in samples {
             xc_data.extend_from_slice(&s.xc_norm);
         }
@@ -437,30 +505,34 @@ impl CircuitGps {
         }
 
         // C: per-type projection scattered back to node order (eq. (6)).
+        // Each accumulation consumes the previous `c` buffer in place.
         let mut c = tape.input(Tensor::zeros(total_n, self.cfg.hidden_dim));
-        for (idx, proj) in [(&net_idx, &self.reg_head.net_proj), (&dev_idx, &self.reg_head.dev_proj)] {
+        for (idx, proj) in [
+            (&net_idx, &self.reg_head.net_proj),
+            (&dev_idx, &self.reg_head.dev_proj),
+        ] {
             if idx.is_empty() {
                 continue;
             }
             let rows = tape.gather(xc, Arc::new(idx.clone()));
             let proj_rows = proj.forward(tape, rows);
             let scattered = tape.scatter_add(proj_rows, Arc::new(idx.clone()), total_n);
-            c = tape.add(c, scattered);
+            c = tape.add_inplace(c, scattered);
         }
         if !pin_idx.is_empty() {
             let emb = self.reg_head.pin_emb.forward(tape, &pin_codes);
             let scattered = tape.scatter_add(emb, Arc::new(pin_idx), total_n);
-            c = tape.add(c, scattered);
+            c = tape.add_inplace(c, scattered);
         }
 
         // XH = Pool(XL + C) (eq. (7)) plus an anchor skip-connection: the
         // target node's own row is added to the pooled readout. Without
         // it, mean pooling over 2-hop node-task subgraphs dilutes the
         // anchor whose capacitance is being predicted (see DESIGN.md).
-        let sum = tape.add(xl, c);
+        let sum = tape.add_inplace(c, xl);
         let pooled = self.segment_mean(tape, sum, &layout);
         let anchors = tape.gather(sum, Arc::new(layout.anchor_rows.clone()));
-        let readout = tape.add(pooled, anchors);
+        let readout = tape.add_inplace(anchors, pooled);
         let out = self.reg_head.mlp.forward(tape, readout);
         tape.sigmoid(out)
     }
@@ -562,8 +634,8 @@ impl FreezeProj for ParamStore {
 mod tests {
     use super::*;
     use crate::prepared::PreparedSample;
-    use cirgps_nn::GradStore;
     use circuit_graph::{EdgeType, GraphBuilder};
+    use cirgps_nn::GradStore;
     use graph_pe::PeKind;
     use subgraph_sample::{SamplerConfig, SubgraphSampler, XcNormalizer};
 
@@ -588,16 +660,36 @@ mod tests {
             ty: EdgeType::CouplingNetNet,
         }]);
         let xcn = XcNormalizer::fit(&[&g]);
-        let mut s = SubgraphSampler::new(&g, SamplerConfig { hops: 2, max_nodes: 32 });
+        let mut s = SubgraphSampler::new(
+            &g,
+            SamplerConfig {
+                hops: 2,
+                max_nodes: 32,
+            },
+        );
         let sub = s.enclosing_subgraph(n1, n2);
         PreparedSample::new(sub, pe, &xcn, 1.0, 0.42)
     }
 
     fn configs_under_test() -> Vec<ModelConfig> {
-        let base = ModelConfig { hidden_dim: 16, pe_dim: 4, heads: 2, num_layers: 2, ..Default::default() };
+        let base = ModelConfig {
+            hidden_dim: 16,
+            pe_dim: 4,
+            heads: 2,
+            num_layers: 2,
+            ..Default::default()
+        };
         vec![
-            ModelConfig { mpnn: MpnnKind::GatedGcn, attn: AttnKind::None, ..base.clone() },
-            ModelConfig { mpnn: MpnnKind::None, attn: AttnKind::Transformer, ..base.clone() },
+            ModelConfig {
+                mpnn: MpnnKind::GatedGcn,
+                attn: AttnKind::None,
+                ..base.clone()
+            },
+            ModelConfig {
+                mpnn: MpnnKind::None,
+                attn: AttnKind::Transformer,
+                ..base.clone()
+            },
             ModelConfig {
                 mpnn: MpnnKind::GatedGcn,
                 attn: AttnKind::Performer { features: 8 },
@@ -688,14 +780,15 @@ mod tests {
         });
         let frozen = model.freeze_backbone();
         assert!(frozen > 0);
-        let mut tape = Tape::new(model.store(), true, 1);
-        let loss = model.loss_reg(&mut tape, &s);
         let mut grads = GradStore::new(model.store());
-        tape.backward(loss, &mut grads);
-        let backbone_hit = model
-            .store()
-            .iter()
-            .any(|(id, name, _)| (name.starts_with("enc.") || name.starts_with("gps.")) && grads.get(id).is_some());
+        {
+            let mut tape = Tape::new(model.store(), true, 1);
+            let loss = model.loss_reg(&mut tape, &s);
+            tape.backward(loss, &mut grads);
+        }
+        let backbone_hit = model.store().iter().any(|(id, name, _)| {
+            (name.starts_with("enc.") || name.starts_with("gps.")) && grads.get(id).is_some()
+        });
         assert!(!backbone_hit, "frozen backbone received gradients");
         let head_hit = model
             .store()
@@ -709,7 +802,13 @@ mod tests {
     #[test]
     fn save_load_round_trip_preserves_predictions() {
         let s = sample_with(PeKind::Dspd);
-        let cfg = ModelConfig { hidden_dim: 16, pe_dim: 4, heads: 2, num_layers: 1, ..Default::default() };
+        let cfg = ModelConfig {
+            hidden_dim: 16,
+            pe_dim: 4,
+            heads: 2,
+            num_layers: 1,
+            ..Default::default()
+        };
         let model = CircuitGps::new(cfg.clone());
         let p1 = model.predict_link(&s);
         let mut bytes = Vec::new();

@@ -47,7 +47,14 @@ impl PreparedSample {
                 }
             })
             .collect();
-        PreparedSample { sub, pe, xc_norm, pin_codes, label, target }
+        PreparedSample {
+            sub,
+            pe,
+            xc_norm,
+            pin_codes,
+            label,
+            target,
+        }
     }
 }
 
@@ -82,9 +89,7 @@ pub fn prepare_node_dataset(
 ) -> Vec<PreparedSample> {
     ds.samples
         .par_iter()
-        .map(|s| {
-            PreparedSample::new(s.subgraph.clone(), pe_kind, xcn, 1.0, cap_encode(s.cap))
-        })
+        .map(|s| PreparedSample::new(s.subgraph.clone(), pe_kind, xcn, 1.0, cap_encode(s.cap)))
         .collect()
 }
 
@@ -105,7 +110,13 @@ mod tests {
         b.add_edge(p, d, EdgeType::DevicePin);
         let g = b.build();
         let xcn = XcNormalizer::fit(&[&g]);
-        let mut s = SubgraphSampler::new(&g, SamplerConfig { hops: 2, max_nodes: 16 });
+        let mut s = SubgraphSampler::new(
+            &g,
+            SamplerConfig {
+                hops: 2,
+                max_nodes: 16,
+            },
+        );
         let sub = s.enclosing_subgraph(n, p);
         PreparedSample::new(sub, pe, &xcn, 1.0, 0.5)
     }
@@ -130,8 +141,17 @@ mod tests {
 
     #[test]
     fn pe_matches_kind() {
-        assert!(matches!(tiny_prepared(PeKind::Dspd).pe, PeFeatures::CategoricalPair { .. }));
-        assert!(matches!(tiny_prepared(PeKind::Drnl).pe, PeFeatures::Categorical { .. }));
-        assert!(matches!(tiny_prepared(PeKind::Rwse { k: 4 }).pe, PeFeatures::Dense { .. }));
+        assert!(matches!(
+            tiny_prepared(PeKind::Dspd).pe,
+            PeFeatures::CategoricalPair { .. }
+        ));
+        assert!(matches!(
+            tiny_prepared(PeKind::Drnl).pe,
+            PeFeatures::Categorical { .. }
+        ));
+        assert!(matches!(
+            tiny_prepared(PeKind::Rwse { k: 4 }).pe,
+            PeFeatures::Dense { .. }
+        ));
     }
 }

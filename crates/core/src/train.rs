@@ -48,8 +48,12 @@ pub fn train(
     let start = std::time::Instant::now();
     let mut opt = Adam::new(cfg.lr).with_weight_decay(cfg.weight_decay);
     let steps_per_epoch = samples.len().div_ceil(cfg.batch_size).max(1);
-    let schedule =
-        CosineSchedule::new(cfg.lr, cfg.lr * 0.05, cfg.warmup, cfg.epochs * steps_per_epoch);
+    let schedule = CosineSchedule::new(
+        cfg.lr,
+        cfg.lr * 0.05,
+        cfg.warmup,
+        cfg.epochs * steps_per_epoch,
+    );
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut history = TrainHistory::default();
     let mut step = 0usize;
@@ -64,32 +68,39 @@ pub fn train(
             let store = model.store();
             // The batch is split into a few sub-batches, each packed
             // block-diagonally onto one tape (so batch norm sees many
-            // graphs); sub-batches run on rayon workers in parallel.
+            // graphs). The sub-batch count is part of the training
+            // semantics (BN statistics are per sub-batch), so it is kept
+            // even though the offline rayon shim runs the chunks
+            // sequentially; with real rayon they run on worker threads,
+            // and under the shim the parallelism comes from the
+            // threaded matmul kernels inside each tape instead.
             let n_sub = rayon::current_num_threads().clamp(1, batch.len().div_ceil(2).max(1));
             let sub_size = batch.len().div_ceil(n_sub);
             let results: Vec<(f64, usize, GradStore)> = batch
-                .chunks(sub_size)
-                .collect::<Vec<_>>()
-                .par_iter()
+                .par_chunks(sub_size)
                 .enumerate()
                 .map(|(ci, chunk)| {
-                    let subs: Vec<&PreparedSample> =
-                        chunk.iter().map(|&i| &samples[i]).collect();
-                    let mut tape = Tape::new(
-                        store,
-                        true,
-                        cfg.seed ^ (ci as u64) ^ ((epoch as u64) << 24) ^ ((step as u64) << 40),
-                    );
-                    let loss = match task {
-                        Task::LinkPrediction => model.loss_link_batch(&mut tape, &subs),
-                        Task::Regression => model.loss_reg_batch(&mut tape, &subs),
-                    };
+                    let subs: Vec<&PreparedSample> = chunk.iter().map(|&i| &samples[i]).collect();
                     let mut grads = GradStore::new(store);
-                    tape.backward(loss, &mut grads);
+                    let loss_val = {
+                        // Inner scope: dropping the tape returns its pooled
+                        // buffers before the next sub-batch records.
+                        let mut tape = Tape::new(
+                            store,
+                            true,
+                            cfg.seed ^ (ci as u64) ^ ((epoch as u64) << 24) ^ ((step as u64) << 40),
+                        );
+                        let loss = match task {
+                            Task::LinkPrediction => model.loss_link_batch(&mut tape, &subs),
+                            Task::Regression => model.loss_reg_batch(&mut tape, &subs),
+                        };
+                        tape.backward(loss, &mut grads);
+                        tape.value(loss).item()
+                    };
                     // Gradients of a per-sub-batch *mean* loss: reweight by
                     // sub-batch size so merging yields the full-batch mean.
                     grads.scale(subs.len() as f32);
-                    (tape.value(loss).item() as f64 * subs.len() as f64, subs.len(), grads)
+                    (loss_val as f64 * subs.len() as f64, subs.len(), grads)
                 })
                 .collect();
 
@@ -188,7 +199,7 @@ mod tests {
     fn toy_dataset() -> Vec<PreparedSample> {
         let mut b = GraphBuilder::new();
         // Two clusters of net-pin stars joined by a long path.
-        let mut cluster = |b: &mut GraphBuilder, tag: &str| -> Vec<u32> {
+        let cluster = |b: &mut GraphBuilder, tag: &str| -> Vec<u32> {
             let hub = b.add_node(NodeType::Net, &format!("{tag}hub"));
             let mut out = vec![hub];
             for i in 0..6 {
@@ -220,11 +231,21 @@ mod tests {
         }
         let injected: Vec<Edge> = links
             .iter()
-            .map(|&(a, b2, _)| Edge { a, b: b2, ty: EdgeType::CouplingPinPin })
+            .map(|&(a, b2, _)| Edge {
+                a,
+                b: b2,
+                ty: EdgeType::CouplingPinPin,
+            })
             .collect();
         let aug = g.with_injected_links(&injected);
         let xcn = XcNormalizer::fit(&[&aug]);
-        let mut sampler = SubgraphSampler::new(&aug, SamplerConfig { hops: 1, max_nodes: 64 });
+        let mut sampler = SubgraphSampler::new(
+            &aug,
+            SamplerConfig {
+                hops: 1,
+                max_nodes: 64,
+            },
+        );
         links
             .iter()
             .map(|&(a, b2, y)| {
@@ -249,7 +270,12 @@ mod tests {
     fn link_training_reduces_loss_and_separates() {
         let data = toy_dataset();
         let mut model = tiny_model();
-        let cfg = TrainConfig { epochs: 30, batch_size: 8, lr: 5e-3, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 30,
+            batch_size: 8,
+            lr: 5e-3,
+            ..Default::default()
+        };
         let hist = pretrain_link(&mut model, &data, &cfg);
         let first = hist.epoch_losses[0];
         let last = *hist.epoch_losses.last().unwrap();
@@ -263,7 +289,12 @@ mod tests {
     fn regression_training_fits_targets() {
         let data = toy_dataset();
         let mut model = tiny_model();
-        let cfg = TrainConfig { epochs: 40, batch_size: 8, lr: 5e-3, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 40,
+            batch_size: 8,
+            lr: 5e-3,
+            ..Default::default()
+        };
         let hist = finetune_regression(&mut model, &data, FinetuneMode::Scratch, &cfg);
         assert!(hist.epoch_losses.last().unwrap() < &0.2);
         let m = evaluate_regression(&model, &data);
@@ -274,7 +305,11 @@ mod tests {
     fn head_only_finetune_changes_only_head() {
         let data = toy_dataset();
         let mut model = tiny_model();
-        let cfg = TrainConfig { epochs: 2, batch_size: 8, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 2,
+            batch_size: 8,
+            ..Default::default()
+        };
         pretrain_link(&mut model, &data, &cfg);
 
         // Snapshot a backbone parameter.
@@ -291,13 +326,20 @@ mod tests {
             .find(|(_, name, _)| name.starts_with("gps.0.mpnn"))
             .map(|(_, _, t)| t.as_slice().to_vec())
             .unwrap();
-        assert_eq!(backbone_before, backbone_after, "backbone changed in head-only mode");
+        assert_eq!(
+            backbone_before, backbone_after,
+            "backbone changed in head-only mode"
+        );
     }
 
     #[test]
     fn training_is_deterministic() {
         let data = toy_dataset();
-        let cfg = TrainConfig { epochs: 2, batch_size: 4, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 2,
+            batch_size: 4,
+            ..Default::default()
+        };
         let mut m1 = tiny_model();
         let h1 = pretrain_link(&mut m1, &data, &cfg);
         let mut m2 = tiny_model();

@@ -56,12 +56,18 @@ impl Placement {
     /// to a hash-derived position, keeping extraction total.
     pub fn device_position(&self, device_name: &str) -> (f64, f64) {
         let first = device_name.split('.').next().unwrap_or(device_name);
-        let base = self.positions.get(first).or_else(|| self.positions.get(device_name));
+        let base = self
+            .positions
+            .get(first)
+            .or_else(|| self.positions.get(device_name));
         let (bx, by) = match base {
             Some(&(x, y)) => (x, y),
             None => {
                 let h = fxhash(device_name);
-                (((h >> 8) % 4096) as f64 * 0.5, ((h >> 20) % 4096) as f64 * 0.5)
+                (
+                    ((h >> 8) % 4096) as f64 * 0.5,
+                    ((h >> 20) % 4096) as f64 * 0.5,
+                )
             }
         };
         let h = fxhash(device_name);
@@ -154,8 +160,9 @@ impl DesignBuilder {
         x: f64,
         y: f64,
     ) -> Result<(), BuildDesignError> {
-        let ports = cells::cell_ports(cell)
-            .ok_or_else(|| BuildDesignError { message: format!("unknown cell {cell:?}") })?;
+        let ports = cells::cell_ports(cell).ok_or_else(|| BuildDesignError {
+            message: format!("unknown cell {cell:?}"),
+        })?;
         if ports.len() != nets.len() {
             return Err(BuildDesignError {
                 message: format!(
@@ -204,11 +211,18 @@ impl DesignBuilder {
         }
         spice.push_str(".ENDS\n");
 
-        let file = SpiceFile::parse(&spice)
-            .map_err(|e| BuildDesignError { message: e.to_string() })?;
-        let netlist =
-            file.flatten(&self.name).map_err(|e| BuildDesignError { message: e.to_string() })?;
-        Ok(Design { name: self.name, netlist, placement: self.placement, spice })
+        let file = SpiceFile::parse(&spice).map_err(|e| BuildDesignError {
+            message: e.to_string(),
+        })?;
+        let netlist = file.flatten(&self.name).map_err(|e| BuildDesignError {
+            message: e.to_string(),
+        })?;
+        Ok(Design {
+            name: self.name,
+            netlist,
+            placement: self.placement,
+            spice,
+        })
     }
 }
 
@@ -221,7 +235,8 @@ mod tests {
         let mut b = DesignBuilder::new("T");
         b.port("A");
         b.port("Z");
-        b.instance("Xi", "INV", &["A", "Z", "VDD", "VSS"], 1.0, 2.0).unwrap();
+        b.instance("Xi", "INV", &["A", "Z", "VDD", "VSS"], 1.0, 2.0)
+            .unwrap();
         let d = b.finish().unwrap();
         assert_eq!(d.netlist.num_devices(), 2);
         assert!(d.netlist.device_by_name("Xi.M1").is_some());

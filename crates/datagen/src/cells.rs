@@ -289,14 +289,39 @@ mod tests {
     fn every_listed_cell_exists_and_flattens() {
         let f = SpiceFile::parse(library_spice()).unwrap();
         for cell in [
-            "INV", "INVX4", "BUF", "NAND2", "NAND3", "NOR2", "XOR2", "MUX2", "DFF", "TGATE",
-            "SRAM6T", "SRAM8T", "PRECH", "SENSEAMP", "WRDRV", "COLMUX", "WLDRV", "DIFFAMP",
-            "COMPARATOR", "CURMIR", "LVLSHIFT", "VREF", "RCDELAY", "FULLADD",
+            "INV",
+            "INVX4",
+            "BUF",
+            "NAND2",
+            "NAND3",
+            "NOR2",
+            "XOR2",
+            "MUX2",
+            "DFF",
+            "TGATE",
+            "SRAM6T",
+            "SRAM8T",
+            "PRECH",
+            "SENSEAMP",
+            "WRDRV",
+            "COLMUX",
+            "WLDRV",
+            "DIFFAMP",
+            "COMPARATOR",
+            "CURMIR",
+            "LVLSHIFT",
+            "VREF",
+            "RCDELAY",
+            "FULLADD",
         ] {
-            let def = f.subckt(cell).unwrap_or_else(|| panic!("missing cell {cell}"));
+            let def = f
+                .subckt(cell)
+                .unwrap_or_else(|| panic!("missing cell {cell}"));
             let ports = cell_ports(cell).unwrap_or_else(|| panic!("no port list for {cell}"));
             assert_eq!(def.ports, ports, "port mismatch for {cell}");
-            let flat = f.flatten(cell).unwrap_or_else(|e| panic!("flatten {cell}: {e}"));
+            let flat = f
+                .flatten(cell)
+                .unwrap_or_else(|e| panic!("flatten {cell}: {e}"));
             let expected = cell_device_count(cell).unwrap();
             assert_eq!(flat.num_devices(), expected, "device count for {cell}");
         }

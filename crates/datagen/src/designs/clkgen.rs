@@ -28,7 +28,13 @@ pub fn generate(preset: SizePreset) -> Result<Design, BuildDesignError> {
 
     // Gated ring oscillator: NAND2(EN, feedback) followed by an even
     // inverter chain.
-    b.instance("Xring_g", "NAND2", &["EN", &format!("r{}", stages - 1), "r0", "VDD", "VSS"], 0.0, 0.0)?;
+    b.instance(
+        "Xring_g",
+        "NAND2",
+        &["EN", &format!("r{}", stages - 1), "r0", "VDD", "VSS"],
+        0.0,
+        0.0,
+    )?;
     for s in 1..stages {
         b.instance(
             &format!("Xring{s}"),
@@ -38,7 +44,13 @@ pub fn generate(preset: SizePreset) -> Result<Design, BuildDesignError> {
             0.0,
         )?;
     }
-    b.instance("Xrbuf", "BUF", &[&format!("r{}", stages - 1), "osc", "VDD", "VSS"], stages as f64 * 0.4, 0.0)?;
+    b.instance(
+        "Xrbuf",
+        "BUF",
+        &[&format!("r{}", stages - 1), "osc", "VDD", "VSS"],
+        stages as f64 * 0.4,
+        0.0,
+    )?;
 
     // Divider chain: toggle DFFs (Q fed back through an inverter).
     let mut prev_ck = "osc".to_string();
@@ -53,7 +65,13 @@ pub fn generate(preset: SizePreset) -> Result<Design, BuildDesignError> {
         b.instance(
             &format!("Xdiv{d}"),
             "DFF",
-            &[&format!("divb{d}"), &prev_ck, &format!("div{d}"), "VDD", "VSS"],
+            &[
+                &format!("divb{d}"),
+                &prev_ck,
+                &format!("div{d}"),
+                "VDD",
+                "VSS",
+            ],
             d as f64 * 0.8,
             1.6,
         )?;
@@ -61,11 +79,24 @@ pub fn generate(preset: SizePreset) -> Result<Design, BuildDesignError> {
     }
 
     // Clock select mux between divided clocks.
-    b.instance("Xm0", "MUX2", &["osc", "div0", "SEL0", "mx0", "VDD", "VSS"], 0.0, 3.0)?;
+    b.instance(
+        "Xm0",
+        "MUX2",
+        &["osc", "div0", "SEL0", "mx0", "VDD", "VSS"],
+        0.0,
+        3.0,
+    )?;
     b.instance(
         "Xm1",
         "MUX2",
-        &["mx0", &format!("div{}", div_bits - 1), "SEL1", "ck_core", "VDD", "VSS"],
+        &[
+            "mx0",
+            &format!("div{}", div_bits - 1),
+            "SEL1",
+            "ck_core",
+            "VDD",
+            "VSS",
+        ],
         0.8,
         3.0,
     )?;
@@ -91,15 +122,45 @@ pub fn generate(preset: SizePreset) -> Result<Design, BuildDesignError> {
         )?;
     }
     let repl_top = repl_rows as f64 * CELL_H;
-    b.instance("Xrpch", "PRECH", &["rbl", "rblb", "pcb_i", "VDD"], 6.0, repl_top + 0.5)?;
-    b.instance("Xrinv", "INV", &["rbl", "rbl_fall", "VDD", "VSS"], 6.0, repl_top + 1.1)?;
-    b.instance("Xrdel", "RCDELAY", &["rbl_fall", "sae_i", "VDD", "VSS"], 6.0, repl_top + 1.7)?;
+    b.instance(
+        "Xrpch",
+        "PRECH",
+        &["rbl", "rblb", "pcb_i", "VDD"],
+        6.0,
+        repl_top + 0.5,
+    )?;
+    b.instance(
+        "Xrinv",
+        "INV",
+        &["rbl", "rbl_fall", "VDD", "VSS"],
+        6.0,
+        repl_top + 1.1,
+    )?;
+    b.instance(
+        "Xrdel",
+        "RCDELAY",
+        &["rbl_fall", "sae_i", "VDD", "VSS"],
+        6.0,
+        repl_top + 1.7,
+    )?;
 
     // Pulse generation: precharge bar and SAE from replica timing.
     b.instance("Xpg1", "INV", &["ck_core", "ckb", "VDD", "VSS"], 0.0, 4.0)?;
-    b.instance("Xpg2", "NAND2", &["ck_core", "rbl_fall", "pcb_i", "VDD", "VSS"], 0.8, 4.0)?;
+    b.instance(
+        "Xpg2",
+        "NAND2",
+        &["ck_core", "rbl_fall", "pcb_i", "VDD", "VSS"],
+        0.8,
+        4.0,
+    )?;
     b.instance("Xpg3", "BUF", &["pcb_i", "PCB_OUT", "VDD", "VSS"], 1.6, 4.0)?;
-    b.instance("Xpg4", "NAND2", &["sae_i", "ck_core", "saeb", "VDD", "VSS"], 0.8, 4.6)?;
+    b.instance(
+        "Xpg4",
+        "NAND2",
+        &["sae_i", "ck_core", "saeb", "VDD", "VSS"],
+        0.8,
+        4.6,
+    )?;
     b.instance("Xpg5", "INV", &["saeb", "SAE_OUT", "VDD", "VSS"], 1.6, 4.6)?;
 
     // Output clock tree to `branches` buffered loads plus the CKOUT port.
@@ -140,7 +201,11 @@ mod tests {
         // Replica bitline touches all replica cells: high fanout net.
         let (g, m) = circuit_graph::netlist_to_graph(&d.netlist);
         let rbl = m.net_nodes[d.netlist.net_id("rbl").unwrap().0 as usize];
-        assert!(g.degree(rbl) >= 8, "replica bitline degree {}", g.degree(rbl));
+        assert!(
+            g.degree(rbl) >= 8,
+            "replica bitline degree {}",
+            g.degree(rbl)
+        );
     }
 
     #[test]

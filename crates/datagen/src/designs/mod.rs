@@ -65,7 +65,10 @@ impl DesignKind {
 
     /// Whether the paper uses this design for training (vs zero-shot test).
     pub fn is_training(self) -> bool {
-        matches!(self, DesignKind::Ssram | DesignKind::Ultra8t | DesignKind::SandwichRam)
+        matches!(
+            self,
+            DesignKind::Ssram | DesignKind::Ultra8t | DesignKind::SandwichRam
+        )
     }
 }
 
@@ -107,8 +110,7 @@ mod tests {
     #[test]
     fn all_archetypes_generate_at_tiny_scale() {
         for kind in DesignKind::ALL {
-            let d = generate(kind, SizePreset::Tiny)
-                .unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+            let d = generate(kind, SizePreset::Tiny).unwrap_or_else(|e| panic!("{kind:?}: {e}"));
             assert!(d.netlist.num_devices() > 20, "{kind:?} too small");
             assert!(d.netlist.num_nets() > 10, "{kind:?} has too few nets");
             assert!(!d.placement.is_empty(), "{kind:?} has no placement");
@@ -120,7 +122,10 @@ mod tests {
         for kind in [DesignKind::Ssram, DesignKind::DigitalClkGen] {
             let t = generate(kind, SizePreset::Tiny).unwrap();
             let s = generate(kind, SizePreset::Small).unwrap();
-            assert!(s.netlist.num_devices() > t.netlist.num_devices(), "{kind:?}");
+            assert!(
+                s.netlist.num_devices() > t.netlist.num_devices(),
+                "{kind:?}"
+            );
         }
     }
 

@@ -5,7 +5,9 @@
 //! are physically interleaved.
 
 use crate::builder::{BuildDesignError, Design, DesignBuilder};
-use crate::designs::sram_common::{bitcell_array_6t, column_periphery, row_decoder, CELL_H, CELL_W};
+use crate::designs::sram_common::{
+    bitcell_array_6t, column_periphery, row_decoder, CELL_H, CELL_W,
+};
 use crate::designs::SizePreset;
 
 /// `(rows_per_bank, cols, adder_width)` per preset.
@@ -51,7 +53,13 @@ pub fn generate(preset: SizePreset) -> Result<Design, BuildDesignError> {
         b.instance(
             &format!("Xaff{i}"),
             "DFF",
-            &[&format!("A{i}"), "clkb_i", &format!("abuf{i}"), "VDD", "VSS"],
+            &[
+                &format!("A{i}"),
+                "clkb_i",
+                &format!("abuf{i}"),
+                "VDD",
+                "VSS",
+            ],
             -5.0,
             bank_h + i as f64 * 0.8,
         )?;
@@ -66,8 +74,20 @@ pub fn generate(preset: SizePreset) -> Result<Design, BuildDesignError> {
             )?;
         }
     }
-    b.instance("Xcg", "NAND2", &["CLK", "CEN", "clkgb", "VDD", "VSS"], -5.0, bank_h - 1.0)?;
-    b.instance("Xcgi", "INV", &["clkgb", "clkb_i", "VDD", "VSS"], -4.4, bank_h - 1.0)?;
+    b.instance(
+        "Xcg",
+        "NAND2",
+        &["CLK", "CEN", "clkgb", "VDD", "VSS"],
+        -5.0,
+        bank_h - 1.0,
+    )?;
+    b.instance(
+        "Xcgi",
+        "INV",
+        &["clkgb", "clkb_i", "VDD", "VSS"],
+        -4.4,
+        bank_h - 1.0,
+    )?;
 
     // Compute layer between the banks: per group of columns a bit-serial
     // adder slice accumulating (weight XNOR activation) products.
@@ -79,7 +99,13 @@ pub fn generate(preset: SizePreset) -> Result<Design, BuildDesignError> {
         b.instance(
             &format!("Xxn{g}"),
             "XOR2",
-            &[&format!("bb_SA{g}"), &format!("ACT{}", g % adder_w), &format!("pp{g}"), "VDD", "VSS"],
+            &[
+                &format!("bb_SA{g}"),
+                &format!("ACT{}", g % adder_w),
+                &format!("pp{g}"),
+                "VDD",
+                "VSS",
+            ],
             x,
             y_cmp,
         )?;
@@ -109,7 +135,12 @@ pub fn generate(preset: SizePreset) -> Result<Design, BuildDesignError> {
         b.instance(
             &format!("Xpwm{g}"),
             "RCDELAY",
-            &[&format!("acc{g}_{}", adder_w - 1), &format!("pwm{g}"), "VDD", "VSS"],
+            &[
+                &format!("acc{g}_{}", adder_w - 1),
+                &format!("pwm{g}"),
+                "VDD",
+                "VSS",
+            ],
             x,
             y_cmp + 3.0,
         )?;
@@ -127,7 +158,13 @@ pub fn generate(preset: SizePreset) -> Result<Design, BuildDesignError> {
         )?;
         prev = next;
     }
-    b.instance("Xpout", "BUF", &[&prev, "PWM_OUT", "VDD", "VSS"], 0.0, y_cmp + 4.2)?;
+    b.instance(
+        "Xpout",
+        "BUF",
+        &[&prev, "PWM_OUT", "VDD", "VSS"],
+        0.0,
+        y_cmp + 4.2,
+    )?;
 
     b.finish()
 }
@@ -149,7 +186,10 @@ mod tests {
         let storage = 2 * rows * cols * 6;
         let compute = cols.div_ceil(4) * adder_w * (28 + 18);
         let total = d.netlist.num_devices();
-        assert!(total > storage + compute / 2, "total {total} storage {storage}");
+        assert!(
+            total > storage + compute / 2,
+            "total {total} storage {storage}"
+        );
     }
 
     #[test]

@@ -123,7 +123,14 @@ pub fn column_periphery(
         b.instance(
             &format!("X{p}cm{g}c"),
             "COLMUX",
-            &[&m0, &m1, &format!("{p}CSEL1"), &format!("{p}sabl{g}"), "VDD", "VSS"],
+            &[
+                &m0,
+                &m1,
+                &format!("{p}CSEL1"),
+                &format!("{p}sabl{g}"),
+                "VDD",
+                "VSS",
+            ],
             xg + 0.3,
             y_arr_top + 2.6,
         )?;
@@ -216,7 +223,13 @@ pub fn clock_tree(
     // Level 1: one buffer per 8 leaves; root buffer feeds them.
     let n_l1 = leaves.len().div_ceil(8).max(1);
     let rootbuf = format!("{p}ckroot");
-    b.instance(&format!("X{p}ckr"), "BUF", &[root, &rootbuf, "VDD", "VSS"], x0, y0)?;
+    b.instance(
+        &format!("X{p}ckr"),
+        "BUF",
+        &[root, &rootbuf, "VDD", "VSS"],
+        x0,
+        y0,
+    )?;
     for i in 0..n_l1 {
         let mid = format!("{p}ckm{i}");
         b.instance(

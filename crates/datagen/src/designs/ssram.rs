@@ -52,16 +52,76 @@ pub fn generate(preset: SizePreset) -> Result<Design, BuildDesignError> {
     }
 
     // Control logic: clock gate, precharge pulse, SAE pulse, write enable.
-    b.instance("Xcg1", "NAND2", &["CLK", "CEN", "cgb", "VDD", "VSS"], -4.0, arr_top + 1.0)?;
-    b.instance("Xcg2", "INV", &["cgb", "clk_i", "VDD", "VSS"], -3.4, arr_top + 1.0)?;
-    b.instance("Xpc1", "RCDELAY", &["clk_i", "pcd", "VDD", "VSS"], -4.0, arr_top + 1.6)?;
-    b.instance("Xpc2", "NAND2", &["clk_i", "pcd", "m_PCB", "VDD", "VSS"], -3.2, arr_top + 1.6)?;
-    b.instance("Xsae1", "RCDELAY", &["pcd", "saed", "VDD", "VSS"], -4.0, arr_top + 2.2)?;
-    b.instance("Xsae2", "BUF", &["saed", "m_SAE", "VDD", "VSS"], -3.2, arr_top + 2.2)?;
-    b.instance("Xwe1", "NAND2", &["WEN", "clk_i", "wenb", "VDD", "VSS"], -4.0, arr_top + 2.8)?;
-    b.instance("Xwe2", "INV", &["wenb", "m_WEN", "VDD", "VSS"], -3.2, arr_top + 2.8)?;
-    b.instance("Xcs0", "DFF", &["A0", "clk_i", "m_CSEL0", "VDD", "VSS"], -4.0, arr_top + 3.6)?;
-    b.instance("Xcs1", "DFF", &["A1", "clk_i", "m_CSEL1", "VDD", "VSS"], -4.0, arr_top + 4.4)?;
+    b.instance(
+        "Xcg1",
+        "NAND2",
+        &["CLK", "CEN", "cgb", "VDD", "VSS"],
+        -4.0,
+        arr_top + 1.0,
+    )?;
+    b.instance(
+        "Xcg2",
+        "INV",
+        &["cgb", "clk_i", "VDD", "VSS"],
+        -3.4,
+        arr_top + 1.0,
+    )?;
+    b.instance(
+        "Xpc1",
+        "RCDELAY",
+        &["clk_i", "pcd", "VDD", "VSS"],
+        -4.0,
+        arr_top + 1.6,
+    )?;
+    b.instance(
+        "Xpc2",
+        "NAND2",
+        &["clk_i", "pcd", "m_PCB", "VDD", "VSS"],
+        -3.2,
+        arr_top + 1.6,
+    )?;
+    b.instance(
+        "Xsae1",
+        "RCDELAY",
+        &["pcd", "saed", "VDD", "VSS"],
+        -4.0,
+        arr_top + 2.2,
+    )?;
+    b.instance(
+        "Xsae2",
+        "BUF",
+        &["saed", "m_SAE", "VDD", "VSS"],
+        -3.2,
+        arr_top + 2.2,
+    )?;
+    b.instance(
+        "Xwe1",
+        "NAND2",
+        &["WEN", "clk_i", "wenb", "VDD", "VSS"],
+        -4.0,
+        arr_top + 2.8,
+    )?;
+    b.instance(
+        "Xwe2",
+        "INV",
+        &["wenb", "m_WEN", "VDD", "VSS"],
+        -3.2,
+        arr_top + 2.8,
+    )?;
+    b.instance(
+        "Xcs0",
+        "DFF",
+        &["A0", "clk_i", "m_CSEL0", "VDD", "VSS"],
+        -4.0,
+        arr_top + 3.6,
+    )?;
+    b.instance(
+        "Xcs1",
+        "DFF",
+        &["A1", "clk_i", "m_CSEL1", "VDD", "VSS"],
+        -4.0,
+        arr_top + 4.4,
+    )?;
 
     // Data IO: input latch per D bit (spread over 4 columns), output DFF
     // per sense amp.
@@ -118,7 +178,11 @@ mod tests {
         assert!(d.netlist.net_id("m_WL7").is_some());
         assert!(d.netlist.net_id("m_SAE").is_some());
         // Ports exist.
-        assert!(d.netlist.net_id("CLK").map(|n| d.netlist.net(n).is_port).unwrap_or(false));
+        assert!(d
+            .netlist
+            .net_id("CLK")
+            .map(|n| d.netlist.net(n).is_port)
+            .unwrap_or(false));
     }
 
     #[test]

@@ -29,7 +29,13 @@ pub fn generate(preset: SizePreset) -> Result<Design, BuildDesignError> {
     }
 
     // Clock gating + internal clock.
-    b.instance("Xcg1", "NAND2", &["CLK", "CEN", "cgb", "VDD", "VSS"], 0.0, 0.0)?;
+    b.instance(
+        "Xcg1",
+        "NAND2",
+        &["CLK", "CEN", "cgb", "VDD", "VSS"],
+        0.0,
+        0.0,
+    )?;
     b.instance("Xcg2", "INV", &["cgb", "cki", "VDD", "VSS"], 0.6, 0.0)?;
 
     // Mode register + one-hot decoder (NAND3 tree over mode bits).
@@ -92,21 +98,52 @@ pub fn generate(preset: SizePreset) -> Result<Design, BuildDesignError> {
         let d2 = format!("ch{c}_d2");
         let pulse = format!("ch{c}_p");
         let y = 3.0 + c as f64 * 1.2;
-        b.instance(&format!("Xcd{c}a"), "RCDELAY", &[&tap, &d1, "VDD", "VSS"], 4.0, y)?;
-        b.instance(&format!("Xcd{c}b"), "INV", &[&d1, &d2, "VDD", "VSS"], 5.0, y)?;
-        b.instance(&format!("Xcp{c}"), "NAND2", &[&tap, &d2, &pulse, "VDD", "VSS"], 5.6, y)?;
+        b.instance(
+            &format!("Xcd{c}a"),
+            "RCDELAY",
+            &[&tap, &d1, "VDD", "VSS"],
+            4.0,
+            y,
+        )?;
+        b.instance(
+            &format!("Xcd{c}b"),
+            "INV",
+            &[&d1, &d2, "VDD", "VSS"],
+            5.0,
+            y,
+        )?;
+        b.instance(
+            &format!("Xcp{c}"),
+            "NAND2",
+            &[&tap, &d2, &pulse, "VDD", "VSS"],
+            5.6,
+            y,
+        )?;
         // Gate with a decoder select and reset.
         let gated = format!("ch{c}_g");
         b.instance(
             &format!("Xcg{c}"),
             "NAND3",
-            &[&pulse, &format!("sel{}", c % n_dec), "RSTB", &gated, "VDD", "VSS"],
+            &[
+                &pulse,
+                &format!("sel{}", c % n_dec),
+                "RSTB",
+                &gated,
+                "VDD",
+                "VSS",
+            ],
             6.4,
             y,
         )?;
         let out: &str = outs[c % outs.len()];
         if c < outs.len() {
-            b.instance(&format!("Xco{c}"), "INVX4", &[&gated, out, "VDD", "VSS"], 7.2, y)?;
+            b.instance(
+                &format!("Xco{c}"),
+                "INVX4",
+                &[&gated, out, "VDD", "VSS"],
+                7.2,
+                y,
+            )?;
         } else {
             b.instance(
                 &format!("Xco{c}"),
@@ -119,9 +156,21 @@ pub fn generate(preset: SizePreset) -> Result<Design, BuildDesignError> {
     }
 
     // Write path gating.
-    b.instance("Xwg1", "NAND2", &["WEN", "cki", "wgb", "VDD", "VSS"], 0.0, 8.0)?;
+    b.instance(
+        "Xwg1",
+        "NAND2",
+        &["WEN", "cki", "wgb", "VDD", "VSS"],
+        0.0,
+        8.0,
+    )?;
     b.instance("Xwg2", "BUF", &["wgb", "wen_i", "VDD", "VSS"], 0.8, 8.0)?;
-    b.instance("Xwg3", "NOR2", &["wen_i", "ch0_p", "wcomb", "VDD", "VSS"], 1.6, 8.0)?;
+    b.instance(
+        "Xwg3",
+        "NOR2",
+        &["wen_i", "ch0_p", "wcomb", "VDD", "VSS"],
+        1.6,
+        8.0,
+    )?;
 
     b.finish()
 }

@@ -78,7 +78,14 @@ pub fn generate(preset: SizePreset) -> Result<Design, BuildDesignError> {
                 b.instance(
                     &format!("X{p}rs{c}"),
                     "DIFFAMP",
-                    &[&format!("{p}RBL{c}"), "vref", &format!("{p}RO{c}"), "vbn", "VDD", "VSS"],
+                    &[
+                        &format!("{p}RBL{c}"),
+                        "vref",
+                        &format!("{p}RO{c}"),
+                        "vbn",
+                        "VDD",
+                        "VSS",
+                    ],
                     x,
                     arr_top + 1.4,
                 )?;
@@ -89,7 +96,13 @@ pub fn generate(preset: SizePreset) -> Result<Design, BuildDesignError> {
             b.instance(
                 &format!("X{p}ls{c}"),
                 "LVLSHIFT",
-                &[&format!("{p}RO{c}"), &format!("{p}QH{c}"), "VDDL", "VDDH", "VSS"],
+                &[
+                    &format!("{p}RO{c}"),
+                    &format!("{p}QH{c}"),
+                    "VDDL",
+                    "VDDH",
+                    "VSS",
+                ],
                 x0 + c as f64 * CELL_W * 1.3,
                 arr_top + 2.2,
             )?;
@@ -123,7 +136,13 @@ pub fn generate(preset: SizePreset) -> Result<Design, BuildDesignError> {
     // Shared analog: bandgap-ish reference, bias amp, RC filter.
     let ax = banks as f64 * bank_w + 2.0;
     b.instance("Xvref", "VREF", &["vref", "VDD", "VSS"], ax, 0.0)?;
-    b.instance("Xbias", "DIFFAMP", &["vref", "vfb", "vbn", "vbn", "VDD", "VSS"], ax, 2.0)?;
+    b.instance(
+        "Xbias",
+        "DIFFAMP",
+        &["vref", "vfb", "vbn", "vbn", "VDD", "VSS"],
+        ax,
+        2.0,
+    )?;
     b.instance("Xfb", "RCDELAY", &["vbn", "vfb", "VDD", "VSS"], ax, 3.0)?;
     b.raw_device("Rbias vref ibias rpoly R=100k W=0.4u L=40u", ax, 4.0);
     b.raw_device("Cbias ibias VSS mim C=1p L=12u NF=6", ax, 4.5);
@@ -152,7 +171,13 @@ pub fn generate(preset: SizePreset) -> Result<Design, BuildDesignError> {
             i as f64 * 0.6,
         )?;
     }
-    b.instance("Xweg", "NAND2", &["WEN", "CEN", "wengb", "VDD", "VSS"], -2.0, 5.0)?;
+    b.instance(
+        "Xweg",
+        "NAND2",
+        &["WEN", "CEN", "wengb", "VDD", "VSS"],
+        -2.0,
+        5.0,
+    )?;
     b.instance("Xwei", "INV", &["wengb", "wen_l", "VDD", "VSS"], -1.4, 5.0)?;
 
     b.finish()
@@ -166,10 +191,15 @@ mod tests {
     #[test]
     fn has_analog_and_memory_content() {
         let d = generate(SizePreset::Tiny).unwrap();
-        let kinds: Vec<DeviceKind> =
-            d.netlist.devices().map(|(_, dev)| dev.kind).collect();
-        assert!(kinds.contains(&DeviceKind::Resistor), "analog resistors present");
-        assert!(kinds.contains(&DeviceKind::Capacitor), "analog capacitors present");
+        let kinds: Vec<DeviceKind> = d.netlist.devices().map(|(_, dev)| dev.kind).collect();
+        assert!(
+            kinds.contains(&DeviceKind::Resistor),
+            "analog resistors present"
+        );
+        assert!(
+            kinds.contains(&DeviceKind::Capacitor),
+            "analog capacitors present"
+        );
         assert!(kinds.contains(&DeviceKind::Diode), "vref diode present");
         assert!(d.netlist.net_id("b0_RBL0").is_some());
         assert!(d.netlist.net_id("vref").is_some());

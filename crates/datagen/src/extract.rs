@@ -94,7 +94,12 @@ struct Bbox {
 
 impl Bbox {
     fn point(x: f64, y: f64) -> Self {
-        Bbox { x0: x, y0: y, x1: x, y1: y }
+        Bbox {
+            x0: x,
+            y0: y,
+            x1: x,
+            y1: y,
+        }
     }
 
     fn include(&mut self, x: f64, y: f64) {
@@ -197,7 +202,10 @@ pub fn extract_parasitics(design: &Design, cfg: &ExtractConfig) -> SpfFile {
                 (DeviceKind::Diode, _) => cfg.c_diff_per_um * 0.8,
             };
             pins.push(PinInfo {
-                node: SpfNode::Pin { device: dev.name.clone(), pin: terms[ti].to_string() },
+                node: SpfNode::Pin {
+                    device: dev.name.clone(),
+                    pin: terms[ti].to_string(),
+                },
                 x: dx,
                 y: dy,
                 net: net.0 as usize,
@@ -226,7 +234,13 @@ pub fn extract_parasitics(design: &Design, cfg: &ExtractConfig) -> SpfFile {
             let ground = cfg.c_wire_per_um * wire_len
                 + net_pin_caps[i] * 0.15
                 + if net.is_port { 0.5e-15 } else { 0.0 };
-            NetInfo { name: net.name.clone(), bbox, n_pins, supply, ground_cap: ground }
+            NetInfo {
+                name: net.name.clone(),
+                bbox,
+                n_pins,
+                supply,
+                ground_cap: ground,
+            }
         })
         .collect();
 
@@ -240,11 +254,17 @@ pub fn extract_parasitics(design: &Design, cfg: &ExtractConfig) -> SpfFile {
         }
         let v = (net.ground_cap * jitter()).clamp(lo, hi);
         let _ = i;
-        spf.ground_caps.push(GroundCap { node: SpfNode::Net(net.name.clone()), value: v });
+        spf.ground_caps.push(GroundCap {
+            node: SpfNode::Net(net.name.clone()),
+            value: v,
+        });
     }
     for pin in &pins {
         let v = (pin.ground_cap * jitter()).clamp(lo, hi);
-        spf.ground_caps.push(GroundCap { node: pin.node.clone(), value: v });
+        spf.ground_caps.push(GroundCap {
+            node: pin.node.clone(),
+            value: v,
+        });
     }
 
     // --- Spatial grid over pins and signal-net boxes -----------------------
@@ -254,7 +274,8 @@ pub fn extract_parasitics(design: &Design, cfg: &ExtractConfig) -> SpfFile {
     for (i, p) in pins.iter().enumerate() {
         pin_grid.entry(key(p.x, p.y)).or_default().push(i);
     }
-    let mut net_grid: std::collections::BTreeMap<(i64, i64), Vec<usize>> = std::collections::BTreeMap::new();
+    let mut net_grid: std::collections::BTreeMap<(i64, i64), Vec<usize>> =
+        std::collections::BTreeMap::new();
     for (i, n) in nets.iter().enumerate() {
         if n.supply || n.n_pins == 0 {
             continue;
@@ -265,9 +286,7 @@ pub fn extract_parasitics(design: &Design, cfg: &ExtractConfig) -> SpfFile {
         // up the grid; long spans are truncated to their endpoints + center.
         if ((kx1 - kx0 + 1) * (ky1 - ky0 + 1)) as usize > 512 {
             let (cx, cy) = n.bbox.center();
-            for (px, py) in
-                [(n.bbox.x0, n.bbox.y0), (cx, cy), (n.bbox.x1, n.bbox.y1)]
-            {
+            for (px, py) in [(n.bbox.x0, n.bbox.y0), (cx, cy), (n.bbox.x1, n.bbox.y1)] {
                 net_grid.entry(key(px, py)).or_default().push(i);
             }
             continue;
@@ -289,31 +308,39 @@ pub fn extract_parasitics(design: &Design, cfg: &ExtractConfig) -> SpfFile {
         }
     };
     let mut partner_count: HashMap<(SpfNode, u8), usize> = HashMap::new();
-    let mut emitted: std::collections::HashSet<(SpfNode, SpfNode)> = std::collections::HashSet::new();
-    let push_coupling =
-        |spf: &mut SpfFile,
-         partner_count: &mut HashMap<(SpfNode, u8), usize>,
-         emitted: &mut std::collections::HashSet<(SpfNode, SpfNode)>,
-         a: SpfNode,
-         b: SpfNode,
-         value: f64| {
-            if value < cfg.keep_threshold {
-                return;
-            }
-            let (cat, cap) = budget(&a, &b);
-            let ca = partner_count.get(&(a.clone(), cat)).copied().unwrap_or(0);
-            let cb = partner_count.get(&(b.clone(), cat)).copied().unwrap_or(0);
-            if ca >= cap || cb >= cap {
-                return;
-            }
-            let pair = if a <= b { (a.clone(), b.clone()) } else { (b.clone(), a.clone()) };
-            if !emitted.insert(pair) {
-                return;
-            }
-            *partner_count.entry((a.clone(), cat)).or_default() += 1;
-            *partner_count.entry((b.clone(), cat)).or_default() += 1;
-            spf.coupling_caps.push(CouplingCap { a, b, value: value.clamp(lo, hi) });
+    let mut emitted: std::collections::HashSet<(SpfNode, SpfNode)> =
+        std::collections::HashSet::new();
+    let push_coupling = |spf: &mut SpfFile,
+                         partner_count: &mut HashMap<(SpfNode, u8), usize>,
+                         emitted: &mut std::collections::HashSet<(SpfNode, SpfNode)>,
+                         a: SpfNode,
+                         b: SpfNode,
+                         value: f64| {
+        if value < cfg.keep_threshold {
+            return;
+        }
+        let (cat, cap) = budget(&a, &b);
+        let ca = partner_count.get(&(a.clone(), cat)).copied().unwrap_or(0);
+        let cb = partner_count.get(&(b.clone(), cat)).copied().unwrap_or(0);
+        if ca >= cap || cb >= cap {
+            return;
+        }
+        let pair = if a <= b {
+            (a.clone(), b.clone())
+        } else {
+            (b.clone(), a.clone())
         };
+        if !emitted.insert(pair) {
+            return;
+        }
+        *partner_count.entry((a.clone(), cat)).or_default() += 1;
+        *partner_count.entry((b.clone(), cat)).or_default() += 1;
+        spf.coupling_caps.push(CouplingCap {
+            a,
+            b,
+            value: value.clamp(lo, hi),
+        });
+    };
 
     // --- Net-net couplings -------------------------------------------------
     for (ki, bucket) in &net_grid {
@@ -323,7 +350,9 @@ pub fn extract_parasitics(design: &Design, cfg: &ExtractConfig) -> SpfFile {
             let forward = [(0, 0), (1, 0), (0, 1), (1, 1), (1, -1)];
             for (dxk, dyk) in forward {
                 let kj = (ki.0 + dxk, ki.1 + dyk);
-                let Some(other) = net_grid.get(&kj) else { continue };
+                let Some(other) = net_grid.get(&kj) else {
+                    continue;
+                };
                 let start = if (dxk, dyk) == (0, 0) { bi + 1 } else { 0 };
                 for &j in other.iter().skip(start) {
                     if i == j {
@@ -366,13 +395,13 @@ pub fn extract_parasitics(design: &Design, cfg: &ExtractConfig) -> SpfFile {
                             continue;
                         }
                         let nb = &nets[ni];
-                        let (gx, gy, _, _) =
-                            Bbox::point(pin.x, pin.y).gap_overlap(&nb.bbox);
+                        let (gx, gy, _, _) = Bbox::point(pin.x, pin.y).gap_overlap(&nb.bbox);
                         let dist = (gx * gx + gy * gy).sqrt();
                         if dist > cfg.coupling_radius {
                             continue;
                         }
-                        let v = cfg.c_pn_base * pin.width_um.max(0.1)
+                        let v = cfg.c_pn_base
+                            * pin.width_um.max(0.1)
                             * (cfg.min_spacing / dist.max(cfg.min_spacing))
                             * jitter();
                         push_coupling(
@@ -390,7 +419,9 @@ pub fn extract_parasitics(design: &Design, cfg: &ExtractConfig) -> SpfFile {
         // Pin-pin: forward-only scan within the same and neighbor buckets.
         let forward = [(0, 0), (1, 0), (0, 1), (1, 1), (1, -1)];
         for (dxk, dyk) in forward {
-            let Some(bucket) = pin_grid.get(&(k.0 + dxk, k.1 + dyk)) else { continue };
+            let Some(bucket) = pin_grid.get(&(k.0 + dxk, k.1 + dyk)) else {
+                continue;
+            };
             for &j in bucket {
                 if (dxk, dyk) == (0, 0) && j <= i {
                     continue;
@@ -403,7 +434,8 @@ pub fn extract_parasitics(design: &Design, cfg: &ExtractConfig) -> SpfFile {
                 if d > cfg.coupling_radius * 0.6 {
                     continue;
                 }
-                let v = cfg.c_pp_base * (pin.width_um.min(q.width_um)).max(0.05)
+                let v = cfg.c_pp_base
+                    * (pin.width_um.min(q.width_um)).max(0.05)
                     * (cfg.min_spacing / d.max(cfg.min_spacing))
                     * jitter();
                 push_coupling(
@@ -445,7 +477,10 @@ mod tests {
                 _ => p2n += 1,
             }
         }
-        assert!(p2n > 0 && p2p > 0 && n2n > 0, "p2n={p2n} p2p={p2p} n2n={n2n}");
+        assert!(
+            p2n > 0 && p2p > 0 && n2n > 0,
+            "p2n={p2n} p2p={p2p} n2n={n2n}"
+        );
         // Paper: p2n majority, n2n fewest.
         assert!(p2n > n2n, "p2n={p2n} should outnumber n2n={n2n}");
     }
@@ -464,8 +499,16 @@ mod tests {
     #[test]
     fn values_span_magnitudes() {
         let (_, spf) = tiny_spf();
-        let min = spf.coupling_caps.iter().map(|c| c.value).fold(f64::MAX, f64::min);
-        let max = spf.coupling_caps.iter().map(|c| c.value).fold(0.0, f64::max);
+        let min = spf
+            .coupling_caps
+            .iter()
+            .map(|c| c.value)
+            .fold(f64::MAX, f64::min);
+        let max = spf
+            .coupling_caps
+            .iter()
+            .map(|c| c.value)
+            .fold(0.0, f64::max);
         assert!(max / min > 10.0, "spread {min}..{max} too narrow");
     }
 
@@ -488,12 +531,22 @@ mod tests {
         let b = extract_parasitics(&d, &ExtractConfig::default());
         assert_eq!(a.coupling_caps.len(), b.coupling_caps.len());
         assert_eq!(a.ground_caps.len(), b.ground_caps.len());
-        let c = extract_parasitics(&d, &ExtractConfig { seed: 99, ..Default::default() });
+        let c = extract_parasitics(
+            &d,
+            &ExtractConfig {
+                seed: 99,
+                ..Default::default()
+            },
+        );
         // Similar structure (threshold interacts with jitter, so counts may
         // differ slightly), but different values.
         let (na, nc) = (a.coupling_caps.len() as f64, c.coupling_caps.len() as f64);
         assert!((na - nc).abs() / na < 0.1, "counts {na} vs {nc} diverged");
-        assert!(a.coupling_caps.iter().zip(&c.coupling_caps).any(|(x, y)| x.value != y.value));
+        assert!(a
+            .coupling_caps
+            .iter()
+            .zip(&c.coupling_caps)
+            .any(|(x, y)| x.value != y.value));
     }
 
     #[test]
@@ -512,7 +565,10 @@ mod tests {
         for c in &spf.coupling_caps {
             if let (Some((ax, ay)), Some((bx, by))) = (pos_of(&c.a), pos_of(&c.b)) {
                 let dist = ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt();
-                assert!(dist <= cfg.coupling_radius + 1.0, "pin pair {dist} µm apart");
+                assert!(
+                    dist <= cfg.coupling_radius + 1.0,
+                    "pin pair {dist} µm apart"
+                );
             }
         }
     }

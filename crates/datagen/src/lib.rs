@@ -46,7 +46,10 @@ pub fn generate_with_parasitics(
     seed: u64,
 ) -> Result<(Design, ams_netlist::SpfFile), BuildDesignError> {
     let design = generate(kind, preset)?;
-    let cfg = ExtractConfig { seed, ..Default::default() };
+    let cfg = ExtractConfig {
+        seed,
+        ..Default::default()
+    };
     let spf = extract_parasitics(&design, &cfg);
     Ok((design, spf))
 }

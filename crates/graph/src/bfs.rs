@@ -56,8 +56,29 @@ impl BfsScratch {
     }
 
     /// Multi-source BFS (used for the union neighborhood of link anchors).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scratch was sized for a smaller graph or a source
+    /// node is out of range.
     pub fn run_multi(&mut self, graph: &CircuitGraph, sources: &[u32], max_hops: u32) -> Vec<u32> {
-        assert!(self.dist.len() >= graph.num_nodes(), "scratch sized for smaller graph");
+        assert!(
+            self.dist.len() >= graph.num_nodes(),
+            "scratch sized for smaller graph"
+        );
+        // Empty graph / empty source set: nothing to traverse. Guarded
+        // explicitly so callers get an empty result instead of an opaque
+        // index panic below.
+        if graph.num_nodes() == 0 || sources.is_empty() {
+            return Vec::new();
+        }
+        for &s in sources {
+            assert!(
+                (s as usize) < graph.num_nodes(),
+                "BFS source {s} out of range for graph with {} nodes",
+                graph.num_nodes()
+            );
+        }
         self.epoch = self.epoch.wrapping_add(1);
         if self.epoch == 0 {
             // Stamp wrap-around: clear everything once every 2^32 runs.
@@ -107,7 +128,14 @@ mod tests {
         let mut b = GraphBuilder::new();
         let ids: Vec<u32> = (0..n)
             .map(|i| {
-                b.add_node(if i % 2 == 0 { NodeType::Net } else { NodeType::Pin }, &format!("v{i}"))
+                b.add_node(
+                    if i % 2 == 0 {
+                        NodeType::Net
+                    } else {
+                        NodeType::Pin
+                    },
+                    &format!("v{i}"),
+                )
             })
             .collect();
         for w in ids.windows(2) {
@@ -149,6 +177,24 @@ mod tests {
         s.run(&g, 4, 0);
         assert_eq!(s.distance(0), None);
         assert_eq!(s.distance(4), Some(0));
+    }
+
+    #[test]
+    fn empty_graph_and_empty_sources_return_empty() {
+        let empty = GraphBuilder::new().build();
+        let mut s = BfsScratch::new(0);
+        assert!(s.run_multi(&empty, &[], 3).is_empty());
+        let g = path(3);
+        let mut s2 = BfsScratch::new(3);
+        assert!(s2.run_multi(&g, &[], 2).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_source_panics_clearly() {
+        let g = path(3);
+        let mut s = BfsScratch::new(8);
+        let _ = s.run(&g, 7, 1);
     }
 
     #[test]

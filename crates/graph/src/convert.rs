@@ -109,8 +109,7 @@ impl NodeMap {
             SpfNode::Pin { device, pin } => {
                 let &dev_node = self.name_to_device.get(device)?;
                 let (dev_id, dev) = netlist.device_by_name(device)?;
-                let term_idx =
-                    dev.kind.terminal_names().iter().position(|t| t == pin)?;
+                let term_idx = dev.kind.terminal_names().iter().position(|t| t == pin)?;
                 let net = dev.terminals[term_idx];
                 let net_node = *self.net_nodes.get(net.0 as usize)?;
                 let _ = (dev_node, dev_id);
@@ -202,7 +201,11 @@ pub fn netlist_to_graph(netlist: &Netlist) -> (CircuitGraph, NodeMap) {
             let pv = b.add_node_with_origin(
                 NodeType::Pin,
                 &pin_name,
-                NodeOrigin::Pin { device: dev_id, kind, net },
+                NodeOrigin::Pin {
+                    device: dev_id,
+                    kind,
+                    net,
+                },
             );
             b.set_xc(pv, 0, kind.code() as f32);
             b.add_edge(d, pv, EdgeType::DevicePin);
@@ -299,7 +302,10 @@ M2 N2 N1 N4 N4 pch W=0.4u L=0.03u
         let (m1_id, _) = nl.device_by_name("M1").unwrap();
         let d = m.device_nodes[m1_id.0 as usize];
         // M1 touches 3 distinct nets (N2, N1, N3), so 3 pins.
-        let pin_count = g.neighbors(d).filter(|(_, t)| *t == EdgeType::DevicePin).count();
+        let pin_count = g
+            .neighbors(d)
+            .filter(|(_, t)| *t == EdgeType::DevicePin)
+            .count();
         assert_eq!(pin_count, 3);
     }
 
@@ -342,7 +348,9 @@ M2 N2 N1 N4 N4 pch W=0.4u L=0.03u
         let (m1_id, m1) = nl.device_by_name("M1").unwrap();
         let gate_net = m1.terminals[1];
         let gate_net_node = m.net_nodes[gate_net.0 as usize];
-        let pin = m.pin_node(m.device_nodes[m1_id.0 as usize], gate_net_node).unwrap();
+        let pin = m
+            .pin_node(m.device_nodes[m1_id.0 as usize], gate_net_node)
+            .unwrap();
         assert_eq!(g.node_type(pin), NodeType::Pin);
         assert_eq!(g.xc_row(pin)[0], PinKind::Gate.code() as f32);
         assert_eq!(g.node_name(pin), "M1:G");
@@ -353,11 +361,29 @@ M2 N2 N1 N4 N4 pch W=0.4u L=0.03u
         let (_, m, nl) = buffer_graph();
         let n = m.resolve(&nl, &SpfNode::Net("N2".into()));
         assert!(n.is_some());
-        let p = m.resolve(&nl, &SpfNode::Pin { device: "M1".into(), pin: "G".into() });
+        let p = m.resolve(
+            &nl,
+            &SpfNode::Pin {
+                device: "M1".into(),
+                pin: "G".into(),
+            },
+        );
         assert!(p.is_some());
         // Bulk resolves to the same merged pin as source for M1.
-        let s = m.resolve(&nl, &SpfNode::Pin { device: "M1".into(), pin: "S".into() });
-        let b = m.resolve(&nl, &SpfNode::Pin { device: "M1".into(), pin: "B".into() });
+        let s = m.resolve(
+            &nl,
+            &SpfNode::Pin {
+                device: "M1".into(),
+                pin: "S".into(),
+            },
+        );
+        let b = m.resolve(
+            &nl,
+            &SpfNode::Pin {
+                device: "M1".into(),
+                pin: "B".into(),
+            },
+        );
         assert_eq!(s, b);
         assert!(m.resolve(&nl, &SpfNode::Net("nope".into())).is_none());
     }

@@ -111,7 +111,9 @@ impl CircuitGraph {
     /// Iterates over `(neighbor, edge_type)` of `v`.
     pub fn neighbors(&self, v: u32) -> impl Iterator<Item = (u32, EdgeType)> + '_ {
         let (nbrs, tys) = self.adjacency(v);
-        nbrs.iter().zip(tys).map(|(&n, &t)| (n, EdgeType::from_code(t as usize)))
+        nbrs.iter()
+            .zip(tys)
+            .map(|(&n, &t)| (n, EdgeType::from_code(t as usize)))
     }
 
     /// Whether an edge of any type exists between `a` and `b`.
@@ -157,7 +159,10 @@ impl CircuitGraph {
     /// Finds a node id by exact name (linear scan; intended for tests and
     /// SPF joining, which builds its own index).
     pub fn node_by_name(&self, name: &str) -> Option<u32> {
-        self.node_names.iter().position(|n| n == name).map(|i| i as u32)
+        self.node_names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| i as u32)
     }
 
     /// Returns a new graph with the given links added to the adjacency
@@ -241,7 +246,7 @@ impl GraphBuilder {
         self.node_types.push(ty);
         self.node_names.push(name.to_string());
         self.origins.push(None);
-        self.xc.extend(std::iter::repeat(0.0).take(XC_DIM));
+        self.xc.extend(std::iter::repeat_n(0.0, XC_DIM));
         (self.node_types.len() - 1) as u32
     }
 
@@ -374,7 +379,11 @@ mod tests {
     #[test]
     fn inject_links() {
         let g = tiny();
-        let g2 = g.with_injected_links(&[Edge { a: 0, b: 3, ty: EdgeType::CouplingNetNet }]);
+        let g2 = g.with_injected_links(&[Edge {
+            a: 0,
+            b: 3,
+            ty: EdgeType::CouplingNetNet,
+        }]);
         assert_eq!(g2.num_edges(), 3);
         assert!(g2.has_edge(0, 3));
         assert_eq!(g2.edge_type_counts()[EdgeType::CouplingNetNet.code()], 1);
@@ -386,7 +395,11 @@ mod tests {
     #[should_panic(expected = "coupling link")]
     fn inject_rejects_schematic_edges() {
         let g = tiny();
-        g.with_injected_links(&[Edge { a: 0, b: 3, ty: EdgeType::NetPin }]);
+        g.with_injected_links(&[Edge {
+            a: 0,
+            b: 3,
+            ty: EdgeType::NetPin,
+        }]);
     }
 
     #[test]

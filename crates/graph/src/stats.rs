@@ -76,7 +76,11 @@ impl GraphStats {
             num_nodes: n,
             num_edges: e,
             node_type_counts: graph.node_type_counts(),
-            mean_degree: if n == 0 { 0.0 } else { 2.0 * e as f64 / n as f64 },
+            mean_degree: if n == 0 {
+                0.0
+            } else {
+                2.0 * e as f64 / n as f64
+            },
         }
     }
 }

@@ -9,7 +9,9 @@
 use std::fmt;
 
 /// Heterogeneous node type (`xi` in the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 #[repr(u8)]
 pub enum NodeType {
     /// A net (green circle in Fig. 1); `xi = 0`.
@@ -59,7 +61,9 @@ impl fmt::Display for NodeType {
 ///
 /// Values 0–1 are schematic topology edges; 2–4 are coupling links (the
 /// prediction targets, present only after link injection).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 #[repr(u8)]
 pub enum EdgeType {
     /// Device-to-pin connection; `ei = 0`.
@@ -229,7 +233,10 @@ mod tests {
             EdgeType::link_between(NodeType::Net, NodeType::Net),
             Some(EdgeType::CouplingNetNet)
         );
-        assert_eq!(EdgeType::link_between(NodeType::Device, NodeType::Net), None);
+        assert_eq!(
+            EdgeType::link_between(NodeType::Device, NodeType::Net),
+            None
+        );
     }
 
     #[test]

@@ -4,11 +4,15 @@ use std::collections::HashMap;
 use std::fmt;
 
 /// Index of a net within a [`Netlist`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct NetId(pub u32);
 
 /// Index of a device within a [`Netlist`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct DeviceId(pub u32);
 
 /// The kind of a primitive device.
@@ -129,7 +133,10 @@ pub struct Netlist {
 impl Netlist {
     /// Creates an empty netlist for cell `name`.
     pub fn new(name: &str) -> Self {
-        Netlist { name: name.to_string(), ..Default::default() }
+        Netlist {
+            name: name.to_string(),
+            ..Default::default()
+        }
     }
 
     /// Adds a net (or returns the existing id if the name is known).
@@ -141,7 +148,10 @@ impl Netlist {
             return id;
         }
         let id = NetId(self.nets.len() as u32);
-        self.nets.push(Net { name: name.to_string(), is_port });
+        self.nets.push(Net {
+            name: name.to_string(),
+            is_port,
+        });
         self.net_index.insert(name.to_string(), id);
         id
     }
@@ -203,12 +213,18 @@ impl Netlist {
 
     /// Iterates over `(NetId, &Net)`.
     pub fn nets(&self) -> impl Iterator<Item = (NetId, &Net)> {
-        self.nets.iter().enumerate().map(|(i, n)| (NetId(i as u32), n))
+        self.nets
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NetId(i as u32), n))
     }
 
     /// Iterates over `(DeviceId, &Device)`.
     pub fn devices(&self) -> impl Iterator<Item = (DeviceId, &Device)> {
-        self.devices.iter().enumerate().map(|(i, d)| (DeviceId(i as u32), d))
+        self.devices
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (DeviceId(i as u32), d))
     }
 
     /// Finds a device by instance name (linear scan; test/debug helper).
@@ -268,7 +284,13 @@ mod tests {
     fn add_device_validates_terminal_count() {
         let mut nl = two_net_list();
         let a = nl.net_id("a").unwrap();
-        nl.add_device("M1", DeviceKind::Nmos, "nch", &[a, a], DeviceParams::default());
+        nl.add_device(
+            "M1",
+            DeviceKind::Nmos,
+            "nch",
+            &[a, a],
+            DeviceParams::default(),
+        );
     }
 
     #[test]
@@ -290,14 +312,20 @@ mod tests {
             DeviceKind::Nmos,
             "nch",
             &[a, b, a, a],
-            DeviceParams { multiplier: 4.0, ..Default::default() },
+            DeviceParams {
+                multiplier: 4.0,
+                ..Default::default()
+            },
         );
         nl.add_device(
             "R1",
             DeviceKind::Resistor,
             "rpoly",
             &[a, b],
-            DeviceParams { value: 100.0, ..Default::default() },
+            DeviceParams {
+                value: 100.0,
+                ..Default::default()
+            },
         );
         assert_eq!(nl.transistor_count(), 4);
     }

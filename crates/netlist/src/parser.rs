@@ -75,7 +75,11 @@ pub struct ParseSpiceError {
 impl fmt::Display for ParseSpiceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.line > 0 {
-            write!(f, "spice parse error at line {}: {}", self.line, self.message)
+            write!(
+                f,
+                "spice parse error at line {}: {}",
+                self.line, self.message
+            )
         } else {
             write!(f, "spice error: {}", self.message)
         }
@@ -85,7 +89,10 @@ impl fmt::Display for ParseSpiceError {
 impl std::error::Error for ParseSpiceError {}
 
 fn err(line: usize, message: impl Into<String>) -> ParseSpiceError {
-    ParseSpiceError { line, message: message.into() }
+    ParseSpiceError {
+        line,
+        message: message.into(),
+    }
 }
 
 impl SpiceFile {
@@ -125,7 +132,8 @@ impl SpiceFile {
                     None => return Err(err(lineno, ".ends without .subckt")),
                 },
                 ".global" => {
-                    file.globals.extend(tokens[1..].iter().map(|s| s.to_string()));
+                    file.globals
+                        .extend(tokens[1..].iter().map(|s| s.to_string()));
                 }
                 ".title" => {
                     file.title = tokens[1..].join(" ");
@@ -192,7 +200,11 @@ impl SpiceFile {
     ///
     /// Same failure modes as [`SpiceFile::flatten`].
     pub fn flatten_top(&self, name: &str) -> Result<Netlist, ParseSpiceError> {
-        let sub = Subckt { name: name.to_string(), ports: Vec::new(), elements: self.top.clone() };
+        let sub = Subckt {
+            name: name.to_string(),
+            ports: Vec::new(),
+            elements: self.top.clone(),
+        };
         let mut nl = Netlist::new(name);
         let globals: HashSet<&str> = self.globals.iter().map(|s| s.as_str()).collect();
         for g in &self.globals {
@@ -219,13 +231,25 @@ impl SpiceFile {
             if globals.contains(net) || net == "0" || net.eq_ignore_ascii_case("gnd") {
                 return nl.add_net(net, true);
             }
-            let full = if prefix.is_empty() { net.to_string() } else { format!("{prefix}{net}") };
-            nl.add_net(&full, prefix.is_empty() && false)
+            let full = if prefix.is_empty() {
+                net.to_string()
+            } else {
+                format!("{prefix}{net}")
+            };
+            // Nets created during subckt expansion are internal, never
+            // top-level ports.
+            nl.add_net(&full, false)
         };
 
         for elem in &sub.elements {
             match elem {
-                Element::Device { name, kind, model, nets, params } => {
+                Element::Device {
+                    name,
+                    kind,
+                    model,
+                    nets,
+                    params,
+                } => {
                     let ids: Vec<_> = nets.iter().map(|n| resolve(nl, n)).collect();
                     let full = if prefix.is_empty() {
                         name.clone()
@@ -297,7 +321,10 @@ fn strip_comment(line: &str) -> &str {
 }
 
 fn parse_params(tokens: &[&str], lineno: usize) -> Result<DeviceParams, ParseSpiceError> {
-    let mut p = DeviceParams { multiplier: 1.0, ..Default::default() };
+    let mut p = DeviceParams {
+        multiplier: 1.0,
+        ..Default::default()
+    };
     for t in tokens {
         let Some((k, v)) = t.split_once('=') else {
             return Err(err(lineno, format!("expected K=V parameter, got {t:?}")));
@@ -336,26 +363,54 @@ fn parse_element(tokens: &[&str], lineno: usize) -> Result<Element, ParseSpiceEr
                 DeviceKind::Nmos
             };
             let params = parse_params(&tokens[6..], lineno)?;
-            Ok(Element::Device { name, kind, model, nets, params })
+            Ok(Element::Device {
+                name,
+                kind,
+                model,
+                nets,
+                params,
+            })
         }
         'R' | 'C' => {
             if tokens.len() < 4 {
                 return Err(err(lineno, "R/C card needs 2 nets and a value or model"));
             }
             let nets: Vec<String> = tokens[1..3].iter().map(|s| s.to_string()).collect();
-            let kind = if lead == 'R' { DeviceKind::Resistor } else { DeviceKind::Capacitor };
+            let kind = if lead == 'R' {
+                DeviceKind::Resistor
+            } else {
+                DeviceKind::Capacitor
+            };
             // Either `R1 a b 100` or `R1 a b model R=100 W=1u L=2u`.
             if tokens[3].contains('=') {
                 let params = parse_params(&tokens[3..], lineno)?;
-                Ok(Element::Device { name, kind, model: String::new(), nets, params })
+                Ok(Element::Device {
+                    name,
+                    kind,
+                    model: String::new(),
+                    nets,
+                    params,
+                })
             } else if let Ok(v) = parse_spice_value(tokens[3]) {
                 let mut params = parse_params(&tokens[4..], lineno)?;
                 params.value = v;
-                Ok(Element::Device { name, kind, model: String::new(), nets, params })
+                Ok(Element::Device {
+                    name,
+                    kind,
+                    model: String::new(),
+                    nets,
+                    params,
+                })
             } else {
                 let model = tokens[3].to_string();
                 let params = parse_params(&tokens[4..], lineno)?;
-                Ok(Element::Device { name, kind, model, nets, params })
+                Ok(Element::Device {
+                    name,
+                    kind,
+                    model,
+                    nets,
+                    params,
+                })
             }
         }
         'D' => {
@@ -365,7 +420,13 @@ fn parse_element(tokens: &[&str], lineno: usize) -> Result<Element, ParseSpiceEr
             let nets = tokens[1..3].iter().map(|s| s.to_string()).collect();
             let model = tokens[3].to_string();
             let params = parse_params(&tokens[4..], lineno)?;
-            Ok(Element::Device { name, kind: DeviceKind::Diode, model, nets, params })
+            Ok(Element::Device {
+                name,
+                kind: DeviceKind::Diode,
+                model,
+                nets,
+                params,
+            })
         }
         'X' => {
             if tokens.len() < 3 {

@@ -15,7 +15,9 @@ use std::fmt::Write as _;
 use crate::units::{format_spice_value, parse_spice_value};
 
 /// A parasitic node: a net or a device pin.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub enum SpfNode {
     /// A net, by flattened name.
     Net(String),
@@ -32,9 +34,10 @@ impl SpfNode {
     /// Parses `netname` or `device:PIN` notation.
     pub fn parse(s: &str) -> SpfNode {
         match s.rsplit_once(':') {
-            Some((device, pin)) if !device.is_empty() && !pin.is_empty() => {
-                SpfNode::Pin { device: device.to_string(), pin: pin.to_string() }
-            }
+            Some((device, pin)) if !device.is_empty() && !pin.is_empty() => SpfNode::Pin {
+                device: device.to_string(),
+                pin: pin.to_string(),
+            },
             _ => SpfNode::Net(s.to_string()),
         }
     }
@@ -100,7 +103,10 @@ impl std::error::Error for ParseSpfError {}
 impl SpfFile {
     /// Creates an empty SPF container for `design`.
     pub fn new(design: &str) -> Self {
-        SpfFile { design: design.to_string(), ..Default::default() }
+        SpfFile {
+            design: design.to_string(),
+            ..Default::default()
+        }
     }
 
     /// Total number of capacitance entries.
@@ -176,7 +182,14 @@ impl SpfFile {
         }
         let _ = writeln!(out, "* coupling capacitances: {}", self.coupling_caps.len());
         for (i, c) in self.coupling_caps.iter().enumerate() {
-            let _ = writeln!(out, "Cc{} {} {} {}", i, c.a, c.b, format_spice_value(c.value));
+            let _ = writeln!(
+                out,
+                "Cc{} {} {} {}",
+                i,
+                c.a,
+                c.b,
+                format_spice_value(c.value)
+            );
         }
         let _ = writeln!(out, ".END");
         out
@@ -192,7 +205,10 @@ mod tests {
         assert_eq!(SpfNode::parse("netA"), SpfNode::Net("netA".into()));
         assert_eq!(
             SpfNode::parse("Xb.M1:G"),
-            SpfNode::Pin { device: "Xb.M1".into(), pin: "G".into() }
+            SpfNode::Pin {
+                device: "Xb.M1".into(),
+                pin: "G".into()
+            }
         );
         // Degenerate colon forms fall back to net names.
         assert_eq!(SpfNode::parse(":G"), SpfNode::Net(":G".into()));
@@ -211,10 +227,16 @@ mod tests {
     #[test]
     fn round_trip() {
         let mut f = SpfFile::new("rt");
-        f.ground_caps.push(GroundCap { node: SpfNode::Net("n1".into()), value: 2.5e-16 });
+        f.ground_caps.push(GroundCap {
+            node: SpfNode::Net("n1".into()),
+            value: 2.5e-16,
+        });
         f.coupling_caps.push(CouplingCap {
             a: SpfNode::Net("n1".into()),
-            b: SpfNode::Pin { device: "M3".into(), pin: "D".into() },
+            b: SpfNode::Pin {
+                device: "M3".into(),
+                pin: "D".into(),
+            },
             value: 7.5e-18,
         });
         let text = f.to_text();

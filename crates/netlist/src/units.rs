@@ -24,7 +24,9 @@ use std::fmt;
 pub fn parse_spice_value(s: &str) -> Result<f64, ParseValueError> {
     let s = s.trim();
     if s.is_empty() {
-        return Err(ParseValueError { input: s.to_string() });
+        return Err(ParseValueError {
+            input: s.to_string(),
+        });
     }
     let lower = s.to_ascii_lowercase();
     // Find the longest numeric prefix (digits, sign, dot, exponent).
@@ -48,7 +50,9 @@ pub fn parse_spice_value(s: &str) -> Result<f64, ParseValueError> {
         }
     }
     let (num, suffix) = lower.split_at(split);
-    let mantissa: f64 = num.parse().map_err(|_| ParseValueError { input: s.to_string() })?;
+    let mantissa: f64 = num.parse().map_err(|_| ParseValueError {
+        input: s.to_string(),
+    })?;
     let mult = match suffix {
         "" => 1.0,
         "t" => 1e12,
@@ -80,7 +84,11 @@ pub fn parse_spice_value(s: &str) -> Result<f64, ParseValueError> {
                 "f" => 1e-15,
                 "a" => 1e-18,
                 "" => 1.0,
-                _ => return Err(ParseValueError { input: s.to_string() }),
+                _ => {
+                    return Err(ParseValueError {
+                        input: s.to_string(),
+                    })
+                }
             }
         }
     };

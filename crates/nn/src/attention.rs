@@ -31,7 +31,13 @@ impl MultiHeadAttention {
     /// # Panics
     ///
     /// Panics if `dim` is not divisible by `heads`.
-    pub fn new(store: &mut ParamStore, name: &str, dim: usize, heads: usize, rng: &mut StdRng) -> Self {
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        dim: usize,
+        heads: usize,
+        rng: &mut StdRng,
+    ) -> Self {
         assert_eq!(dim % heads, 0, "dim {dim} not divisible by heads {heads}");
         MultiHeadAttention {
             wq: Linear::new(store, &format!("{name}.wq"), dim, dim, false, rng),
@@ -62,7 +68,8 @@ impl MultiHeadAttention {
             let vh = tape.col_slice(v, off, self.head_dim);
             let kt = tape.transpose(kh);
             let scores = tape.matmul(qh, kt);
-            let scores = tape.scale(scores, scale);
+            // The raw score matrix is single-use: scale it in place.
+            let scores = tape.scale_inplace(scores, scale);
             let attn = tape.softmax_rows(scores);
             outs.push(tape.matmul(attn, vh));
         }
@@ -129,16 +136,19 @@ impl PerformerAttention {
         self.features
     }
 
+    /// Transposed random projection `Ωᵀ` for one head (shared by the q and
+    /// k feature maps, so it is materialized once per head).
+    fn omega_t(&self, tape: &mut Tape, head: usize) -> Var {
+        let omega_all = tape.param(self.proj);
+        let rows: Vec<usize> = (head * self.features..(head + 1) * self.features).collect();
+        let omega = tape.gather(omega_all, Arc::new(rows));
+        tape.transpose(omega)
+    }
+
     /// φ(x) = exp(x̂ Ωᵀ − ‖x̂‖²/2 ) / √m with x̂ = x / d^{1/4}.
-    fn feature_map(&self, tape: &mut Tape, x: Var, head: usize) -> Var {
+    fn feature_map(&self, tape: &mut Tape, x: Var, omega_t: Var) -> Var {
         let scale = 1.0 / (self.head_dim as f32).powf(0.25);
         let xs = tape.scale(x, scale);
-        // Row slice of the stacked projection for this head.
-        let omega_all = tape.param(self.proj);
-        let rows: Vec<usize> =
-            (head * self.features..(head + 1) * self.features).collect();
-        let omega = tape.gather(omega_all, Arc::new(rows));
-        let omega_t = tape.transpose(omega);
         let prod = tape.matmul(xs, omega_t); // N × m
         let sq = tape.mul(xs, xs);
         let half_norms = tape.row_sum(sq); // N × 1
@@ -146,8 +156,9 @@ impl PerformerAttention {
         let shifted = tape.sub_colvec(prod, half_norms);
         let phi = tape.exp(shifted);
         // Stabilizer: add a tiny epsilon so the denominator never vanishes.
+        // (Not in place: the exp output is read by its own backward.)
         let phi = tape.add_scalar(phi, 1e-6);
-        tape.scale(phi, 1.0 / (self.features as f32).sqrt())
+        tape.scale_inplace(phi, 1.0 / (self.features as f32).sqrt())
     }
 
     /// Linear-attention forward pass over an `N × dim` matrix.
@@ -162,12 +173,13 @@ impl PerformerAttention {
             let qh = tape.col_slice(q, off, self.head_dim);
             let kh = tape.col_slice(k, off, self.head_dim);
             let vh = tape.col_slice(v, off, self.head_dim);
-            let phi_q = self.feature_map(tape, qh, h); // N × m
-            let phi_k = self.feature_map(tape, kh, h); // N × m
+            let omega_t = self.omega_t(tape, h);
+            let phi_q = self.feature_map(tape, qh, omega_t); // N × m
+            let phi_k = self.feature_map(tape, kh, omega_t); // N × m
             let phi_k_t = tape.transpose(phi_k); // m × N
             let kv = tape.matmul(phi_k_t, vh); // m × d_h
             let num = tape.matmul(phi_q, kv); // N × d_h
-            // Denominator: φ(Q) (φ(K)ᵀ 1)
+                                              // Denominator: φ(Q) (φ(K)ᵀ 1)
             let ones = tape.input(crate::tensor::Tensor::ones(n, 1));
             let k_sum = tape.matmul(phi_k_t, ones); // m × 1
             let den = tape.matmul(phi_q, k_sum); // N × 1
@@ -212,7 +224,10 @@ mod tests {
         let loss = tape.mse_loss(y, &vec![0.1; 40]);
         let mut grads = GradStore::new(&store);
         tape.backward(loss, &mut grads);
-        let touched = store.iter().filter(|(id, _, _)| grads.get(*id).is_some()).count();
+        let touched = store
+            .iter()
+            .filter(|(id, _, _)| grads.get(*id).is_some())
+            .count();
         assert_eq!(touched, 5, "wq, wk, wv, wo.weight, wo.bias");
     }
 
@@ -234,7 +249,10 @@ mod tests {
             .filter(|(id, name, _)| name.ends_with(".proj") && grads.get(*id).is_some())
             .collect();
         assert!(frozen.is_empty(), "projection should be frozen");
-        let touched = store.iter().filter(|(id, _, _)| grads.get(*id).is_some()).count();
+        let touched = store
+            .iter()
+            .filter(|(id, _, _)| grads.get(*id).is_some())
+            .count();
         assert_eq!(touched, 5);
     }
 
@@ -249,8 +267,9 @@ mod tests {
         let mut tape = Tape::new(&store, false, 0);
         let q = tape.input(random_input(4, 8, 10));
         let k = tape.input(random_input(4, 8, 11));
-        let pq = attn.feature_map(&mut tape, q, 0);
-        let pk = attn.feature_map(&mut tape, k, 0);
+        let omega_t = attn.omega_t(&mut tape, 0);
+        let pq = attn.feature_map(&mut tape, q, omega_t);
+        let pk = attn.feature_map(&mut tape, k, omega_t);
         let pk_t = tape.transpose(pk);
         let approx = tape.matmul(pq, pk_t);
         let qv = tape.value(q).clone();
@@ -259,8 +278,12 @@ mod tests {
         let mut max_rel = 0.0f32;
         for i in 0..4 {
             for j in 0..4 {
-                let dot: f32 =
-                    qv.row_slice(i).iter().zip(kv.row_slice(j)).map(|(&a, &b)| a * b).sum();
+                let dot: f32 = qv
+                    .row_slice(i)
+                    .iter()
+                    .zip(kv.row_slice(j))
+                    .map(|(&a, &b)| a * b)
+                    .sum();
                 let exact = (dot / d.sqrt()).exp();
                 let got = tape.value(approx).get(i, j);
                 let rel = (got - exact).abs() / exact;

@@ -41,7 +41,10 @@ impl EdgeIndex {
     /// Panics if the arrays differ in length.
     pub fn new(src: Vec<usize>, dst: Vec<usize>) -> Self {
         assert_eq!(src.len(), dst.len(), "edge index arrays must be parallel");
-        EdgeIndex { src: Arc::new(src), dst: Arc::new(dst) }
+        EdgeIndex {
+            src: Arc::new(src),
+            dst: Arc::new(dst),
+        }
     }
 
     /// Number of directed edges.
@@ -52,6 +55,13 @@ impl EdgeIndex {
     /// Whether there are no edges.
     pub fn is_empty(&self) -> bool {
         self.src.is_empty()
+    }
+
+    /// Largest node index referenced by any edge, or `None` for an empty
+    /// index. Lets callers validate the index against their node count
+    /// before gather/scatter panics deep inside a kernel.
+    pub fn max_node(&self) -> Option<usize> {
+        self.src.iter().chain(self.dst.iter()).copied().max()
     }
 }
 
@@ -72,7 +82,13 @@ pub struct GatedGcn {
 
 impl GatedGcn {
     /// Registers a GatedGCN layer over node/edge width `dim`.
-    pub fn new(store: &mut ParamStore, name: &str, dim: usize, dropout: f32, rng: &mut StdRng) -> Self {
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        dim: usize,
+        dropout: f32,
+        rng: &mut StdRng,
+    ) -> Self {
         GatedGcn {
             a: Linear::new(store, &format!("{name}.A"), dim, dim, true, rng),
             b: Linear::new(store, &format!("{name}.B"), dim, dim, true, rng),
@@ -97,15 +113,22 @@ impl GatedGcn {
         let n = tape.shape(x).0;
         let ne = tape.shape(e).0;
         assert_eq!(ne, index.len(), "edge feature count must match edge index");
+        if let Some(max) = index.max_node() {
+            assert!(
+                max < n,
+                "edge index references node {max} but only {n} nodes exist"
+            );
+        }
 
-        // Edge update: ê = C e + D x_dst + E x_src
+        // Edge update: ê = C e + D x_dst + E x_src. The adds consume their
+        // left operand in place — ce/tmp are not referenced again.
         let ce = self.c.forward(tape, e);
         let dx = self.d.forward(tape, x);
         let ex = self.e.forward(tape, x);
         let dx_dst = tape.gather(dx, index.dst.clone());
         let ex_src = tape.gather(ex, index.src.clone());
-        let tmp = tape.add(ce, dx_dst);
-        let e_hat = tape.add(tmp, ex_src);
+        let tmp = tape.add_inplace(ce, dx_dst);
+        let e_hat = tape.add_inplace(tmp, ex_src);
 
         // Gates.
         let eta = tape.sigmoid(e_hat); // E × d
@@ -116,21 +139,33 @@ impl GatedGcn {
         let weighted = tape.mul(eta, bx_src);
         let num = tape.scatter_add(weighted, index.dst.clone(), n);
         let den = tape.scatter_add(eta, index.dst.clone(), n);
-        let den = tape.add_scalar(den, self.eps);
+        let den = tape.add_scalar_inplace(den, self.eps);
         let agg = tape.div(num, den);
         let ax = self.a.forward(tape, x);
-        let x_hat = tape.add(ax, agg);
+        let x_hat = tape.add_inplace(ax, agg);
 
-        // Residual + BN + ReLU on both streams.
+        // Residual + BN + ReLU on both streams. The BN output is
+        // single-use, so the ReLU runs in place; the residual add may only
+        // consume the dropout output when it is a distinct var (ReLU's
+        // backward reads its own output, so the ReLU result itself must
+        // stay readable). `x`/`e` stay intact for the Linear backward.
         let xb = self.bn_x.forward(tape, x_hat);
-        let xr = tape.relu(xb);
-        let xr = tape.dropout(xr, self.dropout);
-        let x_out = tape.add(x, xr);
+        let xr = tape.relu_inplace(xb);
+        let xd = tape.dropout(xr, self.dropout);
+        let x_out = if xd == xr {
+            tape.add(xd, x)
+        } else {
+            tape.add_inplace(xd, x)
+        };
 
         let eb = self.bn_e.forward(tape, e_hat);
-        let er = tape.relu(eb);
-        let er = tape.dropout(er, self.dropout);
-        let e_out = tape.add(e, er);
+        let er = tape.relu_inplace(eb);
+        let ed = tape.dropout(er, self.dropout);
+        let e_out = if ed == er {
+            tape.add(ed, e)
+        } else {
+            tape.add_inplace(ed, e)
+        };
 
         (x_out, e_out)
     }
@@ -144,14 +179,15 @@ mod tests {
     use rand::{Rng, SeedableRng};
 
     fn path_graph(n: usize) -> EdgeIndex {
-        // Undirected path 0-1-2-...-n stored as both directions.
+        // Undirected path 0-1-2-...-n stored as both directions. Iterating
+        // from 1 avoids the `0..n - 1` underflow when `n == 0`.
         let mut src = Vec::new();
         let mut dst = Vec::new();
-        for i in 0..n - 1 {
-            src.push(i);
-            dst.push(i + 1);
-            src.push(i + 1);
+        for i in 1..n {
+            src.push(i - 1);
             dst.push(i);
+            src.push(i);
+            dst.push(i - 1);
         }
         EdgeIndex::new(src, dst)
     }
@@ -178,7 +214,9 @@ mod tests {
         let idx = path_graph(4);
         let mut tape = Tape::new(&store, true, 0);
         let xv: Vec<f32> = (0..16).map(|i| (i as f32 * 0.37).sin()).collect();
-        let ev: Vec<f32> = (0..idx.len() * 4).map(|i| (i as f32 * 0.11).cos()).collect();
+        let ev: Vec<f32> = (0..idx.len() * 4)
+            .map(|i| (i as f32 * 0.11).cos())
+            .collect();
         let x = tape.input(Tensor::from_vec(4, 4, xv));
         let e = tape.input(Tensor::from_vec(idx.len(), 4, ev));
         let (x2, _e2) = layer.forward(&mut tape, x, e, &idx);
@@ -191,6 +229,39 @@ mod tests {
                 .any(|(id, name, _)| name.starts_with(tag) && grads.get(id).is_some());
             assert!(found, "no gradient reached {tag}");
         }
+    }
+
+    #[test]
+    fn empty_edge_index_is_guarded() {
+        // path_graph(1) has a single node and no edges — the former
+        // `0..n - 1` underflow case.
+        let idx = path_graph(1);
+        assert!(idx.is_empty());
+        assert_eq!(idx.max_node(), None);
+
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut store = ParamStore::new();
+        let layer = GatedGcn::new(&mut store, "g", 4, 0.0, &mut rng);
+        let mut tape = Tape::new(&store, false, 0);
+        let x = tape.input(Tensor::ones(3, 4));
+        let e = tape.input(Tensor::zeros(0, 4));
+        let (x2, e2) = layer.forward(&mut tape, x, e, &idx);
+        assert_eq!(tape.shape(x2), (3, 4));
+        assert_eq!(tape.shape(e2), (0, 4));
+        assert!(tape.value(x2).as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "edge index references node")]
+    fn out_of_range_edge_index_panics_clearly() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut store = ParamStore::new();
+        let layer = GatedGcn::new(&mut store, "g", 4, 0.0, &mut rng);
+        let idx = EdgeIndex::new(vec![0], vec![5]);
+        let mut tape = Tape::new(&store, false, 0);
+        let x = tape.input(Tensor::ones(3, 4));
+        let e = tape.input(Tensor::ones(1, 4));
+        let _ = layer.forward(&mut tape, x, e, &idx);
     }
 
     #[test]
@@ -213,8 +284,9 @@ mod tests {
     fn deeper_stack_stays_finite() {
         let mut rng = StdRng::seed_from_u64(3);
         let mut store = ParamStore::new();
-        let layers: Vec<GatedGcn> =
-            (0..4).map(|i| GatedGcn::new(&mut store, &format!("l{i}"), 8, 0.0, &mut rng)).collect();
+        let layers: Vec<GatedGcn> = (0..4)
+            .map(|i| GatedGcn::new(&mut store, &format!("l{i}"), 8, 0.0, &mut rng))
+            .collect();
         let idx = path_graph(6);
         let mut tape = Tape::new(&store, true, 0);
         let mut rng2 = StdRng::seed_from_u64(4);

@@ -71,9 +71,19 @@ impl Linear {
         bias: bool,
         rng: &mut StdRng,
     ) -> Self {
-        let w = store.register(&format!("{name}.weight"), xavier_uniform(in_dim, out_dim, rng), true);
-        let b = bias.then(|| store.register(&format!("{name}.bias"), Tensor::zeros(1, out_dim), true));
-        Linear { w, b, in_dim, out_dim }
+        let w = store.register(
+            &format!("{name}.weight"),
+            xavier_uniform(in_dim, out_dim, rng),
+            true,
+        );
+        let b =
+            bias.then(|| store.register(&format!("{name}.bias"), Tensor::zeros(1, out_dim), true));
+        Linear {
+            w,
+            b,
+            in_dim,
+            out_dim,
+        }
     }
 
     /// Input feature dimension.
@@ -86,17 +96,19 @@ impl Linear {
         self.out_dim
     }
 
-    /// Applies the layer to an `N × in_dim` input.
+    /// Applies the layer to an `N × in_dim` input (fused matmul + bias).
     pub fn forward(&self, tape: &mut Tape, x: Var) -> Var {
         let w = tape.param(self.w);
-        let y = tape.matmul(x, w);
-        match self.b {
-            Some(b) => {
-                let bv = tape.param(b);
-                tape.add_bias(y, bv)
-            }
-            None => y,
-        }
+        let b = self.b.map(|b| tape.param(b));
+        tape.linear(x, w, b)
+    }
+
+    /// Applies the layer followed by a fused ReLU (`relu(xW + b)`), saving
+    /// one tape op and one output buffer versus `forward` + `relu`.
+    pub fn forward_relu(&self, tape: &mut Tape, x: Var) -> Var {
+        let w = tape.param(self.w);
+        let b = self.b.map(|b| tape.param(b));
+        tape.linear_relu(x, w, b)
     }
 }
 
@@ -110,9 +122,19 @@ pub struct Embedding {
 
 impl Embedding {
     /// Registers an embedding table with `num` entries of width `dim`.
-    pub fn new(store: &mut ParamStore, name: &str, num: usize, dim: usize, rng: &mut StdRng) -> Self {
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        num: usize,
+        dim: usize,
+        rng: &mut StdRng,
+    ) -> Self {
         let std = 1.0 / (dim as f32).sqrt();
-        let w = store.register(&format!("{name}.weight"), normal_init(num, dim, std, rng), true);
+        let w = store.register(
+            &format!("{name}.weight"),
+            normal_init(num, dim, std, rng),
+            true,
+        );
         Embedding { w, num, dim }
     }
 
@@ -158,9 +180,19 @@ impl BatchNorm1d {
     pub fn new(store: &mut ParamStore, name: &str, dim: usize) -> Self {
         let gamma = store.register(&format!("{name}.gamma"), Tensor::ones(1, dim), true);
         let beta = store.register(&format!("{name}.beta"), Tensor::zeros(1, dim), true);
-        let running_mean = store.register_buffer(&format!("{name}.running_mean"), Tensor::zeros(1, dim));
-        let running_var = store.register_buffer(&format!("{name}.running_var"), Tensor::ones(1, dim));
-        BatchNorm1d { gamma, beta, running_mean, running_var, momentum: 0.1, eps: 1e-5, dim }
+        let running_mean =
+            store.register_buffer(&format!("{name}.running_mean"), Tensor::zeros(1, dim));
+        let running_var =
+            store.register_buffer(&format!("{name}.running_var"), Tensor::ones(1, dim));
+        BatchNorm1d {
+            gamma,
+            beta,
+            running_mean,
+            running_var,
+            momentum: 0.1,
+            eps: 1e-5,
+            dim,
+        }
     }
 
     /// Feature dimension.
@@ -220,13 +252,20 @@ impl Mlp {
         dropout: f32,
         rng: &mut StdRng,
     ) -> Self {
-        assert!(dims.len() >= 2, "Mlp needs at least input and output widths");
+        assert!(
+            dims.len() >= 2,
+            "Mlp needs at least input and output widths"
+        );
         let layers = dims
             .windows(2)
             .enumerate()
             .map(|(i, w)| Linear::new(store, &format!("{name}.{i}"), w[0], w[1], true, rng))
             .collect();
-        Mlp { layers, act, dropout }
+        Mlp {
+            layers,
+            act,
+            dropout,
+        }
     }
 
     /// Input width.
@@ -240,15 +279,22 @@ impl Mlp {
     }
 
     /// Applies the MLP; the activation and dropout are applied between
-    /// layers, not after the last one.
+    /// layers, not after the last one. ReLU hidden layers use the fused
+    /// `linear_relu` op.
     pub fn forward(&self, tape: &mut Tape, x: Var) -> Var {
         let n = self.layers.len();
         let mut h = x;
         for (i, layer) in self.layers.iter().enumerate() {
-            h = layer.forward(tape, h);
             if i + 1 < n {
-                h = self.act.apply(tape, h);
+                h = if self.act == Activation::Relu {
+                    layer.forward_relu(tape, h)
+                } else {
+                    let y = layer.forward(tape, h);
+                    self.act.apply(tape, y)
+                };
                 h = tape.dropout(h, self.dropout);
+            } else {
+                h = layer.forward(tape, h);
             }
         }
         h
@@ -309,7 +355,11 @@ mod tests {
         let mut store = ParamStore::new();
         let bn = BatchNorm1d::new(&mut store, "bn", 2);
         let mut tape = Tape::new(&store, true, 0);
-        let x = tape.input(Tensor::from_rows(&[&[1.0, 10.0], &[3.0, 20.0], &[5.0, 30.0]]));
+        let x = tape.input(Tensor::from_rows(&[
+            &[1.0, 10.0],
+            &[3.0, 20.0],
+            &[5.0, 30.0],
+        ]));
         let y = bn.forward(&mut tape, x);
         let t = tape.value(y);
         // Each column should have ~zero mean and ~unit variance.
@@ -343,14 +393,24 @@ mod tests {
         // every layer of a 3-layer MLP.
         let mut rng = StdRng::seed_from_u64(3);
         let mut store = ParamStore::new();
-        let mlp = Mlp::new(&mut store, "mlp", &[2, 8, 1], Activation::Relu, 0.0, &mut rng);
+        let mlp = Mlp::new(
+            &mut store,
+            "mlp",
+            &[2, 8, 1],
+            Activation::Relu,
+            0.0,
+            &mut rng,
+        );
         let mut tape = Tape::new(&store, true, 0);
         let x = tape.input(Tensor::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]));
         let y = mlp.forward(&mut tape, x);
         let loss = tape.mse_loss(y, &[1.0, 1.0]);
         let mut grads = GradStore::new(&store);
         tape.backward(loss, &mut grads);
-        let touched = store.iter().filter(|(id, _, _)| grads.get(*id).is_some()).count();
+        let touched = store
+            .iter()
+            .filter(|(id, _, _)| grads.get(*id).is_some())
+            .count();
         assert_eq!(touched, 4, "all weight+bias tensors should have grads");
     }
 }

@@ -6,10 +6,14 @@
 //! batch norm, dropout, multi-head attention, Performer linear attention and
 //! GatedGCN message passing), plus Adam/SGD optimizers and LR schedules.
 //!
-//! The design optimizes for *auditable correctness over raw speed*: every
-//! differentiable op has a finite-difference gradient check in the test
-//! suite, and the tape borrows parameters immutably so minibatch samples can
-//! be processed on worker threads and their [`GradStore`]s merged.
+//! Every differentiable op has a finite-difference gradient check in the
+//! test suite, and the tape borrows parameters immutably so minibatch
+//! samples can be processed on worker threads and their [`GradStore`]s
+//! merged. The numeric core is built for speed: tensor buffers come from
+//! a thread-local recycling [`pool`], the matmul kernels are cache-blocked
+//! and go multi-threaded above a size threshold, and the hot model path
+//! runs on fused tape ops ([`Tape::linear`], [`Tape::linear_relu`]) and
+//! allocation-free in-place variants (see `docs/perf.md`).
 //!
 //! ## Example
 //!
@@ -23,12 +27,16 @@
 //! let mut opt = Adam::new(1e-2);
 //!
 //! for _ in 0..100 {
-//!     let mut tape = Tape::new(&store, true, 0);
-//!     let x = tape.input(Tensor::from_rows(&[&[0.0, 0.0], &[1.0, 1.0]]));
-//!     let y = mlp.forward(&mut tape, x);
-//!     let loss = tape.mse_loss(y, &[0.0, 1.0]);
 //!     let mut grads = GradStore::new(&store);
-//!     tape.backward(loss, &mut grads);
+//!     {
+//!         // Inner scope: the tape borrows the store and recycles its
+//!         // buffers on drop, so it must die before the optimizer step.
+//!         let mut tape = Tape::new(&store, true, 0);
+//!         let x = tape.input(Tensor::from_rows(&[&[0.0, 0.0], &[1.0, 1.0]]));
+//!         let y = mlp.forward(&mut tape, x);
+//!         let loss = tape.mse_loss(y, &[0.0, 1.0]);
+//!         tape.backward(loss, &mut grads);
+//!     }
 //!     opt.step(&mut store, &grads);
 //! }
 //! ```
@@ -40,6 +48,7 @@ mod gatedgcn;
 mod layers;
 mod optim;
 mod params;
+pub mod pool;
 mod tape;
 mod tensor;
 
@@ -48,5 +57,6 @@ pub use gatedgcn::{EdgeIndex, GatedGcn};
 pub use layers::{Activation, BatchNorm1d, Embedding, Linear, Mlp};
 pub use optim::{Adam, CosineSchedule, Sgd};
 pub use params::{normal_init, xavier_uniform, BufferId, GradStore, ParamId, ParamStore};
+pub use pool::PoolStats;
 pub use tape::{Tape, Var};
 pub use tensor::Tensor;

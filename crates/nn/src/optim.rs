@@ -35,7 +35,16 @@ impl Adam {
     /// Creates Adam with the given learning rate and default betas
     /// `(0.9, 0.999)`.
     pub fn new(lr: f32) -> Self {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0, t: 0, m: Vec::new(), v: Vec::new() }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 
     /// Sets decoupled weight decay (AdamW).
@@ -77,25 +86,31 @@ impl Adam {
                 continue;
             }
             let Some(g) = grads.get(id) else { continue };
-            let g = g.clone();
             let shape = store.get(id).shape();
             let m = self.m[id_index(id)].get_or_insert_with(|| Tensor::zeros(shape.0, shape.1));
             let v = self.v[id_index(id)].get_or_insert_with(|| Tensor::zeros(shape.0, shape.1));
+            let (b1, b2, eps, lr, wd) =
+                (self.beta1, self.beta2, self.eps, self.lr, self.weight_decay);
+            let gs = g.as_slice();
+            // `grads` and `store` are disjoint structs, so the gradient can
+            // be read while the parameter is updated — no copy needed.
             let p = store.get_mut(id);
-            let (b1, b2, eps, lr, wd) = (self.beta1, self.beta2, self.eps, self.lr, self.weight_decay);
-            for i in 0..p.len() {
-                let gi = g.as_slice()[i];
-                let mi = b1 * m.as_slice()[i] + (1.0 - b1) * gi;
-                let vi = b2 * v.as_slice()[i] + (1.0 - b2) * gi * gi;
-                m.as_mut_slice()[i] = mi;
-                v.as_mut_slice()[i] = vi;
-                let mhat = mi / b1t;
-                let vhat = vi / b2t;
+            for (((pi, &gi), mi), vi) in p
+                .as_mut_slice()
+                .iter_mut()
+                .zip(gs)
+                .zip(m.as_mut_slice())
+                .zip(v.as_mut_slice())
+            {
+                *mi = b1 * *mi + (1.0 - b1) * gi;
+                *vi = b2 * *vi + (1.0 - b2) * gi * gi;
+                let mhat = *mi / b1t;
+                let vhat = *vi / b2t;
                 let mut update = lr * mhat / (vhat.sqrt() + eps);
                 if wd > 0.0 {
-                    update += lr * wd * p.as_slice()[i];
+                    update += lr * wd * *pi;
                 }
-                p.as_mut_slice()[i] -= update;
+                *pi -= update;
             }
         }
     }
@@ -117,7 +132,11 @@ pub struct Sgd {
 impl Sgd {
     /// Creates SGD with the given learning rate and no momentum.
     pub fn new(lr: f32) -> Self {
-        Sgd { lr, momentum: 0.0, velocity: Vec::new() }
+        Sgd {
+            lr,
+            momentum: 0.0,
+            velocity: Vec::new(),
+        }
     }
 
     /// Enables classical momentum.
@@ -175,7 +194,12 @@ impl CosineSchedule {
     /// Creates a schedule ramping to `base_lr` over `warmup_steps` and
     /// annealing to `min_lr` at `total_steps`.
     pub fn new(base_lr: f32, min_lr: f32, warmup_steps: usize, total_steps: usize) -> Self {
-        CosineSchedule { base_lr, min_lr, warmup_steps, total_steps }
+        CosineSchedule {
+            base_lr,
+            min_lr,
+            warmup_steps,
+            total_steps,
+        }
     }
 
     /// Learning rate at `step` (0-based).
@@ -186,8 +210,7 @@ impl CosineSchedule {
         let progress = if self.total_steps <= self.warmup_steps {
             1.0
         } else {
-            ((step - self.warmup_steps) as f32
-                / (self.total_steps - self.warmup_steps) as f32)
+            ((step - self.warmup_steps) as f32 / (self.total_steps - self.warmup_steps) as f32)
                 .min(1.0)
         };
         let cos = 0.5 * (1.0 + (std::f32::consts::PI * progress).cos());
@@ -212,11 +235,13 @@ mod tests {
         let target = [0.3f32, -0.7, 1.2, 0.0];
         let mut opt = Adam::new(0.05);
         for _ in 0..300 {
-            let mut tape = Tape::new(&store, true, 0);
-            let wv = tape.param(w);
-            let loss = tape.mse_loss(wv, &target);
             let mut grads = GradStore::new(&store);
-            tape.backward(loss, &mut grads);
+            {
+                let mut tape = Tape::new(&store, true, 0);
+                let wv = tape.param(w);
+                let loss = tape.mse_loss(wv, &target);
+                tape.backward(loss, &mut grads);
+            }
             opt.step(&mut store, &grads);
         }
         for (got, want) in store.get(w).as_slice().iter().zip(&target) {
@@ -230,11 +255,13 @@ mod tests {
         let w = store.register("w", Tensor::row(&[5.0]), true);
         let mut opt = Sgd::new(0.05).with_momentum(0.9);
         for _ in 0..200 {
-            let mut tape = Tape::new(&store, true, 0);
-            let wv = tape.param(w);
-            let loss = tape.mse_loss(wv, &[1.0]);
             let mut grads = GradStore::new(&store);
-            tape.backward(loss, &mut grads);
+            {
+                let mut tape = Tape::new(&store, true, 0);
+                let wv = tape.param(w);
+                let loss = tape.mse_loss(wv, &[1.0]);
+                tape.backward(loss, &mut grads);
+            }
             opt.step(&mut store, &grads);
         }
         assert!((store.get(w).item() - 1.0).abs() < 1e-2);

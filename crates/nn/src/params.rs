@@ -188,13 +188,20 @@ impl ParamStore {
         let mut magic = [0u8; 4];
         r.read_exact(&mut magic)?;
         if &magic != b"CGPS" {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad checkpoint magic"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "bad checkpoint magic",
+            ));
         }
         let np = read_u64(&mut r)? as usize;
         if np != self.params.len() {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
-                format!("checkpoint has {} params, store has {}", np, self.params.len()),
+                format!(
+                    "checkpoint has {} params, store has {}",
+                    np,
+                    self.params.len()
+                ),
             ));
         }
         for i in 0..np {
@@ -218,14 +225,21 @@ impl ParamStore {
         if nb != self.buffers.len() {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
-                format!("checkpoint has {} buffers, store has {}", nb, self.buffers.len()),
+                format!(
+                    "checkpoint has {} buffers, store has {}",
+                    nb,
+                    self.buffers.len()
+                ),
             ));
         }
         for i in 0..nb {
             let name = read_str(&mut r)?;
             let t = read_tensor(&mut r)?;
             if name != self.buffer_names[i] {
-                return Err(io::Error::new(io::ErrorKind::InvalidData, "buffer name mismatch"));
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "buffer name mismatch",
+                ));
             }
             *self.buffers[i].lock() = t;
         }
@@ -251,7 +265,10 @@ fn write_str<W: Write>(w: &mut W, s: &str) -> io::Result<()> {
 fn read_str<R: Read>(r: &mut R) -> io::Result<String> {
     let n = read_u64(r)? as usize;
     if n > 1 << 20 {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "unreasonable string length"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "unreasonable string length",
+        ));
     }
     let mut buf = vec![0u8; n];
     r.read_exact(&mut buf)?;
@@ -271,7 +288,10 @@ fn read_tensor<R: Read>(r: &mut R) -> io::Result<Tensor> {
     let rows = read_u64(r)? as usize;
     let cols = read_u64(r)? as usize;
     if rows.saturating_mul(cols) > 1 << 28 {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "unreasonable tensor size"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "unreasonable tensor size",
+        ));
     }
     let mut data = vec![0.0f32; rows * cols];
     let mut b = [0u8; 4];
@@ -306,7 +326,9 @@ pub struct GradStore {
 impl GradStore {
     /// Creates a zeroed gradient store sized for `store`.
     pub fn new(store: &ParamStore) -> Self {
-        GradStore { grads: (0..store.len()).map(|_| None).collect() }
+        GradStore {
+            grads: (0..store.len()).map(|_| None).collect(),
+        }
     }
 
     /// Adds `g` into the slot for `id`.
@@ -327,11 +349,19 @@ impl GradStore {
     /// # Panics
     ///
     /// Panics if the two stores were built for different param stores.
-    pub fn merge(&mut self, other: GradStore) {
-        assert_eq!(self.grads.len(), other.grads.len(), "grad store size mismatch");
-        for (a, b) in self.grads.iter_mut().zip(other.grads) {
+    pub fn merge(&mut self, mut other: GradStore) {
+        assert_eq!(
+            self.grads.len(),
+            other.grads.len(),
+            "grad store size mismatch"
+        );
+        let taken = std::mem::take(&mut other.grads);
+        for (a, b) in self.grads.iter_mut().zip(taken) {
             match (a.as_mut(), b) {
-                (Some(x), Some(y)) => x.add_assign(&y),
+                (Some(x), Some(y)) => {
+                    x.add_assign(&y);
+                    crate::pool::put(y.into_vec());
+                }
                 (None, Some(y)) => *a = Some(y),
                 _ => {}
             }
@@ -369,10 +399,26 @@ impl GradStore {
     }
 }
 
+impl Drop for GradStore {
+    /// Returns every gradient buffer to the thread-local pool so the next
+    /// step's accumulations allocate nothing.
+    fn drop(&mut self) {
+        for g in self.grads.drain(..).flatten() {
+            crate::pool::put(g.into_vec());
+        }
+    }
+}
+
 /// Xavier/Glorot-uniform initialization for a `fan_in × fan_out` weight.
 pub fn xavier_uniform(rows: usize, cols: usize, rng: &mut StdRng) -> Tensor {
     let limit = (6.0 / (rows + cols) as f32).sqrt();
-    Tensor::from_vec(rows, cols, (0..rows * cols).map(|_| rng.gen_range(-limit..limit)).collect())
+    Tensor::from_vec(
+        rows,
+        cols,
+        (0..rows * cols)
+            .map(|_| rng.gen_range(-limit..limit))
+            .collect(),
+    )
 }
 
 /// Gaussian initialization with standard deviation `std`.
@@ -464,8 +510,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let t = normal_init(100, 100, 0.5, &mut rng);
         assert!(t.mean().abs() < 0.02);
-        let var: f32 =
-            t.as_slice().iter().map(|v| (v - t.mean()).powi(2)).sum::<f32>() / t.len() as f32;
+        let var: f32 = t
+            .as_slice()
+            .iter()
+            .map(|v| (v - t.mean()).powi(2))
+            .sum::<f32>()
+            / t.len() as f32;
         assert!((var.sqrt() - 0.5).abs() < 0.05);
     }
 }

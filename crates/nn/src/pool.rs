@@ -1,0 +1,273 @@
+//! Thread-local recycling pool for `Vec<f32>` tensor backing stores.
+//!
+//! Training runs millions of short tapes, and every tape op needs an
+//! output buffer. Allocating those from the global heap dominates the
+//! cost of small/medium ops, so the tensor layer takes buffers from a
+//! per-thread free list instead and the tape returns them when it is
+//! dropped. In steady state (same model, same batch shapes) every op is
+//! served from the pool and the forward/backward pass performs **zero**
+//! heap allocation for tensor data.
+//!
+//! Buffers are keyed by *capacity class* (power of two): an allocation
+//! request for `len` elements is rounded up to the next power of two, so
+//! a recycled buffer of class `k` (capacity in `[2^k, 2^{k+1})`) always
+//! fits any request with `len ≤ 2^k`. Each class keeps at most
+//! [`MAX_PER_CLASS`] buffers and buffers above [`MAX_POOLED_LEN`]
+//! elements bypass the pool entirely, bounding worst-case memory held.
+//!
+//! The pool is thread-local: minibatch workers each get their own free
+//! list, so there is no locking on the hot path and buffers never cross
+//! threads through the pool.
+
+use std::cell::RefCell;
+
+/// Ceiling on recycled buffers kept per capacity class; small classes use
+/// this, large classes are bounded by [`CLASS_BYTE_BUDGET`] instead.
+pub const MAX_PER_CLASS: usize = 512;
+
+/// Per-class retention budget in bytes. A deep tape holds hundreds of
+/// same-shaped activations at once, so each class must retain enough
+/// buffers to serve a whole forward+backward pass; bounding by bytes
+/// keeps the worst case sane while letting small classes keep
+/// [`MAX_PER_CLASS`] entries. Classes whose single buffer exceeds the
+/// budget retain at most one buffer, so per-class retention never
+/// exceeds `max(CLASS_BYTE_BUDGET, one buffer)`.
+pub const CLASS_BYTE_BUDGET: usize = 32 << 20;
+
+/// Largest buffer length (elements) the pool will retain.
+pub const MAX_POOLED_LEN: usize = 1 << 24;
+
+const NUM_CLASSES: usize = 25; // classes 2^0 ..= 2^24
+
+/// Retention cap for class `k` (buffers of capacity `2^k`).
+#[inline]
+fn cap_for_class(k: usize) -> usize {
+    ((CLASS_BYTE_BUDGET / 4) >> k).clamp(1, MAX_PER_CLASS)
+}
+
+#[derive(Default)]
+struct PoolInner {
+    classes: Vec<Vec<Vec<f32>>>,
+    hits: u64,
+    misses: u64,
+    recycled: u64,
+    dropped: u64,
+}
+
+thread_local! {
+    static POOL: RefCell<PoolInner> = RefCell::new(PoolInner {
+        classes: (0..NUM_CLASSES).map(|_| Vec::new()).collect(),
+        ..Default::default()
+    });
+}
+
+/// Counters describing pool effectiveness on the current thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Requests served from the free list.
+    pub hits: u64,
+    /// Requests that had to allocate.
+    pub misses: u64,
+    /// Buffers returned to the free list.
+    pub recycled: u64,
+    /// Returned buffers dropped because their class was full or too big.
+    pub dropped: u64,
+}
+
+/// Capacity class that can serve a request of `len` elements.
+#[inline]
+fn class_for_len(len: usize) -> usize {
+    (usize::BITS - (len.max(1) - 1).leading_zeros()) as usize
+}
+
+/// Capacity class a buffer of capacity `cap` belongs to.
+#[inline]
+fn class_for_cap(cap: usize) -> usize {
+    (usize::BITS - 1 - cap.leading_zeros()) as usize
+}
+
+/// Takes a zero-filled buffer of exactly `len` elements.
+#[inline]
+pub fn take_zeroed(len: usize) -> Vec<f32> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let mut v = take_capacity(len);
+    v.resize(len, 0.0);
+    v
+}
+
+/// Takes an *empty* buffer with capacity for at least `len` elements
+/// (for extend/`copy_from_slice`-style fills that overwrite everything).
+#[inline]
+pub fn take_capacity(len: usize) -> Vec<f32> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let class = class_for_len(len);
+    if class >= NUM_CLASSES {
+        return Vec::with_capacity(len);
+    }
+    POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        match p.classes[class].pop() {
+            Some(mut v) => {
+                p.hits += 1;
+                v.clear();
+                v
+            }
+            None => {
+                p.misses += 1;
+                // Round the fresh allocation up to the class size so the
+                // buffer is reusable for every request in this class.
+                Vec::with_capacity(1 << class)
+            }
+        }
+    })
+}
+
+/// Returns a buffer to the pool (or drops it if the pool is full).
+#[inline]
+pub fn put(v: Vec<f32>) {
+    let cap = v.capacity();
+    if cap == 0 {
+        return;
+    }
+    let class = class_for_cap(cap);
+    if class >= NUM_CLASSES || cap > MAX_POOLED_LEN {
+        POOL.with(|p| p.borrow_mut().dropped += 1);
+        return;
+    }
+    POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        if p.classes[class].len() < cap_for_class(class) {
+            p.classes[class].push(v);
+            p.recycled += 1;
+        } else {
+            p.dropped += 1;
+        }
+    });
+}
+
+/// Current counters for this thread.
+pub fn stats() -> PoolStats {
+    POOL.with(|p| {
+        let p = p.borrow();
+        PoolStats {
+            hits: p.hits,
+            misses: p.misses,
+            recycled: p.recycled,
+            dropped: p.dropped,
+        }
+    })
+}
+
+/// Empties the pool and zeroes the counters (test/bench isolation).
+pub fn reset() {
+    POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        for c in &mut p.classes {
+            c.clear();
+        }
+        p.hits = 0;
+        p.misses = 0;
+        p.recycled = 0;
+        p.dropped = 0;
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_round_up() {
+        assert_eq!(class_for_len(1), 0);
+        assert_eq!(class_for_len(2), 1);
+        assert_eq!(class_for_len(3), 2);
+        assert_eq!(class_for_len(4), 2);
+        assert_eq!(class_for_len(5), 3);
+        assert_eq!(class_for_cap(4), 2);
+        assert_eq!(class_for_cap(7), 2);
+        assert_eq!(class_for_cap(8), 3);
+    }
+
+    #[test]
+    fn recycled_buffer_is_reused_and_zeroed() {
+        reset();
+        let mut v = take_zeroed(100);
+        assert_eq!(v.len(), 100);
+        assert_eq!(
+            v.capacity(),
+            128,
+            "fresh allocations round up to the class size"
+        );
+        v[7] = 42.0;
+        put(v);
+        let v2 = take_zeroed(120);
+        assert_eq!(v2.len(), 120);
+        assert!(
+            v2.iter().all(|&x| x == 0.0),
+            "recycled buffer must be zeroed"
+        );
+        let s = stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.recycled, 1);
+    }
+
+    #[test]
+    fn steady_state_has_no_misses() {
+        reset();
+        for _ in 0..100 {
+            let a = take_zeroed(64);
+            let b = take_zeroed(33);
+            put(a);
+            put(b);
+        }
+        let s = stats();
+        assert_eq!(s.misses, 2, "only the first round may allocate");
+        assert_eq!(s.hits, 198);
+    }
+
+    #[test]
+    fn zero_len_and_oversized_bypass() {
+        reset();
+        assert_eq!(take_zeroed(0).capacity(), 0);
+        put(Vec::new());
+        let big = take_zeroed(MAX_POOLED_LEN * 2);
+        assert_eq!(big.len(), MAX_POOLED_LEN * 2);
+        put(big);
+        let s = stats();
+        assert_eq!(s.recycled, 0);
+    }
+
+    #[test]
+    fn class_capacity_bound_holds() {
+        reset();
+        for _ in 0..MAX_PER_CLASS + 5 {
+            put(Vec::with_capacity(16));
+        }
+        let s = stats();
+        assert_eq!(s.recycled as usize, MAX_PER_CLASS);
+        assert_eq!(s.dropped as usize, 5);
+        reset();
+    }
+
+    #[test]
+    fn byte_budget_bounds_large_classes() {
+        // Class 20 (4 MiB buffers): the byte budget allows far fewer than
+        // MAX_PER_CLASS entries.
+        assert_eq!(cap_for_class(20), (CLASS_BYTE_BUDGET / 4) >> 20);
+        assert_eq!(
+            cap_for_class(24),
+            1,
+            "over-budget classes keep exactly one buffer"
+        );
+        assert_eq!(
+            cap_for_class(4),
+            MAX_PER_CLASS,
+            "small classes use the count cap"
+        );
+    }
+}

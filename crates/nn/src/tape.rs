@@ -6,6 +6,26 @@
 //! [`ParamStore`] immutably, which lets minibatch samples run on worker
 //! threads in parallel. Calling [`Tape::backward`] walks the arena in
 //! reverse and accumulates parameter gradients into a [`GradStore`].
+//!
+//! ## Buffer recycling
+//!
+//! Every tensor the tape creates draws its backing store from the
+//! thread-local pool ([`crate::pool`]). Dropping (or [`Tape::reset`]ing)
+//! the tape returns all of those buffers, so in steady-state training —
+//! same model, same batch shapes — forward and backward passes perform
+//! zero heap allocation per op. The backward pass recycles each upstream
+//! gradient as soon as it has been consumed.
+//!
+//! ## Fused and in-place ops
+//!
+//! [`Tape::linear`] and [`Tape::linear_relu`] fuse matmul + bias
+//! (+ activation) into one op, halving tape traffic on the model's hot
+//! path. The `*_inplace` variants (e.g. [`Tape::add_inplace`],
+//! [`Tape::relu_inplace`]) *consume* the buffer of their first operand
+//! instead of allocating: the consumed [`Var`]'s value becomes
+//! unreadable (reading it panics), so they must only be used when the
+//! operand is not referenced again — which the layer implementations in
+//! this crate guarantee.
 
 use std::sync::Arc;
 
@@ -13,7 +33,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::params::{GradStore, ParamId, ParamStore};
-use crate::tensor::Tensor;
+use crate::pool;
+use crate::tensor::{fast_exp, gemm, gemm_abt, gemm_atb, Tensor};
 
 /// Handle to a value on a [`Tape`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -23,6 +44,8 @@ pub struct Var(usize);
 enum Val {
     Owned(Tensor),
     Param(ParamId),
+    /// Buffer taken by an in-place op; reading the value panics.
+    Consumed,
 }
 
 // `Gather.1` and `ScatterAdd.2` are recorded for Debug/audit but not read
@@ -35,6 +58,18 @@ enum Op {
     /// Reference to a model parameter; backward accumulates into the grad store.
     Param(ParamId),
     Matmul(Var, Var),
+    /// Fused `x·W (+ b)` — one op instead of matmul + add_bias.
+    Linear {
+        x: Var,
+        w: Var,
+        b: Option<Var>,
+    },
+    /// Fused `relu(x·W (+ b))`.
+    LinearRelu {
+        x: Var,
+        w: Var,
+        b: Option<Var>,
+    },
     Add(Var, Var),
     /// `N×d` matrix plus a `1×d` row vector broadcast over rows.
     AddBias(Var, Var),
@@ -113,6 +148,9 @@ pub struct Tape<'p> {
     params: &'p ParamStore,
     vals: Vec<Val>,
     ops: Vec<Op>,
+    /// Shape per var, recorded at push time so [`Tape::shape`] works even
+    /// for values consumed by in-place ops.
+    shapes: Vec<(usize, usize)>,
     training: bool,
     rng: StdRng,
 }
@@ -121,7 +159,14 @@ impl<'p> Tape<'p> {
     /// Creates a tape over `params`. `training` controls dropout and
     /// batch-norm statistics; `seed` makes dropout masks reproducible.
     pub fn new(params: &'p ParamStore, training: bool, seed: u64) -> Self {
-        Tape { params, vals: Vec::new(), ops: Vec::new(), training, rng: StdRng::seed_from_u64(seed) }
+        Tape {
+            params,
+            vals: Vec::new(),
+            ops: Vec::new(),
+            shapes: Vec::new(),
+            training,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Whether the tape is in training mode.
@@ -135,33 +180,85 @@ impl<'p> Tape<'p> {
     }
 
     /// Value of a variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable's buffer was consumed by an in-place op.
     pub fn value(&self, v: Var) -> &Tensor {
         match &self.vals[v.0] {
             Val::Owned(t) => t,
             Val::Param(id) => self.params.get(*id),
+            Val::Consumed => panic!(
+                "value of var {} was consumed by an in-place op and can no longer be read",
+                v.0
+            ),
         }
     }
 
-    /// Shape of a variable.
+    /// Shape of a variable (available even for consumed values).
     pub fn shape(&self, v: Var) -> (usize, usize) {
-        self.value(v).shape()
+        self.shapes[v.0]
+    }
+
+    /// Clears the tape for reuse, returning every buffer it owns to the
+    /// thread-local pool. The training flag and RNG state are kept.
+    pub fn reset(&mut self) {
+        self.recycle_storage();
+    }
+
+    fn recycle_storage(&mut self) {
+        for v in self.vals.drain(..) {
+            if let Val::Owned(t) = v {
+                t.recycle();
+            }
+        }
+        for op in self.ops.drain(..) {
+            match op {
+                Op::BatchNorm { xhat, invstd, .. } => {
+                    xhat.recycle();
+                    invstd.recycle();
+                }
+                Op::CrossEntropy { softmax, .. } => softmax.recycle(),
+                // The mask is pool-backed; reclaim it unless a clone of the
+                // Arc escaped the tape.
+                Op::Dropout(_, mask) => {
+                    if let Ok(m) = Arc::try_unwrap(mask) {
+                        pool::put(m);
+                    }
+                }
+                _ => {}
+            }
+        }
+        self.shapes.clear();
     }
 
     fn push(&mut self, val: Tensor, op: Op) -> Var {
+        self.shapes.push(val.shape());
         self.vals.push(Val::Owned(val));
         self.ops.push(op);
         Var(self.vals.len() - 1)
     }
 
+    /// Takes the owned buffer of `v` (for in-place ops), leaving the var
+    /// unreadable. Returns `None` for params and already-consumed vars.
+    fn take_owned(&mut self, v: Var) -> Option<Tensor> {
+        match &mut self.vals[v.0] {
+            slot @ Val::Owned(_) => match std::mem::replace(slot, Val::Consumed) {
+                Val::Owned(t) => Some(t),
+                _ => unreachable!(),
+            },
+            _ => None,
+        }
+    }
+
     /// Registers a constant input tensor.
     pub fn input(&mut self, t: Tensor) -> Var {
-        self.vals.push(Val::Owned(t));
-        self.ops.push(Op::Input);
-        Var(self.vals.len() - 1)
+        self.push(t, Op::Input)
     }
 
     /// Brings a model parameter onto the tape (no copy).
     pub fn param(&mut self, id: ParamId) -> Var {
+        self.shapes.push(self.params.get(id).shape());
         self.vals.push(Val::Param(id));
         self.ops.push(Op::Param(id));
         Var(self.vals.len() - 1)
@@ -173,10 +270,79 @@ impl<'p> Tape<'p> {
         self.push(v, Op::Matmul(a, b))
     }
 
+    /// Fused linear layer `x·W (+ b)`: one tape op, one output buffer.
+    ///
+    /// The bias (when present) seeds the output before the GEMM
+    /// accumulates onto it, so no separate broadcast op is recorded.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch (`b` must be `1×n` when given).
+    pub fn linear(&mut self, x: Var, w: Var, b: Option<Var>) -> Var {
+        let out = self.linear_forward(x, w, b, false);
+        self.push(out, Op::Linear { x, w, b })
+    }
+
+    /// Fused `relu(x·W (+ b))`.
+    pub fn linear_relu(&mut self, x: Var, w: Var, b: Option<Var>) -> Var {
+        let out = self.linear_forward(x, w, b, true);
+        self.push(out, Op::LinearRelu { x, w, b })
+    }
+
+    fn linear_forward(&self, x: Var, w: Var, b: Option<Var>, relu: bool) -> Tensor {
+        let xv = self.value(x);
+        let wv = self.value(w);
+        let (m, k) = xv.shape();
+        assert_eq!(
+            k,
+            wv.rows(),
+            "linear shape mismatch: {:?} vs {:?}",
+            xv.shape(),
+            wv.shape()
+        );
+        let n = wv.cols();
+        let mut out = pool::take_capacity(m * n);
+        match b {
+            Some(bvar) => {
+                let bias = self.value(bvar);
+                assert_eq!(bias.shape(), (1, n), "bias must be 1x{n}");
+                for _ in 0..m {
+                    out.extend_from_slice(bias.as_slice());
+                }
+            }
+            None => out.resize(m * n, 0.0),
+        }
+        gemm(xv.as_slice(), wv.as_slice(), &mut out, m, k, n);
+        if relu {
+            for v in out.iter_mut() {
+                *v = v.max(0.0);
+            }
+        }
+        Tensor::from_vec(m, n, out)
+    }
+
     /// Elementwise sum.
     pub fn add(&mut self, a: Var, b: Var) -> Var {
         let v = self.value(a).add(self.value(b));
         self.push(v, Op::Add(a, b))
+    }
+
+    /// Elementwise sum that consumes `a`'s buffer (no allocation).
+    ///
+    /// After this call, `value(a)` panics — use only when `a` is not
+    /// referenced again. Falls back to [`Tape::add`] when `a` is a
+    /// parameter or aliases `b`.
+    pub fn add_inplace(&mut self, a: Var, b: Var) -> Var {
+        if a == b {
+            return self.add(a, b);
+        }
+        match self.take_owned(a) {
+            Some(mut t) => {
+                t.add_assign(self.value(b));
+                self.push(t, Op::Add(a, b))
+            }
+            None => self.add(a, b),
+        }
     }
 
     /// `N×d` matrix plus `1×d` bias row, broadcast over rows.
@@ -185,16 +351,22 @@ impl<'p> Tape<'p> {
     ///
     /// Panics if `b` is not `1×d` with matching `d`.
     pub fn add_bias(&mut self, a: Var, b: Var) -> Var {
-        let (n, d) = self.shape(a);
-        let (br, bc) = self.shape(b);
-        assert_eq!((br, bc), (1, d), "bias must be 1x{d}");
-        let bv = self.value(b).as_slice().to_vec();
-        let mut out = self.value(a).clone();
-        for r in 0..n {
-            for (o, &x) in out.row_slice_mut(r).iter_mut().zip(&bv) {
-                *o += x;
+        let out = {
+            let av = self.value(a);
+            let (n, d) = av.shape();
+            let bv = self.value(b);
+            assert_eq!(bv.shape(), (1, d), "bias must be 1x{d}");
+            let mut out = pool::take_capacity(n * d);
+            for r in 0..n {
+                out.extend(
+                    av.row_slice(r)
+                        .iter()
+                        .zip(bv.as_slice())
+                        .map(|(&x, &y)| x + y),
+                );
             }
-        }
+            Tensor::from_vec(n, d, out)
+        };
         self.push(out, Op::AddBias(a, b))
     }
 
@@ -212,11 +384,19 @@ impl<'p> Tape<'p> {
 
     /// Elementwise quotient.
     pub fn div(&mut self, a: Var, b: Var) -> Var {
-        let av = self.value(a);
-        let bv = self.value(b);
-        assert_eq!(av.shape(), bv.shape(), "div shape mismatch");
-        let data = av.as_slice().iter().zip(bv.as_slice()).map(|(&x, &y)| x / y).collect();
-        let v = Tensor::from_vec(av.rows(), av.cols(), data);
+        let v = {
+            let av = self.value(a);
+            let bv = self.value(b);
+            assert_eq!(av.shape(), bv.shape(), "div shape mismatch");
+            let mut data = pool::take_capacity(av.len());
+            data.extend(
+                av.as_slice()
+                    .iter()
+                    .zip(bv.as_slice())
+                    .map(|(&x, &y)| x / y),
+            );
+            Tensor::from_vec(av.rows(), av.cols(), data)
+        };
         self.push(v, Op::Div(a, b))
     }
 
@@ -226,16 +406,63 @@ impl<'p> Tape<'p> {
         self.push(v, Op::Scale(a, s))
     }
 
+    /// Scalar multiply that consumes `a`'s buffer (no allocation).
+    ///
+    /// Same aliasing contract as [`Tape::add_inplace`].
+    pub fn scale_inplace(&mut self, a: Var, s: f32) -> Var {
+        match self.take_owned(a) {
+            Some(mut t) => {
+                for v in t.as_mut_slice() {
+                    *v *= s;
+                }
+                self.push(t, Op::Scale(a, s))
+            }
+            None => self.scale(a, s),
+        }
+    }
+
     /// Adds a scalar constant.
     pub fn add_scalar(&mut self, a: Var, s: f32) -> Var {
         let v = self.value(a).map(|x| x + s);
         self.push(v, Op::AddScalar(a, s))
     }
 
+    /// Scalar add that consumes `a`'s buffer (no allocation).
+    ///
+    /// Same aliasing contract as [`Tape::add_inplace`].
+    pub fn add_scalar_inplace(&mut self, a: Var, s: f32) -> Var {
+        match self.take_owned(a) {
+            Some(mut t) => {
+                for v in t.as_mut_slice() {
+                    *v += s;
+                }
+                self.push(t, Op::AddScalar(a, s))
+            }
+            None => self.add_scalar(a, s),
+        }
+    }
+
     /// Rectified linear unit.
     pub fn relu(&mut self, a: Var) -> Var {
         let v = self.value(a).map(|x| x.max(0.0));
         self.push(v, Op::Relu(a))
+    }
+
+    /// ReLU that consumes `a`'s buffer (no allocation). The backward pass
+    /// masks by the *output* sign, which is equivalent to masking by the
+    /// input sign, so no input copy is needed.
+    ///
+    /// Same aliasing contract as [`Tape::add_inplace`].
+    pub fn relu_inplace(&mut self, a: Var) -> Var {
+        match self.take_owned(a) {
+            Some(mut t) => {
+                for v in t.as_mut_slice() {
+                    *v = v.max(0.0);
+                }
+                self.push(t, Op::Relu(a))
+            }
+            None => self.relu(a),
+        }
     }
 
     /// Logistic sigmoid.
@@ -250,20 +477,35 @@ impl<'p> Tape<'p> {
         self.push(v, Op::Tanh(a))
     }
 
-    /// Elementwise exponential.
+    /// Elementwise exponential (vectorized polynomial, rel. error < 1e-6).
     pub fn exp(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(f32::exp);
+        let v = self.value(a).map(fast_exp);
         self.push(v, Op::Exp(a))
     }
 
     /// Row-wise softmax.
     pub fn softmax_rows(&mut self, a: Var) -> Var {
-        let x = self.value(a);
-        let (n, d) = x.shape();
-        let mut out = Tensor::zeros(n, d);
-        for r in 0..n {
-            softmax_into(x.row_slice(r), out.row_slice_mut(r));
-        }
+        let out = {
+            let x = self.value(a);
+            let (n, d) = x.shape();
+            // Rows are written append-only (no zero-fill pass): for an
+            // N×N attention matrix the saved memset is a full extra sweep.
+            let mut out = pool::take_capacity(n * d);
+            for r in 0..n {
+                let row = x.row_slice(r);
+                let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+                let start = out.len();
+                // Separate exp/sum/scale passes: the exp pass carries no
+                // cross-iteration dependency, so it vectorizes.
+                out.extend(row.iter().map(|&v| fast_exp(v - max)));
+                let sum: f32 = out[start..].iter().sum();
+                let inv = 1.0 / sum.max(1e-30);
+                for o in &mut out[start..] {
+                    *o *= inv;
+                }
+            }
+            Tensor::from_vec(n, d, out)
+        };
         self.push(out, Op::SoftmaxRows(a))
     }
 
@@ -280,42 +522,50 @@ impl<'p> Tape<'p> {
     /// Panics if row counts differ or `vars` is empty.
     pub fn concat_cols(&mut self, vars: &[Var]) -> Var {
         assert!(!vars.is_empty(), "concat_cols needs at least one input");
-        let n = self.shape(vars[0]).0;
-        let total: usize = vars.iter().map(|&v| self.shape(v).1).sum();
-        let mut out = Tensor::zeros(n, total);
-        let mut off = 0;
-        for &v in vars {
-            let t = self.value(v);
-            assert_eq!(t.rows(), n, "concat_cols row mismatch");
-            let c = t.cols();
-            for r in 0..n {
-                out.row_slice_mut(r)[off..off + c].copy_from_slice(t.row_slice(r));
+        let out = {
+            let n = self.shape(vars[0]).0;
+            let total: usize = vars.iter().map(|&v| self.shape(v).1).sum();
+            for &v in vars {
+                assert_eq!(self.shape(v).0, n, "concat_cols row mismatch");
             }
-            off += c;
-        }
+            // Row-major append: one sequential write pass, no zero-fill.
+            let mut out = pool::take_capacity(n * total);
+            for r in 0..n {
+                for &v in vars {
+                    out.extend_from_slice(self.value(v).row_slice(r));
+                }
+            }
+            Tensor::from_vec(n, total, out)
+        };
         self.push(out, Op::ConcatCols(vars.to_vec()))
     }
 
     /// Slices columns `[start, start+len)`.
     pub fn col_slice(&mut self, a: Var, start: usize, len: usize) -> Var {
-        let t = self.value(a);
-        let (n, d) = t.shape();
-        assert!(start + len <= d, "col_slice out of bounds");
-        let mut out = Tensor::zeros(n, len);
-        for r in 0..n {
-            out.row_slice_mut(r).copy_from_slice(&t.row_slice(r)[start..start + len]);
-        }
+        let out = {
+            let t = self.value(a);
+            let (n, d) = t.shape();
+            assert!(start + len <= d, "col_slice out of bounds");
+            let mut out = pool::take_capacity(n * len);
+            for r in 0..n {
+                out.extend_from_slice(&t.row_slice(r)[start..start + len]);
+            }
+            Tensor::from_vec(n, len, out)
+        };
         self.push(out, Op::ColSlice(a, start, len))
     }
 
     /// Row gather: `out[i] = a[idx[i]]`.
     pub fn gather(&mut self, a: Var, idx: Arc<Vec<usize>>) -> Var {
-        let t = self.value(a);
-        let d = t.cols();
-        let mut out = Tensor::zeros(idx.len(), d);
-        for (i, &j) in idx.iter().enumerate() {
-            out.row_slice_mut(i).copy_from_slice(t.row_slice(j));
-        }
+        let out = {
+            let t = self.value(a);
+            let d = t.cols();
+            let mut out = pool::take_capacity(idx.len() * d);
+            for &j in idx.iter() {
+                out.extend_from_slice(t.row_slice(j));
+            }
+            Tensor::from_vec(idx.len(), d, out)
+        };
         self.push(out, Op::Gather(a, idx))
     }
 
@@ -326,16 +576,19 @@ impl<'p> Tape<'p> {
     /// Panics if `idx.len()` differs from the row count of `a` or an index
     /// is out of range.
     pub fn scatter_add(&mut self, a: Var, idx: Arc<Vec<usize>>, n_out: usize) -> Var {
-        let t = self.value(a);
-        assert_eq!(t.rows(), idx.len(), "scatter_add index length mismatch");
-        let d = t.cols();
-        let mut out = Tensor::zeros(n_out, d);
-        for (i, &j) in idx.iter().enumerate() {
-            assert!(j < n_out, "scatter index {j} out of range {n_out}");
-            for (o, &x) in out.row_slice_mut(j).iter_mut().zip(t.row_slice(i)) {
-                *o += x;
+        let out = {
+            let t = self.value(a);
+            assert_eq!(t.rows(), idx.len(), "scatter_add index length mismatch");
+            let d = t.cols();
+            let mut out = Tensor::zeros(n_out, d);
+            for (i, &j) in idx.iter().enumerate() {
+                assert!(j < n_out, "scatter index {j} out of range {n_out}");
+                for (o, &x) in out.row_slice_mut(j).iter_mut().zip(t.row_slice(i)) {
+                    *o += x;
+                }
             }
-        }
+            out
+        };
         self.push(out, Op::ScatterAdd(a, idx, n_out))
     }
 
@@ -347,16 +600,18 @@ impl<'p> Tape<'p> {
 
     /// Sum over rows, producing a `1×d` row vector.
     pub fn sum_rows(&mut self, a: Var) -> Var {
-        let t = self.value(a);
-        let v = t.col_mean().scale(t.rows() as f32);
+        let v = self.value(a).col_sum();
         self.push(v, Op::SumRows(a))
     }
 
     /// Sum over columns of each row, producing an `N×1` column vector.
     pub fn row_sum(&mut self, a: Var) -> Var {
-        let t = self.value(a);
-        let data: Vec<f32> = (0..t.rows()).map(|r| t.row_slice(r).iter().sum()).collect();
-        let v = Tensor::col(&data);
+        let v = {
+            let t = self.value(a);
+            let mut data = pool::take_capacity(t.rows());
+            data.extend((0..t.rows()).map(|r| t.row_slice(r).iter().sum::<f32>()));
+            Tensor::from_vec(t.rows(), 1, data)
+        };
         self.push(v, Op::RowSum(a))
     }
 
@@ -385,14 +640,44 @@ impl<'p> Tape<'p> {
         }
         let n = self.value(a).len();
         let keep = 1.0 - p;
-        let mask: Vec<f32> = (0..n)
-            .map(|_| if self.rng.gen::<f32>() < keep { 1.0 / keep } else { 0.0 })
-            .collect();
-        let mask = Arc::new(mask);
-        let t = self.value(a);
-        let data = t.as_slice().iter().zip(mask.iter()).map(|(&x, &m)| x * m).collect();
-        let v = Tensor::from_vec(t.rows(), t.cols(), data);
-        self.push(v, Op::Dropout(a, mask))
+        // Pool-backed mask and output (the RNG needs `&mut self`, so the
+        // mask is drawn before the input value is borrowed). Each u64
+        // draw yields two 24-bit uniforms, halving time spent in the
+        // serially-dependent generator.
+        let inv_keep = 1.0 / keep;
+        let mut mask = pool::take_capacity(n);
+        let to_unit = |bits: u32| (bits >> 8) as f32 * (1.0 / (1u32 << 24) as f32);
+        while mask.len() + 2 <= n {
+            let r = self.rng.gen::<u64>();
+            mask.push(if to_unit(r as u32) < keep {
+                inv_keep
+            } else {
+                0.0
+            });
+            mask.push(if to_unit((r >> 32) as u32) < keep {
+                inv_keep
+            } else {
+                0.0
+            });
+        }
+        if mask.len() < n {
+            mask.push(if self.rng.gen::<f32>() < keep {
+                inv_keep
+            } else {
+                0.0
+            });
+        }
+        let mut data = pool::take_capacity(n);
+        data.extend(
+            self.value(a)
+                .as_slice()
+                .iter()
+                .zip(&mask)
+                .map(|(&x, &m)| x * m),
+        );
+        let (rows, cols) = self.shape(a);
+        let v = Tensor::from_vec(rows, cols, data);
+        self.push(v, Op::Dropout(a, Arc::new(mask)))
     }
 
     /// Batch normalization over the row dimension.
@@ -409,47 +694,71 @@ impl<'p> Tape<'p> {
         eps: f32,
         running: Option<(&Tensor, &Tensor)>,
     ) -> (Var, Tensor, Tensor) {
-        let t = self.value(x);
-        let (n, d) = t.shape();
-        let (mean, var) = match (self.training, running) {
-            (false, Some((m, v))) => (m.clone(), v.clone()),
-            _ => {
-                let mean = t.col_mean();
-                let mut var = Tensor::zeros(1, d);
-                for r in 0..n {
-                    for c in 0..d {
-                        let diff = t.get(r, c) - mean.get(0, c);
-                        var.set(0, c, var.get(0, c) + diff * diff);
+        let (out, xhat, invstd, mean, var) = {
+            let t = self.value(x);
+            let (n, d) = t.shape();
+            let (mean, var) = match (self.training, running) {
+                (false, Some((m, v))) => (m.clone(), v.clone()),
+                _ => {
+                    let mean = t.col_mean();
+                    let mut var = pool::take_zeroed(d);
+                    for r in 0..n {
+                        for ((v, &xv), &mu) in
+                            var.iter_mut().zip(t.row_slice(r)).zip(mean.as_slice())
+                        {
+                            let diff = xv - mu;
+                            *v += diff * diff;
+                        }
                     }
+                    let inv_n = if n == 0 { 0.0 } else { 1.0 / n as f32 };
+                    for v in var.iter_mut() {
+                        *v *= inv_n;
+                    }
+                    (mean, Tensor::from_vec(1, d, var))
                 }
-                let inv_n = if n == 0 { 0.0 } else { 1.0 / n as f32 };
-                for c in 0..d {
-                    var.set(0, c, var.get(0, c) * inv_n);
-                }
-                (mean, var)
+            };
+            let invstd = var.map(|v| 1.0 / (v + eps).sqrt());
+            let mut xhat = pool::take_capacity(n * d);
+            for r in 0..n {
+                xhat.extend(
+                    t.row_slice(r)
+                        .iter()
+                        .zip(mean.as_slice())
+                        .zip(invstd.as_slice())
+                        .map(|((&xv, &mu), &is)| (xv - mu) * is),
+                );
             }
+            let gv = self.value(gamma);
+            let bv = self.value(beta);
+            let mut out = pool::take_capacity(n * d);
+            for r in 0..n {
+                out.extend(
+                    xhat[r * d..(r + 1) * d]
+                        .iter()
+                        .zip(gv.as_slice())
+                        .zip(bv.as_slice())
+                        .map(|((&xh, &g), &b)| xh * g + b),
+                );
+            }
+            (
+                Tensor::from_vec(n, d, out),
+                Tensor::from_vec(n, d, xhat),
+                invstd,
+                mean,
+                var,
+            )
         };
-        let invstd = var.map(|v| 1.0 / (v + eps).sqrt());
-        let mut xhat = Tensor::zeros(n, d);
-        for r in 0..n {
-            for c in 0..d {
-                xhat.set(r, c, (t.get(r, c) - mean.get(0, c)) * invstd.get(0, c));
-            }
-        }
-        let g = self.value(gamma).as_slice().to_vec();
-        let b = self.value(beta).as_slice().to_vec();
-        let mut out = Tensor::zeros(n, d);
-        for r in 0..n {
-            for c in 0..d {
-                out.set(r, c, xhat.get(r, c) * g[c] + b[c]);
-            }
-        }
-        let var_out = var.clone();
         let v = self.push(
             out,
-            Op::BatchNorm { x, gamma, beta, xhat, invstd },
+            Op::BatchNorm {
+                x,
+                gamma,
+                beta,
+                xhat,
+                invstd,
+            },
         );
-        (v, mean, var_out)
+        (v, mean, var)
     }
 
     /// Mean binary-cross-entropy with logits (numerically stable).
@@ -471,9 +780,17 @@ impl<'p> Tape<'p> {
         let t = self.value(a);
         assert_eq!(t.len(), targets.len(), "mse target length mismatch");
         let n = targets.len().max(1) as f32;
-        let loss: f32 =
-            t.as_slice().iter().zip(targets).map(|(&p, &y)| (p - y) * (p - y)).sum::<f32>() / n;
-        self.push(Tensor::scalar(loss), Op::MseLoss(a, Arc::new(targets.to_vec())))
+        let loss: f32 = t
+            .as_slice()
+            .iter()
+            .zip(targets)
+            .map(|(&p, &y)| (p - y) * (p - y))
+            .sum::<f32>()
+            / n;
+        self.push(
+            Tensor::scalar(loss),
+            Op::MseLoss(a, Arc::new(targets.to_vec())),
+        )
     }
 
     /// Mean absolute error against `targets`.
@@ -481,8 +798,17 @@ impl<'p> Tape<'p> {
         let t = self.value(a);
         assert_eq!(t.len(), targets.len(), "l1 target length mismatch");
         let n = targets.len().max(1) as f32;
-        let loss: f32 = t.as_slice().iter().zip(targets).map(|(&p, &y)| (p - y).abs()).sum::<f32>() / n;
-        self.push(Tensor::scalar(loss), Op::L1Loss(a, Arc::new(targets.to_vec())))
+        let loss: f32 = t
+            .as_slice()
+            .iter()
+            .zip(targets)
+            .map(|(&p, &y)| (p - y).abs())
+            .sum::<f32>()
+            / n;
+        self.push(
+            Tensor::scalar(loss),
+            Op::L1Loss(a, Arc::new(targets.to_vec())),
+        )
     }
 
     /// Huber (smooth-L1) loss with threshold `delta`.
@@ -504,27 +830,43 @@ impl<'p> Tape<'p> {
             })
             .sum::<f32>()
             / n;
-        self.push(Tensor::scalar(loss), Op::HuberLoss(a, Arc::new(targets.to_vec()), delta))
+        self.push(
+            Tensor::scalar(loss),
+            Op::HuberLoss(a, Arc::new(targets.to_vec()), delta),
+        )
     }
 
     /// Mean cross-entropy between row-wise logits and integer class labels.
     pub fn cross_entropy(&mut self, logits: Var, labels: &[usize]) -> Var {
-        let t = self.value(logits);
-        let (n, c) = t.shape();
-        assert_eq!(n, labels.len(), "cross_entropy label length mismatch");
-        let mut softmax = Tensor::zeros(n, c);
-        let mut loss = 0.0f64;
-        for r in 0..n {
-            softmax_into(t.row_slice(r), softmax.row_slice_mut(r));
-            let p = softmax.get(r, labels[r]).max(1e-12);
-            loss -= (p as f64).ln();
-        }
-        let v = Tensor::scalar((loss / n.max(1) as f64) as f32);
-        self.push(v, Op::CrossEntropy { logits, labels: Arc::new(labels.to_vec()), softmax })
+        let (v, softmax) = {
+            let t = self.value(logits);
+            let (n, c) = t.shape();
+            assert_eq!(n, labels.len(), "cross_entropy label length mismatch");
+            let mut softmax = Tensor::zeros(n, c);
+            let mut loss = 0.0f64;
+            for (r, &label) in labels.iter().enumerate() {
+                softmax_into(t.row_slice(r), softmax.row_slice_mut(r));
+                let p = softmax.get(r, label).max(1e-12);
+                loss -= (p as f64).ln();
+            }
+            (Tensor::scalar((loss / n.max(1) as f64) as f32), softmax)
+        };
+        self.push(
+            v,
+            Op::CrossEntropy {
+                logits,
+                labels: Arc::new(labels.to_vec()),
+                softmax,
+            },
+        )
     }
 
     /// Runs reverse-mode differentiation from `loss`, accumulating parameter
     /// gradients into `grads`.
+    ///
+    /// Each upstream gradient buffer is returned to the thread-local pool
+    /// as soon as it has been consumed, so repeated backward passes over
+    /// same-shaped tapes allocate nothing.
     ///
     /// # Panics
     ///
@@ -540,36 +882,60 @@ impl<'p> Tape<'p> {
                 None => continue,
             };
             match &self.ops[i] {
-                Op::Input => {}
+                Op::Input => g.recycle(),
                 Op::Param(id) => {
                     if self.params.is_trainable(*id) {
                         grads.accumulate(*id, &g);
                     }
+                    g.recycle();
                 }
                 Op::Matmul(a, b) => {
                     let ga = g.matmul_t(self.value(*b));
                     let gb = self.value(*a).t_matmul(&g);
                     acc(&mut local, *a, ga);
                     acc(&mut local, *b, gb);
+                    g.recycle();
+                }
+                Op::Linear { x, w, b } => {
+                    self.linear_backward(*x, *w, *b, &g, &mut local);
+                    g.recycle();
+                }
+                Op::LinearRelu { x, w, b } => {
+                    // Mask by the output sign (y > 0 ⇔ pre-activation > 0).
+                    let y = self.value(Var(i));
+                    let mut gm = pool::take_capacity(g.len());
+                    gm.extend(g.as_slice().iter().zip(y.as_slice()).map(|(&gi, &yi)| {
+                        if yi > 0.0 {
+                            gi
+                        } else {
+                            0.0
+                        }
+                    }));
+                    let gm = Tensor::from_vec(g.rows(), g.cols(), gm);
+                    self.linear_backward(*x, *w, *b, &gm, &mut local);
+                    gm.recycle();
+                    g.recycle();
                 }
                 Op::Add(a, b) => {
                     acc(&mut local, *a, g.clone());
                     acc(&mut local, *b, g);
                 }
                 Op::AddBias(a, b) => {
-                    let gb = g.col_mean().scale(g.rows() as f32);
+                    let gb = g.col_sum();
                     acc(&mut local, *a, g);
                     acc(&mut local, *b, gb);
                 }
                 Op::Sub(a, b) => {
-                    acc(&mut local, *a, g.clone());
-                    acc(&mut local, *b, g.scale(-1.0));
+                    let gb = g.scale(-1.0);
+                    acc(&mut local, *a, g);
+                    acc(&mut local, *b, gb);
                 }
                 Op::Mul(a, b) => {
                     let ga = g.mul(self.value(*b));
                     let gb = g.mul(self.value(*a));
                     acc(&mut local, *a, ga);
                     acc(&mut local, *b, gb);
+                    g.recycle();
                 }
                 Op::Div(a, b) => {
                     let bv = self.value(*b);
@@ -578,58 +944,82 @@ impl<'p> Tape<'p> {
                     let gb = g.zip3_2(cv, bv, |gi, ci, bi| -gi * ci / bi);
                     acc(&mut local, *a, ga);
                     acc(&mut local, *b, gb);
+                    g.recycle();
                 }
-                Op::Scale(a, s) => acc(&mut local, *a, g.scale(*s)),
+                Op::Scale(a, s) => {
+                    let mut g = g;
+                    for v in g.as_mut_slice() {
+                        *v *= s;
+                    }
+                    acc(&mut local, *a, g);
+                }
                 Op::AddScalar(a, _) => acc(&mut local, *a, g),
                 Op::Relu(a) => {
-                    let x = self.value(*a);
-                    let data = g
-                        .as_slice()
-                        .iter()
-                        .zip(x.as_slice())
-                        .map(|(&gi, &xi)| if xi > 0.0 { gi } else { 0.0 })
-                        .collect();
-                    acc(&mut local, *a, Tensor::from_vec(g.rows(), g.cols(), data));
+                    // Mask by the output sign so in-place ReLU (which
+                    // overwrites its input) differentiates identically.
+                    let y = self.value(Var(i));
+                    let mut g = g;
+                    for (gi, &yi) in g.as_mut_slice().iter_mut().zip(y.as_slice()) {
+                        if yi <= 0.0 {
+                            *gi = 0.0;
+                        }
+                    }
+                    acc(&mut local, *a, g);
                 }
                 Op::Sigmoid(a) => {
                     let y = self.value(Var(i));
-                    let ga = g.zip3(y, |gi, yi| gi * yi * (1.0 - yi));
-                    acc(&mut local, *a, ga);
+                    let mut g = g;
+                    for (gi, &yi) in g.as_mut_slice().iter_mut().zip(y.as_slice()) {
+                        *gi *= yi * (1.0 - yi);
+                    }
+                    acc(&mut local, *a, g);
                 }
                 Op::Tanh(a) => {
                     let y = self.value(Var(i));
-                    let ga = g.zip3(y, |gi, yi| gi * (1.0 - yi * yi));
-                    acc(&mut local, *a, ga);
+                    let mut g = g;
+                    for (gi, &yi) in g.as_mut_slice().iter_mut().zip(y.as_slice()) {
+                        *gi *= 1.0 - yi * yi;
+                    }
+                    acc(&mut local, *a, g);
                 }
                 Op::Exp(a) => {
                     let y = self.value(Var(i));
-                    acc(&mut local, *a, g.mul(y));
+                    let mut g = g;
+                    for (gi, &yi) in g.as_mut_slice().iter_mut().zip(y.as_slice()) {
+                        *gi *= yi;
+                    }
+                    acc(&mut local, *a, g);
                 }
                 Op::SoftmaxRows(a) => {
                     let y = self.value(Var(i));
-                    let (n, d) = y.shape();
-                    let mut ga = Tensor::zeros(n, d);
-                    for r in 0..n {
-                        let dot: f32 =
-                            g.row_slice(r).iter().zip(y.row_slice(r)).map(|(&a, &b)| a * b).sum();
-                        for c in 0..d {
-                            ga.set(r, c, (g.get(r, c) - dot) * y.get(r, c));
+                    let mut g = g;
+                    for r in 0..y.rows() {
+                        let yr = y.row_slice(r);
+                        let gr = g.row_slice_mut(r);
+                        let dot: f32 = gr.iter().zip(yr).map(|(&x, &y2)| x * y2).sum();
+                        for (gi, &yi) in gr.iter_mut().zip(yr) {
+                            *gi = (*gi - dot) * yi;
                         }
                     }
-                    acc(&mut local, *a, ga);
+                    acc(&mut local, *a, g);
                 }
-                Op::Transpose(a) => acc(&mut local, *a, g.transpose()),
+                Op::Transpose(a) => {
+                    let ga = g.transpose();
+                    acc(&mut local, *a, ga);
+                    g.recycle();
+                }
                 Op::ConcatCols(vars) => {
                     let mut off = 0;
                     for &v in vars {
                         let c = self.shape(v).1;
-                        let mut gv = Tensor::zeros(g.rows(), c);
+                        let mut gv = pool::take_capacity(g.rows() * c);
                         for r in 0..g.rows() {
-                            gv.row_slice_mut(r).copy_from_slice(&g.row_slice(r)[off..off + c]);
+                            gv.extend_from_slice(&g.row_slice(r)[off..off + c]);
                         }
-                        acc(&mut local, v, gv);
+                        acc(&mut local, v, Tensor::from_vec(g.rows(), c, gv));
                         off += c;
                     }
+                    g.recycle();
                 }
                 Op::ColSlice(a, start, len) => {
                     let (n, d) = self.shape(*a);
@@ -638,6 +1028,7 @@ impl<'p> Tape<'p> {
                         ga.row_slice_mut(r)[*start..*start + *len].copy_from_slice(g.row_slice(r));
                     }
                     acc(&mut local, *a, ga);
+                    g.recycle();
                 }
                 Op::Gather(a, idx) => {
                     let (n, d) = self.shape(*a);
@@ -648,178 +1039,266 @@ impl<'p> Tape<'p> {
                         }
                     }
                     acc(&mut local, *a, ga);
+                    g.recycle();
                 }
                 Op::ScatterAdd(a, idx, _) => {
                     let d = g.cols();
-                    let mut ga = Tensor::zeros(idx.len(), d);
-                    for (i2, &j) in idx.iter().enumerate() {
-                        ga.row_slice_mut(i2).copy_from_slice(g.row_slice(j));
+                    let mut ga = pool::take_capacity(idx.len() * d);
+                    for &j in idx.iter() {
+                        ga.extend_from_slice(g.row_slice(j));
                     }
-                    acc(&mut local, *a, ga);
+                    acc(&mut local, *a, Tensor::from_vec(idx.len(), d, ga));
+                    g.recycle();
                 }
                 Op::MeanRows(a) => {
                     let (n, d) = self.shape(*a);
                     let inv = 1.0 / n.max(1) as f32;
-                    let mut ga = Tensor::zeros(n, d);
-                    for r in 0..n {
-                        for c in 0..d {
-                            ga.set(r, c, g.get(0, c) * inv);
-                        }
+                    let mut ga = pool::take_capacity(n * d);
+                    for _ in 0..n {
+                        ga.extend(g.row_slice(0).iter().map(|&x| x * inv));
                     }
-                    acc(&mut local, *a, ga);
+                    acc(&mut local, *a, Tensor::from_vec(n, d, ga));
+                    g.recycle();
                 }
                 Op::SumRows(a) => {
                     let (n, d) = self.shape(*a);
-                    let mut ga = Tensor::zeros(n, d);
-                    for r in 0..n {
-                        ga.row_slice_mut(r).copy_from_slice(g.row_slice(0));
+                    let mut ga = pool::take_capacity(n * d);
+                    for _ in 0..n {
+                        ga.extend_from_slice(g.row_slice(0));
                     }
-                    acc(&mut local, *a, ga);
+                    acc(&mut local, *a, Tensor::from_vec(n, d, ga));
+                    g.recycle();
                 }
                 Op::RowSum(a) => {
                     let (n, d) = self.shape(*a);
-                    let mut ga = Tensor::zeros(n, d);
+                    let mut ga = pool::take_capacity(n * d);
                     for r in 0..n {
                         let gv = g.get(r, 0);
-                        for c in 0..d {
-                            ga.set(r, c, gv);
-                        }
+                        ga.extend(std::iter::repeat_n(gv, d));
                     }
-                    acc(&mut local, *a, ga);
+                    acc(&mut local, *a, Tensor::from_vec(n, d, ga));
+                    g.recycle();
                 }
                 Op::MulColVec(a, v) => {
                     let av = self.value(*a);
                     let vv = self.value(*v);
                     let ga = colvec_zip(&g, vv, |gi, s| gi * s);
-                    let mut gv = Tensor::zeros(vv.rows(), 1);
-                    for r in 0..g.rows() {
-                        let s: f32 =
-                            g.row_slice(r).iter().zip(av.row_slice(r)).map(|(&x, &y)| x * y).sum();
-                        gv.set(r, 0, s);
-                    }
+                    let mut gv = pool::take_capacity(vv.rows());
+                    gv.extend((0..g.rows()).map(|r| {
+                        g.row_slice(r)
+                            .iter()
+                            .zip(av.row_slice(r))
+                            .map(|(&x, &y)| x * y)
+                            .sum::<f32>()
+                    }));
                     acc(&mut local, *a, ga);
-                    acc(&mut local, *v, gv);
+                    acc(&mut local, *v, Tensor::from_vec(vv.rows(), 1, gv));
+                    g.recycle();
                 }
                 Op::DivColVec(a, v) => {
                     let vv = self.value(*v);
                     let cv = self.value(Var(i));
                     let ga = colvec_zip(&g, vv, |gi, s| gi / s);
-                    let mut gv = Tensor::zeros(vv.rows(), 1);
-                    for r in 0..g.rows() {
-                        let s: f32 =
-                            g.row_slice(r).iter().zip(cv.row_slice(r)).map(|(&x, &y)| x * y).sum();
-                        gv.set(r, 0, -s / vv.get(r, 0));
-                    }
+                    let mut gv = pool::take_capacity(vv.rows());
+                    gv.extend((0..g.rows()).map(|r| {
+                        let s: f32 = g
+                            .row_slice(r)
+                            .iter()
+                            .zip(cv.row_slice(r))
+                            .map(|(&x, &y)| x * y)
+                            .sum();
+                        -s / vv.get(r, 0)
+                    }));
                     acc(&mut local, *a, ga);
-                    acc(&mut local, *v, gv);
+                    acc(&mut local, *v, Tensor::from_vec(vv.rows(), 1, gv));
+                    g.recycle();
                 }
                 Op::SubColVec(a, v) => {
-                    let mut gv = Tensor::zeros(g.rows(), 1);
-                    for r in 0..g.rows() {
-                        gv.set(r, 0, -g.row_slice(r).iter().sum::<f32>());
-                    }
+                    let mut gv = pool::take_capacity(g.rows());
+                    gv.extend((0..g.rows()).map(|r| -g.row_slice(r).iter().sum::<f32>()));
+                    let gv = Tensor::from_vec(g.rows(), 1, gv);
                     acc(&mut local, *a, g);
                     acc(&mut local, *v, gv);
                 }
                 Op::Dropout(a, mask) => {
-                    let data =
-                        g.as_slice().iter().zip(mask.iter()).map(|(&gi, &m)| gi * m).collect();
-                    acc(&mut local, *a, Tensor::from_vec(g.rows(), g.cols(), data));
+                    let mut g = g;
+                    for (gi, &m) in g.as_mut_slice().iter_mut().zip(mask.iter()) {
+                        *gi *= m;
+                    }
+                    acc(&mut local, *a, g);
                 }
-                Op::BatchNorm { x, gamma, beta, xhat, invstd } => {
+                Op::BatchNorm {
+                    x,
+                    gamma,
+                    beta,
+                    xhat,
+                    invstd,
+                } => {
                     let (n, d) = xhat.shape();
                     let gv = self.value(*gamma);
-                    // dgamma, dbeta
-                    let mut dgamma = Tensor::zeros(1, d);
-                    let mut dbeta = Tensor::zeros(1, d);
+                    let mut dgamma = pool::take_zeroed(d);
+                    let mut dbeta = pool::take_zeroed(d);
+                    let mut sum_dxhat = pool::take_zeroed(d);
+                    let mut sum_dxhat_xhat = pool::take_zeroed(d);
                     for r in 0..n {
+                        let gr = g.row_slice(r);
+                        let xr = xhat.row_slice(r);
                         for c in 0..d {
-                            dgamma.set(0, c, dgamma.get(0, c) + g.get(r, c) * xhat.get(r, c));
-                            dbeta.set(0, c, dbeta.get(0, c) + g.get(r, c));
+                            dgamma[c] += gr[c] * xr[c];
+                            dbeta[c] += gr[c];
+                            let dxh = gr[c] * gv.as_slice()[c];
+                            sum_dxhat[c] += dxh;
+                            sum_dxhat_xhat[c] += dxh * xr[c];
                         }
                     }
-                    // dx via standard BN backward (per column)
-                    let mut gx = Tensor::zeros(n, d);
                     let nf = n.max(1) as f32;
-                    for c in 0..d {
-                        let gam = gv.get(0, c);
-                        let istd = invstd.get(0, c);
-                        let mut sum_dxhat = 0.0f32;
-                        let mut sum_dxhat_xhat = 0.0f32;
-                        for r in 0..n {
-                            let dxh = g.get(r, c) * gam;
-                            sum_dxhat += dxh;
-                            sum_dxhat_xhat += dxh * xhat.get(r, c);
-                        }
-                        for r in 0..n {
-                            let dxh = g.get(r, c) * gam;
-                            let val = (istd / nf)
-                                * (nf * dxh - sum_dxhat - xhat.get(r, c) * sum_dxhat_xhat);
-                            gx.set(r, c, val);
-                        }
+                    let mut gx = pool::take_capacity(n * d);
+                    for r in 0..n {
+                        let gr = g.row_slice(r);
+                        let xr = xhat.row_slice(r);
+                        gx.extend((0..d).map(|c| {
+                            let dxh = gr[c] * gv.as_slice()[c];
+                            (invstd.as_slice()[c] / nf)
+                                * (nf * dxh - sum_dxhat[c] - xr[c] * sum_dxhat_xhat[c])
+                        }));
                     }
-                    acc(&mut local, *x, gx);
-                    acc(&mut local, *gamma, dgamma);
-                    acc(&mut local, *beta, dbeta);
+                    pool::put(sum_dxhat);
+                    pool::put(sum_dxhat_xhat);
+                    acc(&mut local, *x, Tensor::from_vec(n, d, gx));
+                    acc(&mut local, *gamma, Tensor::from_vec(1, d, dgamma));
+                    acc(&mut local, *beta, Tensor::from_vec(1, d, dbeta));
+                    g.recycle();
                 }
                 Op::BceWithLogits(a, y) => {
                     let z = self.value(*a);
                     let gscale = g.item() / y.len().max(1) as f32;
-                    let data = z
-                        .as_slice()
-                        .iter()
-                        .zip(y.iter())
-                        .map(|(&zi, &yi)| (stable_sigmoid(zi) - yi) * gscale)
-                        .collect();
+                    let mut data = pool::take_capacity(z.len());
+                    data.extend(
+                        z.as_slice()
+                            .iter()
+                            .zip(y.iter())
+                            .map(|(&zi, &yi)| (stable_sigmoid(zi) - yi) * gscale),
+                    );
                     acc(&mut local, *a, Tensor::from_vec(z.rows(), z.cols(), data));
+                    g.recycle();
                 }
                 Op::MseLoss(a, y) => {
                     let p = self.value(*a);
                     let gscale = 2.0 * g.item() / y.len().max(1) as f32;
-                    let data =
-                        p.as_slice().iter().zip(y.iter()).map(|(&pi, &yi)| (pi - yi) * gscale).collect();
+                    let mut data = pool::take_capacity(p.len());
+                    data.extend(
+                        p.as_slice()
+                            .iter()
+                            .zip(y.iter())
+                            .map(|(&pi, &yi)| (pi - yi) * gscale),
+                    );
                     acc(&mut local, *a, Tensor::from_vec(p.rows(), p.cols(), data));
+                    g.recycle();
                 }
                 Op::L1Loss(a, y) => {
                     let p = self.value(*a);
                     let gscale = g.item() / y.len().max(1) as f32;
-                    let data = p
-                        .as_slice()
-                        .iter()
-                        .zip(y.iter())
-                        .map(|(&pi, &yi)| (pi - yi).signum() * gscale)
-                        .collect();
+                    let mut data = pool::take_capacity(p.len());
+                    data.extend(
+                        p.as_slice()
+                            .iter()
+                            .zip(y.iter())
+                            .map(|(&pi, &yi)| (pi - yi).signum() * gscale),
+                    );
                     acc(&mut local, *a, Tensor::from_vec(p.rows(), p.cols(), data));
+                    g.recycle();
                 }
                 Op::HuberLoss(a, y, delta) => {
                     let p = self.value(*a);
                     let gscale = g.item() / y.len().max(1) as f32;
-                    let data = p
-                        .as_slice()
-                        .iter()
-                        .zip(y.iter())
-                        .map(|(&pi, &yi)| (pi - yi).clamp(-delta, *delta) * gscale)
-                        .collect();
+                    let mut data = pool::take_capacity(p.len());
+                    data.extend(
+                        p.as_slice()
+                            .iter()
+                            .zip(y.iter())
+                            .map(|(&pi, &yi)| (pi - yi).clamp(-delta, *delta) * gscale),
+                    );
                     acc(&mut local, *a, Tensor::from_vec(p.rows(), p.cols(), data));
+                    g.recycle();
                 }
-                Op::CrossEntropy { logits, labels, softmax } => {
-                    let (n, c) = softmax.shape();
+                Op::CrossEntropy {
+                    logits,
+                    labels,
+                    softmax,
+                } => {
+                    let n = softmax.rows();
                     let gscale = g.item() / n.max(1) as f32;
                     let mut ga = softmax.scale(gscale);
                     for (r, &lab) in labels.iter().enumerate() {
                         ga.set(r, lab, ga.get(r, lab) - gscale);
                     }
-                    let _ = c;
                     acc(&mut local, *logits, ga);
+                    g.recycle();
                 }
             }
         }
     }
+
+    /// Shared backward for `Linear`/`LinearRelu`: `g` is the (possibly
+    /// relu-masked) output gradient.
+    fn linear_backward(
+        &self,
+        x: Var,
+        w: Var,
+        b: Option<Var>,
+        g: &Tensor,
+        local: &mut [Option<Tensor>],
+    ) {
+        let (gx, gw) = {
+            let xv = self.value(x);
+            let wv = self.value(w);
+            // gx = g · Wᵀ
+            let mut gx = pool::take_zeroed(xv.len());
+            gemm_abt(
+                g.as_slice(),
+                wv.as_slice(),
+                &mut gx,
+                g.rows(),
+                g.cols(),
+                wv.rows(),
+            );
+            // gW = xᵀ · g
+            let mut gw = pool::take_zeroed(wv.len());
+            gemm_atb(
+                xv.as_slice(),
+                g.as_slice(),
+                &mut gw,
+                wv.rows(),
+                xv.rows(),
+                g.cols(),
+            );
+            (
+                Tensor::from_vec(xv.rows(), xv.cols(), gx),
+                Tensor::from_vec(wv.rows(), wv.cols(), gw),
+            )
+        };
+        if let Some(bv) = b {
+            acc(local, bv, g.col_sum());
+        }
+        acc(local, x, gx);
+        acc(local, w, gw);
+    }
 }
 
+impl Drop for Tape<'_> {
+    fn drop(&mut self) {
+        self.recycle_storage();
+    }
+}
+
+/// Accumulates `g` into the local gradient slot for `v`; when the slot is
+/// already occupied the incoming buffer is recycled after the add.
 fn acc(local: &mut [Option<Tensor>], v: Var, g: Tensor) {
     match &mut local[v.0] {
-        Some(t) => t.add_assign(&g),
+        Some(t) => {
+            t.add_assign(&g);
+            g.recycle();
+        }
         slot @ None => *slot = Some(g),
     }
 }
@@ -828,53 +1307,62 @@ fn colvec_zip(a: &Tensor, v: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
     assert_eq!(v.cols(), 1, "broadcast vector must be a column");
     assert_eq!(a.rows(), v.rows(), "broadcast row mismatch");
     let (n, d) = a.shape();
-    let mut out = Tensor::zeros(n, d);
+    let mut out = pool::take_capacity(n * d);
     for r in 0..n {
         let s = v.get(r, 0);
-        for (o, &x) in out.row_slice_mut(r).iter_mut().zip(a.row_slice(r)) {
-            *o = f(x, s);
-        }
+        out.extend(a.row_slice(r).iter().map(|&x| f(x, s)));
     }
-    out
+    Tensor::from_vec(n, d, out)
 }
 
 fn softmax_into(row: &[f32], out: &mut [f32]) {
     let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-    let mut sum = 0.0f32;
     for (o, &x) in out.iter_mut().zip(row) {
-        let e = (x - max).exp();
-        *o = e;
-        sum += e;
+        *o = fast_exp(x - max);
     }
+    let sum: f32 = out.iter().sum();
     let inv = 1.0 / sum.max(1e-30);
     for o in out.iter_mut() {
         *o *= inv;
     }
 }
 
+/// Numerically stable sigmoid, written select-style (no branch) so the
+/// `map` loops over whole tensors auto-vectorize.
+#[inline]
 fn stable_sigmoid(x: f32) -> f32 {
+    // σ(-|x|) is always evaluated in the stable regime (argument ≤ 0);
+    // σ(x) = 1 − σ(−x) recovers the positive side via a blend.
+    let e = fast_exp(-x.abs());
+    let s = e / (1.0 + e);
     if x >= 0.0 {
-        1.0 / (1.0 + (-x).exp())
+        1.0 - s
     } else {
-        let e = x.exp();
-        e / (1.0 + e)
+        s
     }
 }
 
 impl Tensor {
     fn zip3(&self, b: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
-        let data = self.as_slice().iter().zip(b.as_slice()).map(|(&x, &y)| f(x, y)).collect();
+        let mut data = pool::take_capacity(self.len());
+        data.extend(
+            self.as_slice()
+                .iter()
+                .zip(b.as_slice())
+                .map(|(&x, &y)| f(x, y)),
+        );
         Tensor::from_vec(self.rows(), self.cols(), data)
     }
 
     fn zip3_2(&self, b: &Tensor, c: &Tensor, f: impl Fn(f32, f32, f32) -> f32) -> Tensor {
-        let data = self
-            .as_slice()
-            .iter()
-            .zip(b.as_slice())
-            .zip(c.as_slice())
-            .map(|((&x, &y), &z)| f(x, y, z))
-            .collect();
+        let mut data = pool::take_capacity(self.len());
+        data.extend(
+            self.as_slice()
+                .iter()
+                .zip(b.as_slice())
+                .zip(c.as_slice())
+                .map(|((&x, &y), &z)| f(x, y, z)),
+        );
         Tensor::from_vec(self.rows(), self.cols(), data)
     }
 }
@@ -895,29 +1383,40 @@ mod tests {
         let init = xavier_uniform(shape.0, shape.1, &mut rng);
         let w = store.register("w", init, true);
 
-        // analytic gradient
-        let mut tape = Tape::new(&store, false, 0);
-        let wv = tape.param(w);
-        let loss = build(&mut tape, wv);
-        assert_eq!(tape.shape(loss), (1, 1), "grad_check requires a scalar loss");
-        let mut grads = GradStore::new(&store);
-        tape.backward(loss, &mut grads);
-        let analytic = grads.get(w).expect("missing gradient").clone();
+        // analytic gradient (inner scope: Tape's Drop recycles buffers, so
+        // the tape must die before the store is mutated below)
+        let analytic = {
+            let mut tape = Tape::new(&store, false, 0);
+            let wv = tape.param(w);
+            let loss = build(&mut tape, wv);
+            assert_eq!(
+                tape.shape(loss),
+                (1, 1),
+                "grad_check requires a scalar loss"
+            );
+            let mut grads = GradStore::new(&store);
+            tape.backward(loss, &mut grads);
+            grads.get(w).expect("missing gradient").clone()
+        };
 
         // numeric gradient
         let eps = 1e-3f32;
         for idx in 0..shape.0 * shape.1 {
             let orig = store.get(w).as_slice()[idx];
             store.get_mut(w).as_mut_slice()[idx] = orig + eps;
-            let mut tp = Tape::new(&store, false, 0);
-            let wv = tp.param(w);
-            let vp = build(&mut tp, wv);
-            let lp = tp.value(vp).item();
+            let lp = {
+                let mut tp = Tape::new(&store, false, 0);
+                let wv = tp.param(w);
+                let vp = build(&mut tp, wv);
+                tp.value(vp).item()
+            };
             store.get_mut(w).as_mut_slice()[idx] = orig - eps;
-            let mut tm = Tape::new(&store, false, 0);
-            let wv = tm.param(w);
-            let vm = build(&mut tm, wv);
-            let lm = tm.value(vm).item();
+            let lm = {
+                let mut tm = Tape::new(&store, false, 0);
+                let wv = tm.param(w);
+                let vm = build(&mut tm, wv);
+                tm.value(vm).item()
+            };
             store.get_mut(w).as_mut_slice()[idx] = orig;
 
             let numeric = (lp - lm) / (2.0 * eps);
@@ -939,9 +1438,162 @@ mod tests {
     }
 
     #[test]
+    fn grad_fused_linear() {
+        grad_check((3, 2), |t, w| {
+            let x = t.input(Tensor::from_rows(&[&[0.5, -1.0, 2.0], &[1.5, 0.3, -0.8]]));
+            let b = t.input(Tensor::row(&[0.2, -0.4]));
+            let y = t.linear(x, w, Some(b));
+            t.mse_loss(y, &[0.3, -0.7, 0.1, 0.9])
+        });
+    }
+
+    #[test]
+    fn grad_fused_linear_relu() {
+        grad_check((3, 2), |t, w| {
+            let x = t.input(Tensor::from_rows(&[&[0.5, -1.0, 2.0], &[1.5, 0.3, -0.8]]));
+            let b = t.input(Tensor::row(&[0.2, -0.4]));
+            let y = t.linear_relu(x, w, Some(b));
+            t.mse_loss(y, &[0.3, -0.7, 0.1, 0.9])
+        });
+    }
+
+    #[test]
+    fn fused_linear_matches_unfused() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut store = ParamStore::new();
+        let w = store.register("w", xavier_uniform(4, 3, &mut rng), true);
+        let b = store.register("b", xavier_uniform(1, 3, &mut rng), true);
+        let x = Tensor::from_vec(5, 4, (0..20).map(|i| (i as f32 * 0.3).sin()).collect());
+
+        let mut t1 = Tape::new(&store, false, 0);
+        let (xv, wv, bv) = (t1.input(x.clone()), t1.param(w), t1.param(b));
+        let y1 = t1.linear(xv, wv, Some(bv));
+
+        let mut t2 = Tape::new(&store, false, 0);
+        let (xv2, wv2, bv2) = (t2.input(x), t2.param(w), t2.param(b));
+        let mm = t2.matmul(xv2, wv2);
+        let y2 = t2.add_bias(mm, bv2);
+
+        for (a, bb) in t1.value(y1).as_slice().iter().zip(t2.value(y2).as_slice()) {
+            assert!((a - bb).abs() < 1e-5, "{a} vs {bb}");
+        }
+    }
+
+    #[test]
+    fn inplace_ops_match_plain_ops_bitwise() {
+        let store = ParamStore::new();
+        let x = Tensor::from_vec(3, 4, (0..12).map(|i| (i as f32 - 6.0) * 0.5).collect());
+        let y = Tensor::from_vec(3, 4, (0..12).map(|i| (i as f32 * 0.7).cos()).collect());
+
+        let mut t1 = Tape::new(&store, false, 0);
+        let (a1, b1) = (t1.input(x.clone()), t1.input(y.clone()));
+        let s1 = t1.add(a1, b1);
+        let s1 = t1.scale(s1, 1.7);
+        let s1 = t1.add_scalar(s1, -0.3);
+        let s1 = t1.relu(s1);
+        let out1 = t1.value(s1).clone();
+
+        let mut t2 = Tape::new(&store, false, 0);
+        let (a2, b2) = (t2.input(x), t2.input(y));
+        let s2 = t2.add_inplace(a2, b2);
+        let s2 = t2.scale_inplace(s2, 1.7);
+        let s2 = t2.add_scalar_inplace(s2, -0.3);
+        let s2 = t2.relu_inplace(s2);
+        assert_eq!(out1.as_slice(), t2.value(s2).as_slice());
+    }
+
+    #[test]
+    fn inplace_grads_match_plain_grads() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut store = ParamStore::new();
+        let w = store.register("w", xavier_uniform(2, 3, &mut rng), true);
+        let run = |inplace: bool| {
+            let mut t = Tape::new(&store, false, 0);
+            let wv = t.param(w);
+            let x = t.input(Tensor::from_rows(&[&[1.0, -0.5], &[0.3, 2.0]]));
+            let h = t.matmul(x, wv);
+            let c = t.input(Tensor::from_rows(&[&[0.1, 0.2, 0.3], &[0.4, 0.5, 0.6]]));
+            let s = if inplace {
+                t.add_inplace(h, c)
+            } else {
+                t.add(h, c)
+            };
+            let s = if inplace {
+                t.scale_inplace(s, 0.9)
+            } else {
+                t.scale(s, 0.9)
+            };
+            let s = if inplace {
+                t.relu_inplace(s)
+            } else {
+                t.relu(s)
+            };
+            let loss = t.mse_loss(s, &[0.0; 6]);
+            let mut grads = GradStore::new(&store);
+            t.backward(loss, &mut grads);
+            grads.get(w).unwrap().clone()
+        };
+        assert_eq!(run(false).as_slice(), run(true).as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "consumed by an in-place op")]
+    fn reading_consumed_value_panics() {
+        let store = ParamStore::new();
+        let mut t = Tape::new(&store, false, 0);
+        let a = t.input(Tensor::row(&[1.0, 2.0]));
+        let b = t.input(Tensor::row(&[3.0, 4.0]));
+        let _ = t.add_inplace(a, b);
+        let _ = t.value(a);
+    }
+
+    #[test]
+    fn shape_survives_inplace_consumption() {
+        let store = ParamStore::new();
+        let mut t = Tape::new(&store, false, 0);
+        let a = t.input(Tensor::zeros(3, 5));
+        let b = t.input(Tensor::zeros(3, 5));
+        let _ = t.add_inplace(a, b);
+        assert_eq!(t.shape(a), (3, 5));
+    }
+
+    #[test]
+    fn tape_reuse_after_reset_is_bitwise_stable() {
+        crate::pool::reset();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let w = store.register("w", xavier_uniform(4, 4, &mut rng), true);
+        let run_once = |tape: &mut Tape| -> Vec<f32> {
+            let wv = tape.param(w);
+            let x = tape.input(Tensor::from_vec(
+                6,
+                4,
+                (0..24).map(|i| (i as f32 * 0.21).sin()).collect(),
+            ));
+            let h = tape.matmul(x, wv);
+            let h = tape.relu(h);
+            let s = tape.softmax_rows(h);
+            tape.value(s).as_slice().to_vec()
+        };
+        let mut tape = Tape::new(&store, false, 0);
+        let first = run_once(&mut tape);
+        tape.reset();
+        let second = run_once(&mut tape);
+        assert_eq!(
+            first, second,
+            "pool-recycled rerun must be bitwise identical"
+        );
+        let stats = crate::pool::stats();
+        assert!(stats.hits > 0, "second run should be served from the pool");
+    }
+
+    #[test]
     fn grad_sigmoid_bce() {
         grad_check((4, 1), |t, w| {
-            let x = t.input(Tensor::from_rows(&[&[1.0, -0.5, 0.2, 0.9], &[0.1, 0.4, -1.2, 0.0]]));
+            let x = t.input(Tensor::from_rows(&[
+                &[1.0, -0.5, 0.2, 0.9],
+                &[0.1, 0.4, -1.2, 0.0],
+            ]));
             let z = t.matmul(x, w);
             t.bce_with_logits(z, &[1.0, 0.0])
         });
@@ -964,7 +1616,12 @@ mod tests {
             let x = t.input(Tensor::from_rows(&[&[1.0, -1.0], &[2.0, 0.3], &[0.0, 1.0]]));
             let h = t.matmul(x, w);
             let s = t.softmax_rows(h);
-            t.mse_loss(s, &[0.1, 0.2, 0.3, 0.4, 0.25, 0.25, 0.25, 0.25, 0.7, 0.1, 0.1, 0.1])
+            t.mse_loss(
+                s,
+                &[
+                    0.1, 0.2, 0.3, 0.4, 0.25, 0.25, 0.25, 0.25, 0.7, 0.1, 0.1, 0.1,
+                ],
+            )
         });
     }
 

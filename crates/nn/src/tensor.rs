@@ -1,12 +1,322 @@
-//! Dense 2-D tensors of `f32`.
+//! Dense 2-D tensors of `f32` with pooled allocation and blocked kernels.
 //!
 //! Everything in the CirGPS model is expressible with rank-2 tensors
 //! (node-feature matrices `N × d`, weight matrices, row vectors `1 × d`,
 //! column vectors `n × 1`, and scalars `1 × 1`), so the tensor type is
 //! deliberately restricted to two dimensions. This keeps shape handling
 //! easy to audit and removes an entire class of broadcasting bugs.
+//!
+//! Performance notes:
+//!
+//! * All constructors draw their backing `Vec<f32>` from the thread-local
+//!   buffer pool ([`crate::pool`]); the autograd [`crate::Tape`] returns
+//!   buffers to the pool when it is dropped or reset, so steady-state
+//!   training does no per-op heap allocation.
+//! * The three matmul variants use cache-blocked kernels (k-panelled
+//!   i-k-j loops whose inner loop is a contiguous AXPY/dot) and switch to
+//!   a row-partitioned multi-threaded path above a size threshold — see
+//!   [`Tensor::matmul_parallel`] and `docs/perf.md`.
 
 use std::fmt;
+use std::sync::OnceLock;
+
+use crate::pool;
+
+/// k-panel height for the blocked GEMM kernels. A `KC × n` panel of the
+/// right-hand matrix stays cache-hot while every output row is updated,
+/// without changing the per-element accumulation order (k stays
+/// ascending), so blocked results are bitwise-equal to the naive i-k-j
+/// loop.
+const KC: usize = 128;
+
+/// Default multiply-accumulate count above which matmuls go parallel.
+const DEFAULT_PAR_MACS: usize = 4 << 20;
+
+/// MAC-count threshold for the parallel matmul path; override with the
+/// `CIRGPS_PAR_MACS` environment variable (`0` disables threading).
+fn par_macs_threshold() -> usize {
+    static CELL: OnceLock<usize> = OnceLock::new();
+    *CELL.get_or_init(|| {
+        std::env::var("CIRGPS_PAR_MACS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(DEFAULT_PAR_MACS)
+    })
+}
+
+fn hardware_threads() -> usize {
+    static CELL: OnceLock<usize> = OnceLock::new();
+    *CELL.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+fn use_parallel(m: usize, k: usize, n: usize) -> bool {
+    let threshold = par_macs_threshold();
+    threshold > 0
+        && hardware_threads() > 1
+        && m > 1
+        && m.saturating_mul(k).saturating_mul(n) >= threshold
+}
+
+/// `out += a · b` for row-major `a (m×k)`, `b (k×n)`, `out (m×n)`.
+///
+/// k-panelled so a `KC × n` slab of `b` stays cache-resident across all
+/// output rows, with the inner accumulation unrolled over four k-steps:
+/// the output row is streamed once per four B rows instead of once per
+/// row, which is what makes the small `d×d` model matmuls fast. The
+/// serial and parallel paths share this kernel, so they stay
+/// bitwise-identical; versus a naive i-k-j loop the 4-way grouping is
+/// tolerance-equal (different f32 summation tree), not bitwise.
+pub(crate) fn gemm_serial(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    if n == 1 {
+        // Column-vector RHS (e.g. the d→1 output heads): one dot product
+        // per output element; the AXPY loop would make k width-1 passes.
+        // Lives here (not in the `gemm` dispatcher) so serial, parallel,
+        // and auto paths all use the same kernel for this shape.
+        for (i, o) in out.iter_mut().enumerate() {
+            *o += dot(&a[i * k..(i + 1) * k], b);
+        }
+        return;
+    }
+    for p0 in (0..k).step_by(KC) {
+        let p1 = (p0 + KC).min(k);
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            let orow = &mut out[i * n..i * n + n];
+            let mut p = p0;
+            while p + 4 <= p1 {
+                let (a0, a1, a2, a3) = (arow[p], arow[p + 1], arow[p + 2], arow[p + 3]);
+                let b0 = &b[p * n..p * n + n];
+                let b1 = &b[(p + 1) * n..(p + 1) * n + n];
+                let b2 = &b[(p + 2) * n..(p + 2) * n + n];
+                let b3 = &b[(p + 3) * n..(p + 3) * n + n];
+                for ((((o, &v0), &v1), &v2), &v3) in orow.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3)
+                {
+                    *o += a0 * v0 + a1 * v1 + a2 * v2 + a3 * v3;
+                }
+                p += 4;
+            }
+            while p < p1 {
+                let av = arow[p];
+                let brow = &b[p * n..p * n + n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+                p += 1;
+            }
+        }
+    }
+}
+
+/// Row-partitioned parallel `out += a · b`. Each worker owns a disjoint
+/// band of output rows and runs the serial kernel on it, so the result
+/// is bitwise-identical to [`gemm_serial`].
+pub(crate) fn gemm_parallel(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    let threads = hardware_threads().min(m).max(1);
+    // Empty output: nothing to do (and `chunks_mut(0)` would panic).
+    if out.is_empty() || threads < 2 {
+        return gemm_serial(a, b, out, m, k, n);
+    }
+    let rows_per = m.div_ceil(threads);
+    std::thread::scope(|s| {
+        for (ti, ochunk) in out.chunks_mut(rows_per * n).enumerate() {
+            let i0 = ti * rows_per;
+            let rows = ochunk.len() / n;
+            let aband = &a[i0 * k..(i0 + rows) * k];
+            s.spawn(move || gemm_serial(aband, b, ochunk, rows, k, n));
+        }
+    });
+}
+
+pub(crate) fn gemm(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    if n != 1 && use_parallel(m, k, n) {
+        gemm_parallel(a, b, out, m, k, n);
+    } else {
+        gemm_serial(a, b, out, m, k, n);
+    }
+}
+
+/// Band kernel shared by the serial and parallel `aᵀ · b` paths: updates
+/// output rows `[i0, i0 + rows)` with the accumulation unrolled over four
+/// k-steps. Sharing one kernel keeps both paths bitwise-identical.
+fn atb_band(a: &[f32], b: &[f32], oband: &mut [f32], i0: usize, m: usize, k: usize, n: usize) {
+    let rows = oband.len().checked_div(n).unwrap_or(0);
+    let mut p = 0;
+    while p + 4 <= k {
+        let b0 = &b[p * n..p * n + n];
+        let b1 = &b[(p + 1) * n..(p + 1) * n + n];
+        let b2 = &b[(p + 2) * n..(p + 2) * n + n];
+        let b3 = &b[(p + 3) * n..(p + 3) * n + n];
+        for i in 0..rows {
+            let a0 = a[p * m + i0 + i];
+            let a1 = a[(p + 1) * m + i0 + i];
+            let a2 = a[(p + 2) * m + i0 + i];
+            let a3 = a[(p + 3) * m + i0 + i];
+            let orow = &mut oband[i * n..i * n + n];
+            for ((((o, &v0), &v1), &v2), &v3) in orow.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3) {
+                *o += a0 * v0 + a1 * v1 + a2 * v2 + a3 * v3;
+            }
+        }
+        p += 4;
+    }
+    while p < k {
+        let brow = &b[p * n..p * n + n];
+        for i in 0..rows {
+            let av = a[p * m + i0 + i];
+            let orow = &mut oband[i * n..i * n + n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+        p += 1;
+    }
+}
+
+/// `out += aᵀ · b` for row-major `a (k×m)`, `b (k×n)`, `out (m×n)`,
+/// without materializing the transpose.
+pub(crate) fn gemm_atb_serial(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), k * m);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    atb_band(a, b, out, 0, m, k, n);
+}
+
+/// Parallel `out += aᵀ · b`: workers own disjoint output-row bands
+/// (columns of `a`) and run the same band kernel, so results match
+/// [`gemm_atb_serial`] bitwise.
+pub(crate) fn gemm_atb_parallel(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    let threads = hardware_threads().min(m).max(1);
+    if out.is_empty() || threads < 2 {
+        return gemm_atb_serial(a, b, out, m, k, n);
+    }
+    let rows_per = m.div_ceil(threads);
+    std::thread::scope(|s| {
+        for (ti, ochunk) in out.chunks_mut(rows_per * n).enumerate() {
+            let i0 = ti * rows_per;
+            s.spawn(move || atb_band(a, b, ochunk, i0, m, k, n));
+        }
+    });
+}
+
+pub(crate) fn gemm_atb(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    if use_parallel(m, k, n) {
+        gemm_atb_parallel(a, b, out, m, k, n);
+    } else {
+        gemm_atb_serial(a, b, out, m, k, n);
+    }
+}
+
+/// Eight-lane unrolled dot product. The lane split breaks the serial
+/// floating-point dependency chain so the compiler can vectorize; the
+/// summation order is deterministic (lanes then remainder).
+#[inline]
+fn dot(x: &[f32], y: &[f32]) -> f32 {
+    let mut lanes = [0.0f32; 8];
+    let mut xc = x.chunks_exact(8);
+    let mut yc = y.chunks_exact(8);
+    for (cx, cy) in (&mut xc).zip(&mut yc) {
+        for l in 0..8 {
+            lanes[l] += cx[l] * cy[l];
+        }
+    }
+    let mut tail = 0.0f32;
+    for (&a, &b) in xc.remainder().iter().zip(yc.remainder()) {
+        tail += a * b;
+    }
+    let s0 = (lanes[0] + lanes[4]) + (lanes[1] + lanes[5]);
+    let s1 = (lanes[2] + lanes[6]) + (lanes[3] + lanes[7]);
+    (s0 + s1) + tail
+}
+
+/// `out += a · bᵀ` for row-major `a (m×k)`, `b (n×k)`, `out (m×n)`:
+/// every output element is an unrolled dot product of two rows.
+pub(crate) fn gemm_abt_serial(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(out.len(), m * n);
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (j, o) in orow.iter_mut().enumerate() {
+            *o += dot(arow, &b[j * k..(j + 1) * k]);
+        }
+    }
+}
+
+/// Row-partitioned parallel `out += a · bᵀ`; bitwise-equal to
+/// [`gemm_abt_serial`] because each element is one dot product.
+pub(crate) fn gemm_abt_parallel(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    let threads = hardware_threads().min(m).max(1);
+    if out.is_empty() || threads < 2 {
+        return gemm_abt_serial(a, b, out, m, k, n);
+    }
+    let rows_per = m.div_ceil(threads);
+    std::thread::scope(|s| {
+        for (ti, ochunk) in out.chunks_mut(rows_per * n).enumerate() {
+            let i0 = ti * rows_per;
+            let rows = ochunk.len() / n;
+            let aband = &a[i0 * k..(i0 + rows) * k];
+            s.spawn(move || gemm_abt_serial(aband, b, ochunk, rows, k, n));
+        }
+    });
+}
+
+pub(crate) fn gemm_abt(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    if use_parallel(m, k, n) {
+        gemm_abt_parallel(a, b, out, m, k, n);
+    } else {
+        gemm_abt_serial(a, b, out, m, k, n);
+    }
+}
+
+/// Branch-free `exp(x)`: Cephes-style range reduction (`exp(x) = 2^n ·
+/// exp(r)` with a Cody–Waite split of ln 2) plus a degree-6 polynomial
+/// for `exp(r)` on `[-ln2/2, ln2/2]`.
+///
+/// Relative error stays below `1e-6` over the full range — an order of
+/// magnitude inside the crate's 1e-5 numeric tolerance — and the
+/// function inlines into `map` loops where the compiler auto-vectorizes
+/// it, unlike a libm `expf` call. Inputs above ~88 saturate to `exp(88)`
+/// (≈ 1.7e38) instead of `inf`; NaN propagates.
+#[inline]
+#[allow(clippy::excessive_precision)] // Cody–Waite/minimax constants are exact by design.
+pub fn fast_exp(x: f32) -> f32 {
+    // Bounds where the 2^n exponent construction stays in range.
+    let x = x.clamp(-87.0, 88.0);
+    let n = (x * std::f32::consts::LOG2_E).round();
+    // Cody–Waite: subtract n·ln2 in two parts so r keeps full precision.
+    const C1: f32 = 0.693_359_375;
+    const C2: f32 = -2.121_944_4e-4;
+    let r = x - n * C1 - n * C2;
+    let z = r * r;
+    let p = ((((1.987_569_2e-4 * r + 1.398_200_0e-3) * r + 8.333_452_0e-3) * r + 4.166_579_6e-2)
+        * r
+        + 1.666_666_5e-1)
+        * r
+        + 5.000_000_1e-1;
+    let y = p * z + r + 1.0;
+    y * f32::from_bits((((n as i32) + 127) << 23) as u32)
+}
 
 /// A dense, row-major 2-D tensor of `f32`.
 ///
@@ -19,11 +329,23 @@ use std::fmt;
 /// assert_eq!(t.shape(), (2, 2));
 /// assert_eq!(t.get(1, 0), 3.0);
 /// ```
-#[derive(Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Tensor {
     rows: usize,
     cols: usize,
     data: Vec<f32>,
+}
+
+impl Clone for Tensor {
+    fn clone(&self) -> Self {
+        let mut data = pool::take_capacity(self.data.len());
+        data.extend_from_slice(&self.data);
+        Tensor {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
 }
 
 impl fmt::Debug for Tensor {
@@ -37,19 +359,25 @@ impl fmt::Debug for Tensor {
 }
 
 impl Tensor {
-    /// Creates a tensor filled with zeros.
+    /// Creates a tensor filled with zeros (pool-backed).
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Tensor { rows, cols, data: vec![0.0; rows * cols] }
+        Tensor {
+            rows,
+            cols,
+            data: pool::take_zeroed(rows * cols),
+        }
     }
 
     /// Creates a tensor filled with ones.
     pub fn ones(rows: usize, cols: usize) -> Self {
-        Tensor { rows, cols, data: vec![1.0; rows * cols] }
+        Tensor::full(rows, cols, 1.0)
     }
 
     /// Creates a tensor filled with `value`.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
-        Tensor { rows, cols, data: vec![value; rows * cols] }
+        let mut data = pool::take_capacity(rows * cols);
+        data.resize(rows * cols, value);
+        Tensor { rows, cols, data }
     }
 
     /// Creates a tensor from a flat row-major buffer.
@@ -77,27 +405,43 @@ impl Tensor {
     pub fn from_rows(rows: &[&[f32]]) -> Self {
         let r = rows.len();
         let c = rows.first().map_or(0, |x| x.len());
-        let mut data = Vec::with_capacity(r * c);
+        let mut data = pool::take_capacity(r * c);
         for row in rows {
             assert_eq!(row.len(), c, "inconsistent row length");
             data.extend_from_slice(row);
         }
-        Tensor { rows: r, cols: c, data }
+        Tensor {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Creates a `1 × 1` scalar tensor.
     pub fn scalar(v: f32) -> Self {
-        Tensor { rows: 1, cols: 1, data: vec![v] }
+        Tensor::row(&[v])
     }
 
     /// Creates a `1 × n` row vector.
     pub fn row(v: &[f32]) -> Self {
-        Tensor { rows: 1, cols: v.len(), data: v.to_vec() }
+        let mut data = pool::take_capacity(v.len());
+        data.extend_from_slice(v);
+        Tensor {
+            rows: 1,
+            cols: v.len(),
+            data,
+        }
     }
 
     /// Creates an `n × 1` column vector.
     pub fn col(v: &[f32]) -> Self {
-        Tensor { rows: v.len(), cols: 1, data: v.to_vec() }
+        let mut data = pool::take_capacity(v.len());
+        data.extend_from_slice(v);
+        Tensor {
+            rows: v.len(),
+            cols: 1,
+            data,
+        }
     }
 
     /// The `(rows, cols)` shape.
@@ -146,7 +490,10 @@ impl Tensor {
     ///
     /// Panics if out of bounds.
     pub fn get(&self, r: usize, c: usize) -> f32 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c]
     }
 
@@ -156,7 +503,10 @@ impl Tensor {
     ///
     /// Panics if out of bounds.
     pub fn set(&mut self, r: usize, c: usize, v: f32) {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c] = v;
     }
 
@@ -180,88 +530,113 @@ impl Tensor {
         self.data[0]
     }
 
-    /// Matrix product `self × rhs`.
-    ///
-    /// Uses an i-k-j loop order so the inner loop is a contiguous AXPY,
-    /// which the compiler auto-vectorizes.
-    ///
-    /// # Panics
-    ///
-    /// Panics on inner-dimension mismatch.
-    pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+    fn check_matmul(&self, rhs: &Tensor) {
         assert_eq!(
             self.cols, rhs.rows,
             "matmul shape mismatch: {}x{} * {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
+    }
+
+    /// Matrix product `self × rhs`.
+    ///
+    /// Uses the blocked kernel and switches to the row-partitioned
+    /// parallel path above the `CIRGPS_PAR_MACS` threshold; all paths
+    /// (including the `rhs.cols() == 1` dot-product shape) produce
+    /// bitwise-identical results to [`Tensor::matmul_serial`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+        self.check_matmul(rhs);
         let (m, k, n) = (self.rows, self.cols, rhs.cols);
-        let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let arow = &self.data[i * k..(i + 1) * k];
-            let orow = &mut out[i * n..(i + 1) * n];
-            for (p, &a) in arow.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let brow = &rhs.data[p * n..(p + 1) * n];
-                for (o, &b) in orow.iter_mut().zip(brow) {
-                    *o += a * b;
-                }
-            }
+        let mut out = pool::take_zeroed(m * n);
+        gemm(&self.data, &rhs.data, &mut out, m, k, n);
+        Tensor {
+            rows: m,
+            cols: n,
+            data: out,
         }
-        Tensor { rows: m, cols: n, data: out }
+    }
+
+    /// Matrix product via the serial blocked kernel, regardless of size.
+    ///
+    /// Exists so tests and benches can compare against
+    /// [`Tensor::matmul_parallel`]; `matmul` picks between the two.
+    pub fn matmul_serial(&self, rhs: &Tensor) -> Tensor {
+        self.check_matmul(rhs);
+        let (m, k, n) = (self.rows, self.cols, rhs.cols);
+        let mut out = pool::take_zeroed(m * n);
+        gemm_serial(&self.data, &rhs.data, &mut out, m, k, n);
+        Tensor {
+            rows: m,
+            cols: n,
+            data: out,
+        }
+    }
+
+    /// Matrix product via the row-partitioned threaded kernel, regardless
+    /// of size. Bitwise-equal to [`Tensor::matmul_serial`].
+    pub fn matmul_parallel(&self, rhs: &Tensor) -> Tensor {
+        self.check_matmul(rhs);
+        let (m, k, n) = (self.rows, self.cols, rhs.cols);
+        let mut out = pool::take_zeroed(m * n);
+        gemm_parallel(&self.data, &rhs.data, &mut out, m, k, n);
+        Tensor {
+            rows: m,
+            cols: n,
+            data: out,
+        }
     }
 
     /// Matrix product `selfᵀ × rhs` without materializing the transpose.
     pub fn t_matmul(&self, rhs: &Tensor) -> Tensor {
         assert_eq!(self.rows, rhs.rows, "t_matmul shape mismatch");
         let (m, k, n) = (self.cols, self.rows, rhs.cols);
-        let mut out = vec![0.0f32; m * n];
-        for p in 0..k {
-            let arow = &self.data[p * m..(p + 1) * m];
-            let brow = &rhs.data[p * n..(p + 1) * n];
-            for (i, &a) in arow.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let orow = &mut out[i * n..(i + 1) * n];
-                for (o, &b) in orow.iter_mut().zip(brow) {
-                    *o += a * b;
-                }
-            }
+        let mut out = pool::take_zeroed(m * n);
+        gemm_atb(&self.data, &rhs.data, &mut out, m, k, n);
+        Tensor {
+            rows: m,
+            cols: n,
+            data: out,
         }
-        Tensor { rows: m, cols: n, data: out }
     }
 
     /// Matrix product `self × rhsᵀ` without materializing the transpose.
     pub fn matmul_t(&self, rhs: &Tensor) -> Tensor {
         assert_eq!(self.cols, rhs.cols, "matmul_t shape mismatch");
         let (m, k, n) = (self.rows, self.cols, rhs.rows);
-        let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let arow = &self.data[i * k..(i + 1) * k];
-            let orow = &mut out[i * n..(i + 1) * n];
-            for (j, o) in orow.iter_mut().enumerate() {
-                let brow = &rhs.data[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (&a, &b) in arow.iter().zip(brow) {
-                    acc += a * b;
-                }
-                *o = acc;
-            }
+        let mut out = pool::take_zeroed(m * n);
+        gemm_abt(&self.data, &rhs.data, &mut out, m, k, n);
+        Tensor {
+            rows: m,
+            cols: n,
+            data: out,
         }
-        Tensor { rows: m, cols: n, data: out }
     }
 
-    /// Returns the transpose.
+    /// Returns the transpose (cache-blocked copy).
     pub fn transpose(&self) -> Tensor {
-        let mut out = vec![0.0f32; self.data.len()];
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out[c * self.rows + r] = self.data[r * self.cols + c];
+        const TB: usize = 32;
+        let (r, c) = (self.rows, self.cols);
+        let mut out = pool::take_zeroed(self.data.len());
+        for r0 in (0..r).step_by(TB) {
+            let r1 = (r0 + TB).min(r);
+            for c0 in (0..c).step_by(TB) {
+                let c1 = (c0 + TB).min(c);
+                for i in r0..r1 {
+                    for j in c0..c1 {
+                        out[j * r + i] = self.data[i * c + j];
+                    }
+                }
             }
         }
-        Tensor { rows: self.cols, cols: self.rows, data: out }
+        Tensor {
+            rows: c,
+            cols: r,
+            data: out,
+        }
     }
 
     /// Elementwise sum `self + rhs`.
@@ -288,12 +663,14 @@ impl Tensor {
         self.map(|v| v * s)
     }
 
-    /// Applies `f` to each element.
+    /// Applies `f` to each element (pool-backed output).
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        let mut data = pool::take_capacity(self.data.len());
+        data.extend(self.data.iter().map(|&v| f(v)));
         Tensor {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().map(|&v| f(v)).collect(),
+            data,
         }
     }
 
@@ -336,19 +713,33 @@ impl Tensor {
         self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
     }
 
-    /// Column-wise mean, returned as a `1 × cols` row vector.
-    pub fn col_mean(&self) -> Tensor {
-        let mut out = vec![0.0f32; self.cols];
+    /// Column-wise sum, returned as a `1 × cols` row vector.
+    pub fn col_sum(&self) -> Tensor {
+        let mut out = pool::take_zeroed(self.cols);
         for r in 0..self.rows {
             for (o, &v) in out.iter_mut().zip(self.row_slice(r)) {
                 *o += v;
             }
         }
-        let inv = if self.rows == 0 { 0.0 } else { 1.0 / self.rows as f32 };
-        for o in &mut out {
+        Tensor {
+            rows: 1,
+            cols: self.cols,
+            data: out,
+        }
+    }
+
+    /// Column-wise mean, returned as a `1 × cols` row vector.
+    pub fn col_mean(&self) -> Tensor {
+        let mut out = self.col_sum();
+        let inv = if self.rows == 0 {
+            0.0
+        } else {
+            1.0 / self.rows as f32
+        };
+        for o in out.data.iter_mut() {
             *o *= inv;
         }
-        Tensor { rows: 1, cols: self.cols, data: out }
+        out
     }
 
     fn zip_with(&self, rhs: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
@@ -359,11 +750,19 @@ impl Tensor {
             self.shape(),
             rhs.shape()
         );
+        let mut data = pool::take_capacity(self.data.len());
+        data.extend(self.data.iter().zip(&rhs.data).map(|(&a, &b)| f(a, b)));
         Tensor {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&rhs.data).map(|(&a, &b)| f(a, b)).collect(),
+            data,
         }
+    }
+
+    /// Returns the buffer to the thread-local pool. Called by the tape
+    /// when it retires intermediates; not part of the public API surface.
+    pub(crate) fn recycle(self) {
+        pool::put(self.data);
     }
 }
 
@@ -393,10 +792,83 @@ mod tests {
     }
 
     #[test]
-    fn matmul_t_equals_matmul_with_transpose() {
+    fn matmul_t_close_to_matmul_with_transpose() {
         let a = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
         let b = Tensor::from_rows(&[&[5.0, 6.0], &[7.0, 8.0], &[9.0, 1.0]]);
-        assert_eq!(a.matmul_t(&b), a.matmul(&b.transpose()));
+        let fused = a.matmul_t(&b);
+        let reference = a.matmul(&b.transpose());
+        assert_eq!(fused.shape(), reference.shape());
+        for (x, y) in fused.as_slice().iter().zip(reference.as_slice()) {
+            assert!((x - y).abs() < 1e-5, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn parallel_kernels_match_serial_exactly() {
+        // Larger-than-one-tile shapes so blocking and partitioning both
+        // engage; the parallel path must be bitwise-identical.
+        let k = 300;
+        let a = Tensor::from_vec(
+            37,
+            k,
+            (0..37 * k).map(|i| (i as f32 * 0.137).sin()).collect(),
+        );
+        let b = Tensor::from_vec(
+            k,
+            19,
+            (0..k * 19).map(|i| (i as f32 * 0.071).cos()).collect(),
+        );
+        assert_eq!(
+            a.matmul_serial(&b).as_slice(),
+            a.matmul_parallel(&b).as_slice()
+        );
+
+        let mut o1 = vec![0.0f32; a.cols() * b.cols()];
+        let mut o2 = vec![0.0f32; a.cols() * b.cols()];
+        let at = Tensor::from_vec(
+            k,
+            37,
+            (0..k * 37).map(|i| (i as f32 * 0.093).sin()).collect(),
+        );
+        gemm_atb_serial(at.as_slice(), b.as_slice(), &mut o1[..37 * 19], 37, k, 19);
+        gemm_atb_parallel(at.as_slice(), b.as_slice(), &mut o2[..37 * 19], 37, k, 19);
+        assert_eq!(&o1[..37 * 19], &o2[..37 * 19]);
+
+        let bt = Tensor::from_vec(
+            19,
+            k,
+            (0..19 * k).map(|i| (i as f32 * 0.059).cos()).collect(),
+        );
+        let mut o3 = vec![0.0f32; 37 * 19];
+        let mut o4 = vec![0.0f32; 37 * 19];
+        gemm_abt_serial(a.as_slice(), bt.as_slice(), &mut o3, 37, k, 19);
+        gemm_abt_parallel(a.as_slice(), bt.as_slice(), &mut o4, 37, k, 19);
+        assert_eq!(o3, o4);
+    }
+
+    #[test]
+    fn blocked_gemm_matches_naive_triple_loop() {
+        let (m, k, n) = (5, 200, 7);
+        let a: Vec<f32> = (0..m * k)
+            .map(|i| ((i * 31 % 17) as f32 - 8.0) * 0.25)
+            .collect();
+        let b: Vec<f32> = (0..k * n)
+            .map(|i| ((i * 13 % 23) as f32 - 11.0) * 0.125)
+            .collect();
+        let mut naive = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for p in 0..k {
+                    acc += a[i * k + p] * b[p * n + j];
+                }
+                naive[i * n + j] = acc;
+            }
+        }
+        let t = Tensor::from_vec(m, k, a).matmul(&Tensor::from_vec(k, n, b));
+        for (x, y) in t.as_slice().iter().zip(&naive) {
+            assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+        }
     }
 
     #[test]
@@ -413,6 +885,7 @@ mod tests {
     fn col_mean_averages_rows() {
         let a = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 6.0]]);
         assert_eq!(a.col_mean().as_slice(), &[2.0, 4.0]);
+        assert_eq!(a.col_sum().as_slice(), &[4.0, 8.0]);
     }
 
     #[test]
@@ -427,10 +900,58 @@ mod tests {
     fn transpose_round_trips() {
         let a = Tensor::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
         assert_eq!(a.transpose().transpose(), a);
+        // Multi-tile transpose.
+        let big = Tensor::from_vec(70, 41, (0..70 * 41).map(|i| i as f32).collect());
+        assert_eq!(big.transpose().transpose(), big);
+        assert_eq!(big.transpose().get(3, 50), big.get(50, 3));
     }
 
     #[test]
     fn scalar_item() {
         assert_eq!(Tensor::scalar(3.5).item(), 3.5);
+    }
+
+    #[test]
+    fn fast_exp_matches_std_exp() {
+        for i in -8700..=8800 {
+            let x = i as f32 * 0.01;
+            let got = fast_exp(x);
+            let want = x.exp();
+            let rel = (got - want).abs() / want.max(f32::MIN_POSITIVE);
+            assert!(rel < 1e-6, "x={x}: fast {got} vs std {want} (rel {rel})");
+        }
+        assert!(fast_exp(f32::NAN).is_nan());
+        assert!(fast_exp(-1000.0) >= 0.0);
+        assert!(fast_exp(1000.0).is_finite(), "saturates instead of inf");
+    }
+
+    #[test]
+    fn degenerate_shapes() {
+        let rowvec = Tensor::row(&[1.0, 2.0, 3.0]); // 1×3
+        let colvec = Tensor::col(&[4.0, 5.0, 6.0]); // 3×1
+        assert_eq!(rowvec.matmul(&colvec).item(), 32.0);
+        let outer = colvec.matmul(&rowvec);
+        assert_eq!(outer.shape(), (3, 3));
+        assert_eq!(outer.get(2, 0), 6.0);
+        let empty = Tensor::zeros(0, 4).matmul(&Tensor::zeros(4, 2));
+        assert_eq!(empty.shape(), (0, 2));
+        // Zero-column / zero-row outputs must not panic on any path.
+        let wide = Tensor::zeros(8, 4);
+        assert_eq!(wide.matmul_parallel(&Tensor::zeros(4, 0)).shape(), (8, 0));
+        assert_eq!(
+            Tensor::zeros(0, 4)
+                .matmul_parallel(&Tensor::zeros(4, 2))
+                .shape(),
+            (0, 2)
+        );
+        // n == 1 uses the dot kernel on every path; serial and parallel
+        // must still agree bitwise.
+        let a = Tensor::from_vec(9, 7, (0..63).map(|i| (i as f32 * 0.3).sin()).collect());
+        let b = Tensor::from_vec(7, 1, (0..7).map(|i| (i as f32 * 0.7).cos()).collect());
+        assert_eq!(a.matmul(&b).as_slice(), a.matmul_serial(&b).as_slice());
+        assert_eq!(
+            a.matmul_serial(&b).as_slice(),
+            a.matmul_parallel(&b).as_slice()
+        );
     }
 }

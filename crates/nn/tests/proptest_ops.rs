@@ -10,7 +10,137 @@ fn tensor_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
         .prop_map(move |v| Tensor::from_vec(rows, cols, v))
 }
 
+/// Random `(m, k, n)` matmul shapes, biased to include the degenerate
+/// `1 × d` (row-vector) and `n × 1` (column-vector) edge shapes.
+fn matmul_shapes() -> impl Strategy<Value = (usize, usize, usize)> {
+    prop_oneof![
+        (1usize..12, 1usize..12, 1usize..12),
+        // k spanning multiple 128-wide blocking panels.
+        (1usize..4, 120usize..200, 1usize..4),
+        Just((1usize, 7usize, 5usize)), // 1×d row vector input
+        Just((6usize, 1usize, 3usize)), // n×1 inner dimension
+        Just((5usize, 4usize, 1usize)), // n×1 output column
+        Just((1usize, 1usize, 1usize)),
+    ]
+}
+
+fn random_tensor(rows: usize, cols: usize, seed: u64) -> Tensor {
+    // Deterministic pseudo-random fill, cheap enough for large k.
+    Tensor::from_vec(
+        rows,
+        cols,
+        (0..rows * cols)
+            .map(|i| ((i as u64).wrapping_mul(seed + 1) % 97) as f32 * 0.04 - 1.9)
+            .collect(),
+    )
+}
+
+/// Naive i-j-k triple loop: the reference the optimized kernels are
+/// checked against.
+fn matmul_naive(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc += a.get(i, p) * b.get(p, j);
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    Tensor::from_vec(m, n, out)
+}
+
+fn assert_close(a: &Tensor, b: &Tensor, tol: f32) {
+    assert_eq!(a.shape(), b.shape());
+    for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+        assert!((x - y).abs() < tol, "{x} vs {y} (tol {tol})");
+    }
+}
+
 proptest! {
+    #[test]
+    fn blocked_matmul_matches_naive_reference(
+        (m, k, n) in matmul_shapes(),
+        seed in 0u64..1000,
+    ) {
+        let a = random_tensor(m, k, seed);
+        let b = random_tensor(k, n, seed ^ 0x9e37);
+        let reference = matmul_naive(&a, &b);
+        // Tolerance scales with k: each output element sums k products of
+        // values in [-2, 2].
+        let tol = 1e-5 * (1.0 + k as f32);
+        assert_close(&a.matmul(&b), &reference, tol);
+        assert_close(&a.matmul_serial(&b), &reference, tol);
+        // Transposed variants against the same reference.
+        assert_close(&a.transpose().t_matmul(&b), &reference, tol);
+        assert_close(&a.matmul_t(&b.transpose()), &reference, tol);
+    }
+
+    #[test]
+    fn parallel_matmul_equals_serial_exactly(
+        (m, k, n) in matmul_shapes(),
+        seed in 0u64..1000,
+    ) {
+        let a = random_tensor(m, k, seed);
+        let b = random_tensor(k, n, seed ^ 0x517c);
+        // Row partitioning preserves per-element accumulation order, so
+        // the threaded kernel must be bitwise-identical, not just close.
+        let serial = a.matmul_serial(&b);
+        let parallel = a.matmul_parallel(&b);
+        prop_assert_eq!(serial.as_slice(), parallel.as_slice());
+    }
+
+    #[test]
+    fn fused_linear_matches_unfused_composition(
+        (m, k, n) in matmul_shapes(),
+        seed in 0u64..1000,
+    ) {
+        let x = random_tensor(m, k, seed);
+        let w = random_tensor(k, n, seed ^ 0x2b1a);
+        let bias = random_tensor(1, n, seed ^ 0x77f3);
+
+        let store = ParamStore::new();
+        let mut t1 = Tape::new(&store, false, 0);
+        let (xv, wv, bv) = (t1.input(x.clone()), t1.input(w.clone()), t1.input(bias.clone()));
+        let fused = t1.linear(xv, wv, Some(bv));
+        let fused_relu = t1.linear_relu(xv, wv, Some(bv));
+
+        let mut t2 = Tape::new(&store, false, 0);
+        let (xv2, wv2, bv2) = (t2.input(x), t2.input(w), t2.input(bias));
+        let mm = t2.matmul(xv2, wv2);
+        let unfused = t2.add_bias(mm, bv2);
+        let unfused_relu = t2.relu(unfused);
+
+        let tol = 1e-5 * (1.0 + k as f32);
+        assert_close(t1.value(fused), t2.value(unfused), tol);
+        assert_close(t1.value(fused_relu), t2.value(unfused_relu), tol);
+    }
+
+    #[test]
+    fn pooled_rerun_is_bitwise_stable(
+        a in tensor_strategy(4, 6),
+        b in tensor_strategy(6, 3),
+    ) {
+        // Running the same op chain on a fresh tape after the first tape's
+        // buffers were recycled must give bit-identical results: recycled
+        // buffers carry no state.
+        let store = ParamStore::new();
+        let run = || {
+            let mut t = Tape::new(&store, false, 0);
+            let (av, bv) = (t.input(a.clone()), t.input(b.clone()));
+            let h = t.matmul(av, bv);
+            let h = t.relu(h);
+            let s = t.softmax_rows(h);
+            t.value(s).as_slice().to_vec()
+        };
+        let first = run();
+        let second = run();
+        prop_assert_eq!(first, second);
+    }
+
     #[test]
     fn matmul_is_associative_enough(
         a in tensor_strategy(3, 4),

@@ -23,8 +23,10 @@ pub fn lap_pe(sub: &Subgraph, k: usize) -> Vec<f32> {
     for &s in &sub.src {
         degree[s] += 1.0;
     }
-    let inv_sqrt_d: Vec<f64> =
-        degree.iter().map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 }).collect();
+    let inv_sqrt_d: Vec<f64> = degree
+        .iter()
+        .map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 })
+        .collect();
 
     // We need the k smallest non-trivial eigenpairs of
     // L = I − D^{-1/2} A D^{-1/2}. Eigenvalues of L lie in [0, 2], so the
@@ -36,9 +38,7 @@ pub fn lap_pe(sub: &Subgraph, k: usize) -> Vec<f32> {
 
     let apply_m = |x: &[f64], out: &mut [f64]| {
         // out = 2x − L x = x + D^{-1/2} A D^{-1/2} x
-        for i in 0..n {
-            out[i] = x[i];
-        }
+        out[..n].copy_from_slice(&x[..n]);
         for (&s, &d) in sub.src.iter().zip(&sub.dst) {
             out[d] += inv_sqrt_d[d] * inv_sqrt_d[s] * x[s];
         }
@@ -68,7 +68,11 @@ pub fn lap_pe(sub: &Subgraph, k: usize) -> Vec<f32> {
     }
     let (evals, evecs) = jacobi_eigen(&mut small);
     let mut order: Vec<usize> = (0..dim).collect();
-    order.sort_by(|&a, &b| evals[b].partial_cmp(&evals[a]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&a, &b| {
+        evals[b]
+            .partial_cmp(&evals[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
 
     // Rotate the basis into ritz vectors; drop the first (trivial) one.
     let mut out = vec![0.0f32; n * k];
@@ -146,6 +150,7 @@ fn gram_schmidt(basis: &mut [Vec<f64>]) {
 /// Jacobi eigendecomposition of a small symmetric matrix (in place).
 /// Returns `(eigenvalues, eigenvectors)` with eigenvectors as columns:
 /// `evecs[row][col]`.
+#[allow(clippy::needless_range_loop)] // symmetric-matrix rotations read clearest with indices
 fn jacobi_eigen(a: &mut [Vec<f64>]) -> (Vec<f64>, Vec<Vec<f64>>) {
     let n = a.len();
     let mut v = vec![vec![0.0f64; n]; n];
@@ -204,13 +209,20 @@ mod tests {
 
     fn path_subgraph(n: usize) -> Subgraph {
         let mut b = GraphBuilder::new();
-        let ids: Vec<u32> =
-            (0..n).map(|i| b.add_node(NodeType::Net, &format!("v{i}"))).collect();
+        let ids: Vec<u32> = (0..n)
+            .map(|i| b.add_node(NodeType::Net, &format!("v{i}")))
+            .collect();
         for w in ids.windows(2) {
             b.add_edge(w[0], w[1], EdgeType::NetPin);
         }
         let g = b.build();
-        let mut s = SubgraphSampler::new(&g, SamplerConfig { hops: 32, max_nodes: 4096 });
+        let mut s = SubgraphSampler::new(
+            &g,
+            SamplerConfig {
+                hops: 32,
+                max_nodes: 4096,
+            },
+        );
         s.node_subgraph(0)
     }
 
@@ -223,8 +235,10 @@ mod tests {
         let pe = lap_pe(&sub, 2);
         // Column 0 per node, in node order (BFS from 0 = path order).
         let col0: Vec<f32> = (0..12).map(|i| pe[i * 2]).collect();
-        let sign_changes =
-            col0.windows(2).filter(|w| (w[0] >= 0.0) != (w[1] >= 0.0)).count();
+        let sign_changes = col0
+            .windows(2)
+            .filter(|w| (w[0] >= 0.0) != (w[1] >= 0.0))
+            .count();
         assert_eq!(sign_changes, 1, "fiedler vector: {col0:?}");
         // Antisymmetric about the path center.
         for i in 0..6 {

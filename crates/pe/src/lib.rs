@@ -147,11 +147,20 @@ pub const DIST_CLASSES: usize = UNREACHABLE as usize + 1;
 pub fn compute_pe(sub: &Subgraph, kind: PeKind) -> PeFeatures {
     match kind {
         PeKind::None => PeFeatures::None { n: sub.num_nodes() },
-        PeKind::Xc => PeFeatures::Dense { data: sub.xc.clone(), dim: XC_DIM },
+        PeKind::Xc => PeFeatures::Dense {
+            data: sub.xc.clone(),
+            dim: XC_DIM,
+        },
         PeKind::Dspd => dspd(sub),
         PeKind::Drnl => drnl(sub),
-        PeKind::Rwse { k } => PeFeatures::Dense { data: rwse(sub, k), dim: k },
-        PeKind::LapPe { k } => PeFeatures::Dense { data: lap_pe(sub, k), dim: k },
+        PeKind::Rwse { k } => PeFeatures::Dense {
+            data: rwse(sub, k),
+            dim: k,
+        },
+        PeKind::LapPe { k } => PeFeatures::Dense {
+            data: lap_pe(sub, k),
+            dim: k,
+        },
     }
 }
 
@@ -194,7 +203,10 @@ pub fn drnl(sub: &Subgraph) -> PeFeatures {
         let half = d / 2;
         2 + (UNREACHABLE as usize) + half * (half - 1)
     };
-    PeFeatures::Categorical { codes, num_classes: worst.max(max_code + 1) }
+    PeFeatures::Categorical {
+        codes,
+        num_classes: worst.max(max_code + 1),
+    }
 }
 
 /// RWSE: `diag(P^t)` for `t = 1..=k`, where `P = D⁻¹A` is the random-walk
@@ -209,8 +221,10 @@ pub fn rwse(sub: &Subgraph, k: usize) -> Vec<f32> {
     for &s in &sub.src {
         degree[s] += 1.0;
     }
-    let inv_deg: Vec<f32> =
-        degree.iter().map(|&d| if d > 0.0 { 1.0 / d } else { 0.0 }).collect();
+    let inv_deg: Vec<f32> = degree
+        .iter()
+        .map(|&d| if d > 0.0 { 1.0 / d } else { 0.0 })
+        .collect();
 
     // cur = P^t (row-major), starting from identity.
     let mut cur = vec![0.0f32; n * n];
@@ -247,14 +261,21 @@ mod tests {
     fn triangle_plus_tail() -> Subgraph {
         // 0-1, 1-2, 2-0 triangle with tail 2-3.
         let mut b = GraphBuilder::new();
-        let ids: Vec<u32> =
-            (0..4).map(|i| b.add_node(NodeType::Net, &format!("v{i}"))).collect();
+        let ids: Vec<u32> = (0..4)
+            .map(|i| b.add_node(NodeType::Net, &format!("v{i}")))
+            .collect();
         b.add_edge(ids[0], ids[1], EdgeType::NetPin);
         b.add_edge(ids[1], ids[2], EdgeType::NetPin);
         b.add_edge(ids[2], ids[0], EdgeType::NetPin);
         b.add_edge(ids[2], ids[3], EdgeType::NetPin);
         let g = b.build();
-        let mut s = SubgraphSampler::new(&g, SamplerConfig { hops: 8, max_nodes: 64 });
+        let mut s = SubgraphSampler::new(
+            &g,
+            SamplerConfig {
+                hops: 8,
+                max_nodes: 64,
+            },
+        );
         s.enclosing_subgraph(0, 1)
     }
 
@@ -275,8 +296,7 @@ mod tests {
     #[test]
     fn drnl_anchor_labels_are_one() {
         let sub = triangle_plus_tail();
-        let PeFeatures::Categorical { codes, num_classes } = compute_pe(&sub, PeKind::Drnl)
-        else {
+        let PeFeatures::Categorical { codes, num_classes } = compute_pe(&sub, PeKind::Drnl) else {
             panic!("wrong variant")
         };
         assert_eq!(codes[0], 1);
@@ -338,7 +358,9 @@ mod tests {
     #[test]
     fn xc_pe_passes_statistics_through() {
         let sub = triangle_plus_tail();
-        let PeFeatures::Dense { data, dim } = compute_pe(&sub, PeKind::Xc) else { panic!() };
+        let PeFeatures::Dense { data, dim } = compute_pe(&sub, PeKind::Xc) else {
+            panic!()
+        };
         assert_eq!(dim, XC_DIM);
         assert_eq!(data.len(), sub.num_nodes() * XC_DIM);
     }

@@ -98,17 +98,23 @@ impl LinkDataset {
         // too sparse for common-neighbor structure to emerge.
         let mut injected: Vec<Edge> = Vec::with_capacity(all.len() + links.len());
         for group in [&all.p2n, &all.p2p, &all.n2n] {
-            injected.extend(group.iter().map(|l| Edge { a: l.a, b: l.b, ty: l.ty }));
+            injected.extend(group.iter().map(|l| Edge {
+                a: l.a,
+                b: l.b,
+                ty: l.ty,
+            }));
         }
-        injected.extend(
-            links
-                .iter()
-                .filter(|l| l.label < 0.5)
-                .map(|l| Edge { a: l.a, b: l.b, ty: l.ty }),
-        );
+        injected.extend(links.iter().filter(|l| l.label < 0.5).map(|l| Edge {
+            a: l.a,
+            b: l.b,
+            ty: l.ty,
+        }));
         let aug = graph.with_injected_links(&injected);
 
-        let sampler_cfg = SamplerConfig { hops: cfg.hops, max_nodes: cfg.max_nodes };
+        let sampler_cfg = SamplerConfig {
+            hops: cfg.hops,
+            max_nodes: cfg.max_nodes,
+        };
         let samples: Vec<LinkSample> = links
             .par_chunks(128)
             .flat_map_iter(|chunk| {
@@ -123,9 +129,9 @@ impl LinkDataset {
             })
             .collect();
 
-        let (sum_n, sum_e) = samples
-            .iter()
-            .fold((0usize, 0usize), |(n, e), s| (n + s.subgraph.num_nodes(), e + s.subgraph.num_edges()));
+        let (sum_n, sum_e) = samples.iter().fold((0usize, 0usize), |(n, e), s| {
+            (n + s.subgraph.num_nodes(), e + s.subgraph.num_edges())
+        });
         let count = samples.len().max(1) as f64;
         LinkDataset {
             design: design.to_string(),
@@ -171,6 +177,7 @@ impl NodeDataset {
     /// Builds the node-regression dataset: joins SPF *ground* capacitances
     /// onto net/pin nodes and extracts h-hop (default 2) subgraphs.
     /// No negative injection is used, matching Section IV-D.
+    #[allow(clippy::too_many_arguments)] // mirrors LinkDataset::build's signature
     pub fn build(
         design: &str,
         graph: &CircuitGraph,
@@ -188,7 +195,9 @@ impl NodeDataset {
             if g.value < 1e-21 || g.value > 1e-15 {
                 continue;
             }
-            let Some(v) = map.resolve(netlist, &g.node) else { continue };
+            let Some(v) = map.resolve(netlist, &g.node) else {
+                continue;
+            };
             // Only net and pin nodes carry ground-cap targets.
             if graph.node_type(v) == NodeType::Device {
                 continue;
@@ -202,7 +211,10 @@ impl NodeDataset {
         targets.shuffle(&mut rng);
         targets.truncate(max_samples);
 
-        let sampler_cfg = SamplerConfig { hops, max_nodes: 2048 };
+        let sampler_cfg = SamplerConfig {
+            hops,
+            max_nodes: 2048,
+        };
         let samples: Vec<NodeSample> = targets
             .par_chunks(128)
             .flat_map_iter(|chunk| {
@@ -217,7 +229,10 @@ impl NodeDataset {
                     .collect::<Vec<_>>()
             })
             .collect();
-        NodeDataset { design: design.to_string(), samples }
+        NodeDataset {
+            design: design.to_string(),
+            samples,
+        }
     }
 
     /// Number of samples.
@@ -247,7 +262,10 @@ mod tests {
             &design.netlist,
             &map,
             &spf,
-            &DatasetConfig { max_per_type: 150, ..Default::default() },
+            &DatasetConfig {
+                max_per_type: 150,
+                ..Default::default()
+            },
         )
     }
 
@@ -259,7 +277,10 @@ mod tests {
         let neg = ds.len() - pos;
         // Negatives match positives up to retry failures.
         assert!(neg > 0);
-        assert!((pos as f64 - neg as f64).abs() / pos as f64 <= 0.2, "pos={pos} neg={neg}");
+        assert!(
+            (pos as f64 - neg as f64).abs() / pos as f64 <= 0.2,
+            "pos={pos} neg={neg}"
+        );
     }
 
     #[test]
@@ -290,7 +311,12 @@ mod tests {
         let context_links: usize = ds
             .samples
             .iter()
-            .map(|s| s.subgraph.directed_edges().filter(|&(_, _, t)| t >= 2).count())
+            .map(|s| {
+                s.subgraph
+                    .directed_edges()
+                    .filter(|&(_, _, t)| t >= 2)
+                    .count()
+            })
             .sum();
         assert!(context_links > 0, "injection removed all coupling context");
     }

@@ -84,7 +84,13 @@ impl LinkSet {
             let Some(ty) = EdgeType::link_between(graph.node_type(a), graph.node_type(b)) else {
                 continue;
             };
-            let link = Link { a, b, ty, label: 1.0, cap: c.value };
+            let link = Link {
+                a,
+                b,
+                ty,
+                label: 1.0,
+                cap: c.value,
+            };
             match ty {
                 EdgeType::CouplingPinNet => set.p2n.push(link),
                 EdgeType::CouplingPinPin => set.p2p.push(link),
@@ -169,7 +175,13 @@ pub fn generate_negatives(
             break;
         }
         if let Some((a, b)) = found {
-            negatives.push(Link { a, b, ty: l.ty, label: 0.0, cap: 0.0 });
+            negatives.push(Link {
+                a,
+                b,
+                ty: l.ty,
+                label: 0.0,
+                cap: 0.0,
+            });
         }
     }
     negatives
@@ -221,7 +233,10 @@ mod tests {
         let n = links.balance_count();
         let bal = links.balanced(n, &mut rng);
         assert!(bal.len() <= 3 * n);
-        let p2n = bal.iter().filter(|l| l.ty == EdgeType::CouplingPinNet).count();
+        let p2n = bal
+            .iter()
+            .filter(|l| l.ty == EdgeType::CouplingPinNet)
+            .count();
         assert!(p2n <= n);
     }
 
@@ -242,8 +257,14 @@ mod tests {
         for n in &neg {
             assert_eq!(n.label, 0.0);
             assert_eq!(n.cap, 0.0);
-            assert!(!pos_keys.contains(&(n.a.min(n.b), n.a.max(n.b))), "negative hit a positive");
-            assert!(!graph.has_edge(n.a, n.b), "negative coincides with a schematic edge");
+            assert!(
+                !pos_keys.contains(&(n.a.min(n.b), n.a.max(n.b))),
+                "negative hit a positive"
+            );
+            assert!(
+                !graph.has_edge(n.a, n.b),
+                "negative coincides with a schematic edge"
+            );
         }
     }
 

@@ -88,7 +88,10 @@ impl CapNormalizer {
     /// Panics unless `0 < lo < hi`.
     pub fn from_range(lo: f64, hi: f64) -> Self {
         assert!(lo > 0.0 && hi > lo, "invalid capacitance range");
-        CapNormalizer { log_min: lo.log10(), log_max: hi.log10() }
+        CapNormalizer {
+            log_min: lo.log10(),
+            log_max: hi.log10(),
+        }
     }
 
     /// Encodes a capacitance (farads) to a `[0, 1]` target.
@@ -153,7 +156,10 @@ mod tests {
         for cap in [1e-21, 1e-18, 3.7e-17, 1e-15] {
             let y = n.encode(cap);
             let back = n.decode(y);
-            assert!((back.log10() - cap.log10()).abs() < 1e-3, "{cap} -> {y} -> {back}");
+            assert!(
+                (back.log10() - cap.log10()).abs() < 1e-3,
+                "{cap} -> {y} -> {back}"
+            );
         }
     }
 
@@ -165,6 +171,9 @@ mod tests {
         assert_eq!(n.encode(1e-15), 1.0);
         assert!(n.encode(1e-10) <= 1.0);
         let mid = n.encode(1e-18);
-        assert!(mid > 0.4 && mid < 0.6, "1e-18 should be mid-range, got {mid}");
+        assert!(
+            mid > 0.4 && mid < 0.6,
+            "1e-18 should be mid-range, got {mid}"
+        );
     }
 }

@@ -106,7 +106,10 @@ pub struct SamplerConfig {
 
 impl Default for SamplerConfig {
     fn default() -> Self {
-        SamplerConfig { hops: 1, max_nodes: 2048 }
+        SamplerConfig {
+            hops: 1,
+            max_nodes: 2048,
+        }
     }
 }
 
@@ -121,7 +124,11 @@ pub struct SubgraphSampler<'g> {
 impl<'g> SubgraphSampler<'g> {
     /// Creates a sampler over `graph`.
     pub fn new(graph: &'g CircuitGraph, cfg: SamplerConfig) -> Self {
-        SubgraphSampler { graph, cfg, scratch: BfsScratch::new(graph.num_nodes()) }
+        SubgraphSampler {
+            graph,
+            cfg,
+            scratch: BfsScratch::new(graph.num_nodes()),
+        }
     }
 
     /// The graph being sampled.
@@ -208,7 +215,11 @@ impl<'g> SubgraphSampler<'g> {
             dist_b: Vec::new(),
         };
         sg.dist_a = sg.bfs_local(0);
-        sg.dist_b = if anchors.len() > 1 { sg.bfs_local(1) } else { sg.dist_a.clone() };
+        sg.dist_b = if anchors.len() > 1 {
+            sg.bfs_local(1)
+        } else {
+            sg.dist_a.clone()
+        };
         sg
     }
 }
@@ -223,7 +234,14 @@ mod tests {
         let mut b = GraphBuilder::new();
         let ids: Vec<u32> = (0..n)
             .map(|i| {
-                b.add_node(if i % 2 == 0 { NodeType::Net } else { NodeType::Pin }, &format!("v{i}"))
+                b.add_node(
+                    if i % 2 == 0 {
+                        NodeType::Net
+                    } else {
+                        NodeType::Pin
+                    },
+                    &format!("v{i}"),
+                )
             })
             .collect();
         for w in ids.windows(2) {
@@ -235,7 +253,13 @@ mod tests {
     #[test]
     fn one_hop_link_subgraph() {
         let g = path(7);
-        let mut s = SubgraphSampler::new(&g, SamplerConfig { hops: 1, max_nodes: 100 });
+        let mut s = SubgraphSampler::new(
+            &g,
+            SamplerConfig {
+                hops: 1,
+                max_nodes: 100,
+            },
+        );
         // Link (2,3): 1-hop union = {2,3} ∪ {1,4} = 4 nodes.
         let sg = s.enclosing_subgraph(2, 3);
         assert_eq!(sg.num_nodes(), 4);
@@ -249,7 +273,13 @@ mod tests {
     #[test]
     fn dspd_distances_in_subgraph() {
         let g = path(7);
-        let mut s = SubgraphSampler::new(&g, SamplerConfig { hops: 1, max_nodes: 100 });
+        let mut s = SubgraphSampler::new(
+            &g,
+            SamplerConfig {
+                hops: 1,
+                max_nodes: 100,
+            },
+        );
         let sg = s.enclosing_subgraph(2, 3);
         // local 0 = node 2, local 1 = node 3.
         assert_eq!(sg.dist_a[0], 0);
@@ -263,7 +293,13 @@ mod tests {
     #[test]
     fn every_directed_edge_has_reverse() {
         let g = path(9);
-        let mut s = SubgraphSampler::new(&g, SamplerConfig { hops: 2, max_nodes: 100 });
+        let mut s = SubgraphSampler::new(
+            &g,
+            SamplerConfig {
+                hops: 2,
+                max_nodes: 100,
+            },
+        );
         let sg = s.enclosing_subgraph(4, 5);
         let pairs: std::collections::HashSet<(usize, usize)> =
             sg.src.iter().zip(&sg.dst).map(|(&a, &b)| (a, b)).collect();
@@ -275,7 +311,13 @@ mod tests {
     #[test]
     fn node_subgraph_has_single_anchor_and_equal_dists() {
         let g = path(9);
-        let mut s = SubgraphSampler::new(&g, SamplerConfig { hops: 2, max_nodes: 100 });
+        let mut s = SubgraphSampler::new(
+            &g,
+            SamplerConfig {
+                hops: 2,
+                max_nodes: 100,
+            },
+        );
         let sg = s.node_subgraph(4);
         assert_eq!(sg.num_anchors, 1);
         assert_eq!(sg.num_nodes(), 5); // 4 ± 2 hops
@@ -292,7 +334,13 @@ mod tests {
             b.add_edge(c, leaf, EdgeType::NetPin);
         }
         let g = b.build();
-        let mut s = SubgraphSampler::new(&g, SamplerConfig { hops: 1, max_nodes: 10 });
+        let mut s = SubgraphSampler::new(
+            &g,
+            SamplerConfig {
+                hops: 1,
+                max_nodes: 10,
+            },
+        );
         let sg = s.node_subgraph(c);
         assert_eq!(sg.num_nodes(), 10);
         assert_eq!(sg.nodes[0], c, "anchor survives truncation");

@@ -31,8 +31,10 @@ pub fn net_capacitances_with(
 ) -> Vec<f64> {
     let mut caps = vec![0.0f64; netlist.num_nets()];
     // Device-name → device for pin resolution.
-    let dev_net: HashMap<&str, &ams_netlist::Device> =
-        netlist.devices().map(|(_, d)| (d.name.as_str(), d)).collect();
+    let dev_net: HashMap<&str, &ams_netlist::Device> = netlist
+        .devices()
+        .map(|(_, d)| (d.name.as_str(), d))
+        .collect();
     let resolve = |node: &SpfNode| -> Option<usize> {
         match node {
             SpfNode::Net(name) => netlist.net_id(name).map(|id| id.0 as usize),
@@ -108,7 +110,11 @@ pub fn simulate_energy(
         total += t;
         energy += 0.5 * caps.get(v).copied().unwrap_or(0.0) * vdd * vdd * t as f64;
     }
-    EnergyResult { energy, total_toggles: total, vectors }
+    EnergyResult {
+        energy,
+        total_toggles: total,
+        vectors,
+    }
 }
 
 #[cfg(test)]
@@ -129,15 +135,24 @@ M4 Z mid VDD VDD pch W=0.2u L=0.03u
     fn buf_with_spf() -> (Netlist, SpfFile) {
         let nl = SpiceFile::parse(BUF).unwrap().flatten("BUF").unwrap();
         let mut spf = SpfFile::new("BUF");
-        spf.ground_caps.push(GroundCap { node: SpfNode::Net("mid".into()), value: 1e-16 });
-        spf.ground_caps.push(GroundCap { node: SpfNode::Net("Z".into()), value: 2e-16 });
+        spf.ground_caps.push(GroundCap {
+            node: SpfNode::Net("mid".into()),
+            value: 1e-16,
+        });
+        spf.ground_caps.push(GroundCap {
+            node: SpfNode::Net("Z".into()),
+            value: 2e-16,
+        });
         spf.coupling_caps.push(CouplingCap {
             a: SpfNode::Net("mid".into()),
             b: SpfNode::Net("Z".into()),
             value: 4e-17,
         });
         spf.coupling_caps.push(CouplingCap {
-            a: SpfNode::Pin { device: "M1".into(), pin: "G".into() },
+            a: SpfNode::Pin {
+                device: "M1".into(),
+                pin: "G".into(),
+            },
             b: SpfNode::Net("mid".into()),
             value: 2e-17,
         });
@@ -165,7 +180,10 @@ M4 Z mid VDD VDD pch W=0.2u L=0.03u
         let doubled: Vec<f64> = caps.iter().map(|c| 2.0 * c).collect();
         let e2 = simulate_energy(&nl, &doubled, 0.9, 40, 3);
         assert!(e1.energy > 0.0);
-        assert_eq!(e1.total_toggles, e2.total_toggles, "activity must not depend on caps");
+        assert_eq!(
+            e1.total_toggles, e2.total_toggles,
+            "activity must not depend on caps"
+        );
         assert!((e2.energy / e1.energy - 2.0).abs() < 1e-9);
     }
 

@@ -105,7 +105,12 @@ impl SwitchSim {
                 DeviceKind::Resistor => {
                     let a = dev.terminals[0].0 as usize;
                     let b = dev.terminals[1].0 as usize;
-                    channels.push(Channel { a, b, gate: None, on_high: true });
+                    channels.push(Channel {
+                        a,
+                        b,
+                        gate: None,
+                        on_high: true,
+                    });
                 }
                 // Capacitors and diodes do not form logic paths.
                 DeviceKind::Capacitor | DeviceKind::Diode => {}
@@ -167,7 +172,9 @@ impl SwitchSim {
     ///
     /// Panics if the net does not exist.
     pub fn drive(&mut self, net: &str, value: Logic) {
-        let id = self.net_index(net).unwrap_or_else(|| panic!("unknown net {net:?}"));
+        let id = self
+            .net_index(net)
+            .unwrap_or_else(|| panic!("unknown net {net:?}"));
         self.driven[id] = Some(value);
     }
 
@@ -189,7 +196,9 @@ impl SwitchSim {
     ///
     /// Panics if the net does not exist.
     pub fn value(&self, net: &str) -> Logic {
-        self.values[self.net_index(net).unwrap_or_else(|| panic!("unknown net {net:?}"))]
+        self.values[self
+            .net_index(net)
+            .unwrap_or_else(|| panic!("unknown net {net:?}"))]
     }
 
     /// Current value by id.
@@ -230,7 +239,7 @@ impl SwitchSim {
                 break;
             }
         }
-        for (v, (&old, &new)) in prev.iter().zip(&self.values).enumerate().map(|(i, p)| (i, p)) {
+        for (v, (&old, &new)) in prev.iter().zip(&self.values).enumerate() {
             let flipped = matches!(
                 (old, new),
                 (Logic::Zero, Logic::One) | (Logic::One, Logic::Zero)
@@ -316,12 +325,23 @@ impl SwitchSim {
         for step in 0..vectors {
             for name in inputs {
                 if rng.gen_bool(0.35) {
-                    let v = if rng.gen_bool(0.5) { Logic::One } else { Logic::Zero };
+                    let v = if rng.gen_bool(0.5) {
+                        Logic::One
+                    } else {
+                        Logic::Zero
+                    };
                     self.drive(name, v);
                 }
             }
             for clk in &clk_nets {
-                self.drive(clk, if step % 2 == 0 { Logic::One } else { Logic::Zero });
+                self.drive(
+                    clk,
+                    if step % 2 == 0 {
+                        Logic::One
+                    } else {
+                        Logic::Zero
+                    },
+                );
             }
             total += self.settle();
         }

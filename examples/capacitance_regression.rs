@@ -25,14 +25,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &design.netlist,
         &map,
         &spf,
-        &DatasetConfig { max_per_type: 120, ..Default::default() },
+        &DatasetConfig {
+            max_per_type: 120,
+            ..Default::default()
+        },
     );
     let xcn = XcNormalizer::fit(&[&graph]);
     let cap = CapNormalizer::paper_range();
     // Targets: log-min-max normalized capacitance; negatives are zero.
     let samples = prepare_link_dataset(&ds, PeKind::Dspd, &xcn, |c| cap.encode(c));
     let (train, test) = samples.split_at(samples.len() * 4 / 5);
-    let tcfg = TrainConfig { epochs: 5, ..Default::default() };
+    let tcfg = TrainConfig {
+        epochs: 5,
+        ..Default::default()
+    };
 
     // Strategy 1: from scratch.
     let mut scratch = CircuitGps::new(ModelConfig::default());
@@ -58,9 +64,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let m3 = evaluate_regression(&all_ft, test);
 
     println!("capacitance regression on held-out SSRAM links:");
-    println!("  scratch : MAE {:.3}  RMSE {:.3}  R2 {:.3}", m1.mae, m1.rmse, m1.r2);
-    println!("  head-ft : MAE {:.3}  RMSE {:.3}  R2 {:.3}", m2.mae, m2.rmse, m2.r2);
-    println!("  all-ft  : MAE {:.3}  RMSE {:.3}  R2 {:.3}", m3.mae, m3.rmse, m3.r2);
+    println!(
+        "  scratch : MAE {:.3}  RMSE {:.3}  R2 {:.3}",
+        m1.mae, m1.rmse, m1.r2
+    );
+    println!(
+        "  head-ft : MAE {:.3}  RMSE {:.3}  R2 {:.3}",
+        m2.mae, m2.rmse, m2.r2
+    );
+    println!(
+        "  all-ft  : MAE {:.3}  RMSE {:.3}  R2 {:.3}",
+        m3.mae, m3.rmse, m3.r2
+    );
 
     // Decode one prediction back to farads.
     if let Some(s) = test.first() {

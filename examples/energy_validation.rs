@@ -10,8 +10,7 @@ use cirgps::datagen::{generate_with_parasitics, DesignKind, SizePreset};
 use cirgps::spice::{net_capacitances, net_capacitances_with, simulate_energy};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let (design, spf) =
-        generate_with_parasitics(DesignKind::DigitalClkGen, SizePreset::Tiny, 7)?;
+    let (design, spf) = generate_with_parasitics(DesignKind::DigitalClkGen, SizePreset::Tiny, 7)?;
     println!(
         "{}: {} devices, {} ground caps, {} coupling caps",
         design.name,
@@ -43,7 +42,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     });
     let e_pred = simulate_energy(&design.netlist, &caps_pred, 0.9, 48, 3);
     let norm = e_pred.energy / e_gt.energy;
-    println!("perturbed prediction: {:.3e} J (normalized {:.3})", e_pred.energy, norm);
-    println!("energy error: {:.1}% despite 25% per-coupling error", (norm - 1.0).abs() * 100.0);
+    println!(
+        "perturbed prediction: {:.3e} J (normalized {:.3})",
+        e_pred.energy, norm
+    );
+    println!(
+        "energy error: {:.1}% despite 25% per-coupling error",
+        (norm - 1.0).abs() * 100.0
+    );
     Ok(())
 }

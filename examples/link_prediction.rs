@@ -16,10 +16,7 @@ use cirgps::sample::{CapNormalizer, DatasetConfig, LinkDataset, XcNormalizer};
 fn build(
     kind: DesignKind,
     seed: u64,
-) -> Result<
-    (cirgps::graph::CircuitGraph, LinkDataset),
-    Box<dyn std::error::Error>,
-> {
+) -> Result<(cirgps::graph::CircuitGraph, LinkDataset), Box<dyn std::error::Error>> {
     let (design, spf) = generate_with_parasitics(kind, SizePreset::Tiny, seed)?;
     let (graph, map) = netlist_to_graph(&design.netlist);
     let ds = LinkDataset::build(
@@ -28,7 +25,10 @@ fn build(
         &design.netlist,
         &map,
         &spf,
-        &DatasetConfig { max_per_type: 120, ..Default::default() },
+        &DatasetConfig {
+            max_per_type: 120,
+            ..Default::default()
+        },
     );
     Ok((graph, ds))
 }
@@ -47,7 +47,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut model = CircuitGps::new(ModelConfig::default());
     println!("pre-training on {} SSRAM link samples...", train.len());
-    pretrain_link(&mut model, &train, &TrainConfig { epochs: 5, log_every: 1, ..Default::default() });
+    pretrain_link(
+        &mut model,
+        &train,
+        &TrainConfig {
+            epochs: 5,
+            log_every: 1,
+            ..Default::default()
+        },
+    );
 
     // Save the meta-learner checkpoint, as the paper does before
     // fine-tuning or zero-shot transfer.

@@ -33,10 +33,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &mut model,
         train,
         FinetuneMode::Scratch,
-        &TrainConfig { epochs: 6, log_every: 2, ..Default::default() },
+        &TrainConfig {
+            epochs: 6,
+            log_every: 2,
+            ..Default::default()
+        },
     );
     let m = evaluate_regression(&model, test);
-    println!("ground-capacitance regression: MAE {:.3}  RMSE {:.3}  R2 {:.3}", m.mae, m.rmse, m.r2);
+    println!(
+        "ground-capacitance regression: MAE {:.3}  RMSE {:.3}  R2 {:.3}",
+        m.mae, m.rmse, m.r2
+    );
 
     // Show a few decoded predictions.
     for s in test.iter().take(5) {

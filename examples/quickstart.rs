@@ -16,8 +16,7 @@ use cirgps::sample::{CapNormalizer, DatasetConfig, LinkDataset, XcNormalizer};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Generate a synthetic AMS design and its parasitic ground truth
     //    (stands in for a real netlist + post-layout SPF).
-    let (design, spf) =
-        generate_with_parasitics(DesignKind::TimingControl, SizePreset::Tiny, 7)?;
+    let (design, spf) = generate_with_parasitics(DesignKind::TimingControl, SizePreset::Tiny, 7)?;
     println!(
         "design {}: {} devices, {} nets, {} couplings extracted",
         design.name,
@@ -39,7 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &design.netlist,
         &map,
         &spf,
-        &DatasetConfig { max_per_type: 100, ..Default::default() },
+        &DatasetConfig {
+            max_per_type: 100,
+            ..Default::default()
+        },
     );
     println!(
         "dataset: {} samples, mean subgraph {:.0} nodes / {:.0} edges",
@@ -59,7 +61,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let history = pretrain_link(
         &mut model,
         &samples,
-        &TrainConfig { epochs: 4, log_every: 1, ..Default::default() },
+        &TrainConfig {
+            epochs: 4,
+            log_every: 1,
+            ..Default::default()
+        },
     );
     println!("trained in {:.1}s", history.seconds);
 

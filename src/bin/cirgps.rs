@@ -93,12 +93,14 @@ fn design_kind(name: &str) -> Result<DesignKind, String> {
 }
 
 fn preset(flags: &HashMap<String, String>) -> Result<SizePreset, String> {
-    Ok(match flags.get("preset").map(String::as_str).unwrap_or("tiny") {
-        "tiny" => SizePreset::Tiny,
-        "small" => SizePreset::Small,
-        "paper" => SizePreset::Paper,
-        other => return Err(format!("unknown preset {other:?}")),
-    })
+    Ok(
+        match flags.get("preset").map(String::as_str).unwrap_or("tiny") {
+            "tiny" => SizePreset::Tiny,
+            "small" => SizePreset::Small,
+            "paper" => SizePreset::Paper,
+            other => return Err(format!("unknown preset {other:?}")),
+        },
+    )
 }
 
 fn seed(flags: &HashMap<String, String>) -> Result<u64, String> {
@@ -125,8 +127,8 @@ fn load_spf(flags: &HashMap<String, String>) -> Result<SpfFile, String> {
 fn cmd_gen(flags: &HashMap<String, String>) -> Result<(), String> {
     let kind = design_kind(flags.get("kind").ok_or("--kind is required")?)?;
     let out_dir = flags.get("out").cloned().unwrap_or_else(|| ".".into());
-    let (design, spf) = generate_with_parasitics(kind, preset(flags)?, seed(flags)?)
-        .map_err(|e| e.to_string())?;
+    let (design, spf) =
+        generate_with_parasitics(kind, preset(flags)?, seed(flags)?).map_err(|e| e.to_string())?;
     fs::create_dir_all(&out_dir).map_err(|e| e.to_string())?;
     let sp_path = format!("{out_dir}/{}.sp", design.name);
     let spf_path = format!("{out_dir}/{}.spf", design.name);
@@ -177,7 +179,10 @@ fn cmd_sample(flags: &HashMap<String, String>) -> Result<(), String> {
         &netlist,
         &map,
         &spf,
-        &DatasetConfig { max_per_type: per_type, ..Default::default() },
+        &DatasetConfig {
+            max_per_type: per_type,
+            ..Default::default()
+        },
     );
     println!("design {}: {} samples", ds.design, ds.len());
     println!(
@@ -207,7 +212,11 @@ fn cmd_energy(flags: &HashMap<String, String>) -> Result<(), String> {
     let caps = net_capacitances(&netlist, &spf);
     let total_cap: f64 = caps.iter().sum();
     let result = simulate_energy(&netlist, &caps, vdd, vectors, seed(flags)?);
-    println!("total lumped capacitance: {:.3e} F over {} nets", total_cap, netlist.num_nets());
+    println!(
+        "total lumped capacitance: {:.3e} F over {} nets",
+        total_cap,
+        netlist.num_nets()
+    );
     println!(
         "switching energy: {:.3e} J across {} vectors ({} toggles)",
         result.energy, result.vectors, result.total_toggles

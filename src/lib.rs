@@ -42,10 +42,10 @@
 
 pub use ams_datagen as datagen;
 pub use ams_netlist as netlist;
-pub use cirgps_baselines as baselines;
-pub use cirgps_nn as nn;
 pub use circuit_graph as graph;
 pub use circuitgps as model;
+pub use cirgps_baselines as baselines;
+pub use cirgps_nn as nn;
 pub use graph_pe as pe;
 pub use mini_spice as spice;
 pub use subgraph_sample as sample;

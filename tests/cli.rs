@@ -14,10 +14,16 @@ fn cli_full_workflow() {
 
     // gen
     let out = cirgps()
-        .args(["gen", "--kind", "timing", "--preset", "tiny", "--seed", "3", "--out", &dir_s])
+        .args([
+            "gen", "--kind", "timing", "--preset", "tiny", "--seed", "3", "--out", &dir_s,
+        ])
         .output()
         .expect("run gen");
-    assert!(out.status.success(), "gen failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "gen failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let sp = format!("{dir_s}/TIMING_CONTROL.sp");
     let spf = format!("{dir_s}/TIMING_CONTROL.spf");
     assert!(std::path::Path::new(&sp).exists());
@@ -28,7 +34,11 @@ fn cli_full_workflow() {
         .args(["stats", "--netlist", &sp, "--top", "TIMING_CONTROL"])
         .output()
         .expect("run stats");
-    assert!(out.status.success(), "stats failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stats failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("TIMING_CONTROL"), "{text}");
     assert!(text.contains("transistors"), "{text}");
@@ -48,7 +58,11 @@ fn cli_full_workflow() {
         ])
         .output()
         .expect("run sample");
-    assert!(out.status.success(), "sample failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "sample failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("mean enclosing subgraph"), "{text}");
 
@@ -67,7 +81,11 @@ fn cli_full_workflow() {
         ])
         .output()
         .expect("run energy");
-    assert!(out.status.success(), "energy failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "energy failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("switching energy"), "{text}");
 
@@ -80,7 +98,10 @@ fn cli_reports_errors_cleanly() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
 
-    let out = cirgps().args(["gen", "--kind", "nonexistent"]).output().expect("run");
+    let out = cirgps()
+        .args(["gen", "--kind", "nonexistent"])
+        .output()
+        .expect("run");
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown design kind"));
 

@@ -28,8 +28,8 @@ fn generated_design_round_trips_through_spice_text() {
 
 #[test]
 fn spf_round_trips_and_rejoins_onto_graph() {
-    let (design, spf) = generate_with_parasitics(DesignKind::Array128x32, SizePreset::Tiny, 2)
-        .expect("generation");
+    let (design, spf) =
+        generate_with_parasitics(DesignKind::Array128x32, SizePreset::Tiny, 2).expect("generation");
     let text = spf.to_text();
     let reparsed = SpfFile::parse(&text).expect("spf must re-parse");
     assert_eq!(reparsed.coupling_caps.len(), spf.coupling_caps.len());

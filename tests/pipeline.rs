@@ -20,7 +20,10 @@ fn tiny_pipeline_data() -> (cirgps::graph::CircuitGraph, LinkDataset) {
         &design.netlist,
         &map,
         &spf,
-        &DatasetConfig { max_per_type: 80, ..Default::default() },
+        &DatasetConfig {
+            max_per_type: 80,
+            ..Default::default()
+        },
     );
     (graph, ds)
 }
@@ -39,7 +42,10 @@ fn end_to_end_link_prediction_learns() {
         num_layers: 2,
         ..ModelConfig::default()
     });
-    let cfg = TrainConfig { epochs: 3, ..Default::default() };
+    let cfg = TrainConfig {
+        epochs: 3,
+        ..Default::default()
+    };
     let hist = pretrain_link(&mut model, &samples, &cfg);
     assert!(
         hist.epoch_losses.last().unwrap() < &hist.epoch_losses[0],
@@ -48,7 +54,11 @@ fn end_to_end_link_prediction_learns() {
     );
     let m = evaluate_link(&model, &samples);
     assert!(m.auc > 0.85, "training-set AUC too low: {:.3}", m.auc);
-    assert!(m.accuracy > 0.75, "training-set accuracy too low: {:.3}", m.accuracy);
+    assert!(
+        m.accuracy > 0.75,
+        "training-set accuracy too low: {:.3}",
+        m.accuracy
+    );
 }
 
 #[test]
@@ -63,16 +73,27 @@ fn end_to_end_regression_beats_constant_predictor() {
         num_layers: 2,
         ..ModelConfig::default()
     });
-    let cfg = TrainConfig { epochs: 4, ..Default::default() };
+    let cfg = TrainConfig {
+        epochs: 4,
+        ..Default::default()
+    };
     finetune_regression(&mut model, &samples, FinetuneMode::Scratch, &cfg);
     let m = evaluate_regression(&model, &samples);
 
     // A constant predictor at the target mean has MAE equal to the mean
     // absolute deviation; the model must do better.
     let mean: f32 = samples.iter().map(|s| s.target).sum::<f32>() / samples.len() as f32;
-    let mad: f64 = samples.iter().map(|s| (s.target - mean).abs() as f64).sum::<f64>()
+    let mad: f64 = samples
+        .iter()
+        .map(|s| (s.target - mean).abs() as f64)
+        .sum::<f64>()
         / samples.len() as f64;
-    assert!(m.mae < mad, "model MAE {:.3} not better than constant {:.3}", m.mae, mad);
+    assert!(
+        m.mae < mad,
+        "model MAE {:.3} not better than constant {:.3}",
+        m.mae,
+        mad
+    );
     assert!(m.r2 > 0.3, "R2 too low: {:.3}", m.r2);
 }
 
@@ -90,7 +111,10 @@ fn zero_shot_transfer_between_archetypes() {
         &design.netlist,
         &map,
         &spf,
-        &DatasetConfig { max_per_type: 80, ..Default::default() },
+        &DatasetConfig {
+            max_per_type: 80,
+            ..Default::default()
+        },
     );
 
     let xcn = XcNormalizer::fit(&[&train_graph]);
@@ -99,9 +123,20 @@ fn zero_shot_transfer_between_archetypes() {
     let test = prepare_link_dataset(&test_ds, PeKind::Dspd, &xcn, |c| cap.encode(c));
 
     let mut model = CircuitGps::new(ModelConfig::default());
-    pretrain_link(&mut model, &train, &TrainConfig { epochs: 4, ..Default::default() });
+    pretrain_link(
+        &mut model,
+        &train,
+        &TrainConfig {
+            epochs: 4,
+            ..Default::default()
+        },
+    );
     let m = evaluate_link(&model, &test);
-    assert!(m.auc > 0.7, "zero-shot AUC {:.3} should beat chance by a wide margin", m.auc);
+    assert!(
+        m.auc > 0.7,
+        "zero-shot AUC {:.3} should beat chance by a wide margin",
+        m.auc
+    );
 }
 
 #[test]

@@ -84,10 +84,10 @@ proptest! {
         // DRNL is consistent: same distance pair => same code.
         if let PeFeatures::Categorical { codes, .. } = compute_pe(&sub, PeKind::Drnl) {
             let mut by_pair = std::collections::HashMap::new();
-            for i in sub.num_anchors..sub.num_nodes() {
+            for (i, &code) in codes.iter().enumerate().skip(sub.num_anchors) {
                 let key = (sub.dist_a[i], sub.dist_b[i]);
-                if let Some(prev) = by_pair.insert(key, codes[i]) {
-                    prop_assert_eq!(prev, codes[i]);
+                if let Some(prev) = by_pair.insert(key, code) {
+                    prop_assert_eq!(prev, code);
                 }
             }
         }
