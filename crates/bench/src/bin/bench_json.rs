@@ -4,15 +4,25 @@
 //! `BENCH_<date>.json`, so successive PRs accumulate a comparable perf
 //! trajectory.
 //!
+//! With `--compare <baseline.json>` the snapshot is additionally gated
+//! against a committed baseline: any tracked group (present in both
+//! files) whose geometric-mean `new/old` ratio regresses by more than
+//! `--tolerance <pct>` (default 30) fails the run with exit code 1 —
+//! this is the CI bench-regression gate.
+//!
 //! ```bash
 //! cargo run --release -p cirgps-bench --bin bench_json            # BENCH_<today>.json
 //! cargo run --release -p cirgps-bench --bin bench_json -- out.json
+//! cargo run --release -p cirgps-bench --bin bench_json -- out.json \
+//!     --compare BENCH_2026-07-29.json --tolerance 30
 //! CIRGPS_BENCH_MS=100 cargo run --release -p cirgps-bench --bin bench_json
 //! ```
 
 use std::io::Write as _;
+use std::process::ExitCode;
 use std::time::{SystemTime, UNIX_EPOCH};
 
+use cirgps_bench::compare::{compare, parse_bench_lines, BenchEntry};
 use cirgps_bench::perf;
 use criterion::Criterion;
 
@@ -34,11 +44,52 @@ fn today_utc() -> (i64, u32, u32) {
     (if m <= 2 { y + 1 } else { y }, m, d)
 }
 
-fn main() {
-    let out_path = std::env::args().nth(1).unwrap_or_else(|| {
-        let (y, m, d) = today_utc();
-        format!("BENCH_{y:04}-{m:02}-{d:02}.json")
-    });
+struct Args {
+    out_path: String,
+    baseline: Option<String>,
+    tolerance_pct: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut out_path = None;
+    let mut baseline = None;
+    let mut tolerance_pct = 30.0;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--compare" => {
+                baseline = Some(it.next().ok_or("--compare needs a baseline path")?);
+            }
+            "--tolerance" => {
+                let v = it.next().ok_or("--tolerance needs a percentage")?;
+                tolerance_pct = v
+                    .parse()
+                    .map_err(|_| format!("bad --tolerance value {v:?}"))?;
+            }
+            other if !other.starts_with("--") && out_path.is_none() => {
+                out_path = Some(other.to_string());
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(Args {
+        out_path: out_path.unwrap_or_else(|| {
+            let (y, m, d) = today_utc();
+            format!("BENCH_{y:04}-{m:02}-{d:02}.json")
+        }),
+        baseline,
+        tolerance_pct,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
 
     let mut c = Criterion::default();
     eprintln!("== layer_forward ==");
@@ -48,9 +99,44 @@ fn main() {
     eprintln!("== full_pipeline ==");
     perf::full_pipeline_suite(&mut c);
 
-    let mut f = std::fs::File::create(&out_path).expect("cannot create bench output file");
+    let mut f = std::fs::File::create(&args.out_path).expect("cannot create bench output file");
     for r in c.results() {
         writeln!(f, "{}", r.to_json()).expect("write failed");
     }
-    eprintln!("wrote {} results to {out_path}", c.results().len());
+    eprintln!("wrote {} results to {}", c.results().len(), args.out_path);
+
+    let Some(baseline_path) = args.baseline else {
+        return ExitCode::SUCCESS;
+    };
+    let baseline_text = match std::fs::read_to_string(&baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read baseline {baseline_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline = parse_bench_lines(&baseline_text);
+    let current: Vec<BenchEntry> = c
+        .results()
+        .iter()
+        .map(|r| BenchEntry {
+            group: r.group.clone(),
+            name: r.name.clone(),
+            ns_per_iter: r.ns_per_iter,
+        })
+        .collect();
+    let report = compare(&baseline, &current, args.tolerance_pct);
+    eprintln!("\n== comparison vs {baseline_path} ==\n{report}");
+    if report.passed() {
+        eprintln!("bench-regression gate: PASS");
+        ExitCode::SUCCESS
+    } else {
+        let names: Vec<&str> = report
+            .regressed_groups()
+            .iter()
+            .map(|g| g.group.as_str())
+            .collect();
+        eprintln!("bench-regression gate: FAIL ({})", names.join(", "));
+        ExitCode::FAILURE
+    }
 }

@@ -1,0 +1,280 @@
+//! Bench-snapshot comparison: parses `BENCH_*.json` line files and
+//! computes per-group regressions against a committed baseline, so CI
+//! can fail a PR that slows a tracked benchmark group down.
+//!
+//! Comparison is group-level (geometric mean of the per-benchmark
+//! `new / old` ratios over the labels present in **both** snapshots), so
+//! newly added benchmarks never fail the gate and one noisy microbench
+//! cannot sink a group on its own.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One parsed benchmark entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    /// Benchmark group.
+    pub group: String,
+    /// Benchmark name within the group.
+    pub name: String,
+    /// Nanoseconds per iteration.
+    pub ns_per_iter: f64,
+}
+
+/// Extracts the string value of `"key":"..."` from a JSON line written
+/// by the bench harness (handles the harness's `\"`/`\\` escapes).
+fn json_str_field(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":\"");
+    let start = line.find(&pat)? + pat.len();
+    let mut out = String::new();
+    let mut chars = line[start..].chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => out.push(chars.next()?),
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+/// Extracts the numeric value of `"key":<num>` from a JSON line.
+fn json_num_field(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parses a `BENCH_*.json` snapshot (one JSON object per line; blank or
+/// malformed lines are skipped).
+pub fn parse_bench_lines(text: &str) -> Vec<BenchEntry> {
+    text.lines()
+        .filter_map(|line| {
+            Some(BenchEntry {
+                group: json_str_field(line, "group")?,
+                name: json_str_field(line, "name")?,
+                ns_per_iter: json_num_field(line, "ns_per_iter")?,
+            })
+        })
+        .collect()
+}
+
+/// One benchmark present in both snapshots.
+#[derive(Debug, Clone)]
+pub struct BenchDelta {
+    /// `group/name` label.
+    pub label: String,
+    /// Baseline ns/iter.
+    pub old_ns: f64,
+    /// Current ns/iter.
+    pub new_ns: f64,
+}
+
+impl BenchDelta {
+    /// `new / old` (> 1 means slower).
+    pub fn ratio(&self) -> f64 {
+        self.new_ns / self.old_ns
+    }
+}
+
+/// Aggregated per-group comparison.
+#[derive(Debug, Clone)]
+pub struct GroupDelta {
+    /// Group name.
+    pub group: String,
+    /// Geometric mean of the member ratios.
+    pub geomean_ratio: f64,
+    /// Members present in both snapshots.
+    pub members: Vec<BenchDelta>,
+}
+
+/// Full comparison report.
+#[derive(Debug, Clone)]
+pub struct CompareReport {
+    /// Per-group aggregates (tracked groups only: present in both files).
+    pub groups: Vec<GroupDelta>,
+    /// Allowed regression in percent (e.g. `30.0`).
+    pub tolerance_pct: f64,
+}
+
+impl CompareReport {
+    /// Groups whose geometric-mean ratio exceeds the tolerance.
+    pub fn regressed_groups(&self) -> Vec<&GroupDelta> {
+        let limit = 1.0 + self.tolerance_pct / 100.0;
+        self.groups
+            .iter()
+            .filter(|g| g.geomean_ratio > limit)
+            .collect()
+    }
+
+    /// Whether the gate passes.
+    pub fn passed(&self) -> bool {
+        self.regressed_groups().is_empty()
+    }
+}
+
+impl fmt::Display for CompareReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let limit = 1.0 + self.tolerance_pct / 100.0;
+        for g in &self.groups {
+            let verdict = if g.geomean_ratio > limit {
+                "REGRESSED"
+            } else if g.geomean_ratio < 1.0 {
+                "improved"
+            } else {
+                "ok"
+            };
+            writeln!(
+                f,
+                "{:<28} geomean {:>6.3}x  [{}]",
+                g.group, g.geomean_ratio, verdict
+            )?;
+            for m in &g.members {
+                writeln!(
+                    f,
+                    "    {:<52} {:>12.0} -> {:>12.0} ns  ({:.3}x)",
+                    m.label,
+                    m.old_ns,
+                    m.new_ns,
+                    m.ratio()
+                )?;
+            }
+        }
+        writeln!(
+            f,
+            "tolerance: {:.0}% (fail above {limit:.2}x group geomean)",
+            self.tolerance_pct
+        )
+    }
+}
+
+/// Compares `current` against `baseline`, aggregating per group over the
+/// benchmarks present in both.
+pub fn compare(
+    baseline: &[BenchEntry],
+    current: &[BenchEntry],
+    tolerance_pct: f64,
+) -> CompareReport {
+    let old: BTreeMap<(String, String), f64> = baseline
+        .iter()
+        .map(|e| ((e.group.clone(), e.name.clone()), e.ns_per_iter))
+        .collect();
+    let mut groups: BTreeMap<String, Vec<BenchDelta>> = BTreeMap::new();
+    for e in current {
+        let Some(&old_ns) = old.get(&(e.group.clone(), e.name.clone())) else {
+            continue;
+        };
+        if !(old_ns > 0.0 && e.ns_per_iter > 0.0) {
+            continue;
+        }
+        groups.entry(e.group.clone()).or_default().push(BenchDelta {
+            label: format!("{}/{}", e.group, e.name),
+            old_ns,
+            new_ns: e.ns_per_iter,
+        });
+    }
+    let groups = groups
+        .into_iter()
+        .map(|(group, members)| {
+            let log_sum: f64 = members.iter().map(|m| m.ratio().ln()).sum();
+            GroupDelta {
+                group,
+                geomean_ratio: (log_sum / members.len() as f64).exp(),
+                members,
+            }
+        })
+        .collect();
+    CompareReport {
+        groups,
+        tolerance_pct,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(group: &str, name: &str, ns: f64) -> String {
+        format!(
+            "{{\"group\":\"{group}\",\"name\":\"{name}\",\"ns_per_iter\":{ns:.2},\"iters\":10}}"
+        )
+    }
+
+    #[test]
+    fn parses_harness_lines() {
+        let text = format!(
+            "{}\n\n{}\nnot json\n",
+            entry("g1", "a/b", 1500.0),
+            entry("g2", "c", 2.5)
+        );
+        let parsed = parse_bench_lines(&text);
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].group, "g1");
+        assert_eq!(parsed[0].name, "a/b");
+        assert_eq!(parsed[0].ns_per_iter, 1500.0);
+    }
+
+    #[test]
+    fn within_tolerance_passes() {
+        let base = parse_bench_lines(&entry("g", "a", 100.0));
+        let cur = parse_bench_lines(&entry("g", "a", 125.0));
+        let report = compare(&base, &cur, 30.0);
+        assert!(report.passed(), "{report}");
+        assert!((report.groups[0].geomean_ratio - 1.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn group_regression_fails() {
+        let base = format!("{}\n{}", entry("g", "a", 100.0), entry("g", "b", 100.0));
+        let cur = format!("{}\n{}", entry("g", "a", 200.0), entry("g", "b", 150.0));
+        let report = compare(&parse_bench_lines(&base), &parse_bench_lines(&cur), 30.0);
+        assert!(!report.passed());
+        assert_eq!(report.regressed_groups()[0].group, "g");
+    }
+
+    #[test]
+    fn one_noisy_member_is_amortized_by_the_geomean() {
+        let base = format!(
+            "{}\n{}\n{}",
+            entry("g", "a", 100.0),
+            entry("g", "b", 100.0),
+            entry("g", "c", 100.0)
+        );
+        // One 60% outlier against two flat members: geomean ≈ 1.17.
+        let cur = format!(
+            "{}\n{}\n{}",
+            entry("g", "a", 160.0),
+            entry("g", "b", 100.0),
+            entry("g", "c", 100.0)
+        );
+        let report = compare(&parse_bench_lines(&base), &parse_bench_lines(&cur), 30.0);
+        assert!(report.passed(), "{report}");
+    }
+
+    #[test]
+    fn new_benchmarks_are_not_tracked() {
+        let base = parse_bench_lines(&entry("g", "a", 100.0));
+        let cur = format!(
+            "{}\n{}",
+            entry("g", "a", 90.0),
+            entry("g", "brand_new", 1e9)
+        );
+        let report = compare(&base, &parse_bench_lines(&cur), 30.0);
+        assert!(report.passed());
+        assert_eq!(report.groups[0].members.len(), 1);
+    }
+
+    #[test]
+    fn improvement_reports_below_one() {
+        let base = parse_bench_lines(&entry("g", "a", 300.0));
+        let cur = parse_bench_lines(&entry("g", "a", 100.0));
+        let report = compare(&base, &cur, 30.0);
+        assert!(report.passed());
+        assert!(report.groups[0].geomean_ratio < 0.34);
+        assert!(format!("{report}").contains("improved"));
+    }
+}

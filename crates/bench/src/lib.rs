@@ -13,6 +13,7 @@
 
 #![warn(missing_docs)]
 
+pub mod compare;
 pub mod data;
 pub mod experiments;
 pub mod perf;

@@ -126,6 +126,41 @@ pub fn full_pipeline_suite(c: &mut Criterion) {
             std::hint::black_box(model.predict_link(s))
         })
     });
+    // Tape-free batched engine (block-diagonal attention). One iteration
+    // predicts `bs` samples, so per-sample time is `ns_per_iter / bs`.
+    // Batches are rotating windows over the dataset so the sample mix
+    // matches the per-sample benchmarks above.
+    let windows = |bs: usize| -> Vec<Vec<&PreparedSample>> {
+        (0..samples.len())
+            .map(|start| {
+                (0..bs)
+                    .map(|j| &samples[(start + j) % samples.len()])
+                    .collect()
+            })
+            .collect()
+    };
+    for bs in [1usize, 8, 32] {
+        let batches = windows(bs);
+        group.bench_function(format!("predict_link_batched/{bs}"), |b| {
+            let mut i = 0;
+            b.iter(|| {
+                let batch = &batches[i % batches.len()];
+                i += 1;
+                std::hint::black_box(model.predict_link_batch(batch))
+            })
+        });
+    }
+    {
+        let batches = windows(32);
+        group.bench_function("predict_reg_batched/32", |b| {
+            let mut i = 0;
+            b.iter(|| {
+                let batch = &batches[i % batches.len()];
+                i += 1;
+                std::hint::black_box(model.predict_reg_batch(batch))
+            })
+        });
+    }
     group.bench_function("predict_reg_per_sample", |b| {
         let mut i = 0;
         b.iter(|| {

@@ -31,14 +31,16 @@
 #![warn(missing_docs)]
 
 mod config;
+mod infer;
 mod metrics;
 mod model;
 mod prepared;
 mod train;
 
 pub use config::{AttnKind, FinetuneMode, ModelConfig, MpnnKind, TrainConfig};
+pub use infer::InferenceSession;
 pub use metrics::{link_metrics, mape, reg_metrics, roc_auc, LinkMetrics, RegMetrics};
-pub use model::CircuitGps;
+pub use model::{BatchLayout, CircuitGps};
 pub use prepared::{prepare_link_dataset, prepare_node_dataset, PreparedSample};
 pub use train::{
     evaluate_link, evaluate_regression, finetune_regression, predict_regression, pretrain_link,

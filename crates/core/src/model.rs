@@ -20,7 +20,7 @@ use crate::prepared::PreparedSample;
 /// Positional-encoding encoder: turns [`PeFeatures`] into a dense
 /// `N × 2·pe_dim` block concatenated before the node-type embedding.
 #[derive(Debug, Clone)]
-enum PeEncoder {
+pub(crate) enum PeEncoder {
     None,
     /// DSPD: two distance-embedding tables `D0`, `D1` (eq. (1)).
     Pair {
@@ -39,7 +39,7 @@ enum PeEncoder {
 
 /// One branch of global attention.
 #[derive(Debug, Clone)]
-enum AttnBlock {
+pub(crate) enum AttnBlock {
     Mha(MultiHeadAttention),
     Performer(PerformerAttention),
 }
@@ -47,13 +47,13 @@ enum AttnBlock {
 /// One GPS layer (eq. (2)–(5)): parallel MPNN + attention, fused by a
 /// 2-layer MLP, with residual connections and batch norm.
 #[derive(Debug, Clone)]
-struct GpsLayer {
-    mpnn: Option<GatedGcn>,
-    attn: Option<AttnBlock>,
-    bn_attn: Option<BatchNorm1d>,
-    mlp: Mlp,
-    bn_mlp: BatchNorm1d,
-    dropout: f32,
+pub(crate) struct GpsLayer {
+    pub(crate) mpnn: Option<GatedGcn>,
+    pub(crate) attn: Option<AttnBlock>,
+    pub(crate) bn_attn: Option<BatchNorm1d>,
+    pub(crate) mlp: Mlp,
+    pub(crate) bn_mlp: BatchNorm1d,
+    pub(crate) dropout: f32,
 }
 
 impl GpsLayer {
@@ -108,13 +108,138 @@ pub struct BatchLayout {
     pub anchor_rows: Vec<usize>,
 }
 
+impl BatchLayout {
+    /// Per-graph `(first_row, row_count)` blocks of the packed batch
+    /// (the block-diagonal attention layout).
+    pub fn blocks(&self) -> Vec<(usize, usize)> {
+        self.anchor_rows
+            .iter()
+            .zip(&self.counts)
+            .map(|(&r0, &c)| (r0, c as usize))
+            .collect()
+    }
+}
+
+/// Concatenated node/edge inputs of a block-diagonally packed batch,
+/// shared by the taped [`CircuitGps::embed_batch`] and the tape-free
+/// inference path so both assemble identical buffers.
+pub(crate) struct BatchInputs {
+    pub(crate) total_n: usize,
+    pub(crate) node_types: Vec<usize>,
+    pub(crate) graph_ids: Vec<usize>,
+    pub(crate) src: Vec<usize>,
+    pub(crate) dst: Vec<usize>,
+    pub(crate) edge_types: Vec<usize>,
+    pub(crate) anchor_rows: Vec<usize>,
+}
+
+pub(crate) fn assemble_batch(samples: &[&PreparedSample]) -> BatchInputs {
+    assert!(!samples.is_empty(), "embed_batch needs at least one sample");
+    let total_n: usize = samples.iter().map(|s| s.sub.num_nodes()).sum();
+    let mut node_types = Vec::with_capacity(total_n);
+    let mut graph_ids = Vec::with_capacity(total_n);
+    let mut src = Vec::new();
+    let mut dst = Vec::new();
+    let mut edge_types = Vec::new();
+    let mut anchor_rows = Vec::with_capacity(samples.len());
+    let mut offset = 0usize;
+    for (gi, s) in samples.iter().enumerate() {
+        node_types.extend(s.sub.node_types.iter().copied());
+        graph_ids.extend(std::iter::repeat_n(gi, s.sub.num_nodes()));
+        src.extend(s.sub.src.iter().map(|&x| x + offset));
+        dst.extend(s.sub.dst.iter().map(|&x| x + offset));
+        edge_types.extend(s.sub.edge_types.iter().copied());
+        anchor_rows.push(offset);
+        offset += s.sub.num_nodes();
+    }
+    BatchInputs {
+        total_n,
+        node_types,
+        graph_ids,
+        src,
+        dst,
+        edge_types,
+        anchor_rows,
+    }
+}
+
+/// Concatenated categorical-pair PE codes (DSPD).
+///
+/// # Panics
+///
+/// Panics if a sample's PE is not [`PeFeatures::CategoricalPair`].
+pub(crate) fn collect_pe_pair(
+    samples: &[&PreparedSample],
+    total_n: usize,
+) -> (Vec<usize>, Vec<usize>) {
+    let mut a = Vec::with_capacity(total_n);
+    let mut b = Vec::with_capacity(total_n);
+    for s in samples {
+        match &s.pe {
+            PeFeatures::CategoricalPair { a: pa, b: pb, .. } => {
+                a.extend_from_slice(pa);
+                b.extend_from_slice(pb);
+            }
+            other => panic!(
+                "PE features {other:?} do not match the model's encoder (DSPD); \
+                 prepare the dataset with the model's PeKind"
+            ),
+        }
+    }
+    (a, b)
+}
+
+/// Concatenated categorical PE codes (DRNL).
+///
+/// # Panics
+///
+/// Panics if a sample's PE is not [`PeFeatures::Categorical`].
+pub(crate) fn collect_pe_single(samples: &[&PreparedSample], total_n: usize) -> Vec<usize> {
+    let mut codes = Vec::with_capacity(total_n);
+    for s in samples {
+        match &s.pe {
+            PeFeatures::Categorical { codes: c, .. } => codes.extend_from_slice(c),
+            other => panic!(
+                "PE features {other:?} do not match the model's encoder (DRNL); \
+                 prepare the dataset with the model's PeKind"
+            ),
+        }
+    }
+    codes
+}
+
+/// Concatenated dense PE features (RWSE / LapPE / XC), pool-backed.
+///
+/// # Panics
+///
+/// Panics if a sample's PE is not dense with width `dim`.
+pub(crate) fn collect_pe_dense(
+    samples: &[&PreparedSample],
+    total_n: usize,
+    dim: usize,
+) -> Vec<f32> {
+    // Pool-backed: the consumer recycles the buffer, so per-batch PE
+    // assembly stops reallocating.
+    let mut data = cirgps_nn::pool::take_capacity(total_n * dim);
+    for s in samples {
+        match &s.pe {
+            PeFeatures::Dense { data: d, dim: sd } if *sd == dim => data.extend_from_slice(d),
+            other => panic!(
+                "PE features {other:?} do not match the model's encoder \
+                 (dense, dim {dim}); prepare the dataset with the model's PeKind"
+            ),
+        }
+    }
+    data
+}
+
 /// Regression head with per-type circuit-statistics projection (eq. (6)).
 #[derive(Debug, Clone)]
-struct RegHead {
-    net_proj: Linear,
-    dev_proj: Linear,
-    pin_emb: Embedding,
-    mlp: Mlp,
+pub(crate) struct RegHead {
+    pub(crate) net_proj: Linear,
+    pub(crate) dev_proj: Linear,
+    pub(crate) pin_emb: Embedding,
+    pub(crate) mlp: Mlp,
 }
 
 /// The CircuitGPS model.
@@ -125,13 +250,13 @@ struct RegHead {
 pub struct CircuitGps {
     /// The configuration the model was built with.
     pub cfg: ModelConfig,
-    store: ParamStore,
-    pe_enc: PeEncoder,
-    node_type_emb: Embedding,
-    edge_type_emb: Embedding,
-    layers: Vec<GpsLayer>,
-    link_head: Mlp,
-    reg_head: RegHead,
+    pub(crate) store: ParamStore,
+    pub(crate) pe_enc: PeEncoder,
+    pub(crate) node_type_emb: Embedding,
+    pub(crate) edge_type_emb: Embedding,
+    pub(crate) layers: Vec<GpsLayer>,
+    pub(crate) link_head: Mlp,
+    pub(crate) reg_head: RegHead,
 }
 
 impl CircuitGps {
@@ -343,83 +468,30 @@ impl CircuitGps {
     /// Panics if `samples` is empty or a sample's PE does not match the
     /// model's configured [`graph_pe::PeKind`].
     pub fn embed_batch(&self, tape: &mut Tape, samples: &[&PreparedSample]) -> (Var, BatchLayout) {
-        assert!(!samples.is_empty(), "embed_batch needs at least one sample");
-        let total_n: usize = samples.iter().map(|s| s.sub.num_nodes()).sum();
-
-        // Concatenate node-level inputs with block offsets.
-        let mut node_types = Vec::with_capacity(total_n);
-        let mut graph_ids = Vec::with_capacity(total_n);
-        let mut src = Vec::new();
-        let mut dst = Vec::new();
-        let mut edge_types = Vec::new();
-        let mut anchor_rows = Vec::with_capacity(samples.len() * 2);
-        let mut offset = 0usize;
-        for (gi, s) in samples.iter().enumerate() {
-            node_types.extend(s.sub.node_types.iter().copied());
-            graph_ids.extend(std::iter::repeat_n(gi, s.sub.num_nodes()));
-            src.extend(s.sub.src.iter().map(|&x| x + offset));
-            dst.extend(s.sub.dst.iter().map(|&x| x + offset));
-            edge_types.extend(s.sub.edge_types.iter().copied());
-            anchor_rows.push(offset);
-            offset += s.sub.num_nodes();
-        }
+        let inputs = assemble_batch(samples);
+        let total_n = inputs.total_n;
 
         // Positional encoding block.
         let mut parts: Vec<Var> = Vec::with_capacity(3);
         match &self.pe_enc {
             PeEncoder::None => {}
             PeEncoder::Pair { d0, d1 } => {
-                let mut a = Vec::with_capacity(total_n);
-                let mut b = Vec::with_capacity(total_n);
-                for s in samples {
-                    match &s.pe {
-                        PeFeatures::CategoricalPair { a: pa, b: pb, .. } => {
-                            a.extend_from_slice(pa);
-                            b.extend_from_slice(pb);
-                        }
-                        other => panic!(
-                            "PE features {other:?} do not match the model's encoder (DSPD); \
-                             prepare the dataset with the model's PeKind"
-                        ),
-                    }
-                }
+                let (a, b) = collect_pe_pair(samples, total_n);
                 parts.push(d0.forward(tape, &a));
                 parts.push(d1.forward(tape, &b));
             }
             PeEncoder::Single { emb } => {
-                let mut codes = Vec::with_capacity(total_n);
-                for s in samples {
-                    match &s.pe {
-                        PeFeatures::Categorical { codes: c, .. } => codes.extend_from_slice(c),
-                        other => panic!(
-                            "PE features {other:?} do not match the model's encoder (DRNL); \
-                             prepare the dataset with the model's PeKind"
-                        ),
-                    }
-                }
+                let codes = collect_pe_single(samples, total_n);
                 parts.push(emb.forward(tape, &codes));
             }
             PeEncoder::Dense { lin } => {
-                let dim = lin.in_dim();
-                // Pool-backed: the tape recycles the buffer on drop, so
-                // per-batch PE assembly stops reallocating.
-                let mut data = cirgps_nn::pool::take_capacity(total_n * dim);
-                for s in samples {
-                    match &s.pe {
-                        PeFeatures::Dense { data: d, dim: sd } if *sd == dim => {
-                            data.extend_from_slice(d)
-                        }
-                        other => panic!(
-                            "PE features {other:?} do not match the model's encoder \
-                             (dense, dim {dim}); prepare the dataset with the model's PeKind"
-                        ),
-                    }
-                }
-                let x = tape.input(Tensor::from_vec(total_n, dim, data));
+                // Pool-backed buffer; the tape recycles it on drop.
+                let data = collect_pe_dense(samples, total_n, lin.in_dim());
+                let x = tape.input(Tensor::from_vec(total_n, lin.in_dim(), data));
                 parts.push(lin.forward(tape, x));
             }
         }
-        parts.push(self.node_type_emb.forward(tape, &node_types));
+        parts.push(self.node_type_emb.forward(tape, &inputs.node_types));
         let mut x = if parts.len() == 1 {
             parts[0]
         } else {
@@ -427,13 +499,13 @@ impl CircuitGps {
         };
 
         let idx = EdgeIndex {
-            src: Arc::new(src),
-            dst: Arc::new(dst),
+            src: Arc::new(inputs.src),
+            dst: Arc::new(inputs.dst),
         };
-        let mut e = if edge_types.is_empty() {
+        let mut e = if inputs.edge_types.is_empty() {
             tape.input(Tensor::zeros(0, self.cfg.hidden_dim))
         } else {
-            self.edge_type_emb.forward(tape, &edge_types)
+            self.edge_type_emb.forward(tape, &inputs.edge_types)
         };
         for layer in &self.layers {
             let (nx, ne) = layer.forward(tape, x, e, &idx);
@@ -445,9 +517,9 @@ impl CircuitGps {
         (
             x,
             BatchLayout {
-                graph_ids: Arc::new(graph_ids),
+                graph_ids: Arc::new(inputs.graph_ids),
                 counts,
-                anchor_rows,
+                anchor_rows: inputs.anchor_rows,
             },
         )
     }

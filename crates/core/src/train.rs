@@ -68,12 +68,15 @@ pub fn train(
             let store = model.store();
             // The batch is split into a few sub-batches, each packed
             // block-diagonally onto one tape (so batch norm sees many
-            // graphs). The sub-batch count is part of the training
-            // semantics (BN statistics are per sub-batch), so it is kept
-            // even though the offline rayon shim runs the chunks
-            // sequentially; with real rayon they run on worker threads,
-            // and under the shim the parallelism comes from the
-            // threaded matmul kernels inside each tape instead.
+            // graphs); the sub-batch count is part of the training
+            // semantics (BN statistics are per sub-batch). The compat
+            // rayon shim runs the chunks on real `std::thread::scope`
+            // workers, so sub-batches train in parallel on multicore
+            // hosts. Note the per-op threaded matmul kernels can nest
+            // inside these workers for very large sub-batches (above the
+            // `CIRGPS_PAR_MACS` threshold); that oversubscribes briefly
+            // but stays correct — set `CIRGPS_PAR_MACS=0` to keep
+            // batch-level threading only.
             let n_sub = rayon::current_num_threads().clamp(1, batch.len().div_ceil(2).max(1));
             let sub_size = batch.len().div_ceil(n_sub);
             let results: Vec<(f64, usize, GradStore)> = batch

@@ -6,9 +6,13 @@ use std::sync::Arc;
 
 use rand::rngs::StdRng;
 
+use crate::infer::{
+    block_slice, block_slice_scaled, block_write, gather_rows, softmax_rows_scaled_fwd,
+};
 use crate::layers::Linear;
 use crate::params::{normal_init, ParamId, ParamStore};
 use crate::tape::{Tape, Var};
+use crate::tensor::{fast_exp, Tensor};
 
 /// Exact multi-head softmax self-attention over all nodes of a (sub)graph.
 ///
@@ -75,6 +79,55 @@ impl MultiHeadAttention {
         }
         let cat = tape.concat_cols(&outs);
         self.wo.forward(tape, cat)
+    }
+
+    /// Tape-free block-diagonal self-attention (eval mode).
+    ///
+    /// `x` is a concatenation of per-graph node blocks; `blocks` lists
+    /// each graph's `(first_row, row_count)`. Attention is computed
+    /// within each block only, so a batch of packed subgraphs produces
+    /// bitwise-identical rows to running [`MultiHeadAttention::forward`]
+    /// on each subgraph alone — while the `O(N²)` score cost drops from
+    /// `(Σnᵢ)²` to `Σnᵢ²`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a block reaches outside `x`.
+    pub fn infer_blocks(
+        &self,
+        params: &ParamStore,
+        x: &Tensor,
+        blocks: &[(usize, usize)],
+    ) -> Tensor {
+        let q = self.wq.infer(params, x);
+        let k = self.wk.infer(params, x);
+        let v = self.wv.infer(params, x);
+        let scale = 1.0 / (self.head_dim as f32).sqrt();
+        let mut cat = Tensor::zeros(x.rows(), x.cols());
+        for &(r0, len) in blocks {
+            for h in 0..self.heads {
+                let off = h * self.head_dim;
+                let qh = block_slice(&q, r0, len, off, self.head_dim);
+                let kh = block_slice(&k, r0, len, off, self.head_dim);
+                let vh = block_slice(&v, r0, len, off, self.head_dim);
+                let kt = kh.transpose();
+                let scores = qh.matmul(&kt);
+                // Scale fused into the softmax sweep (bitwise-equal:
+                // scaling by a positive constant is monotone, so the row
+                // max is the scaled max).
+                let attn = softmax_rows_scaled_fwd(&scores, scale);
+                let out = attn.matmul(&vh);
+                block_write(&mut cat, &out, r0, off);
+                for t in [qh, kh, vh, kt, scores, attn, out] {
+                    t.recycle();
+                }
+            }
+        }
+        let y = self.wo.infer(params, &cat);
+        for t in [q, k, v, cat] {
+            t.recycle();
+        }
+        y
     }
 }
 
@@ -187,6 +240,114 @@ impl PerformerAttention {
         }
         let cat = tape.concat_cols(&outs);
         self.wo.forward(tape, cat)
+    }
+
+    /// Tape-free φ(x̂) over a pre-scaled input `xs = x / d^{1/4}`;
+    /// per-element arithmetic mirrors
+    /// [`PerformerAttention::feature_map`] exactly, with the squared-norm
+    /// and exp/stabilize/normalize passes fused.
+    fn feature_map_infer(&self, xs: &Tensor, omega_t: &Tensor) -> Tensor {
+        let mut prod = xs.matmul(omega_t);
+        let inv = 1.0 / (self.features as f32).sqrt();
+        let (n, m) = prod.shape();
+        for r in 0..n {
+            // ‖x̂‖²/2: squares summed left-to-right like the taped
+            // mul + row_sum, then halved.
+            let half: f32 = xs.row_slice(r).iter().map(|&v| v * v).sum::<f32>() * 0.5;
+            for v in &mut prod.as_mut_slice()[r * m..(r + 1) * m] {
+                *v = (fast_exp(*v - half) + 1e-6) * inv;
+            }
+        }
+        prod
+    }
+
+    /// Tape-free block-diagonal linear attention (eval mode).
+    ///
+    /// Same contract as [`MultiHeadAttention::infer_blocks`]. The
+    /// feature maps φ(q)/φ(k) are row-wise, so they run once over the
+    /// whole packed batch per head; only the key aggregation `φ(K)ᵀ·V`,
+    /// the per-block key sums and the denominators are per block,
+    /// computed straight on contiguous row ranges of the head slices.
+    /// Every kernel shares the taped path's arithmetic, so results are
+    /// bitwise-equal to the per-graph taped forward.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a block reaches outside `x`.
+    pub fn infer_blocks(
+        &self,
+        params: &ParamStore,
+        x: &Tensor,
+        blocks: &[(usize, usize)],
+    ) -> Tensor {
+        use crate::tensor::{gemm, gemm_atb, laned_sum};
+
+        let q = self.wq.infer(params, x);
+        let k = self.wk.infer(params, x);
+        let v = self.wv.infer(params, x);
+        let n = x.rows();
+        let (m, dh) = (self.features, self.head_dim);
+        let mut cat = Tensor::zeros(n, x.cols());
+        for h in 0..self.heads {
+            // Ωᵀ once per head, shared by every block and both feature maps.
+            let rows: Vec<usize> = (h * m..(h + 1) * m).collect();
+            let omega = gather_rows(params.get(self.proj), &rows);
+            let omega_t = omega.transpose();
+            omega.recycle();
+            let off = h * dh;
+            // Head slices with the x̂ = x/d^{1/4} scale fused into the copy.
+            let scale = 1.0 / (dh as f32).powf(0.25);
+            let xs_q = block_slice_scaled(&q, 0, n, off, dh, scale);
+            let xs_k = block_slice_scaled(&k, 0, n, off, dh, scale);
+            let vh = block_slice(&v, 0, n, off, dh);
+            let phi_q = self.feature_map_infer(&xs_q, &omega_t);
+            let phi_k = self.feature_map_infer(&xs_k, &omega_t);
+            for &(r0, len) in blocks {
+                let pq = &phi_q.as_slice()[r0 * m..(r0 + len) * m];
+                let pk = &phi_k.as_slice()[r0 * m..(r0 + len) * m];
+                let vb = &vh.as_slice()[r0 * dh..(r0 + len) * dh];
+                // kv = φ(K)ᵀ·V over this block's rows (the transposing
+                // kernel reads the same values in the same order as the
+                // taped transpose-then-matmul).
+                let mut kv = crate::pool::take_zeroed(m * dh);
+                gemm_atb(pk, vb, &mut kv, m, len, dh);
+                let mut num = crate::pool::take_zeroed(len * dh);
+                gemm(pq, &kv, &mut num, len, m, dh);
+                // k_sum = φ(K)ᵀ·1: a laned column sum with exactly the
+                // dot kernel's summation tree (see `laned_sum`).
+                let mut k_sum = crate::pool::take_zeroed(m);
+                let mut col = crate::pool::take_zeroed(len);
+                for (f, ks) in k_sum.iter_mut().enumerate() {
+                    for (r, c) in col.iter_mut().enumerate() {
+                        *c = pk[r * m + f];
+                    }
+                    *ks = laned_sum(&col);
+                }
+                crate::pool::put(col);
+                // den = φ(Q)·k_sum (the n == 1 dot path), then the
+                // divide writes straight into the output block.
+                let mut den = crate::pool::take_zeroed(len);
+                gemm(pq, &k_sum, &mut den, len, m, 1);
+                for r in 0..len {
+                    let drow = &mut cat.row_slice_mut(r0 + r)[off..off + dh];
+                    let s = den[r];
+                    for (o, &nv) in drow.iter_mut().zip(&num[r * dh..(r + 1) * dh]) {
+                        *o = nv / s;
+                    }
+                }
+                for buf in [kv, num, k_sum, den] {
+                    crate::pool::put(buf);
+                }
+            }
+            for t in [xs_q, xs_k, vh, phi_q, phi_k, omega_t] {
+                t.recycle();
+            }
+        }
+        let y = self.wo.infer(params, &cat);
+        for t in [q, k, v, cat] {
+            t.recycle();
+        }
+        y
     }
 }
 

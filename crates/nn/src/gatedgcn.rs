@@ -18,9 +18,11 @@ use std::sync::Arc;
 
 use rand::rngs::StdRng;
 
+use crate::infer::{add_div_inplace, assemble_edge_hat_typed, gated_scatter};
 use crate::layers::{BatchNorm1d, Linear};
 use crate::params::ParamStore;
 use crate::tape::{Tape, Var};
+use crate::tensor::Tensor;
 
 /// Directed edge index shared by all GatedGCN layers of a model.
 ///
@@ -167,6 +169,104 @@ impl GatedGcn {
             tape.add_inplace(ed, e)
         };
 
+        (x_out, e_out)
+    }
+
+    /// Tape-free forward (eval mode: dropout is the identity, batch norm
+    /// uses running statistics). Mirrors [`GatedGcn::forward`] op for op,
+    /// so outputs are bitwise-equal to the taped eval-mode pass.
+    ///
+    /// # Panics
+    ///
+    /// Same contracts as [`GatedGcn::forward`].
+    pub fn infer(
+        &self,
+        params: &ParamStore,
+        x: &Tensor,
+        e: &Tensor,
+        index: &EdgeIndex,
+    ) -> (Tensor, Tensor) {
+        self.infer_opts(params, x, e, index, None, true)
+    }
+
+    /// [`GatedGcn::infer`] with the inference-engine fast paths:
+    ///
+    /// * `typed_edges` — when `e` is a row gather of an embedding table
+    ///   (the first GPS layer's edge features), pass `(codes, table)` and
+    ///   the `C·e` GEMM collapses to one GEMM over the table's few rows
+    ///   plus a gather. Per-row results are unchanged (GEMM rows are
+    ///   independent), so this is bitwise-equal.
+    /// * `need_edge_out = false` — skips the edge stream's BN/ReLU/
+    ///   residual output sweep and returns an empty edge tensor; use on
+    ///   the last layer, whose edge output nobody reads.
+    ///
+    /// # Panics
+    ///
+    /// Same contracts as [`GatedGcn::forward`].
+    pub fn infer_opts(
+        &self,
+        params: &ParamStore,
+        x: &Tensor,
+        e: &Tensor,
+        index: &EdgeIndex,
+        typed_edges: Option<(&[usize], &Tensor)>,
+        need_edge_out: bool,
+    ) -> (Tensor, Tensor) {
+        let n = x.rows();
+        assert_eq!(
+            e.rows(),
+            index.len(),
+            "edge feature count must match edge index"
+        );
+        if let Some(max) = index.max_node() {
+            assert!(
+                max < n,
+                "edge index references node {max} but only {n} nodes exist"
+            );
+        }
+
+        // Edge update ê = C e + D x_dst + E x_src, assembled in one fused
+        // sweep over the edge stream.
+        let dx = self.d.infer(params, x);
+        let ex = self.e.infer(params, x);
+        let e_hat = match typed_edges {
+            Some((codes, table)) => {
+                debug_assert_eq!(codes.len(), e.rows());
+                // C·e collapses to the table's few rows; the per-edge rows
+                // are read straight out of the projected table during the
+                // single assembly pass.
+                let ce_table = self.c.infer(params, table);
+                let e_hat =
+                    assemble_edge_hat_typed(&ce_table, codes, &dx, &index.dst, &ex, &index.src);
+                ce_table.recycle();
+                e_hat
+            }
+            None => self
+                .c
+                .infer_add_gathered2(params, e, &dx, &index.dst, &ex, &index.src),
+        };
+        dx.recycle();
+        ex.recycle();
+
+        // Gates + node aggregation, fused: η = σ(ê) is computed per edge
+        // and scattered into the numerator/denominator in edge order.
+        let bx = self.b.infer(params, x);
+        let (num, den) = gated_scatter(&e_hat, &bx, &index.src, &index.dst, n);
+        bx.recycle();
+        let x_hat = add_div_inplace(self.a.infer(params, x), &num, &den, self.eps);
+        num.recycle();
+        den.recycle();
+
+        // Residual + BN + ReLU on both streams (eval: no dropout), one
+        // fused output sweep per stream.
+        let x_out = self.bn_x.infer_relu_add(params, &x_hat, x);
+        let e_out = if need_edge_out {
+            self.bn_e.infer_relu_add(params, &e_hat, e)
+        } else {
+            Tensor::zeros(0, e.cols())
+        };
+        x_hat.recycle();
+        e_hat.recycle();
         (x_out, e_out)
     }
 }

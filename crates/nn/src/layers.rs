@@ -35,6 +35,30 @@ impl Activation {
             Activation::Identity => x,
         }
     }
+
+    /// Tape-free activation (eval mode), mutating `x` in place. Uses the
+    /// same elementwise kernels as the taped ops, so results are
+    /// bitwise-equal.
+    pub fn infer(self, x: &mut Tensor) {
+        match self {
+            Activation::Relu => {
+                for v in x.as_mut_slice() {
+                    *v = v.max(0.0);
+                }
+            }
+            Activation::Tanh => {
+                for v in x.as_mut_slice() {
+                    *v = v.tanh();
+                }
+            }
+            Activation::Sigmoid => {
+                for v in x.as_mut_slice() {
+                    *v = crate::infer::stable_sigmoid(*v);
+                }
+            }
+            Activation::Identity => {}
+        }
+    }
 }
 
 /// Fully connected layer `y = xW + b`.
@@ -110,6 +134,39 @@ impl Linear {
         let b = self.b.map(|b| tape.param(b));
         tape.linear_relu(x, w, b)
     }
+
+    /// Tape-free forward (eval mode): same fused kernel as
+    /// [`Linear::forward`], reading weights straight from `params`.
+    pub fn infer(&self, params: &ParamStore, x: &Tensor) -> Tensor {
+        crate::infer::linear_fwd(x, params.get(self.w), self.b.map(|b| params.get(b)), false)
+    }
+
+    /// Tape-free `relu(xW + b)` (eval mode).
+    pub fn infer_relu(&self, params: &ParamStore, x: &Tensor) -> Tensor {
+        crate::infer::linear_fwd(x, params.get(self.w), self.b.map(|b| params.get(b)), true)
+    }
+
+    /// Tape-free `(xW + b) + dx[dst] + ex[src]` with the gathered adds
+    /// fused into the GEMM's store epilogue (the GatedGCN edge update).
+    pub fn infer_add_gathered2(
+        &self,
+        params: &ParamStore,
+        x: &Tensor,
+        dx: &Tensor,
+        dst: &[usize],
+        ex: &Tensor,
+        src: &[usize],
+    ) -> Tensor {
+        crate::infer::linear_add_gathered2(
+            x,
+            params.get(self.w),
+            self.b.map(|b| params.get(b)),
+            dx,
+            dst,
+            ex,
+            src,
+        )
+    }
 }
 
 /// Lookup table mapping integer codes to dense embeddings.
@@ -159,6 +216,24 @@ impl Embedding {
         }
         let w = tape.param(self.w);
         tape.gather(w, std::sync::Arc::new(codes.to_vec()))
+    }
+
+    /// The embedding table itself (for inference fast paths that operate
+    /// on the table's rows instead of per-lookup rows).
+    pub fn table<'p>(&self, params: &'p ParamStore) -> &'p Tensor {
+        params.get(self.w)
+    }
+
+    /// Tape-free lookup (eval mode).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any code is out of range.
+    pub fn infer(&self, params: &ParamStore, codes: &[usize]) -> Tensor {
+        for &c in codes {
+            assert!(c < self.num, "embedding code {c} out of range {}", self.num);
+        }
+        crate::infer::gather_rows(params.get(self.w), codes)
     }
 }
 
@@ -225,6 +300,62 @@ impl BatchNorm1d {
             let (y, _, _) = tape.batch_norm(x, gamma, beta, self.eps, Some((&mean, &var)));
             y
         }
+    }
+
+    /// Tape-free eval-mode forward: normalizes by the running statistics
+    /// with the same per-element arithmetic as the taped eval path.
+    pub fn infer(&self, params: &ParamStore, x: &Tensor) -> Tensor {
+        let mean = params.buffer(self.running_mean);
+        let var = params.buffer(self.running_var);
+        let out = crate::infer::batch_norm_eval_fwd(
+            x,
+            params.get(self.gamma),
+            params.get(self.beta),
+            self.eps,
+            &mean,
+            &var,
+        );
+        mean.recycle();
+        var.recycle();
+        out
+    }
+
+    /// Fused tape-free `max(BN(x), 0) + residual` (eval mode): one output
+    /// sweep, bitwise-equal to `infer` + ReLU + add.
+    pub fn infer_relu_add(&self, params: &ParamStore, x: &Tensor, residual: &Tensor) -> Tensor {
+        let mean = params.buffer(self.running_mean);
+        let var = params.buffer(self.running_var);
+        let out = crate::infer::batch_norm_eval_relu_add_fwd(
+            x,
+            params.get(self.gamma),
+            params.get(self.beta),
+            self.eps,
+            &mean,
+            &var,
+            residual,
+        );
+        mean.recycle();
+        var.recycle();
+        out
+    }
+
+    /// Fused tape-free `BN(a + b)` (eval mode): one output sweep,
+    /// bitwise-equal to adding first and normalizing after.
+    pub fn infer_of_sum(&self, params: &ParamStore, a: &Tensor, b: &Tensor) -> Tensor {
+        let mean = params.buffer(self.running_mean);
+        let var = params.buffer(self.running_var);
+        let out = crate::infer::batch_norm_eval_of_sum_fwd(
+            a,
+            b,
+            params.get(self.gamma),
+            params.get(self.beta),
+            self.eps,
+            &mean,
+            &var,
+        );
+        mean.recycle();
+        var.recycle();
+        out
     }
 }
 
@@ -298,6 +429,32 @@ impl Mlp {
             }
         }
         h
+    }
+
+    /// Tape-free forward (eval mode: dropout is the identity). Recycles
+    /// every intermediate activation, so steady-state inference allocates
+    /// nothing.
+    pub fn infer(&self, params: &ParamStore, x: &Tensor) -> Tensor {
+        let n = self.layers.len();
+        let mut cur: Option<Tensor> = None;
+        for (i, layer) in self.layers.iter().enumerate() {
+            let input = cur.as_ref().unwrap_or(x);
+            let next = if i + 1 < n {
+                if self.act == Activation::Relu {
+                    layer.infer_relu(params, input)
+                } else {
+                    let mut y = layer.infer(params, input);
+                    self.act.infer(&mut y);
+                    y
+                }
+            } else {
+                layer.infer(params, input)
+            };
+            if let Some(prev) = cur.replace(next) {
+                prev.recycle();
+            }
+        }
+        cur.unwrap_or_else(|| x.clone())
     }
 }
 

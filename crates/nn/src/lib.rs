@@ -45,6 +45,7 @@
 
 mod attention;
 mod gatedgcn;
+pub mod infer;
 mod layers;
 mod optim;
 mod params;

@@ -32,9 +32,13 @@ use std::sync::Arc;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::infer::{
+    colvec_zip, concat_cols as concat_cols_fwd, gather_rows, linear_fwd, row_sum_fwd,
+    scatter_add_rows, softmax_rows_fwd, stable_sigmoid,
+};
 use crate::params::{GradStore, ParamId, ParamStore};
 use crate::pool;
-use crate::tensor::{fast_exp, gemm, gemm_abt, gemm_atb, Tensor};
+use crate::tensor::{fast_exp, gemm_abt, gemm_atb, Tensor};
 
 /// Handle to a value on a [`Tape`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -290,35 +294,14 @@ impl<'p> Tape<'p> {
     }
 
     fn linear_forward(&self, x: Var, w: Var, b: Option<Var>, relu: bool) -> Tensor {
-        let xv = self.value(x);
-        let wv = self.value(w);
-        let (m, k) = xv.shape();
-        assert_eq!(
-            k,
-            wv.rows(),
-            "linear shape mismatch: {:?} vs {:?}",
-            xv.shape(),
-            wv.shape()
-        );
-        let n = wv.cols();
-        let mut out = pool::take_capacity(m * n);
-        match b {
-            Some(bvar) => {
-                let bias = self.value(bvar);
-                assert_eq!(bias.shape(), (1, n), "bias must be 1x{n}");
-                for _ in 0..m {
-                    out.extend_from_slice(bias.as_slice());
-                }
-            }
-            None => out.resize(m * n, 0.0),
-        }
-        gemm(xv.as_slice(), wv.as_slice(), &mut out, m, k, n);
-        if relu {
-            for v in out.iter_mut() {
-                *v = v.max(0.0);
-            }
-        }
-        Tensor::from_vec(m, n, out)
+        // Shared with the tape-free inference path (bitwise-equal by
+        // construction; see crate::infer).
+        linear_fwd(
+            self.value(x),
+            self.value(w),
+            b.map(|bvar| self.value(bvar)),
+            relu,
+        )
     }
 
     /// Elementwise sum.
@@ -485,27 +468,7 @@ impl<'p> Tape<'p> {
 
     /// Row-wise softmax.
     pub fn softmax_rows(&mut self, a: Var) -> Var {
-        let out = {
-            let x = self.value(a);
-            let (n, d) = x.shape();
-            // Rows are written append-only (no zero-fill pass): for an
-            // N×N attention matrix the saved memset is a full extra sweep.
-            let mut out = pool::take_capacity(n * d);
-            for r in 0..n {
-                let row = x.row_slice(r);
-                let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-                let start = out.len();
-                // Separate exp/sum/scale passes: the exp pass carries no
-                // cross-iteration dependency, so it vectorizes.
-                out.extend(row.iter().map(|&v| fast_exp(v - max)));
-                let sum: f32 = out[start..].iter().sum();
-                let inv = 1.0 / sum.max(1e-30);
-                for o in &mut out[start..] {
-                    *o *= inv;
-                }
-            }
-            Tensor::from_vec(n, d, out)
-        };
+        let out = softmax_rows_fwd(self.value(a));
         self.push(out, Op::SoftmaxRows(a))
     }
 
@@ -521,21 +484,9 @@ impl<'p> Tape<'p> {
     ///
     /// Panics if row counts differ or `vars` is empty.
     pub fn concat_cols(&mut self, vars: &[Var]) -> Var {
-        assert!(!vars.is_empty(), "concat_cols needs at least one input");
         let out = {
-            let n = self.shape(vars[0]).0;
-            let total: usize = vars.iter().map(|&v| self.shape(v).1).sum();
-            for &v in vars {
-                assert_eq!(self.shape(v).0, n, "concat_cols row mismatch");
-            }
-            // Row-major append: one sequential write pass, no zero-fill.
-            let mut out = pool::take_capacity(n * total);
-            for r in 0..n {
-                for &v in vars {
-                    out.extend_from_slice(self.value(v).row_slice(r));
-                }
-            }
-            Tensor::from_vec(n, total, out)
+            let parts: Vec<&Tensor> = vars.iter().map(|&v| self.value(v)).collect();
+            concat_cols_fwd(&parts)
         };
         self.push(out, Op::ConcatCols(vars.to_vec()))
     }
@@ -557,15 +508,7 @@ impl<'p> Tape<'p> {
 
     /// Row gather: `out[i] = a[idx[i]]`.
     pub fn gather(&mut self, a: Var, idx: Arc<Vec<usize>>) -> Var {
-        let out = {
-            let t = self.value(a);
-            let d = t.cols();
-            let mut out = pool::take_capacity(idx.len() * d);
-            for &j in idx.iter() {
-                out.extend_from_slice(t.row_slice(j));
-            }
-            Tensor::from_vec(idx.len(), d, out)
-        };
+        let out = gather_rows(self.value(a), &idx);
         self.push(out, Op::Gather(a, idx))
     }
 
@@ -576,19 +519,7 @@ impl<'p> Tape<'p> {
     /// Panics if `idx.len()` differs from the row count of `a` or an index
     /// is out of range.
     pub fn scatter_add(&mut self, a: Var, idx: Arc<Vec<usize>>, n_out: usize) -> Var {
-        let out = {
-            let t = self.value(a);
-            assert_eq!(t.rows(), idx.len(), "scatter_add index length mismatch");
-            let d = t.cols();
-            let mut out = Tensor::zeros(n_out, d);
-            for (i, &j) in idx.iter().enumerate() {
-                assert!(j < n_out, "scatter index {j} out of range {n_out}");
-                for (o, &x) in out.row_slice_mut(j).iter_mut().zip(t.row_slice(i)) {
-                    *o += x;
-                }
-            }
-            out
-        };
+        let out = scatter_add_rows(self.value(a), &idx, n_out);
         self.push(out, Op::ScatterAdd(a, idx, n_out))
     }
 
@@ -606,12 +537,7 @@ impl<'p> Tape<'p> {
 
     /// Sum over columns of each row, producing an `N×1` column vector.
     pub fn row_sum(&mut self, a: Var) -> Var {
-        let v = {
-            let t = self.value(a);
-            let mut data = pool::take_capacity(t.rows());
-            data.extend((0..t.rows()).map(|r| t.row_slice(r).iter().sum::<f32>()));
-            Tensor::from_vec(t.rows(), 1, data)
-        };
+        let v = row_sum_fwd(self.value(a));
         self.push(v, Op::RowSum(a))
     }
 
@@ -1303,18 +1229,6 @@ fn acc(local: &mut [Option<Tensor>], v: Var, g: Tensor) {
     }
 }
 
-fn colvec_zip(a: &Tensor, v: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
-    assert_eq!(v.cols(), 1, "broadcast vector must be a column");
-    assert_eq!(a.rows(), v.rows(), "broadcast row mismatch");
-    let (n, d) = a.shape();
-    let mut out = pool::take_capacity(n * d);
-    for r in 0..n {
-        let s = v.get(r, 0);
-        out.extend(a.row_slice(r).iter().map(|&x| f(x, s)));
-    }
-    Tensor::from_vec(n, d, out)
-}
-
 fn softmax_into(row: &[f32], out: &mut [f32]) {
     let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
     for (o, &x) in out.iter_mut().zip(row) {
@@ -1324,21 +1238,6 @@ fn softmax_into(row: &[f32], out: &mut [f32]) {
     let inv = 1.0 / sum.max(1e-30);
     for o in out.iter_mut() {
         *o *= inv;
-    }
-}
-
-/// Numerically stable sigmoid, written select-style (no branch) so the
-/// `map` loops over whole tensors auto-vectorize.
-#[inline]
-fn stable_sigmoid(x: f32) -> f32 {
-    // σ(-|x|) is always evaluated in the stable regime (argument ≤ 0);
-    // σ(x) = 1 − σ(−x) recovers the positive side via a blend.
-    let e = fast_exp(-x.abs());
-    let s = e / (1.0 + e);
-    if x >= 0.0 {
-        1.0 - s
-    } else {
-        s
     }
 }
 

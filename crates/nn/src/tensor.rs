@@ -84,6 +84,21 @@ pub(crate) fn gemm_serial(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: us
         }
         return;
     }
+    // Register-blocked microkernels for the model's power-of-two widths:
+    // the output row lives in a `[f32; N]` accumulator for the whole k
+    // loop (one load, one store) instead of being re-streamed every four
+    // k-steps. The k order, 4-way grouping and panel boundaries are
+    // identical to the generic loop below, so results stay bitwise-equal;
+    // the k ≤ 2·KC bound keeps the whole `b` matrix L1/L2-resident.
+    if k <= 2 * KC {
+        match n {
+            8 => return gemm_fixed_n::<8>(a, b, out, m, k),
+            16 => return gemm_fixed_n::<16>(a, b, out, m, k),
+            32 => return gemm_fixed_n::<32>(a, b, out, m, k),
+            64 => return gemm_fixed_n::<64>(a, b, out, m, k),
+            _ => {}
+        }
+    }
     for p0 in (0..k).step_by(KC) {
         let p1 = (p0 + KC).min(k);
         for i in 0..m {
@@ -98,7 +113,8 @@ pub(crate) fn gemm_serial(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: us
                 let b3 = &b[(p + 3) * n..(p + 3) * n + n];
                 for ((((o, &v0), &v1), &v2), &v3) in orow.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3)
                 {
-                    *o += a0 * v0 + a1 * v1 + a2 * v2 + a3 * v3;
+                    let t = a1.mul_add(v1, a0.mul_add(v0, *o));
+                    *o = a3.mul_add(v3, a2.mul_add(v2, t));
                 }
                 p += 4;
             }
@@ -106,11 +122,115 @@ pub(crate) fn gemm_serial(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: us
                 let av = arow[p];
                 let brow = &b[p * n..p * n + n];
                 for (o, &bv) in orow.iter_mut().zip(brow) {
-                    *o += av * bv;
+                    *o = av.mul_add(bv, *o);
                 }
                 p += 1;
             }
         }
+    }
+}
+
+/// `out += a · b` for a compile-time column count `N`: each output row
+/// accumulates in registers across the whole (panelled, 4-unrolled) k
+/// loop. Same per-element accumulation order as the generic kernel in
+/// [`gemm_serial`], hence bitwise-equal — just ~2× fewer loads/stores.
+fn gemm_fixed_n<const N: usize>(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize) {
+    gemm_fixed_n_epilogue::<N, _>(a, b, out, m, k, |_, _| {});
+}
+
+/// [`gemm_fixed_n`] with a per-row store epilogue: `epilogue(i, acc)`
+/// runs after row `i`'s accumulation completes, just before the store.
+/// Fusing post-GEMM elementwise work here (e.g. the GatedGCN edge
+/// assembly's gathered adds) saves a full read-modify-write sweep of the
+/// output and is bitwise-equal to applying the same ops afterwards.
+pub(crate) fn gemm_fixed_n_epilogue<const N: usize, E>(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    epilogue: E,
+) where
+    E: Fn(usize, &mut [f32; N]),
+{
+    // Two output rows per pass: the four B rows of each k-group are
+    // loaded once and feed both accumulators, roughly halving the load
+    // traffic per FMA. Rows are independent, so per-row arithmetic (and
+    // the single-row tail) is unchanged.
+    let mut i = 0;
+    while i + 2 <= m {
+        let arow0 = &a[i * k..(i + 1) * k];
+        let arow1 = &a[(i + 1) * k..(i + 2) * k];
+        let mut acc0 = [0.0f32; N];
+        let mut acc1 = [0.0f32; N];
+        acc0.copy_from_slice(&out[i * N..(i + 1) * N]);
+        acc1.copy_from_slice(&out[(i + 1) * N..(i + 2) * N]);
+        for p0 in (0..k).step_by(KC) {
+            let p1 = (p0 + KC).min(k);
+            let mut p = p0;
+            while p + 4 <= p1 {
+                let (x0, x1, x2, x3) = (arow0[p], arow0[p + 1], arow0[p + 2], arow0[p + 3]);
+                let (y0, y1, y2, y3) = (arow1[p], arow1[p + 1], arow1[p + 2], arow1[p + 3]);
+                let b0 = &b[p * N..p * N + N];
+                let b1 = &b[(p + 1) * N..(p + 1) * N + N];
+                let b2 = &b[(p + 2) * N..(p + 2) * N + N];
+                let b3 = &b[(p + 3) * N..(p + 3) * N + N];
+                for j in 0..N {
+                    let t0 = x1.mul_add(b1[j], x0.mul_add(b0[j], acc0[j]));
+                    acc0[j] = x3.mul_add(b3[j], x2.mul_add(b2[j], t0));
+                    let t1 = y1.mul_add(b1[j], y0.mul_add(b0[j], acc1[j]));
+                    acc1[j] = y3.mul_add(b3[j], y2.mul_add(b2[j], t1));
+                }
+                p += 4;
+            }
+            while p < p1 {
+                let xv = arow0[p];
+                let yv = arow1[p];
+                let brow = &b[p * N..p * N + N];
+                for j in 0..N {
+                    acc0[j] = xv.mul_add(brow[j], acc0[j]);
+                    acc1[j] = yv.mul_add(brow[j], acc1[j]);
+                }
+                p += 1;
+            }
+        }
+        epilogue(i, &mut acc0);
+        epilogue(i + 1, &mut acc1);
+        out[i * N..(i + 1) * N].copy_from_slice(&acc0);
+        out[(i + 1) * N..(i + 2) * N].copy_from_slice(&acc1);
+        i += 2;
+    }
+    if i < m {
+        let arow = &a[i * k..(i + 1) * k];
+        let orow = &mut out[i * N..(i + 1) * N];
+        let mut acc = [0.0f32; N];
+        acc.copy_from_slice(orow);
+        for p0 in (0..k).step_by(KC) {
+            let p1 = (p0 + KC).min(k);
+            let mut p = p0;
+            while p + 4 <= p1 {
+                let (a0, a1, a2, a3) = (arow[p], arow[p + 1], arow[p + 2], arow[p + 3]);
+                let b0 = &b[p * N..p * N + N];
+                let b1 = &b[(p + 1) * N..(p + 1) * N + N];
+                let b2 = &b[(p + 2) * N..(p + 2) * N + N];
+                let b3 = &b[(p + 3) * N..(p + 3) * N + N];
+                for j in 0..N {
+                    let t = a1.mul_add(b1[j], a0.mul_add(b0[j], acc[j]));
+                    acc[j] = a3.mul_add(b3[j], a2.mul_add(b2[j], t));
+                }
+                p += 4;
+            }
+            while p < p1 {
+                let av = arow[p];
+                let brow = &b[p * N..p * N + N];
+                for j in 0..N {
+                    acc[j] = av.mul_add(brow[j], acc[j]);
+                }
+                p += 1;
+            }
+        }
+        epilogue(i, &mut acc);
+        orow.copy_from_slice(&acc);
     }
 }
 
@@ -160,7 +280,8 @@ fn atb_band(a: &[f32], b: &[f32], oband: &mut [f32], i0: usize, m: usize, k: usi
             let a3 = a[(p + 3) * m + i0 + i];
             let orow = &mut oband[i * n..i * n + n];
             for ((((o, &v0), &v1), &v2), &v3) in orow.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3) {
-                *o += a0 * v0 + a1 * v1 + a2 * v2 + a3 * v3;
+                let t = a1.mul_add(v1, a0.mul_add(v0, *o));
+                *o = a3.mul_add(v3, a2.mul_add(v2, t));
             }
         }
         p += 4;
@@ -171,7 +292,7 @@ fn atb_band(a: &[f32], b: &[f32], oband: &mut [f32], i0: usize, m: usize, k: usi
             let av = a[p * m + i0 + i];
             let orow = &mut oband[i * n..i * n + n];
             for (o, &bv) in orow.iter_mut().zip(brow) {
-                *o += av * bv;
+                *o = av.mul_add(bv, *o);
             }
         }
         p += 1;
@@ -229,12 +350,32 @@ fn dot(x: &[f32], y: &[f32]) -> f32 {
     let mut yc = y.chunks_exact(8);
     for (cx, cy) in (&mut xc).zip(&mut yc) {
         for l in 0..8 {
-            lanes[l] += cx[l] * cy[l];
+            lanes[l] = cx[l].mul_add(cy[l], lanes[l]);
         }
     }
     let mut tail = 0.0f32;
     for (&a, &b) in xc.remainder().iter().zip(yc.remainder()) {
-        tail += a * b;
+        tail = a.mul_add(b, tail);
+    }
+    let s0 = (lanes[0] + lanes[4]) + (lanes[1] + lanes[5]);
+    let s1 = (lanes[2] + lanes[6]) + (lanes[3] + lanes[7]);
+    (s0 + s1) + tail
+}
+
+/// Eight-lane unrolled sum with exactly [`dot`]'s summation tree: equals
+/// `dot(x, ones)` bitwise (multiplying by 1.0 is exact), letting callers
+/// skip materializing an all-ones vector. Keep in sync with [`dot`].
+pub(crate) fn laned_sum(x: &[f32]) -> f32 {
+    let mut lanes = [0.0f32; 8];
+    let mut xc = x.chunks_exact(8);
+    for cx in &mut xc {
+        for l in 0..8 {
+            lanes[l] += cx[l];
+        }
+    }
+    let mut tail = 0.0f32;
+    for &a in xc.remainder() {
+        tail += a;
     }
     let s0 = (lanes[0] + lanes[4]) + (lanes[1] + lanes[5]);
     let s1 = (lanes[2] + lanes[6]) + (lanes[3] + lanes[7]);
@@ -303,7 +444,18 @@ pub(crate) fn gemm_abt(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize
 pub fn fast_exp(x: f32) -> f32 {
     // Bounds where the 2^n exponent construction stays in range.
     let x = x.clamp(-87.0, 88.0);
-    let n = (x * std::f32::consts::LOG2_E).round();
+    // Round to nearest via the 1.5·2^23 magic constant: adding it pushes
+    // the fraction bits out (ties to even), subtracting recovers the
+    // integer. Unlike `f32::round` (a libm call LLVM cannot vectorize)
+    // this is two adds; and because the biased integer `n` also sits in
+    // the low mantissa bits of `x·log₂e + MAGIC`, the `2^n` scale is
+    // built with pure integer ops — no saturating float→int cast, which
+    // was the op that kept every exp/sigmoid/softmax sweep scalar
+    // (vectorizing it cut `map(fast_exp)` from ~1.12 ms to ~0.36 ms per
+    // 580k elements). Valid because |x·log₂e| ≤ 128 « 2^22.
+    const MAGIC: f32 = 12_582_912.0; // 1.5 * 2^23
+    let zf = x * std::f32::consts::LOG2_E + MAGIC;
+    let n = zf - MAGIC;
     // Cody–Waite: subtract n·ln2 in two parts so r keeps full precision.
     const C1: f32 = 0.693_359_375;
     const C2: f32 = -2.121_944_4e-4;
@@ -315,7 +467,10 @@ pub fn fast_exp(x: f32) -> f32 {
         * r
         + 5.000_000_1e-1;
     let y = p * z + r + 1.0;
-    y * f32::from_bits((((n as i32) + 127) << 23) as u32)
+    // bits(MAGIC + n) − bits(MAGIC) = n for |n| < 2^22, so the biased
+    // exponent (n + 127) << 23 comes straight from the float's bits.
+    let n_i = (zf.to_bits() as i32).wrapping_sub(0x4B40_0000);
+    y * f32::from_bits(((n_i + 127) << 23) as u32)
 }
 
 /// A dense, row-major 2-D tensor of `f32`.
@@ -759,9 +914,11 @@ impl Tensor {
         }
     }
 
-    /// Returns the buffer to the thread-local pool. Called by the tape
-    /// when it retires intermediates; not part of the public API surface.
-    pub(crate) fn recycle(self) {
+    /// Returns the buffer to the thread-local pool. The tape calls this
+    /// when it retires intermediates; tape-free inference callers (see
+    /// [`crate::infer`]) do so explicitly after each op so steady-state
+    /// batched inference allocates nothing.
+    pub fn recycle(self) {
         pool::put(self.data);
     }
 }

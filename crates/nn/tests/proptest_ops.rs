@@ -281,4 +281,100 @@ proptest! {
         prop_assert!(v >= 0.0, "BCE {v} < 0");
         prop_assert!(v.is_finite());
     }
+
+    #[test]
+    fn tape_free_mlp_matches_taped_forward(
+        (n, seed) in (1usize..12, 0u64..500),
+    ) {
+        // The batched inference engine runs tape-free; its value must be
+        // bitwise-equal to the eval-mode taped forward (shared kernels).
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        let mlp = cirgps_nn::Mlp::new(
+            &mut store,
+            "mlp",
+            &[5, 7, 3],
+            cirgps_nn::Activation::Relu,
+            0.2, // dropout is the identity in eval mode
+            &mut rng,
+        );
+        let x = random_tensor(n, 5, seed ^ 0xabcd);
+        let taped = {
+            let mut tape = Tape::new(&store, false, 0);
+            let xv = tape.input(x.clone());
+            let y = mlp.forward(&mut tape, xv);
+            tape.value(y).as_slice().to_vec()
+        };
+        let free = mlp.infer(&store, &x);
+        prop_assert_eq!(&taped[..], free.as_slice());
+    }
+
+    #[test]
+    fn tape_free_attention_matches_taped_forward(
+        (n, seed) in (1usize..10, 0u64..500),
+    ) {
+        // A single block spanning every row must reproduce the taped
+        // full-graph attention bitwise, for both attention kinds.
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        let mha = cirgps_nn::MultiHeadAttention::new(&mut store, "a", 8, 2, &mut rng);
+        let perf = cirgps_nn::PerformerAttention::new(&mut store, "p", 8, 2, 16, &mut rng);
+        let x = random_tensor(n, 8, seed ^ 0x55aa);
+
+        let taped_mha = {
+            let mut tape = Tape::new(&store, false, 0);
+            let xv = tape.input(x.clone());
+            let y = mha.forward(&mut tape, xv);
+            tape.value(y).as_slice().to_vec()
+        };
+        let free_mha = mha.infer_blocks(&store, &x, &[(0, n)]);
+        prop_assert_eq!(&taped_mha[..], free_mha.as_slice());
+
+        let taped_perf = {
+            let mut tape = Tape::new(&store, false, 0);
+            let xv = tape.input(x.clone());
+            let y = perf.forward(&mut tape, xv);
+            tape.value(y).as_slice().to_vec()
+        };
+        let free_perf = perf.infer_blocks(&store, &x, &[(0, n)]);
+        prop_assert_eq!(&taped_perf[..], free_perf.as_slice());
+    }
+
+    #[test]
+    fn tape_free_gatedgcn_matches_taped_forward(
+        (n, seed) in (2usize..9, 0u64..500),
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        let layer = cirgps_nn::GatedGcn::new(&mut store, "g", 6, 0.0, &mut rng);
+        // Undirected path graph, both edge directions.
+        let mut src = Vec::new();
+        let mut dst = Vec::new();
+        for i in 1..n {
+            src.push(i - 1);
+            dst.push(i);
+            src.push(i);
+            dst.push(i - 1);
+        }
+        let idx = cirgps_nn::EdgeIndex::new(src, dst);
+        let x = random_tensor(n, 6, seed ^ 0x1111);
+        let e = random_tensor(idx.len(), 6, seed ^ 0x2222);
+
+        let (taped_x, taped_e) = {
+            let mut tape = Tape::new(&store, false, 0);
+            let xv = tape.input(x.clone());
+            let ev = tape.input(e.clone());
+            let (x2, e2) = layer.forward(&mut tape, xv, ev, &idx);
+            (
+                tape.value(x2).as_slice().to_vec(),
+                tape.value(e2).as_slice().to_vec(),
+            )
+        };
+        let (free_x, free_e) = layer.infer(&store, &x, &e, &idx);
+        prop_assert_eq!(&taped_x[..], free_x.as_slice());
+        prop_assert_eq!(&taped_e[..], free_e.as_slice());
+    }
 }

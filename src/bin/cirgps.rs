@@ -13,8 +13,9 @@ use std::process::ExitCode;
 
 use cirgps::datagen::{generate_with_parasitics, DesignKind, SizePreset};
 use cirgps::graph::{netlist_to_graph, GraphStats, XcSpec};
+use cirgps::model::{CircuitGps, InferenceSession, ModelConfig};
 use cirgps::netlist::{Netlist, SpfFile, SpiceFile};
-use cirgps::sample::{DatasetConfig, LinkDataset};
+use cirgps::sample::{CapNormalizer, DatasetConfig, LinkDataset, SamplerConfig, XcNormalizer};
 use cirgps::spice::{net_capacitances, simulate_energy};
 
 fn main() -> ExitCode {
@@ -28,6 +29,7 @@ fn main() -> ExitCode {
         "gen" => cmd_gen(&flags),
         "stats" => cmd_stats(&flags),
         "sample" => cmd_sample(&flags),
+        "predict" => cmd_predict(&flags),
         "energy" => cmd_energy(&flags),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
@@ -60,6 +62,14 @@ USAGE:
                 [--per-type N]
       Join SPF couplings, build the balanced link dataset with 1-hop
       enclosing subgraphs, and print dataset statistics.
+
+  cirgps predict --netlist FILE.sp --top NAME --spf FILE.spf
+                [--task link|cap] [--batch-size N] [--per-type N]
+                [--model FILE.ckpt] [--out FILE.json]
+      Score the design's candidate coupling pairs with the batched
+      tape-free inference engine (block-diagonal attention) and write one
+      JSON object per pair. Without --model a freshly initialized
+      default model is used (structure-only smoke predictions).
 
   cirgps energy --netlist FILE.sp --top NAME --spf FILE.spf
                 [--vectors N] [--vdd V]
@@ -195,6 +205,98 @@ fn cmd_sample(flags: &HashMap<String, String>) -> Result<(), String> {
     );
     let pos = ds.samples.iter().filter(|s| s.link.label > 0.5).count();
     println!("balance: {} positive / {} negative", pos, ds.len() - pos);
+    Ok(())
+}
+
+fn cmd_predict(flags: &HashMap<String, String>) -> Result<(), String> {
+    let netlist = load_netlist(flags)?;
+    let spf = load_spf(flags)?;
+    let per_type: usize = flags
+        .get("per-type")
+        .map(|s| s.parse().map_err(|_| format!("bad --per-type {s:?}")))
+        .unwrap_or(Ok(200))?;
+    let batch_size: usize = flags
+        .get("batch-size")
+        .map(|s| s.parse().map_err(|_| format!("bad --batch-size {s:?}")))
+        .unwrap_or(Ok(32))?;
+    if batch_size == 0 {
+        return Err("--batch-size must be positive".into());
+    }
+    let task = flags.get("task").map(String::as_str).unwrap_or("link");
+    if !matches!(task, "link" | "cap") {
+        return Err(format!("unknown --task {task:?} (expected link or cap)"));
+    }
+
+    let (graph, map) = netlist_to_graph(&netlist);
+    let ds = LinkDataset::build(
+        &netlist.name,
+        &graph,
+        &netlist,
+        &map,
+        &spf,
+        &DatasetConfig {
+            max_per_type: per_type,
+            ..Default::default()
+        },
+    );
+
+    let mut model = CircuitGps::new(ModelConfig::default());
+    if let Some(path) = flags.get("model") {
+        let f = fs::File::open(path).map_err(|e| format!("reading {path}: {e}"))?;
+        model
+            .load(std::io::BufReader::new(f))
+            .map_err(|e| format!("loading checkpoint {path}: {e}"))?;
+    }
+    let xcn = XcNormalizer::fit(&[&graph]);
+    let mut session = InferenceSession::new(
+        model,
+        xcn,
+        &graph,
+        SamplerConfig {
+            hops: 1,
+            max_nodes: 2048,
+        },
+    )
+    .with_batch_size(batch_size);
+
+    // The session re-extracts each pair's subgraph from the *plain*
+    // graph rather than reusing the dataset's: `LinkDataset::build`
+    // samples from an augmented graph with every candidate coupling
+    // injected as an edge (the training-time convention), which would
+    // leak the candidate structure into a pure inference query.
+    let pairs: Vec<(u32, u32)> = ds.samples.iter().map(|s| (s.link.a, s.link.b)).collect();
+    let preds = match task {
+        "link" => session.predict_links(&pairs),
+        _ => session.predict_couplings(&pairs),
+    };
+
+    let cap_norm = CapNormalizer::paper_range();
+    let mut lines = String::new();
+    for (s, &p) in ds.samples.iter().zip(&preds) {
+        let extra = if task == "cap" {
+            format!(",\"cap_pred_f\":{:.4e}", cap_norm.decode(p))
+        } else {
+            String::new()
+        };
+        lines.push_str(&format!(
+            "{{\"a\":{},\"b\":{},\"label\":{},\"{}\":{:.6}{}}}\n",
+            s.link.a,
+            s.link.b,
+            s.link.label,
+            if task == "link" { "prob" } else { "cap_norm" },
+            p,
+            extra
+        ));
+    }
+    match flags.get("out") {
+        Some(path) => fs::write(path, &lines).map_err(|e| format!("writing {path}: {e}"))?,
+        None => print!("{lines}"),
+    }
+    let (hits, misses) = session.cache_stats();
+    eprintln!(
+        "predicted {} pairs (task {task}, batch {batch_size}; sample cache {hits} hits / {misses} misses)",
+        preds.len()
+    );
     Ok(())
 }
 

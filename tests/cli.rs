@@ -66,6 +66,72 @@ fn cli_full_workflow() {
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("mean enclosing subgraph"), "{text}");
 
+    // predict: batched tape-free inference over the design's candidate
+    // pairs, JSON lines out.
+    let out = cirgps()
+        .args([
+            "predict",
+            "--netlist",
+            &sp,
+            "--top",
+            "TIMING_CONTROL",
+            "--spf",
+            &spf,
+            "--per-type",
+            "10",
+            "--batch-size",
+            "4",
+        ])
+        .output()
+        .expect("run predict");
+    assert!(
+        out.status.success(),
+        "predict failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    let first = text.lines().next().expect("at least one prediction");
+    assert!(
+        first.starts_with('{') && first.contains("\"prob\":"),
+        "{first}"
+    );
+    for line in text.lines() {
+        let prob: f32 = line
+            .split("\"prob\":")
+            .nth(1)
+            .and_then(|s| s.trim_end_matches('}').parse().ok())
+            .expect("parse prob");
+        assert!((0.0..=1.0).contains(&prob), "{line}");
+    }
+
+    // predict --task cap writes decoded farads to a file.
+    let out_path = format!("{dir_s}/preds.json");
+    let out = cirgps()
+        .args([
+            "predict",
+            "--netlist",
+            &sp,
+            "--top",
+            "TIMING_CONTROL",
+            "--spf",
+            &spf,
+            "--per-type",
+            "5",
+            "--task",
+            "cap",
+            "--out",
+            &out_path,
+        ])
+        .output()
+        .expect("run predict cap");
+    assert!(
+        out.status.success(),
+        "predict cap failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let written = std::fs::read_to_string(&out_path).expect("read preds");
+    assert!(written.contains("\"cap_pred_f\":"), "{written}");
+
     // energy
     let out = cirgps()
         .args([
