@@ -1,0 +1,9 @@
+//! Attention-only microbench: fused block-diagonal attention ops
+//! (forward+backward) isolated from the rest of the GPS layer. The
+//! measurement body lives in `cirgps_bench::perf` so `bench_json` can
+//! snapshot it too.
+
+use criterion::{criterion_group, criterion_main};
+
+criterion_group!(benches, cirgps_bench::perf::attention_suite);
+criterion_main!(benches);

@@ -1,5 +1,5 @@
 //! Perf-snapshot harness: runs the criterion suites (`layer_forward`,
-//! `sampling`, `full_pipeline`) in-process and writes every result as a
+//! `attention`, `sampling`, `full_pipeline`) in-process and writes every result as a
 //! JSON line `{"group", "name", "ns_per_iter", "iters"}` to
 //! `BENCH_<date>.json`, so successive PRs accumulate a comparable perf
 //! trajectory.
@@ -94,6 +94,8 @@ fn main() -> ExitCode {
     let mut c = Criterion::default();
     eprintln!("== layer_forward ==");
     perf::layer_forward_suite(&mut c);
+    eprintln!("== attention ==");
+    perf::attention_suite(&mut c);
     eprintln!("== sampling ==");
     perf::sampling_suite(&mut c);
     eprintln!("== full_pipeline ==");

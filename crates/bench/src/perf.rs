@@ -16,7 +16,10 @@ use subgraph_sample::{CapNormalizer, DatasetConfig, SamplerConfig, SubgraphSampl
 use crate::{default_model, layer_ablation_configs, DesignData};
 
 /// Tables III/VII "Time" column driver: forward+backward cost of one
-/// training step for each GPS-layer configuration.
+/// training step for each GPS-layer configuration, at sub-batch sizes
+/// 1/4/8 (one packed tape per sub-batch — the training loop's unit of
+/// work). The size-8 rows keep their historical names so committed
+/// `BENCH_*.json` baselines stay comparable.
 pub fn layer_forward_suite(c: &mut Criterion) {
     let d = DesignData::load(DesignKind::DigitalClkGen, SizePreset::Tiny, 7);
     let ds = d.link_dataset(&DatasetConfig {
@@ -26,7 +29,6 @@ pub fn layer_forward_suite(c: &mut Criterion) {
     let xcn = XcNormalizer::fit(&[&d.graph]);
     let cap = CapNormalizer::paper_range();
     let samples = prepare_link_dataset(&ds, PeKind::Dspd, &xcn, |v| cap.encode(v));
-    let batch: Vec<&PreparedSample> = samples.iter().take(8).collect();
 
     let mut group = c.benchmark_group("table3_layer_step");
     group.sample_size(10);
@@ -37,17 +39,81 @@ pub fn layer_forward_suite(c: &mut Criterion) {
             ..default_model(PeKind::Dspd, 7)
         };
         let model = CircuitGps::new(cfg);
-        let label = format!("{mpnn_name}+{attn_name}");
-        group.bench_with_input(BenchmarkId::from_parameter(label), &model, |b, model| {
-            b.iter(|| {
-                let mut grads = GradStore::new(model.store());
-                let mut tape = Tape::new(model.store(), true, 0);
-                let loss = model.loss_link_batch(&mut tape, &batch);
-                tape.backward(loss, &mut grads);
-                std::hint::black_box(&grads);
-            })
-        });
+        for bs in [1usize, 4, 8] {
+            let batch: Vec<&PreparedSample> = samples.iter().take(bs).collect();
+            let label = if bs == 8 {
+                format!("{mpnn_name}+{attn_name}")
+            } else {
+                format!("{mpnn_name}+{attn_name}/bs{bs}")
+            };
+            group.bench_with_input(BenchmarkId::from_parameter(label), &model, |b, model| {
+                b.iter(|| {
+                    let mut grads = GradStore::new(model.store());
+                    let mut tape = Tape::new(model.store(), true, 0);
+                    let loss = model.loss_link_batch(&mut tape, &batch);
+                    tape.backward(loss, &mut grads);
+                    std::hint::black_box(&grads);
+                })
+            });
+        }
     }
+    group.finish();
+}
+
+/// Attention-only microbench: forward+backward of the fused
+/// block-diagonal attention ops over one packed sub-batch (8 blocks of
+/// 96 nodes), isolated from the rest of the GPS layer. This is the op
+/// the block-diagonal rewrite targets, so regressions here are visible
+/// without the MPNN/MLP costs averaged in.
+pub fn attention_suite(c: &mut Criterion) {
+    use cirgps_nn::{MultiHeadAttention, ParamStore, PerformerAttention, Tensor};
+    use rand::{Rng, SeedableRng};
+    use std::sync::Arc;
+
+    const BLOCK_N: usize = 96;
+    const BLOCKS: usize = 8;
+    const DIM: usize = 32;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let mut store = ParamStore::new();
+    let mha = MultiHeadAttention::new(&mut store, "mha", DIM, 4, &mut rng);
+    let perf = PerformerAttention::new(&mut store, "perf", DIM, 4, 32, &mut rng);
+    let n = BLOCK_N * BLOCKS;
+    let x = Tensor::from_vec(
+        n,
+        DIM,
+        (0..n * DIM).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+    );
+    let blocks: Arc<Vec<(usize, usize)>> =
+        Arc::new((0..BLOCKS).map(|b| (b * BLOCK_N, BLOCK_N)).collect());
+    let targets = vec![0.1f32; n * DIM];
+
+    let mut group = c.benchmark_group("attention_micro");
+    group.sample_size(10);
+    group.bench_function("mha_block_diag_fwd_bwd/pack8x96", |b| {
+        b.iter(|| {
+            let mut grads = GradStore::new(&store);
+            let mut tape = Tape::new(&store, true, 0);
+            let xv = tape.input(x.clone());
+            let y = mha.forward_blocks(&mut tape, xv, blocks.clone());
+            let loss = tape.mse_loss(y, &targets);
+            tape.backward(loss, &mut grads);
+            std::hint::black_box(&grads);
+        })
+    });
+    group.bench_function("performer_block_diag_fwd_bwd/pack8x96", |b| {
+        b.iter(|| {
+            let mut grads = GradStore::new(&store);
+            let mut tape = Tape::new(&store, true, 0);
+            let xv = tape.input(x.clone());
+            let y = perf.forward_blocks(&mut tape, xv, blocks.clone());
+            let loss = tape.mse_loss(y, &targets);
+            tape.backward(loss, &mut grads);
+            std::hint::black_box(&grads);
+        })
+    });
+    group.bench_function("mha_infer_blocks/pack8x96", |b| {
+        b.iter(|| std::hint::black_box(mha.infer_blocks(&store, &x, &blocks)).recycle())
+    });
     group.finish();
 }
 

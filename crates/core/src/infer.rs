@@ -6,16 +6,14 @@
 //! and run samples one at a time. This module executes the same forward
 //! pass with no tape, no gradient bookkeeping and no per-op `Var`
 //! allocation, over a whole batch at once. Attention is masked
-//! block-diagonally (per graph), so a batch of `B` packed subgraphs pays
-//! `Σnᵢ²` score cost instead of `(Σnᵢ)²` — and, because every kernel is
-//! shared with the taped forward (see `cirgps-nn`'s `infer` module),
-//! batched predictions are **bitwise-equal** to the per-sample
-//! [`CircuitGps::predict_link`] / [`CircuitGps::predict_reg`] results.
-//!
-//! One caveat: a subgraph with *zero* edges skips the MPNN branch when
-//! predicted alone but runs it (over an empty neighborhood) when packed
-//! with edge-bearing graphs; enclosing subgraphs always carry edges, so
-//! this does not arise in practice.
+//! block-diagonally (per graph) — the same semantics the taped training
+//! path uses — so a batch of `B` packed subgraphs pays `Σnᵢ²` score cost
+//! instead of `(Σnᵢ)²`; and, because every kernel is shared with the
+//! taped forward (see `cirgps-nn`'s `infer` module), batched predictions
+//! are **bitwise-equal** to the per-sample [`CircuitGps::predict_link`]
+//! / [`CircuitGps::predict_reg`] results. The MPNN branch is gated per
+//! graph as well, so even a zero-edge subgraph packed with edge-bearing
+//! ones predicts exactly as it does solo.
 
 use std::collections::{HashMap, VecDeque};
 
@@ -30,10 +28,32 @@ use crate::model::{
 };
 use crate::prepared::PreparedSample;
 
+/// Overwrites the rows of zero-edge blocks in `dst` with the matching
+/// rows of `src`: the per-graph MPNN gate. A zero-edge graph packed with
+/// edge-bearing ones must combine exactly as it would solo (no MPNN
+/// branch), so its rows are restored from the branch-free source — a
+/// bitwise copy, which is what keeps packed predictions bitwise-equal to
+/// per-sample ones even for edgeless subgraphs.
+fn override_edgeless_blocks(
+    dst: &mut Tensor,
+    src: &Tensor,
+    blocks: &[(usize, usize)],
+    edge_counts: &[usize],
+) {
+    for (&(r0, len), &c) in blocks.iter().zip(edge_counts) {
+        if c == 0 {
+            for r in r0..r0 + len {
+                dst.row_slice_mut(r).copy_from_slice(src.row_slice(r));
+            }
+        }
+    }
+}
+
 impl GpsLayer {
     /// Tape-free eval-mode forward of one GPS layer over a packed batch.
     /// Mirrors `GpsLayer::forward` op for op (dropout is the identity in
-    /// eval mode); attention runs block-diagonally.
+    /// eval mode); attention runs block-diagonally and the MPNN branch
+    /// is gated per graph (zero-edge blocks skip it, as they do solo).
     #[allow(clippy::too_many_arguments)] // internal: mirrors the taped signature + two fast-path flags
     fn infer(
         &self,
@@ -42,6 +62,7 @@ impl GpsLayer {
         e: Tensor,
         idx: &EdgeIndex,
         blocks: &[(usize, usize)],
+        edge_counts: &[usize],
         typed_edges: Option<(&[usize], &Tensor)>,
         need_edge_out: bool,
     ) -> (Tensor, Tensor) {
@@ -53,6 +74,9 @@ impl GpsLayer {
             }
             _ => (None, e),
         };
+        // Only a *mixed* pack (some blocks with edges, some without)
+        // needs the gate; an all-edgeless pack never runs the MPNN.
+        let gate = x_m.is_some() && edge_counts.contains(&0);
         let x_a = match (&self.attn, &self.bn_attn) {
             (Some(block), Some(bn)) => {
                 let h = match block {
@@ -69,11 +93,17 @@ impl GpsLayer {
         let combined = match (x_m, x_a) {
             (Some(mut m), Some(a)) => {
                 m.add_assign(&a);
+                if gate {
+                    override_edgeless_blocks(&mut m, &a, blocks, edge_counts);
+                }
                 a.recycle();
                 x.recycle();
                 m
             }
-            (Some(m), None) => {
+            (Some(mut m), None) => {
+                if gate {
+                    override_edgeless_blocks(&mut m, &x, blocks, edge_counts);
+                }
                 x.recycle();
                 m
             }
@@ -145,6 +175,7 @@ impl CircuitGps {
             anchor_rows: inputs.anchor_rows,
         };
         let blocks = layout.blocks();
+        let edge_counts = inputs.edge_counts;
         let n_layers = self.layers.len();
         for (li, layer) in self.layers.iter().enumerate() {
             // The first layer's edge features are a gather of the
@@ -156,7 +187,16 @@ impl CircuitGps {
                     self.edge_type_emb.table(params),
                 )
             });
-            let (nx, ne) = layer.infer(params, x, e, &idx, &blocks, typed, li + 1 < n_layers);
+            let (nx, ne) = layer.infer(
+                params,
+                x,
+                e,
+                &idx,
+                &blocks,
+                &edge_counts,
+                typed,
+                li + 1 < n_layers,
+            );
             x = nx;
             e = ne;
         }
@@ -692,6 +732,102 @@ mod tests {
         let batched = model.predict_link_batch(&refs);
         for (b, s) in batched.iter().zip(&samples) {
             assert_eq!(b.to_bits(), model.predict_link(s).to_bits());
+        }
+    }
+
+    #[test]
+    fn zero_edge_subgraph_packed_matches_solo_bitwise() {
+        // PR 2 caveat, resolved: a zero-edge subgraph packed with
+        // edge-bearing ones used to take the MPNN branch unlike its solo
+        // prediction. The per-graph MPNN gate restores solo semantics,
+        // so packed predictions are bitwise-equal again.
+        let mut b = GraphBuilder::new();
+        let hub = b.add_node(NodeType::Net, "hub");
+        for i in 0..5 {
+            let p = b.add_node(NodeType::Pin, &format!("p{i}"));
+            b.set_xc(p, 0, i as f32);
+            b.add_edge(hub, p, EdgeType::NetPin);
+        }
+        let iso = b.add_node(NodeType::Net, "iso");
+        let g = b.build();
+        let xcn = XcNormalizer::fit(&[&g]);
+        let mut pair_sampler = SubgraphSampler::new(
+            &g,
+            SamplerConfig {
+                hops: 1,
+                max_nodes: 64,
+            },
+        );
+        let mut node_sampler = SubgraphSampler::new(
+            &g,
+            SamplerConfig {
+                hops: 2,
+                max_nodes: 64,
+            },
+        );
+        let samples: Vec<PreparedSample> = vec![
+            PreparedSample::new(
+                pair_sampler.enclosing_subgraph(hub, 1),
+                PeKind::Dspd,
+                &xcn,
+                1.0,
+                0.3,
+            ),
+            // The isolated node's 2-hop subgraph has zero edges.
+            PreparedSample::new(
+                node_sampler.node_subgraph(iso),
+                PeKind::Dspd,
+                &xcn,
+                0.0,
+                0.5,
+            ),
+            PreparedSample::new(
+                pair_sampler.enclosing_subgraph(2, 3),
+                PeKind::Dspd,
+                &xcn,
+                1.0,
+                0.7,
+            ),
+        ];
+        assert_eq!(samples[1].sub.src.len(), 0, "expected a zero-edge subgraph");
+
+        for attn in [
+            AttnKind::Transformer,
+            AttnKind::Performer { features: 8 },
+            AttnKind::None,
+        ] {
+            let model = CircuitGps::new(ModelConfig {
+                hidden_dim: 16,
+                pe_dim: 4,
+                heads: 2,
+                num_layers: 2,
+                mpnn: MpnnKind::GatedGcn,
+                attn,
+                ..Default::default()
+            });
+            let refs: Vec<&PreparedSample> = samples.iter().collect();
+            for (solo, packed) in samples
+                .iter()
+                .map(|s| model.predict_link(s))
+                .zip(model.predict_link_batch(&refs))
+            {
+                assert_eq!(
+                    packed.to_bits(),
+                    solo.to_bits(),
+                    "{attn:?} link: {packed} vs {solo}"
+                );
+            }
+            for (solo, packed) in samples
+                .iter()
+                .map(|s| model.predict_reg(s))
+                .zip(model.predict_reg_batch(&refs))
+            {
+                assert_eq!(
+                    packed.to_bits(),
+                    solo.to_bits(),
+                    "{attn:?} reg: {packed} vs {solo}"
+                );
+            }
         }
     }
 

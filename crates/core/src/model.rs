@@ -57,7 +57,15 @@ pub(crate) struct GpsLayer {
 }
 
 impl GpsLayer {
-    fn forward(&self, tape: &mut Tape, x: Var, e: Var, idx: &EdgeIndex) -> (Var, Var) {
+    fn forward(
+        &self,
+        tape: &mut Tape,
+        x: Var,
+        e: Var,
+        idx: &EdgeIndex,
+        blocks: &Arc<Vec<(usize, usize)>>,
+        edge_counts: &[usize],
+    ) -> (Var, Var) {
         let (x_m, e_out) = match &self.mpnn {
             Some(g) if !idx.is_empty() => {
                 let (xm, em) = g.forward(tape, x, e, idx);
@@ -65,11 +73,26 @@ impl GpsLayer {
             }
             _ => (None, e),
         };
+        // Per-graph MPNN gate: a zero-edge block's rows must combine
+        // exactly as they would solo (no MPNN branch), even when packed
+        // with edge-bearing graphs. The mask is built only for such
+        // mixed packs — never in ordinary training, where every
+        // enclosing subgraph carries edges.
+        let gate = (x_m.is_some() && edge_counts.contains(&0)).then(|| {
+            let n = tape.shape(x).0;
+            let mut mask = vec![0.0f32; n];
+            for (&(r0, len), &c) in blocks.iter().zip(edge_counts) {
+                if c > 0 {
+                    mask[r0..r0 + len].fill(1.0);
+                }
+            }
+            mask
+        });
         let x_a = match (&self.attn, &self.bn_attn) {
             (Some(block), Some(bn)) => {
                 let h = match block {
-                    AttnBlock::Mha(a) => a.forward(tape, x),
-                    AttnBlock::Performer(a) => a.forward(tape, x),
+                    AttnBlock::Mha(a) => a.forward_blocks(tape, x, blocks.clone()),
+                    AttnBlock::Performer(a) => a.forward_blocks(tape, x, blocks.clone()),
                 };
                 // The attention output (a Linear output, whose backward
                 // never reads its own value) is single-use: consume it in
@@ -82,8 +105,25 @@ impl GpsLayer {
         };
         let combined = match (x_m, x_a) {
             // Both branch outputs are single-use BN/residual results.
-            (Some(m), Some(a)) => tape.add_inplace(m, a),
-            (Some(m), None) => m,
+            (Some(m), Some(a)) => match &gate {
+                Some(mask) => {
+                    let mk = tape.input(Tensor::col(mask));
+                    let mm = tape.mul_colvec(m, mk);
+                    tape.add_inplace(mm, a)
+                }
+                None => tape.add_inplace(m, a),
+            },
+            (Some(m), None) => match &gate {
+                Some(mask) => {
+                    let inv: Vec<f32> = mask.iter().map(|&v| 1.0 - v).collect();
+                    let mk = tape.input(Tensor::col(mask));
+                    let ik = tape.input(Tensor::col(&inv));
+                    let mm = tape.mul_colvec(m, mk);
+                    let xx = tape.mul_colvec(x, ik);
+                    tape.add_inplace(mm, xx)
+                }
+                None => m,
+            },
             (None, Some(a)) => a,
             (None, None) => x,
         };
@@ -131,6 +171,8 @@ pub(crate) struct BatchInputs {
     pub(crate) dst: Vec<usize>,
     pub(crate) edge_types: Vec<usize>,
     pub(crate) anchor_rows: Vec<usize>,
+    /// Per-graph directed-edge counts (for the per-graph MPNN gate).
+    pub(crate) edge_counts: Vec<usize>,
 }
 
 pub(crate) fn assemble_batch(samples: &[&PreparedSample]) -> BatchInputs {
@@ -142,6 +184,7 @@ pub(crate) fn assemble_batch(samples: &[&PreparedSample]) -> BatchInputs {
     let mut dst = Vec::new();
     let mut edge_types = Vec::new();
     let mut anchor_rows = Vec::with_capacity(samples.len());
+    let mut edge_counts = Vec::with_capacity(samples.len());
     let mut offset = 0usize;
     for (gi, s) in samples.iter().enumerate() {
         node_types.extend(s.sub.node_types.iter().copied());
@@ -150,6 +193,7 @@ pub(crate) fn assemble_batch(samples: &[&PreparedSample]) -> BatchInputs {
         dst.extend(s.sub.dst.iter().map(|&x| x + offset));
         edge_types.extend(s.sub.edge_types.iter().copied());
         anchor_rows.push(offset);
+        edge_counts.push(s.sub.src.len());
         offset += s.sub.num_nodes();
     }
     BatchInputs {
@@ -160,6 +204,7 @@ pub(crate) fn assemble_batch(samples: &[&PreparedSample]) -> BatchInputs {
         dst,
         edge_types,
         anchor_rows,
+        edge_counts,
     }
 }
 
@@ -459,7 +504,10 @@ impl CircuitGps {
 
     /// Runs the encoder + GPS stack over a *batch* of subgraphs packed
     /// block-diagonally (the GraphGPS batching scheme: batch norm sees
-    /// every node of the minibatch, pooling is per-graph segment mean).
+    /// every node of the minibatch, pooling is per-graph segment mean,
+    /// and global attention is **block-diagonal** — each graph attends
+    /// only to its own nodes, exactly like the tape-free inference
+    /// engine, so training and serving share one semantics).
     ///
     /// Returns the concatenated node features and the per-node graph ids.
     ///
@@ -470,6 +518,16 @@ impl CircuitGps {
     pub fn embed_batch(&self, tape: &mut Tape, samples: &[&PreparedSample]) -> (Var, BatchLayout) {
         let inputs = assemble_batch(samples);
         let total_n = inputs.total_n;
+        let counts: Vec<f32> = samples.iter().map(|s| s.sub.num_nodes() as f32).collect();
+        let layout = BatchLayout {
+            graph_ids: Arc::new(inputs.graph_ids),
+            counts,
+            anchor_rows: inputs.anchor_rows,
+        };
+        // One derivation of the block-diagonal layout for both engines
+        // (the tape-free path calls the same accessor).
+        let blocks = Arc::new(layout.blocks());
+        let edge_counts = inputs.edge_counts;
 
         // Positional encoding block.
         let mut parts: Vec<Var> = Vec::with_capacity(3);
@@ -508,20 +566,12 @@ impl CircuitGps {
             self.edge_type_emb.forward(tape, &inputs.edge_types)
         };
         for layer in &self.layers {
-            let (nx, ne) = layer.forward(tape, x, e, &idx);
+            let (nx, ne) = layer.forward(tape, x, e, &idx, &blocks, &edge_counts);
             x = nx;
             e = ne;
         }
 
-        let counts: Vec<f32> = samples.iter().map(|s| s.sub.num_nodes() as f32).collect();
-        (
-            x,
-            BatchLayout {
-                graph_ids: Arc::new(inputs.graph_ids),
-                counts,
-                anchor_rows: inputs.anchor_rows,
-            },
-        )
+        (x, layout)
     }
 
     /// Per-graph segment mean pooling.
@@ -869,6 +919,49 @@ mod tests {
         assert!(head_hit, "head should train");
         model.unfreeze_all();
         assert!(model.num_params() > 0);
+    }
+
+    #[test]
+    fn mixed_zero_edge_pack_trains_through_per_graph_gate() {
+        // A pack mixing zero-edge and edge-bearing subgraphs exercises
+        // the taped per-graph MPNN gate: the loss must stay finite and
+        // gradients must still reach MPNN, attention and the heads.
+        let normal = sample_with(PeKind::Dspd);
+        let zero = {
+            let mut b = GraphBuilder::new();
+            let _n1 = b.add_node(NodeType::Net, "n1");
+            let iso = b.add_node(NodeType::Net, "iso");
+            let g = b.build();
+            let xcn = XcNormalizer::fit(&[&g]);
+            let mut s = SubgraphSampler::new(
+                &g,
+                SamplerConfig {
+                    hops: 2,
+                    max_nodes: 8,
+                },
+            );
+            PreparedSample::new(s.node_subgraph(iso), PeKind::Dspd, &xcn, 0.0, 0.1)
+        };
+        assert_eq!(zero.sub.src.len(), 0, "expected a zero-edge subgraph");
+        let model = CircuitGps::new(ModelConfig {
+            hidden_dim: 16,
+            pe_dim: 4,
+            heads: 2,
+            num_layers: 2,
+            ..Default::default()
+        });
+        let mut tape = Tape::new(model.store(), true, 1);
+        let loss = model.loss_link_batch(&mut tape, &[&normal, &zero, &normal]);
+        assert!(tape.value(loss).item().is_finite());
+        let mut grads = GradStore::new(model.store());
+        tape.backward(loss, &mut grads);
+        for prefix in ["gps.0.mpnn", "gps.0.attn", "head_link"] {
+            let hit = model
+                .store()
+                .iter()
+                .any(|(id, name, _)| name.starts_with(prefix) && grads.get(id).is_some());
+            assert!(hit, "no gradient under {prefix}");
+        }
     }
 
     #[test]

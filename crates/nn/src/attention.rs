@@ -6,13 +6,11 @@ use std::sync::Arc;
 
 use rand::rngs::StdRng;
 
-use crate::infer::{
-    block_slice, block_slice_scaled, block_write, gather_rows, softmax_rows_scaled_fwd,
-};
+use crate::infer::{linear_fwd, mha_block_diag_fwd, performer_block_diag_fwd, qkv_pack_weights};
 use crate::layers::Linear;
 use crate::params::{normal_init, ParamId, ParamStore};
 use crate::tape::{Tape, Var};
-use crate::tensor::{fast_exp, Tensor};
+use crate::tensor::Tensor;
 
 /// Exact multi-head softmax self-attention over all nodes of a (sub)graph.
 ///
@@ -58,36 +56,38 @@ impl MultiHeadAttention {
         self.heads
     }
 
-    /// Self-attention over an `N × dim` node-feature matrix.
+    /// Self-attention over an `N × dim` node-feature matrix (one block
+    /// spanning every row; see [`MultiHeadAttention::forward_blocks`]).
     pub fn forward(&self, tape: &mut Tape, x: Var) -> Var {
-        let q = self.wq.forward(tape, x);
-        let k = self.wk.forward(tape, x);
-        let v = self.wv.forward(tape, x);
-        let scale = 1.0 / (self.head_dim as f32).sqrt();
-        let mut outs = Vec::with_capacity(self.heads);
-        for h in 0..self.heads {
-            let off = h * self.head_dim;
-            let qh = tape.col_slice(q, off, self.head_dim);
-            let kh = tape.col_slice(k, off, self.head_dim);
-            let vh = tape.col_slice(v, off, self.head_dim);
-            let kt = tape.transpose(kh);
-            let scores = tape.matmul(qh, kt);
-            // The raw score matrix is single-use: scale it in place.
-            let scores = tape.scale_inplace(scores, scale);
-            let attn = tape.softmax_rows(scores);
-            outs.push(tape.matmul(attn, vh));
-        }
-        let cat = tape.concat_cols(&outs);
+        let n = tape.shape(x).0;
+        self.forward_blocks(tape, x, Arc::new(vec![(0, n)]))
+    }
+
+    /// Taped block-diagonal self-attention over a packed batch.
+    ///
+    /// `x` concatenates per-graph node blocks; `blocks` lists each
+    /// graph's `(first_row, row_count)`. Attention is computed within
+    /// each block only — two fused tape ops (one packed QKV GEMM via
+    /// [`Tape::linear_qkv`], one [`Tape::attn_block_diag`]) instead of
+    /// ~10 ops per head, with hand-written backward kernels that never
+    /// materialize a `(ΣN)²` matrix. The forward shares the
+    /// [`MultiHeadAttention::infer_blocks`] kernels, so taped and
+    /// tape-free results are bitwise-equal by construction.
+    pub fn forward_blocks(&self, tape: &mut Tape, x: Var, blocks: Arc<Vec<(usize, usize)>>) -> Var {
+        let wq = tape.param(self.wq.weight_id());
+        let wk = tape.param(self.wk.weight_id());
+        let wv = tape.param(self.wv.weight_id());
+        let qkv = tape.linear_qkv(x, wq, wk, wv);
+        let cat = tape.attn_block_diag(qkv, blocks, self.heads, self.head_dim);
         self.wo.forward(tape, cat)
     }
 
     /// Tape-free block-diagonal self-attention (eval mode).
     ///
-    /// `x` is a concatenation of per-graph node blocks; `blocks` lists
-    /// each graph's `(first_row, row_count)`. Attention is computed
-    /// within each block only, so a batch of packed subgraphs produces
-    /// bitwise-identical rows to running [`MultiHeadAttention::forward`]
-    /// on each subgraph alone — while the `O(N²)` score cost drops from
+    /// Same per-graph semantics as
+    /// [`MultiHeadAttention::forward_blocks`] — a batch of packed
+    /// subgraphs produces bitwise-identical rows to running the model on
+    /// each subgraph alone, while the `O(N²)` score cost drops from
     /// `(Σnᵢ)²` to `Σnᵢ²`.
     ///
     /// # Panics
@@ -99,34 +99,17 @@ impl MultiHeadAttention {
         x: &Tensor,
         blocks: &[(usize, usize)],
     ) -> Tensor {
-        let q = self.wq.infer(params, x);
-        let k = self.wk.infer(params, x);
-        let v = self.wv.infer(params, x);
-        let scale = 1.0 / (self.head_dim as f32).sqrt();
-        let mut cat = Tensor::zeros(x.rows(), x.cols());
-        for &(r0, len) in blocks {
-            for h in 0..self.heads {
-                let off = h * self.head_dim;
-                let qh = block_slice(&q, r0, len, off, self.head_dim);
-                let kh = block_slice(&k, r0, len, off, self.head_dim);
-                let vh = block_slice(&v, r0, len, off, self.head_dim);
-                let kt = kh.transpose();
-                let scores = qh.matmul(&kt);
-                // Scale fused into the softmax sweep (bitwise-equal:
-                // scaling by a positive constant is monotone, so the row
-                // max is the scaled max).
-                let attn = softmax_rows_scaled_fwd(&scores, scale);
-                let out = attn.matmul(&vh);
-                block_write(&mut cat, &out, r0, off);
-                for t in [qh, kh, vh, kt, scores, attn, out] {
-                    t.recycle();
-                }
-            }
-        }
+        let wcat = qkv_pack_weights(
+            params.get(self.wq.weight_id()),
+            params.get(self.wk.weight_id()),
+            params.get(self.wv.weight_id()),
+        );
+        let qkv = linear_fwd(x, &wcat, None, false);
+        wcat.recycle();
+        let (cat, _) = mha_block_diag_fwd(&qkv, blocks, self.heads, self.head_dim, false);
+        qkv.recycle();
         let y = self.wo.infer(params, &cat);
-        for t in [q, k, v, cat] {
-            t.recycle();
-        }
+        cat.recycle();
         y
     }
 }
@@ -191,6 +174,11 @@ impl PerformerAttention {
 
     /// Transposed random projection `Ωᵀ` for one head (shared by the q and
     /// k feature maps, so it is materialized once per head).
+    ///
+    /// Only the kernel-property test composes the feature map from
+    /// generic ops these days — the model path runs the fused
+    /// [`Tape::performer_block_diag`] op.
+    #[cfg(test)]
     fn omega_t(&self, tape: &mut Tape, head: usize) -> Var {
         let omega_all = tape.param(self.proj);
         let rows: Vec<usize> = (head * self.features..(head + 1) * self.features).collect();
@@ -199,6 +187,7 @@ impl PerformerAttention {
     }
 
     /// φ(x) = exp(x̂ Ωᵀ − ‖x̂‖²/2 ) / √m with x̂ = x / d^{1/4}.
+    #[cfg(test)]
     fn feature_map(&self, tape: &mut Tape, x: Var, omega_t: Var) -> Var {
         let scale = 1.0 / (self.head_dim as f32).powf(0.25);
         let xs = tape.scale(x, scale);
@@ -214,62 +203,43 @@ impl PerformerAttention {
         tape.scale_inplace(phi, 1.0 / (self.features as f32).sqrt())
     }
 
-    /// Linear-attention forward pass over an `N × dim` matrix.
+    /// Linear-attention forward pass over an `N × dim` matrix (one block
+    /// spanning every row; see [`PerformerAttention::forward_blocks`]).
     pub fn forward(&self, tape: &mut Tape, x: Var) -> Var {
-        let q = self.wq.forward(tape, x);
-        let k = self.wk.forward(tape, x);
-        let v = self.wv.forward(tape, x);
         let n = tape.shape(x).0;
-        let mut outs = Vec::with_capacity(self.heads);
-        for h in 0..self.heads {
-            let off = h * self.head_dim;
-            let qh = tape.col_slice(q, off, self.head_dim);
-            let kh = tape.col_slice(k, off, self.head_dim);
-            let vh = tape.col_slice(v, off, self.head_dim);
-            let omega_t = self.omega_t(tape, h);
-            let phi_q = self.feature_map(tape, qh, omega_t); // N × m
-            let phi_k = self.feature_map(tape, kh, omega_t); // N × m
-            let phi_k_t = tape.transpose(phi_k); // m × N
-            let kv = tape.matmul(phi_k_t, vh); // m × d_h
-            let num = tape.matmul(phi_q, kv); // N × d_h
-                                              // Denominator: φ(Q) (φ(K)ᵀ 1)
-            let ones = tape.input(crate::tensor::Tensor::ones(n, 1));
-            let k_sum = tape.matmul(phi_k_t, ones); // m × 1
-            let den = tape.matmul(phi_q, k_sum); // N × 1
-            outs.push(tape.div_colvec(num, den));
-        }
-        let cat = tape.concat_cols(&outs);
-        self.wo.forward(tape, cat)
+        self.forward_blocks(tape, x, Arc::new(vec![(0, n)]))
     }
 
-    /// Tape-free φ(x̂) over a pre-scaled input `xs = x / d^{1/4}`;
-    /// per-element arithmetic mirrors
-    /// [`PerformerAttention::feature_map`] exactly, with the squared-norm
-    /// and exp/stabilize/normalize passes fused.
-    fn feature_map_infer(&self, xs: &Tensor, omega_t: &Tensor) -> Tensor {
-        let mut prod = xs.matmul(omega_t);
-        let inv = 1.0 / (self.features as f32).sqrt();
-        let (n, m) = prod.shape();
-        for r in 0..n {
-            // ‖x̂‖²/2: squares summed left-to-right like the taped
-            // mul + row_sum, then halved.
-            let half: f32 = xs.row_slice(r).iter().map(|&v| v * v).sum::<f32>() * 0.5;
-            for v in &mut prod.as_mut_slice()[r * m..(r + 1) * m] {
-                *v = (fast_exp(*v - half) + 1e-6) * inv;
-            }
-        }
-        prod
+    /// Taped block-diagonal linear attention over a packed batch.
+    ///
+    /// Same per-graph semantics as
+    /// [`MultiHeadAttention::forward_blocks`]: two fused tape ops (the
+    /// packed QKV GEMM plus [`Tape::performer_block_diag`]) replace the
+    /// long per-head chain of generic ops. The feature maps φ(q̂)/φ(k̂)
+    /// run once over the whole pack per head; the key aggregation
+    /// `φ(K)ᵀ·V` and the denominators are per block. The forward shares
+    /// the [`PerformerAttention::infer_blocks`] kernels, so taped and
+    /// tape-free results are bitwise-equal by construction.
+    pub fn forward_blocks(&self, tape: &mut Tape, x: Var, blocks: Arc<Vec<(usize, usize)>>) -> Var {
+        let wq = tape.param(self.wq.weight_id());
+        let wk = tape.param(self.wk.weight_id());
+        let wv = tape.param(self.wv.weight_id());
+        let qkv = tape.linear_qkv(x, wq, wk, wv);
+        let cat = tape.performer_block_diag(
+            qkv,
+            self.proj,
+            blocks,
+            self.heads,
+            self.head_dim,
+            self.features,
+        );
+        self.wo.forward(tape, cat)
     }
 
     /// Tape-free block-diagonal linear attention (eval mode).
     ///
-    /// Same contract as [`MultiHeadAttention::infer_blocks`]. The
-    /// feature maps φ(q)/φ(k) are row-wise, so they run once over the
-    /// whole packed batch per head; only the key aggregation `φ(K)ᵀ·V`,
-    /// the per-block key sums and the denominators are per block,
-    /// computed straight on contiguous row ranges of the head slices.
-    /// Every kernel shares the taped path's arithmetic, so results are
-    /// bitwise-equal to the per-graph taped forward.
+    /// Same contract as [`MultiHeadAttention::infer_blocks`]; shares its
+    /// kernels with the taped [`PerformerAttention::forward_blocks`].
     ///
     /// # Panics
     ///
@@ -280,73 +250,25 @@ impl PerformerAttention {
         x: &Tensor,
         blocks: &[(usize, usize)],
     ) -> Tensor {
-        use crate::tensor::{gemm, gemm_atb, laned_sum};
-
-        let q = self.wq.infer(params, x);
-        let k = self.wk.infer(params, x);
-        let v = self.wv.infer(params, x);
-        let n = x.rows();
-        let (m, dh) = (self.features, self.head_dim);
-        let mut cat = Tensor::zeros(n, x.cols());
-        for h in 0..self.heads {
-            // Ωᵀ once per head, shared by every block and both feature maps.
-            let rows: Vec<usize> = (h * m..(h + 1) * m).collect();
-            let omega = gather_rows(params.get(self.proj), &rows);
-            let omega_t = omega.transpose();
-            omega.recycle();
-            let off = h * dh;
-            // Head slices with the x̂ = x/d^{1/4} scale fused into the copy.
-            let scale = 1.0 / (dh as f32).powf(0.25);
-            let xs_q = block_slice_scaled(&q, 0, n, off, dh, scale);
-            let xs_k = block_slice_scaled(&k, 0, n, off, dh, scale);
-            let vh = block_slice(&v, 0, n, off, dh);
-            let phi_q = self.feature_map_infer(&xs_q, &omega_t);
-            let phi_k = self.feature_map_infer(&xs_k, &omega_t);
-            for &(r0, len) in blocks {
-                let pq = &phi_q.as_slice()[r0 * m..(r0 + len) * m];
-                let pk = &phi_k.as_slice()[r0 * m..(r0 + len) * m];
-                let vb = &vh.as_slice()[r0 * dh..(r0 + len) * dh];
-                // kv = φ(K)ᵀ·V over this block's rows (the transposing
-                // kernel reads the same values in the same order as the
-                // taped transpose-then-matmul).
-                let mut kv = crate::pool::take_zeroed(m * dh);
-                gemm_atb(pk, vb, &mut kv, m, len, dh);
-                let mut num = crate::pool::take_zeroed(len * dh);
-                gemm(pq, &kv, &mut num, len, m, dh);
-                // k_sum = φ(K)ᵀ·1: a laned column sum with exactly the
-                // dot kernel's summation tree (see `laned_sum`).
-                let mut k_sum = crate::pool::take_zeroed(m);
-                let mut col = crate::pool::take_zeroed(len);
-                for (f, ks) in k_sum.iter_mut().enumerate() {
-                    for (r, c) in col.iter_mut().enumerate() {
-                        *c = pk[r * m + f];
-                    }
-                    *ks = laned_sum(&col);
-                }
-                crate::pool::put(col);
-                // den = φ(Q)·k_sum (the n == 1 dot path), then the
-                // divide writes straight into the output block.
-                let mut den = crate::pool::take_zeroed(len);
-                gemm(pq, &k_sum, &mut den, len, m, 1);
-                for r in 0..len {
-                    let drow = &mut cat.row_slice_mut(r0 + r)[off..off + dh];
-                    let s = den[r];
-                    for (o, &nv) in drow.iter_mut().zip(&num[r * dh..(r + 1) * dh]) {
-                        *o = nv / s;
-                    }
-                }
-                for buf in [kv, num, k_sum, den] {
-                    crate::pool::put(buf);
-                }
-            }
-            for t in [xs_q, xs_k, vh, phi_q, phi_k, omega_t] {
-                t.recycle();
-            }
-        }
+        let wcat = qkv_pack_weights(
+            params.get(self.wq.weight_id()),
+            params.get(self.wk.weight_id()),
+            params.get(self.wv.weight_id()),
+        );
+        let qkv = linear_fwd(x, &wcat, None, false);
+        wcat.recycle();
+        let (cat, _, _) = performer_block_diag_fwd(
+            &qkv,
+            params.get(self.proj),
+            blocks,
+            self.heads,
+            self.head_dim,
+            self.features,
+            false,
+        );
+        qkv.recycle();
         let y = self.wo.infer(params, &cat);
-        for t in [q, k, v, cat] {
-            t.recycle();
-        }
+        cat.recycle();
         y
     }
 }
@@ -361,6 +283,168 @@ mod tests {
     fn random_input(n: usize, d: usize, seed: u64) -> Tensor {
         let mut rng = StdRng::seed_from_u64(seed);
         Tensor::from_vec(n, d, (0..n * d).map(|_| rng.gen_range(-1.0..1.0)).collect())
+    }
+
+    /// Finite-difference check of every trainable parameter's gradient
+    /// against the fused backward, for a scalar loss built by `build`.
+    fn fd_check_all_params<F>(store: &mut ParamStore, tol: f32, build: F)
+    where
+        F: Fn(&mut Tape) -> Var,
+    {
+        let analytic: Vec<(ParamId, String, Tensor)> = {
+            let mut tape = Tape::new(store, false, 0);
+            let loss = build(&mut tape);
+            assert_eq!(tape.shape(loss), (1, 1), "loss must be scalar");
+            let mut grads = GradStore::new(store);
+            tape.backward(loss, &mut grads);
+            store
+                .iter()
+                .filter(|(id, _, _)| store.is_trainable(*id))
+                .map(|(id, name, _)| {
+                    (
+                        id,
+                        name.to_string(),
+                        grads
+                            .get(id)
+                            .unwrap_or_else(|| panic!("no grad for {name}"))
+                            .clone(),
+                    )
+                })
+                .collect()
+        };
+        let eps = 1e-3f32;
+        for (id, name, ga) in &analytic {
+            for idx in 0..store.get(*id).len() {
+                let orig = store.get(*id).as_slice()[idx];
+                store.get_mut(*id).as_mut_slice()[idx] = orig + eps;
+                let lp = {
+                    let mut t = Tape::new(store, false, 0);
+                    let l = build(&mut t);
+                    t.value(l).item()
+                };
+                store.get_mut(*id).as_mut_slice()[idx] = orig - eps;
+                let lm = {
+                    let mut t = Tape::new(store, false, 0);
+                    let l = build(&mut t);
+                    t.value(l).item()
+                };
+                store.get_mut(*id).as_mut_slice()[idx] = orig;
+                let numeric = (lp - lm) / (2.0 * eps);
+                let a = ga.as_slice()[idx];
+                assert!(
+                    (a - numeric).abs() < tol * (1.0 + a.abs().max(numeric.abs())),
+                    "{name}[{idx}]: analytic {a} vs numeric {numeric}"
+                );
+            }
+        }
+    }
+
+    /// Blocks of 1 / 3 / 17 rows (incl. a single-node block) over 21 rows.
+    const GRADCHECK_BLOCKS: [(usize, usize); 3] = [(0, 1), (1, 3), (4, 17)];
+
+    #[test]
+    fn mha_block_diag_gradcheck() {
+        // The input is itself a parameter so the finite-difference check
+        // covers the fused-QKV `gx` path and the attention op's dQ/dK/dV
+        // in addition to all projection weight gradients.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut store = ParamStore::new();
+        let attn = MultiHeadAttention::new(&mut store, "a", 8, 2, &mut rng);
+        let xid = store.register("x", random_input(21, 8, 4), true);
+        let targets: Vec<f32> = (0..21 * 8)
+            .map(|i| ((i as f32) * 0.13).sin() * 0.3)
+            .collect();
+        fd_check_all_params(&mut store, 3e-2, |tape| {
+            let x = tape.param(xid);
+            let blocks = Arc::new(GRADCHECK_BLOCKS.to_vec());
+            let y = attn.forward_blocks(tape, x, blocks);
+            tape.mse_loss(y, &targets)
+        });
+    }
+
+    #[test]
+    fn performer_block_diag_gradcheck() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut store = ParamStore::new();
+        let attn = PerformerAttention::new(&mut store, "p", 8, 2, 16, &mut rng);
+        let xid = store.register("x", random_input(21, 8, 6), true);
+        let targets: Vec<f32> = (0..21 * 8)
+            .map(|i| ((i as f32) * 0.07).cos() * 0.3)
+            .collect();
+        fd_check_all_params(&mut store, 3e-2, |tape| {
+            let x = tape.param(xid);
+            let blocks = Arc::new(GRADCHECK_BLOCKS.to_vec());
+            let y = attn.forward_blocks(tape, x, blocks);
+            tape.mse_loss(y, &targets)
+        });
+    }
+
+    #[test]
+    fn block_diag_taped_equals_tape_free_multi_block() {
+        // Bitwise: the taped fused forward and the tape-free engine share
+        // their kernels, so a multi-block pack must agree bit for bit.
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut store = ParamStore::new();
+        let mha = MultiHeadAttention::new(&mut store, "a", 8, 2, &mut rng);
+        let perf = PerformerAttention::new(&mut store, "p", 8, 2, 16, &mut rng);
+        let x = random_input(21, 8, 9);
+        let blocks = GRADCHECK_BLOCKS.to_vec();
+
+        let taped_mha = {
+            let mut tape = Tape::new(&store, false, 0);
+            let xv = tape.input(x.clone());
+            let y = mha.forward_blocks(&mut tape, xv, Arc::new(blocks.clone()));
+            tape.value(y).as_slice().to_vec()
+        };
+        assert_eq!(taped_mha, mha.infer_blocks(&store, &x, &blocks).as_slice());
+
+        let taped_perf = {
+            let mut tape = Tape::new(&store, false, 0);
+            let xv = tape.input(x.clone());
+            let y = perf.forward_blocks(&mut tape, xv, Arc::new(blocks.clone()));
+            tape.value(y).as_slice().to_vec()
+        };
+        assert_eq!(
+            taped_perf,
+            perf.infer_blocks(&store, &x, &blocks).as_slice()
+        );
+    }
+
+    #[test]
+    fn block_diag_equals_per_block_solo_runs() {
+        // Per-graph semantics: each block's rows must equal running the
+        // same attention over that block alone (bitwise).
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut store = ParamStore::new();
+        let mha = MultiHeadAttention::new(&mut store, "a", 8, 4, &mut rng);
+        let x = random_input(12, 8, 12);
+        let blocks = vec![(0usize, 5usize), (5, 1), (6, 6)];
+        let packed = {
+            let mut tape = Tape::new(&store, false, 0);
+            let xv = tape.input(x.clone());
+            let y = mha.forward_blocks(&mut tape, xv, Arc::new(blocks.clone()));
+            tape.value(y).clone()
+        };
+        for &(r0, len) in &blocks {
+            let solo = {
+                let mut sub = crate::pool::take_capacity(len * 8);
+                for r in r0..r0 + len {
+                    sub.extend_from_slice(x.row_slice(r));
+                }
+                let sub = Tensor::from_vec(len, 8, sub);
+                let mut tape = Tape::new(&store, false, 0);
+                let xv = tape.input(sub);
+                let y = mha.forward(&mut tape, xv);
+                tape.value(y).clone()
+            };
+            for (r, row) in (r0..r0 + len).zip(0..len) {
+                assert_eq!(
+                    packed.row_slice(r),
+                    solo.row_slice(row),
+                    "block ({r0},{len}) row {row} diverged"
+                );
+            }
+        }
     }
 
     #[test]

@@ -508,6 +508,206 @@ pub(crate) fn softmax_rows_scaled_fwd(x: &Tensor, scale: f32) -> Tensor {
     Tensor::from_vec(n, d, out)
 }
 
+/// Packs the three attention projection weights `[Wq | Wk | Wv]`
+/// (each `d_in × d_out`, row-major) into one `d_in × 3·d_out` matrix so
+/// Q, K and V come out of a single GEMM.
+///
+/// Per output element the GEMM accumulates over `k` in the same order
+/// regardless of the output width, so `x · pack(Wq, Wk, Wv)` is
+/// bitwise-equal to the three separate `x·W` products column for column.
+///
+/// # Panics
+///
+/// Panics if the three weights disagree in shape.
+pub(crate) fn qkv_pack_weights(wq: &Tensor, wk: &Tensor, wv: &Tensor) -> Tensor {
+    let (d_in, d_out) = wq.shape();
+    assert_eq!(wk.shape(), (d_in, d_out), "qkv weight shape mismatch");
+    assert_eq!(wv.shape(), (d_in, d_out), "qkv weight shape mismatch");
+    let mut out = pool::take_capacity(d_in * 3 * d_out);
+    for r in 0..d_in {
+        out.extend_from_slice(wq.row_slice(r));
+        out.extend_from_slice(wk.row_slice(r));
+        out.extend_from_slice(wv.row_slice(r));
+    }
+    Tensor::from_vec(d_in, 3 * d_out, out)
+}
+
+/// Fused block-diagonal multi-head softmax attention forward.
+///
+/// `qkv` is the packed `N × 3·dim` projection (`[Q | K | V]` with
+/// `dim = heads · head_dim`); `blocks` lists each graph's
+/// `(first_row, row_count)` — attention runs within each block only, so
+/// a packed batch pays `Σnᵢ²` score cost instead of `(Σnᵢ)²` and no
+/// `(ΣN)²` matrix is ever materialized. Returns the concatenated
+/// per-head outputs (`N × dim`) plus, when `save` is set, the per-block
+/// per-head attention probability matrices (ordered block-major:
+/// `saved[b · heads + h]`) that the fused backward needs.
+///
+/// Shared by the taped op ([`crate::Tape::attn_block_diag`]) and the
+/// tape-free [`crate::MultiHeadAttention::infer_blocks`], so both paths
+/// are bitwise-equal by construction.
+///
+/// # Panics
+///
+/// Panics if `qkv` is not `N × 3·heads·head_dim` or a block reaches
+/// outside it.
+pub(crate) fn mha_block_diag_fwd(
+    qkv: &Tensor,
+    blocks: &[(usize, usize)],
+    heads: usize,
+    head_dim: usize,
+    save: bool,
+) -> (Tensor, Vec<Tensor>) {
+    let dim = heads * head_dim;
+    assert_eq!(qkv.cols(), 3 * dim, "qkv width must be 3·heads·head_dim");
+    let n = qkv.rows();
+    let scale = 1.0 / (head_dim as f32).sqrt();
+    let mut cat = Tensor::zeros(n, dim);
+    let mut saved = Vec::with_capacity(if save { blocks.len() * heads } else { 0 });
+    for &(r0, len) in blocks {
+        assert!(r0 + len <= n, "attention block out of range");
+        for h in 0..heads {
+            let off = h * head_dim;
+            let qh = block_slice(qkv, r0, len, off, head_dim);
+            let kh = block_slice(qkv, r0, len, dim + off, head_dim);
+            let vh = block_slice(qkv, r0, len, 2 * dim + off, head_dim);
+            let kt = kh.transpose();
+            let scores = qh.matmul(&kt);
+            // Scale fused into the softmax sweep (bitwise-equal: scaling
+            // by a positive constant is monotone, so the row max is the
+            // scaled max).
+            let attn = softmax_rows_scaled_fwd(&scores, scale);
+            let out = attn.matmul(&vh);
+            block_write(&mut cat, &out, r0, off);
+            for t in [qh, kh, vh, kt, scores, out] {
+                t.recycle();
+            }
+            if save {
+                saved.push(attn);
+            } else {
+                attn.recycle();
+            }
+        }
+    }
+    (cat, saved)
+}
+
+/// Performer feature map φ(x̂) over a pre-scaled input `xs = x / d^{1/4}`:
+/// `φ = (exp(x̂ Ωᵀ − ‖x̂‖²/2) + ε) / √m`, with the squared-norm and
+/// exp/stabilize/normalize passes fused. Per-element arithmetic matches
+/// the unfused exp → +ε → ·(1/√m) sequence exactly (no reassociation),
+/// and the squares are summed left-to-right like a `mul` + `row_sum`.
+pub(crate) fn performer_feature_map_fwd(xs: &Tensor, omega_t: &Tensor, features: usize) -> Tensor {
+    let mut prod = xs.matmul(omega_t);
+    let inv = 1.0 / (features as f32).sqrt();
+    let (n, m) = prod.shape();
+    for r in 0..n {
+        let half: f32 = xs.row_slice(r).iter().map(|&v| v * v).sum::<f32>() * 0.5;
+        for v in &mut prod.as_mut_slice()[r * m..(r + 1) * m] {
+            *v = (fast_exp(*v - half) + 1e-6) * inv;
+        }
+    }
+    prod
+}
+
+/// Fused block-diagonal Performer (FAVOR+) attention forward.
+///
+/// Same contract as [`mha_block_diag_fwd`], with `proj` the stacked
+/// frozen random projection (`heads·features × head_dim`). The row-wise
+/// feature maps φ(q̂)/φ(k̂) run once over the whole packed batch per
+/// head; only the key aggregation `φ(K)ᵀ·V`, the per-block key sums and
+/// the denominators are per block. When `save` is set the per-head
+/// feature maps (`N × features`, needed by the fused backward) are
+/// returned as `(φ_q, φ_k)` vectors indexed by head.
+///
+/// # Panics
+///
+/// Panics on shape mismatch or a block outside `qkv`.
+pub(crate) fn performer_block_diag_fwd(
+    qkv: &Tensor,
+    proj: &Tensor,
+    blocks: &[(usize, usize)],
+    heads: usize,
+    head_dim: usize,
+    features: usize,
+    save: bool,
+) -> (Tensor, Vec<Tensor>, Vec<Tensor>) {
+    use crate::tensor::{gemm, gemm_atb, laned_sum};
+
+    let dim = heads * head_dim;
+    let (m, dh) = (features, head_dim);
+    assert_eq!(qkv.cols(), 3 * dim, "qkv width must be 3·heads·head_dim");
+    assert_eq!(proj.shape(), (heads * m, dh), "projection shape mismatch");
+    let n = qkv.rows();
+    let mut cat = Tensor::zeros(n, dim);
+    let mut saved_q = Vec::with_capacity(if save { heads } else { 0 });
+    let mut saved_k = Vec::with_capacity(if save { heads } else { 0 });
+    for h in 0..heads {
+        // Ωᵀ once per head, shared by every block and both feature maps.
+        let rows: Vec<usize> = (h * m..(h + 1) * m).collect();
+        let omega = gather_rows(proj, &rows);
+        let omega_t = omega.transpose();
+        omega.recycle();
+        let off = h * dh;
+        // Head slices with the x̂ = x/d^{1/4} scale fused into the copy.
+        let scale = 1.0 / (dh as f32).powf(0.25);
+        let xs_q = block_slice_scaled(qkv, 0, n, off, dh, scale);
+        let xs_k = block_slice_scaled(qkv, 0, n, dim + off, dh, scale);
+        let vh = block_slice(qkv, 0, n, 2 * dim + off, dh);
+        let phi_q = performer_feature_map_fwd(&xs_q, &omega_t, m);
+        let phi_k = performer_feature_map_fwd(&xs_k, &omega_t, m);
+        for &(r0, len) in blocks {
+            assert!(r0 + len <= n, "attention block out of range");
+            let pq = &phi_q.as_slice()[r0 * m..(r0 + len) * m];
+            let pk = &phi_k.as_slice()[r0 * m..(r0 + len) * m];
+            let vb = &vh.as_slice()[r0 * dh..(r0 + len) * dh];
+            // kv = φ(K)ᵀ·V over this block's rows (the transposing
+            // kernel reads the same values in the same order as the
+            // taped transpose-then-matmul).
+            let mut kv = pool::take_zeroed(m * dh);
+            gemm_atb(pk, vb, &mut kv, m, len, dh);
+            let mut num = pool::take_zeroed(len * dh);
+            gemm(pq, &kv, &mut num, len, m, dh);
+            // k_sum = φ(K)ᵀ·1: a laned column sum with exactly the dot
+            // kernel's summation tree (see `laned_sum`).
+            let mut k_sum = pool::take_zeroed(m);
+            let mut col = pool::take_zeroed(len);
+            for (f, ks) in k_sum.iter_mut().enumerate() {
+                for (r, c) in col.iter_mut().enumerate() {
+                    *c = pk[r * m + f];
+                }
+                *ks = laned_sum(&col);
+            }
+            pool::put(col);
+            // den = φ(Q)·k_sum (the n == 1 dot path), then the divide
+            // writes straight into the output block.
+            let mut den = pool::take_zeroed(len);
+            gemm(pq, &k_sum, &mut den, len, m, 1);
+            for r in 0..len {
+                let drow = &mut cat.row_slice_mut(r0 + r)[off..off + dh];
+                let s = den[r];
+                for (o, &nv) in drow.iter_mut().zip(&num[r * dh..(r + 1) * dh]) {
+                    *o = nv / s;
+                }
+            }
+            for buf in [kv, num, k_sum, den] {
+                pool::put(buf);
+            }
+        }
+        for t in [xs_q, xs_k, vh, omega_t] {
+            t.recycle();
+        }
+        if save {
+            saved_q.push(phi_q);
+            saved_k.push(phi_k);
+        } else {
+            phi_q.recycle();
+            phi_k.recycle();
+        }
+    }
+    (cat, saved_q, saved_k)
+}
+
 /// Eval-mode batch norm: normalizes by the given (running) statistics,
 /// then applies the affine transform. Matches the tape's eval-mode
 /// `batch_norm` arithmetic element for element: the inverse standard

@@ -115,6 +115,12 @@ impl Linear {
         self.in_dim
     }
 
+    /// The weight's [`ParamId`] (for fused multi-projection ops that
+    /// read several layers' weights at once, e.g. the packed QKV GEMM).
+    pub(crate) fn weight_id(&self) -> ParamId {
+        self.w
+    }
+
     /// Output feature dimension.
     pub fn out_dim(&self) -> usize {
         self.out_dim

@@ -33,8 +33,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::infer::{
-    colvec_zip, concat_cols as concat_cols_fwd, gather_rows, linear_fwd, row_sum_fwd,
-    scatter_add_rows, softmax_rows_fwd, stable_sigmoid,
+    block_slice, block_write, colvec_zip, concat_cols as concat_cols_fwd, gather_rows, linear_fwd,
+    mha_block_diag_fwd, performer_block_diag_fwd, qkv_pack_weights, row_sum_fwd, scatter_add_rows,
+    softmax_rows_fwd, stable_sigmoid,
 };
 use crate::params::{GradStore, ParamId, ParamStore};
 use crate::pool;
@@ -122,6 +123,40 @@ enum Op {
         logits: Var,
         labels: Arc<Vec<usize>>,
         softmax: Tensor,
+    },
+    /// Fused QKV projection: one GEMM against the packed `[Wq|Wk|Wv]`
+    /// weight (stored for the backward) producing an `N × 3d` output.
+    LinearQkv {
+        x: Var,
+        wq: Var,
+        wk: Var,
+        wv: Var,
+        wcat: Tensor,
+    },
+    /// Fused block-diagonal multi-head softmax attention over a packed
+    /// `N × 3d` QKV matrix. `attn` holds the per-block per-head
+    /// attention probabilities (block-major) for the fused backward.
+    AttnBlockDiag {
+        qkv: Var,
+        blocks: Arc<Vec<(usize, usize)>>,
+        heads: usize,
+        head_dim: usize,
+        attn: Vec<Tensor>,
+    },
+    /// Fused block-diagonal Performer (FAVOR+) attention over a packed
+    /// `N × 3d` QKV matrix. `phi_q`/`phi_k` hold the per-head feature
+    /// maps (`N × features`) for the fused backward; the random
+    /// projection `proj` is frozen by construction, so no gradient is
+    /// propagated to it.
+    PerformerBlockDiag {
+        qkv: Var,
+        proj: ParamId,
+        blocks: Arc<Vec<(usize, usize)>>,
+        heads: usize,
+        head_dim: usize,
+        features: usize,
+        phi_q: Vec<Tensor>,
+        phi_k: Vec<Tensor>,
     },
 }
 
@@ -223,6 +258,17 @@ impl<'p> Tape<'p> {
                     invstd.recycle();
                 }
                 Op::CrossEntropy { softmax, .. } => softmax.recycle(),
+                Op::LinearQkv { wcat, .. } => wcat.recycle(),
+                Op::AttnBlockDiag { attn, .. } => {
+                    for a in attn {
+                        a.recycle();
+                    }
+                }
+                Op::PerformerBlockDiag { phi_q, phi_k, .. } => {
+                    for t in phi_q.into_iter().chain(phi_k) {
+                        t.recycle();
+                    }
+                }
                 // The mask is pool-backed; reclaim it unless a clone of the
                 // Arc escaped the tape.
                 Op::Dropout(_, mask) => {
@@ -787,6 +833,120 @@ impl<'p> Tape<'p> {
         )
     }
 
+    /// Fused QKV projection: `x·[Wq|Wk|Wv]` as **one** GEMM producing an
+    /// `N × 3d` output (`[Q|K|V]`), with a matching fused backward that
+    /// computes `gx` and all three weight gradients from a single pair
+    /// of GEMMs. Column-for-column bitwise-equal to the three separate
+    /// `x·W` products (the per-element accumulation order over `k` does
+    /// not depend on the output width).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the three weights disagree in shape or `x`'s width does
+    /// not match them.
+    pub fn linear_qkv(&mut self, x: Var, wq: Var, wk: Var, wv: Var) -> Var {
+        let (out, wcat) = {
+            let wcat = qkv_pack_weights(self.value(wq), self.value(wk), self.value(wv));
+            let out = linear_fwd(self.value(x), &wcat, None, false);
+            (out, wcat)
+        };
+        self.push(
+            out,
+            Op::LinearQkv {
+                x,
+                wq,
+                wk,
+                wv,
+                wcat,
+            },
+        )
+    }
+
+    /// Fused block-diagonal multi-head softmax attention over a packed
+    /// `N × 3d` QKV matrix (see [`Tape::linear_qkv`]): per-head softmax
+    /// attention within each `(first_row, row_count)` block, one tape op
+    /// for the whole pack. Forward work and memory are `Σnᵢ²` per head
+    /// instead of `(Σnᵢ)²`; the backward applies the fused
+    /// softmax-attention gradient `dS = A ⊙ (dP − rowsum(dP ⊙ A))` per
+    /// block, so no `(ΣN)²` matrix exists on either pass. Forward
+    /// kernels are shared with
+    /// [`crate::MultiHeadAttention::infer_blocks`], hence bitwise-equal
+    /// to it by construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qkv` is not `N × 3·heads·head_dim` or a block reaches
+    /// outside it.
+    pub fn attn_block_diag(
+        &mut self,
+        qkv: Var,
+        blocks: Arc<Vec<(usize, usize)>>,
+        heads: usize,
+        head_dim: usize,
+    ) -> Var {
+        let (out, attn) = mha_block_diag_fwd(self.value(qkv), &blocks, heads, head_dim, true);
+        self.push(
+            out,
+            Op::AttnBlockDiag {
+                qkv,
+                blocks,
+                heads,
+                head_dim,
+                attn,
+            },
+        )
+    }
+
+    /// Fused block-diagonal Performer (FAVOR+) attention over a packed
+    /// `N × 3d` QKV matrix: the per-head feature maps run once over the
+    /// whole pack, the key aggregation `φ(K)ᵀ·V` and denominators per
+    /// block. One tape op for the whole pack; the backward
+    /// differentiates through the per-block linear attention and the
+    /// exp feature map analytically. `proj` (the stacked random
+    /// projection) must be frozen — no gradient is propagated to it,
+    /// matching the reference implementation's non-redrawn features.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch, a block outside `qkv`, or (debug) a
+    /// trainable `proj`.
+    pub fn performer_block_diag(
+        &mut self,
+        qkv: Var,
+        proj: ParamId,
+        blocks: Arc<Vec<(usize, usize)>>,
+        heads: usize,
+        head_dim: usize,
+        features: usize,
+    ) -> Var {
+        debug_assert!(
+            !self.params.is_trainable(proj),
+            "performer projection must be frozen: its gradient is never computed"
+        );
+        let (out, phi_q, phi_k) = performer_block_diag_fwd(
+            self.value(qkv),
+            self.params.get(proj),
+            &blocks,
+            heads,
+            head_dim,
+            features,
+            true,
+        );
+        self.push(
+            out,
+            Op::PerformerBlockDiag {
+                qkv,
+                proj,
+                blocks,
+                heads,
+                head_dim,
+                features,
+                phi_q,
+                phi_k,
+            },
+        )
+    }
+
     /// Runs reverse-mode differentiation from `loss`, accumulating parameter
     /// gradients into `grads`.
     ///
@@ -1159,6 +1319,213 @@ impl<'p> Tape<'p> {
                         ga.set(r, lab, ga.get(r, lab) - gscale);
                     }
                     acc(&mut local, *logits, ga);
+                    g.recycle();
+                }
+                Op::LinearQkv {
+                    x,
+                    wq,
+                    wk,
+                    wv,
+                    wcat,
+                } => {
+                    let xv = self.value(*x);
+                    let (n, d_in) = xv.shape();
+                    let d3 = g.cols();
+                    let d_out = d3 / 3;
+                    // gx = g · Wcatᵀ: one GEMM over the packed weight.
+                    let mut gx = pool::take_zeroed(n * d_in);
+                    gemm_abt(g.as_slice(), wcat.as_slice(), &mut gx, n, d3, d_in);
+                    // gWcat = xᵀ · g, then split into the three
+                    // projection gradients (column blocks of the pack).
+                    let mut gw = pool::take_zeroed(d_in * d3);
+                    gemm_atb(xv.as_slice(), g.as_slice(), &mut gw, d_in, n, d3);
+                    for (slot, var) in [(0usize, *wq), (1, *wk), (2, *wv)] {
+                        let mut part = pool::take_capacity(d_in * d_out);
+                        for r in 0..d_in {
+                            let base = r * d3 + slot * d_out;
+                            part.extend_from_slice(&gw[base..base + d_out]);
+                        }
+                        acc(&mut local, var, Tensor::from_vec(d_in, d_out, part));
+                    }
+                    pool::put(gw);
+                    acc(&mut local, *x, Tensor::from_vec(n, d_in, gx));
+                    g.recycle();
+                }
+                Op::AttnBlockDiag {
+                    qkv,
+                    blocks,
+                    heads,
+                    head_dim,
+                    attn,
+                } => {
+                    let qkv_v = self.value(*qkv);
+                    let (heads, dh) = (*heads, *head_dim);
+                    let dim = heads * dh;
+                    let scale = 1.0 / (dh as f32).sqrt();
+                    let mut gq = Tensor::zeros(qkv_v.rows(), 3 * dim);
+                    for (bi, &(r0, len)) in blocks.iter().enumerate() {
+                        for h in 0..heads {
+                            let off = h * dh;
+                            let a = &attn[bi * heads + h]; // len×len probs
+                            let gh = block_slice(&g, r0, len, off, dh);
+                            let vh = block_slice(qkv_v, r0, len, 2 * dim + off, dh);
+                            // dV = Aᵀ·gO
+                            let dv = a.t_matmul(&gh);
+                            // dP = gO·Vᵀ — len×len, per block only: the
+                            // score-gradient matrix never exceeds one
+                            // graph's quadratic footprint.
+                            let mut ds = gh.matmul_t(&vh);
+                            // dS = scale · A ⊙ (dP − rowsum(dP ⊙ A)):
+                            // the softmax backward fused with the score
+                            // scaling, in place on dP.
+                            for r in 0..len {
+                                let ar = a.row_slice(r);
+                                let dr = ds.row_slice_mut(r);
+                                let dot: f32 = dr.iter().zip(ar).map(|(&x, &y)| x * y).sum();
+                                for (dsv, &av) in dr.iter_mut().zip(ar) {
+                                    *dsv = (*dsv - dot) * av * scale;
+                                }
+                            }
+                            let qh = block_slice(qkv_v, r0, len, off, dh);
+                            let kh = block_slice(qkv_v, r0, len, dim + off, dh);
+                            // dQ = dS·K and dK = dSᵀ·Q, written straight
+                            // into the packed QKV gradient (head column
+                            // ranges and blocks are disjoint).
+                            let dq = ds.matmul(&kh);
+                            let dk = ds.t_matmul(&qh);
+                            block_write(&mut gq, &dq, r0, off);
+                            block_write(&mut gq, &dk, r0, dim + off);
+                            block_write(&mut gq, &dv, r0, 2 * dim + off);
+                            for t in [gh, vh, qh, kh, dv, ds, dq, dk] {
+                                t.recycle();
+                            }
+                        }
+                    }
+                    acc(&mut local, *qkv, gq);
+                    g.recycle();
+                }
+                Op::PerformerBlockDiag {
+                    qkv,
+                    proj,
+                    blocks,
+                    heads,
+                    head_dim,
+                    features,
+                    phi_q,
+                    phi_k,
+                } => {
+                    let qkv_v = self.value(*qkv);
+                    let y = self.value(Var(i));
+                    let (heads, dh, m) = (*heads, *head_dim, *features);
+                    let dim = heads * dh;
+                    let n = qkv_v.rows();
+                    let inv_sqrt_m = 1.0 / (m as f32).sqrt();
+                    let xscale = 1.0 / (dh as f32).powf(0.25);
+                    let mut gq = Tensor::zeros(n, 3 * dim);
+                    for h in 0..heads {
+                        let off = h * dh;
+                        let pq_all = &phi_q[h];
+                        let pk_all = &phi_k[h];
+                        let mut dphi_q = Tensor::zeros(n, m);
+                        let mut dphi_k = Tensor::zeros(n, m);
+                        for &(r0, len) in blocks.iter() {
+                            let pq = block_slice(pq_all, r0, len, 0, m);
+                            let pk = block_slice(pk_all, r0, len, 0, m);
+                            let vh = block_slice(qkv_v, r0, len, 2 * dim + off, dh);
+                            let gh = block_slice(&g, r0, len, off, dh);
+                            let yb = block_slice(y, r0, len, off, dh);
+                            // Cheap forward intermediates, recomputed per
+                            // block: kv = φ(K)ᵀ·V, ksum = φ(K)ᵀ·1,
+                            // den = φ(Q)·ksum.
+                            let kv = pk.t_matmul(&vh); // m×dh
+                            let mut ksum = pool::take_zeroed(m);
+                            for r in 0..len {
+                                for (s, &v) in ksum.iter_mut().zip(pk.row_slice(r)) {
+                                    *s += v;
+                                }
+                            }
+                            let ksum = Tensor::from_vec(m, 1, ksum);
+                            let den = pq.matmul(&ksum); // len×1
+                                                        // out = num/den ⇒ dnum = gO/den,
+                                                        // dden = −rowsum(gO ⊙ out)/den.
+                            let mut dnum = pool::take_capacity(len * dh);
+                            let mut dden = pool::take_capacity(len);
+                            for r in 0..len {
+                                let dval = den.get(r, 0);
+                                let mut s = 0.0f32;
+                                for (&gv, &yv) in gh.row_slice(r).iter().zip(yb.row_slice(r)) {
+                                    s += gv * yv;
+                                    dnum.push(gv / dval);
+                                }
+                                dden.push(-s / dval);
+                            }
+                            let dnum = Tensor::from_vec(len, dh, dnum);
+                            let dden = Tensor::from_vec(len, 1, dden);
+                            // dφ(Q) = dnum·kvᵀ + dden·ksumᵀ
+                            let mut dp = dnum.matmul_t(&kv); // len×m
+                            for r in 0..len {
+                                let dd = dden.get(r, 0);
+                                for (o, &ks) in dp.row_slice_mut(r).iter_mut().zip(ksum.as_slice())
+                                {
+                                    *o += dd * ks;
+                                }
+                            }
+                            // dkv = φ(Q)ᵀ·dnum, dksum = φ(Q)ᵀ·dden
+                            let dkv = pq.t_matmul(&dnum); // m×dh
+                            let dksum = pq.t_matmul(&dden); // m×1
+                                                            // dφ(K) = V·dkvᵀ + 1·dksumᵀ
+                            let mut dpk = vh.matmul_t(&dkv); // len×m
+                            for r in 0..len {
+                                for (o, &dks) in
+                                    dpk.row_slice_mut(r).iter_mut().zip(dksum.as_slice())
+                                {
+                                    *o += dks;
+                                }
+                            }
+                            // dV = φ(K)·dkv, straight into the packed
+                            // QKV gradient.
+                            let dvh = pk.matmul(&dkv); // len×dh
+                            block_write(&mut gq, &dvh, r0, 2 * dim + off);
+                            block_write(&mut dphi_q, &dp, r0, 0);
+                            block_write(&mut dphi_k, &dpk, r0, 0);
+                            for t in [
+                                pq, pk, vh, gh, yb, kv, ksum, den, dnum, dden, dp, dkv, dksum, dpk,
+                                dvh,
+                            ] {
+                                t.recycle();
+                            }
+                        }
+                        // Feature-map backward, once over the whole pack
+                        // per head (mirrors the forward structure):
+                        // φ = (exp(z) + ε)/√m ⇒ dz = dφ ⊙ (φ − ε/√m);
+                        // z = x̂Ωᵀ − ‖x̂‖²/2 ⇒ dx̂ = dz·Ω − x̂·rowsum(dz);
+                        // x̂ = x/d^{1/4} ⇒ dx = dx̂/d^{1/4}.
+                        let rows: Vec<usize> = (h * m..(h + 1) * m).collect();
+                        let omega = gather_rows(self.params.get(*proj), &rows); // m×dh
+                        for (dphi, phi, col0) in
+                            [(dphi_q, pq_all, off), (dphi_k, pk_all, dim + off)]
+                        {
+                            let mut dz = dphi;
+                            for (dzv, &pv) in dz.as_mut_slice().iter_mut().zip(phi.as_slice()) {
+                                *dzv *= pv - 1e-6 * inv_sqrt_m;
+                            }
+                            let dxs = dz.matmul(&omega); // N×dh
+                            for r in 0..n {
+                                let rs: f32 = dz.row_slice(r).iter().sum();
+                                let xrow = &qkv_v.row_slice(r)[col0..col0 + dh];
+                                let grow = &mut gq.row_slice_mut(r)[col0..col0 + dh];
+                                for ((o, &dxv), &xv) in
+                                    grow.iter_mut().zip(dxs.row_slice(r)).zip(xrow)
+                                {
+                                    *o = xscale * (dxv - (xscale * xv) * rs);
+                                }
+                            }
+                            dz.recycle();
+                            dxs.recycle();
+                        }
+                        omega.recycle();
+                    }
+                    acc(&mut local, *qkv, gq);
                     g.recycle();
                 }
             }

@@ -343,6 +343,50 @@ proptest! {
     }
 
     #[test]
+    fn taped_block_diag_attention_matches_tape_free(
+        (n, seed) in (1usize..12, 0u64..300),
+    ) {
+        // Random partition of the pack into per-graph blocks: the taped
+        // fused block-diagonal ops and the tape-free engine share their
+        // forward kernels, so any block layout must agree bitwise for
+        // both attention kinds.
+        use rand::{Rng, SeedableRng};
+        use std::sync::Arc;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut blocks = Vec::new();
+        let mut r0 = 0usize;
+        while r0 < n {
+            let len = rng.gen_range(0..n - r0) + 1;
+            blocks.push((r0, len));
+            r0 += len;
+        }
+
+        let mut prng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x7777);
+        let mut store = ParamStore::new();
+        let mha = cirgps_nn::MultiHeadAttention::new(&mut store, "a", 8, 2, &mut prng);
+        let perf = cirgps_nn::PerformerAttention::new(&mut store, "p", 8, 2, 16, &mut prng);
+        let x = random_tensor(n, 8, seed ^ 0x33cc);
+
+        let taped_mha = {
+            let mut tape = Tape::new(&store, false, 0);
+            let xv = tape.input(x.clone());
+            let y = mha.forward_blocks(&mut tape, xv, Arc::new(blocks.clone()));
+            tape.value(y).as_slice().to_vec()
+        };
+        let free_mha = mha.infer_blocks(&store, &x, &blocks);
+        prop_assert_eq!(&taped_mha[..], free_mha.as_slice());
+
+        let taped_perf = {
+            let mut tape = Tape::new(&store, false, 0);
+            let xv = tape.input(x.clone());
+            let y = perf.forward_blocks(&mut tape, xv, Arc::new(blocks.clone()));
+            tape.value(y).as_slice().to_vec()
+        };
+        let free_perf = perf.infer_blocks(&store, &x, &blocks);
+        prop_assert_eq!(&taped_perf[..], free_perf.as_slice());
+    }
+
+    #[test]
     fn tape_free_gatedgcn_matches_taped_forward(
         (n, seed) in (2usize..9, 0u64..500),
     ) {
