@@ -1,0 +1,8 @@
+//! Serving-daemon throughput: the `cirgps-serve` dynamic micro-batcher
+//! driven in-process with real scheduler workers. The measurement body
+//! lives in `cirgps_bench::perf` so `bench_json` can snapshot it too.
+
+use criterion::{criterion_group, criterion_main};
+
+criterion_group!(benches, cirgps_bench::perf::serve_throughput_suite);
+criterion_main!(benches);

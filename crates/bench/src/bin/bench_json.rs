@@ -1,5 +1,6 @@
 //! Perf-snapshot harness: runs the criterion suites (`layer_forward`,
-//! `attention`, `sampling`, `full_pipeline`) in-process and writes every result as a
+//! `attention`, `sampling`, `full_pipeline`, `serve_throughput`)
+//! in-process and writes every result as a
 //! JSON line `{"group", "name", "ns_per_iter", "iters"}` to
 //! `BENCH_<date>.json`, so successive PRs accumulate a comparable perf
 //! trajectory.
@@ -100,6 +101,8 @@ fn main() -> ExitCode {
     perf::sampling_suite(&mut c);
     eprintln!("== full_pipeline ==");
     perf::full_pipeline_suite(&mut c);
+    eprintln!("== serve_throughput ==");
+    perf::serve_throughput_suite(&mut c);
 
     let mut f = std::fs::File::create(&args.out_path).expect("cannot create bench output file");
     for r in c.results() {

@@ -117,6 +117,86 @@ pub fn attention_suite(c: &mut Criterion) {
     group.finish();
 }
 
+/// Serving-daemon throughput driver: the dynamic micro-batcher of
+/// `cirgps-serve` exercised in-process (no TCP), with real scheduler
+/// worker threads draining the queue into the tape-free engine.
+///
+/// Two shapes bracket the serving workload:
+/// * `singleton_requests/64` — 64 concurrent one-query submissions, the
+///   interactive design-loop pattern the batcher exists for; per-query
+///   cost approaches the batched engine's because the queue coalesces
+///   them (`ns_per_iter / 64` is the per-query number).
+/// * `one_request/64` — a single 64-query submission (bulk screening),
+///   the lower bound where batching needs no luck.
+pub fn serve_throughput_suite(c: &mut Criterion) {
+    use cirgps_serve::{ServeConfig, Server, TaskKind};
+    use std::time::Duration;
+
+    let d = DesignData::load(DesignKind::TimingControl, SizePreset::Tiny, 7);
+    let ds = d.link_dataset(&DatasetConfig {
+        max_per_type: 30,
+        ..Default::default()
+    });
+    let pairs: Vec<(u32, u32)> = ds
+        .samples
+        .iter()
+        .map(|s| (s.link.a, s.link.b))
+        .take(64)
+        .collect();
+    let model = CircuitGps::new(default_model(PeKind::Dspd, 7));
+    let workers = 2;
+    let server = Server::new(
+        model,
+        d.graph.clone(),
+        d.design.name.clone(),
+        ServeConfig {
+            max_batch: 32,
+            max_wait: Duration::from_micros(200),
+            workers,
+            queue_capacity: 4096,
+            ..ServeConfig::default()
+        },
+    );
+
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| {
+                let mut session = server.session();
+                server.engine().run_worker(&mut session);
+            });
+        }
+        let mut group = c.benchmark_group("serve_throughput");
+        group.sample_size(10);
+        group.bench_function("singleton_requests/64", |b| {
+            b.iter(|| {
+                let slots: Vec<_> = pairs
+                    .iter()
+                    .map(|&p| {
+                        server
+                            .engine()
+                            .submit(TaskKind::Link, &[p])
+                            .expect("queue sized for the fleet")
+                    })
+                    .collect();
+                for slot in slots {
+                    std::hint::black_box(slot.wait());
+                }
+            })
+        });
+        group.bench_function("one_request/64", |b| {
+            b.iter(|| {
+                let slot = server
+                    .engine()
+                    .submit(TaskKind::Link, &pairs)
+                    .expect("queue sized for the batch");
+                std::hint::black_box(slot.wait());
+            })
+        });
+        group.finish();
+        server.engine().shutdown();
+    });
+}
+
 /// Table IV driver: enclosing-subgraph sampling throughput (the paper's
 /// sampling step is the dataset-construction bottleneck at scale).
 pub fn sampling_suite(c: &mut Criterion) {

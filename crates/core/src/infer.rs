@@ -366,10 +366,60 @@ impl CircuitGps {
     }
 }
 
-/// A long-lived inference engine over one design: owns the model, the
-/// fitted [`XcNormalizer`], a subgraph sampler and a FIFO-bounded cache
-/// of [`PreparedSample`]s keyed by query, so repeated queries skip
-/// subgraph extraction and PE recomputation entirely.
+/// How an [`InferenceSession`] refers to its model: owning it (the
+/// classic single-session setup) or borrowing one shared, read-only
+/// model (a serving daemon runs one session per scheduler worker, all
+/// against the same weights — see `cirgps-serve`).
+#[derive(Debug)]
+enum ModelRef<'g> {
+    Owned(Box<CircuitGps>),
+    Shared(&'g CircuitGps),
+}
+
+impl ModelRef<'_> {
+    fn get(&self) -> &CircuitGps {
+        match self {
+            ModelRef::Owned(m) => m,
+            ModelRef::Shared(m) => m,
+        }
+    }
+}
+
+/// One prediction request against an [`InferenceSession`], used by the
+/// heterogeneous batch entry point
+/// [`InferenceSession::predict_batch`]. The three variants map onto the
+/// session's task-specific methods; a mixed slice is routed per variant
+/// while preserving the caller's ordering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Query {
+    /// Link-existence probability for the candidate pair `(a, b)`.
+    Link(u32, u32),
+    /// Normalized coupling-capacitance prediction for the pair `(a, b)`.
+    Coupling(u32, u32),
+    /// Normalized ground-capacitance prediction for one node.
+    Ground(u32),
+}
+
+impl Query {
+    /// Cache key for this query (`(n, n)` for ground queries, matching
+    /// [`InferenceSession::predict_ground`]).
+    fn key(self) -> (u32, u32) {
+        match self {
+            Query::Link(a, b) | Query::Coupling(a, b) => (a, b),
+            Query::Ground(n) => (n, n),
+        }
+    }
+
+    /// Whether this query runs through the regression head.
+    fn is_reg(self) -> bool {
+        !matches!(self, Query::Link(..))
+    }
+}
+
+/// A long-lived inference engine over one design: the model (owned or
+/// shared), the fitted [`XcNormalizer`], a subgraph sampler and a
+/// FIFO-bounded cache of [`PreparedSample`]s keyed by query, so repeated
+/// queries skip subgraph extraction and PE recomputation entirely.
 ///
 /// # Examples
 ///
@@ -387,7 +437,7 @@ impl CircuitGps {
 /// ```
 #[derive(Debug)]
 pub struct InferenceSession<'g> {
-    model: CircuitGps,
+    model: ModelRef<'g>,
     xcn: XcNormalizer,
     graph: &'g CircuitGraph,
     /// Enclosing-subgraph sampler for pair (link/coupling) queries.
@@ -413,6 +463,32 @@ impl<'g> InferenceSession<'g> {
     /// [`InferenceSession::with_node_sampler_config`]).
     pub fn new(
         model: CircuitGps,
+        xcn: XcNormalizer,
+        graph: &'g CircuitGraph,
+        sampler_cfg: SamplerConfig,
+    ) -> Self {
+        Self::with_model_ref(ModelRef::Owned(Box::new(model)), xcn, graph, sampler_cfg)
+    }
+
+    /// Creates a session that *borrows* a shared, read-only model instead
+    /// of owning one. Defaults match [`InferenceSession::new`].
+    ///
+    /// This is the serving-daemon constructor: `CircuitGps` forward
+    /// passes take `&self`, so one model can back many concurrent
+    /// sessions (one per scheduler worker, each with its own sampler
+    /// scratch and prepared-sample cache) without duplicating weights.
+    /// The session is `Send`, so it can be handed to a worker thread.
+    pub fn shared(
+        model: &'g CircuitGps,
+        xcn: XcNormalizer,
+        graph: &'g CircuitGraph,
+        sampler_cfg: SamplerConfig,
+    ) -> Self {
+        Self::with_model_ref(ModelRef::Shared(model), xcn, graph, sampler_cfg)
+    }
+
+    fn with_model_ref(
+        model: ModelRef<'g>,
         xcn: XcNormalizer,
         graph: &'g CircuitGraph,
         sampler_cfg: SamplerConfig,
@@ -473,9 +549,9 @@ impl<'g> InferenceSession<'g> {
         self
     }
 
-    /// The wrapped model.
+    /// The wrapped model (owned or shared).
     pub fn model(&self) -> &CircuitGps {
-        &self.model
+        self.model.get()
     }
 
     /// `(hits, misses)` of the prepared-sample cache.
@@ -528,15 +604,55 @@ impl<'g> InferenceSession<'g> {
         self.predict_keys(&keys, true)
     }
 
+    /// Predictions for a heterogeneous batch of queries, in query order.
+    ///
+    /// Link and regression (coupling/ground) queries run through
+    /// different task heads, so they are split into separate model
+    /// batches internally — a mixed slice is never packed into one
+    /// forward pass — and the results are re-interleaved to match
+    /// `queries`. This is the entry point a serving scheduler uses when
+    /// a drained batch is not known to be task-pure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pair query has `a == b` (use [`Query::Ground`] for
+    /// node queries).
+    pub fn predict_batch(&mut self, queries: &[Query]) -> Vec<f32> {
+        assert!(
+            queries.iter().all(|q| match *q {
+                Query::Link(a, b) | Query::Coupling(a, b) => a != b,
+                Query::Ground(_) => true,
+            }),
+            "pair queries need two distinct nodes"
+        );
+        let mut out = vec![0.0f32; queries.len()];
+        for reg in [false, true] {
+            let (pos, keys): (Vec<usize>, Vec<(u32, u32)>) = queries
+                .iter()
+                .enumerate()
+                .filter(|(_, q)| q.is_reg() == reg)
+                .map(|(i, q)| (i, q.key()))
+                .unzip();
+            if keys.is_empty() {
+                continue;
+            }
+            for (i, p) in pos.into_iter().zip(self.predict_keys(&keys, reg)) {
+                out[i] = p;
+            }
+        }
+        out
+    }
+
     fn predict_keys(&mut self, keys: &[(u32, u32)], reg: bool) -> Vec<f32> {
         let mut out = Vec::with_capacity(keys.len());
         for chunk in keys.chunks(self.batch_size) {
             self.ensure_cached(chunk);
             let batch: Vec<&PreparedSample> = chunk.iter().map(|k| &self.cache[k]).collect();
+            let model = self.model.get();
             let preds = if reg {
-                self.model.predict_reg_batch(&batch)
+                model.predict_reg_batch(&batch)
             } else {
-                self.model.predict_link_batch(&batch)
+                model.predict_link_batch(&batch)
             };
             out.extend(preds);
         }
@@ -559,7 +675,7 @@ impl<'g> InferenceSession<'g> {
             } else {
                 self.sampler.enclosing_subgraph(a, b)
             };
-            let prepared = PreparedSample::new(sub, self.model.cfg.pe, &self.xcn, 1.0, 0.0);
+            let prepared = PreparedSample::new(sub, self.model.get().cfg.pe, &self.xcn, 1.0, 0.0);
             self.cache.insert(key, prepared);
             self.fifo.push_back(key);
         }
@@ -870,6 +986,96 @@ mod tests {
         let (h1, m1) = session.cache_stats();
         assert_eq!(h1, links.len() as u64);
         assert_eq!(m1, m0);
+    }
+
+    #[test]
+    fn shared_sessions_match_owned_and_are_send() {
+        fn assert_send<T: Send>(_: &T) {}
+
+        let (g, links) = toy_graph_and_links();
+        let xcn = XcNormalizer::fit(&[&g]);
+        let cfg = SamplerConfig {
+            hops: 1,
+            max_nodes: 64,
+        };
+        let model = model_with(AttnKind::Transformer);
+        let owned = {
+            let m2 = {
+                let mut bytes = Vec::new();
+                model.save(&mut bytes).unwrap();
+                let mut m = model_with(AttnKind::Transformer);
+                m.load(&bytes[..]).unwrap();
+                m
+            };
+            let mut session = InferenceSession::new(m2, xcn.clone(), &g, cfg);
+            session.predict_links(&links)
+        };
+
+        // Two concurrent shared sessions over one model, as a serving
+        // daemon's scheduler workers would run them.
+        let halves: Vec<Vec<f32>> = std::thread::scope(|s| {
+            let handles: Vec<_> = links
+                .chunks(links.len() / 2)
+                .map(|chunk| {
+                    let mut session = InferenceSession::shared(&model, xcn.clone(), &g, cfg);
+                    assert_send(&session);
+                    s.spawn(move || session.predict_links(chunk))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let shared: Vec<f32> = halves.into_iter().flatten().collect();
+        assert_eq!(owned.len(), shared.len());
+        for (a, b) in owned.iter().zip(&shared) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn heterogeneous_predict_batch_matches_task_specific_calls() {
+        let (g, links) = toy_graph_and_links();
+        let xcn = XcNormalizer::fit(&[&g]);
+        let cfg = SamplerConfig {
+            hops: 1,
+            max_nodes: 64,
+        };
+        let model = model_with(AttnKind::Performer { features: 8 });
+        let mut session = InferenceSession::shared(&model, xcn.clone(), &g, cfg).with_batch_size(4);
+        let want_links = session.predict_links(&links[..4]);
+        let want_caps = session.predict_couplings(&links[4..8]);
+        let want_ground = session.predict_ground(&[links[0].0, links[1].0]);
+
+        // Interleave the three kinds; results must come back in order.
+        let mut session2 = InferenceSession::shared(&model, xcn, &g, cfg).with_batch_size(4);
+        let queries: Vec<Query> = vec![
+            Query::Link(links[0].0, links[0].1),
+            Query::Coupling(links[4].0, links[4].1),
+            Query::Ground(links[0].0),
+            Query::Link(links[1].0, links[1].1),
+            Query::Coupling(links[5].0, links[5].1),
+            Query::Link(links[2].0, links[2].1),
+            Query::Ground(links[1].0),
+            Query::Coupling(links[6].0, links[6].1),
+            Query::Link(links[3].0, links[3].1),
+            Query::Coupling(links[7].0, links[7].1),
+        ];
+        let got = session2.predict_batch(&queries);
+        let want = [
+            want_links[0],
+            want_caps[0],
+            want_ground[0],
+            want_links[1],
+            want_caps[1],
+            want_links[2],
+            want_ground[1],
+            want_caps[2],
+            want_links[3],
+            want_caps[3],
+        ];
+        assert_eq!(got.len(), want.len());
+        for (i, (a, b)) in got.iter().zip(&want).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "query {i}: {a} vs {b}");
+        }
     }
 
     #[test]

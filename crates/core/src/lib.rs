@@ -28,7 +28,7 @@
 //! assert!(model.num_params() > 0);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod config;
 mod infer;
@@ -38,7 +38,7 @@ mod prepared;
 mod train;
 
 pub use config::{AttnKind, FinetuneMode, ModelConfig, MpnnKind, TrainConfig};
-pub use infer::InferenceSession;
+pub use infer::{InferenceSession, Query};
 pub use metrics::{link_metrics, mape, reg_metrics, roc_auc, LinkMetrics, RegMetrics};
 pub use model::{BatchLayout, CircuitGps};
 pub use prepared::{prepare_link_dataset, prepare_node_dataset, PreparedSample};

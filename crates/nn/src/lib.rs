@@ -41,7 +41,7 @@
 //! }
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod attention;
 mod gatedgcn;

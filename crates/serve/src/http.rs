@@ -1,0 +1,222 @@
+//! Hand-rolled HTTP/1.1 framing over `std::io` streams.
+//!
+//! The daemon speaks just enough HTTP for its three endpoints: request
+//! line + headers + `Content-Length` body in, fixed-length response out
+//! (no chunked encoding, no TLS, no HTTP/2). Connections are keep-alive
+//! by default per HTTP/1.1; [`read_request`] returns `Ok(None)` on a
+//! clean close so connection loops terminate without an error.
+
+use std::io::{self, BufRead, Write};
+
+/// Maximum accepted header-section size (request line + headers).
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Maximum accepted request-body size (a predict request of ~100k
+/// queries fits comfortably; anything bigger is a client bug).
+pub const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target as sent (path + optional query string).
+    pub path: String,
+    /// Raw body bytes (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+    /// Whether the client asked for `Connection: close`.
+    pub close: bool,
+}
+
+/// Reads one `\n`-terminated line of at most `max` bytes. A longer line
+/// errors *before* buffering it all (the cap on line length is what
+/// bounds memory use per connection; `MAX_HEAD_BYTES` alone would not,
+/// since it is only checked between lines).
+fn read_line_bounded(stream: &mut impl BufRead, max: usize) -> io::Result<String> {
+    let mut buf = Vec::with_capacity(128);
+    let mut limited = io::Read::take(io::Read::by_ref(stream), max as u64 + 1);
+    limited.read_until(b'\n', &mut buf)?;
+    if buf.len() > max {
+        return Err(bad_data(format!("line longer than {max} bytes")));
+    }
+    String::from_utf8(buf).map_err(|_| bad_data("non-UTF-8 header bytes".into()))
+}
+
+/// Reads one request off a buffered stream.
+///
+/// Returns `Ok(None)` when the peer closed the connection cleanly before
+/// sending a request line (the keep-alive loop's exit).
+///
+/// # Errors
+///
+/// I/O errors propagate; protocol violations (missing version, oversized
+/// head or body, bad `Content-Length`) surface as
+/// [`io::ErrorKind::InvalidData`] and the connection should be dropped
+/// after a `400`.
+pub fn read_request(stream: &mut impl BufRead) -> io::Result<Option<Request>> {
+    let line = read_line_bounded(stream, MAX_HEAD_BYTES)?;
+    if line.is_empty() {
+        return Ok(None);
+    }
+    let mut parts = line.split_whitespace();
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v)) if v.starts_with("HTTP/1.") => {
+            (m.to_ascii_uppercase(), p.to_string(), v)
+        }
+        _ => return Err(bad_data(format!("malformed request line {line:?}"))),
+    };
+    let _ = version;
+
+    let mut content_length = 0usize;
+    let mut close = false;
+    let mut head_bytes = line.len();
+    loop {
+        let header = read_line_bounded(stream, MAX_HEAD_BYTES)?;
+        if header.is_empty() {
+            return Err(bad_data("connection closed mid-headers".into()));
+        }
+        head_bytes += header.len();
+        if head_bytes > MAX_HEAD_BYTES {
+            return Err(bad_data("header section too large".into()));
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        let Some((name, value)) = header.split_once(':') else {
+            return Err(bad_data(format!("malformed header {header:?}")));
+        };
+        let value = value.trim();
+        match name.to_ascii_lowercase().as_str() {
+            "content-length" => {
+                content_length = value
+                    .parse()
+                    .map_err(|_| bad_data(format!("bad content-length {value:?}")))?;
+                if content_length > MAX_BODY_BYTES {
+                    return Err(bad_data(format!(
+                        "body of {content_length} bytes too large"
+                    )));
+                }
+            }
+            "connection" => close = value.eq_ignore_ascii_case("close"),
+            _ => {}
+        }
+    }
+
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body)?;
+    Ok(Some(Request {
+        method,
+        path,
+        body,
+        close,
+    }))
+}
+
+/// Writes one fixed-length response.
+///
+/// # Errors
+///
+/// Propagates stream I/O errors.
+pub fn write_response(
+    stream: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+) -> io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    };
+    write!(
+        stream,
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+fn bad_data(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn parses_post_with_body_and_keepalive_sequencing() {
+        let wire = b"POST /v1/predict HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcdGET /healthz HTTP/1.1\r\n\r\n";
+        let mut r = BufReader::new(&wire[..]);
+        let first = read_request(&mut r).unwrap().unwrap();
+        assert_eq!(first.method, "POST");
+        assert_eq!(first.path, "/v1/predict");
+        assert_eq!(first.body, b"abcd");
+        assert!(!first.close);
+        let second = read_request(&mut r).unwrap().unwrap();
+        assert_eq!(second.method, "GET");
+        assert_eq!(second.path, "/healthz");
+        assert!(second.body.is_empty());
+        assert!(read_request(&mut r).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn connection_close_is_reported() {
+        let wire = b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let req = read_request(&mut BufReader::new(&wire[..]))
+            .unwrap()
+            .unwrap();
+        assert!(req.close);
+    }
+
+    #[test]
+    fn rejects_malformed_request_lines_and_oversized_bodies() {
+        for wire in [
+            &b"FROB\r\n\r\n"[..],
+            &b"GET /x SPDY/3\r\n\r\n"[..],
+            &b"GET /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n"[..],
+            &b"GET /x HTTP/1.1\r\nContent-Length: 999999999999\r\n\r\n"[..],
+            &b"GET /x HTTP/1.1\r\nno-colon-here\r\n\r\n"[..],
+        ] {
+            let err = read_request(&mut BufReader::new(wire)).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{wire:?}");
+        }
+    }
+
+    #[test]
+    fn unterminated_monster_line_is_rejected_without_buffering_it() {
+        // A "request" that never sends '\n' must error at the line cap,
+        // not accumulate until memory runs out.
+        let monster = vec![b'A'; MAX_HEAD_BYTES * 4];
+        let err = read_request(&mut BufReader::new(&monster[..])).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("longer than"), "{err}");
+    }
+
+    #[test]
+    fn response_has_correct_framing() {
+        let mut out = Vec::new();
+        write_response(
+            &mut out,
+            503,
+            "application/json",
+            b"{\"error\":\"queue full\"}",
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(
+            text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"),
+            "{text}"
+        );
+        assert!(text.contains("content-length: 22\r\n"), "{text}");
+        assert!(
+            text.ends_with("\r\n\r\n{\"error\":\"queue full\"}"),
+            "{text}"
+        );
+    }
+}

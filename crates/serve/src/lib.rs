@@ -1,0 +1,58 @@
+//! # cirgps-serve
+//!
+//! A long-lived inference daemon for the CirGPS engine: keeps the model,
+//! design graph and prepared-sample caches warm in one process and
+//! serves concurrent link/capacitance queries over a hand-rolled
+//! HTTP/1.1 + JSON protocol on `std::net::TcpListener` (no external
+//! dependencies, matching the workspace's offline compat-shim
+//! philosophy).
+//!
+//! The core is a **dynamic micro-batcher**: connection threads push
+//! queries into a bounded MPMC [`queue`], scheduler workers drain up to
+//! `max_batch` queries or wait at most `max_wait` (whichever flushes
+//! first) and run the whole batch through the tape-free block-diagonal
+//! engine (`CircuitGps::predict_link_batch` and friends, via
+//! [`circuitgps::InferenceSession::predict_batch`]). Concurrent
+//! singleton requests therefore pay batch-class per-sample cost instead
+//! of per-request model invocations — and because the batched engine is
+//! bitwise-equal to per-sample prediction, batching is *observably
+//! invisible* except in the throughput counters.
+//!
+//! Protocol reference and capacity-planning numbers: `docs/serving.md`.
+//! The CLI front end is `cirgps serve` (see `cirgps help`).
+//!
+//! ## In-process use
+//!
+//! The HTTP layer is optional; benches and embedders can drive the
+//! engine directly:
+//!
+//! ```no_run
+//! # use cirgps_serve::{Server, ServeConfig, TaskKind};
+//! # fn demo(model: circuitgps::CircuitGps, graph: circuit_graph::CircuitGraph) {
+//! let server = Server::new(model, graph, "SSRAM".into(), ServeConfig::default());
+//! std::thread::scope(|s| {
+//!     s.spawn(|| {
+//!         let mut session = server.session();
+//!         server.engine().run_worker(&mut session);
+//!     });
+//!     let slot = server.engine().submit(TaskKind::Link, &[(0, 5)]).unwrap();
+//!     let probability = slot.wait()[0];
+//!     # let _ = probability;
+//!     server.engine().shutdown();
+//! });
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod engine;
+pub mod http;
+pub mod json;
+pub mod metrics;
+pub mod queue;
+mod server;
+
+pub use engine::{Engine, ResponseSlot, SubmitError, TaskKind};
+pub use metrics::Metrics;
+pub use queue::{BoundedQueue, PushError};
+pub use server::{ServeConfig, Server};

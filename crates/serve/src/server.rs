@@ -1,0 +1,393 @@
+//! The TCP front end: accept loop, per-connection HTTP handling, the
+//! `/healthz`, `/metrics` and `/v1/predict` endpoints, and scheduler
+//! worker lifecycle.
+//!
+//! Threading model: `N = workers` scheduler threads each own an
+//! [`InferenceSession`] sharing the server's one model (weights are
+//! never copied); the accept loop spawns one scoped thread per
+//! connection. Everything runs under `std::thread::scope`, so the
+//! server borrows its model and graph for the whole serve call and
+//! needs no `'static` plumbing.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+use circuit_graph::CircuitGraph;
+use circuitgps::{CircuitGps, InferenceSession};
+use subgraph_sample::{SamplerConfig, XcNormalizer};
+
+use crate::engine::{Engine, SubmitError, TaskKind};
+use crate::http::{read_request, write_response, Request};
+use crate::json::{escape, Json};
+use crate::metrics::Metrics;
+
+/// Tunables of the serving daemon; see `docs/serving.md` for how they
+/// interact with throughput and latency.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Flush a batch at this many queries (the tape-free engine's sweet
+    /// spot is around 32 on the bench workload).
+    pub max_batch: usize,
+    /// Flush a partial batch after this long (the latency bound an idle
+    /// singleton request pays while the batcher hopes for company).
+    pub max_wait: Duration,
+    /// Scheduler threads, each with its own session and sample cache.
+    pub workers: usize,
+    /// Bounded queue depth; beyond it requests get `503`.
+    pub queue_capacity: usize,
+    /// Per-worker prepared-sample cache capacity.
+    pub cache_capacity: usize,
+    /// Subgraph sampler for pair queries (ground queries use the same
+    /// node cap at 2 hops, the training convention).
+    pub sampler: SamplerConfig,
+    /// Per-connection socket read timeout (idle keep-alive reaping).
+    pub read_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_batch: 32,
+            max_wait: Duration::from_micros(2000),
+            workers: 2,
+            queue_capacity: 1024,
+            cache_capacity: 65_536,
+            sampler: SamplerConfig {
+                hops: 1,
+                max_nodes: 2048,
+            },
+            read_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// A warm serving instance: one model, one design graph, one engine.
+///
+/// Construct with [`Server::new`], then call [`Server::serve`] with a
+/// bound listener; `serve` blocks until [`Server::shutdown`].
+#[derive(Debug)]
+pub struct Server {
+    model: CircuitGps,
+    graph: CircuitGraph,
+    xcn: XcNormalizer,
+    design: String,
+    engine: Engine,
+    cfg: ServeConfig,
+    shutdown: AtomicBool,
+    started: Instant,
+}
+
+impl Server {
+    /// Builds a server over `graph` (the design named `design`), fitting
+    /// the XC normalizer on that graph — the same convention
+    /// `cirgps predict` uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config is inconsistent (zero workers, zero batch,
+    /// queue smaller than one batch, cache smaller than one batch).
+    pub fn new(model: CircuitGps, graph: CircuitGraph, design: String, cfg: ServeConfig) -> Self {
+        assert!(cfg.workers > 0, "need at least one scheduler worker");
+        assert!(
+            cfg.cache_capacity >= cfg.max_batch,
+            "cache must hold at least one batch"
+        );
+        let engine = Engine::new(cfg.max_batch, cfg.max_wait, cfg.queue_capacity);
+        let xcn = XcNormalizer::fit(&[&graph]);
+        Server {
+            model,
+            graph,
+            xcn,
+            design,
+            engine,
+            cfg,
+            shutdown: AtomicBool::new(false),
+            started: Instant::now(),
+        }
+    }
+
+    /// The engine (metrics access for benches and tests).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// The wrapped model (e.g. for computing reference predictions in
+    /// tests).
+    pub fn model(&self) -> &CircuitGps {
+        &self.model
+    }
+
+    /// The served graph.
+    pub fn graph(&self) -> &CircuitGraph {
+        &self.graph
+    }
+
+    /// Opens a fresh session against this server's model and graph —
+    /// exactly what a scheduler worker runs, so tests and benches can
+    /// compute direct (unserved) reference predictions.
+    pub fn session(&self) -> InferenceSession<'_> {
+        InferenceSession::shared(&self.model, self.xcn.clone(), &self.graph, self.cfg.sampler)
+            .with_batch_size(self.cfg.max_batch)
+            .with_cache_capacity(self.cfg.cache_capacity)
+    }
+
+    /// Runs the daemon on `listener` until [`Server::shutdown`]: spawns
+    /// the scheduler workers, then accepts connections forever.
+    pub fn serve(&self, listener: TcpListener) {
+        std::thread::scope(|s| {
+            for _ in 0..self.cfg.workers {
+                s.spawn(|| {
+                    let mut session = self.session();
+                    self.engine.run_worker(&mut session);
+                });
+            }
+            for stream in listener.incoming() {
+                if self.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                s.spawn(move || self.handle_connection(stream));
+            }
+            // Unreached by `break` alone if no further connection
+            // arrives; shutdown() pokes the listener to guarantee the
+            // loop observes the flag. Workers drain the backlog and exit.
+            self.engine.shutdown();
+        });
+    }
+
+    /// Stops [`Server::serve`]: sets the flag, closes the queue (pending
+    /// jobs still complete) and pokes `addr` so the blocking `accept`
+    /// returns. Keep-alive connections close after their in-flight
+    /// request; an *idle* connection's thread lingers until its read
+    /// times out (`read_timeout`, default 30 s), so `serve` may take up
+    /// to that long to return after the last idle client.
+    pub fn shutdown(&self, addr: SocketAddr) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.engine.shutdown();
+        let _ = TcpStream::connect(addr);
+    }
+
+    fn handle_connection(&self, stream: TcpStream) {
+        let _ = stream.set_read_timeout(Some(self.cfg.read_timeout));
+        let Ok(read_half) = stream.try_clone() else {
+            return;
+        };
+        let mut reader = BufReader::new(read_half);
+        let mut writer = stream;
+        loop {
+            match read_request(&mut reader) {
+                Ok(Some(req)) => {
+                    // During shutdown the keep-alive loop must not spin
+                    // on a chatty client forever: answer this request
+                    // (workers drain the backlog anyway), then close.
+                    let close = req.close || self.shutdown.load(Ordering::SeqCst);
+                    let (status, content_type, body) = self.route(&req);
+                    if write_response(&mut writer, status, content_type, body.as_bytes()).is_err()
+                        || close
+                    {
+                        return;
+                    }
+                }
+                Ok(None) => return,
+                Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                    Metrics::inc(&self.engine.metrics().http_bad_request);
+                    let body = format!("{{\"error\":\"{}\"}}", escape(&e.to_string()));
+                    let _ = write_response(&mut writer, 400, "application/json", body.as_bytes());
+                    return;
+                }
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn route(&self, req: &Request) -> (u16, &'static str, String) {
+        let metrics = self.engine.metrics();
+        let path = req.path.split('?').next().unwrap_or("");
+        match (req.method.as_str(), path) {
+            ("GET", "/healthz") => {
+                Metrics::inc(&metrics.http_healthz);
+                (200, "application/json", self.healthz_body())
+            }
+            ("GET", "/metrics") => {
+                Metrics::inc(&metrics.http_metrics);
+                (
+                    200,
+                    "text/plain; version=0.0.4",
+                    metrics.render(self.engine.queue_depth()),
+                )
+            }
+            ("POST", "/v1/predict") => match self.handle_predict(&req.body) {
+                Ok(body) => {
+                    Metrics::inc(&metrics.http_predict);
+                    (200, "application/json", body)
+                }
+                Err(PredictError::Bad(msg)) => {
+                    Metrics::inc(&metrics.http_bad_request);
+                    (
+                        400,
+                        "application/json",
+                        format!("{{\"error\":\"{}\"}}", escape(&msg)),
+                    )
+                }
+                Err(PredictError::Overloaded) => (
+                    503,
+                    "application/json",
+                    "{\"error\":\"queue full, retry later\"}".into(),
+                ),
+                Err(PredictError::ShuttingDown) => (
+                    503,
+                    "application/json",
+                    "{\"error\":\"shutting down\"}".into(),
+                ),
+            },
+            ("POST" | "GET", _) => {
+                Metrics::inc(&metrics.http_bad_request);
+                (
+                    404,
+                    "application/json",
+                    format!("{{\"error\":\"no route {}\"}}", escape(path)),
+                )
+            }
+            _ => {
+                Metrics::inc(&metrics.http_bad_request);
+                (
+                    405,
+                    "application/json",
+                    "{\"error\":\"method not allowed\"}".into(),
+                )
+            }
+        }
+    }
+
+    fn healthz_body(&self) -> String {
+        format!(
+            "{{\"status\":\"ok\",\"design\":\"{}\",\"graph_nodes\":{},\"graph_edges\":{},\
+             \"workers\":{},\"max_batch\":{},\"max_wait_us\":{},\"uptime_s\":{}}}",
+            escape(&self.design),
+            self.graph.num_nodes(),
+            self.graph.num_edges(),
+            self.cfg.workers,
+            self.cfg.max_batch,
+            self.cfg.max_wait.as_micros(),
+            self.started.elapsed().as_secs()
+        )
+    }
+
+    fn handle_predict(&self, body: &[u8]) -> Result<String, PredictError> {
+        let text = std::str::from_utf8(body).map_err(|_| bad("body is not UTF-8"))?;
+        let doc = Json::parse(text).map_err(|e| bad(&format!("bad JSON: {e}")))?;
+        let task = doc
+            .get("task")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("missing \"task\" (expected link|cap|ground)"))?;
+        let n = self.graph.num_nodes() as u32;
+
+        let (kind, keys, label) = match task {
+            "link" | "cap" => {
+                let pairs = doc
+                    .get("pairs")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| bad("missing \"pairs\" array of [a,b] pairs"))?;
+                let mut keys = Vec::with_capacity(pairs.len());
+                for (i, p) in pairs.iter().enumerate() {
+                    let pair = p
+                        .as_arr()
+                        .filter(|a| a.len() == 2)
+                        .ok_or_else(|| bad(&format!("pairs[{i}] is not a two-element array")))?;
+                    let a = node_id(&pair[0], n, &format!("pairs[{i}][0]"))?;
+                    let b = node_id(&pair[1], n, &format!("pairs[{i}][1]"))?;
+                    if a == b {
+                        return Err(bad(&format!(
+                            "pairs[{i}] has identical endpoints (use task \"ground\" for nodes)"
+                        )));
+                    }
+                    keys.push((a, b));
+                }
+                let kind = if task == "link" {
+                    TaskKind::Link
+                } else {
+                    TaskKind::Coupling
+                };
+                (
+                    kind,
+                    keys,
+                    if task == "link" { "probs" } else { "caps_norm" },
+                )
+            }
+            "ground" => {
+                let nodes = doc
+                    .get("nodes")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| bad("missing \"nodes\" array of node ids"))?;
+                let keys = nodes
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| node_id(v, n, &format!("nodes[{i}]")).map(|id| (id, id)))
+                    .collect::<Result<Vec<_>, _>>()?;
+                (TaskKind::Ground, keys, "caps_norm")
+            }
+            other => return Err(bad(&format!("unknown task {other:?}"))),
+        };
+        if keys.is_empty() {
+            return Err(bad("empty query list"));
+        }
+        // A request larger than the queue can *never* be enqueued, so a
+        // retryable 503 would strand the client — tell it to split.
+        let cap = self.engine.queue_capacity();
+        if keys.len() > cap {
+            return Err(bad(&format!(
+                "request of {} queries exceeds the queue capacity {cap}; \
+                 split it into smaller requests",
+                keys.len()
+            )));
+        }
+
+        let slot = self.engine.submit(kind, &keys).map_err(|e| match e {
+            SubmitError::QueueFull => PredictError::Overloaded,
+            SubmitError::ShuttingDown => PredictError::ShuttingDown,
+            // Unreachable from HTTP: pair endpoints were validated above.
+            SubmitError::IdenticalEndpoints { index } => {
+                PredictError::Bad(format!("pairs[{index}] has identical endpoints"))
+            }
+        })?;
+        let preds = slot.wait();
+
+        let mut out = String::with_capacity(16 * preds.len() + 64);
+        out.push_str(&format!("{{\"task\":\"{task}\",\"{label}\":["));
+        for (i, p) in preds.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            // Shortest round-trip formatting: the printed value parses
+            // back to the identical f32 (the protocol's exactness
+            // contract; see docs/serving.md).
+            out.push_str(&format!("{p}"));
+        }
+        out.push_str(&format!("],\"count\":{}}}", preds.len()));
+        Ok(out)
+    }
+}
+
+fn node_id(v: &Json, num_nodes: u32, what: &str) -> Result<u32, PredictError> {
+    let id = v
+        .as_u32()
+        .ok_or_else(|| bad(&format!("{what} is not a non-negative integer")))?;
+    if id >= num_nodes {
+        return Err(bad(&format!(
+            "{what} = {id} out of range (graph has {num_nodes} nodes)"
+        )));
+    }
+    Ok(id)
+}
+
+enum PredictError {
+    Bad(String),
+    Overloaded,
+    ShuttingDown,
+}
+
+fn bad(msg: &str) -> PredictError {
+    PredictError::Bad(msg.to_string())
+}

@@ -1,0 +1,307 @@
+//! End-to-end loopback test of the serving daemon: a real
+//! `TcpListener` on port 0, concurrent HTTP clients, and two
+//! acceptance-criteria assertions —
+//!
+//! 1. concurrent singleton requests are *coalesced* by the dynamic
+//!    batcher (observed batch occupancy > 1), and
+//! 2. every served prediction is **bitwise-equal** to a direct
+//!    `predict_link_batch`/`predict_reg_batch` call through an
+//!    [`InferenceSession`] over the same model and graph.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::Barrier;
+use std::time::Duration;
+
+use circuit_graph::{CircuitGraph, EdgeType, GraphBuilder, NodeType};
+use circuitgps::{AttnKind, CircuitGps, ModelConfig, MpnnKind};
+use cirgps_serve::{ServeConfig, Server};
+use subgraph_sample::SamplerConfig;
+
+/// Two pin clusters bridged by a device chain — enough structure that
+/// 1-hop enclosing subgraphs differ per pair.
+fn toy_graph() -> (CircuitGraph, Vec<(u32, u32)>) {
+    let mut b = GraphBuilder::new();
+    let cluster = |b: &mut GraphBuilder, tag: &str| -> Vec<u32> {
+        let hub = b.add_node(NodeType::Net, &format!("{tag}hub"));
+        let mut out = vec![hub];
+        for i in 0..6 {
+            let p = b.add_node(NodeType::Pin, &format!("{tag}p{i}"));
+            b.set_xc(p, 0, (i % 3) as f32);
+            b.add_edge(hub, p, EdgeType::NetPin);
+            out.push(p);
+        }
+        out
+    };
+    let c1 = cluster(&mut b, "a");
+    let c2 = cluster(&mut b, "b");
+    let mut prev = c1[0];
+    for i in 0..4 {
+        let mid = b.add_node(NodeType::Device, &format!("m{i}"));
+        b.add_edge(prev, mid, EdgeType::DevicePin);
+        prev = mid;
+    }
+    b.add_edge(prev, c2[0], EdgeType::DevicePin);
+    let g = b.build();
+    let pairs: Vec<(u32, u32)> = (1..6)
+        .flat_map(|i| [(c1[i], c2[i]), (c1[i], c1[i + 1])])
+        .collect();
+    (g, pairs)
+}
+
+fn small_model() -> CircuitGps {
+    CircuitGps::new(ModelConfig {
+        hidden_dim: 16,
+        pe_dim: 4,
+        heads: 2,
+        num_layers: 2,
+        mpnn: MpnnKind::GatedGcn,
+        attn: AttnKind::Transformer,
+        ..Default::default()
+    })
+}
+
+/// Minimal HTTP client: one request, returns (status, body).
+fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: loopback\r\nConnection: close\r\n\
+         Content-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send");
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).expect("status line");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line {status_line:?}"));
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("header");
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+            content_length = v.trim().parse().expect("content-length");
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).expect("body");
+    (status, String::from_utf8(body).expect("utf-8 body"))
+}
+
+/// Extracts the numeric array labelled `key` from a response body and
+/// parses each element *directly as `f32`* (never through `f64`), so
+/// bitwise comparisons against engine outputs are meaningful.
+fn parse_f32_array(body: &str, key: &str) -> Vec<f32> {
+    let needle = format!("\"{key}\":[");
+    let start = body
+        .find(&needle)
+        .unwrap_or_else(|| panic!("no {key:?} in {body}"))
+        + needle.len();
+    let end = start + body[start..].find(']').expect("closing bracket");
+    body[start..end]
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| s.parse::<f32>().expect("f32"))
+        .collect()
+}
+
+#[test]
+fn concurrent_singletons_coalesce_and_match_direct_predictions() {
+    let (graph, pairs) = toy_graph();
+    let model = small_model();
+    let cfg = ServeConfig {
+        max_batch: 4,
+        // Generous window so slow CI threads still land in one batch.
+        max_wait: Duration::from_millis(300),
+        workers: 1,
+        queue_capacity: 64,
+        cache_capacity: 64,
+        sampler: SamplerConfig {
+            hops: 1,
+            max_nodes: 64,
+        },
+        read_timeout: Duration::from_secs(5),
+    };
+    let server = Server::new(model, graph, "TOY".into(), cfg);
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+
+    // Direct references through the same entry points the daemon uses.
+    let mut session = server.session();
+    let want_links = session.predict_links(&pairs);
+    let want_caps = session.predict_couplings(&pairs[..4]);
+    let want_ground = session.predict_ground(&[pairs[0].0, pairs[1].0]);
+
+    std::thread::scope(|s| {
+        s.spawn(|| server.serve(listener));
+
+        // Phase 1: one singleton request per client thread, all released
+        // together — the dynamic batcher must coalesce them.
+        let barrier = Barrier::new(pairs.len());
+        let got: Vec<(usize, f32)> = std::thread::scope(|cs| {
+            let handles: Vec<_> = pairs
+                .iter()
+                .enumerate()
+                .map(|(i, &(a, b))| {
+                    let barrier = &barrier;
+                    cs.spawn(move || {
+                        barrier.wait();
+                        let (status, body) = http(
+                            addr,
+                            "POST",
+                            "/v1/predict",
+                            &format!("{{\"task\":\"link\",\"pairs\":[[{a},{b}]]}}"),
+                        );
+                        assert_eq!(status, 200, "{body}");
+                        (i, parse_f32_array(&body, "probs")[0])
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (i, prob) in got {
+            assert_eq!(
+                prob.to_bits(),
+                want_links[i].to_bits(),
+                "pair {i}: served {prob} != direct {}",
+                want_links[i]
+            );
+        }
+        let max_occupancy = server
+            .engine()
+            .metrics()
+            .batch_occupancy_max
+            .load(Ordering::Relaxed);
+        assert!(
+            max_occupancy > 1,
+            "dynamic batcher never coalesced concurrent singletons \
+             (max occupancy {max_occupancy})"
+        );
+
+        // Phase 2: multi-query cap and ground requests round-trip
+        // bitwise too.
+        let pair_list = pairs[..4]
+            .iter()
+            .map(|&(a, b)| format!("[{a},{b}]"))
+            .collect::<Vec<_>>()
+            .join(",");
+        let (status, body) = http(
+            addr,
+            "POST",
+            "/v1/predict",
+            &format!("{{\"task\":\"cap\",\"pairs\":[{pair_list}]}}"),
+        );
+        assert_eq!(status, 200, "{body}");
+        let caps = parse_f32_array(&body, "caps_norm");
+        assert_eq!(caps.len(), want_caps.len());
+        for (got, want) in caps.iter().zip(&want_caps) {
+            assert_eq!(got.to_bits(), want.to_bits(), "cap {got} != {want}");
+        }
+
+        let (status, body) = http(
+            addr,
+            "POST",
+            "/v1/predict",
+            &format!(
+                "{{\"task\":\"ground\",\"nodes\":[{},{}]}}",
+                pairs[0].0, pairs[1].0
+            ),
+        );
+        assert_eq!(status, 200, "{body}");
+        let ground = parse_f32_array(&body, "caps_norm");
+        for (got, want) in ground.iter().zip(&want_ground) {
+            assert_eq!(got.to_bits(), want.to_bits(), "ground {got} != {want}");
+        }
+
+        // Health and metrics endpoints.
+        let (status, body) = http(addr, "GET", "/healthz", "");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"status\":\"ok\""), "{body}");
+        assert!(body.contains("\"design\":\"TOY\""), "{body}");
+        let (status, body) = http(addr, "GET", "/metrics", "");
+        assert_eq!(status, 200);
+        assert!(body.contains("cirgps_serve_batches_total"), "{body}");
+        assert!(body.contains("cirgps_serve_batch_occupancy_sum"), "{body}");
+
+        server.shutdown(addr);
+    });
+}
+
+#[test]
+fn protocol_errors_are_reported_not_fatal() {
+    let (graph, pairs) = toy_graph();
+    let nodes = graph.num_nodes() as u32;
+    let server = Server::new(
+        small_model(),
+        graph,
+        "TOY".into(),
+        ServeConfig {
+            max_wait: Duration::ZERO,
+            workers: 1,
+            read_timeout: Duration::from_secs(5),
+            ..ServeConfig::default()
+        },
+    );
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+
+    std::thread::scope(|s| {
+        s.spawn(|| server.serve(listener));
+
+        for (body, expect) in [
+            ("not json", "bad JSON"),
+            ("{\"task\":\"frob\"}", "unknown task"),
+            ("{\"task\":\"link\"}", "missing \\\"pairs\\\""),
+            (
+                "{\"task\":\"link\",\"pairs\":[[1,1]]}",
+                "identical endpoints",
+            ),
+            ("{\"task\":\"link\",\"pairs\":[]}", "empty query list"),
+            ("{\"task\":\"ground\",\"nodes\":[-3]}", "not a non-negative"),
+        ] {
+            let (status, resp) = http(addr, "POST", "/v1/predict", body);
+            assert_eq!(status, 400, "{body} -> {resp}");
+            assert!(resp.contains(expect), "{body} -> {resp}");
+        }
+        let (status, resp) = http(
+            addr,
+            "POST",
+            "/v1/predict",
+            &format!("{{\"task\":\"ground\",\"nodes\":[{nodes}]}}"),
+        );
+        assert_eq!(status, 400, "{resp}");
+        assert!(resp.contains("out of range"), "{resp}");
+
+        let (status, _) = http(addr, "GET", "/nope", "");
+        assert_eq!(status, 404);
+        let (status, _) = http(addr, "DELETE", "/healthz", "");
+        assert_eq!(status, 405);
+
+        // The daemon is still healthy after every rejected request.
+        let (status, resp) = http(
+            addr,
+            "POST",
+            "/v1/predict",
+            &format!(
+                "{{\"task\":\"link\",\"pairs\":[[{},{}]]}}",
+                pairs[0].0, pairs[0].1
+            ),
+        );
+        assert_eq!(status, 200, "{resp}");
+        assert!(resp.contains("\"count\":1"), "{resp}");
+
+        server.shutdown(addr);
+    });
+}

@@ -9,13 +9,16 @@
 
 use std::collections::HashMap;
 use std::fs;
+use std::net::TcpListener;
 use std::process::ExitCode;
+use std::time::Duration;
 
 use cirgps::datagen::{generate_with_parasitics, DesignKind, SizePreset};
 use cirgps::graph::{netlist_to_graph, GraphStats, XcSpec};
 use cirgps::model::{CircuitGps, InferenceSession, ModelConfig};
 use cirgps::netlist::{Netlist, SpfFile, SpiceFile};
 use cirgps::sample::{CapNormalizer, DatasetConfig, LinkDataset, SamplerConfig, XcNormalizer};
+use cirgps::serve::{ServeConfig, Server};
 use cirgps::spice::{net_capacitances, simulate_energy};
 
 fn main() -> ExitCode {
@@ -24,19 +27,21 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
-    let flags = parse_flags(&args[1..]);
-    let result = match cmd.as_str() {
+    // Help never flag-parses: `cirgps help gen` must print usage, not
+    // complain about the positional "gen".
+    if matches!(cmd.as_str(), "--help" | "-h" | "help") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let result = parse_flags(&args[1..]).and_then(|flags| match cmd.as_str() {
         "gen" => cmd_gen(&flags),
         "stats" => cmd_stats(&flags),
         "sample" => cmd_sample(&flags),
         "predict" => cmd_predict(&flags),
+        "serve" => cmd_serve(&flags),
         "energy" => cmd_energy(&flags),
-        "--help" | "-h" | "help" => {
-            println!("{USAGE}");
-            Ok(())
-        }
         other => Err(format!("unknown command {other:?}\n{USAGE}")),
-    };
+    });
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -67,27 +72,86 @@ USAGE:
                 [--task link|cap] [--batch-size N] [--per-type N]
                 [--model FILE.ckpt] [--out FILE.json]
       Score the design's candidate coupling pairs with the batched
-      tape-free inference engine (block-diagonal attention) and write one
-      JSON object per pair. Without --model a freshly initialized
-      default model is used (structure-only smoke predictions).
+      tape-free inference engine (block-diagonal attention).
+        --task link|cap   link probability (default) or normalized +
+                          decoded coupling capacitance per pair
+        --batch-size N    samples per packed batch (default 32)
+        --per-type N      candidate pairs sampled per coupling type
+                          (default 200)
+        --model FILE      load checkpoint weights; without it a freshly
+                          initialized default model is used
+                          (structure-only smoke predictions)
+        --out FILE.json   write JSON lines there instead of stdout
+      Output: one JSON object per candidate pair.
+
+  cirgps serve  --netlist FILE.sp --top NAME [--model FILE.ckpt]
+                [--addr HOST:PORT] [--max-batch N] [--max-wait-us N]
+                [--workers N] [--queue-cap N] [--cache-cap N]
+      Run the long-lived inference daemon: model, graph and sample
+      caches stay warm, and concurrent HTTP queries are coalesced into
+      packed batches by the dynamic micro-batcher (see docs/serving.md).
+        --addr         listen address (default 127.0.0.1:8321)
+        --max-batch    flush a batch at N queries (default 32)
+        --max-wait-us  flush a partial batch after N microseconds
+                       (default 2000)
+        --workers      scheduler threads (default 2)
+        --queue-cap    queue depth before 503 backpressure (default 1024)
+        --cache-cap    per-worker prepared-sample cache (default 65536)
+      Endpoints: GET /healthz, GET /metrics, POST /v1/predict.
 
   cirgps energy --netlist FILE.sp --top NAME --spf FILE.spf
-                [--vectors N] [--vdd V]
+                [--vectors N] [--vdd V] [--seed N]
       Run the switch-level simulator and report switching energy.";
 
-fn parse_flags(args: &[String]) -> HashMap<String, String> {
+/// Parses `--flag value` pairs. Rejects positional arguments; a flag
+/// followed by another flag (or nothing) gets an empty value, which the
+/// per-command validators then report with the flag's name.
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
     let mut i = 0;
     while i < args.len() {
         if let Some(key) = args[i].strip_prefix("--") {
-            let value = args.get(i + 1).cloned().unwrap_or_default();
+            let value = match args.get(i + 1) {
+                Some(v) if !v.starts_with("--") => {
+                    i += 2;
+                    v.clone()
+                }
+                _ => {
+                    i += 1;
+                    String::new()
+                }
+            };
             flags.insert(key.to_string(), value);
-            i += 2;
         } else {
-            i += 1;
+            return Err(format!(
+                "unexpected positional argument {:?} (flags are --name value pairs)",
+                args[i]
+            ));
         }
     }
-    flags
+    Ok(flags)
+}
+
+/// Rejects flags a command does not understand, naming the failing flag
+/// and listing what the command accepts.
+fn check_flags(flags: &HashMap<String, String>, cmd: &str, allowed: &[&str]) -> Result<(), String> {
+    let mut unknown: Vec<&str> = flags
+        .keys()
+        .map(String::as_str)
+        .filter(|k| !allowed.contains(k))
+        .collect();
+    unknown.sort_unstable();
+    if let Some(first) = unknown.first() {
+        return Err(format!(
+            "unknown flag --{first} for `cirgps {cmd}` (expected {})",
+            allowed
+                .iter()
+                .map(|f| format!("--{f}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+    }
+    Ok(())
 }
 
 fn design_kind(name: &str) -> Result<DesignKind, String> {
@@ -135,6 +199,7 @@ fn load_spf(flags: &HashMap<String, String>) -> Result<SpfFile, String> {
 }
 
 fn cmd_gen(flags: &HashMap<String, String>) -> Result<(), String> {
+    check_flags(flags, "gen", &["kind", "preset", "seed", "out"])?;
     let kind = design_kind(flags.get("kind").ok_or("--kind is required")?)?;
     let out_dir = flags.get("out").cloned().unwrap_or_else(|| ".".into());
     let (design, spf) =
@@ -155,6 +220,7 @@ fn cmd_gen(flags: &HashMap<String, String>) -> Result<(), String> {
 }
 
 fn cmd_stats(flags: &HashMap<String, String>) -> Result<(), String> {
+    check_flags(flags, "stats", &["netlist", "top"])?;
     let netlist = load_netlist(flags)?;
     let (graph, _) = netlist_to_graph(&netlist);
     println!("{}", GraphStats::of(&netlist.name, &graph));
@@ -176,6 +242,7 @@ fn cmd_stats(flags: &HashMap<String, String>) -> Result<(), String> {
 }
 
 fn cmd_sample(flags: &HashMap<String, String>) -> Result<(), String> {
+    check_flags(flags, "sample", &["netlist", "top", "spf", "per-type"])?;
     let netlist = load_netlist(flags)?;
     let spf = load_spf(flags)?;
     let per_type: usize = flags
@@ -209,6 +276,20 @@ fn cmd_sample(flags: &HashMap<String, String>) -> Result<(), String> {
 }
 
 fn cmd_predict(flags: &HashMap<String, String>) -> Result<(), String> {
+    check_flags(
+        flags,
+        "predict",
+        &[
+            "netlist",
+            "top",
+            "spf",
+            "task",
+            "batch-size",
+            "per-type",
+            "model",
+            "out",
+        ],
+    )?;
     let netlist = load_netlist(flags)?;
     let spf = load_spf(flags)?;
     let per_type: usize = flags
@@ -300,7 +381,97 @@ fn cmd_predict(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
+    check_flags(
+        flags,
+        "serve",
+        &[
+            "netlist",
+            "top",
+            "model",
+            "addr",
+            "max-batch",
+            "max-wait-us",
+            "workers",
+            "queue-cap",
+            "cache-cap",
+        ],
+    )?;
+    let parse_num = |name: &str, default: usize| -> Result<usize, String> {
+        flags
+            .get(name)
+            .map(|s| s.parse().map_err(|_| format!("bad --{name} {s:?}")))
+            .unwrap_or(Ok(default))
+    };
+    let defaults = ServeConfig::default();
+    let max_batch = parse_num("max-batch", defaults.max_batch)?;
+    let max_wait_us = parse_num("max-wait-us", defaults.max_wait.as_micros() as usize)?;
+    let workers = parse_num("workers", defaults.workers)?;
+    let queue_cap = parse_num("queue-cap", defaults.queue_capacity)?;
+    let cache_cap = parse_num("cache-cap", defaults.cache_capacity)?;
+    if max_batch == 0 || workers == 0 {
+        return Err("--max-batch and --workers must be positive".into());
+    }
+    if queue_cap < max_batch {
+        return Err(format!(
+            "--queue-cap {queue_cap} must hold at least one batch (--max-batch {max_batch})"
+        ));
+    }
+    if cache_cap < max_batch {
+        return Err(format!(
+            "--cache-cap {cache_cap} must hold at least one batch (--max-batch {max_batch})"
+        ));
+    }
+    let addr = flags
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:8321".into());
+
+    let netlist = load_netlist(flags)?;
+    let (graph, _map) = netlist_to_graph(&netlist);
+    let mut model = CircuitGps::new(ModelConfig::default());
+    match flags.get("model") {
+        Some(path) => {
+            let f = fs::File::open(path).map_err(|e| format!("reading {path}: {e}"))?;
+            model
+                .load(std::io::BufReader::new(f))
+                .map_err(|e| format!("loading checkpoint {path}: {e}"))?;
+        }
+        None => eprintln!(
+            "warning: no --model checkpoint; serving a freshly initialized \
+             default model (structure-only smoke predictions)"
+        ),
+    }
+
+    let cfg = ServeConfig {
+        max_batch,
+        max_wait: Duration::from_micros(max_wait_us as u64),
+        workers,
+        queue_capacity: queue_cap,
+        cache_capacity: cache_cap,
+        ..defaults
+    };
+    let listener = TcpListener::bind(&addr).map_err(|e| format!("binding {addr}: {e}"))?;
+    let local = listener.local_addr().map_err(|e| e.to_string())?;
+    eprintln!(
+        "cirgps-serve: design {} ({} nodes, {} edges) on http://{local} \
+         ({workers} workers, batch ≤ {max_batch}, wait ≤ {max_wait_us} µs)",
+        netlist.name,
+        graph.num_nodes(),
+        graph.num_edges()
+    );
+    eprintln!("endpoints: GET /healthz, GET /metrics, POST /v1/predict (docs/serving.md)");
+    let server = Server::new(model, graph, netlist.name.clone(), cfg);
+    server.serve(listener); // runs until the process is killed
+    Ok(())
+}
+
 fn cmd_energy(flags: &HashMap<String, String>) -> Result<(), String> {
+    check_flags(
+        flags,
+        "energy",
+        &["netlist", "top", "spf", "vectors", "vdd", "seed"],
+    )?;
     let netlist = load_netlist(flags)?;
     let spf = load_spf(flags)?;
     let vectors: usize = flags

@@ -17,6 +17,7 @@
 //! | [`pe`] | `graph-pe` | DSPD/DRNL/RWSE/LapPE encodings |
 //! | [`nn`] | `cirgps-nn` | tensors, autograd, layers, optimizers |
 //! | [`model`] | `circuitgps` | the CircuitGPS model + training |
+//! | [`serve`] | `cirgps-serve` | dynamic-batching inference daemon |
 //! | [`baselines`] | `cirgps-baselines` | ParaGraph, DLPL-Cap |
 //! | [`spice`] | `mini-spice` | switch-level energy simulation |
 //!
@@ -38,7 +39,7 @@
 //! See `examples/` for full training pipelines and `crates/bench` for the
 //! harnesses that regenerate every table and figure of the paper.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub use ams_datagen as datagen;
 pub use ams_netlist as netlist;
@@ -46,6 +47,7 @@ pub use circuit_graph as graph;
 pub use circuitgps as model;
 pub use cirgps_baselines as baselines;
 pub use cirgps_nn as nn;
+pub use cirgps_serve as serve;
 pub use graph_pe as pe;
 pub use mini_spice as spice;
 pub use subgraph_sample as sample;

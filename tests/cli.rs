@@ -177,3 +177,177 @@ fn cli_reports_errors_cleanly() {
         .expect("run");
     assert!(!out.status.success());
 }
+
+#[test]
+fn cli_unknown_flags_name_the_failing_flag() {
+    let out = cirgps()
+        .args(["gen", "--kind", "timing", "--frobnicate", "5"])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--frobnicate"), "{err}");
+    assert!(err.contains("`cirgps gen`"), "{err}");
+    assert!(err.contains("--preset"), "expected-flag listing: {err}");
+
+    // A typo'd flag on predict is caught before any file I/O.
+    let out = cirgps()
+        .args(["predict", "--netlists", "x.sp", "--top", "X"])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--netlists"), "{err}");
+
+    // Positional junk is rejected too.
+    let out = cirgps()
+        .args(["stats", "whoops", "--top", "X"])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("whoops"), "{err}");
+
+    // serve validates its batching knobs.
+    let out = cirgps()
+        .args([
+            "serve",
+            "--netlist",
+            "x.sp",
+            "--top",
+            "X",
+            "--max-batch",
+            "64",
+            "--queue-cap",
+            "8",
+        ])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--queue-cap"), "{err}");
+}
+
+#[test]
+fn cli_usage_documents_every_subcommand() {
+    // `help <topic>` must print usage, not trip over the positional.
+    let out = cirgps().args(["help", "gen"]).output().expect("run");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+
+    let out = cirgps().args(["--help"]).output().expect("run");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for cmd in ["gen", "stats", "sample", "predict", "serve", "energy"] {
+        assert!(text.contains(&format!("cirgps {cmd}")), "usage lacks {cmd}");
+    }
+    for flag in ["--max-wait-us", "--batch-size", "--out FILE.json"] {
+        assert!(text.contains(flag), "usage lacks {flag}");
+    }
+}
+
+/// Boots the daemon on port 0 against a generated design, queries it
+/// over HTTP, and shuts it down — the CLI-level smoke test of `serve`.
+#[test]
+fn cli_serve_boots_and_answers_queries() {
+    use std::io::{BufRead, BufReader, Read, Write};
+
+    let dir = std::env::temp_dir().join(format!("cirgps_cli_serve_{}", std::process::id()));
+    let dir_s = dir.to_str().unwrap().to_string();
+    let out = cirgps()
+        .args([
+            "gen", "--kind", "timing", "--preset", "tiny", "--seed", "3", "--out", &dir_s,
+        ])
+        .output()
+        .expect("run gen");
+    assert!(out.status.success());
+    let sp = format!("{dir_s}/TIMING_CONTROL.sp");
+
+    // Pick a free port (bind then drop; races are unlikely and would
+    // only fail this test, not the daemon).
+    let port = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap().port()
+    };
+    let addr = format!("127.0.0.1:{port}");
+    let mut daemon = cirgps()
+        .args([
+            "serve",
+            "--netlist",
+            &sp,
+            "--top",
+            "TIMING_CONTROL",
+            "--addr",
+            &addr,
+            "--workers",
+            "1",
+            "--max-wait-us",
+            "100",
+        ])
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+
+    // Wait for the listener, then query /healthz and /v1/predict.
+    let result = (|| -> Result<(), String> {
+        let mut stream = None;
+        for _ in 0..100 {
+            match std::net::TcpStream::connect(&addr) {
+                Ok(s) => {
+                    stream = Some(s);
+                    break;
+                }
+                Err(_) => std::thread::sleep(std::time::Duration::from_millis(50)),
+            }
+        }
+        let stream = stream.ok_or("daemon never started listening")?;
+        let request = |mut s: std::net::TcpStream, req: String| -> Result<String, String> {
+            s.write_all(req.as_bytes()).map_err(|e| e.to_string())?;
+            let mut r = BufReader::new(s);
+            let mut status = String::new();
+            r.read_line(&mut status).map_err(|e| e.to_string())?;
+            if !status.contains("200") {
+                return Err(format!("bad status {status:?}"));
+            }
+            let mut len = 0usize;
+            loop {
+                let mut line = String::new();
+                r.read_line(&mut line).map_err(|e| e.to_string())?;
+                if line.trim_end().is_empty() {
+                    break;
+                }
+                if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+                    len = v.trim().parse().map_err(|_| "bad length")?;
+                }
+            }
+            let mut body = vec![0u8; len];
+            r.read_exact(&mut body).map_err(|e| e.to_string())?;
+            String::from_utf8(body).map_err(|e| e.to_string())
+        };
+        let health = request(
+            stream,
+            "GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n".into(),
+        )?;
+        if !health.contains("\"status\":\"ok\"") || !health.contains("TIMING_CONTROL") {
+            return Err(format!("bad healthz body {health}"));
+        }
+        let body = "{\"task\":\"link\",\"pairs\":[[0,1]]}";
+        let resp = request(
+            std::net::TcpStream::connect(&addr).map_err(|e| e.to_string())?,
+            format!(
+                "POST /v1/predict HTTP/1.1\r\nConnection: close\r\n\
+                 Content-Length: {}\r\n\r\n{body}",
+                body.len()
+            ),
+        )?;
+        if !resp.contains("\"probs\":[") || !resp.contains("\"count\":1") {
+            return Err(format!("bad predict body {resp}"));
+        }
+        Ok(())
+    })();
+
+    let _ = daemon.kill();
+    let _ = daemon.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+    result.unwrap();
+}

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Checks that every relative markdown link in the repo's top-level *.md
+# and docs/*.md resolves to an existing file (anchors are stripped;
+# absolute URLs are ignored). Exits non-zero listing each broken link.
+#
+#   tools/check_doc_links.sh        # from the repo root (CI runs this)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+status=0
+# Inline links only: [text](target). Reference-style links are not used
+# in this repo; add them here if that changes.
+for f in *.md docs/*.md; do
+  [ -f "$f" ] || continue
+  case "$f" in
+    # Verbatim quotes of external repos/papers; their links point at
+    # files that intentionally do not exist here.
+    SNIPPETS.md|PAPERS.md) continue ;;
+  esac
+  dir=$(dirname "$f")
+  # One link per line; tolerate several links on a source line.
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    path="${target%%#*}"
+    [ -n "$path" ] || continue
+    if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
+      echo "BROKEN: $f -> $target"
+      status=1
+    fi
+  done < <(grep -o '\[[^]]*\]([^)]*)' "$f" | sed 's/.*(\(.*\))/\1/')
+done
+if [ "$status" -eq 0 ]; then
+  echo "all relative markdown links resolve"
+fi
+exit "$status"
