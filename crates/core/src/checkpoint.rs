@@ -1,0 +1,457 @@
+//! Self-describing model checkpoints: a versioned container that embeds
+//! the [`ModelConfig`] next to the named parameter blob, so a checkpoint
+//! can be loaded without knowing (or guessing) the architecture it was
+//! trained with.
+//!
+//! The byte-level layout is specified in `docs/checkpoint-format.md`.
+//! In short:
+//!
+//! ```text
+//! magic  "CGPC"                     4 bytes
+//! version u32 LE                    (currently 1)
+//! config block                      length-prefixed ModelConfig fields
+//! param blob                        ParamStore::save_blob records
+//! ```
+//!
+//! The pre-container format (magic `CGPS`, a raw [`ParamStore`] dump
+//! with no config) is still readable: [`CircuitGps::load_checkpoint`]
+//! falls back to constructing a [`ModelConfig::default`] model, exactly
+//! as old callers did by hand, and reports the file as
+//! [`CheckpointFormat::Legacy`] so front ends can warn.
+
+use std::io::{self, Read, Write};
+
+use cirgps_nn::ParamLoadError;
+use graph_pe::PeKind;
+
+use crate::config::{AttnKind, ModelConfig, MpnnKind};
+use crate::model::CircuitGps;
+
+/// Container magic for the self-describing checkpoint format.
+pub const CHECKPOINT_MAGIC: &[u8; 4] = b"CGPC";
+/// Magic of the legacy raw parameter dump (no embedded config).
+pub const LEGACY_MAGIC: &[u8; 4] = b"CGPS";
+/// Highest container version this build can read and the version it
+/// writes.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// Which on-disk format a checkpoint was read from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointFormat {
+    /// The versioned container with an embedded [`ModelConfig`].
+    V1,
+    /// The pre-container raw weight dump; the model configuration is
+    /// assumed to be [`ModelConfig::default`]. Deprecated — re-save with
+    /// [`CircuitGps::save_checkpoint`] to embed the config.
+    Legacy,
+}
+
+/// Why reading or writing a checkpoint failed. Every variant names the
+/// offending field so CLI errors can say *what* mismatched, not just
+/// that something did.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying reader/writer failed (or the file was truncated).
+    Io(io::Error),
+    /// The first four bytes are neither [`CHECKPOINT_MAGIC`] nor the
+    /// legacy [`LEGACY_MAGIC`].
+    BadMagic([u8; 4]),
+    /// The container version is newer than this build understands.
+    UnsupportedVersion {
+        /// Version recorded in the file.
+        found: u32,
+        /// Highest version this build reads ([`CHECKPOINT_VERSION`]).
+        supported: u32,
+    },
+    /// The embedded config block could not be decoded or fails
+    /// [`ModelConfig::check`].
+    Config(String),
+    /// The parameter blob does not match the model built from the
+    /// embedded config (names the parameter and both shapes).
+    Params(ParamLoadError),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O: {e}"),
+            CheckpointError::BadMagic(m) => write!(
+                f,
+                "bad checkpoint magic {m:?} (expected \"CGPC\" or legacy \"CGPS\")"
+            ),
+            CheckpointError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "checkpoint format version {found} is newer than this build supports \
+                 (max {supported}); upgrade cirgps or re-save the checkpoint"
+            ),
+            CheckpointError::Config(msg) => write!(f, "embedded model config: {msg}"),
+            CheckpointError::Params(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            CheckpointError::Params(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+impl From<ParamLoadError> for CheckpointError {
+    fn from(e: ParamLoadError) -> Self {
+        match e {
+            ParamLoadError::Io(io) => CheckpointError::Io(io),
+            other => CheckpointError::Params(other),
+        }
+    }
+}
+
+fn write_u64<W: Write>(w: &mut W, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+// Config-block field tags; see docs/checkpoint-format.md for the table.
+const MPNN_NONE: u8 = 0;
+const MPNN_GATED_GCN: u8 = 1;
+const ATTN_NONE: u8 = 0;
+const ATTN_TRANSFORMER: u8 = 1;
+const ATTN_PERFORMER: u8 = 2;
+const PE_NONE: u8 = 0;
+const PE_XC: u8 = 1;
+const PE_DRNL: u8 = 2;
+const PE_RWSE: u8 = 3;
+const PE_LAPPE: u8 = 4;
+const PE_DSPD: u8 = 5;
+
+/// Serializes a [`ModelConfig`] as the fixed v1 field sequence (without
+/// the surrounding length prefix).
+fn write_config_fields<W: Write>(w: &mut W, cfg: &ModelConfig) -> io::Result<()> {
+    write_u64(w, cfg.hidden_dim as u64)?;
+    write_u64(w, cfg.num_layers as u64)?;
+    write_u64(w, cfg.heads as u64)?;
+    let mpnn = match cfg.mpnn {
+        MpnnKind::None => MPNN_NONE,
+        MpnnKind::GatedGcn => MPNN_GATED_GCN,
+    };
+    w.write_all(&[mpnn])?;
+    let (attn, features) = match cfg.attn {
+        AttnKind::None => (ATTN_NONE, 0u64),
+        AttnKind::Transformer => (ATTN_TRANSFORMER, 0),
+        AttnKind::Performer { features } => (ATTN_PERFORMER, features as u64),
+    };
+    w.write_all(&[attn])?;
+    write_u64(w, features)?;
+    let (pe, k) = match cfg.pe {
+        PeKind::None => (PE_NONE, 0u64),
+        PeKind::Xc => (PE_XC, 0),
+        PeKind::Drnl => (PE_DRNL, 0),
+        PeKind::Rwse { k } => (PE_RWSE, k as u64),
+        PeKind::LapPe { k } => (PE_LAPPE, k as u64),
+        PeKind::Dspd => (PE_DSPD, 0),
+    };
+    w.write_all(&[pe])?;
+    write_u64(w, k)?;
+    write_u64(w, cfg.pe_dim as u64)?;
+    w.write_all(&cfg.dropout.to_le_bytes())?;
+    write_u64(w, cfg.seed)?;
+    Ok(())
+}
+
+/// Decodes the v1 config field sequence.
+fn read_config_fields<R: Read>(r: &mut R) -> Result<ModelConfig, CheckpointError> {
+    let hidden_dim = read_u64(r)? as usize;
+    let num_layers = read_u64(r)? as usize;
+    let heads = read_u64(r)? as usize;
+    let mut tag = [0u8; 1];
+    r.read_exact(&mut tag)?;
+    let mpnn = match tag[0] {
+        MPNN_NONE => MpnnKind::None,
+        MPNN_GATED_GCN => MpnnKind::GatedGcn,
+        t => return Err(CheckpointError::Config(format!("unknown mpnn tag {t}"))),
+    };
+    r.read_exact(&mut tag)?;
+    let attn_tag = tag[0];
+    let features = read_u64(r)? as usize;
+    let attn = match attn_tag {
+        ATTN_NONE => AttnKind::None,
+        ATTN_TRANSFORMER => AttnKind::Transformer,
+        ATTN_PERFORMER => AttnKind::Performer { features },
+        t => return Err(CheckpointError::Config(format!("unknown attn tag {t}"))),
+    };
+    r.read_exact(&mut tag)?;
+    let pe_tag = tag[0];
+    let k = read_u64(r)? as usize;
+    let pe = match pe_tag {
+        PE_NONE => PeKind::None,
+        PE_XC => PeKind::Xc,
+        PE_DRNL => PeKind::Drnl,
+        PE_RWSE => PeKind::Rwse { k },
+        PE_LAPPE => PeKind::LapPe { k },
+        PE_DSPD => PeKind::Dspd,
+        t => return Err(CheckpointError::Config(format!("unknown pe tag {t}"))),
+    };
+    let pe_dim = read_u64(r)? as usize;
+    let mut f = [0u8; 4];
+    r.read_exact(&mut f)?;
+    let dropout = f32::from_le_bytes(f);
+    let seed = read_u64(r)?;
+    Ok(ModelConfig {
+        hidden_dim,
+        num_layers,
+        heads,
+        mpnn,
+        attn,
+        pe,
+        pe_dim,
+        dropout,
+        seed,
+    })
+}
+
+impl CircuitGps {
+    /// Writes the self-describing checkpoint container: magic, format
+    /// version, the model's [`ModelConfig`], and every named parameter
+    /// and state buffer. [`CircuitGps::load_checkpoint`] reconstructs an
+    /// identical model from this alone.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn save_checkpoint<W: Write>(&self, mut w: W) -> Result<(), CheckpointError> {
+        w.write_all(CHECKPOINT_MAGIC)?;
+        w.write_all(&CHECKPOINT_VERSION.to_le_bytes())?;
+        // Length-prefixed config block so later versions can append
+        // fields and still be skimmed by tooling.
+        let mut cfg_block = Vec::new();
+        write_config_fields(&mut cfg_block, &self.cfg)?;
+        write_u64(&mut w, cfg_block.len() as u64)?;
+        w.write_all(&cfg_block)?;
+        self.store().save_blob(&mut w)?;
+        Ok(())
+    }
+
+    /// Reads a checkpoint and constructs the model it describes.
+    ///
+    /// For the versioned container the model is built from the
+    /// **embedded** config — no flags, no guessing, a non-default
+    /// architecture round-trips by itself. For a legacy raw weight dump
+    /// (magic `CGPS`) the model is built with [`ModelConfig::default`],
+    /// which is what every legacy call site assumed; the returned
+    /// [`CheckpointFormat::Legacy`] lets front ends print a deprecation
+    /// warning.
+    ///
+    /// # Errors
+    ///
+    /// Returns a named [`CheckpointError`] on bad magic, a
+    /// newer-than-supported version, an invalid embedded config, or a
+    /// parameter name/shape mismatch.
+    pub fn load_checkpoint<R: Read>(mut r: R) -> Result<(Self, CheckpointFormat), CheckpointError> {
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic == LEGACY_MAGIC {
+            let mut model = CircuitGps::new(ModelConfig::default());
+            model.store_mut().load_blob(&mut r)?;
+            return Ok((model, CheckpointFormat::Legacy));
+        }
+        if &magic != CHECKPOINT_MAGIC {
+            return Err(CheckpointError::BadMagic(magic));
+        }
+        let version = read_u32(&mut r)?;
+        if version == 0 || version > CHECKPOINT_VERSION {
+            return Err(CheckpointError::UnsupportedVersion {
+                found: version,
+                supported: CHECKPOINT_VERSION,
+            });
+        }
+        let cfg_len = read_u64(&mut r)? as usize;
+        if cfg_len > 1 << 16 {
+            return Err(CheckpointError::Config(format!(
+                "unreasonable config block length {cfg_len}"
+            )));
+        }
+        let mut cfg_block = vec![0u8; cfg_len];
+        r.read_exact(&mut cfg_block)?;
+        let cfg = read_config_fields(&mut &cfg_block[..])?;
+        cfg.check().map_err(CheckpointError::Config)?;
+        let mut model = CircuitGps::new(cfg);
+        model.store_mut().load_blob(&mut r)?;
+        Ok((model, CheckpointFormat::V1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prepared::PreparedSample;
+    use circuit_graph::{EdgeType, GraphBuilder, NodeType};
+    use subgraph_sample::{SamplerConfig, SubgraphSampler, XcNormalizer};
+
+    fn sample() -> PreparedSample {
+        let mut b = GraphBuilder::new();
+        let n1 = b.add_node(NodeType::Net, "n1");
+        let p1 = b.add_node(NodeType::Pin, "p1");
+        let d1 = b.add_node(NodeType::Device, "d1");
+        let n2 = b.add_node(NodeType::Net, "n2");
+        b.set_xc(p1, 0, 1.0);
+        b.set_xc(n1, 0, 2.0);
+        b.add_edge(n1, p1, EdgeType::NetPin);
+        b.add_edge(p1, d1, EdgeType::DevicePin);
+        b.add_edge(d1, n2, EdgeType::NetPin);
+        let g = b.build();
+        let g = g.with_injected_links(&[circuit_graph::Edge {
+            a: n1,
+            b: n2,
+            ty: EdgeType::CouplingNetNet,
+        }]);
+        let xcn = XcNormalizer::fit(&[&g]);
+        let mut s = SubgraphSampler::new(
+            &g,
+            SamplerConfig {
+                hops: 2,
+                max_nodes: 32,
+            },
+        );
+        let sub = s.enclosing_subgraph(n1, n2);
+        PreparedSample::new(sub, PeKind::Dspd, &xcn, 1.0, 0.3)
+    }
+
+    /// A config that differs from the default in every dimension the
+    /// container records — the round-trip must reproduce it exactly.
+    fn non_default_config() -> ModelConfig {
+        ModelConfig {
+            hidden_dim: 24,
+            num_layers: 2,
+            heads: 3,
+            mpnn: MpnnKind::GatedGcn,
+            attn: AttnKind::Transformer,
+            pe: PeKind::Dspd,
+            pe_dim: 5,
+            dropout: 0.05,
+            seed: 0xBEEF,
+        }
+    }
+
+    #[test]
+    fn v1_round_trip_restores_config_and_predictions_bitwise() {
+        let s = sample();
+        let model = CircuitGps::new(non_default_config());
+        let want_link = model.predict_link(&s);
+        let want_reg = model.predict_reg(&s);
+
+        let mut bytes = Vec::new();
+        model.save_checkpoint(&mut bytes).unwrap();
+        let (loaded, fmt) = CircuitGps::load_checkpoint(&bytes[..]).unwrap();
+        assert_eq!(fmt, CheckpointFormat::V1);
+        assert_eq!(loaded.cfg, model.cfg, "embedded config must round-trip");
+        assert_eq!(loaded.predict_link(&s).to_bits(), want_link.to_bits());
+        assert_eq!(loaded.predict_reg(&s).to_bits(), want_reg.to_bits());
+    }
+
+    #[test]
+    fn legacy_dump_still_loads_as_default_config() {
+        let s = sample();
+        let model = CircuitGps::new(ModelConfig::default());
+        let want = model.predict_link(&s);
+        let mut bytes = Vec::new();
+        model.save(&mut bytes).unwrap(); // legacy raw dump
+        let (loaded, fmt) = CircuitGps::load_checkpoint(&bytes[..]).unwrap();
+        assert_eq!(fmt, CheckpointFormat::Legacy);
+        assert_eq!(loaded.cfg, ModelConfig::default());
+        assert_eq!(loaded.predict_link(&s).to_bits(), want.to_bits());
+    }
+
+    #[test]
+    fn corrupted_magic_is_a_named_error() {
+        let model = CircuitGps::new(non_default_config());
+        let mut bytes = Vec::new();
+        model.save_checkpoint(&mut bytes).unwrap();
+        bytes[0] = b'X';
+        match CircuitGps::load_checkpoint(&bytes[..]) {
+            Err(CheckpointError::BadMagic(m)) => assert_eq!(&m, b"XGPC"),
+            other => panic!("expected BadMagic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn future_version_is_a_named_error() {
+        let model = CircuitGps::new(non_default_config());
+        let mut bytes = Vec::new();
+        model.save_checkpoint(&mut bytes).unwrap();
+        bytes[4..8].copy_from_slice(&99u32.to_le_bytes());
+        match CircuitGps::load_checkpoint(&bytes[..]) {
+            Err(CheckpointError::UnsupportedVersion { found, supported }) => {
+                assert_eq!(found, 99);
+                assert_eq!(supported, CHECKPOINT_VERSION);
+            }
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_checkpoint_is_an_io_error() {
+        let model = CircuitGps::new(non_default_config());
+        let mut bytes = Vec::new();
+        model.save_checkpoint(&mut bytes).unwrap();
+        bytes.truncate(bytes.len() / 2);
+        assert!(matches!(
+            CircuitGps::load_checkpoint(&bytes[..]),
+            Err(CheckpointError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn legacy_dump_of_non_default_model_reports_shape_mismatch_by_name() {
+        // The exact failure mode the self-describing container removes:
+        // a legacy dump of a non-default architecture loads against the
+        // assumed default config and must name the mismatched parameter
+        // and both shapes instead of a bare I/O error.
+        let model = CircuitGps::new(ModelConfig {
+            hidden_dim: 16,
+            pe_dim: 4,
+            heads: 2,
+            ..ModelConfig::default()
+        });
+        let mut bytes = Vec::new();
+        model.save(&mut bytes).unwrap();
+        match CircuitGps::load_checkpoint(&bytes[..]) {
+            Err(CheckpointError::Params(ParamLoadError::ShapeMismatch {
+                name,
+                expected,
+                found,
+            })) => {
+                assert!(!name.is_empty());
+                assert_ne!(expected, found);
+                let msg = CheckpointError::Params(ParamLoadError::ShapeMismatch {
+                    name: name.clone(),
+                    expected,
+                    found,
+                })
+                .to_string();
+                assert!(msg.contains(&name), "{msg}");
+                assert!(msg.contains("shape mismatch"), "{msg}");
+            }
+            other => panic!("expected a named shape mismatch, got {other:?}"),
+        }
+    }
+}

@@ -66,6 +66,32 @@ impl Default for ModelConfig {
 }
 
 impl ModelConfig {
+    /// Checks structural constraints, returning a description of the
+    /// first violation (used by the checkpoint loader, which must not
+    /// panic on a malformed embedded config).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error message if `heads` does not divide `hidden_dim`,
+    /// the PE parts do not leave room for the node-type embedding, or
+    /// there are no GPS layers.
+    pub fn check(&self) -> Result<(), String> {
+        if self.heads == 0 || !self.hidden_dim.is_multiple_of(self.heads) {
+            return Err("heads must divide hidden_dim".into());
+        }
+        if 2 * self.pe_dim >= self.hidden_dim {
+            return Err(format!(
+                "2·pe_dim ({}) must leave room for the type embedding in hidden_dim ({})",
+                2 * self.pe_dim,
+                self.hidden_dim
+            ));
+        }
+        if self.num_layers == 0 {
+            return Err("need at least one GPS layer".into());
+        }
+        Ok(())
+    }
+
     /// Validates structural constraints.
     ///
     /// # Panics
@@ -73,17 +99,9 @@ impl ModelConfig {
     /// Panics if `heads` does not divide `hidden_dim`, or the PE parts do
     /// not leave room for the node-type embedding.
     pub fn validate(&self) {
-        assert!(
-            self.hidden_dim.is_multiple_of(self.heads),
-            "heads must divide hidden_dim"
-        );
-        assert!(
-            2 * self.pe_dim < self.hidden_dim,
-            "2·pe_dim ({}) must leave room for the type embedding in hidden_dim ({})",
-            2 * self.pe_dim,
-            self.hidden_dim
-        );
-        assert!(self.num_layers > 0, "need at least one GPS layer");
+        if let Err(e) = self.check() {
+            panic!("{e}");
+        }
     }
 }
 

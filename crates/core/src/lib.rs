@@ -30,6 +30,7 @@
 
 #![deny(missing_docs)]
 
+mod checkpoint;
 mod config;
 mod infer;
 mod metrics;
@@ -37,12 +38,16 @@ mod model;
 mod prepared;
 mod train;
 
+pub use checkpoint::{
+    CheckpointError, CheckpointFormat, CHECKPOINT_MAGIC, CHECKPOINT_VERSION, LEGACY_MAGIC,
+};
 pub use config::{AttnKind, FinetuneMode, ModelConfig, MpnnKind, TrainConfig};
 pub use infer::{InferenceSession, Query};
 pub use metrics::{link_metrics, mape, reg_metrics, roc_auc, LinkMetrics, RegMetrics};
 pub use model::{BatchLayout, CircuitGps};
 pub use prepared::{prepare_link_dataset, prepare_node_dataset, PreparedSample};
 pub use train::{
-    evaluate_link, evaluate_regression, finetune_regression, predict_regression, pretrain_link,
-    train, Task, TrainHistory,
+    evaluate_link, evaluate_regression, finetune_regression, finetune_regression_with_progress,
+    predict_regression, pretrain_link, train, train_with_progress, EpochProgress, Task,
+    TrainHistory,
 };

@@ -713,7 +713,11 @@ impl CircuitGps {
         tape.value(out).item()
     }
 
-    /// Serializes all parameters to a writer.
+    /// Serializes all parameters to a writer in the **legacy** raw-dump
+    /// format (magic `CGPS`, no embedded config). Prefer
+    /// [`CircuitGps::save_checkpoint`], whose container records the
+    /// [`ModelConfig`] so the file is loadable without out-of-band
+    /// knowledge of the architecture.
     ///
     /// # Errors
     ///
@@ -722,12 +726,16 @@ impl CircuitGps {
         self.store.save(w)
     }
 
-    /// Loads parameters from a reader into this model (must have been
-    /// built with the same [`ModelConfig`]).
+    /// Loads raw parameters from a reader into this model (must have
+    /// been built with the same [`ModelConfig`]); the in-memory
+    /// counterpart of [`CircuitGps::save`]. For files on disk prefer
+    /// [`CircuitGps::load_checkpoint`], which reconstructs the model
+    /// from the embedded config and also accepts this legacy format.
     ///
     /// # Errors
     ///
-    /// Fails on I/O errors or architecture mismatch.
+    /// Fails on I/O errors or architecture mismatch (the error message
+    /// names the first mismatched parameter and both shapes).
     pub fn load<R: std::io::Read>(&mut self, r: R) -> std::io::Result<()> {
         self.store.load(r)
     }

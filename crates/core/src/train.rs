@@ -34,6 +34,22 @@ pub struct TrainHistory {
     pub seconds: f64,
 }
 
+/// What the training loop reports to a progress observer after each
+/// epoch (see [`train_with_progress`]).
+#[derive(Debug, Clone, Copy)]
+pub struct EpochProgress {
+    /// 1-based epoch that just finished.
+    pub epoch: usize,
+    /// Total epochs this run will perform.
+    pub epochs: usize,
+    /// Mean training loss over the finished epoch.
+    pub loss: f32,
+    /// Learning rate of the epoch's last optimizer step.
+    pub lr: f32,
+    /// Wall-clock seconds since training started.
+    pub seconds: f64,
+}
+
 /// Trains the model on `samples` for the given task.
 ///
 /// Returns the per-epoch loss history. Training is deterministic for a
@@ -44,6 +60,24 @@ pub fn train(
     samples: &[PreparedSample],
     task: Task,
     cfg: &TrainConfig,
+) -> TrainHistory {
+    train_with_progress(model, samples, task, cfg, &mut |_, _| {})
+}
+
+/// [`train`] with a per-epoch progress observer.
+///
+/// After each epoch the callback receives the model (shared borrow — the
+/// optimizer step for that epoch has been applied) and an
+/// [`EpochProgress`] record. This is how the CLI streams per-epoch loss
+/// and runs periodic held-out evaluation without the loop knowing about
+/// either; the callback cannot mutate the model, so training semantics
+/// (and determinism) are unaffected by whatever the observer does.
+pub fn train_with_progress(
+    model: &mut CircuitGps,
+    samples: &[PreparedSample],
+    task: Task,
+    cfg: &TrainConfig,
+    progress: &mut dyn FnMut(&CircuitGps, &EpochProgress),
 ) -> TrainHistory {
     let start = std::time::Instant::now();
     let mut opt = Adam::new(cfg.lr).with_weight_decay(cfg.weight_decay);
@@ -128,6 +162,16 @@ pub fn train(
         if cfg.log_every > 0 && (epoch + 1) % cfg.log_every == 0 {
             eprintln!("epoch {:>3}: loss {:.4}", epoch + 1, mean);
         }
+        progress(
+            model,
+            &EpochProgress {
+                epoch: epoch + 1,
+                epochs: cfg.epochs,
+                loss: mean,
+                lr: schedule.lr_at(step.saturating_sub(1)),
+                seconds: start.elapsed().as_secs_f64(),
+            },
+        );
     }
     history.seconds = start.elapsed().as_secs_f64();
     history
@@ -153,6 +197,18 @@ pub fn finetune_regression(
     mode: FinetuneMode,
     cfg: &TrainConfig,
 ) -> TrainHistory {
+    finetune_regression_with_progress(model, samples, mode, cfg, &mut |_, _| {})
+}
+
+/// [`finetune_regression`] with a per-epoch progress observer (see
+/// [`train_with_progress`] for the callback contract).
+pub fn finetune_regression_with_progress(
+    model: &mut CircuitGps,
+    samples: &[PreparedSample],
+    mode: FinetuneMode,
+    cfg: &TrainConfig,
+    progress: &mut dyn FnMut(&CircuitGps, &EpochProgress),
+) -> TrainHistory {
     match mode {
         FinetuneMode::Scratch | FinetuneMode::All => {
             model.unfreeze_all();
@@ -161,7 +217,7 @@ pub fn finetune_regression(
             model.freeze_backbone();
         }
     }
-    let history = train(model, samples, Task::Regression, cfg);
+    let history = train_with_progress(model, samples, Task::Regression, cfg, progress);
     if mode == FinetuneMode::HeadOnly {
         model.unfreeze_all();
     }

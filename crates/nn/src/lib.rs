@@ -57,7 +57,9 @@ pub use attention::{MultiHeadAttention, PerformerAttention};
 pub use gatedgcn::{EdgeIndex, GatedGcn};
 pub use layers::{Activation, BatchNorm1d, Embedding, Linear, Mlp};
 pub use optim::{Adam, CosineSchedule, Sgd};
-pub use params::{normal_init, xavier_uniform, BufferId, GradStore, ParamId, ParamStore};
+pub use params::{
+    normal_init, xavier_uniform, BufferId, GradStore, ParamId, ParamLoadError, ParamStore,
+};
 pub use pool::PoolStats;
 pub use tape::{Tape, Var};
 pub use tensor::Tensor;

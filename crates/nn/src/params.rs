@@ -15,6 +15,109 @@ use rand::Rng;
 
 use crate::tensor::Tensor;
 
+/// Why loading a parameter blob into a [`ParamStore`] failed.
+///
+/// Every variant names what was expected and what the blob contained, so
+/// a CLI can surface "which parameter, which shapes" instead of a bare
+/// I/O error. Converts into [`std::io::Error`] (kind `InvalidData`,
+/// except [`ParamLoadError::Io`] which keeps its kind) for callers on
+/// `io::Result` signatures.
+#[derive(Debug)]
+pub enum ParamLoadError {
+    /// Underlying reader failed (or the blob was truncated).
+    Io(io::Error),
+    /// The 4-byte legacy magic was not `CGPS`.
+    BadMagic([u8; 4]),
+    /// The blob holds a different number of parameter tensors.
+    ParamCount {
+        /// Tensors in the store being loaded into.
+        expected: usize,
+        /// Tensors recorded in the blob.
+        found: usize,
+    },
+    /// The blob holds a different number of state buffers.
+    BufferCount {
+        /// Buffers in the store being loaded into.
+        expected: usize,
+        /// Buffers recorded in the blob.
+        found: usize,
+    },
+    /// A record's name differs from the store's (same index).
+    NameMismatch {
+        /// Name in the store being loaded into.
+        expected: String,
+        /// Name recorded in the blob.
+        found: String,
+    },
+    /// A record's tensor shape differs from the store's.
+    ShapeMismatch {
+        /// The parameter (or buffer) name.
+        name: String,
+        /// `(rows, cols)` in the store being loaded into.
+        expected: (usize, usize),
+        /// `(rows, cols)` recorded in the blob.
+        found: (usize, usize),
+    },
+}
+
+impl std::fmt::Display for ParamLoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParamLoadError::Io(e) => write!(f, "reading parameter blob: {e}"),
+            ParamLoadError::BadMagic(m) => {
+                write!(f, "bad checkpoint magic {m:?} (expected \"CGPS\")")
+            }
+            ParamLoadError::ParamCount { expected, found } => write!(
+                f,
+                "checkpoint has {found} params, model expects {expected} \
+                 (architecture mismatch)"
+            ),
+            ParamLoadError::BufferCount { expected, found } => write!(
+                f,
+                "checkpoint has {found} buffers, model expects {expected} \
+                 (architecture mismatch)"
+            ),
+            ParamLoadError::NameMismatch { expected, found } => write!(
+                f,
+                "param name mismatch: checkpoint has {found:?}, model expects {expected:?}"
+            ),
+            ParamLoadError::ShapeMismatch {
+                name,
+                expected,
+                found,
+            } => write!(
+                f,
+                "shape mismatch for param {name:?}: model expects {}x{}, checkpoint has {}x{}",
+                expected.0, expected.1, found.0, found.1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ParamLoadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParamLoadError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ParamLoadError {
+    fn from(e: io::Error) -> Self {
+        ParamLoadError::Io(e)
+    }
+}
+
+impl From<ParamLoadError> for io::Error {
+    fn from(e: ParamLoadError) -> Self {
+        match e {
+            ParamLoadError::Io(e) => e,
+            other => io::Error::new(io::ErrorKind::InvalidData, other.to_string()),
+        }
+    }
+}
+
 /// Handle to a trainable (or frozen) parameter tensor in a [`ParamStore`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ParamId(pub(crate) usize);
@@ -153,16 +256,19 @@ impl ParamStore {
             .map(|(i, p)| (ParamId(i), self.names[i].as_str(), p))
     }
 
-    /// Serializes all parameters and buffers to a writer.
+    /// Serializes all parameters and buffers to a writer as a raw named
+    /// blob (no magic, no version).
     ///
-    /// The format is a simple length-prefixed binary layout; it exists so
-    /// pre-trained models can be checkpointed and reloaded for fine-tuning.
+    /// This is the record layout embedded by the self-describing
+    /// checkpoint container (see `circuitgps`'s checkpoint module and
+    /// `docs/checkpoint-format.md`): a length-prefixed sequence of
+    /// `(name, rows, cols, f32 data)` records for the parameters,
+    /// followed by the same for the state buffers.
     ///
     /// # Errors
     ///
     /// Returns any I/O error from the writer.
-    pub fn save<W: Write>(&self, mut w: W) -> io::Result<()> {
-        w.write_all(b"CGPS")?;
+    pub fn save_blob<W: Write>(&self, mut w: W) -> io::Result<()> {
         write_u64(&mut w, self.params.len() as u64)?;
         for i in 0..self.params.len() {
             write_str(&mut w, &self.names[i])?;
@@ -176,74 +282,103 @@ impl ParamStore {
         Ok(())
     }
 
-    /// Loads parameter *values* from a reader into this store.
+    /// Loads parameter *values* from a raw named blob (the counterpart of
+    /// [`ParamStore::save_blob`]) into this store.
+    ///
+    /// The store must already contain parameters with matching names and
+    /// shapes (i.e. build the model first, then load the blob).
+    ///
+    /// # Errors
+    ///
+    /// Returns a named [`ParamLoadError`] on I/O failure or
+    /// count/name/shape mismatch; shape mismatches carry the parameter
+    /// name and both shapes.
+    pub fn load_blob<R: Read>(&mut self, mut r: R) -> Result<(), ParamLoadError> {
+        let np = read_u64(&mut r)? as usize;
+        if np != self.params.len() {
+            return Err(ParamLoadError::ParamCount {
+                expected: self.params.len(),
+                found: np,
+            });
+        }
+        for i in 0..np {
+            let name = read_str(&mut r)?;
+            let t = read_tensor(&mut r)?;
+            if name != self.names[i] {
+                return Err(ParamLoadError::NameMismatch {
+                    expected: self.names[i].clone(),
+                    found: name,
+                });
+            }
+            if t.shape() != self.params[i].shape() {
+                return Err(ParamLoadError::ShapeMismatch {
+                    name,
+                    expected: self.params[i].shape(),
+                    found: t.shape(),
+                });
+            }
+            self.params[i] = t;
+        }
+        let nb = read_u64(&mut r)? as usize;
+        if nb != self.buffers.len() {
+            return Err(ParamLoadError::BufferCount {
+                expected: self.buffers.len(),
+                found: nb,
+            });
+        }
+        for i in 0..nb {
+            let name = read_str(&mut r)?;
+            let t = read_tensor(&mut r)?;
+            if name != self.buffer_names[i] {
+                return Err(ParamLoadError::NameMismatch {
+                    expected: self.buffer_names[i].clone(),
+                    found: name,
+                });
+            }
+            if t.shape() != self.buffers[i].lock().shape() {
+                return Err(ParamLoadError::ShapeMismatch {
+                    expected: self.buffers[i].lock().shape(),
+                    found: t.shape(),
+                    name,
+                });
+            }
+            *self.buffers[i].lock() = t;
+        }
+        Ok(())
+    }
+
+    /// Serializes all parameters and buffers in the **legacy** raw-dump
+    /// format: the 4-byte magic `CGPS` followed by the
+    /// [`ParamStore::save_blob`] records. The format does not record the
+    /// model configuration; prefer the self-describing checkpoint
+    /// container (`CircuitGps::save_checkpoint` in `circuitgps`).
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the writer.
+    pub fn save<W: Write>(&self, mut w: W) -> io::Result<()> {
+        w.write_all(b"CGPS")?;
+        self.save_blob(&mut w)
+    }
+
+    /// Loads parameter *values* from a legacy-format reader (the
+    /// counterpart of [`ParamStore::save`]) into this store.
     ///
     /// The store must already contain parameters with matching names and
     /// shapes (i.e. build the model first, then load the checkpoint).
     ///
     /// # Errors
     ///
-    /// Returns an error on I/O failure, bad magic, or name/shape mismatch.
+    /// Returns an error on I/O failure, bad magic, or name/shape
+    /// mismatch (a [`ParamLoadError`] converted to `io::Error`, keeping
+    /// the named message).
     pub fn load<R: Read>(&mut self, mut r: R) -> io::Result<()> {
         let mut magic = [0u8; 4];
         r.read_exact(&mut magic)?;
         if &magic != b"CGPS" {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "bad checkpoint magic",
-            ));
+            return Err(ParamLoadError::BadMagic(magic).into());
         }
-        let np = read_u64(&mut r)? as usize;
-        if np != self.params.len() {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!(
-                    "checkpoint has {} params, store has {}",
-                    np,
-                    self.params.len()
-                ),
-            ));
-        }
-        for i in 0..np {
-            let name = read_str(&mut r)?;
-            let t = read_tensor(&mut r)?;
-            if name != self.names[i] {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("param name mismatch: {:?} vs {:?}", name, self.names[i]),
-                ));
-            }
-            if t.shape() != self.params[i].shape() {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("param shape mismatch for {name}"),
-                ));
-            }
-            self.params[i] = t;
-        }
-        let nb = read_u64(&mut r)? as usize;
-        if nb != self.buffers.len() {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!(
-                    "checkpoint has {} buffers, store has {}",
-                    nb,
-                    self.buffers.len()
-                ),
-            ));
-        }
-        for i in 0..nb {
-            let name = read_str(&mut r)?;
-            let t = read_tensor(&mut r)?;
-            if name != self.buffer_names[i] {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    "buffer name mismatch",
-                ));
-            }
-            *self.buffers[i].lock() = t;
-        }
-        Ok(())
+        self.load_blob(&mut r).map_err(Into::into)
     }
 }
 

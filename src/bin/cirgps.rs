@@ -1,10 +1,15 @@
 //! `cirgps` — command-line front end for the CirGPS pipeline.
 //!
 //! ```text
-//! cirgps gen     --kind ssram --preset tiny --seed 7 --out designs/
-//! cirgps stats   --netlist designs/SSRAM.sp --top SSRAM
-//! cirgps sample  --netlist designs/SSRAM.sp --top SSRAM --spf designs/SSRAM.spf
-//! cirgps energy  --netlist designs/SSRAM.sp --top SSRAM --spf designs/SSRAM.spf --vectors 32
+//! cirgps gen      --kind ssram --preset tiny --seed 7 --out designs/
+//! cirgps stats    --netlist designs/SSRAM.sp --top SSRAM
+//! cirgps sample   --netlist designs/SSRAM.sp --top SSRAM --spf designs/SSRAM.spf
+//! cirgps pretrain --netlist designs/SSRAM.sp --top SSRAM --spf designs/SSRAM.spf \
+//!                 --epochs 30 --out pretrained.ckpt
+//! cirgps finetune --model pretrained.ckpt --netlist t.sp --top T --spf t.spf \
+//!                 --shots 8 --out finetuned.ckpt
+//! cirgps eval     --model finetuned.ckpt --netlist t.sp --top T --spf t.spf
+//! cirgps energy   --netlist designs/SSRAM.sp --top SSRAM --spf designs/SSRAM.spf --vectors 32
 //! ```
 
 use std::collections::HashMap;
@@ -14,8 +19,12 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use cirgps::datagen::{generate_with_parasitics, DesignKind, SizePreset};
-use cirgps::graph::{netlist_to_graph, GraphStats, XcSpec};
-use cirgps::model::{CircuitGps, InferenceSession, ModelConfig};
+use cirgps::graph::{netlist_to_graph, CircuitGraph, GraphStats, XcSpec};
+use cirgps::model::{
+    evaluate_link, evaluate_regression, finetune_regression_with_progress, prepare_link_dataset,
+    train_with_progress, CheckpointFormat, CircuitGps, FinetuneMode, InferenceSession, LinkMetrics,
+    ModelConfig, PreparedSample, RegMetrics, Task, TrainConfig,
+};
 use cirgps::netlist::{Netlist, SpfFile, SpiceFile};
 use cirgps::sample::{CapNormalizer, DatasetConfig, LinkDataset, SamplerConfig, XcNormalizer};
 use cirgps::serve::{ServeConfig, Server};
@@ -37,6 +46,9 @@ fn main() -> ExitCode {
         "gen" => cmd_gen(&flags),
         "stats" => cmd_stats(&flags),
         "sample" => cmd_sample(&flags),
+        "pretrain" => cmd_pretrain(&flags),
+        "finetune" => cmd_finetune(&flags),
+        "eval" => cmd_eval(&flags),
         "predict" => cmd_predict(&flags),
         "serve" => cmd_serve(&flags),
         "energy" => cmd_energy(&flags),
@@ -68,6 +80,51 @@ USAGE:
       Join SPF couplings, build the balanced link dataset with 1-hop
       enclosing subgraphs, and print dataset statistics.
 
+  cirgps pretrain --netlist A.sp[,B.sp...] --top A[,B...] --spf A.spf[,B.spf...]
+                [--epochs N] [--batch-size N] [--lr F] [--seed N]
+                [--per-type N] [--hidden-dim N] [--layers N] [--heads N]
+                [--pe-dim N] [--dropout F] [--holdout PCT] [--eval-every N]
+                [--metrics-out FILE.json] --out FILE.ckpt
+      Pre-train CircuitGPS on coupling link prediction over one or more
+      design pairs (comma-separated lists, aligned by position), then
+      write a self-describing checkpoint (embedded model config; see
+      docs/checkpoint-format.md). Progress streams to stderr per epoch.
+        --epochs N        training epochs (default 30)
+        --batch-size N    minibatch size (default 32)
+        --lr F            peak learning rate (default 1e-3)
+        --seed N          model init + shuffling seed (default 7)
+        --per-type N      positive couplings sampled per type (default 200)
+        --hidden-dim/--layers/--heads/--pe-dim/--dropout
+                          model architecture overrides (defaults
+                          32/3/4/8/0.1); recorded in the checkpoint, so
+                          downstream commands need no matching flags
+        --holdout PCT     percent of samples held out for eval (default
+                          10; 0 trains on everything)
+        --eval-every N    evaluate the held-out split every N epochs
+        --metrics-out F   write a JSON training log (per-epoch loss,
+                          periodic + final eval metrics)
+
+  cirgps finetune --model PRE.ckpt --netlist FILE.sp --top NAME
+                --spf FILE.spf --shots N [--unfreeze-all]
+                [--epochs N] [--batch-size N] [--lr F] [--seed N]
+                [--per-type N] [--eval-every N]
+                [--metrics-out FILE.json] --out FILE.ckpt
+      Few-shot fine-tune a pre-trained checkpoint for capacitance
+      regression on a target design: N labeled positive pairs train the
+      regression head (backbone frozen by default, the paper's few-shot
+      recipe); the remaining labeled pairs become the held-out eval set.
+        --shots N         labeled pairs to fine-tune on (spread evenly
+                          over the positives)
+        --unfreeze-all    also fine-tune encoders + GPS layers
+        --epochs N        fine-tuning epochs (default 50)
+
+  cirgps eval   --model FILE.ckpt --netlist FILE.sp[,...] --top NAME[,...]
+                --spf FILE.spf[,...] [--task link|cap|both] [--per-type N]
+      Evaluate a checkpoint on the designs' sampled pair sets and print
+      one JSON object to stdout: link metrics (accuracy/F1/AUC) over all
+      pairs and/or regression metrics (MAE/RMSE/R2, normalized scale)
+      over the labeled positives.
+
   cirgps predict --netlist FILE.sp --top NAME --spf FILE.spf
                 [--task link|cap] [--batch-size N] [--per-type N]
                 [--model FILE.ckpt] [--out FILE.json]
@@ -78,9 +135,11 @@ USAGE:
         --batch-size N    samples per packed batch (default 32)
         --per-type N      candidate pairs sampled per coupling type
                           (default 200)
-        --model FILE      load checkpoint weights; without it a freshly
-                          initialized default model is used
-                          (structure-only smoke predictions)
+        --model FILE      load a checkpoint (`cirgps pretrain`/`finetune`
+                          output; the model is rebuilt from the embedded
+                          config). Without it a freshly initialized
+                          default model is used (structure-only smoke
+                          predictions)
         --out FILE.json   write JSON lines there instead of stdout
       Output: one JSON object per candidate pair.
 
@@ -178,10 +237,20 @@ fn preset(flags: &HashMap<String, String>) -> Result<SizePreset, String> {
 }
 
 fn seed(flags: &HashMap<String, String>) -> Result<u64, String> {
+    flag_parse(flags, "seed", 7)
+}
+
+/// Parses an optional `--name value` flag, falling back to `default`
+/// when absent. The value type is inferred from the default.
+fn flag_parse<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    name: &str,
+    default: T,
+) -> Result<T, String> {
     flags
-        .get("seed")
-        .map(|s| s.parse().map_err(|_| format!("bad --seed {s:?}")))
-        .unwrap_or(Ok(7))
+        .get(name)
+        .map(|s| s.parse().map_err(|_| format!("bad --{name} {s:?}")))
+        .unwrap_or(Ok(default))
 }
 
 fn load_netlist(flags: &HashMap<String, String>) -> Result<Netlist, String> {
@@ -196,6 +265,499 @@ fn load_spf(flags: &HashMap<String, String>) -> Result<SpfFile, String> {
     let path = flags.get("spf").ok_or("--spf is required")?;
     let text = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     SpfFile::parse(&text).map_err(|e| e.to_string())
+}
+
+/// Presence-style boolean flag: `--name` (no value) or `--name true`.
+fn flag_bool(flags: &HashMap<String, String>, name: &str) -> Result<bool, String> {
+    match flags.get(name).map(String::as_str) {
+        None | Some("false") => Ok(false),
+        Some("") | Some("true") => Ok(true),
+        Some(other) => Err(format!(
+            "bad --{name} {other:?} (a presence flag; give it no value)"
+        )),
+    }
+}
+
+/// One parsed training/evaluation design: flattened netlist + SPF join.
+struct DesignPair {
+    netlist: Netlist,
+    spf: SpfFile,
+}
+
+/// Loads the `--netlist`/`--top`/`--spf` comma-separated design lists
+/// (aligned by position) used by the training subcommands.
+fn load_design_pairs(flags: &HashMap<String, String>) -> Result<Vec<DesignPair>, String> {
+    let split = |name: &str| -> Result<Vec<String>, String> {
+        Ok(flags
+            .get(name)
+            .ok_or(format!("--{name} is required"))?
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(String::from)
+            .collect())
+    };
+    let netlists = split("netlist")?;
+    let tops = split("top")?;
+    let spfs = split("spf")?;
+    if netlists.is_empty() {
+        return Err("--netlist lists no files".into());
+    }
+    if netlists.len() != tops.len() || netlists.len() != spfs.len() {
+        return Err(format!(
+            "--netlist/--top/--spf list lengths differ ({}/{}/{}); they align by position",
+            netlists.len(),
+            tops.len(),
+            spfs.len()
+        ));
+    }
+    let mut pairs = Vec::with_capacity(netlists.len());
+    for ((path, top), spf_path) in netlists.iter().zip(&tops).zip(&spfs) {
+        let text = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let file = SpiceFile::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+        let netlist = file.flatten(top).map_err(|e| format!("{path}: {e}"))?;
+        let text = fs::read_to_string(spf_path).map_err(|e| format!("reading {spf_path}: {e}"))?;
+        let spf = SpfFile::parse(&text).map_err(|e| format!("{spf_path}: {e}"))?;
+        pairs.push(DesignPair { netlist, spf });
+    }
+    Ok(pairs)
+}
+
+/// Builds the pooled, prepared link dataset over every design pair: one
+/// balanced `LinkDataset` per design, an `XcNormalizer` fitted across
+/// *all* graphs (so circuit statistics share one scale), capacitance
+/// targets encoded with the paper's log-range normalizer.
+fn build_link_samples(
+    pairs: &[DesignPair],
+    per_type: usize,
+    pe: cirgps::pe::PeKind,
+) -> Result<(Vec<String>, Vec<PreparedSample>), String> {
+    let mut names = Vec::with_capacity(pairs.len());
+    let mut built: Vec<(CircuitGraph, LinkDataset)> = Vec::with_capacity(pairs.len());
+    for pair in pairs {
+        let (graph, map) = netlist_to_graph(&pair.netlist);
+        let ds = LinkDataset::build(
+            &pair.netlist.name,
+            &graph,
+            &pair.netlist,
+            &map,
+            &pair.spf,
+            &DatasetConfig {
+                max_per_type: per_type,
+                ..Default::default()
+            },
+        );
+        if ds.is_empty() {
+            return Err(format!(
+                "design {} produced no link samples (is the SPF empty?)",
+                pair.netlist.name
+            ));
+        }
+        names.push(pair.netlist.name.clone());
+        built.push((graph, ds));
+    }
+    let graphs: Vec<&CircuitGraph> = built.iter().map(|(g, _)| g).collect();
+    let xcn = XcNormalizer::fit(&graphs);
+    let cap = CapNormalizer::paper_range();
+    let mut samples = Vec::new();
+    for (_, ds) in &built {
+        samples.extend(prepare_link_dataset(ds, pe, &xcn, |c| cap.encode(c)));
+    }
+    Ok((names, samples))
+}
+
+/// Loads a checkpoint file via the self-describing container, printing a
+/// deprecation warning when the file is a legacy raw weight dump.
+fn load_checkpoint_file(path: &str) -> Result<CircuitGps, String> {
+    let f = fs::File::open(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let (model, fmt) = CircuitGps::load_checkpoint(std::io::BufReader::new(f))
+        .map_err(|e| format!("loading checkpoint {path}: {e}"))?;
+    if fmt == CheckpointFormat::Legacy {
+        eprintln!(
+            "warning: {path} is a legacy raw weight dump (deprecated); the model config is \
+             assumed to be the default. Re-save it as a self-describing checkpoint, e.g. by \
+             re-running `cirgps pretrain`/`finetune` (see docs/checkpoint-format.md)."
+        );
+    }
+    Ok(model)
+}
+
+fn save_checkpoint_file(model: &CircuitGps, path: &str) -> Result<(), String> {
+    let f = fs::File::create(path).map_err(|e| format!("creating {path}: {e}"))?;
+    model
+        .save_checkpoint(std::io::BufWriter::new(f))
+        .map_err(|e| format!("writing checkpoint {path}: {e}"))
+}
+
+/// Interleaved holdout split: `pct` percent of samples (the dataset is
+/// already shuffled at construction), spread evenly over the sequence
+/// by Bresenham selection — exact for any `pct`, not just divisors of
+/// 100. Deterministic, so reruns agree.
+fn split_holdout(
+    samples: Vec<PreparedSample>,
+    pct: usize,
+) -> (Vec<PreparedSample>, Vec<PreparedSample>) {
+    if pct == 0 || samples.len() < 2 {
+        return (samples, Vec::new());
+    }
+    let pct = pct.clamp(1, 50);
+    let mut train = Vec::with_capacity(samples.len());
+    let mut holdout = Vec::with_capacity(samples.len() * pct / 100 + 1);
+    for (i, s) in samples.into_iter().enumerate() {
+        if (i * pct) % 100 < pct {
+            holdout.push(s);
+        } else {
+            train.push(s);
+        }
+    }
+    (train, holdout)
+}
+
+fn json_link(m: &LinkMetrics) -> String {
+    format!(
+        "{{\"accuracy\":{:.6},\"f1\":{:.6},\"auc\":{:.6}}}",
+        m.accuracy, m.f1, m.auc
+    )
+}
+
+fn json_reg(m: &RegMetrics) -> String {
+    format!(
+        "{{\"mae\":{:.6},\"rmse\":{:.6},\"r2\":{:.6}}}",
+        m.mae, m.rmse, m.r2
+    )
+}
+
+fn json_str_list(items: &[String]) -> String {
+    let quoted: Vec<String> = items.iter().map(|s| format!("{s:?}")).collect();
+    format!("[{}]", quoted.join(","))
+}
+
+/// Assembles and optionally writes the `--metrics-out` JSON training
+/// log: per-epoch loss records, periodic eval records, final metrics.
+fn write_metrics_log(
+    flags: &HashMap<String, String>,
+    command: &str,
+    designs: &[String],
+    epoch_lines: &[String],
+    eval_lines: &[String],
+    final_json: &str,
+    seconds: f64,
+) -> Result<(), String> {
+    let Some(path) = flags.get("metrics-out") else {
+        return Ok(());
+    };
+    let log = format!(
+        "{{\"command\":{command:?},\"designs\":{},\"epochs\":[{}],\"eval\":[{}],\
+         \"final\":{final_json},\"seconds\":{seconds:.3}}}\n",
+        json_str_list(designs),
+        epoch_lines.join(","),
+        eval_lines.join(","),
+    );
+    fs::write(path, log).map_err(|e| format!("writing {path}: {e}"))
+}
+
+fn cmd_pretrain(flags: &HashMap<String, String>) -> Result<(), String> {
+    check_flags(
+        flags,
+        "pretrain",
+        &[
+            "netlist",
+            "top",
+            "spf",
+            "per-type",
+            "epochs",
+            "batch-size",
+            "lr",
+            "seed",
+            "hidden-dim",
+            "layers",
+            "heads",
+            "pe-dim",
+            "dropout",
+            "holdout",
+            "eval-every",
+            "metrics-out",
+            "out",
+        ],
+    )?;
+    let out = flags
+        .get("out")
+        .ok_or("--out is required (checkpoint path to write)")?;
+    let per_type = flag_parse(flags, "per-type", 200)?;
+    let holdout_pct = flag_parse(flags, "holdout", 10)?;
+    if holdout_pct > 50 {
+        return Err(format!(
+            "--holdout {holdout_pct} must be 0..=50 (percent of samples held out)"
+        ));
+    }
+    let eval_every = flag_parse(flags, "eval-every", 0)?;
+    let run_seed = seed(flags)?;
+
+    let defaults = ModelConfig::default();
+    let mc = ModelConfig {
+        hidden_dim: flag_parse(flags, "hidden-dim", defaults.hidden_dim)?,
+        num_layers: flag_parse(flags, "layers", defaults.num_layers)?,
+        heads: flag_parse(flags, "heads", defaults.heads)?,
+        pe_dim: flag_parse(flags, "pe-dim", defaults.pe_dim)?,
+        dropout: flag_parse(flags, "dropout", defaults.dropout)?,
+        seed: run_seed,
+        ..defaults
+    };
+    mc.check()
+        .map_err(|e| format!("invalid model config: {e}"))?;
+    let tc = TrainConfig {
+        epochs: flag_parse(flags, "epochs", 30)?,
+        batch_size: flag_parse(flags, "batch-size", 32)?,
+        lr: flag_parse(flags, "lr", 1e-3)?,
+        seed: run_seed,
+        ..Default::default()
+    };
+    if tc.epochs == 0 || tc.batch_size == 0 {
+        return Err("--epochs and --batch-size must be positive".into());
+    }
+
+    let pairs = load_design_pairs(flags)?;
+    let (designs, samples) = build_link_samples(&pairs, per_type, mc.pe)?;
+    let (train_set, holdout) = split_holdout(samples, holdout_pct);
+    let mut model = CircuitGps::new(mc);
+    eprintln!(
+        "pretrain: {} samples over {} design(s) ({} held out), model {}d x {}L x {}h ({} params)",
+        train_set.len() + holdout.len(),
+        designs.len(),
+        holdout.len(),
+        model.cfg.hidden_dim,
+        model.cfg.num_layers,
+        model.cfg.heads,
+        model.num_params()
+    );
+    let mut epoch_lines = Vec::new();
+    let mut eval_lines = Vec::new();
+    let hist = train_with_progress(
+        &mut model,
+        &train_set,
+        Task::LinkPrediction,
+        &tc,
+        &mut |m, p| {
+            eprintln!(
+                "epoch {:>3}/{}: loss {:.4} (lr {:.2e}, {:.1}s)",
+                p.epoch, p.epochs, p.loss, p.lr, p.seconds
+            );
+            epoch_lines.push(format!(
+                "{{\"epoch\":{},\"loss\":{:.6},\"lr\":{:.6e},\"seconds\":{:.3}}}",
+                p.epoch, p.loss, p.lr, p.seconds
+            ));
+            if eval_every > 0 && p.epoch % eval_every == 0 && !holdout.is_empty() {
+                let lm = evaluate_link(m, &holdout);
+                eprintln!(
+                    "  holdout: accuracy {:.3}, F1 {:.3}, AUC {:.3}",
+                    lm.accuracy, lm.f1, lm.auc
+                );
+                eval_lines.push(format!(
+                    "{{\"epoch\":{},\"accuracy\":{:.6},\"f1\":{:.6},\"auc\":{:.6}}}",
+                    p.epoch, lm.accuracy, lm.f1, lm.auc
+                ));
+            }
+        },
+    );
+
+    let (final_set, final_label) = if holdout.is_empty() {
+        (&train_set, "train")
+    } else {
+        (&holdout, "holdout")
+    };
+    let lm = evaluate_link(&model, final_set);
+    eprintln!(
+        "final {final_label} metrics: accuracy {:.3}, F1 {:.3}, AUC {:.3}",
+        lm.accuracy, lm.f1, lm.auc
+    );
+    write_metrics_log(
+        flags,
+        "pretrain",
+        &designs,
+        &epoch_lines,
+        &eval_lines,
+        &json_link(&lm),
+        hist.seconds,
+    )?;
+    save_checkpoint_file(&model, out)?;
+    println!(
+        "wrote {out}: {} trainable params, {} epochs, final loss {:.4}, {final_label} AUC {:.3}",
+        model.num_params(),
+        hist.epoch_losses.len(),
+        hist.epoch_losses.last().copied().unwrap_or(f32::NAN),
+        lm.auc
+    );
+    Ok(())
+}
+
+fn cmd_finetune(flags: &HashMap<String, String>) -> Result<(), String> {
+    check_flags(
+        flags,
+        "finetune",
+        &[
+            "model",
+            "netlist",
+            "top",
+            "spf",
+            "shots",
+            "unfreeze-all",
+            "per-type",
+            "epochs",
+            "batch-size",
+            "lr",
+            "seed",
+            "eval-every",
+            "metrics-out",
+            "out",
+        ],
+    )?;
+    let out = flags
+        .get("out")
+        .ok_or("--out is required (checkpoint path to write)")?;
+    let model_path = flags
+        .get("model")
+        .ok_or("--model is required (a pretrained checkpoint)")?;
+    let shots = flag_parse(flags, "shots", 0)?;
+    if shots == 0 {
+        return Err("--shots is required (labeled pairs to fine-tune on, >= 1)".into());
+    }
+    let unfreeze_all = flag_bool(flags, "unfreeze-all")?;
+    let per_type = flag_parse(flags, "per-type", 200)?;
+    let eval_every = flag_parse(flags, "eval-every", 0)?;
+    let tc = TrainConfig {
+        epochs: flag_parse(flags, "epochs", 50)?,
+        batch_size: flag_parse(flags, "batch-size", 8)?,
+        lr: flag_parse(flags, "lr", 1e-3)?,
+        seed: seed(flags)?,
+        ..Default::default()
+    };
+    if tc.epochs == 0 || tc.batch_size == 0 {
+        return Err("--epochs and --batch-size must be positive".into());
+    }
+
+    let mut model = load_checkpoint_file(model_path)?;
+    let pairs = load_design_pairs(flags)?;
+    let (designs, samples) = build_link_samples(&pairs, per_type, model.cfg.pe)?;
+
+    // Few-shot selection: only positives carry capacitance labels. The
+    // shots are spread evenly over the (already shuffled) positive set;
+    // the rest become the held-out evaluation set.
+    let positives: Vec<PreparedSample> = samples.into_iter().filter(|s| s.label > 0.5).collect();
+    if shots >= positives.len() {
+        return Err(format!(
+            "--shots {shots} must be < the {} labeled positive pairs (some must remain held \
+             out for evaluation; raise --per-type for more)",
+            positives.len()
+        ));
+    }
+    let stride = positives.len() / shots;
+    let mut shot_set = Vec::with_capacity(shots);
+    let mut eval_set = Vec::with_capacity(positives.len() - shots);
+    for (i, s) in positives.into_iter().enumerate() {
+        if i % stride == 0 && shot_set.len() < shots {
+            shot_set.push(s);
+        } else {
+            eval_set.push(s);
+        }
+    }
+    let mode = if unfreeze_all {
+        FinetuneMode::All
+    } else {
+        FinetuneMode::HeadOnly
+    };
+    eprintln!(
+        "finetune: {} shots / {} held-out labeled pairs, backbone {}",
+        shot_set.len(),
+        eval_set.len(),
+        if unfreeze_all { "unfrozen" } else { "frozen" }
+    );
+
+    let mut epoch_lines = Vec::new();
+    let mut eval_lines = Vec::new();
+    let hist = finetune_regression_with_progress(&mut model, &shot_set, mode, &tc, &mut |m, p| {
+        eprintln!(
+            "epoch {:>3}/{}: loss {:.4} (lr {:.2e}, {:.1}s)",
+            p.epoch, p.epochs, p.loss, p.lr, p.seconds
+        );
+        epoch_lines.push(format!(
+            "{{\"epoch\":{},\"loss\":{:.6},\"lr\":{:.6e},\"seconds\":{:.3}}}",
+            p.epoch, p.loss, p.lr, p.seconds
+        ));
+        if eval_every > 0 && p.epoch % eval_every == 0 {
+            let rm = evaluate_regression(m, &eval_set);
+            eprintln!(
+                "  holdout: MAE {:.4}, RMSE {:.4}, R2 {:.3}",
+                rm.mae, rm.rmse, rm.r2
+            );
+            eval_lines.push(format!(
+                "{{\"epoch\":{},\"mae\":{:.6},\"rmse\":{:.6},\"r2\":{:.6}}}",
+                p.epoch, rm.mae, rm.rmse, rm.r2
+            ));
+        }
+    });
+
+    let rm = evaluate_regression(&model, &eval_set);
+    eprintln!(
+        "final holdout metrics (normalized scale): MAE {:.4}, RMSE {:.4}, R2 {:.3}",
+        rm.mae, rm.rmse, rm.r2
+    );
+    write_metrics_log(
+        flags,
+        "finetune",
+        &designs,
+        &epoch_lines,
+        &eval_lines,
+        &json_reg(&rm),
+        hist.seconds,
+    )?;
+    save_checkpoint_file(&model, out)?;
+    println!(
+        "wrote {out}: fine-tuned on {} shots ({} mode), holdout MAE {:.4}",
+        shot_set.len(),
+        if unfreeze_all { "all" } else { "head-only" },
+        rm.mae
+    );
+    Ok(())
+}
+
+fn cmd_eval(flags: &HashMap<String, String>) -> Result<(), String> {
+    check_flags(
+        flags,
+        "eval",
+        &["model", "netlist", "top", "spf", "task", "per-type"],
+    )?;
+    let model_path = flags.get("model").ok_or("--model is required")?;
+    let per_type = flag_parse(flags, "per-type", 200)?;
+    let task = flags.get("task").map(String::as_str).unwrap_or("both");
+    if !matches!(task, "link" | "cap" | "both") {
+        return Err(format!(
+            "unknown --task {task:?} (expected link, cap or both)"
+        ));
+    }
+    let model = load_checkpoint_file(model_path)?;
+    let pairs = load_design_pairs(flags)?;
+    let (designs, samples) = build_link_samples(&pairs, per_type, model.cfg.pe)?;
+    let positives: Vec<PreparedSample> =
+        samples.iter().filter(|s| s.label > 0.5).cloned().collect();
+
+    let mut fields = vec![
+        format!("\"designs\":{}", json_str_list(&designs)),
+        format!("\"samples\":{}", samples.len()),
+        format!("\"positives\":{}", positives.len()),
+    ];
+    if matches!(task, "link" | "both") {
+        let lm = evaluate_link(&model, &samples);
+        fields.push(format!("\"link\":{}", json_link(&lm)));
+    }
+    if matches!(task, "cap" | "both") {
+        if positives.is_empty() {
+            return Err("no labeled positive pairs to evaluate regression on".into());
+        }
+        let rm = evaluate_regression(&model, &positives);
+        fields.push(format!("\"reg\":{}", json_reg(&rm)));
+    }
+    println!("{{{}}}", fields.join(","));
+    Ok(())
 }
 
 fn cmd_gen(flags: &HashMap<String, String>) -> Result<(), String> {
@@ -245,10 +807,7 @@ fn cmd_sample(flags: &HashMap<String, String>) -> Result<(), String> {
     check_flags(flags, "sample", &["netlist", "top", "spf", "per-type"])?;
     let netlist = load_netlist(flags)?;
     let spf = load_spf(flags)?;
-    let per_type: usize = flags
-        .get("per-type")
-        .map(|s| s.parse().map_err(|_| format!("bad --per-type {s:?}")))
-        .unwrap_or(Ok(200))?;
+    let per_type: usize = flag_parse(flags, "per-type", 200)?;
     let (graph, map) = netlist_to_graph(&netlist);
     let ds = LinkDataset::build(
         &netlist.name,
@@ -292,14 +851,8 @@ fn cmd_predict(flags: &HashMap<String, String>) -> Result<(), String> {
     )?;
     let netlist = load_netlist(flags)?;
     let spf = load_spf(flags)?;
-    let per_type: usize = flags
-        .get("per-type")
-        .map(|s| s.parse().map_err(|_| format!("bad --per-type {s:?}")))
-        .unwrap_or(Ok(200))?;
-    let batch_size: usize = flags
-        .get("batch-size")
-        .map(|s| s.parse().map_err(|_| format!("bad --batch-size {s:?}")))
-        .unwrap_or(Ok(32))?;
+    let per_type: usize = flag_parse(flags, "per-type", 200)?;
+    let batch_size: usize = flag_parse(flags, "batch-size", 32)?;
     if batch_size == 0 {
         return Err("--batch-size must be positive".into());
     }
@@ -321,13 +874,10 @@ fn cmd_predict(flags: &HashMap<String, String>) -> Result<(), String> {
         },
     );
 
-    let mut model = CircuitGps::new(ModelConfig::default());
-    if let Some(path) = flags.get("model") {
-        let f = fs::File::open(path).map_err(|e| format!("reading {path}: {e}"))?;
-        model
-            .load(std::io::BufReader::new(f))
-            .map_err(|e| format!("loading checkpoint {path}: {e}"))?;
-    }
+    let model = match flags.get("model") {
+        Some(path) => load_checkpoint_file(path)?,
+        None => CircuitGps::new(ModelConfig::default()),
+    };
     let xcn = XcNormalizer::fit(&[&graph]);
     let mut session = InferenceSession::new(
         model,
@@ -397,18 +947,12 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
             "cache-cap",
         ],
     )?;
-    let parse_num = |name: &str, default: usize| -> Result<usize, String> {
-        flags
-            .get(name)
-            .map(|s| s.parse().map_err(|_| format!("bad --{name} {s:?}")))
-            .unwrap_or(Ok(default))
-    };
     let defaults = ServeConfig::default();
-    let max_batch = parse_num("max-batch", defaults.max_batch)?;
-    let max_wait_us = parse_num("max-wait-us", defaults.max_wait.as_micros() as usize)?;
-    let workers = parse_num("workers", defaults.workers)?;
-    let queue_cap = parse_num("queue-cap", defaults.queue_capacity)?;
-    let cache_cap = parse_num("cache-cap", defaults.cache_capacity)?;
+    let max_batch = flag_parse(flags, "max-batch", defaults.max_batch)?;
+    let max_wait_us = flag_parse(flags, "max-wait-us", defaults.max_wait.as_micros() as usize)?;
+    let workers = flag_parse(flags, "workers", defaults.workers)?;
+    let queue_cap = flag_parse(flags, "queue-cap", defaults.queue_capacity)?;
+    let cache_cap = flag_parse(flags, "cache-cap", defaults.cache_capacity)?;
     if max_batch == 0 || workers == 0 {
         return Err("--max-batch and --workers must be positive".into());
     }
@@ -429,19 +973,17 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
 
     let netlist = load_netlist(flags)?;
     let (graph, _map) = netlist_to_graph(&netlist);
-    let mut model = CircuitGps::new(ModelConfig::default());
-    match flags.get("model") {
-        Some(path) => {
-            let f = fs::File::open(path).map_err(|e| format!("reading {path}: {e}"))?;
-            model
-                .load(std::io::BufReader::new(f))
-                .map_err(|e| format!("loading checkpoint {path}: {e}"))?;
+    let model = match flags.get("model") {
+        Some(path) => load_checkpoint_file(path)?,
+        None => {
+            eprintln!(
+                "warning: no --model checkpoint; serving a freshly initialized \
+                 default model (structure-only smoke predictions). Train one with \
+                 `cirgps pretrain`/`finetune` (docs/training.md)."
+            );
+            CircuitGps::new(ModelConfig::default())
         }
-        None => eprintln!(
-            "warning: no --model checkpoint; serving a freshly initialized \
-             default model (structure-only smoke predictions)"
-        ),
-    }
+    };
 
     let cfg = ServeConfig {
         max_batch,
@@ -474,14 +1016,8 @@ fn cmd_energy(flags: &HashMap<String, String>) -> Result<(), String> {
     )?;
     let netlist = load_netlist(flags)?;
     let spf = load_spf(flags)?;
-    let vectors: usize = flags
-        .get("vectors")
-        .map(|s| s.parse().map_err(|_| format!("bad --vectors {s:?}")))
-        .unwrap_or(Ok(32))?;
-    let vdd: f64 = flags
-        .get("vdd")
-        .map(|s| s.parse().map_err(|_| format!("bad --vdd {s:?}")))
-        .unwrap_or(Ok(0.9))?;
+    let vectors: usize = flag_parse(flags, "vectors", 32)?;
+    let vdd: f64 = flag_parse(flags, "vdd", 0.9)?;
     let caps = net_capacitances(&netlist, &spf);
     let total_cap: f64 = caps.iter().sum();
     let result = simulate_energy(&netlist, &caps, vdd, vectors, seed(flags)?);

@@ -238,12 +238,277 @@ fn cli_usage_documents_every_subcommand() {
     let out = cirgps().args(["--help"]).output().expect("run");
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
-    for cmd in ["gen", "stats", "sample", "predict", "serve", "energy"] {
+    for cmd in [
+        "gen", "stats", "sample", "pretrain", "finetune", "eval", "predict", "serve", "energy",
+    ] {
         assert!(text.contains(&format!("cirgps {cmd}")), "usage lacks {cmd}");
     }
-    for flag in ["--max-wait-us", "--batch-size", "--out FILE.json"] {
+    for flag in [
+        "--max-wait-us",
+        "--batch-size",
+        "--out FILE.json",
+        "--shots",
+        "--unfreeze-all",
+        "--metrics-out",
+        "--eval-every",
+    ] {
         assert!(text.contains(flag), "usage lacks {flag}");
     }
+}
+
+/// The complete few-shot workflow through the CLI alone: pretrain on a
+/// toy design, few-shot finetune, eval (finite JSON metrics), and
+/// predict/serve-path loading of the finetuned checkpoint.
+#[test]
+fn cli_training_pipeline_end_to_end() {
+    let dir = std::env::temp_dir().join(format!("cirgps_cli_train_{}", std::process::id()));
+    let dir_s = dir.to_str().unwrap().to_string();
+    let out = cirgps()
+        .args([
+            "gen", "--kind", "timing", "--preset", "tiny", "--seed", "3", "--out", &dir_s,
+        ])
+        .output()
+        .expect("run gen");
+    assert!(out.status.success());
+    let sp = format!("{dir_s}/TIMING_CONTROL.sp");
+    let spf = format!("{dir_s}/TIMING_CONTROL.spf");
+    let pre = format!("{dir_s}/pre.ckpt");
+    let fine = format!("{dir_s}/fine.ckpt");
+    let metrics = format!("{dir_s}/pretrain.json");
+
+    // pretrain: 2 epochs, a deliberately NON-default architecture so the
+    // rest of the pipeline proves the checkpoint embeds its config.
+    let out = cirgps()
+        .args([
+            "pretrain",
+            "--netlist",
+            &sp,
+            "--top",
+            "TIMING_CONTROL",
+            "--spf",
+            &spf,
+            "--per-type",
+            "40",
+            "--epochs",
+            "2",
+            "--hidden-dim",
+            "16",
+            "--layers",
+            "1",
+            "--heads",
+            "2",
+            "--pe-dim",
+            "4",
+            "--eval-every",
+            "1",
+            "--metrics-out",
+            &metrics,
+            "--out",
+            &pre,
+        ])
+        .output()
+        .expect("run pretrain");
+    assert!(
+        out.status.success(),
+        "pretrain failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let log = std::fs::read_to_string(&metrics).expect("metrics log");
+    assert!(log.contains("\"command\":\"pretrain\""), "{log}");
+    assert!(log.contains("\"epoch\":2"), "{log}");
+    assert!(log.contains("\"auc\":"), "{log}");
+
+    // finetune: 4 shots, backbone frozen by default. No architecture
+    // flags — the checkpoint knows its own config.
+    let out = cirgps()
+        .args([
+            "finetune",
+            "--model",
+            &pre,
+            "--netlist",
+            &sp,
+            "--top",
+            "TIMING_CONTROL",
+            "--spf",
+            &spf,
+            "--per-type",
+            "40",
+            "--shots",
+            "4",
+            "--epochs",
+            "3",
+            "--out",
+            &fine,
+        ])
+        .output()
+        .expect("run finetune");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "finetune failed: {err}");
+    assert!(err.contains("4 shots"), "{err}");
+    assert!(err.contains("backbone frozen"), "{err}");
+    assert!(
+        !err.contains("legacy"),
+        "v1 checkpoint tripped the legacy warning: {err}"
+    );
+
+    // eval: one JSON object to stdout with finite metrics.
+    let out = cirgps()
+        .args([
+            "eval",
+            "--model",
+            &fine,
+            "--netlist",
+            &sp,
+            "--top",
+            "TIMING_CONTROL",
+            "--spf",
+            &spf,
+            "--per-type",
+            "40",
+        ])
+        .output()
+        .expect("run eval");
+    assert!(
+        out.status.success(),
+        "eval failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    let json = text.lines().next().expect("eval json");
+    for key in ["\"link\":", "\"reg\":", "\"auc\":", "\"mae\":"] {
+        assert!(json.contains(key), "{json}");
+    }
+    let num_after = |key: &str| -> f64 {
+        json.split(key)
+            .nth(1)
+            .and_then(|s| {
+                s.trim_start_matches(['{'])
+                    .split([',', '}'])
+                    .next()?
+                    .parse()
+                    .ok()
+            })
+            .unwrap_or_else(|| panic!("no numeric {key} in {json}"))
+    };
+    assert!(num_after("\"auc\":").is_finite());
+    assert!(num_after("\"mae\":").is_finite());
+
+    // predict accepts the finetuned (non-default-config) checkpoint
+    // without any architecture flags.
+    let out = cirgps()
+        .args([
+            "predict",
+            "--model",
+            &fine,
+            "--netlist",
+            &sp,
+            "--top",
+            "TIMING_CONTROL",
+            "--spf",
+            &spf,
+            "--per-type",
+            "5",
+            "--task",
+            "cap",
+        ])
+        .output()
+        .expect("run predict");
+    assert!(
+        out.status.success(),
+        "predict failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.lines().next().unwrap().contains("\"cap_norm\":"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A shape-mismatched checkpoint must produce the named error (param
+/// name + expected vs found shape), not a bare I/O error; a valid legacy
+/// dump must load with a deprecation warning.
+#[test]
+fn cli_checkpoint_mismatch_and_legacy_warnings() {
+    use cirgps::model::{CircuitGps, ModelConfig};
+
+    let dir = std::env::temp_dir().join(format!("cirgps_cli_ckpt_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let dir_s = dir.to_str().unwrap().to_string();
+    let out = cirgps()
+        .args([
+            "gen", "--kind", "timing", "--preset", "tiny", "--seed", "3", "--out", &dir_s,
+        ])
+        .output()
+        .expect("run gen");
+    assert!(out.status.success());
+    let sp = format!("{dir_s}/TIMING_CONTROL.sp");
+    let spf = format!("{dir_s}/TIMING_CONTROL.spf");
+
+    // Legacy dump of a NON-default architecture: loading assumes the
+    // default config, so the loader must name the mismatched parameter
+    // and both shapes.
+    let bad = format!("{dir_s}/bad.ckpt");
+    let model = CircuitGps::new(ModelConfig {
+        hidden_dim: 16,
+        pe_dim: 4,
+        heads: 2,
+        ..ModelConfig::default()
+    });
+    model
+        .save(std::fs::File::create(&bad).unwrap())
+        .expect("write legacy dump");
+    let out = cirgps()
+        .args([
+            "predict",
+            "--model",
+            &bad,
+            "--netlist",
+            &sp,
+            "--top",
+            "TIMING_CONTROL",
+            "--spf",
+            &spf,
+            "--per-type",
+            "5",
+        ])
+        .output()
+        .expect("run predict");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("shape mismatch for param"), "{err}");
+    assert!(err.contains("model expects"), "{err}");
+    assert!(err.contains("checkpoint has"), "{err}");
+    assert!(err.contains("enc."), "should name the parameter: {err}");
+
+    // A default-config legacy dump still loads — with the deprecation
+    // warning steering users to the self-describing container.
+    let legacy = format!("{dir_s}/legacy.ckpt");
+    let model = CircuitGps::new(ModelConfig::default());
+    model
+        .save(std::fs::File::create(&legacy).unwrap())
+        .expect("write legacy dump");
+    let out = cirgps()
+        .args([
+            "predict",
+            "--model",
+            &legacy,
+            "--netlist",
+            &sp,
+            "--top",
+            "TIMING_CONTROL",
+            "--spf",
+            &spf,
+            "--per-type",
+            "5",
+        ])
+        .output()
+        .expect("run predict");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "legacy load failed: {err}");
+    assert!(err.contains("legacy raw weight dump"), "{err}");
+    assert!(err.contains("deprecated"), "{err}");
+
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// Boots the daemon on port 0 against a generated design, queries it

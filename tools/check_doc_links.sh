@@ -31,7 +31,18 @@ for f in *.md docs/*.md; do
     fi
   done < <(grep -o '\[[^]]*\]([^)]*)' "$f" | sed 's/.*(\(.*\))/\1/')
 done
+# Index coverage: every docs page must be reachable from the docs/
+# index, so new pages (e.g. training.md, checkpoint-format.md) cannot
+# silently drop out of the table that CI and readers start from.
+for f in docs/*.md; do
+  base=$(basename "$f")
+  [ "$base" = "README.md" ] && continue
+  if ! grep -q "]($base" docs/README.md; then
+    echo "UNINDEXED: docs/README.md does not link $f"
+    status=1
+  fi
+done
 if [ "$status" -eq 0 ]; then
-  echo "all relative markdown links resolve"
+  echo "all relative markdown links resolve and docs/README.md indexes every page"
 fi
 exit "$status"
