@@ -1,0 +1,259 @@
+//! Crash-safe file output: a CRC32 implementation for checkpoint
+//! integrity footers and an atomic-durable writer used for every
+//! checkpoint and metrics-log write.
+//!
+//! [`write_atomic`] follows the classic recipe — write a temp file *in
+//! the destination directory*, `sync_all`, `rename` over the target,
+//! then fsync the directory — so a crash at any instant leaves either
+//! the complete old file or the complete new file, never a torn mix.
+//! The recipe's failure windows are exercised by failpoints
+//! (`durable.*`, see `docs/robustness.md`) rather than trusted on faith.
+//!
+//! [`Crc32`] is the IEEE/zlib polynomial (0xEDB88320, reflected), the
+//! same function as `crc32()` in zlib — chosen so a checkpoint footer
+//! can be checked with any stock tool. Implemented here because the
+//! build is offline and a table-driven CRC is ~20 lines.
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Byte-reflected table for the IEEE polynomial, built at compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// Incremental CRC32 (IEEE, reflected — the zlib `crc32()` function).
+///
+/// ```
+/// use circuitgps::Crc32;
+/// let mut crc = Crc32::new();
+/// crc.update(b"123456789");
+/// assert_eq!(crc.finish(), 0xCBF4_3926); // the standard check value
+/// ```
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// Starts a fresh checksum.
+    pub fn new() -> Self {
+        Crc32 { state: !0 }
+    }
+
+    /// Feeds `bytes` into the checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            let idx = (self.state ^ b as u32) & 0xFF;
+            self.state = (self.state >> 8) ^ CRC_TABLE[idx as usize];
+        }
+    }
+
+    /// Returns the checksum of everything fed so far.
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
+}
+
+/// One-shot convenience over [`Crc32`].
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = Crc32::new();
+    crc.update(bytes);
+    crc.finish()
+}
+
+/// Atomically and durably replaces the file at `path` with `bytes`.
+///
+/// The write goes to a uniquely-named temp file in the *same directory*
+/// (rename is only atomic within a filesystem), is flushed to stable
+/// storage with `sync_all`, renamed over `path`, and the directory entry
+/// is then fsynced (Unix). Any failure removes the temp file and leaves
+/// the previous `path` contents untouched, so callers never observe a
+/// half-written file — the failure mode this exists to kill is a torn
+/// checkpoint that *loads* (see `docs/robustness.md`).
+///
+/// Failpoints (chaos builds only): `durable.torn_write` truncates the
+/// payload while still reporting success — the lying-hardware case the
+/// checkpoint CRC footer must catch; `durable.abort_pre_sync`,
+/// `durable.abort_pre_rename` and `durable.abort_post_rename` simulate
+/// `kill -9` at each stage of the recipe.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let dir = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => std::path::PathBuf::from("."),
+    };
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
+    let tmp = dir.join(format!(
+        ".{}.tmp.{}.{}",
+        file_name.to_string_lossy(),
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed),
+    ));
+
+    let mut payload = bytes;
+    match cirgps_failpoints::eval("durable.torn_write") {
+        Some(cirgps_failpoints::FailAction::Truncate(n)) => {
+            payload = &bytes[..(n as usize).min(bytes.len())];
+        }
+        Some(cirgps_failpoints::FailAction::Error) => {
+            return Err(io::Error::other("injected write error"));
+        }
+        None => {}
+    }
+
+    let run = |payload: &[u8]| -> io::Result<()> {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(payload)?;
+        f.flush()?;
+        cirgps_failpoints::eval("durable.abort_pre_sync");
+        f.sync_all()?;
+        drop(f);
+        cirgps_failpoints::eval("durable.abort_pre_rename");
+        fs::rename(&tmp, path)?;
+        cirgps_failpoints::eval("durable.abort_post_rename");
+        sync_dir(&dir);
+        Ok(())
+    };
+    let result = run(payload);
+    if result.is_err() {
+        // Best-effort cleanup; the original `path` is untouched.
+        let _ = fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// Fsyncs a directory so a just-renamed entry survives power loss.
+/// Unix-only (directories cannot be opened for sync elsewhere); other
+/// platforms fall back to rename-only atomicity.
+#[cfg(unix)]
+fn sync_dir(dir: &Path) {
+    if let Ok(d) = fs::File::open(dir) {
+        let _ = d.sync_all();
+    }
+}
+
+#[cfg(not(unix))]
+fn sync_dir(_dir: &Path) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("cirgps-durable-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn crc32_matches_the_standard_check_values() {
+        // Check values from the CRC catalogue (CRC-32/ISO-HDLC).
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        // Incremental == one-shot.
+        let mut crc = Crc32::new();
+        crc.update(b"1234");
+        crc.update(b"56789");
+        assert_eq!(crc.finish(), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn crc32_detects_any_single_bit_flip() {
+        let data: Vec<u8> = (0u32..512).map(|i| (i * 31 % 251) as u8).collect();
+        let good = crc32(&data);
+        let mut flipped = data.clone();
+        for byte in 0..flipped.len() {
+            for bit in 0..8 {
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), good, "flip at {byte}:{bit} undetected");
+                flipped[byte] ^= 1 << bit;
+            }
+        }
+    }
+
+    #[test]
+    fn write_atomic_replaces_contents_and_leaves_no_temp_files() {
+        let dir = tmp_dir("replace");
+        let path = dir.join("out.bin");
+        write_atomic(&path, b"first").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"first");
+        write_atomic(&path, b"second, longer contents").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"second, longer contents");
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .filter(|n| n != "out.bin")
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn write_atomic_into_missing_directory_is_a_clean_error() {
+        let dir = tmp_dir("missing");
+        let path = dir.join("no-such-subdir").join("out.bin");
+        assert!(write_atomic(&path, b"x").is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[cfg(feature = "failpoints")]
+    #[test]
+    fn injected_torn_write_truncates_but_reports_success() {
+        let dir = tmp_dir("torn");
+        let path = dir.join("out.bin");
+        write_atomic(&path, b"full contents v1").unwrap();
+        cirgps_failpoints::set("durable.torn_write", "truncate:4");
+        write_atomic(&path, b"full contents v2").unwrap();
+        cirgps_failpoints::clear("durable.torn_write");
+        // The lie: success was reported but only 4 bytes landed. This is
+        // exactly what the checkpoint CRC footer exists to catch.
+        assert_eq!(fs::read(&path).unwrap(), b"full");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[cfg(feature = "failpoints")]
+    #[test]
+    fn injected_write_error_keeps_the_old_file_and_cleans_up() {
+        let dir = tmp_dir("err");
+        let path = dir.join("out.bin");
+        write_atomic(&path, b"old").unwrap();
+        cirgps_failpoints::set("durable.torn_write", "error");
+        assert!(write_atomic(&path, b"new").is_err());
+        cirgps_failpoints::clear("durable.torn_write");
+        assert_eq!(fs::read(&path).unwrap(), b"old");
+        assert_eq!(fs::read_dir(&dir).unwrap().count(), 1, "no temp residue");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,132 @@
+//! Minimal SIGINT/SIGTERM latch, keeping the zero-dependency idiom.
+//!
+//! `std` already links libc, so a two-symbol `extern "C"` shim is all
+//! that is needed to install a handler — no `signal-hook`, no `libc`
+//! crate. The handler only stores into an [`AtomicBool`] (async-signal
+//! safe) and then resets the disposition to the OS default, so a
+//! *second* signal kills the process immediately — the standard
+//! "graceful once, forceful twice" contract.
+//!
+//! Consumers poll [`requested`] at natural boundaries: the training loop
+//! checks between epochs (mid-epoch model/optimizer/RNG state is not a
+//! consistent snapshot point), and the serve daemon's monitor thread
+//! turns the latch into a graceful drain.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod imp {
+    use super::{AtomicBool, Ordering, REQUESTED};
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    const SIG_DFL: usize = 0;
+
+    extern "C" {
+        // POSIX `signal(2)`; on glibc this is the BSD semantics
+        // (handler stays installed, syscalls restart), but the handler
+        // resets to SIG_DFL itself so semantics differences don't
+        // matter.
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(sig: i32) {
+        REQUESTED.store(true, Ordering::SeqCst);
+        // Second signal = operator means it: die with default semantics.
+        unsafe {
+            signal(sig, SIG_DFL);
+        }
+    }
+
+    pub(super) static INSTALLED: AtomicBool = AtomicBool::new(false);
+
+    pub(super) fn install() {
+        if INSTALLED.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        unsafe {
+            signal(SIGINT, on_signal as *const () as usize);
+            signal(SIGTERM, on_signal as *const () as usize);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub(super) fn install() {}
+}
+
+/// Installs the SIGINT/SIGTERM handler (idempotent). On non-Unix
+/// platforms this is a no-op and [`requested`] only ever fires via
+/// [`trigger`].
+pub fn install() {
+    imp::install();
+}
+
+/// Whether an interrupt has been requested (signal received or
+/// [`trigger`] called).
+pub fn requested() -> bool {
+    REQUESTED.load(Ordering::SeqCst)
+}
+
+/// The latch itself, for consumers that take an `&AtomicBool` stop flag
+/// (e.g. [`crate::train_resumable`]).
+pub fn flag() -> &'static AtomicBool {
+    &REQUESTED
+}
+
+/// Raises the interrupt latch programmatically — same observable effect
+/// as receiving SIGINT/SIGTERM. Used by tests and available to embedders
+/// that manage signals themselves.
+pub fn trigger() {
+    REQUESTED.store(true, Ordering::SeqCst);
+}
+
+/// Clears the latch. Test-only in spirit: real consumers treat an
+/// interrupt as terminal for the process.
+pub fn reset() {
+    REQUESTED.store(false, Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // One test fn: the latch is process-global state, and signal
+    // delivery is process-wide, so splitting these into parallel test
+    // threads would race on REQUESTED.
+    #[test]
+    fn latch_round_trip_and_signal_delivery() {
+        reset();
+        assert!(!requested());
+        trigger();
+        assert!(requested());
+        reset();
+        assert!(!requested());
+
+        #[cfg(unix)]
+        real_signal_sets_the_latch();
+    }
+
+    #[cfg(unix)]
+    fn real_signal_sets_the_latch() {
+        install();
+        install();
+        reset();
+        extern "C" {
+            fn raise(sig: i32) -> i32;
+        }
+        // SIGTERM's default disposition would kill the process; the
+        // installed handler must latch instead. (The handler resets the
+        // disposition afterwards, so re-install for any later use.)
+        unsafe {
+            raise(15);
+        }
+        assert!(requested());
+        imp::INSTALLED.store(false, std::sync::atomic::Ordering::SeqCst);
+        install();
+        reset();
+    }
+}

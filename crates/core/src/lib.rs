@@ -32,22 +32,26 @@
 
 mod checkpoint;
 mod config;
+mod durable;
 mod infer;
+pub mod interrupt;
 mod metrics;
 mod model;
 mod prepared;
 mod train;
 
 pub use checkpoint::{
-    CheckpointError, CheckpointFormat, CHECKPOINT_MAGIC, CHECKPOINT_VERSION, LEGACY_MAGIC,
+    Checkpoint, CheckpointError, CheckpointFormat, CHECKPOINT_MAGIC, CHECKPOINT_VERSION,
+    LEGACY_MAGIC, TRAIN_STATE_SECTION,
 };
 pub use config::{AttnKind, FinetuneMode, ModelConfig, MpnnKind, TrainConfig};
+pub use durable::{crc32, write_atomic, Crc32};
 pub use infer::{InferenceSession, Query};
 pub use metrics::{link_metrics, mape, reg_metrics, roc_auc, LinkMetrics, RegMetrics};
 pub use model::{BatchLayout, CircuitGps};
 pub use prepared::{prepare_link_dataset, prepare_node_dataset, PreparedSample};
 pub use train::{
     evaluate_link, evaluate_regression, finetune_regression, finetune_regression_with_progress,
-    predict_regression, pretrain_link, train, train_with_progress, EpochProgress, Task,
-    TrainHistory,
+    predict_regression, pretrain_link, train, train_resumable, train_with_progress, EpochProgress,
+    ResumableTrain, Task, TrainHistory, TrainOutcome, TrainState,
 };

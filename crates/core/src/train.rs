@@ -4,6 +4,16 @@
 //! Minibatches are data-parallel: each sample's forward/backward runs on a
 //! rayon worker with its own tape; per-worker gradient stores are merged,
 //! averaged, clipped and applied with AdamW under a cosine schedule.
+//!
+//! Long runs are resumable: [`train_resumable`] reports a serializable
+//! [`TrainState`] (epoch counter, optimizer moments, RNG state) at every
+//! epoch boundary and honors a stop flag between epochs, so an
+//! interrupted run restored from its last snapshot finishes with the
+//! **same final metrics** as the uninterrupted run (same seed, same
+//! machine). Epoch boundaries are the only stop/snapshot points because
+//! mid-epoch model/optimizer/RNG state is not a consistent triple.
+
+use std::sync::atomic::{AtomicBool, Ordering};
 
 use cirgps_nn::{Adam, CosineSchedule, GradStore, Tape};
 use rand::rngs::StdRng;
@@ -11,15 +21,17 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rayon::prelude::*;
 
+use crate::checkpoint::{read_u32, read_u64, write_u32, write_u64};
 use crate::config::{FinetuneMode, TrainConfig};
 use crate::metrics::{link_metrics, reg_metrics, LinkMetrics, RegMetrics};
 use crate::model::CircuitGps;
 use crate::prepared::PreparedSample;
 
 /// Which loss the loop optimizes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Task {
     /// Binary link prediction (BCE) — the pre-training task.
+    #[default]
     LinkPrediction,
     /// Capacitance regression (L1) — the downstream task.
     Regression,
@@ -48,6 +60,232 @@ pub struct EpochProgress {
     pub lr: f32,
     /// Wall-clock seconds since training started.
     pub seconds: f64,
+}
+
+/// Serializable snapshot of everything the training loop mutates between
+/// epochs, captured at an epoch boundary. Persisting this next to the
+/// model weights (checkpoint section
+/// [`crate::TRAIN_STATE_SECTION`]) makes an interrupted run resumable
+/// with bitwise-identical continuation: the RNG continues its stream,
+/// the optimizer keeps its moment estimates and step counter, and the
+/// cosine schedule's step index is recomputed from `epochs_done`.
+///
+/// The config fields (`seed`, `epochs`, …) are recorded so a resume with
+/// *different* training flags is rejected by [`TrainState::check_resume`]
+/// instead of silently diverging.
+#[derive(Debug, Clone)]
+pub struct TrainState {
+    /// Which loss the interrupted run was optimizing.
+    pub task: Task,
+    /// `TrainConfig::seed` of the run.
+    pub seed: u64,
+    /// `TrainConfig::epochs` of the run (the cosine schedule's horizon —
+    /// resuming with a different total would silently change every
+    /// remaining learning rate).
+    pub epochs: usize,
+    /// `TrainConfig::batch_size` of the run.
+    pub batch_size: usize,
+    /// `TrainConfig::lr` of the run.
+    pub lr: f32,
+    /// `TrainConfig::weight_decay` of the run.
+    pub weight_decay: f32,
+    /// Completed epochs (the resumed run starts at this epoch index).
+    pub epochs_done: usize,
+    /// Mean training loss of every completed epoch.
+    pub epoch_losses: Vec<f32>,
+    /// Wall-clock seconds accumulated over all partial runs.
+    pub seconds: f64,
+    /// xoshiro256++ state of the shuffle RNG at the epoch boundary.
+    pub rng_state: [u64; 4],
+    /// Serialized optimizer state ([`Adam::save_state`] payload).
+    pub opt: Vec<u8>,
+}
+
+const TRAIN_STATE_VERSION: u32 = 1;
+const TASK_LINK: u8 = 0;
+const TASK_REGRESSION: u8 = 1;
+
+impl TrainState {
+    /// Serializes the state for embedding in a checkpoint section.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut b = Vec::with_capacity(96 + self.epoch_losses.len() * 4 + self.opt.len());
+        // Writing to a Vec cannot fail.
+        write_u32(&mut b, TRAIN_STATE_VERSION).unwrap();
+        b.push(match self.task {
+            Task::LinkPrediction => TASK_LINK,
+            Task::Regression => TASK_REGRESSION,
+        });
+        write_u64(&mut b, self.seed).unwrap();
+        write_u64(&mut b, self.epochs as u64).unwrap();
+        write_u64(&mut b, self.batch_size as u64).unwrap();
+        b.extend_from_slice(&self.lr.to_le_bytes());
+        b.extend_from_slice(&self.weight_decay.to_le_bytes());
+        write_u64(&mut b, self.epochs_done as u64).unwrap();
+        b.extend_from_slice(&self.seconds.to_le_bytes());
+        write_u64(&mut b, self.epoch_losses.len() as u64).unwrap();
+        for &loss in &self.epoch_losses {
+            b.extend_from_slice(&loss.to_le_bytes());
+        }
+        for &s in &self.rng_state {
+            write_u64(&mut b, s).unwrap();
+        }
+        write_u64(&mut b, self.opt.len() as u64).unwrap();
+        b.extend_from_slice(&self.opt);
+        b
+    }
+
+    /// Decodes a [`TrainState::to_bytes`] payload, validating structure
+    /// (including a trial parse of the embedded optimizer state) so a
+    /// successful decode is guaranteed to resume cleanly.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the malformed field. (In practice the
+    /// containing checkpoint's CRC already rejects corruption; this
+    /// guards against logic errors and version skew.)
+    pub fn from_bytes(mut bytes: &[u8]) -> Result<Self, String> {
+        let r = &mut bytes;
+        let io = |e: std::io::Error| format!("training state truncated: {e}");
+        let version = read_u32(r).map_err(io)?;
+        if version != TRAIN_STATE_VERSION {
+            return Err(format!(
+                "training state version {version} unsupported (expected {TRAIN_STATE_VERSION})"
+            ));
+        }
+        let mut tag = [0u8; 1];
+        std::io::Read::read_exact(r, &mut tag).map_err(io)?;
+        let task = match tag[0] {
+            TASK_LINK => Task::LinkPrediction,
+            TASK_REGRESSION => Task::Regression,
+            t => return Err(format!("unknown task tag {t}")),
+        };
+        let seed = read_u64(r).map_err(io)?;
+        let epochs = read_u64(r).map_err(io)? as usize;
+        let batch_size = read_u64(r).map_err(io)? as usize;
+        let mut f4 = [0u8; 4];
+        std::io::Read::read_exact(r, &mut f4).map_err(io)?;
+        let lr = f32::from_le_bytes(f4);
+        std::io::Read::read_exact(r, &mut f4).map_err(io)?;
+        let weight_decay = f32::from_le_bytes(f4);
+        let epochs_done = read_u64(r).map_err(io)? as usize;
+        let mut f8 = [0u8; 8];
+        std::io::Read::read_exact(r, &mut f8).map_err(io)?;
+        let seconds = f64::from_le_bytes(f8);
+        let n_losses = read_u64(r).map_err(io)? as usize;
+        if n_losses > 1 << 24 {
+            return Err(format!("unreasonable loss count {n_losses}"));
+        }
+        let mut epoch_losses = Vec::with_capacity(n_losses.min(1 << 16));
+        for _ in 0..n_losses {
+            std::io::Read::read_exact(r, &mut f4).map_err(io)?;
+            epoch_losses.push(f32::from_le_bytes(f4));
+        }
+        let mut rng_state = [0u64; 4];
+        for s in &mut rng_state {
+            *s = read_u64(r).map_err(io)?;
+        }
+        let opt_len = read_u64(r).map_err(io)? as usize;
+        if opt_len != r.len() {
+            return Err(format!(
+                "optimizer state length {opt_len} does not match remaining {} bytes",
+                r.len()
+            ));
+        }
+        let opt = r.to_vec();
+        // Trial-parse so train_resumable can restore infallibly.
+        Adam::new(0.0)
+            .load_state(&opt[..])
+            .map_err(|e| format!("embedded optimizer state: {e}"))?;
+        Ok(TrainState {
+            task,
+            seed,
+            epochs,
+            batch_size,
+            lr,
+            weight_decay,
+            epochs_done,
+            epoch_losses,
+            seconds,
+            rng_state,
+            opt,
+        })
+    }
+
+    /// Verifies this state can resume a run with the given task/config;
+    /// every mismatch is named. A resumed run MUST use the training
+    /// flags of the interrupted run — anything else (a different
+    /// schedule horizon, batch geometry, or seed) would produce a run
+    /// that silently differs from the uninterrupted one.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first mismatched field.
+    pub fn check_resume(&self, task: Task, cfg: &TrainConfig) -> Result<(), String> {
+        if self.task != task {
+            return Err(format!(
+                "task mismatch: snapshot was {:?}, this run is {:?}",
+                self.task, task
+            ));
+        }
+        let check = |name: &str, stored: String, given: String| -> Result<(), String> {
+            if stored != given {
+                Err(format!(
+                    "--{name} mismatch: snapshot used {stored}, this run asks for {given} \
+                     (resume with the original flags)"
+                ))
+            } else {
+                Ok(())
+            }
+        };
+        check("seed", self.seed.to_string(), cfg.seed.to_string())?;
+        check("epochs", self.epochs.to_string(), cfg.epochs.to_string())?;
+        check(
+            "batch-size",
+            self.batch_size.to_string(),
+            cfg.batch_size.to_string(),
+        )?;
+        check(
+            "lr",
+            self.lr.to_bits().to_string(),
+            cfg.lr.to_bits().to_string(),
+        )?;
+        check(
+            "weight-decay",
+            self.weight_decay.to_bits().to_string(),
+            cfg.weight_decay.to_bits().to_string(),
+        )?;
+        Ok(())
+    }
+}
+
+/// Options for [`train_resumable`] beyond the model/data/config triple.
+#[derive(Default)]
+pub struct ResumableTrain<'a> {
+    /// Which loss to optimize.
+    pub task: Task,
+    /// Resume from this epoch-boundary snapshot (the model must carry
+    /// the matching weights — i.e. come from the same checkpoint).
+    /// `None` starts from epoch 0.
+    pub resume: Option<TrainState>,
+    /// Checked between epochs; when set, the loop finishes the epoch in
+    /// flight, reports it, and returns with
+    /// [`TrainOutcome::interrupted`] = `true`. Wire
+    /// [`crate::interrupt::flag`] here for SIGINT/SIGTERM handling.
+    pub stop: Option<&'a AtomicBool>,
+}
+
+/// What [`train_resumable`] returns.
+#[derive(Debug)]
+pub struct TrainOutcome {
+    /// Cumulative history — includes epochs restored from a resumed
+    /// snapshot, so the record always spans epoch 1 to the last one run.
+    pub history: TrainHistory,
+    /// Whether the stop flag ended the run before `cfg.epochs`.
+    pub interrupted: bool,
+    /// Epoch-boundary state after the last completed epoch; save this
+    /// (checkpoint section [`crate::TRAIN_STATE_SECTION`]) to make the
+    /// interruption resumable.
+    pub state: TrainState,
 }
 
 /// Trains the model on `samples` for the given task.
@@ -79,7 +317,47 @@ pub fn train_with_progress(
     cfg: &TrainConfig,
     progress: &mut dyn FnMut(&CircuitGps, &EpochProgress),
 ) -> TrainHistory {
+    train_resumable(
+        model,
+        samples,
+        cfg,
+        ResumableTrain {
+            task,
+            resume: None,
+            stop: None,
+        },
+        progress,
+        &mut |_, _| {},
+    )
+    .history
+}
+
+/// The full training loop: [`train_with_progress`] plus resumability.
+///
+/// `epoch_end` receives a serializable [`TrainState`] after every epoch
+/// (after `progress`); the CLI persists every N-th one as a rolling
+/// snapshot. When `opts.resume` is set, the loop continues at
+/// `state.epochs_done` with the restored optimizer/RNG state: because
+/// the shuffle RNG only advances at epoch boundaries and per-step tape
+/// seeds are pure functions of `(seed, epoch, step)`, the resumed run
+/// replays the exact step sequence of an uninterrupted run — callers can
+/// assert equal final metrics, and the chaos suite does.
+///
+/// The stop flag (`opts.stop`) is only honored between epochs: an
+/// interrupt during epoch `e` lets `e` finish, reports it, and returns
+/// `interrupted = true` with epoch `e`'s state. Mid-epoch the
+/// model/optimizer/RNG triple is inconsistent, so there is nothing
+/// cheaper that is also *correct* to snapshot.
+pub fn train_resumable(
+    model: &mut CircuitGps,
+    samples: &[PreparedSample],
+    cfg: &TrainConfig,
+    opts: ResumableTrain<'_>,
+    progress: &mut dyn FnMut(&CircuitGps, &EpochProgress),
+    epoch_end: &mut dyn FnMut(&CircuitGps, &TrainState),
+) -> TrainOutcome {
     let start = std::time::Instant::now();
+    let task = opts.task;
     let mut opt = Adam::new(cfg.lr).with_weight_decay(cfg.weight_decay);
     let steps_per_epoch = samples.len().div_ceil(cfg.batch_size).max(1);
     let schedule = CosineSchedule::new(
@@ -88,11 +366,44 @@ pub fn train_with_progress(
         cfg.warmup,
         cfg.epochs * steps_per_epoch,
     );
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut history = TrainHistory::default();
-    let mut step = 0usize;
+    let (mut rng, start_epoch, base_seconds) = match &opts.resume {
+        Some(st) => {
+            opt.load_state(&st.opt[..])
+                .expect("TrainState::from_bytes trial-parsed this");
+            history.epoch_losses = st.epoch_losses.clone();
+            (StdRng::from_state(st.rng_state), st.epochs_done, st.seconds)
+        }
+        None => (StdRng::seed_from_u64(cfg.seed), 0, 0.0),
+    };
+    let mut step = start_epoch * steps_per_epoch;
+    let make_state =
+        |epochs_done: usize, history: &TrainHistory, rng: &StdRng, opt: &Adam, elapsed: f64| {
+            let mut opt_bytes = Vec::new();
+            opt.save_state(&mut opt_bytes)
+                .expect("writing to a Vec cannot fail");
+            TrainState {
+                task,
+                seed: cfg.seed,
+                epochs: cfg.epochs,
+                batch_size: cfg.batch_size,
+                lr: cfg.lr,
+                weight_decay: cfg.weight_decay,
+                epochs_done,
+                epoch_losses: history.epoch_losses.clone(),
+                seconds: base_seconds + elapsed,
+                rng_state: rng.state(),
+                opt: opt_bytes,
+            }
+        };
+    let mut last_state = make_state(start_epoch, &history, &rng, &opt, 0.0);
+    let mut interrupted = false;
 
-    for epoch in 0..cfg.epochs {
+    for epoch in start_epoch..cfg.epochs {
+        if opts.stop.is_some_and(|s| s.load(Ordering::SeqCst)) {
+            interrupted = true;
+            break;
+        }
         let mut order: Vec<usize> = (0..samples.len()).collect();
         order.shuffle(&mut rng);
         let mut epoch_loss = 0.0f64;
@@ -169,12 +480,28 @@ pub fn train_with_progress(
                 epochs: cfg.epochs,
                 loss: mean,
                 lr: schedule.lr_at(step.saturating_sub(1)),
-                seconds: start.elapsed().as_secs_f64(),
+                seconds: base_seconds + start.elapsed().as_secs_f64(),
             },
         );
+        last_state = make_state(
+            epoch + 1,
+            &history,
+            &rng,
+            &opt,
+            start.elapsed().as_secs_f64(),
+        );
+        epoch_end(model, &last_state);
+        // Chaos hook: an injected abort here lands *after* the CLI's
+        // snapshot callback — exactly the "killed right after epoch N"
+        // scenario the resume path must survive.
+        cirgps_failpoints::eval("train.epoch_end");
     }
-    history.seconds = start.elapsed().as_secs_f64();
-    history
+    history.seconds = base_seconds + start.elapsed().as_secs_f64();
+    TrainOutcome {
+        history,
+        interrupted,
+        state: last_state,
+    }
 }
 
 /// Pre-trains on link prediction (the meta-learning phase).
@@ -428,5 +755,143 @@ mod tests {
         let mut m2 = tiny_model();
         let h2 = pretrain_link(&mut m2, &data, &cfg);
         assert_eq!(h1.epoch_losses, h2.epoch_losses);
+    }
+
+    #[test]
+    fn interrupted_run_resumed_matches_uninterrupted_bitwise() {
+        let data = toy_dataset();
+        let cfg = TrainConfig {
+            epochs: 6,
+            batch_size: 4,
+            lr: 5e-3,
+            ..Default::default()
+        };
+
+        // Reference: straight-through run.
+        let mut clean = tiny_model();
+        let clean_hist = train_with_progress(
+            &mut clean,
+            &data,
+            Task::LinkPrediction,
+            &cfg,
+            &mut |_, _| {},
+        );
+
+        // Interrupted run: stop flag raised from the progress callback at
+        // the end of epoch 3 — the loop must finish epoch 3, report it,
+        // and return its state.
+        let stop = AtomicBool::new(false);
+        let mut partial = tiny_model();
+        let outcome = train_resumable(
+            &mut partial,
+            &data,
+            &cfg,
+            ResumableTrain {
+                task: Task::LinkPrediction,
+                resume: None,
+                stop: Some(&stop),
+            },
+            &mut |_, p| {
+                if p.epoch == 3 {
+                    stop.store(true, Ordering::SeqCst);
+                }
+            },
+            &mut |_, _| {},
+        );
+        assert!(outcome.interrupted);
+        assert_eq!(outcome.state.epochs_done, 3);
+        assert_eq!(outcome.history.epoch_losses.len(), 3);
+        assert_eq!(
+            outcome.history.epoch_losses,
+            clean_hist.epoch_losses[..3].to_vec()
+        );
+
+        // Resume through the wire format, as the CLI does.
+        let restored = TrainState::from_bytes(&outcome.state.to_bytes()).unwrap();
+        restored.check_resume(Task::LinkPrediction, &cfg).unwrap();
+        let resumed = train_resumable(
+            &mut partial,
+            &data,
+            &cfg,
+            ResumableTrain {
+                task: Task::LinkPrediction,
+                resume: Some(restored),
+                stop: None,
+            },
+            &mut |_, _| {},
+            &mut |_, _| {},
+        );
+        assert!(!resumed.interrupted);
+        assert_eq!(resumed.state.epochs_done, cfg.epochs);
+        // Loss history must be bitwise-identical, including the restored
+        // prefix.
+        assert_eq!(resumed.history.epoch_losses, clean_hist.epoch_losses);
+        // And the models must agree bitwise on every prediction.
+        let a = predict_regression(&clean, &data);
+        let b = predict_regression(&partial, &data);
+        assert_eq!(a, b, "resumed model diverged from uninterrupted run");
+    }
+
+    #[test]
+    fn train_state_round_trip_and_check_resume() {
+        let opt = Adam::new(1e-3);
+        let mut opt_bytes = Vec::new();
+        opt.save_state(&mut opt_bytes).unwrap();
+        let cfg = TrainConfig::default();
+        let state = TrainState {
+            task: Task::Regression,
+            seed: cfg.seed,
+            epochs: cfg.epochs,
+            batch_size: cfg.batch_size,
+            lr: cfg.lr,
+            weight_decay: cfg.weight_decay,
+            epochs_done: 2,
+            epoch_losses: vec![0.5, 0.25],
+            seconds: 1.75,
+            rng_state: [1, 2, 3, 4],
+            opt: opt_bytes,
+        };
+        let rt = TrainState::from_bytes(&state.to_bytes()).unwrap();
+        assert_eq!(rt.task, state.task);
+        assert_eq!(rt.seed, state.seed);
+        assert_eq!(rt.epochs, state.epochs);
+        assert_eq!(rt.batch_size, state.batch_size);
+        assert_eq!(rt.lr.to_bits(), state.lr.to_bits());
+        assert_eq!(rt.weight_decay.to_bits(), state.weight_decay.to_bits());
+        assert_eq!(rt.epochs_done, 2);
+        assert_eq!(rt.epoch_losses, state.epoch_losses);
+        assert_eq!(rt.seconds, state.seconds);
+        assert_eq!(rt.rng_state, state.rng_state);
+        assert_eq!(rt.opt, state.opt);
+
+        // Truncation and garbage are named errors, not panics.
+        let bytes = state.to_bytes();
+        assert!(TrainState::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        assert!(TrainState::from_bytes(&[]).is_err());
+
+        // check_resume names the first mismatched flag.
+        rt.check_resume(Task::Regression, &cfg).unwrap();
+        let err = rt.check_resume(Task::LinkPrediction, &cfg).unwrap_err();
+        assert!(err.contains("task mismatch"), "{err}");
+        let err = rt
+            .check_resume(
+                Task::Regression,
+                &TrainConfig {
+                    epochs: cfg.epochs + 1,
+                    ..cfg.clone()
+                },
+            )
+            .unwrap_err();
+        assert!(err.contains("--epochs"), "{err}");
+        let err = rt
+            .check_resume(
+                Task::Regression,
+                &TrainConfig {
+                    seed: cfg.seed ^ 1,
+                    ..cfg.clone()
+                },
+            )
+            .unwrap_err();
+        assert!(err.contains("--seed"), "{err}");
     }
 }

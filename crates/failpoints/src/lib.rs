@@ -1,0 +1,298 @@
+//! Fault-injection points ("failpoints") for chaos testing.
+//!
+//! A failpoint is a named hook compiled into a crash-relevant code path
+//! (checkpoint writes, worker prediction, the batch queue). In normal
+//! builds — without the `enabled` cargo feature — every hook is an
+//! inlined `None` and the whole crate vanishes from the binary. With the
+//! feature on, hooks are armed either from the environment at first use:
+//!
+//! ```text
+//! CIRGPS_FAILPOINTS="durable.torn_write=truncate:64@3;train.epoch_end=abort@2"
+//! ```
+//!
+//! or programmatically from in-process tests ([`set`] / [`clear`]).
+//!
+//! # Grammar
+//!
+//! `name=action[:arg][@hit]`, entries separated by `;` or `,`:
+//!
+//! * `panic` — panic at the hook (caught or not, the consumer decides
+//!   by where it places the hook);
+//! * `abort` — `std::process::abort()`, simulating `kill -9`;
+//! * `delay:MS` — sleep `MS` milliseconds, then continue;
+//! * `truncate:N` — returned to the call site as
+//!   [`FailAction::Truncate`]`(N)` so it can shorten a write (torn-write
+//!   simulation);
+//! * `error` — returned as [`FailAction::Error`] so the call site can
+//!   fail with an injected I/O error.
+//!
+//! `@hit` restricts the action to the N-th evaluation of that hook
+//! (1-based) in this process; without it the action fires on every
+//! evaluation. Side-effecting actions (`panic`, `abort`, `delay`) are
+//! performed *inside* [`eval`]; only data-shaping actions (`truncate`,
+//! `error`) are returned, so a call site reads as:
+//!
+//! ```ignore
+//! if let Some(action) = cirgps_failpoints::eval("durable.torn_write") {
+//!     /* shorten or fail the write */
+//! }
+//! ```
+
+/// The data-shaping actions [`eval`] can return to a call site.
+///
+/// `Panic`/`Abort`/`Delay` never escape `eval` — they are performed
+/// there — so call sites only ever match on these two.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailAction {
+    /// Truncate the write to the given number of bytes (torn write).
+    Truncate(u64),
+    /// Fail the operation with an injected error.
+    Error,
+}
+
+#[cfg(not(feature = "enabled"))]
+mod imp {
+    use super::FailAction;
+
+    /// Evaluates the named failpoint. Compiled out: always `None`.
+    #[inline(always)]
+    pub fn eval(_name: &str) -> Option<FailAction> {
+        None
+    }
+
+    /// Arms a failpoint programmatically. Compiled out: no-op.
+    #[inline(always)]
+    pub fn set(_name: &str, _spec: &str) {}
+
+    /// Disarms one failpoint. Compiled out: no-op.
+    #[inline(always)]
+    pub fn clear(_name: &str) {}
+
+    /// Disarms every failpoint. Compiled out: no-op.
+    #[inline(always)]
+    pub fn clear_all() {}
+}
+
+#[cfg(feature = "enabled")]
+mod imp {
+    use super::FailAction;
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+
+    #[derive(Debug, Clone)]
+    enum Action {
+        Panic,
+        Abort,
+        Delay(u64),
+        Truncate(u64),
+        Error,
+    }
+
+    #[derive(Debug, Clone)]
+    struct Point {
+        action: Action,
+        /// Fire only on this 1-based evaluation, if set.
+        only_hit: Option<u64>,
+        hits: u64,
+    }
+
+    fn registry() -> &'static Mutex<HashMap<String, Point>> {
+        static REG: OnceLock<Mutex<HashMap<String, Point>>> = OnceLock::new();
+        REG.get_or_init(|| {
+            let mut map = HashMap::new();
+            if let Ok(spec) = std::env::var("CIRGPS_FAILPOINTS") {
+                for entry in spec.split([';', ',']) {
+                    let entry = entry.trim();
+                    if entry.is_empty() {
+                        continue;
+                    }
+                    match parse_entry(entry) {
+                        Ok((name, point)) => {
+                            map.insert(name, point);
+                        }
+                        Err(e) => {
+                            // A misspelled chaos spec silently doing
+                            // nothing would invalidate the experiment.
+                            panic!("CIRGPS_FAILPOINTS: bad entry {entry:?}: {e}");
+                        }
+                    }
+                }
+            }
+            Mutex::new(map)
+        })
+    }
+
+    fn parse_entry(entry: &str) -> Result<(String, Point), String> {
+        let (name, spec) = entry
+            .split_once('=')
+            .ok_or_else(|| "expected name=action".to_string())?;
+        let point = parse_spec(spec)?;
+        Ok((name.trim().to_string(), point))
+    }
+
+    fn parse_spec(spec: &str) -> Result<Point, String> {
+        let (action_part, hit_part) = match spec.split_once('@') {
+            Some((a, h)) => (a, Some(h)),
+            None => (spec, None),
+        };
+        let only_hit = match hit_part {
+            Some(h) => Some(
+                h.trim()
+                    .parse::<u64>()
+                    .map_err(|_| format!("bad hit count {h:?}"))?,
+            ),
+            None => None,
+        };
+        let (verb, arg) = match action_part.split_once(':') {
+            Some((v, a)) => (v.trim(), Some(a.trim())),
+            None => (action_part.trim(), None),
+        };
+        let num = |what: &str| -> Result<u64, String> {
+            arg.ok_or_else(|| format!("{verb} needs :{what}"))?
+                .parse::<u64>()
+                .map_err(|_| format!("bad {what} {arg:?}"))
+        };
+        let action = match verb {
+            "panic" => Action::Panic,
+            "abort" => Action::Abort,
+            "delay" => Action::Delay(num("ms")?),
+            "truncate" => Action::Truncate(num("bytes")?),
+            "error" => Action::Error,
+            other => return Err(format!("unknown action {other:?}")),
+        };
+        Ok(Point {
+            action,
+            only_hit,
+            hits: 0,
+        })
+    }
+
+    /// Evaluates the named failpoint: bumps its hit counter, applies the
+    /// `@hit` filter, performs `panic`/`abort`/`delay` in place, and
+    /// returns `truncate`/`error` for the call site to interpret.
+    pub fn eval(name: &str) -> Option<FailAction> {
+        let action = {
+            let mut reg = registry().lock().unwrap();
+            let point = reg.get_mut(name)?;
+            point.hits += 1;
+            match point.only_hit {
+                Some(h) if h != point.hits => return None,
+                _ => point.action.clone(),
+            }
+        };
+        match action {
+            Action::Panic => panic!("failpoint {name:?} fired: panic"),
+            Action::Abort => {
+                // `abort` stands in for `kill -9`: no unwinding, no
+                // destructors, no flushing.
+                eprintln!("failpoint {name:?} fired: abort");
+                std::process::abort();
+            }
+            Action::Delay(ms) => {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+                None
+            }
+            Action::Truncate(n) => Some(FailAction::Truncate(n)),
+            Action::Error => Some(FailAction::Error),
+        }
+    }
+
+    /// Arms (or re-arms, resetting the hit counter) a failpoint from
+    /// code; `spec` uses the same `action[:arg][@hit]` grammar as the
+    /// environment variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed `spec` — a chaos test with a typo'd spec
+    /// must fail loudly, not silently test nothing.
+    pub fn set(name: &str, spec: &str) {
+        let point = parse_spec(spec).unwrap_or_else(|e| panic!("failpoint {name:?}: {e}"));
+        registry().lock().unwrap().insert(name.to_string(), point);
+    }
+
+    /// Disarms one failpoint.
+    pub fn clear(name: &str) {
+        registry().lock().unwrap().remove(name);
+    }
+
+    /// Disarms every failpoint (programmatic and env-configured).
+    pub fn clear_all() {
+        registry().lock().unwrap().clear();
+    }
+}
+
+pub use imp::{clear, clear_all, eval, set};
+
+#[cfg(all(test, feature = "enabled"))]
+mod tests {
+    use super::*;
+    use std::time::{Duration, Instant};
+
+    // Tests share one process-global registry, so they run under a lock
+    // to avoid cross-test interference.
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn unarmed_points_are_silent() {
+        let _g = serial();
+        clear_all();
+        assert_eq!(eval("nope"), None);
+    }
+
+    #[test]
+    fn truncate_and_error_are_returned_to_the_call_site() {
+        let _g = serial();
+        clear_all();
+        set("a", "truncate:64");
+        set("b", "error");
+        assert_eq!(eval("a"), Some(FailAction::Truncate(64)));
+        assert_eq!(eval("a"), Some(FailAction::Truncate(64)), "fires every hit");
+        assert_eq!(eval("b"), Some(FailAction::Error));
+        clear("a");
+        assert_eq!(eval("a"), None);
+        clear_all();
+    }
+
+    #[test]
+    fn hit_filter_fires_exactly_once_on_the_nth_hit() {
+        let _g = serial();
+        clear_all();
+        set("c", "error@3");
+        assert_eq!(eval("c"), None);
+        assert_eq!(eval("c"), None);
+        assert_eq!(eval("c"), Some(FailAction::Error));
+        assert_eq!(eval("c"), None, "spent after its hit");
+        clear_all();
+    }
+
+    #[test]
+    fn delay_sleeps_then_continues() {
+        let _g = serial();
+        clear_all();
+        set("d", "delay:30");
+        let t0 = Instant::now();
+        assert_eq!(eval("d"), None);
+        assert!(t0.elapsed() >= Duration::from_millis(30));
+        clear_all();
+    }
+
+    #[test]
+    #[should_panic(expected = "failpoint \"p\" fired")]
+    fn panic_action_panics_at_the_hook() {
+        let _g = serial();
+        clear_all();
+        set("p", "panic");
+        let _ = eval("p");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown action")]
+    fn malformed_spec_fails_loudly() {
+        let _g = serial();
+        set("x", "explode");
+    }
+}

@@ -382,11 +382,11 @@ impl ParamStore {
     }
 }
 
-fn write_u64<W: Write>(w: &mut W, v: u64) -> io::Result<()> {
+pub(crate) fn write_u64<W: Write>(w: &mut W, v: u64) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
 }
 
-fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+pub(crate) fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
     let mut b = [0u8; 8];
     r.read_exact(&mut b)?;
     Ok(u64::from_le_bytes(b))
@@ -410,7 +410,7 @@ fn read_str<R: Read>(r: &mut R) -> io::Result<String> {
     String::from_utf8(buf).map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad utf-8"))
 }
 
-fn write_tensor<W: Write>(w: &mut W, t: &Tensor) -> io::Result<()> {
+pub(crate) fn write_tensor<W: Write>(w: &mut W, t: &Tensor) -> io::Result<()> {
     write_u64(w, t.rows() as u64)?;
     write_u64(w, t.cols() as u64)?;
     for &v in t.as_slice() {
@@ -419,7 +419,7 @@ fn write_tensor<W: Write>(w: &mut W, t: &Tensor) -> io::Result<()> {
     Ok(())
 }
 
-fn read_tensor<R: Read>(r: &mut R) -> io::Result<Tensor> {
+pub(crate) fn read_tensor<R: Read>(r: &mut R) -> io::Result<Tensor> {
     let rows = read_u64(r)? as usize;
     let cols = read_u64(r)? as usize;
     if rows.saturating_mul(cols) > 1 << 28 {

@@ -104,6 +104,28 @@ impl ResponseSlot {
         }
         s.results.clone()
     }
+
+    /// [`ResponseSlot::wait`] with a deadline: returns `None` if the
+    /// request is not fully answered within `timeout` (the HTTP layer
+    /// turns that into `504`). The jobs stay queued and workers still
+    /// fill the slot eventually — abandoning the wait leaks nothing, the
+    /// `Arc` keeps the slot alive until the last fill.
+    pub fn wait_deadline(&self, timeout: Duration) -> Option<Vec<f32>> {
+        let deadline = Instant::now() + timeout;
+        let mut s = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        while s.remaining > 0 {
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _) = self
+                .done
+                .wait_timeout(s, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            s = guard;
+        }
+        Some(s.results.clone())
+    }
 }
 
 /// Rejection reasons from [`Engine::submit`].
@@ -247,12 +269,19 @@ impl Engine {
             self.queue
                 .pop_batch_by(self.max_batch, self.max_wait, |job: &Job| job.kind)
         {
+            // Chaos hook: `delay:MS` here stalls the batch after it left
+            // the queue — producers hit their request deadline (504)
+            // instead of hanging.
+            cirgps_failpoints::eval("serve.queue.pop");
             self.metrics.observe_batch(batch.len());
             let queries: Vec<Query> = batch.iter().map(|j| j.kind.query(j.key)).collect();
             // The session's per-query state (cache inserts) stays
             // consistent across an unwind; no partial mutation spans
             // queries.
             let preds = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                // Chaos hook: an injected panic lands inside the unwind
+                // boundary, exactly like a prediction bug would.
+                cirgps_failpoints::eval("serve.worker.predict");
                 session.predict_batch(&queries)
             }))
             .unwrap_or_else(|_| {

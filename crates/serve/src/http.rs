@@ -112,7 +112,8 @@ pub fn read_request(stream: &mut impl BufRead) -> io::Result<Option<Request>> {
     }))
 }
 
-/// Writes one fixed-length response.
+/// Writes one fixed-length response. `extra_headers` go out verbatim
+/// after the standard ones (e.g. `("retry-after", "1")` on `503`).
 ///
 /// # Errors
 ///
@@ -121,6 +122,7 @@ pub fn write_response(
     stream: &mut impl Write,
     status: u16,
     content_type: &str,
+    extra_headers: &[(&str, &str)],
     body: &[u8],
 ) -> io::Result<()> {
     let reason = match status {
@@ -129,13 +131,18 @@ pub fn write_response(
         404 => "Not Found",
         405 => "Method Not Allowed",
         503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         _ => "Internal Server Error",
     };
     write!(
         stream,
-        "HTTP/1.1 {status} {reason}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\n\r\n",
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\n",
         body.len()
     )?;
+    for (name, value) in extra_headers {
+        write!(stream, "{name}: {value}\r\n")?;
+    }
+    stream.write_all(b"\r\n")?;
     stream.write_all(body)?;
     stream.flush()
 }
@@ -205,6 +212,7 @@ mod tests {
             &mut out,
             503,
             "application/json",
+            &[("retry-after", "1")],
             b"{\"error\":\"queue full\"}",
         )
         .unwrap();
@@ -214,8 +222,17 @@ mod tests {
             "{text}"
         );
         assert!(text.contains("content-length: 22\r\n"), "{text}");
+        assert!(text.contains("retry-after: 1\r\n"), "{text}");
         assert!(
             text.ends_with("\r\n\r\n{\"error\":\"queue full\"}"),
+            "{text}"
+        );
+
+        let mut out = Vec::new();
+        write_response(&mut out, 504, "application/json", &[], b"{}").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(
+            text.starts_with("HTTP/1.1 504 Gateway Timeout\r\n"),
             "{text}"
         );
     }

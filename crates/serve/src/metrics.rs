@@ -40,6 +40,9 @@ pub struct Metrics {
     /// Batches whose prediction panicked (answered with NaN; should
     /// stay 0 — the HTTP layer validates every id before submit).
     pub worker_panics: AtomicU64,
+    /// Requests answered `504` because they missed their deadline
+    /// (`request_timeout`) while waiting on the engine.
+    pub requests_timeout: AtomicU64,
 }
 
 impl Metrics {
@@ -64,11 +67,12 @@ impl Metrics {
         self.latency_us_max.fetch_max(us, Ordering::Relaxed);
     }
 
-    /// Renders the counters in Prometheus text format. `queue_depth` is
-    /// sampled by the caller (it lives in the queue, not here).
-    pub fn render(&self, queue_depth: usize) -> String {
+    /// Renders the counters in Prometheus text format. `queue_depth` and
+    /// `draining` are sampled by the caller (they live in the queue and
+    /// the server, not here).
+    pub fn render(&self, queue_depth: usize, draining: bool) -> String {
         let c = |a: &AtomicU64| a.load(Ordering::Relaxed);
-        let rows: [(&str, &str, u64); 13] = [
+        let rows: [(&str, &str, u64); 14] = [
             ("requests_healthz_total", "counter", c(&self.http_healthz)),
             ("requests_metrics_total", "counter", c(&self.http_metrics)),
             ("requests_predict_total", "counter", c(&self.http_predict)),
@@ -90,6 +94,11 @@ impl Metrics {
             ("latency_us_count", "counter", c(&self.latency_us_count)),
             ("latency_us_max", "gauge", c(&self.latency_us_max)),
             ("worker_panics_total", "counter", c(&self.worker_panics)),
+            (
+                "requests_timeout_total",
+                "counter",
+                c(&self.requests_timeout),
+            ),
         ];
         let mut out = String::with_capacity(1024);
         for (name, kind, value) in rows {
@@ -99,6 +108,10 @@ impl Metrics {
         }
         out.push_str(&format!(
             "# TYPE cirgps_serve_queue_depth gauge\ncirgps_serve_queue_depth {queue_depth}\n"
+        ));
+        out.push_str(&format!(
+            "# TYPE cirgps_serve_draining gauge\ncirgps_serve_draining {}\n",
+            draining as u8
         ));
         out
     }
@@ -117,7 +130,7 @@ mod tests {
         m.observe_latency_us(100);
         m.observe_latency_us(250);
         Metrics::inc(&m.http_predict);
-        let text = m.render(11);
+        let text = m.render(11, true);
         assert!(text.contains("cirgps_serve_batches_total 3"), "{text}");
         assert!(
             text.contains("cirgps_serve_batch_occupancy_sum 15"),
@@ -134,5 +147,10 @@ mod tests {
             "{text}"
         );
         assert!(text.contains("cirgps_serve_queue_depth 11"), "{text}");
+        assert!(text.contains("cirgps_serve_draining 1"), "{text}");
+        assert!(
+            text.contains("cirgps_serve_requests_timeout_total 0"),
+            "{text}"
+        );
     }
 }

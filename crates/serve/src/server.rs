@@ -9,9 +9,11 @@
 //! server borrows its model and graph for the whole serve call and
 //! needs no `'static` plumbing.
 
+use std::collections::HashMap;
 use std::io::BufReader;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use circuit_graph::CircuitGraph;
@@ -44,6 +46,13 @@ pub struct ServeConfig {
     pub sampler: SamplerConfig,
     /// Per-connection socket read timeout (idle keep-alive reaping).
     pub read_timeout: Duration,
+    /// How long a graceful drain ([`Server::begin_drain`]) waits for
+    /// open connections to finish before force-closing them.
+    pub drain_timeout: Duration,
+    /// Per-request deadline: a predict request not fully answered within
+    /// this window gets `504` instead of stranding the client behind a
+    /// stalled batch.
+    pub request_timeout: Duration,
 }
 
 impl Default for ServeConfig {
@@ -59,8 +68,18 @@ impl Default for ServeConfig {
                 max_nodes: 2048,
             },
             read_timeout: Duration::from_secs(30),
+            drain_timeout: Duration::from_secs(5),
+            request_timeout: Duration::from_secs(30),
         }
     }
+}
+
+/// Open-connection registry: write halves of every live connection, so
+/// a drain can count stragglers and force-close them at the deadline.
+#[derive(Debug, Default)]
+struct ConnRegistry {
+    next_id: u64,
+    streams: HashMap<u64, TcpStream>,
 }
 
 /// A warm serving instance: one model, one design graph, one engine.
@@ -76,6 +95,8 @@ pub struct Server {
     engine: Engine,
     cfg: ServeConfig,
     shutdown: AtomicBool,
+    draining: AtomicBool,
+    connections: Mutex<ConnRegistry>,
     started: Instant,
 }
 
@@ -104,6 +125,8 @@ impl Server {
             engine,
             cfg,
             shutdown: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
+            connections: Mutex::new(ConnRegistry::default()),
             started: Instant::now(),
         }
     }
@@ -133,8 +156,16 @@ impl Server {
             .with_cache_capacity(self.cfg.cache_capacity)
     }
 
-    /// Runs the daemon on `listener` until [`Server::shutdown`]: spawns
-    /// the scheduler workers, then accepts connections forever.
+    /// Runs the daemon on `listener` until [`Server::shutdown`] or
+    /// [`Server::begin_drain`]: spawns the scheduler workers, then
+    /// accepts connections.
+    ///
+    /// On drain the exit sequence is ordered for zero dropped work:
+    /// the listener closes first (new connections are refused), open
+    /// connections get up to `drain_timeout` to finish their in-flight
+    /// and queued requests (the engine's queue stays open and its
+    /// workers keep answering), stragglers are force-closed, and only
+    /// then does the engine shut down.
     pub fn serve(&self, listener: TcpListener) {
         std::thread::scope(|s| {
             for _ in 0..self.cfg.workers {
@@ -144,15 +175,35 @@ impl Server {
                 });
             }
             for stream in listener.incoming() {
-                if self.shutdown.load(Ordering::SeqCst) {
+                if self.shutdown.load(Ordering::SeqCst) || self.draining.load(Ordering::SeqCst) {
                     break;
                 }
                 let Ok(stream) = stream else { continue };
                 s.spawn(move || self.handle_connection(stream));
             }
-            // Unreached by `break` alone if no further connection
-            // arrives; shutdown() pokes the listener to guarantee the
-            // loop observes the flag. Workers drain the backlog and exit.
+            // Refuse new connections from this instant: queued backlog
+            // connections get RST, fresh connects ECONNREFUSED.
+            drop(listener);
+
+            // Give open connections the drain window to finish. Their
+            // submits still succeed (the queue is open) and the workers
+            // are still running, so every accepted request is answered —
+            // the deadline only bounds how long we wait for slow peers.
+            let deadline = Instant::now() + self.cfg.drain_timeout;
+            loop {
+                let open = self.conns().streams.len();
+                if open == 0 || Instant::now() >= deadline {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            // Force-close stragglers (blocked reads/writes error out and
+            // their threads exit promptly).
+            for stream in self.conns().streams.values() {
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+            // Only now stop the engine: workers drain the backlog (every
+            // enqueued job still computes) and exit.
             self.engine.shutdown();
         });
     }
@@ -160,13 +211,34 @@ impl Server {
     /// Stops [`Server::serve`]: sets the flag, closes the queue (pending
     /// jobs still complete) and pokes `addr` so the blocking `accept`
     /// returns. Keep-alive connections close after their in-flight
-    /// request; an *idle* connection's thread lingers until its read
-    /// times out (`read_timeout`, default 30 s), so `serve` may take up
-    /// to that long to return after the last idle client.
+    /// request; idle connections are force-closed after `drain_timeout`.
     pub fn shutdown(&self, addr: SocketAddr) {
         self.shutdown.store(true, Ordering::SeqCst);
         self.engine.shutdown();
         let _ = TcpStream::connect(addr);
+    }
+
+    /// Starts a graceful drain (the SIGTERM path): stop accepting new
+    /// connections, keep answering everything already accepted or
+    /// queued, and let [`Server::serve`] return once connections finish
+    /// (or `drain_timeout` passes). `/healthz` reports `"draining"` so
+    /// load balancers stop routing here; new predict submissions on
+    /// *existing* keep-alive connections still succeed until their
+    /// connection closes.
+    pub fn begin_drain(&self, addr: SocketAddr) {
+        self.draining.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(addr);
+    }
+
+    /// Whether a graceful drain is in progress.
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    fn conns(&self) -> std::sync::MutexGuard<'_, ConnRegistry> {
+        self.connections
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 
     fn handle_connection(&self, stream: TcpStream) {
@@ -174,17 +246,48 @@ impl Server {
         let Ok(read_half) = stream.try_clone() else {
             return;
         };
+        // Register for the drain accounting; the guard deregisters on
+        // every exit path, including a panic in routing.
+        let id = {
+            let mut reg = self.conns();
+            let id = reg.next_id;
+            reg.next_id += 1;
+            if let Ok(clone) = stream.try_clone() {
+                reg.streams.insert(id, clone);
+            }
+            id
+        };
+        struct Deregister<'a>(&'a Server, u64);
+        impl Drop for Deregister<'_> {
+            fn drop(&mut self) {
+                self.0.conns().streams.remove(&self.1);
+            }
+        }
+        let _guard = Deregister(self, id);
+
         let mut reader = BufReader::new(read_half);
         let mut writer = stream;
         loop {
             match read_request(&mut reader) {
                 Ok(Some(req)) => {
-                    // During shutdown the keep-alive loop must not spin
-                    // on a chatty client forever: answer this request
-                    // (workers drain the backlog anyway), then close.
-                    let close = req.close || self.shutdown.load(Ordering::SeqCst);
+                    // During shutdown/drain the keep-alive loop must not
+                    // spin on a chatty client forever: answer this
+                    // request (workers drain the backlog anyway), then
+                    // close.
+                    let close = req.close
+                        || self.shutdown.load(Ordering::SeqCst)
+                        || self.draining.load(Ordering::SeqCst);
                     let (status, content_type, body) = self.route(&req);
-                    if write_response(&mut writer, status, content_type, body.as_bytes()).is_err()
+                    // Backpressure is transient — tell clients when to
+                    // come back (docs/serving.md recommends exponential
+                    // backoff from this floor).
+                    let extra: &[(&str, &str)] = if status == 503 {
+                        &[("retry-after", "1")]
+                    } else {
+                        &[]
+                    };
+                    if write_response(&mut writer, status, content_type, extra, body.as_bytes())
+                        .is_err()
                         || close
                     {
                         return;
@@ -194,7 +297,8 @@ impl Server {
                 Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
                     Metrics::inc(&self.engine.metrics().http_bad_request);
                     let body = format!("{{\"error\":\"{}\"}}", escape(&e.to_string()));
-                    let _ = write_response(&mut writer, 400, "application/json", body.as_bytes());
+                    let _ =
+                        write_response(&mut writer, 400, "application/json", &[], body.as_bytes());
                     return;
                 }
                 Err(_) => return,
@@ -215,7 +319,7 @@ impl Server {
                 (
                     200,
                     "text/plain; version=0.0.4",
-                    metrics.render(self.engine.queue_depth()),
+                    metrics.render(self.engine.queue_depth(), self.is_draining()),
                 )
             }
             ("POST", "/v1/predict") => match self.handle_predict(&req.body) {
@@ -241,6 +345,14 @@ impl Server {
                     "application/json",
                     "{\"error\":\"shutting down\"}".into(),
                 ),
+                Err(PredictError::Timeout) => {
+                    Metrics::inc(&metrics.requests_timeout);
+                    (
+                        504,
+                        "application/json",
+                        "{\"error\":\"deadline exceeded\"}".into(),
+                    )
+                }
             },
             ("POST" | "GET", _) => {
                 Metrics::inc(&metrics.http_bad_request);
@@ -263,8 +375,9 @@ impl Server {
 
     fn healthz_body(&self) -> String {
         format!(
-            "{{\"status\":\"ok\",\"design\":\"{}\",\"graph_nodes\":{},\"graph_edges\":{},\
+            "{{\"status\":\"{}\",\"design\":\"{}\",\"graph_nodes\":{},\"graph_edges\":{},\
              \"workers\":{},\"max_batch\":{},\"max_wait_us\":{},\"uptime_s\":{}}}",
+            if self.is_draining() { "draining" } else { "ok" },
             escape(&self.design),
             self.graph.num_nodes(),
             self.graph.num_edges(),
@@ -352,7 +465,9 @@ impl Server {
                 PredictError::Bad(format!("pairs[{index}] has identical endpoints"))
             }
         })?;
-        let preds = slot.wait();
+        let preds = slot
+            .wait_deadline(self.cfg.request_timeout)
+            .ok_or(PredictError::Timeout)?;
 
         let mut out = String::with_capacity(16 * preds.len() + 64);
         out.push_str(&format!("{{\"task\":\"{task}\",\"{label}\":["));
@@ -386,6 +501,7 @@ enum PredictError {
     Bad(String),
     Overloaded,
     ShuttingDown,
+    Timeout,
 }
 
 fn bad(msg: &str) -> PredictError {

@@ -8,7 +8,7 @@
 //!    `predict_link_batch`/`predict_reg_batch` call through an
 //!    [`InferenceSession`] over the same model and graph.
 
-use std::io::{BufRead, BufReader, Read, Write};
+use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::Ordering;
 use std::sync::Barrier;
@@ -62,7 +62,8 @@ fn small_model() -> CircuitGps {
     })
 }
 
-/// Minimal HTTP client: one request, returns (status, body).
+/// Minimal HTTP client: one request on its own connection, returns
+/// (status, body).
 fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
     let mut stream = TcpStream::connect(addr).expect("connect");
     stream
@@ -76,6 +77,21 @@ fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String)
     )
     .expect("send");
     let mut reader = BufReader::new(stream);
+    read_response(&mut reader)
+}
+
+/// Writes one request on an existing (keep-alive) stream.
+fn send_request(stream: &mut TcpStream, method: &str, path: &str, body: &str) {
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: loopback\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send");
+}
+
+/// Reads one response off a buffered stream.
+fn read_response(reader: &mut impl BufRead) -> (u16, String) {
     let mut status_line = String::new();
     reader.read_line(&mut status_line).expect("status line");
     let status: u16 = status_line
@@ -133,6 +149,8 @@ fn concurrent_singletons_coalesce_and_match_direct_predictions() {
             max_nodes: 64,
         },
         read_timeout: Duration::from_secs(5),
+        drain_timeout: Duration::from_secs(2),
+        request_timeout: Duration::from_secs(10),
     };
     let server = Server::new(model, graph, "TOY".into(), cfg);
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
@@ -237,6 +255,105 @@ fn concurrent_singletons_coalesce_and_match_direct_predictions() {
 
         server.shutdown(addr);
     });
+}
+
+#[test]
+fn graceful_drain_answers_in_flight_bitwise_and_refuses_new_connections() {
+    let (graph, pairs) = toy_graph();
+    let model = small_model();
+    let cfg = ServeConfig {
+        max_batch: 8,
+        // Long batching window: the in-flight singletons below are still
+        // parked in the batcher when the drain begins.
+        max_wait: Duration::from_millis(400),
+        workers: 1,
+        queue_capacity: 64,
+        cache_capacity: 64,
+        sampler: SamplerConfig {
+            hops: 1,
+            max_nodes: 64,
+        },
+        read_timeout: Duration::from_secs(5),
+        drain_timeout: Duration::from_secs(5),
+        request_timeout: Duration::from_secs(10),
+    };
+    let server = Server::new(model, graph, "TOY".into(), cfg);
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+
+    let mut session = server.session();
+    let want = session.predict_links(&pairs[..3]);
+
+    std::thread::scope(|s| {
+        s.spawn(|| server.serve(listener));
+
+        // A keep-alive connection opened before the drain, to observe
+        // /healthz flip to "draining" from inside it.
+        let mut ka = TcpStream::connect(addr).expect("keep-alive connect");
+        ka.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut ka_reader = BufReader::new(ka.try_clone().expect("clone"));
+        send_request(&mut ka, "GET", "/healthz", "");
+        let (status, body) = read_response(&mut ka_reader);
+        assert_eq!(status, 200);
+        assert!(body.contains("\"status\":\"ok\""), "{body}");
+
+        // Three in-flight singleton predicts, parked in the 400 ms
+        // batch window when the drain begins.
+        let in_flight: Vec<_> = pairs[..3]
+            .iter()
+            .enumerate()
+            .map(|(i, &(a, b))| {
+                s.spawn(move || {
+                    let (status, body) = http(
+                        addr,
+                        "POST",
+                        "/v1/predict",
+                        &format!("{{\"task\":\"link\",\"pairs\":[[{a},{b}]]}}"),
+                    );
+                    (i, status, body)
+                })
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(120));
+        server.begin_drain(addr);
+
+        // The pre-drain keep-alive connection is still answered — and
+        // sees the draining status.
+        send_request(&mut ka, "GET", "/healthz", "");
+        let (status, body) = read_response(&mut ka_reader);
+        assert_eq!(status, 200);
+        assert!(body.contains("\"status\":\"draining\""), "{body}");
+
+        // New connections are refused once the listener closes (the
+        // drain poke needs a moment to wake the accept loop, so poll).
+        let t0 = std::time::Instant::now();
+        while TcpStream::connect(addr).is_ok() {
+            assert!(
+                t0.elapsed() < Duration::from_secs(2),
+                "listener still accepting 2 s into the drain"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+
+        // Every request in flight before the drain is answered,
+        // bitwise-identical to a direct session call.
+        for h in in_flight {
+            let (i, status, body) = h.join().unwrap();
+            assert_eq!(status, 200, "{body}");
+            let got = parse_f32_array(&body, "probs")[0];
+            assert_eq!(
+                got.to_bits(),
+                want[i].to_bits(),
+                "pair {i}: drained answer {got} != direct {}",
+                want[i]
+            );
+        }
+    });
+    assert!(server.is_draining());
+    assert!(
+        TcpStream::connect(addr).is_err(),
+        "listener must stay closed after the drain completes"
+    );
 }
 
 #[test]

@@ -21,9 +21,10 @@ use std::time::Duration;
 use cirgps::datagen::{generate_with_parasitics, DesignKind, SizePreset};
 use cirgps::graph::{netlist_to_graph, CircuitGraph, GraphStats, XcSpec};
 use cirgps::model::{
-    evaluate_link, evaluate_regression, finetune_regression_with_progress, prepare_link_dataset,
-    train_with_progress, CheckpointFormat, CircuitGps, FinetuneMode, InferenceSession, LinkMetrics,
-    ModelConfig, PreparedSample, RegMetrics, Task, TrainConfig,
+    evaluate_link, evaluate_regression, finetune_regression_with_progress, interrupt,
+    prepare_link_dataset, train_resumable, write_atomic, CheckpointFormat, CircuitGps,
+    FinetuneMode, InferenceSession, LinkMetrics, ModelConfig, PreparedSample, RegMetrics,
+    ResumableTrain, Task, TrainConfig, TrainState, TRAIN_STATE_SECTION,
 };
 use cirgps::netlist::{Netlist, SpfFile, SpiceFile};
 use cirgps::sample::{CapNormalizer, DatasetConfig, LinkDataset, SamplerConfig, XcNormalizer};
@@ -84,6 +85,7 @@ USAGE:
                 [--epochs N] [--batch-size N] [--lr F] [--seed N]
                 [--per-type N] [--hidden-dim N] [--layers N] [--heads N]
                 [--pe-dim N] [--dropout F] [--holdout PCT] [--eval-every N]
+                [--checkpoint-every N] [--resume]
                 [--metrics-out FILE.json] --out FILE.ckpt
       Pre-train CircuitGPS on coupling link prediction over one or more
       design pairs (comma-separated lists, aligned by position), then
@@ -101,6 +103,17 @@ USAGE:
         --holdout PCT     percent of samples held out for eval (default
                           10; 0 trains on everything)
         --eval-every N    evaluate the held-out split every N epochs
+        --checkpoint-every N
+                          write a resumable snapshot to --out every N
+                          epochs (the previous one rotates to .bak); all
+                          writes are atomic + durable, so a crash at any
+                          point leaves a loadable snapshot
+        --resume          continue an interrupted run from the snapshot
+                          at --out (or its .bak); requires the same
+                          training/data flags, reproduces the
+                          uninterrupted run's final metrics. SIGINT or
+                          SIGTERM stops at the next epoch boundary and
+                          writes a final snapshot (docs/robustness.md)
         --metrics-out F   write a JSON training log (per-epoch loss,
                           periodic + final eval metrics)
 
@@ -146,6 +159,7 @@ USAGE:
   cirgps serve  --netlist FILE.sp --top NAME [--model FILE.ckpt]
                 [--addr HOST:PORT] [--max-batch N] [--max-wait-us N]
                 [--workers N] [--queue-cap N] [--cache-cap N]
+                [--drain-timeout-ms N] [--request-timeout-ms N]
       Run the long-lived inference daemon: model, graph and sample
       caches stay warm, and concurrent HTTP queries are coalesced into
       packed batches by the dynamic micro-batcher (see docs/serving.md).
@@ -156,6 +170,13 @@ USAGE:
         --workers      scheduler threads (default 2)
         --queue-cap    queue depth before 503 backpressure (default 1024)
         --cache-cap    per-worker prepared-sample cache (default 65536)
+        --drain-timeout-ms
+                       on SIGTERM/SIGINT: how long the graceful drain
+                       waits for open connections before force-closing
+                       them (default 5000; docs/robustness.md)
+        --request-timeout-ms
+                       per-request deadline; a request not answered in
+                       time gets 504 instead of hanging (default 30000)
       Endpoints: GET /healthz, GET /metrics, POST /v1/predict.
 
   cirgps energy --netlist FILE.sp --top NAME --spf FILE.spf
@@ -382,11 +403,60 @@ fn load_checkpoint_file(path: &str) -> Result<CircuitGps, String> {
     Ok(model)
 }
 
-fn save_checkpoint_file(model: &CircuitGps, path: &str) -> Result<(), String> {
-    let f = fs::File::create(path).map_err(|e| format!("creating {path}: {e}"))?;
-    model
-        .save_checkpoint(std::io::BufWriter::new(f))
+/// Serializes a checkpoint (optionally with a resumable-training-state
+/// section) and writes it atomically + durably: no crash can leave a
+/// half-written file at `path` (see `docs/robustness.md`).
+fn save_checkpoint_bytes(
+    model: &CircuitGps,
+    state: Option<&TrainState>,
+    path: &str,
+) -> Result<(), String> {
+    let mut bytes = Vec::new();
+    let result = match state {
+        Some(st) => model.save_checkpoint_with_sections(
+            &mut bytes,
+            &[(TRAIN_STATE_SECTION, &st.to_bytes()[..])],
+        ),
+        None => model.save_checkpoint(&mut bytes),
+    };
+    result.map_err(|e| format!("serializing checkpoint {path}: {e}"))?;
+    write_atomic(std::path::Path::new(path), &bytes)
         .map_err(|e| format!("writing checkpoint {path}: {e}"))
+}
+
+fn save_checkpoint_file(model: &CircuitGps, path: &str) -> Result<(), String> {
+    save_checkpoint_bytes(model, None, path)
+}
+
+/// Writes a rolling training snapshot: the previous snapshot at `path`
+/// is first rotated to `path.bak`, so even an injected fault *inside*
+/// the new write (torn temp file, kill before rename) leaves the last
+/// good snapshot loadable — `--resume` falls back to `.bak`.
+fn save_snapshot(model: &CircuitGps, state: &TrainState, path: &str) -> Result<(), String> {
+    let bak = format!("{path}.bak");
+    if fs::metadata(path).is_ok() {
+        fs::rename(path, &bak).map_err(|e| format!("rotating {path} -> {bak}: {e}"))?;
+    }
+    save_checkpoint_bytes(model, Some(state), path)
+}
+
+/// Loads the checkpoint `--resume` points at, falling back to the
+/// `.bak` rotation sibling when the primary is missing or corrupt (the
+/// "crashed mid-snapshot" case the chaos suite exercises).
+fn load_resume_checkpoint(path: &str) -> Result<cirgps::model::Checkpoint, String> {
+    let try_load = |p: &str| -> Result<cirgps::model::Checkpoint, String> {
+        let f = fs::File::open(p).map_err(|e| format!("reading {p}: {e}"))?;
+        CircuitGps::load_checkpoint_full(std::io::BufReader::new(f))
+            .map_err(|e| format!("loading checkpoint {p}: {e}"))
+    };
+    match try_load(path) {
+        Ok(ck) => Ok(ck),
+        Err(primary) => {
+            let bak = format!("{path}.bak");
+            eprintln!("warning: {primary}; trying rotation sibling {bak}");
+            try_load(&bak).map_err(|fallback| format!("{primary}; {fallback}"))
+        }
+    }
 }
 
 /// Interleaved holdout split: `pct` percent of samples (the dataset is
@@ -453,7 +523,10 @@ fn write_metrics_log(
         epoch_lines.join(","),
         eval_lines.join(","),
     );
-    fs::write(path, log).map_err(|e| format!("writing {path}: {e}"))
+    // Atomic + durable: a crash mid-write must not leave torn JSON for
+    // downstream tooling to choke on.
+    write_atomic(std::path::Path::new(path), log.as_bytes())
+        .map_err(|e| format!("writing {path}: {e}"))
 }
 
 fn cmd_pretrain(flags: &HashMap<String, String>) -> Result<(), String> {
@@ -476,6 +549,8 @@ fn cmd_pretrain(flags: &HashMap<String, String>) -> Result<(), String> {
             "dropout",
             "holdout",
             "eval-every",
+            "checkpoint-every",
+            "resume",
             "metrics-out",
             "out",
         ],
@@ -483,6 +558,8 @@ fn cmd_pretrain(flags: &HashMap<String, String>) -> Result<(), String> {
     let out = flags
         .get("out")
         .ok_or("--out is required (checkpoint path to write)")?;
+    let checkpoint_every = flag_parse(flags, "checkpoint-every", 0usize)?;
+    let resume = flag_bool(flags, "resume")?;
     let per_type = flag_parse(flags, "per-type", 200)?;
     let holdout_pct = flag_parse(flags, "holdout", 10)?;
     if holdout_pct > 50 {
@@ -516,10 +593,41 @@ fn cmd_pretrain(flags: &HashMap<String, String>) -> Result<(), String> {
         return Err("--epochs and --batch-size must be positive".into());
     }
 
+    // `--resume` restores the model AND the training state from the
+    // snapshot at --out (falling back to its .bak rotation sibling); a
+    // fresh run builds the model from the architecture flags. The data
+    // flags must match the interrupted run too — the dataset build is
+    // deterministic, so identical flags give an identical sample set.
+    let (mut model, resume_state) = if resume {
+        let ck = load_resume_checkpoint(out)?;
+        let Some(bytes) = ck.section(TRAIN_STATE_SECTION) else {
+            return Err(format!(
+                "{out} carries no training state — it is a completed checkpoint, not an \
+                 interrupted-run snapshot; nothing to resume"
+            ));
+        };
+        let st = TrainState::from_bytes(bytes).map_err(|e| format!("{out}: {e}"))?;
+        st.check_resume(Task::LinkPrediction, &tc)
+            .map_err(|e| format!("cannot resume from {out}: {e}"))?;
+        if st.epochs_done >= tc.epochs {
+            return Err(format!(
+                "{out} already has all {} epochs done; nothing to resume (raise --epochs only \
+                 by restarting — the cosine schedule horizon is part of the run)",
+                tc.epochs
+            ));
+        }
+        eprintln!(
+            "resuming {out} at epoch {}/{} (model config comes from the snapshot)",
+            st.epochs_done, tc.epochs
+        );
+        (ck.model, Some(st))
+    } else {
+        (CircuitGps::new(mc), None)
+    };
+
     let pairs = load_design_pairs(flags)?;
-    let (designs, samples) = build_link_samples(&pairs, per_type, mc.pe)?;
+    let (designs, samples) = build_link_samples(&pairs, per_type, model.cfg.pe)?;
     let (train_set, holdout) = split_holdout(samples, holdout_pct);
-    let mut model = CircuitGps::new(mc);
     eprintln!(
         "pretrain: {} samples over {} design(s) ({} held out), model {}d x {}L x {}h ({} params)",
         train_set.len() + holdout.len(),
@@ -530,13 +638,30 @@ fn cmd_pretrain(flags: &HashMap<String, String>) -> Result<(), String> {
         model.cfg.heads,
         model.num_params()
     );
-    let mut epoch_lines = Vec::new();
+    // Restored epochs re-enter the metrics log so the record always
+    // spans epoch 1..last (loss only; wall-clock detail lived in the
+    // interrupted process).
+    let mut epoch_lines: Vec<String> = resume_state
+        .as_ref()
+        .map(|st| {
+            st.epoch_losses
+                .iter()
+                .enumerate()
+                .map(|(i, l)| format!("{{\"epoch\":{},\"loss\":{l:.6}}}", i + 1))
+                .collect()
+        })
+        .unwrap_or_default();
     let mut eval_lines = Vec::new();
-    let hist = train_with_progress(
+    interrupt::install();
+    let outcome = train_resumable(
         &mut model,
         &train_set,
-        Task::LinkPrediction,
         &tc,
+        ResumableTrain {
+            task: Task::LinkPrediction,
+            resume: resume_state,
+            stop: Some(interrupt::flag()),
+        },
         &mut |m, p| {
             eprintln!(
                 "epoch {:>3}/{}: loss {:.4} (lr {:.2e}, {:.1}s)",
@@ -558,7 +683,35 @@ fn cmd_pretrain(flags: &HashMap<String, String>) -> Result<(), String> {
                 ));
             }
         },
+        &mut |m, st| {
+            if checkpoint_every > 0
+                && st.epochs_done < tc.epochs
+                && st.epochs_done % checkpoint_every == 0
+            {
+                match save_snapshot(m, st, out) {
+                    Ok(()) => {
+                        eprintln!("snapshot: {out} at epoch {}/{}", st.epochs_done, tc.epochs)
+                    }
+                    // A failed snapshot must not kill a healthy training
+                    // run — the next interval (or the final write) retries.
+                    Err(e) => {
+                        eprintln!("warning: snapshot at epoch {} failed: {e}", st.epochs_done)
+                    }
+                }
+            }
+        },
     );
+    let hist = outcome.history;
+
+    if outcome.interrupted {
+        save_snapshot(&model, &outcome.state, out)?;
+        println!(
+            "interrupted: wrote resumable snapshot {out} at epoch {}/{} — continue with \
+             `cirgps pretrain --resume` and the same flags",
+            outcome.state.epochs_done, tc.epochs
+        );
+        return Ok(());
+    }
 
     let (final_set, final_label) = if holdout.is_empty() {
         (&train_set, "train")
@@ -945,6 +1098,8 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
             "workers",
             "queue-cap",
             "cache-cap",
+            "drain-timeout-ms",
+            "request-timeout-ms",
         ],
     )?;
     let defaults = ServeConfig::default();
@@ -953,6 +1108,19 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
     let workers = flag_parse(flags, "workers", defaults.workers)?;
     let queue_cap = flag_parse(flags, "queue-cap", defaults.queue_capacity)?;
     let cache_cap = flag_parse(flags, "cache-cap", defaults.cache_capacity)?;
+    let drain_timeout_ms = flag_parse(
+        flags,
+        "drain-timeout-ms",
+        defaults.drain_timeout.as_millis() as u64,
+    )?;
+    let request_timeout_ms = flag_parse(
+        flags,
+        "request-timeout-ms",
+        defaults.request_timeout.as_millis() as u64,
+    )?;
+    if request_timeout_ms == 0 {
+        return Err("--request-timeout-ms must be positive".into());
+    }
     if max_batch == 0 || workers == 0 {
         return Err("--max-batch and --workers must be positive".into());
     }
@@ -991,6 +1159,8 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         workers,
         queue_capacity: queue_cap,
         cache_capacity: cache_cap,
+        drain_timeout: Duration::from_millis(drain_timeout_ms),
+        request_timeout: Duration::from_millis(request_timeout_ms),
         ..defaults
     };
     let listener = TcpListener::bind(&addr).map_err(|e| format!("binding {addr}: {e}"))?;
@@ -1004,7 +1174,31 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
     );
     eprintln!("endpoints: GET /healthz, GET /metrics, POST /v1/predict (docs/serving.md)");
     let server = Server::new(model, graph, netlist.name.clone(), cfg);
-    server.serve(listener); // runs until the process is killed
+    // SIGINT/SIGTERM → graceful drain: a monitor thread polls the
+    // interrupt latch (signal handlers can only flip an atomic) and
+    // kicks off the drain; `serve` returns once connections finish or
+    // the drain deadline passes.
+    interrupt::install();
+    let done = std::sync::atomic::AtomicBool::new(false);
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            use std::sync::atomic::Ordering;
+            while !done.load(Ordering::SeqCst) {
+                if interrupt::requested() {
+                    eprintln!(
+                        "cirgps-serve: signal received — draining (answering in-flight work, \
+                         refusing new connections, deadline {drain_timeout_ms} ms)"
+                    );
+                    server.begin_drain(local);
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        });
+        server.serve(listener);
+        done.store(true, std::sync::atomic::Ordering::SeqCst);
+    });
+    eprintln!("cirgps-serve: drained; all accepted work answered");
     Ok(())
 }
 

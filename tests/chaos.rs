@@ -1,0 +1,220 @@
+//! CLI-level chaos suite: kill the `cirgps` binary at injected failure
+//! points during checkpointed training and prove that no kill point
+//! ever loses progress — the latest good snapshot (or its `.bak`
+//! rotation sibling) always loads, `--resume` always completes, and the
+//! resumed run reproduces the uninterrupted run's final metrics
+//! exactly.
+//!
+//! Failpoints are armed through the `CIRGPS_FAILPOINTS` environment
+//! variable (see `docs/robustness.md` for the catalog), so each
+//! scenario runs in a fresh subprocess via `CARGO_BIN_EXE_cirgps`.
+#![cfg(feature = "failpoints")]
+
+use std::process::{Command, Output};
+
+fn cirgps() -> Command {
+    let mut c = Command::new(env!("CARGO_BIN_EXE_cirgps"));
+    // Never inherit failpoints from the harness environment.
+    c.env_remove("CIRGPS_FAILPOINTS");
+    c
+}
+
+/// The shared pretrain flag set: tiny model, fixed seed, 4 epochs.
+/// Everything except the output paths must be identical between the
+/// clean run and every chaos/resume run (resume enforces flag parity).
+fn pretrain_args(sp: &str, spf: &str, out: &str, metrics: &str) -> Vec<String> {
+    [
+        "pretrain",
+        "--netlist",
+        sp,
+        "--top",
+        "TIMING_CONTROL",
+        "--spf",
+        spf,
+        "--per-type",
+        "30",
+        "--epochs",
+        "4",
+        "--hidden-dim",
+        "16",
+        "--layers",
+        "1",
+        "--heads",
+        "2",
+        "--pe-dim",
+        "4",
+        "--seed",
+        "7",
+        "--metrics-out",
+        metrics,
+        "--out",
+        out,
+    ]
+    .into_iter()
+    .map(String::from)
+    .collect()
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// Extracts the `"final":{...}` object from a `--metrics-out` log — the
+/// part that must be byte-identical between a clean run and an
+/// interrupted-then-resumed run.
+fn final_metrics(metrics_path: &str) -> String {
+    let log = std::fs::read_to_string(metrics_path)
+        .unwrap_or_else(|e| panic!("read {metrics_path}: {e}"));
+    let start = log
+        .find("\"final\":")
+        .unwrap_or_else(|| panic!("no final metrics in {log}"));
+    let end = start + log[start..].find('}').expect("final object end") + 1;
+    log[start..end].to_string()
+}
+
+#[test]
+fn no_injected_kill_point_loses_progress_and_resume_matches_clean_metrics() {
+    let dir = std::env::temp_dir().join(format!("cirgps_chaos_{}", std::process::id()));
+    let dir_s = dir.to_str().unwrap().to_string();
+    let out = cirgps()
+        .args([
+            "gen", "--kind", "timing", "--preset", "tiny", "--seed", "3", "--out", &dir_s,
+        ])
+        .output()
+        .expect("run gen");
+    assert!(out.status.success(), "gen failed: {}", stderr_of(&out));
+    let sp = format!("{dir_s}/TIMING_CONTROL.sp");
+    let spf = format!("{dir_s}/TIMING_CONTROL.spf");
+
+    // Reference: one uninterrupted run.
+    let clean_ckpt = format!("{dir_s}/clean.ckpt");
+    let clean_json = format!("{dir_s}/clean.json");
+    let out = cirgps()
+        .args(pretrain_args(&sp, &spf, &clean_ckpt, &clean_json))
+        .output()
+        .expect("clean pretrain");
+    assert!(
+        out.status.success(),
+        "clean run failed: {}",
+        stderr_of(&out)
+    );
+    let want_final = final_metrics(&clean_json);
+    assert!(want_final.contains("\"auc\":"), "{want_final}");
+
+    // Chaos scenarios: each kills epoch 3's snapshot write (or the
+    // process right after it) a different way. `@3` = third write/epoch.
+    //
+    //   torn    — snapshot truncated to 64 bytes but "successfully"
+    //             written, then the process aborts: the primary file is
+    //             garbage and MUST be rejected at load; the `.bak`
+    //             rotation sibling (epoch 2) carries the run.
+    //   pre_sync / pre_rename — `kill -9` mid-recipe: the temp file may
+    //             exist but the primary was already rotated to `.bak`.
+    //   post_rename — `kill -9` just after the rename: the primary is
+    //             the complete epoch-3 snapshot.
+    let scenarios: [(&str, String); 4] = [
+        (
+            "torn",
+            "durable.torn_write=truncate:64@3;train.epoch_end=abort@3".into(),
+        ),
+        ("pre_sync", "durable.abort_pre_sync=abort@3".into()),
+        ("pre_rename", "durable.abort_pre_rename=abort@3".into()),
+        ("post_rename", "durable.abort_post_rename=abort@3".into()),
+    ];
+    for (name, spec) in &scenarios {
+        let ckpt = format!("{dir_s}/{name}.ckpt");
+        let json = format!("{dir_s}/{name}.json");
+
+        let out = cirgps()
+            .args(pretrain_args(&sp, &spf, &ckpt, &json))
+            .args(["--checkpoint-every", "1"])
+            .env("CIRGPS_FAILPOINTS", spec)
+            .output()
+            .unwrap_or_else(|e| panic!("{name}: spawn chaos run: {e}"));
+        assert!(
+            !out.status.success(),
+            "{name}: chaos run was supposed to die ({spec})"
+        );
+
+        if *name == "torn" {
+            // The torn primary must be rejected, not silently loaded.
+            let out = cirgps()
+                .args([
+                    "eval",
+                    "--model",
+                    &ckpt,
+                    "--netlist",
+                    &sp,
+                    "--top",
+                    "TIMING_CONTROL",
+                    "--spf",
+                    &spf,
+                    "--per-type",
+                    "5",
+                ])
+                .output()
+                .expect("eval torn");
+            assert!(
+                !out.status.success(),
+                "{name}: a torn checkpoint must not load"
+            );
+            assert!(
+                std::path::Path::new(&format!("{ckpt}.bak")).exists(),
+                "{name}: rotation sibling missing"
+            );
+        }
+
+        // Resume (same flags, no failpoints) must complete...
+        let out = cirgps()
+            .args(pretrain_args(&sp, &spf, &ckpt, &json))
+            .args(["--checkpoint-every", "1", "--resume"])
+            .output()
+            .unwrap_or_else(|e| panic!("{name}: spawn resume run: {e}"));
+        let err = stderr_of(&out);
+        assert!(out.status.success(), "{name}: resume failed: {err}");
+        assert!(err.contains("resuming"), "{name}: {err}");
+        if matches!(*name, "torn" | "pre_sync" | "pre_rename") {
+            // ...off the .bak sibling when the primary is torn/missing.
+            assert!(err.contains("rotation sibling"), "{name}: {err}");
+        }
+
+        // ...and reproduce the uninterrupted run's final metrics.
+        let got_final = final_metrics(&json);
+        assert_eq!(
+            got_final, want_final,
+            "{name}: resumed final metrics diverged from the clean run"
+        );
+    }
+
+    // A single flipped bit anywhere in a good v2 checkpoint must be
+    // rejected by the CRC32 footer with a checksum error.
+    let mut bytes = std::fs::read(&clean_ckpt).expect("read clean ckpt");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x10;
+    let flipped = format!("{dir_s}/flipped.ckpt");
+    std::fs::write(&flipped, &bytes).expect("write flipped ckpt");
+    let out = cirgps()
+        .args([
+            "eval",
+            "--model",
+            &flipped,
+            "--netlist",
+            &sp,
+            "--top",
+            "TIMING_CONTROL",
+            "--spf",
+            &spf,
+            "--per-type",
+            "5",
+        ])
+        .output()
+        .expect("eval flipped");
+    assert!(
+        !out.status.success(),
+        "bit-flipped checkpoint must not load"
+    );
+    let err = stderr_of(&out);
+    assert!(err.contains("checksum mismatch"), "{err}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

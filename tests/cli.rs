@@ -511,6 +511,113 @@ fn cli_checkpoint_mismatch_and_legacy_warnings() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// SIGINT during a checkpointed pretrain must finish the in-flight
+/// epoch, write a resumable snapshot, and exit cleanly; `--resume` with
+/// the same flags must then carry the run to completion.
+#[cfg(unix)]
+#[test]
+fn cli_sigint_writes_resumable_snapshot_and_resume_completes() {
+    use std::io::{BufRead, BufReader, Read};
+    use std::process::Stdio;
+
+    let dir = std::env::temp_dir().join(format!("cirgps_cli_sigint_{}", std::process::id()));
+    let dir_s = dir.to_str().unwrap().to_string();
+    let out = cirgps()
+        .args([
+            "gen", "--kind", "timing", "--preset", "tiny", "--seed", "3", "--out", &dir_s,
+        ])
+        .output()
+        .expect("run gen");
+    assert!(out.status.success());
+    let sp = format!("{dir_s}/TIMING_CONTROL.sp");
+    let spf = format!("{dir_s}/TIMING_CONTROL.spf");
+    let ckpt = format!("{dir_s}/pre.ckpt");
+    // Many more epochs than can finish between "first epoch line seen"
+    // and "SIGINT delivered" — the interrupt always lands mid-run.
+    let train_args = |extra: &[&str]| -> Vec<String> {
+        let mut a: Vec<String> = [
+            "pretrain",
+            "--netlist",
+            &sp,
+            "--top",
+            "TIMING_CONTROL",
+            "--spf",
+            &spf,
+            "--per-type",
+            "30",
+            "--epochs",
+            "40",
+            "--hidden-dim",
+            "16",
+            "--layers",
+            "1",
+            "--heads",
+            "2",
+            "--pe-dim",
+            "4",
+            "--seed",
+            "7",
+            "--checkpoint-every",
+            "5",
+            "--out",
+            &ckpt,
+        ]
+        .into_iter()
+        .map(String::from)
+        .collect();
+        a.extend(extra.iter().map(|s| s.to_string()));
+        a
+    };
+
+    let mut child = cirgps()
+        .args(train_args(&[]))
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn pretrain");
+    let mut err_reader = BufReader::new(child.stderr.take().unwrap());
+    let mut seen = String::new();
+    loop {
+        let mut line = String::new();
+        if err_reader.read_line(&mut line).expect("read stderr") == 0 {
+            panic!("pretrain exited before its first epoch:\n{seen}");
+        }
+        seen.push_str(&line);
+        if line.starts_with("epoch ") {
+            break;
+        }
+    }
+    let kill = Command::new("kill")
+        .args(["-INT", &child.id().to_string()])
+        .status()
+        .expect("send SIGINT");
+    assert!(kill.success());
+    let mut rest = String::new();
+    err_reader.read_to_string(&mut rest).expect("drain stderr");
+    let out = child.wait_with_output().expect("wait pretrain");
+    assert!(
+        out.status.success(),
+        "interrupted pretrain must exit cleanly:\n{seen}{rest}"
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("interrupted: wrote resumable snapshot"),
+        "stdout: {text}\nstderr: {seen}{rest}"
+    );
+
+    let out = cirgps()
+        .args(train_args(&["--resume"]))
+        .output()
+        .expect("run resume");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "resume failed: {err}");
+    assert!(err.contains("resuming"), "{err}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains(&format!("wrote {ckpt}")), "{text}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Boots the daemon on port 0 against a generated design, queries it
 /// over HTTP, and shuts it down — the CLI-level smoke test of `serve`.
 #[test]
