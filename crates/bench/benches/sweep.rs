@@ -1,0 +1,9 @@
+//! Full-chip sweep planner throughput: amortized per-pair cost of the
+//! shared-subgraph batch executor over enumerated candidate pairs. The
+//! measurement body lives in `cirgps_bench::perf` so `bench_json` can
+//! snapshot it too.
+
+use criterion::{criterion_group, criterion_main};
+
+criterion_group!(benches, cirgps_bench::perf::sweep_throughput_suite);
+criterion_main!(benches);

@@ -1,6 +1,6 @@
 //! Perf-snapshot harness: runs the criterion suites (`layer_forward`,
-//! `attention`, `sampling`, `full_pipeline`, `serve_throughput`)
-//! in-process and writes every result as a
+//! `attention`, `sampling`, `full_pipeline`, `serve_throughput`,
+//! `sweep_throughput`) in-process and writes every result as a
 //! JSON line `{"group", "name", "ns_per_iter", "iters"}` to
 //! `BENCH_<date>.json`, so successive PRs accumulate a comparable perf
 //! trajectory.
@@ -103,6 +103,8 @@ fn main() -> ExitCode {
     perf::full_pipeline_suite(&mut c);
     eprintln!("== serve_throughput ==");
     perf::serve_throughput_suite(&mut c);
+    eprintln!("== sweep_throughput ==");
+    perf::sweep_throughput_suite(&mut c);
 
     let mut f = std::fs::File::create(&args.out_path).expect("cannot create bench output file");
     for r in c.results() {
@@ -136,11 +138,17 @@ fn main() -> ExitCode {
         eprintln!("bench-regression gate: PASS");
         ExitCode::SUCCESS
     } else {
-        let names: Vec<&str> = report
+        let mut names: Vec<String> = report
             .regressed_groups()
             .iter()
-            .map(|g| g.group.as_str())
+            .map(|g| g.group.clone())
             .collect();
+        names.extend(
+            report
+                .missing_groups
+                .iter()
+                .map(|g| format!("{g} (missing from fresh run)")),
+        );
         eprintln!("bench-regression gate: FAIL ({})", names.join(", "));
         ExitCode::FAILURE
     }

@@ -97,6 +97,9 @@ pub struct GroupDelta {
 pub struct CompareReport {
     /// Per-group aggregates (tracked groups only: present in both files).
     pub groups: Vec<GroupDelta>,
+    /// Baseline groups with no benchmark in the fresh run — a suite that
+    /// silently stopped running would otherwise read as "no regression".
+    pub missing_groups: Vec<String>,
     /// Allowed regression in percent (e.g. `30.0`).
     pub tolerance_pct: f64,
 }
@@ -111,9 +114,10 @@ impl CompareReport {
             .collect()
     }
 
-    /// Whether the gate passes.
+    /// Whether the gate passes: no regressed group and no baseline group
+    /// missing from the fresh run.
     pub fn passed(&self) -> bool {
-        self.regressed_groups().is_empty()
+        self.regressed_groups().is_empty() && self.missing_groups.is_empty()
     }
 }
 
@@ -143,6 +147,9 @@ impl fmt::Display for CompareReport {
                     m.ratio()
                 )?;
             }
+        }
+        for g in &self.missing_groups {
+            writeln!(f, "{g:<28} MISSING from fresh run (baseline-only group)")?;
         }
         writeln!(
             f,
@@ -177,6 +184,16 @@ pub fn compare(
             new_ns: e.ns_per_iter,
         });
     }
+    let current_groups: std::collections::BTreeSet<&str> =
+        current.iter().map(|e| e.group.as_str()).collect();
+    let mut missing_groups: Vec<String> = baseline
+        .iter()
+        .map(|e| e.group.as_str())
+        .filter(|g| !current_groups.contains(g))
+        .map(String::from)
+        .collect();
+    missing_groups.sort();
+    missing_groups.dedup();
     let groups = groups
         .into_iter()
         .map(|(group, members)| {
@@ -190,6 +207,7 @@ pub fn compare(
         .collect();
     CompareReport {
         groups,
+        missing_groups,
         tolerance_pct,
     }
 }
@@ -266,6 +284,22 @@ mod tests {
         let report = compare(&base, &parse_bench_lines(&cur), 30.0);
         assert!(report.passed());
         assert_eq!(report.groups[0].members.len(), 1);
+    }
+
+    #[test]
+    fn baseline_only_groups_fail_the_gate_and_are_listed() {
+        let base = format!(
+            "{}\n{}",
+            entry("kept", "a", 100.0),
+            entry("vanished", "x", 50.0)
+        );
+        let cur = parse_bench_lines(&entry("kept", "a", 100.0));
+        let report = compare(&parse_bench_lines(&base), &cur, 30.0);
+        assert_eq!(report.missing_groups, vec!["vanished".to_string()]);
+        assert!(!report.passed(), "{report}");
+        assert!(report.regressed_groups().is_empty());
+        assert!(format!("{report}").contains("vanished"), "{report}");
+        assert!(format!("{report}").contains("MISSING"), "{report}");
     }
 
     #[test]

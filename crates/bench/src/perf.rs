@@ -197,6 +197,63 @@ pub fn serve_throughput_suite(c: &mut Criterion) {
     });
 }
 
+/// Full-chip sweep planner driver: amortized per-pair cost of
+/// [`circuitgps::sweep_pairs`] over planner-enumerated candidate pairs
+/// at three fleet sizes. One iteration sweeps all `n` pairs end to end
+/// (extract → dedup → batch forward → fan out), so the amortized
+/// per-pair number is `ns_per_iter / n`. Same design, model and sampler
+/// as `sample_pe_predict_end_to_end`, whose per-pair time is the
+/// un-amortized baseline the planner must beat by ≥3× at the 10k size
+/// (see docs/sweep.md).
+pub fn sweep_throughput_suite(c: &mut Criterion) {
+    use circuitgps::{sweep_pairs, CandidatePairs, SweepConfig, SweepTask};
+
+    let d = DesignData::load(DesignKind::TimingControl, SizePreset::Tiny, 7);
+    let xcn = XcNormalizer::fit(&[&d.graph]);
+    let model = CircuitGps::new(default_model(PeKind::Dspd, 7));
+    let all: Vec<(u32, u32)> = CandidatePairs::new(&d.graph, 0, 10_000).collect();
+    assert!(
+        all.len() == 10_000,
+        "TIMING tiny should enumerate >=10k candidates, got {}",
+        all.len()
+    );
+    let cfg = SweepConfig {
+        task: SweepTask::Link,
+        sampler: SamplerConfig {
+            hops: 1,
+            max_nodes: 2048,
+        },
+        chunk: 4096,
+        threads: 1,
+        dedup: true,
+    };
+
+    let mut group = c.benchmark_group("sweep_throughput");
+    group.sample_size(10);
+    for n in [100usize, 1000, 10_000] {
+        let pairs = &all[..n];
+        group.bench_function(format!("amortized_pairs/{n}"), |b| {
+            b.iter(|| {
+                let mut acc = 0f32;
+                let mut emit = |_: &[(u32, u32)], vs: &[f32]| {
+                    acc += vs.iter().sum::<f32>();
+                    true
+                };
+                let stats = sweep_pairs(
+                    &model,
+                    &xcn,
+                    &d.graph,
+                    pairs.iter().copied(),
+                    &cfg,
+                    &mut emit,
+                );
+                std::hint::black_box((acc, stats.pairs))
+            })
+        });
+    }
+    group.finish();
+}
+
 /// Table IV driver: enclosing-subgraph sampling throughput (the paper's
 /// sampling step is the dataset-construction bottleneck at scale).
 pub fn sampling_suite(c: &mut Criterion) {

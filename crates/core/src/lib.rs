@@ -38,6 +38,7 @@ pub mod interrupt;
 mod metrics;
 mod model;
 mod prepared;
+mod sweep;
 mod train;
 
 pub use checkpoint::{
@@ -50,6 +51,7 @@ pub use infer::{InferenceSession, Query};
 pub use metrics::{link_metrics, mape, reg_metrics, roc_auc, LinkMetrics, RegMetrics};
 pub use model::{BatchLayout, CircuitGps};
 pub use prepared::{prepare_link_dataset, prepare_node_dataset, PreparedSample};
+pub use sweep::{sweep_pairs, CandidatePairs, SweepConfig, SweepSink, SweepStats, SweepTask};
 pub use train::{
     evaluate_link, evaluate_regression, finetune_regression, finetune_regression_with_progress,
     predict_regression, pretrain_link, train, train_resumable, train_with_progress, EpochProgress,

@@ -30,8 +30,10 @@ mod dataset;
 mod links;
 mod normalize;
 mod subgraph;
+mod sweep;
 
 pub use dataset::{DatasetConfig, LinkDataset, LinkSample, NodeDataset, NodeSample};
 pub use links::{generate_negatives, Link, LinkSet};
 pub use normalize::{CapNormalizer, XcNormalizer};
 pub use subgraph::{SamplerConfig, Subgraph, SubgraphSampler, UNREACHABLE};
+pub use sweep::SweepSampler;

@@ -147,6 +147,54 @@ pub fn write_response(
     stream.flush()
 }
 
+/// Writes the head of a `Transfer-Encoding: chunked` response. The body
+/// must follow as zero or more [`write_chunk`] calls terminated by
+/// [`finish_chunked`]. Used by streaming endpoints (`/v1/sweep`) whose
+/// total length is unknown when the status line goes out.
+///
+/// # Errors
+///
+/// Propagates stream I/O errors.
+pub fn write_chunked_head(
+    stream: &mut impl Write,
+    status: u16,
+    content_type: &str,
+) -> io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        _ => "Internal Server Error",
+    };
+    write!(
+        stream,
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: {content_type}\r\ntransfer-encoding: chunked\r\n\r\n"
+    )
+}
+
+/// Writes one body chunk (`<hex len>\r\n<data>\r\n`). Empty payloads are
+/// skipped — a zero-length chunk would terminate the body early.
+///
+/// # Errors
+///
+/// Propagates stream I/O errors.
+pub fn write_chunk(stream: &mut impl Write, data: &[u8]) -> io::Result<()> {
+    if data.is_empty() {
+        return Ok(());
+    }
+    write!(stream, "{:x}\r\n", data.len())?;
+    stream.write_all(data)?;
+    stream.write_all(b"\r\n")
+}
+
+/// Terminates a chunked body (`0\r\n\r\n`) and flushes the stream.
+///
+/// # Errors
+///
+/// Propagates stream I/O errors.
+pub fn finish_chunked(stream: &mut impl Write) -> io::Result<()> {
+    stream.write_all(b"0\r\n\r\n")?;
+    stream.flush()
+}
+
 fn bad_data(msg: String) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg)
 }
@@ -233,6 +281,24 @@ mod tests {
         let text = String::from_utf8(out).unwrap();
         assert!(
             text.starts_with("HTTP/1.1 504 Gateway Timeout\r\n"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn chunked_framing_round_trips() {
+        let mut out = Vec::new();
+        write_chunked_head(&mut out, 200, "application/jsonl").unwrap();
+        write_chunk(&mut out, b"hello\n").unwrap();
+        write_chunk(&mut out, b"").unwrap(); // skipped, not a terminator
+        write_chunk(&mut out, b"world\n").unwrap();
+        finish_chunked(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("transfer-encoding: chunked\r\n"), "{text}");
+        assert!(!text.contains("content-length"), "{text}");
+        assert!(
+            text.ends_with("6\r\nhello\n\r\n6\r\nworld\n\r\n0\r\n\r\n"),
             "{text}"
         );
     }

@@ -43,6 +43,13 @@ pub struct Metrics {
     /// Requests answered `504` because they missed their deadline
     /// (`request_timeout`) while waiting on the engine.
     pub requests_timeout: AtomicU64,
+    /// `/v1/sweep` requests that parsed and started streaming.
+    pub http_sweep: AtomicU64,
+    /// Pairs answered across all sweep requests.
+    pub sweep_pairs_total: AtomicU64,
+    /// Unique model forwards executed across all sweep requests (the gap
+    /// to `sweep_pairs_total` is the shared-subgraph dedup win).
+    pub sweep_forwards_total: AtomicU64,
 }
 
 impl Metrics {
@@ -72,7 +79,7 @@ impl Metrics {
     /// the server, not here).
     pub fn render(&self, queue_depth: usize, draining: bool) -> String {
         let c = |a: &AtomicU64| a.load(Ordering::Relaxed);
-        let rows: [(&str, &str, u64); 14] = [
+        let rows: [(&str, &str, u64); 17] = [
             ("requests_healthz_total", "counter", c(&self.http_healthz)),
             ("requests_metrics_total", "counter", c(&self.http_metrics)),
             ("requests_predict_total", "counter", c(&self.http_predict)),
@@ -98,6 +105,13 @@ impl Metrics {
                 "requests_timeout_total",
                 "counter",
                 c(&self.requests_timeout),
+            ),
+            ("requests_sweep_total", "counter", c(&self.http_sweep)),
+            ("sweep_pairs_total", "counter", c(&self.sweep_pairs_total)),
+            (
+                "sweep_forwards_total",
+                "counter",
+                c(&self.sweep_forwards_total),
             ),
         ];
         let mut out = String::with_capacity(1024);
@@ -150,6 +164,22 @@ mod tests {
         assert!(text.contains("cirgps_serve_draining 1"), "{text}");
         assert!(
             text.contains("cirgps_serve_requests_timeout_total 0"),
+            "{text}"
+        );
+        m.sweep_pairs_total.fetch_add(100, Ordering::Relaxed);
+        m.sweep_forwards_total.fetch_add(9, Ordering::Relaxed);
+        Metrics::inc(&m.http_sweep);
+        let text = m.render(0, false);
+        assert!(
+            text.contains("cirgps_serve_requests_sweep_total 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("cirgps_serve_sweep_pairs_total 100"),
+            "{text}"
+        );
+        assert!(
+            text.contains("cirgps_serve_sweep_forwards_total 9"),
             "{text}"
         );
     }

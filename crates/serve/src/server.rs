@@ -1,6 +1,6 @@
 //! The TCP front end: accept loop, per-connection HTTP handling, the
-//! `/healthz`, `/metrics` and `/v1/predict` endpoints, and scheduler
-//! worker lifecycle.
+//! `/healthz`, `/metrics`, `/v1/predict` and `/v1/sweep` endpoints, and
+//! scheduler worker lifecycle.
 //!
 //! Threading model: `N = workers` scheduler threads each own an
 //! [`InferenceSession`] sharing the server's one model (weights are
@@ -17,11 +17,15 @@ use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use circuit_graph::CircuitGraph;
-use circuitgps::{CircuitGps, InferenceSession};
+use circuitgps::{
+    sweep_pairs, CandidatePairs, CircuitGps, InferenceSession, SweepConfig, SweepTask,
+};
 use subgraph_sample::{SamplerConfig, XcNormalizer};
 
 use crate::engine::{Engine, SubmitError, TaskKind};
-use crate::http::{read_request, write_response, Request};
+use crate::http::{
+    finish_chunked, read_request, write_chunk, write_chunked_head, write_response, Request,
+};
 use crate::json::{escape, Json};
 use crate::metrics::Metrics;
 
@@ -277,6 +281,34 @@ impl Server {
                     let close = req.close
                         || self.shutdown.load(Ordering::SeqCst)
                         || self.draining.load(Ordering::SeqCst);
+                    // Sweeps stream a chunked body directly to the
+                    // socket (their length is unknown up front), so they
+                    // bypass the buffered `route` path.
+                    let path = req.path.split('?').next().unwrap_or("");
+                    if req.method == "POST" && path == "/v1/sweep" {
+                        match self.handle_sweep(&req.body, &mut writer) {
+                            Ok(()) if !close => continue,
+                            Ok(()) => return,
+                            Err(SweepError::Bad(msg)) => {
+                                Metrics::inc(&self.engine.metrics().http_bad_request);
+                                let body = format!("{{\"error\":\"{}\"}}", escape(&msg));
+                                if write_response(
+                                    &mut writer,
+                                    400,
+                                    "application/json",
+                                    &[],
+                                    body.as_bytes(),
+                                )
+                                .is_err()
+                                    || close
+                                {
+                                    return;
+                                }
+                                continue;
+                            }
+                            Err(SweepError::Io) => return,
+                        }
+                    }
                     let (status, content_type, body) = self.route(&req);
                     // Backpressure is transient — tell clients when to
                     // come back (docs/serving.md recommends exponential
@@ -409,8 +441,10 @@ impl Server {
                         .as_arr()
                         .filter(|a| a.len() == 2)
                         .ok_or_else(|| bad(&format!("pairs[{i}] is not a two-element array")))?;
-                    let a = node_id(&pair[0], n, &format!("pairs[{i}][0]"))?;
-                    let b = node_id(&pair[1], n, &format!("pairs[{i}][1]"))?;
+                    let a = node_id(&pair[0], n, &format!("pairs[{i}][0]"))
+                        .map_err(PredictError::Bad)?;
+                    let b = node_id(&pair[1], n, &format!("pairs[{i}][1]"))
+                        .map_err(PredictError::Bad)?;
                     if a == b {
                         return Err(bad(&format!(
                             "pairs[{i}] has identical endpoints (use task \"ground\" for nodes)"
@@ -437,7 +471,11 @@ impl Server {
                 let keys = nodes
                     .iter()
                     .enumerate()
-                    .map(|(i, v)| node_id(v, n, &format!("nodes[{i}]")).map(|id| (id, id)))
+                    .map(|(i, v)| {
+                        node_id(v, n, &format!("nodes[{i}]"))
+                            .map(|id| (id, id))
+                            .map_err(PredictError::Bad)
+                    })
                     .collect::<Result<Vec<_>, _>>()?;
                 (TaskKind::Ground, keys, "caps_norm")
             }
@@ -483,16 +521,177 @@ impl Server {
         out.push_str(&format!("],\"count\":{}}}", preds.len()));
         Ok(out)
     }
+
+    /// Runs one planned sweep on the connection thread, streaming a
+    /// chunked JSONL body: one line per pair in input order, then a
+    /// `{"done":true,...}` trailer with the planner stats. Bypasses the
+    /// engine queue — a sweep is a bulk job with its own batching, not a
+    /// latency-sensitive query — and shares the server's model, so it is
+    /// bitwise-identical to `/v1/predict` on the same pairs.
+    fn handle_sweep(
+        &self,
+        body: &[u8],
+        writer: &mut impl std::io::Write,
+    ) -> Result<(), SweepError> {
+        let (task, input, chunk) = self.parse_sweep(body).map_err(SweepError::Bad)?;
+        let metrics = self.engine.metrics();
+        Metrics::inc(&metrics.http_sweep);
+        if write_chunked_head(writer, 200, "application/jsonl").is_err() {
+            return Err(SweepError::Io);
+        }
+
+        let cfg = SweepConfig {
+            task,
+            sampler: self.cfg.sampler,
+            chunk,
+            threads: 1,
+            dedup: true,
+        };
+        let label = match task {
+            SweepTask::Link => "prob",
+            SweepTask::Coupling => "cap_norm",
+        };
+        let mut io_err = false;
+        let mut buf = String::new();
+        let mut emit = |ps: &[(u32, u32)], vs: &[f32]| -> bool {
+            buf.clear();
+            for (&(a, b), v) in ps.iter().zip(vs) {
+                // Shortest round-trip formatting, same exactness contract
+                // as `/v1/predict`.
+                buf.push_str(&format!("{{\"a\":{a},\"b\":{b},\"{label}\":{v}}}\n"));
+            }
+            if write_chunk(writer, buf.as_bytes()).is_err() {
+                io_err = true;
+                return false;
+            }
+            true
+        };
+        let stats = match input {
+            SweepInput::Pairs(list) => {
+                sweep_pairs(&self.model, &self.xcn, &self.graph, list, &cfg, &mut emit)
+            }
+            SweepInput::Enumerate {
+                per_node_cap,
+                max_pairs,
+            } => {
+                let it = CandidatePairs::new(&self.graph, per_node_cap, max_pairs);
+                sweep_pairs(&self.model, &self.xcn, &self.graph, it, &cfg, &mut emit)
+            }
+        };
+        if io_err {
+            return Err(SweepError::Io);
+        }
+        metrics
+            .sweep_pairs_total
+            .fetch_add(stats.pairs as u64, Ordering::Relaxed);
+        metrics
+            .sweep_forwards_total
+            .fetch_add(stats.unique_forwards as u64, Ordering::Relaxed);
+        let trailer = format!(
+            "{{\"done\":true,\"pairs\":{},\"chunks\":{},\"unique_forwards\":{},\"dedup_hits\":{}}}\n",
+            stats.pairs, stats.chunks, stats.unique_forwards, stats.dedup_hits
+        );
+        if write_chunk(writer, trailer.as_bytes()).is_err() || finish_chunked(writer).is_err() {
+            return Err(SweepError::Io);
+        }
+        Ok(())
+    }
+
+    /// Validates a sweep request body. Everything here happens *before*
+    /// the chunked head goes out, so failures still get a clean `400`.
+    fn parse_sweep(&self, body: &[u8]) -> Result<(SweepTask, SweepInput, usize), String> {
+        let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+        let doc = Json::parse(text).map_err(|e| format!("bad JSON: {e}"))?;
+        let task = match doc.get("task").and_then(Json::as_str) {
+            Some("link") => SweepTask::Link,
+            Some("cap") => SweepTask::Coupling,
+            Some(other) => return Err(format!("unknown task {other:?} (expected link|cap)")),
+            None => return Err("missing \"task\" (expected link|cap)".into()),
+        };
+        let chunk = match doc.get("chunk") {
+            None => 2048usize,
+            Some(v) => v
+                .as_u32()
+                .filter(|&c| c > 0)
+                .ok_or_else(|| "\"chunk\" must be a positive integer".to_string())?
+                as usize,
+        };
+        let n = self.graph.num_nodes() as u32;
+        let input = match (doc.get("pairs"), doc.get("enumerate")) {
+            (Some(_), Some(_)) => {
+                return Err("provide either \"pairs\" or \"enumerate\", not both".into())
+            }
+            (Some(p), None) => {
+                let pairs = p
+                    .as_arr()
+                    .ok_or_else(|| "\"pairs\" must be an array of [a,b] pairs".to_string())?;
+                if pairs.is_empty() {
+                    return Err("empty pair list".into());
+                }
+                let mut keys = Vec::with_capacity(pairs.len());
+                for (i, p) in pairs.iter().enumerate() {
+                    let pair = p
+                        .as_arr()
+                        .filter(|a| a.len() == 2)
+                        .ok_or_else(|| format!("pairs[{i}] is not a two-element array"))?;
+                    let a = node_id(&pair[0], n, &format!("pairs[{i}][0]"))?;
+                    let b = node_id(&pair[1], n, &format!("pairs[{i}][1]"))?;
+                    if a == b {
+                        return Err(format!("pairs[{i}] has identical endpoints"));
+                    }
+                    keys.push((a, b));
+                }
+                SweepInput::Pairs(keys)
+            }
+            (None, Some(e)) => {
+                let cap_field = |name: &str| -> Result<usize, String> {
+                    match e.get(name) {
+                        None => Ok(0),
+                        Some(v) => v.as_u32().map(|c| c as usize).ok_or_else(|| {
+                            format!("\"enumerate.{name}\" must be a non-negative integer")
+                        }),
+                    }
+                };
+                SweepInput::Enumerate {
+                    per_node_cap: cap_field("per_node_cap")?,
+                    max_pairs: cap_field("max_pairs")?,
+                }
+            }
+            (None, None) => {
+                return Err("missing \"pairs\" array or \"enumerate\" object".into());
+            }
+        };
+        Ok((task, input, chunk))
+    }
 }
 
-fn node_id(v: &Json, num_nodes: u32, what: &str) -> Result<u32, PredictError> {
+/// The pair source of a sweep request.
+enum SweepInput {
+    /// Explicit `[a,b]` pairs from the request body.
+    Pairs(Vec<(u32, u32)>),
+    /// Planner-enumerated candidates (`0` = unlimited for both caps).
+    Enumerate {
+        per_node_cap: usize,
+        max_pairs: usize,
+    },
+}
+
+/// Sweep failure modes: `Bad` happens before any bytes go out (normal
+/// `400`); `Io` means the chunked stream broke and the connection is
+/// unusable.
+enum SweepError {
+    Bad(String),
+    Io,
+}
+
+fn node_id(v: &Json, num_nodes: u32, what: &str) -> Result<u32, String> {
     let id = v
         .as_u32()
-        .ok_or_else(|| bad(&format!("{what} is not a non-negative integer")))?;
+        .ok_or_else(|| format!("{what} is not a non-negative integer"))?;
     if id >= num_nodes {
-        return Err(bad(&format!(
+        return Err(format!(
             "{what} = {id} out of range (graph has {num_nodes} nodes)"
-        )));
+        ));
     }
     Ok(id)
 }

@@ -8,7 +8,7 @@
 //!    `predict_link_batch`/`predict_reg_batch` call through an
 //!    [`InferenceSession`] over the same model and graph.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::Ordering;
 use std::sync::Barrier;
@@ -114,6 +114,86 @@ fn read_response(reader: &mut impl BufRead) -> (u16, String) {
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body).expect("body");
     (status, String::from_utf8(body).expect("utf-8 body"))
+}
+
+/// Sends one request and reads a `Transfer-Encoding: chunked` response,
+/// returning (status, decoded body). Panics if the response is not
+/// chunked — the sweep endpoint must stream.
+fn http_chunked(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    write!(
+        stream,
+        "POST {path} HTTP/1.1\r\nHost: loopback\r\nConnection: close\r\n\
+         Content-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send");
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).expect("status line");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line {status_line:?}"));
+    let mut chunked = false;
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("header");
+        let line = line.trim_end().to_ascii_lowercase();
+        if line.is_empty() {
+            break;
+        }
+        if line == "transfer-encoding: chunked" {
+            chunked = true;
+        }
+        if let Some(v) = line.strip_prefix("content-length:") {
+            content_length = v.trim().parse().expect("content-length");
+        }
+    }
+    if !chunked {
+        // Error responses (400) come back fixed-length.
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body).expect("body");
+        return (status, String::from_utf8(body).expect("utf-8 body"));
+    }
+    let mut body = String::new();
+    loop {
+        let mut size_line = String::new();
+        reader.read_line(&mut size_line).expect("chunk size");
+        let size = usize::from_str_radix(size_line.trim(), 16)
+            .unwrap_or_else(|_| panic!("bad chunk size {size_line:?}"));
+        if size == 0 {
+            let mut end = String::new();
+            reader.read_line(&mut end).expect("final CRLF");
+            break;
+        }
+        let mut chunk = vec![0u8; size];
+        reader.read_exact(&mut chunk).expect("chunk data");
+        body.push_str(std::str::from_utf8(&chunk).expect("utf-8 chunk"));
+        let mut crlf = [0u8; 2];
+        reader.read_exact(&mut crlf).expect("chunk CRLF");
+        assert_eq!(&crlf, b"\r\n");
+    }
+    (status, body)
+}
+
+/// Pulls `"key":<number>` out of one JSONL line as raw text.
+fn field<'a>(line: &'a str, key: &str) -> &'a str {
+    let needle = format!("\"{key}\":");
+    let start = line
+        .find(&needle)
+        .unwrap_or_else(|| panic!("no {key:?} in {line}"))
+        + needle.len();
+    let rest = &line[start..];
+    let end = rest
+        .find([',', '}'])
+        .unwrap_or_else(|| panic!("unterminated {key:?} in {line}"));
+    &rest[..end]
 }
 
 /// Extracts the numeric array labelled `key` from a response body and
@@ -354,6 +434,147 @@ fn graceful_drain_answers_in_flight_bitwise_and_refuses_new_connections() {
         TcpStream::connect(addr).is_err(),
         "listener must stay closed after the drain completes"
     );
+}
+
+#[test]
+fn sweep_endpoint_streams_chunked_jsonl_bitwise_equal_to_predict() {
+    let (graph, pairs) = toy_graph();
+    let model = small_model();
+    let server = Server::new(
+        model,
+        graph,
+        "TOY".into(),
+        ServeConfig {
+            max_wait: Duration::ZERO,
+            workers: 1,
+            read_timeout: Duration::from_secs(5),
+            ..ServeConfig::default()
+        },
+    );
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+
+    let mut session = server.session();
+    let want_links = session.predict_links(&pairs);
+    let want_caps = session.predict_couplings(&pairs);
+
+    std::thread::scope(|s| {
+        s.spawn(|| server.serve(listener));
+
+        // Explicit pairs, link task, tiny chunk so the response spans
+        // several windows.
+        let pair_list = pairs
+            .iter()
+            .map(|&(a, b)| format!("[{a},{b}]"))
+            .collect::<Vec<_>>()
+            .join(",");
+        let (status, body) = http_chunked(
+            addr,
+            "/v1/sweep",
+            &format!("{{\"task\":\"link\",\"pairs\":[{pair_list}],\"chunk\":3}}"),
+        );
+        assert_eq!(status, 200, "{body}");
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines.len(), pairs.len() + 1, "{body}");
+        let trailer = lines[lines.len() - 1];
+        assert!(trailer.contains("\"done\":true"), "{trailer}");
+        assert_eq!(field(trailer, "pairs"), format!("{}", pairs.len()));
+        assert_eq!(
+            field(trailer, "chunks"),
+            format!("{}", pairs.len().div_ceil(3))
+        );
+        for (i, line) in lines[..pairs.len()].iter().enumerate() {
+            let a: u32 = field(line, "a").parse().unwrap();
+            let b: u32 = field(line, "b").parse().unwrap();
+            assert_eq!((a, b), pairs[i], "order must match input: {line}");
+            let prob: f32 = field(line, "prob").parse().unwrap();
+            assert_eq!(
+                prob.to_bits(),
+                want_links[i].to_bits(),
+                "pair {i}: swept {prob} != predict {}",
+                want_links[i]
+            );
+        }
+
+        // Cap task shares the same parity contract.
+        let (status, body) = http_chunked(
+            addr,
+            "/v1/sweep",
+            &format!("{{\"task\":\"cap\",\"pairs\":[{pair_list}]}}"),
+        );
+        assert_eq!(status, 200, "{body}");
+        for (i, line) in body.lines().take(pairs.len()).enumerate() {
+            let cap: f32 = field(line, "cap_norm").parse().unwrap();
+            assert_eq!(cap.to_bits(), want_caps[i].to_bits(), "{line}");
+        }
+
+        // Planner-enumerated candidates: every emitted pair must again
+        // match a direct prediction bitwise.
+        let (status, body) = http_chunked(
+            addr,
+            "/v1/sweep",
+            "{\"task\":\"link\",\"enumerate\":{\"per_node_cap\":4}}",
+        );
+        assert_eq!(status, 200, "{body}");
+        let lines: Vec<&str> = body.lines().collect();
+        let trailer = lines[lines.len() - 1];
+        assert!(trailer.contains("\"done\":true"), "{trailer}");
+        let n_enum: usize = field(trailer, "pairs").parse().unwrap();
+        assert!(n_enum > 0, "enumeration found no candidates: {trailer}");
+        assert_eq!(lines.len(), n_enum + 1);
+        let enum_pairs: Vec<(u32, u32)> = lines[..n_enum]
+            .iter()
+            .map(|l| {
+                (
+                    field(l, "a").parse().unwrap(),
+                    field(l, "b").parse().unwrap(),
+                )
+            })
+            .collect();
+        let want_enum = session.predict_links(&enum_pairs);
+        for (i, line) in lines[..n_enum].iter().enumerate() {
+            let prob: f32 = field(line, "prob").parse().unwrap();
+            assert_eq!(prob.to_bits(), want_enum[i].to_bits(), "{line}");
+        }
+
+        // Malformed sweeps get a clean fixed-length 400.
+        for (body, expect) in [
+            ("{\"task\":\"link\"}", "missing \\\"pairs\\\""),
+            ("{\"task\":\"cap\",\"pairs\":[],\"chunk\":0}", "chunk"),
+            ("{\"task\":\"frob\",\"pairs\":[[0,1]]}", "unknown task"),
+            (
+                "{\"task\":\"link\",\"pairs\":[[0,1]],\"enumerate\":{}}",
+                "not both",
+            ),
+            ("{\"task\":\"link\",\"pairs\":[[2,2]]}", "identical"),
+            ("{\"task\":\"link\",\"pairs\":[]}", "empty pair list"),
+        ] {
+            let (status, resp) = http_chunked(addr, "/v1/sweep", body);
+            assert_eq!(status, 400, "{body} -> {resp}");
+            assert!(resp.contains(expect), "{body} -> {resp}");
+        }
+
+        // Sweep counters are exported.
+        let (status, metrics) = http(addr, "GET", "/metrics", "");
+        assert_eq!(status, 200);
+        assert!(
+            metrics.contains("cirgps_serve_requests_sweep_total 3"),
+            "{metrics}"
+        );
+        let swept: u64 = metrics
+            .lines()
+            .find_map(|l| l.strip_prefix("cirgps_serve_sweep_pairs_total "))
+            .expect("sweep_pairs_total row")
+            .parse()
+            .unwrap();
+        assert_eq!(swept as usize, 2 * pairs.len() + n_enum, "{metrics}");
+        assert!(
+            metrics.contains("cirgps_serve_sweep_forwards_total"),
+            "{metrics}"
+        );
+
+        server.shutdown(addr);
+    });
 }
 
 #[test]

@@ -22,9 +22,10 @@ use cirgps::datagen::{generate_with_parasitics, DesignKind, SizePreset};
 use cirgps::graph::{netlist_to_graph, CircuitGraph, GraphStats, XcSpec};
 use cirgps::model::{
     evaluate_link, evaluate_regression, finetune_regression_with_progress, interrupt,
-    prepare_link_dataset, train_resumable, write_atomic, CheckpointFormat, CircuitGps,
-    FinetuneMode, InferenceSession, LinkMetrics, ModelConfig, PreparedSample, RegMetrics,
-    ResumableTrain, Task, TrainConfig, TrainState, TRAIN_STATE_SECTION,
+    prepare_link_dataset, sweep_pairs, train_resumable, write_atomic, CandidatePairs,
+    CheckpointFormat, CircuitGps, FinetuneMode, InferenceSession, LinkMetrics, ModelConfig,
+    PreparedSample, RegMetrics, ResumableTrain, SweepConfig, SweepTask, Task, TrainConfig,
+    TrainState, TRAIN_STATE_SECTION,
 };
 use cirgps::netlist::{Netlist, SpfFile, SpiceFile};
 use cirgps::sample::{CapNormalizer, DatasetConfig, LinkDataset, SamplerConfig, XcNormalizer};
@@ -51,6 +52,7 @@ fn main() -> ExitCode {
         "finetune" => cmd_finetune(&flags),
         "eval" => cmd_eval(&flags),
         "predict" => cmd_predict(&flags),
+        "sweep" => cmd_sweep(&flags),
         "serve" => cmd_serve(&flags),
         "energy" => cmd_energy(&flags),
         other => Err(format!("unknown command {other:?}\n{USAGE}")),
@@ -156,6 +158,38 @@ USAGE:
         --out FILE.json   write JSON lines there instead of stdout
       Output: one JSON object per candidate pair.
 
+  cirgps sweep  --netlist FILE.sp --top NAME [--model FILE.ckpt]
+                [--task link|cap] [--pairs FILE] [--per-node-cap N]
+                [--max-pairs N] [--chunk N] [--threads N]
+                [--format jsonl|csv] [--out FILE] [--no-dedup]
+      Plan and execute a full-chip sweep: score *every* candidate pair
+      of the design (or an explicit pair list) as one batched job with
+      shared subgraph extraction and neighborhood deduplication,
+      streaming results with bounded memory (see docs/sweep.md).
+      Bitwise parity contract: each pair's value equals what `cirgps
+      predict` emits for that pair with the same model.
+        --task link|cap   link probability (default) or normalized +
+                          decoded coupling capacitance per pair
+        --pairs FILE      score these pairs instead of enumerating: one
+                          pair per line, `a,b` or `a b` node ids
+                          (`#` comments allowed)
+        --per-node-cap N  max partners enumerated per anchor node
+                          (bounds hub-net blowup; default 0 = all)
+        --max-pairs N     stop enumerating after N pairs (default 0 =
+                          sweep everything)
+        --chunk N         pairs per planned window — the bounded-memory
+                          knob; results flush once per window
+                          (default 4096)
+        --threads N       forward-pass worker threads (default 1)
+        --format jsonl|csv
+                          output format (default jsonl, same fields as
+                          `cirgps predict` minus the dataset label)
+        --out FILE        write results there instead of stdout
+        --no-dedup        disable neighborhood deduplication (for
+                          measurement; results are identical)
+      Prints planner statistics (pairs, unique forwards, dedup rate,
+      amortized µs/pair) to stderr.
+
   cirgps serve  --netlist FILE.sp --top NAME [--model FILE.ckpt]
                 [--addr HOST:PORT] [--max-batch N] [--max-wait-us N]
                 [--workers N] [--queue-cap N] [--cache-cap N]
@@ -177,7 +211,8 @@ USAGE:
         --request-timeout-ms
                        per-request deadline; a request not answered in
                        time gets 504 instead of hanging (default 30000)
-      Endpoints: GET /healthz, GET /metrics, POST /v1/predict.
+      Endpoints: GET /healthz, GET /metrics, POST /v1/predict,
+      POST /v1/sweep (chunked JSONL bulk sweep).
 
   cirgps energy --netlist FILE.sp --top NAME --spf FILE.spf
                 [--vectors N] [--vdd V] [--seed N]
@@ -1084,6 +1119,203 @@ fn cmd_predict(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses a `--pairs` file: one pair per line, `a,b` or `a b`, with
+/// blank lines and `#` comments skipped. Validates ids against `graph`.
+fn parse_pairs_file(path: &str, graph: &CircuitGraph) -> Result<Vec<(u32, u32)>, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let n = graph.num_nodes() as u32;
+    let mut pairs = Vec::new();
+    for (ln, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line
+            .split(|c: char| c == ',' || c.is_whitespace())
+            .filter(|s| !s.is_empty());
+        let parse = |tok: Option<&str>| -> Result<u32, String> {
+            tok.ok_or_else(|| format!("{path}:{}: expected two node ids", ln + 1))?
+                .parse()
+                .map_err(|_| format!("{path}:{}: bad node id in {line:?}", ln + 1))
+        };
+        let a = parse(it.next())?;
+        let b = parse(it.next())?;
+        if it.next().is_some() {
+            return Err(format!("{path}:{}: expected exactly two node ids", ln + 1));
+        }
+        if a == b {
+            return Err(format!("{path}:{}: pair anchors must differ", ln + 1));
+        }
+        if a >= n || b >= n {
+            return Err(format!(
+                "{path}:{}: node id out of range (graph has {n} nodes)",
+                ln + 1
+            ));
+        }
+        pairs.push((a, b));
+    }
+    if pairs.is_empty() {
+        return Err(format!("{path} lists no pairs"));
+    }
+    Ok(pairs)
+}
+
+fn cmd_sweep(flags: &HashMap<String, String>) -> Result<(), String> {
+    check_flags(
+        flags,
+        "sweep",
+        &[
+            "netlist",
+            "top",
+            "model",
+            "task",
+            "pairs",
+            "per-node-cap",
+            "max-pairs",
+            "chunk",
+            "threads",
+            "format",
+            "out",
+            "no-dedup",
+        ],
+    )?;
+    let netlist = load_netlist(flags)?;
+    let task = match flags.get("task").map(String::as_str).unwrap_or("link") {
+        "link" => SweepTask::Link,
+        "cap" => SweepTask::Coupling,
+        other => return Err(format!("unknown --task {other:?} (expected link or cap)")),
+    };
+    let format = flags.get("format").map(String::as_str).unwrap_or("jsonl");
+    if !matches!(format, "jsonl" | "csv") {
+        return Err(format!(
+            "unknown --format {format:?} (expected jsonl or csv)"
+        ));
+    }
+    let chunk: usize = flag_parse(flags, "chunk", 4096)?;
+    if chunk == 0 {
+        return Err("--chunk must be positive".into());
+    }
+    let threads: usize = flag_parse(flags, "threads", 1)?;
+    if threads == 0 {
+        return Err("--threads must be positive".into());
+    }
+    let per_node_cap: usize = flag_parse(flags, "per-node-cap", 0)?;
+    let max_pairs: usize = flag_parse(flags, "max-pairs", 0)?;
+
+    let (graph, _map) = netlist_to_graph(&netlist);
+    let model = match flags.get("model") {
+        Some(path) => load_checkpoint_file(path)?,
+        None => CircuitGps::new(ModelConfig::default()),
+    };
+    // Same normalization and extraction parameters as `cirgps predict`
+    // over the *plain* graph — the bitwise parity contract depends on
+    // matching its inputs exactly.
+    let xcn = XcNormalizer::fit(&[&graph]);
+    let cfg = SweepConfig {
+        task,
+        sampler: SamplerConfig {
+            hops: 1,
+            max_nodes: 2048,
+        },
+        chunk,
+        threads,
+        dedup: !flag_bool(flags, "no-dedup")?,
+    };
+
+    let explicit = match flags.get("pairs") {
+        Some(path) => Some(parse_pairs_file(path, &graph)?),
+        None => None,
+    };
+
+    use std::io::Write as _;
+    let mut writer: Box<dyn std::io::Write> = match flags.get("out") {
+        Some(path) => Box::new(std::io::BufWriter::new(
+            fs::File::create(path).map_err(|e| format!("creating {path}: {e}"))?,
+        )),
+        None => Box::new(std::io::BufWriter::new(std::io::stdout())),
+    };
+    let cap_norm = CapNormalizer::paper_range();
+    if format == "csv" {
+        let header = match task {
+            SweepTask::Link => "a,b,prob\n",
+            SweepTask::Coupling => "a,b,cap_norm,cap_pred_f\n",
+        };
+        writer
+            .write_all(header.as_bytes())
+            .map_err(|e| format!("writing output: {e}"))?;
+    }
+
+    // Streaming writer: one formatted block per planned window, flushed
+    // before the next window starts, so output memory stays bounded by
+    // the window too.
+    let mut io_err: Option<String> = None;
+    let start = std::time::Instant::now();
+    let mut emit = |pairs: &[(u32, u32)], values: &[f32]| -> bool {
+        let mut block = String::with_capacity(pairs.len() * 40);
+        for (&(a, b), &p) in pairs.iter().zip(values) {
+            match (task, format) {
+                (SweepTask::Link, "jsonl") => {
+                    block.push_str(&format!("{{\"a\":{a},\"b\":{b},\"prob\":{p:.6}}}\n"));
+                }
+                (SweepTask::Coupling, "jsonl") => {
+                    block.push_str(&format!(
+                        "{{\"a\":{a},\"b\":{b},\"cap_norm\":{p:.6},\"cap_pred_f\":{:.4e}}}\n",
+                        cap_norm.decode(p)
+                    ));
+                }
+                (SweepTask::Link, _) => block.push_str(&format!("{a},{b},{p:.6}\n")),
+                (SweepTask::Coupling, _) => {
+                    block.push_str(&format!("{a},{b},{p:.6},{:.4e}\n", cap_norm.decode(p)));
+                }
+            }
+        }
+        let result = writer
+            .write_all(block.as_bytes())
+            .and_then(|()| writer.flush());
+        match result {
+            Ok(()) => true,
+            Err(e) => {
+                io_err = Some(format!("writing output: {e}"));
+                false
+            }
+        }
+    };
+
+    let stats = match explicit {
+        Some(pairs) => sweep_pairs(&model, &xcn, &graph, pairs, &cfg, &mut emit),
+        None => sweep_pairs(
+            &model,
+            &xcn,
+            &graph,
+            CandidatePairs::new(&graph, per_node_cap, max_pairs),
+            &cfg,
+            &mut emit,
+        ),
+    };
+    if let Some(e) = io_err {
+        return Err(e);
+    }
+    if stats.pairs == 0 {
+        return Err("no candidate pairs to sweep (empty enumeration?)".into());
+    }
+
+    let elapsed = start.elapsed();
+    let us_per_pair = elapsed.as_micros() as f64 / stats.pairs as f64;
+    eprintln!(
+        "swept {} pairs in {} windows of {} ({} unique forwards, {} dedup hits = {:.1}%); \
+         {:.2}s total, {:.1}µs/pair amortized",
+        stats.pairs,
+        stats.chunks,
+        chunk,
+        stats.unique_forwards,
+        stats.dedup_hits,
+        100.0 * stats.dedup_hits as f64 / stats.pairs as f64,
+        elapsed.as_secs_f64(),
+        us_per_pair
+    );
+    Ok(())
+}
+
 fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
     check_flags(
         flags,
@@ -1172,7 +1404,9 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         graph.num_nodes(),
         graph.num_edges()
     );
-    eprintln!("endpoints: GET /healthz, GET /metrics, POST /v1/predict (docs/serving.md)");
+    eprintln!(
+        "endpoints: GET /healthz, GET /metrics, POST /v1/predict, POST /v1/sweep (docs/serving.md)"
+    );
     let server = Server::new(model, graph, netlist.name.clone(), cfg);
     // SIGINT/SIGTERM → graceful drain: a monitor thread polls the
     // interrupt latch (signal handlers can only flip an atomic) and

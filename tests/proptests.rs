@@ -4,7 +4,7 @@
 use cirgps::graph::{EdgeType, GraphBuilder, NodeType};
 use cirgps::netlist::{format_spice_value, parse_spice_value};
 use cirgps::pe::{compute_pe, PeFeatures, PeKind};
-use cirgps::sample::{SamplerConfig, SubgraphSampler, UNREACHABLE};
+use cirgps::sample::{SamplerConfig, SubgraphSampler, SweepSampler, UNREACHABLE};
 use proptest::prelude::*;
 
 proptest! {
@@ -90,6 +90,65 @@ proptest! {
                     prop_assert_eq!(prev, code);
                 }
             }
+        }
+    }
+
+    #[test]
+    fn shared_sweep_extraction_is_bitwise_identical_to_per_pair_sampling(
+        edges in proptest::collection::vec((0u32..30, 0u32..30, 0u32..3), 1..100),
+        hops in 1u32..3,
+        max_nodes in 4usize..64,
+    ) {
+        // The sweep planner's core invariant: extracting many pairs
+        // through ONE SweepSampler (scratch buffers shared and reused
+        // across pairs) produces Subgraphs bitwise-identical to a fresh
+        // per-pair SubgraphSampler — subgraph sharing is semantics-free.
+        let mut b = GraphBuilder::new();
+        for i in 0..30u32 {
+            let ty = match i % 3 {
+                0 => NodeType::Net,
+                1 => NodeType::Device,
+                _ => NodeType::Pin,
+            };
+            let id = b.add_node(ty, &format!("v{i}"));
+            if ty == NodeType::Pin {
+                b.set_xc(id, 0, (i % 5) as f32);
+            }
+        }
+        let mut seen = std::collections::HashSet::new();
+        let mut added = Vec::new();
+        for &(a, c, t) in &edges {
+            if a == c || !seen.insert((a.min(c), a.max(c))) {
+                continue;
+            }
+            let et = match t {
+                0 => EdgeType::NetPin,
+                1 => EdgeType::DevicePin,
+                _ => EdgeType::CouplingPinPin,
+            };
+            b.add_edge(a, c, et);
+            added.push((a, c));
+        }
+        prop_assume!(!added.is_empty());
+        let g = b.build();
+        let cfg = SamplerConfig { hops, max_nodes };
+
+        let mut shared = SweepSampler::new(&g, cfg);
+        let mut buf = shared.enclosing_subgraph(added[0].0, added[0].1);
+        for &(m, n) in added.iter().take(10) {
+            shared.extract_into(m, n, &mut buf);
+            let want = SubgraphSampler::new(&g, cfg).enclosing_subgraph(m, n);
+            prop_assert_eq!(&buf.nodes, &want.nodes);
+            prop_assert_eq!(&buf.node_types, &want.node_types);
+            prop_assert_eq!(&buf.src, &want.src);
+            prop_assert_eq!(&buf.dst, &want.dst);
+            prop_assert_eq!(&buf.edge_types, &want.edge_types);
+            prop_assert_eq!(&buf.dist_a, &want.dist_a);
+            prop_assert_eq!(&buf.dist_b, &want.dist_b);
+            prop_assert_eq!(buf.num_anchors, want.num_anchors);
+            let got_bits: Vec<u32> = buf.xc.iter().map(|v| v.to_bits()).collect();
+            let want_bits: Vec<u32> = want.xc.iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(got_bits, want_bits);
         }
     }
 
