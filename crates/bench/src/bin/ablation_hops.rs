@@ -45,7 +45,8 @@ fn main() {
                 seed,
                 ..Default::default()
             },
-        );
+        )
+        .expect("training diverged");
         let m = evaluate_link(&model, &test);
         rows.push(vec![
             format!("{hops}"),

@@ -165,7 +165,7 @@ pub fn table2(preset: SizePreset, seed: u64) -> String {
         let per_graph = t0.elapsed().as_secs_f64() / test_ds.samples.len().max(1) as f64;
 
         let mut model = CircuitGps::new(default_model(pe, seed));
-        pretrain_link(&mut model, &train, &train_cfg(&scale, seed));
+        pretrain_link(&mut model, &train, &train_cfg(&scale, seed)).expect("training diverged");
         let m = evaluate_link(&model, &test);
         let [acc, f1, auc] = fmt_m(&m);
         let time_cell = if matches!(pe, PeKind::None | PeKind::Xc) {
@@ -227,7 +227,8 @@ pub fn table3(preset: SizePreset, seed: u64) -> String {
             ..default_model(PeKind::Dspd, seed)
         };
         let mut model = CircuitGps::new(cfg);
-        let hist = pretrain_link(&mut model, &train, &train_cfg(&scale, seed));
+        let hist =
+            pretrain_link(&mut model, &train, &train_cfg(&scale, seed)).expect("training diverged");
         let m = evaluate_link(&model, &test);
         let [acc, f1, auc] = fmt_m(&m);
         rows.push(vec![
@@ -387,7 +388,7 @@ pub fn main_comparison(preset: SizePreset, seed: u64) -> MainComparison {
         train.len()
     );
     let mut cirgps = CircuitGps::new(default_model(PeKind::Dspd, seed));
-    pretrain_link(&mut cirgps, &train, &train_cfg(&scale, seed));
+    pretrain_link(&mut cirgps, &train, &train_cfg(&scale, seed)).expect("training diverged");
 
     let link_rows: Vec<[LinkMetrics; 3]> = test_designs_v
         .iter()
@@ -429,7 +430,8 @@ pub fn main_comparison(preset: SizePreset, seed: u64) -> MainComparison {
         &train,
         FinetuneMode::Scratch,
         &train_cfg(&scale, seed),
-    );
+    )
+    .expect("training diverged");
 
     eprintln!("[main] CircuitGPS head-only fine-tune...");
     let mut head_ft = CircuitGps::new(default_model(PeKind::Dspd, seed));
@@ -441,7 +443,8 @@ pub fn main_comparison(preset: SizePreset, seed: u64) -> MainComparison {
         &train,
         FinetuneMode::HeadOnly,
         &train_cfg(&scale, seed),
-    );
+    )
+    .expect("training diverged");
 
     eprintln!("[main] CircuitGPS all-parameters fine-tune...");
     let mut all_ft = CircuitGps::new(default_model(PeKind::Dspd, seed));
@@ -451,7 +454,8 @@ pub fn main_comparison(preset: SizePreset, seed: u64) -> MainComparison {
         &train,
         FinetuneMode::All,
         &train_cfg(&scale, seed),
-    );
+    )
+    .expect("training diverged");
 
     let reg_rows: Vec<[RegMetrics; 5]> = test_designs_v
         .iter()
@@ -563,7 +567,8 @@ pub fn table7(preset: SizePreset, seed: u64) -> String {
             &train,
             FinetuneMode::Scratch,
             &train_cfg(&scale, seed),
-        );
+        )
+        .expect("training diverged");
         let m = evaluate_regression(&model, &test);
         let [mae, rmse, r2] = fmt_r(&m);
         rows.push(vec![
@@ -626,7 +631,8 @@ pub fn table8(preset: SizePreset, seed: u64) -> String {
         &train,
         FinetuneMode::Scratch,
         &train_cfg(&scale, seed),
-    );
+    )
+    .expect("training diverged");
 
     // Baselines: node tasks over full graphs.
     let make_node_task = |d: &DesignData| -> NodeTask {

@@ -1,0 +1,428 @@
+//! A retrying HTTP client for the serving daemon.
+//!
+//! Reuses the server's own HTTP/1.1 framing ([`cirgps_serve::http`]) —
+//! zero new dependencies — and layers the retry discipline
+//! `docs/serving.md` asks of clients on top:
+//!
+//! * **exponential backoff with decorrelated jitter** — each delay is
+//!   drawn uniformly from `[base, 3 × previous)` and capped, so a
+//!   thundering herd decorrelates itself instead of retrying in lockstep;
+//! * **`Retry-After` honoring** — a `503`'s advertised delay is a floor
+//!   on the next backoff (the server knows its backlog better than the
+//!   client's jitter does);
+//! * **a total deadline budget** — retrying stops the moment the *next*
+//!   sleep would cross the budget, so a caller gets a bounded-latency
+//!   answer or a named [`ClientError`], never an open-ended hang.
+//!
+//! Each attempt uses a fresh connection: the retryable failures (refused
+//! connect, torn response, `503`/`504`) all leave a connection in an
+//! unusable or unknown state, so reuse would just turn one failure into
+//! two.
+
+use std::fmt;
+use std::io::{BufReader, Read};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use cirgps_serve::http::{read_chunk, read_response, read_response_head, write_request, Response};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Largest response body the client will buffer (matches the server's
+/// ingress cap; a response bigger than this is a protocol violation).
+pub const MAX_RESPONSE_BYTES: usize = 8 * 1024 * 1024;
+
+/// Retry discipline knobs; see the crate docs for the semantics.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Most connection+request attempts before giving up.
+    pub max_attempts: usize,
+    /// First (and minimum) backoff delay.
+    pub base: Duration,
+    /// Largest single backoff delay after jitter.
+    pub cap: Duration,
+    /// Total wall-clock budget across all attempts and sleeps.
+    pub deadline: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 6,
+            base: Duration::from_millis(50),
+            cap: Duration::from_secs(5),
+            deadline: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Computes the next backoff: decorrelated jitter (uniform in
+/// `[base, 3 × prev)`, floored at `base`, capped at `cap`). Deterministic
+/// for a seeded RNG, which is how the tests pin it down.
+pub fn next_delay(rng: &mut StdRng, prev: Duration, base: Duration, cap: Duration) -> Duration {
+    let base_us = base.as_micros().max(1) as u64;
+    let hi = (prev.as_micros() as u64).saturating_mul(3).max(base_us + 1);
+    let us = rng.gen_range(base_us..hi).min(cap.as_micros() as u64);
+    Duration::from_micros(us)
+}
+
+/// Why a request ultimately failed after the retry layer gave up.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The deadline budget would be crossed by the next sleep (or was
+    /// already spent). Carries the attempts made and the last failure.
+    DeadlineExceeded {
+        /// Attempts completed before giving up.
+        attempts: usize,
+        /// Description of the last retryable failure.
+        last: String,
+    },
+    /// `max_attempts` attempts all failed retryably.
+    RetriesExhausted {
+        /// Attempts completed (== `max_attempts`).
+        attempts: usize,
+        /// Description of the last retryable failure.
+        last: String,
+    },
+    /// A mid-stream failure after the response head was accepted —
+    /// not retried, because part of the stream was already consumed.
+    Stream(std::io::Error),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::DeadlineExceeded { attempts, last } => write!(
+                f,
+                "deadline budget exhausted after {attempts} attempt(s); last failure: {last}"
+            ),
+            ClientError::RetriesExhausted { attempts, last } => {
+                write!(f, "all {attempts} attempts failed; last failure: {last}")
+            }
+            ClientError::Stream(e) => write!(f, "stream broke mid-response: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// What one retryable attempt produced.
+enum Attempt {
+    /// A response the caller should see (2xx, 4xx — anything final).
+    Done(Response),
+    /// A retryable failure: `503`/`504` or any I/O error. The optional
+    /// seconds are the server's `Retry-After`.
+    Retry(String, Option<u64>),
+}
+
+/// The retrying client. One instance per target address; not `Sync` (it
+/// owns the backoff RNG), clone-free by design — spawn one per thread.
+#[derive(Debug)]
+pub struct Client {
+    addr: String,
+    policy: RetryPolicy,
+    rng: StdRng,
+}
+
+impl Client {
+    /// A client for `addr` (`host:port`) with the default policy.
+    pub fn new(addr: impl Into<String>) -> Self {
+        Client {
+            addr: addr.into(),
+            policy: RetryPolicy::default(),
+            rng: StdRng::seed_from_u64(0x5eed),
+        }
+    }
+
+    /// Replaces the retry policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: RetryPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Seeds the backoff jitter RNG (tests pin this for determinism;
+    /// production code should vary it per client to decorrelate).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.rng = StdRng::seed_from_u64(seed);
+        self
+    }
+
+    /// `GET path` with retries.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn get(&mut self, path: &str) -> Result<Response, ClientError> {
+        self.request("GET", path, b"")
+    }
+
+    /// `POST path` with retries.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn post(&mut self, path: &str, body: &[u8]) -> Result<Response, ClientError> {
+        self.request("POST", path, body)
+    }
+
+    /// One request with the full retry discipline. Non-retryable
+    /// responses (anything but `503`/`504`) are returned as `Ok` — a
+    /// `400` is the server's final answer, not a transport failure.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::RetriesExhausted`] after `max_attempts` retryable
+    /// failures, [`ClientError::DeadlineExceeded`] when the budget runs
+    /// out first.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) -> Result<Response, ClientError> {
+        let start = Instant::now();
+        let mut prev_delay = self.policy.base;
+        let mut attempts = 0usize;
+        loop {
+            attempts += 1;
+            let last = match self.attempt(method, path, body, start) {
+                Ok(Attempt::Done(resp)) => return Ok(resp),
+                Ok(Attempt::Retry(why, retry_after)) => {
+                    let jitter =
+                        next_delay(&mut self.rng, prev_delay, self.policy.base, self.policy.cap);
+                    // The server's Retry-After is a floor, not a target:
+                    // jitter above it keeps the herd decorrelated.
+                    let delay = match retry_after {
+                        Some(secs) => jitter.max(Duration::from_secs(secs)),
+                        None => jitter,
+                    };
+                    prev_delay = delay;
+                    if attempts >= self.policy.max_attempts {
+                        return Err(ClientError::RetriesExhausted {
+                            attempts,
+                            last: why,
+                        });
+                    }
+                    if start.elapsed() + delay >= self.policy.deadline {
+                        return Err(ClientError::DeadlineExceeded {
+                            attempts,
+                            last: why,
+                        });
+                    }
+                    std::thread::sleep(delay);
+                    continue;
+                }
+                Err(e) => e,
+            };
+            // Budget already spent before we could even attempt.
+            return Err(ClientError::DeadlineExceeded { attempts, last });
+        }
+    }
+
+    /// `POST path` expecting a chunked streaming response (`/v1/sweep`):
+    /// retries until a response head arrives, then hands every chunk to
+    /// `sink` (return `false` to stop early). Returns the final status.
+    ///
+    /// # Errors
+    ///
+    /// Same retry errors as [`Client::request`] before the head;
+    /// [`ClientError::Stream`] for a failure mid-stream (never retried —
+    /// part of the stream was already delivered).
+    pub fn post_stream(
+        &mut self,
+        path: &str,
+        body: &[u8],
+        sink: &mut dyn FnMut(&[u8]) -> bool,
+    ) -> Result<u16, ClientError> {
+        let start = Instant::now();
+        let mut prev_delay = self.policy.base;
+        let mut attempts = 0usize;
+        loop {
+            attempts += 1;
+            match self.attempt_stream(path, body, start, sink) {
+                Ok(status) => return Ok(status),
+                Err(StreamFailure::Fatal(e)) => return Err(e),
+                Err(StreamFailure::Retry(why, retry_after)) => {
+                    let jitter =
+                        next_delay(&mut self.rng, prev_delay, self.policy.base, self.policy.cap);
+                    let delay = match retry_after {
+                        Some(secs) => jitter.max(Duration::from_secs(secs)),
+                        None => jitter,
+                    };
+                    prev_delay = delay;
+                    if attempts >= self.policy.max_attempts {
+                        return Err(ClientError::RetriesExhausted {
+                            attempts,
+                            last: why,
+                        });
+                    }
+                    if start.elapsed() + delay >= self.policy.deadline {
+                        return Err(ClientError::DeadlineExceeded {
+                            attempts,
+                            last: why,
+                        });
+                    }
+                    std::thread::sleep(delay);
+                    continue;
+                }
+            };
+        }
+    }
+
+    /// One connect + request + buffered response. `Err(last)` means the
+    /// deadline was already spent before connecting.
+    fn attempt(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+        start: Instant,
+    ) -> Result<Attempt, String> {
+        let remaining = self
+            .policy
+            .deadline
+            .checked_sub(start.elapsed())
+            .ok_or_else(|| "deadline spent before the attempt".to_string())?;
+        let mut stream = match self.connect(remaining) {
+            Ok(s) => s,
+            Err(e) => return Ok(Attempt::Retry(format!("connect: {e}"), None)),
+        };
+        if let Err(e) = write_request(&mut stream, method, path, &[], body) {
+            return Ok(Attempt::Retry(format!("write: {e}"), None));
+        }
+        let mut reader = BufReader::new(stream);
+        match read_response(&mut reader, MAX_RESPONSE_BYTES) {
+            Ok(resp) if resp.status == 503 || resp.status == 504 => Ok(Attempt::Retry(
+                format!("server answered {}", resp.status),
+                resp.retry_after,
+            )),
+            Ok(resp) => Ok(Attempt::Done(resp)),
+            Err(e) => Ok(Attempt::Retry(format!("read: {e}"), None)),
+        }
+    }
+
+    /// One connect + request + streamed chunked response. A sink that
+    /// returns `false` stops the stream early; that is the caller's
+    /// choice, so it still yields `Ok(status)`.
+    fn attempt_stream(
+        &mut self,
+        path: &str,
+        body: &[u8],
+        start: Instant,
+        sink: &mut dyn FnMut(&[u8]) -> bool,
+    ) -> Result<u16, StreamFailure> {
+        let remaining = self
+            .policy
+            .deadline
+            .checked_sub(start.elapsed())
+            .ok_or_else(|| {
+                StreamFailure::Retry("deadline spent before the attempt".into(), None)
+            })?;
+        let mut stream = self
+            .connect(remaining)
+            .map_err(|e| StreamFailure::Retry(format!("connect: {e}"), None))?;
+        write_request(&mut stream, "POST", path, &[], body)
+            .map_err(|e| StreamFailure::Retry(format!("write: {e}"), None))?;
+        let mut reader = BufReader::new(stream);
+        let head = read_response_head(&mut reader)
+            .map_err(|e| StreamFailure::Retry(format!("read head: {e}"), None))?;
+        if head.status == 503 || head.status == 504 {
+            // Drain nothing: the connection is abandoned with the head.
+            return Err(StreamFailure::Retry(
+                format!("server answered {}", head.status),
+                head.retry_after,
+            ));
+        }
+        if !head.chunked {
+            // Buffered (likely an error body): read it and report via
+            // the sink once, preserving the caller's single code path.
+            let mut buf = vec![0u8; head.content_length.min(MAX_RESPONSE_BYTES)];
+            reader
+                .read_exact(&mut buf)
+                .map_err(|e| StreamFailure::Retry(format!("read body: {e}"), None))?;
+            if !buf.is_empty() {
+                sink(&buf);
+            }
+            return Ok(head.status);
+        }
+        // From the first chunk on, failures are fatal, not retryable.
+        loop {
+            match read_chunk(&mut reader, MAX_RESPONSE_BYTES) {
+                Ok(Some(chunk)) => {
+                    if !sink(&chunk) {
+                        return Ok(head.status);
+                    }
+                }
+                Ok(None) => return Ok(head.status),
+                Err(e) => return Err(StreamFailure::Fatal(ClientError::Stream(e))),
+            }
+        }
+    }
+
+    fn connect(&self, remaining: Duration) -> std::io::Result<TcpStream> {
+        let stream = TcpStream::connect(&self.addr)?;
+        // Socket deadlines bound each blocking op by the remaining
+        // budget, so a black-holed server cannot out-wait the policy.
+        let per_op = remaining.max(Duration::from_millis(10));
+        stream.set_read_timeout(Some(per_op))?;
+        stream.set_write_timeout(Some(per_op))?;
+        Ok(stream)
+    }
+}
+
+/// Internal failure classification for the streaming path.
+enum StreamFailure {
+    Retry(String, Option<u64>),
+    Fatal(ClientError),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_delay_respects_base_and_cap() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let base = Duration::from_millis(50);
+        let cap = Duration::from_millis(400);
+        let mut prev = base;
+        for _ in 0..200 {
+            let d = next_delay(&mut rng, prev, base, cap);
+            assert!(d >= base, "{d:?} below base");
+            assert!(d <= cap, "{d:?} above cap");
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn next_delay_is_deterministic_per_seed() {
+        let base = Duration::from_millis(10);
+        let cap = Duration::from_secs(1);
+        let run = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut prev = base;
+            (0..16)
+                .map(|_| {
+                    prev = next_delay(&mut rng, prev, base, cap);
+                    prev
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43), "different seeds should jitter apart");
+    }
+
+    #[test]
+    fn next_delay_can_grow_toward_three_x() {
+        // With prev at 100ms the draw range is [base, 300ms): some draw
+        // over a long run must exceed prev (i.e. backoff can grow).
+        let mut rng = StdRng::seed_from_u64(1);
+        let base = Duration::from_millis(10);
+        let cap = Duration::from_secs(5);
+        let prev = Duration::from_millis(100);
+        let grew = (0..100).any(|_| next_delay(&mut rng, prev, base, cap) > prev);
+        assert!(grew, "decorrelated jitter never grew past prev");
+    }
+}

@@ -1,0 +1,207 @@
+//! Loopback tests for the retry layer against a scripted stub server:
+//! each test binds a `TcpListener`, answers a fixed sequence of
+//! responses, and asserts the client's retry/backoff/deadline behavior
+//! from the outside.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+use cirgps_client::{Client, ClientError, RetryPolicy};
+
+/// Reads one request (headers + content-length body) off the stream so
+/// the stub stays in framing sync across keep-alive-free attempts.
+fn read_request(stream: &mut TcpStream) {
+    let mut reader = BufReader::new(stream);
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line).unwrap_or(0) == 0 {
+            return;
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(v) = line
+            .to_ascii_lowercase()
+            .strip_prefix("content-length:")
+            .map(str::trim)
+            .and_then(|v| v.parse().ok())
+        {
+            content_length = v;
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    let _ = reader.read_exact(&mut body);
+}
+
+/// A stub that answers each connection with the next scripted response
+/// (raw bytes, written verbatim) and then closes it.
+fn scripted_server(responses: Vec<Vec<u8>>) -> (String, std::thread::JoinHandle<usize>) {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let handle = std::thread::spawn(move || {
+        let mut served = 0;
+        for wire in responses {
+            let (mut stream, _) = match listener.accept() {
+                Ok(pair) => pair,
+                Err(_) => break,
+            };
+            read_request(&mut stream);
+            let _ = stream.write_all(&wire);
+            let _ = stream.flush();
+            served += 1;
+        }
+        served
+    });
+    (addr, handle)
+}
+
+fn response(status: u16, extra: &str, body: &str) -> Vec<u8> {
+    format!(
+        "HTTP/1.1 {status} X\r\ncontent-type: application/json\r\n{extra}content-length: {}\r\nconnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
+/// A 503 with Retry-After followed by a 200: the client retries once,
+/// honors the advertised delay as a floor, and returns the 200.
+#[test]
+fn retries_past_503_and_honors_retry_after() {
+    let (addr, handle) = scripted_server(vec![
+        response(503, "retry-after: 1\r\n", "{\"error\": \"full\"}"),
+        response(200, "", "{\"ok\": true}"),
+    ]);
+    let mut client = Client::new(addr).with_seed(1).with_policy(RetryPolicy {
+        max_attempts: 4,
+        base: Duration::from_millis(5),
+        cap: Duration::from_millis(50),
+        deadline: Duration::from_secs(10),
+    });
+    let start = Instant::now();
+    let resp = client.post("/v1/predict", b"{}").expect("should recover");
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.body, b"{\"ok\": true}");
+    // Retry-After: 1 floors the backoff even though jitter caps at 50ms.
+    assert!(
+        start.elapsed() >= Duration::from_secs(1),
+        "retry fired after only {:?} — Retry-After ignored",
+        start.elapsed()
+    );
+    assert_eq!(handle.join().unwrap(), 2);
+}
+
+/// An unreachable port: connection refused is retryable, so the client
+/// burns its attempts and reports RetriesExhausted with the last error.
+#[test]
+fn connection_refused_exhausts_retries() {
+    // Bind-then-drop to get a port that refuses connections.
+    let addr = {
+        let l = TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap().to_string()
+    };
+    let mut client = Client::new(addr).with_seed(2).with_policy(RetryPolicy {
+        max_attempts: 3,
+        base: Duration::from_millis(1),
+        cap: Duration::from_millis(5),
+        deadline: Duration::from_secs(5),
+    });
+    match client.get("/healthz") {
+        Err(ClientError::RetriesExhausted { attempts, last }) => {
+            assert_eq!(attempts, 3);
+            assert!(last.contains("connect"), "unexpected last error: {last}");
+        }
+        other => panic!("expected RetriesExhausted, got {other:?}"),
+    }
+}
+
+/// A server that always sheds with a large Retry-After against a small
+/// deadline budget: the client gives up *before* sleeping into the
+/// deadline, reporting DeadlineExceeded quickly.
+#[test]
+fn deadline_budget_cuts_retries_short() {
+    let (addr, _handle) = scripted_server(vec![
+        response(503, "retry-after: 30\r\n", "{}"),
+        response(503, "retry-after: 30\r\n", "{}"),
+    ]);
+    let mut client = Client::new(addr).with_seed(3).with_policy(RetryPolicy {
+        max_attempts: 10,
+        base: Duration::from_millis(1),
+        cap: Duration::from_millis(10),
+        deadline: Duration::from_millis(300),
+    });
+    let start = Instant::now();
+    match client.post("/v1/predict", b"{}") {
+        Err(ClientError::DeadlineExceeded { attempts, last }) => {
+            assert_eq!(attempts, 1, "should give up before the first 30s sleep");
+            assert!(last.contains("503"), "unexpected last error: {last}");
+        }
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+    assert!(
+        start.elapsed() < Duration::from_secs(2),
+        "gave up slowly ({:?}) — it slept into the deadline",
+        start.elapsed()
+    );
+}
+
+/// A torn response (connection cut mid-headers) is retryable: the next
+/// attempt's clean 200 comes through.
+#[test]
+fn torn_response_is_retried() {
+    let (addr, handle) = scripted_server(vec![
+        b"HTTP/1.1 200 OK\r\ncontent-le".to_vec(), // cut mid-header
+        response(200, "", "{\"ok\": true}"),
+    ]);
+    let mut client = Client::new(addr).with_seed(4).with_policy(RetryPolicy {
+        max_attempts: 4,
+        base: Duration::from_millis(1),
+        cap: Duration::from_millis(10),
+        deadline: Duration::from_secs(5),
+    });
+    let resp = client.post("/v1/predict", b"{}").expect("should recover");
+    assert_eq!(resp.status, 200);
+    assert_eq!(handle.join().unwrap(), 2);
+}
+
+/// Non-retryable statuses (here a 400) come back as Ok on the first
+/// attempt: the retry layer must not hammer a server that already gave
+/// a definitive answer.
+#[test]
+fn definitive_errors_are_not_retried() {
+    let (addr, handle) = scripted_server(vec![response(400, "", "{\"error\": \"bad request\"}")]);
+    let mut client = Client::new(addr).with_seed(5);
+    let resp = client.post("/v1/predict", b"not json").unwrap();
+    assert_eq!(resp.status, 400);
+    assert_eq!(
+        handle.join().unwrap(),
+        1,
+        "a 400 must use exactly one attempt"
+    );
+}
+
+/// Streaming: a chunked response is delivered chunk-by-chunk to the
+/// sink after a 503 retry, and the final status is reported.
+#[test]
+fn post_stream_retries_then_streams_chunks() {
+    let chunked = b"HTTP/1.1 200 OK\r\ncontent-type: application/jsonl\r\ntransfer-encoding: chunked\r\n\r\n5\r\n{\"a\"}\r\n5\r\n{\"b\"}\r\n0\r\n\r\n".to_vec();
+    let (addr, handle) = scripted_server(vec![response(503, "retry-after: 1\r\n", "{}"), chunked]);
+    let mut client = Client::new(addr).with_seed(6).with_policy(RetryPolicy {
+        max_attempts: 4,
+        base: Duration::from_millis(1),
+        cap: Duration::from_millis(10),
+        deadline: Duration::from_secs(10),
+    });
+    let mut chunks: Vec<Vec<u8>> = Vec::new();
+    let status = client
+        .post_stream("/v1/sweep", b"{}", &mut |c| {
+            chunks.push(c.to_vec());
+            true
+        })
+        .expect("stream should recover past the 503");
+    assert_eq!(status, 200);
+    assert_eq!(chunks, vec![b"{\"a\"}".to_vec(), b"{\"b\"}".to_vec()]);
+    assert_eq!(handle.join().unwrap(), 2);
+}

@@ -55,5 +55,5 @@ pub use sweep::{sweep_pairs, CandidatePairs, SweepConfig, SweepSink, SweepStats,
 pub use train::{
     evaluate_link, evaluate_regression, finetune_regression, finetune_regression_with_progress,
     predict_regression, pretrain_link, train, train_resumable, train_with_progress, EpochProgress,
-    ResumableTrain, Task, TrainHistory, TrainOutcome, TrainState,
+    ResumableTrain, Task, TrainError, TrainHistory, TrainOutcome, TrainState,
 };

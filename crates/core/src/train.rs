@@ -13,6 +13,7 @@
 //! machine). Epoch boundaries are the only stop/snapshot points because
 //! mid-epoch model/optimizer/RNG state is not a consistent triple.
 
+use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 
 use cirgps_nn::{Adam, CosineSchedule, GradStore, Tape};
@@ -36,6 +37,42 @@ pub enum Task {
     /// Capacitance regression (L1) — the downstream task.
     Regression,
 }
+
+/// Training failure modes.
+///
+/// The loop aborts *before* applying the diverged step's gradients and
+/// before the epoch's `progress`/`epoch_end` callbacks run, so the model
+/// holds the last finite weights and the caller's most recent snapshot
+/// (epoch `epoch - 1` or earlier) is still a valid resume point.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrainError {
+    /// A minibatch produced a NaN or infinite loss — the run has
+    /// diverged (bad data, too-high learning rate, or numeric blow-up)
+    /// and continuing would only poison the weights.
+    NonFiniteLoss {
+        /// 1-based epoch in which the loss diverged.
+        epoch: usize,
+        /// Global optimizer step index at the divergence (0-based; the
+        /// step was *not* applied).
+        step: usize,
+        /// The offending batch-mean loss.
+        loss: f64,
+    },
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::NonFiniteLoss { epoch, step, loss } => write!(
+                f,
+                "non-finite loss {loss} at epoch {epoch} step {step}: training diverged \
+                 (the last epoch-boundary snapshot is still valid)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
 
 /// Per-epoch training record.
 #[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
@@ -293,12 +330,17 @@ pub struct TrainOutcome {
 /// Returns the per-epoch loss history. Training is deterministic for a
 /// fixed `TrainConfig::seed` and rayon-independent reduction order is
 /// enforced by merging gradients in sample order.
+///
+/// # Errors
+///
+/// [`TrainError::NonFiniteLoss`] if a minibatch loss goes NaN/Inf; the
+/// diverged step is not applied.
 pub fn train(
     model: &mut CircuitGps,
     samples: &[PreparedSample],
     task: Task,
     cfg: &TrainConfig,
-) -> TrainHistory {
+) -> Result<TrainHistory, TrainError> {
     train_with_progress(model, samples, task, cfg, &mut |_, _| {})
 }
 
@@ -310,14 +352,18 @@ pub fn train(
 /// and runs periodic held-out evaluation without the loop knowing about
 /// either; the callback cannot mutate the model, so training semantics
 /// (and determinism) are unaffected by whatever the observer does.
+///
+/// # Errors
+///
+/// [`TrainError::NonFiniteLoss`] if a minibatch loss goes NaN/Inf.
 pub fn train_with_progress(
     model: &mut CircuitGps,
     samples: &[PreparedSample],
     task: Task,
     cfg: &TrainConfig,
     progress: &mut dyn FnMut(&CircuitGps, &EpochProgress),
-) -> TrainHistory {
-    train_resumable(
+) -> Result<TrainHistory, TrainError> {
+    Ok(train_resumable(
         model,
         samples,
         cfg,
@@ -328,8 +374,8 @@ pub fn train_with_progress(
         },
         progress,
         &mut |_, _| {},
-    )
-    .history
+    )?
+    .history)
 }
 
 /// The full training loop: [`train_with_progress`] plus resumability.
@@ -348,6 +394,14 @@ pub fn train_with_progress(
 /// `interrupted = true` with epoch `e`'s state. Mid-epoch the
 /// model/optimizer/RNG triple is inconsistent, so there is nothing
 /// cheaper that is also *correct* to snapshot.
+///
+/// # Errors
+///
+/// [`TrainError::NonFiniteLoss`] the moment a minibatch loss goes
+/// NaN/Inf, *before* applying that step's gradients and before the
+/// epoch's callbacks — so the model holds the last finite weights and
+/// the caller's latest `epoch_end` snapshot is still a valid resume
+/// point.
 pub fn train_resumable(
     model: &mut CircuitGps,
     samples: &[PreparedSample],
@@ -355,7 +409,7 @@ pub fn train_resumable(
     opts: ResumableTrain<'_>,
     progress: &mut dyn FnMut(&CircuitGps, &EpochProgress),
     epoch_end: &mut dyn FnMut(&CircuitGps, &TrainState),
-) -> TrainOutcome {
+) -> Result<TrainOutcome, TrainError> {
     let start = std::time::Instant::now();
     let task = opts.task;
     let mut opt = Adam::new(cfg.lr).with_weight_decay(cfg.weight_decay);
@@ -461,6 +515,23 @@ pub fn train_resumable(
             merged.scale(1.0 / batch.len() as f32);
             merged.clip_global_norm(cfg.clip);
 
+            // Chaos hook: inject a diverged batch to exercise the abort
+            // path (`train.loss=error[@hit]`).
+            if cirgps_failpoints::eval("train.loss").is_some() {
+                batch_loss = f64::NAN;
+            }
+            // Divergence check before the optimizer step: a NaN/Inf loss
+            // means the gradients are poison too, so abort while the
+            // weights are still the last finite state.
+            let batch_mean = batch_loss / batch.len() as f64;
+            if !batch_mean.is_finite() {
+                return Err(TrainError::NonFiniteLoss {
+                    epoch: epoch + 1,
+                    step,
+                    loss: batch_mean,
+                });
+            }
+
             opt.set_lr(schedule.lr_at(step));
             opt.step(model.store_mut(), &merged);
             step += 1;
@@ -497,19 +568,23 @@ pub fn train_resumable(
         cirgps_failpoints::eval("train.epoch_end");
     }
     history.seconds = base_seconds + start.elapsed().as_secs_f64();
-    TrainOutcome {
+    Ok(TrainOutcome {
         history,
         interrupted,
         state: last_state,
-    }
+    })
 }
 
 /// Pre-trains on link prediction (the meta-learning phase).
+///
+/// # Errors
+///
+/// [`TrainError::NonFiniteLoss`] if a minibatch loss goes NaN/Inf.
 pub fn pretrain_link(
     model: &mut CircuitGps,
     samples: &[PreparedSample],
     cfg: &TrainConfig,
-) -> TrainHistory {
+) -> Result<TrainHistory, TrainError> {
     train(model, samples, Task::LinkPrediction, cfg)
 }
 
@@ -518,24 +593,34 @@ pub fn pretrain_link(
 /// * `Scratch` — the caller passes a freshly initialized model;
 /// * `HeadOnly` — freezes encoders + GPS layers first (fast convergence);
 /// * `All` — trains every parameter from the pre-trained initialization.
+///
+/// # Errors
+///
+/// [`TrainError::NonFiniteLoss`] if a minibatch loss goes NaN/Inf.
 pub fn finetune_regression(
     model: &mut CircuitGps,
     samples: &[PreparedSample],
     mode: FinetuneMode,
     cfg: &TrainConfig,
-) -> TrainHistory {
+) -> Result<TrainHistory, TrainError> {
     finetune_regression_with_progress(model, samples, mode, cfg, &mut |_, _| {})
 }
 
 /// [`finetune_regression`] with a per-epoch progress observer (see
 /// [`train_with_progress`] for the callback contract).
+///
+/// # Errors
+///
+/// [`TrainError::NonFiniteLoss`] if a minibatch loss goes NaN/Inf. The
+/// model is unfrozen again even on the error path, so a head-only run
+/// that diverges leaves the model usable.
 pub fn finetune_regression_with_progress(
     model: &mut CircuitGps,
     samples: &[PreparedSample],
     mode: FinetuneMode,
     cfg: &TrainConfig,
     progress: &mut dyn FnMut(&CircuitGps, &EpochProgress),
-) -> TrainHistory {
+) -> Result<TrainHistory, TrainError> {
     match mode {
         FinetuneMode::Scratch | FinetuneMode::All => {
             model.unfreeze_all();
@@ -686,7 +771,7 @@ mod tests {
             lr: 5e-3,
             ..Default::default()
         };
-        let hist = pretrain_link(&mut model, &data, &cfg);
+        let hist = pretrain_link(&mut model, &data, &cfg).unwrap();
         let first = hist.epoch_losses[0];
         let last = *hist.epoch_losses.last().unwrap();
         assert!(last < first * 0.7, "loss did not drop: {first} -> {last}");
@@ -705,7 +790,7 @@ mod tests {
             lr: 5e-3,
             ..Default::default()
         };
-        let hist = finetune_regression(&mut model, &data, FinetuneMode::Scratch, &cfg);
+        let hist = finetune_regression(&mut model, &data, FinetuneMode::Scratch, &cfg).unwrap();
         assert!(hist.epoch_losses.last().unwrap() < &0.2);
         let m = evaluate_regression(&model, &data);
         assert!(m.mae < 0.2, "MAE {:.3}", m.mae);
@@ -720,7 +805,7 @@ mod tests {
             batch_size: 8,
             ..Default::default()
         };
-        pretrain_link(&mut model, &data, &cfg);
+        pretrain_link(&mut model, &data, &cfg).unwrap();
 
         // Snapshot a backbone parameter.
         let backbone_before: Vec<f32> = model
@@ -729,7 +814,7 @@ mod tests {
             .find(|(_, name, _)| name.starts_with("gps.0.mpnn"))
             .map(|(_, _, t)| t.as_slice().to_vec())
             .unwrap();
-        finetune_regression(&mut model, &data, FinetuneMode::HeadOnly, &cfg);
+        finetune_regression(&mut model, &data, FinetuneMode::HeadOnly, &cfg).unwrap();
         let backbone_after: Vec<f32> = model
             .store()
             .iter()
@@ -751,9 +836,9 @@ mod tests {
             ..Default::default()
         };
         let mut m1 = tiny_model();
-        let h1 = pretrain_link(&mut m1, &data, &cfg);
+        let h1 = pretrain_link(&mut m1, &data, &cfg).unwrap();
         let mut m2 = tiny_model();
-        let h2 = pretrain_link(&mut m2, &data, &cfg);
+        let h2 = pretrain_link(&mut m2, &data, &cfg).unwrap();
         assert_eq!(h1.epoch_losses, h2.epoch_losses);
     }
 
@@ -775,7 +860,8 @@ mod tests {
             Task::LinkPrediction,
             &cfg,
             &mut |_, _| {},
-        );
+        )
+        .unwrap();
 
         // Interrupted run: stop flag raised from the progress callback at
         // the end of epoch 3 — the loop must finish epoch 3, report it,
@@ -797,7 +883,8 @@ mod tests {
                 }
             },
             &mut |_, _| {},
-        );
+        )
+        .unwrap();
         assert!(outcome.interrupted);
         assert_eq!(outcome.state.epochs_done, 3);
         assert_eq!(outcome.history.epoch_losses.len(), 3);
@@ -820,7 +907,8 @@ mod tests {
             },
             &mut |_, _| {},
             &mut |_, _| {},
-        );
+        )
+        .unwrap();
         assert!(!resumed.interrupted);
         assert_eq!(resumed.state.epochs_done, cfg.epochs);
         // Loss history must be bitwise-identical, including the restored
@@ -830,6 +918,40 @@ mod tests {
         let a = predict_regression(&clean, &data);
         let b = predict_regression(&partial, &data);
         assert_eq!(a, b, "resumed model diverged from uninterrupted run");
+    }
+
+    #[test]
+    fn non_finite_loss_aborts_before_poisoning_the_weights() {
+        let mut data = toy_dataset();
+        // One poisoned regression target is enough to NaN the batch loss.
+        data[0].target = f32::NAN;
+        let mut model = tiny_model();
+        let before: Vec<u32> = model
+            .store()
+            .iter()
+            .flat_map(|(_, _, t)| t.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>())
+            .collect();
+        // Whole dataset in one batch: the poisoned sample is in step 0.
+        let cfg = TrainConfig {
+            epochs: 3,
+            batch_size: data.len(),
+            lr: 5e-3,
+            ..Default::default()
+        };
+        let err = finetune_regression(&mut model, &data, FinetuneMode::Scratch, &cfg).unwrap_err();
+        let TrainError::NonFiniteLoss { epoch, step, loss } = err.clone();
+        assert_eq!(epoch, 1);
+        assert_eq!(step, 0);
+        assert!(loss.is_nan());
+        assert!(err.to_string().contains("non-finite loss"), "{err}");
+        // The diverged step was never applied: weights are bitwise
+        // untouched, not NaN-poisoned.
+        let after: Vec<u32> = model
+            .store()
+            .iter()
+            .flat_map(|(_, _, t)| t.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>())
+            .collect();
+        assert_eq!(before, after, "diverged step mutated the weights");
     }
 
     #[test]

@@ -1,0 +1,138 @@
+//! Chaos test for the training loop's divergence abort: a loss that goes
+//! NaN mid-run must surface as [`TrainError::NonFiniteLoss`] while the
+//! last epoch-boundary snapshot stays a valid resume point.
+//!
+//! Lives in its own test file because the failpoint registry is
+//! process-global — a separate integration test binary is a separate
+//! process, so the armed `train.loss` point cannot leak into (or be
+//! polluted by) other tests.
+#![cfg(feature = "failpoints")]
+
+use circuit_graph::{EdgeType, GraphBuilder, NodeType};
+use circuitgps::{
+    train_resumable, CircuitGps, ModelConfig, PreparedSample, ResumableTrain, Task, TrainConfig,
+    TrainError, TrainState,
+};
+use graph_pe::PeKind;
+use subgraph_sample::{SamplerConfig, SubgraphSampler, XcNormalizer};
+
+fn toy_dataset() -> Vec<PreparedSample> {
+    let mut b = GraphBuilder::new();
+    let hub_a = b.add_node(NodeType::Net, "a");
+    let hub_b = b.add_node(NodeType::Net, "b");
+    let mut pins = Vec::new();
+    for i in 0..8 {
+        let p = b.add_node(NodeType::Pin, &format!("p{i}"));
+        b.add_edge(if i % 2 == 0 { hub_a } else { hub_b }, p, EdgeType::NetPin);
+        pins.push(p);
+    }
+    let g = b.build();
+    let xcn = XcNormalizer::fit(&[&g]);
+    let mut sampler = SubgraphSampler::new(
+        &g,
+        SamplerConfig {
+            hops: 1,
+            max_nodes: 32,
+        },
+    );
+    (0..pins.len() - 1)
+        .map(|i| {
+            let y = (i % 2) as f32;
+            let sub = sampler.enclosing_subgraph(pins[i], pins[i + 1]);
+            PreparedSample::new(sub, PeKind::Dspd, &xcn, y, y * 0.5)
+        })
+        .collect()
+}
+
+fn tiny_model() -> CircuitGps {
+    CircuitGps::new(ModelConfig {
+        hidden_dim: 16,
+        pe_dim: 4,
+        heads: 2,
+        num_layers: 1,
+        dropout: 0.0,
+        ..Default::default()
+    })
+}
+
+/// An injected NaN loss in epoch 3 aborts the run with a named error,
+/// the latest `epoch_end` snapshot is from epoch 2, and resuming from it
+/// (failpoint disarmed) finishes with the same history as a clean run.
+#[test]
+fn injected_nan_loss_aborts_and_the_last_snapshot_resumes_cleanly() {
+    let data = toy_dataset();
+    let cfg = TrainConfig {
+        epochs: 5,
+        batch_size: 4,
+        lr: 5e-3,
+        ..Default::default()
+    };
+    let steps_per_epoch = data.len().div_ceil(cfg.batch_size);
+
+    // Reference: clean straight-through run.
+    let mut clean = tiny_model();
+    let clean_out = train_resumable(
+        &mut clean,
+        &data,
+        &cfg,
+        ResumableTrain {
+            task: Task::LinkPrediction,
+            ..Default::default()
+        },
+        &mut |_, _| {},
+        &mut |_, _| {},
+    )
+    .unwrap();
+
+    // Chaos run: NaN injected at the first batch of epoch 3.
+    cirgps_failpoints::clear_all();
+    cirgps_failpoints::set("train.loss", &format!("error@{}", 2 * steps_per_epoch + 1));
+    let mut chaotic = tiny_model();
+    let mut snapshots: Vec<TrainState> = Vec::new();
+    let err = train_resumable(
+        &mut chaotic,
+        &data,
+        &cfg,
+        ResumableTrain {
+            task: Task::LinkPrediction,
+            ..Default::default()
+        },
+        &mut |_, _| {},
+        &mut |_, st| snapshots.push(st.clone()),
+    )
+    .unwrap_err();
+    cirgps_failpoints::clear_all();
+    let TrainError::NonFiniteLoss { epoch, step, loss } = err;
+    assert_eq!(epoch, 3);
+    assert_eq!(step, 2 * steps_per_epoch);
+    assert!(loss.is_nan(), "{loss}");
+
+    // The abort fired before epoch 3's callbacks: the rolling snapshot
+    // trail ends at the epoch-2 boundary, intact.
+    assert_eq!(snapshots.len(), 2, "epoch_end ran for a diverged epoch");
+    let last = snapshots.last().unwrap().clone();
+    assert_eq!(last.epochs_done, 2);
+    assert_eq!(last.epoch_losses, clean_out.history.epoch_losses[..2]);
+
+    // Resuming from that snapshot (wire round-trip, as the CLI does)
+    // completes the run with the clean run's exact history: the diverged
+    // step never touched the weights.
+    let restored = TrainState::from_bytes(&last.to_bytes()).unwrap();
+    restored.check_resume(Task::LinkPrediction, &cfg).unwrap();
+    let resumed = train_resumable(
+        &mut chaotic,
+        &data,
+        &cfg,
+        ResumableTrain {
+            task: Task::LinkPrediction,
+            resume: Some(restored),
+            stop: None,
+        },
+        &mut |_, _| {},
+        &mut |_, _| {},
+    )
+    .unwrap();
+    assert!(!resumed.interrupted);
+    assert_eq!(resumed.state.epochs_done, cfg.epochs);
+    assert_eq!(resumed.history.epoch_losses, clean_out.history.epoch_losses);
+}

@@ -1,0 +1,111 @@
+//! Deterministic fuzz driver.
+//!
+//! ```text
+//! fuzz [--target NAME|all] [--iters N] [--seed N] [--out DIR]
+//! ```
+//!
+//! Runs the seeded mutation harness over the chosen target(s) and exits
+//! non-zero if any input panicked. Failing inputs are written to
+//! `--out` (default `fuzz-failures/`) as `<target>-<iteration>.bin` so
+//! CI can upload them and a developer can replay:
+//! `fuzz --target spice --seed S --iters I` reproduces byte-for-byte.
+
+use std::process::ExitCode;
+
+use cirgps_fuzz::{run, TARGETS};
+
+fn main() -> ExitCode {
+    let mut target = "all".to_string();
+    let mut iters: u64 = 20_000;
+    let mut seed: u64 = 0xc1c5;
+    let mut out = "fuzz-failures".to_string();
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| -> String {
+            args.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("missing value for {}", args[i]);
+                std::process::exit(2);
+            })
+        };
+        match args[i].as_str() {
+            "--target" => target = value(i),
+            "--iters" => {
+                iters = value(i).parse().unwrap_or_else(|e| {
+                    eprintln!("bad --iters: {e}");
+                    std::process::exit(2);
+                })
+            }
+            "--seed" => {
+                seed = value(i).parse().unwrap_or_else(|e| {
+                    eprintln!("bad --seed: {e}");
+                    std::process::exit(2);
+                })
+            }
+            "--out" => out = value(i),
+            "--help" | "-h" => {
+                eprintln!("usage: fuzz [--target NAME|all] [--iters N] [--seed N] [--out DIR]");
+                eprintln!(
+                    "targets: {}",
+                    TARGETS
+                        .iter()
+                        .map(|(n, _)| *n)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown flag {other} (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+        i += 2;
+    }
+
+    let selected: Vec<_> = TARGETS
+        .iter()
+        .filter(|(n, _)| target == "all" || *n == target)
+        .collect();
+    if selected.is_empty() {
+        eprintln!(
+            "unknown target {target:?}; available: {}",
+            TARGETS
+                .iter()
+                .map(|(n, _)| *n)
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        return ExitCode::from(2);
+    }
+
+    let mut total_failures = 0usize;
+    for (name, f) in selected {
+        let report = run(*f, seed, iters);
+        if report.failures.is_empty() {
+            println!("target {name}: {iters} iterations, 0 failures (seed {seed})");
+            continue;
+        }
+        total_failures += report.failures.len();
+        if let Err(e) = std::fs::create_dir_all(&out) {
+            eprintln!("cannot create {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+        for (iter, input) in &report.failures {
+            let path = format!("{out}/{name}-{iter}.bin");
+            if let Err(e) = std::fs::write(&path, input) {
+                eprintln!("cannot write {path}: {e}");
+            }
+        }
+        println!(
+            "target {name}: {iters} iterations, {} FAILURES (seed {seed}) -> {out}/",
+            report.failures.len()
+        );
+    }
+    if total_failures > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -12,6 +12,12 @@ use std::fmt;
 use crate::ast::{DeviceKind, DeviceParams, Netlist};
 use crate::units::parse_spice_value;
 
+/// Maximum subcircuit nesting depth during flattening. Real AMS designs
+/// sit well under ten levels; the cap turns a hostile non-cyclic chain of
+/// thousands of one-child subcircuits (a stack-overflow abort) into a
+/// named parse error.
+const MAX_FLATTEN_DEPTH: usize = 64;
+
 /// A parsed element line inside a subcircuit (or at top level).
 #[derive(Debug, Clone, PartialEq)]
 pub enum Element {
@@ -262,6 +268,17 @@ impl SpiceFile {
                     if stack.iter().any(|s| s == subckt) {
                         return Err(err(0, format!("recursive instantiation of {subckt:?}")));
                     }
+                    // Non-cyclic but absurdly deep hierarchies would
+                    // otherwise recurse without bound (stack overflow
+                    // aborts, it doesn't unwind) — cap the depth.
+                    if stack.len() >= MAX_FLATTEN_DEPTH {
+                        return Err(err(
+                            0,
+                            format!(
+                                "hierarchy deeper than {MAX_FLATTEN_DEPTH} levels at {subckt:?}"
+                            ),
+                        ));
+                    }
                     let child = self
                         .subckt(subckt)
                         .ok_or_else(|| err(0, format!("unknown subckt {subckt:?}")))?;
@@ -437,6 +454,14 @@ fn parse_element(tokens: &[&str], lineno: usize) -> Result<Element, ParseSpiceEr
             while end > 1 && tokens[end - 1].contains('=') {
                 end -= 1;
             }
+            // `end == 1` means every token after the name was K=V — there
+            // is no subcircuit name to instantiate.
+            if end < 2 {
+                return Err(err(
+                    lineno,
+                    "subcircuit instance has parameters but no subcircuit name",
+                ));
+            }
             let subckt = tokens[end - 1].to_string();
             let nets = tokens[1..end - 1].iter().map(|s| s.to_string()).collect();
             Ok(Element::Instance { name, nets, subckt })
@@ -512,6 +537,35 @@ Xi2 mid Z VDD VSS INV
         let src = ".SUBCKT A X\nXi X A\n.ENDS\n";
         let f = SpiceFile::parse(src).unwrap();
         assert!(f.flatten("A").is_err());
+    }
+
+    #[test]
+    fn instance_with_only_params_is_an_error_not_a_panic() {
+        // Every token after the name is K=V, so there is no subckt name.
+        let src = ".SUBCKT T A\nX1 W=1u L=2u\n.ENDS\n";
+        let err = SpiceFile::parse(src).unwrap_err();
+        assert!(err.message.contains("no subcircuit name"), "{err}");
+    }
+
+    #[test]
+    fn over_deep_hierarchy_is_an_error_not_a_stack_overflow() {
+        // A 200-level non-cyclic chain: S0 -> S1 -> ... -> S200.
+        let mut src = String::new();
+        for i in 0..200 {
+            src.push_str(&format!(".SUBCKT S{i} A\nXc A S{}\n.ENDS\n", i + 1));
+        }
+        src.push_str(".SUBCKT S200 A\nR1 A 0 1k\n.ENDS\n");
+        let f = SpiceFile::parse(&src).unwrap();
+        let err = f.flatten("S0").unwrap_err();
+        assert!(err.message.contains("hierarchy deeper"), "{err}");
+        // A chain under the cap still flattens.
+        let mut ok = String::new();
+        for i in 0..20 {
+            ok.push_str(&format!(".SUBCKT S{i} A\nXc A S{}\n.ENDS\n", i + 1));
+        }
+        ok.push_str(".SUBCKT S20 A\nR1 A 0 1k\n.ENDS\n");
+        let f = SpiceFile::parse(&ok).unwrap();
+        assert_eq!(f.flatten("S0").unwrap().num_devices(), 1);
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! numbers a direct `predict_link_batch`/`predict_reg_batch` call would
 //! produce — batching changes throughput, never values.
 
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
@@ -150,6 +151,16 @@ pub struct Engine {
     metrics: Metrics,
     max_batch: usize,
     max_wait: Duration,
+    /// Exponentially-weighted moving average of batch service time in
+    /// µs (`new = (7·old + sample) / 8`; 0 until the first batch). The
+    /// load-shedding layer uses it to predict queue sojourn and to
+    /// compute the `Retry-After` it advertises on `503`.
+    recent_batch_us: AtomicU64,
+    /// Brownout latch with hysteresis: set when the queue climbs past
+    /// 3/4 of capacity, cleared when it falls back under 1/4. While set,
+    /// workers shrink the batching wait window to 1/8 of `max_wait` —
+    /// trading batch occupancy for drain rate under sustained pressure.
+    brownout: AtomicBool,
 }
 
 impl Engine {
@@ -171,6 +182,8 @@ impl Engine {
             metrics: Metrics::default(),
             max_batch,
             max_wait,
+            recent_batch_us: AtomicU64::new(0),
+            brownout: AtomicBool::new(false),
         }
     }
 
@@ -187,6 +200,30 @@ impl Engine {
     /// The configured flush threshold.
     pub fn max_batch(&self) -> usize {
         self.max_batch
+    }
+
+    /// EWMA of batch service time in µs (0 until the first batch runs).
+    pub fn recent_batch_us(&self) -> u64 {
+        self.recent_batch_us.load(Ordering::Relaxed)
+    }
+
+    /// Whether the brownout latch is set (see [`Engine`]'s field docs).
+    pub fn in_brownout(&self) -> bool {
+        self.brownout.load(Ordering::Relaxed)
+    }
+
+    /// Re-evaluates the brownout latch against the current queue depth.
+    /// Called on every submit and batch pop; cheap (two relaxed atomics).
+    fn update_pressure(&self) {
+        let depth = self.queue.len();
+        let cap = self.queue.capacity();
+        if depth * 4 >= cap * 3 {
+            if !self.brownout.swap(true, Ordering::Relaxed) {
+                Metrics::inc(&self.metrics.brownout_entered_total);
+            }
+        } else if depth * 4 <= cap {
+            self.brownout.store(false, Ordering::Relaxed);
+        }
     }
 
     /// The queue's capacity — the largest request that can ever be
@@ -241,7 +278,8 @@ impl Engine {
             Ok(()) => {
                 self.metrics
                     .queries_total
-                    .fetch_add(keys.len() as u64, std::sync::atomic::Ordering::Relaxed);
+                    .fetch_add(keys.len() as u64, Ordering::Relaxed);
+                self.update_pressure();
                 Ok(slot)
             }
             Err(PushError::Full(_)) => {
@@ -265,16 +303,29 @@ impl Engine {
     /// bumped, and the worker keeps serving — producers blocked in
     /// [`ResponseSlot::wait`] are never stranded.
     pub fn run_worker(&self, session: &mut InferenceSession<'_>) {
-        while let Some(batch) =
-            self.queue
-                .pop_batch_by(self.max_batch, self.max_wait, |job: &Job| job.kind)
-        {
+        loop {
+            // Under brownout, stop waiting around for batch company:
+            // pressure guarantees company, and a shorter window drains
+            // the queue faster.
+            let wait = if self.in_brownout() {
+                self.max_wait / 8
+            } else {
+                self.max_wait
+            };
+            let Some(batch) = self
+                .queue
+                .pop_batch_by(self.max_batch, wait, |job: &Job| job.kind)
+            else {
+                break;
+            };
+            self.update_pressure();
             // Chaos hook: `delay:MS` here stalls the batch after it left
             // the queue — producers hit their request deadline (504)
             // instead of hanging.
             cirgps_failpoints::eval("serve.queue.pop");
             self.metrics.observe_batch(batch.len());
             let queries: Vec<Query> = batch.iter().map(|j| j.kind.query(j.key)).collect();
+            let service_start = Instant::now();
             // The session's per-query state (cache inserts) stays
             // consistent across an unwind; no partial mutation spans
             // queries.
@@ -288,6 +339,14 @@ impl Engine {
                 Metrics::inc(&self.metrics.worker_panics);
                 vec![f32::NAN; batch.len()]
             });
+            let sample_us = service_start.elapsed().as_micros() as u64;
+            let old = self.recent_batch_us.load(Ordering::Relaxed);
+            let ewma = if old == 0 {
+                sample_us.max(1)
+            } else {
+                ((7 * old + sample_us) / 8).max(1)
+            };
+            self.recent_batch_us.store(ewma, Ordering::Relaxed);
             let now = Instant::now();
             for (job, pred) in batch.into_iter().zip(preds) {
                 self.metrics.observe_latency_us(
@@ -340,6 +399,31 @@ mod tests {
             engine.submit(TaskKind::Link, &[(5, 6)]).unwrap_err(),
             SubmitError::ShuttingDown
         );
+    }
+
+    #[test]
+    fn brownout_latch_sets_at_three_quarters_depth_once() {
+        let engine = Engine::new(2, Duration::ZERO, 8);
+        // No worker running: jobs accumulate.
+        let _a = engine
+            .submit(TaskKind::Link, &[(0, 1), (1, 2), (2, 3)])
+            .unwrap();
+        assert!(!engine.in_brownout(), "3/8 is under the 3/4 threshold");
+        let _b = engine
+            .submit(TaskKind::Link, &[(3, 4), (4, 5), (5, 6)])
+            .unwrap();
+        assert!(engine.in_brownout(), "6/8 crosses the 3/4 threshold");
+        let _c = engine.submit(TaskKind::Link, &[(6, 7)]).unwrap();
+        assert!(engine.in_brownout());
+        assert_eq!(
+            engine
+                .metrics()
+                .brownout_entered_total
+                .load(Ordering::Relaxed),
+            1,
+            "the transition counts once, not per submit"
+        );
+        assert_eq!(engine.recent_batch_us(), 0, "no batch has run yet");
     }
 
     #[test]

@@ -14,6 +14,12 @@
 
 use std::collections::BTreeMap;
 
+/// Maximum container nesting depth. The parser is recursive-descent, so
+/// without a cap a hostile body of `[[[[…` would overflow the stack —
+/// an abort, not a catchable error. 128 levels is far beyond anything
+/// the protocol produces (requests nest 3 deep).
+const MAX_DEPTH: usize = 128;
+
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Json {
@@ -41,6 +47,7 @@ impl Json {
         let mut p = Parser {
             bytes: text.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         p.skip_ws();
         let v = p.value()?;
@@ -111,6 +118,7 @@ pub fn escape(s: &str) -> String {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -148,8 +156,8 @@ impl Parser<'_> {
             Some(b't') => self.literal("true", Json::Bool(true)),
             Some(b'f') => self.literal("false", Json::Bool(false)),
             Some(b'"') => self.string().map(Json::Str),
-            Some(b'[') => self.array(),
-            Some(b'{') => self.object(),
+            Some(b'[') => self.nested(Parser::array),
+            Some(b'{') => self.nested(Parser::object),
             Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
             Some(c) => Err(format!("unexpected {:?} at byte {}", c as char, self.pos)),
             None => Err("unexpected end of input".into()),
@@ -225,6 +233,19 @@ impl Parser<'_> {
                 }
             }
         }
+    }
+
+    fn nested(&mut self, parse: fn(&mut Self) -> Result<Json, String>) -> Result<Json, String> {
+        if self.depth >= MAX_DEPTH {
+            return Err(format!(
+                "nesting deeper than {MAX_DEPTH} levels at byte {}",
+                self.pos
+            ));
+        }
+        self.depth += 1;
+        let v = parse(self);
+        self.depth -= 1;
+        v
     }
 
     fn array(&mut self) -> Result<Json, String> {
@@ -306,6 +327,18 @@ mod tests {
         ] {
             assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_not_a_stack_overflow() {
+        let deep = "[".repeat(10_000);
+        let err = Json::parse(&deep).unwrap_err();
+        assert!(err.contains("nesting deeper"), "{err}");
+        let deep_obj = "{\"a\":".repeat(10_000);
+        assert!(Json::parse(&deep_obj).is_err());
+        // At or under the cap still parses.
+        let ok = format!("{}1{}", "[".repeat(100), "]".repeat(100));
+        assert!(Json::parse(&ok).is_ok());
     }
 
     #[test]

@@ -50,6 +50,26 @@ pub struct Metrics {
     /// Unique model forwards executed across all sweep requests (the gap
     /// to `sweep_pairs_total` is the shared-subgraph dedup win).
     pub sweep_forwards_total: AtomicU64,
+    /// Requests rejected with `413` because the declared body exceeded
+    /// the ingress cap.
+    pub requests_too_large: AtomicU64,
+    /// Requests answered `408` because they were still arriving when the
+    /// per-request ingress deadline expired (slow-loris shedding).
+    pub requests_ingress_timeout: AtomicU64,
+    /// Keep-alive connections closed for idling past `idle_timeout`.
+    pub connections_idle_closed: AtomicU64,
+    /// Requests shed with `503` by admission control (predicted queue
+    /// sojourn exceeded the request deadline).
+    pub rejected_admission: AtomicU64,
+    /// Connections shed with `503` at accept time because the open
+    /// connection cap was reached.
+    pub rejected_max_conns: AtomicU64,
+    /// Times the engine entered brownout (queue pressure shrank the
+    /// batching window).
+    pub brownout_entered_total: AtomicU64,
+    /// Last `Retry-After` value advertised on a `503`, in seconds
+    /// (gauge; load-aware, see `docs/serving.md`).
+    pub retry_after_s: AtomicU64,
 }
 
 impl Metrics {
@@ -74,12 +94,19 @@ impl Metrics {
         self.latency_us_max.fetch_max(us, Ordering::Relaxed);
     }
 
-    /// Renders the counters in Prometheus text format. `queue_depth` and
-    /// `draining` are sampled by the caller (they live in the queue and
-    /// the server, not here).
-    pub fn render(&self, queue_depth: usize, draining: bool) -> String {
+    /// Renders the counters in Prometheus text format. `queue_depth`,
+    /// `draining`, `brownout` and `recent_batch_us` are sampled by the
+    /// caller (they live in the queue, the server and the engine, not
+    /// here).
+    pub fn render(
+        &self,
+        queue_depth: usize,
+        draining: bool,
+        brownout: bool,
+        recent_batch_us: u64,
+    ) -> String {
         let c = |a: &AtomicU64| a.load(Ordering::Relaxed);
-        let rows: [(&str, &str, u64); 17] = [
+        let rows: [(&str, &str, u64); 24] = [
             ("requests_healthz_total", "counter", c(&self.http_healthz)),
             ("requests_metrics_total", "counter", c(&self.http_metrics)),
             ("requests_predict_total", "counter", c(&self.http_predict)),
@@ -113,6 +140,37 @@ impl Metrics {
                 "counter",
                 c(&self.sweep_forwards_total),
             ),
+            (
+                "requests_too_large_total",
+                "counter",
+                c(&self.requests_too_large),
+            ),
+            (
+                "requests_ingress_timeout_total",
+                "counter",
+                c(&self.requests_ingress_timeout),
+            ),
+            (
+                "connections_idle_closed_total",
+                "counter",
+                c(&self.connections_idle_closed),
+            ),
+            (
+                "rejected_admission_total",
+                "counter",
+                c(&self.rejected_admission),
+            ),
+            (
+                "rejected_max_conns_total",
+                "counter",
+                c(&self.rejected_max_conns),
+            ),
+            (
+                "brownout_entered_total",
+                "counter",
+                c(&self.brownout_entered_total),
+            ),
+            ("retry_after_s", "gauge", c(&self.retry_after_s)),
         ];
         let mut out = String::with_capacity(1024);
         for (name, kind, value) in rows {
@@ -126,6 +184,13 @@ impl Metrics {
         out.push_str(&format!(
             "# TYPE cirgps_serve_draining gauge\ncirgps_serve_draining {}\n",
             draining as u8
+        ));
+        out.push_str(&format!(
+            "# TYPE cirgps_serve_brownout gauge\ncirgps_serve_brownout {}\n",
+            brownout as u8
+        ));
+        out.push_str(&format!(
+            "# TYPE cirgps_serve_recent_batch_us gauge\ncirgps_serve_recent_batch_us {recent_batch_us}\n"
         ));
         out
     }
@@ -144,7 +209,7 @@ mod tests {
         m.observe_latency_us(100);
         m.observe_latency_us(250);
         Metrics::inc(&m.http_predict);
-        let text = m.render(11, true);
+        let text = m.render(11, true, true, 1500);
         assert!(text.contains("cirgps_serve_batches_total 3"), "{text}");
         assert!(
             text.contains("cirgps_serve_batch_occupancy_sum 15"),
@@ -162,14 +227,25 @@ mod tests {
         );
         assert!(text.contains("cirgps_serve_queue_depth 11"), "{text}");
         assert!(text.contains("cirgps_serve_draining 1"), "{text}");
+        assert!(text.contains("cirgps_serve_brownout 1"), "{text}");
+        assert!(text.contains("cirgps_serve_recent_batch_us 1500"), "{text}");
         assert!(
             text.contains("cirgps_serve_requests_timeout_total 0"),
             "{text}"
         );
+        assert!(
+            text.contains("cirgps_serve_requests_too_large_total 0"),
+            "{text}"
+        );
+        assert!(
+            text.contains("cirgps_serve_rejected_admission_total 0"),
+            "{text}"
+        );
+        assert!(text.contains("cirgps_serve_retry_after_s 0"), "{text}");
         m.sweep_pairs_total.fetch_add(100, Ordering::Relaxed);
         m.sweep_forwards_total.fetch_add(9, Ordering::Relaxed);
         Metrics::inc(&m.http_sweep);
-        let text = m.render(0, false);
+        let text = m.render(0, false, false, 0);
         assert!(
             text.contains("cirgps_serve_requests_sweep_total 1"),
             "{text}"

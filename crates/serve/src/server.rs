@@ -10,21 +10,23 @@
 //! needs no `'static` plumbing.
 
 use std::collections::HashMap;
-use std::io::BufReader;
+use std::io::{BufReader, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Mutex, PoisonError};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use circuit_graph::CircuitGraph;
 use circuitgps::{
     sweep_pairs, CandidatePairs, CircuitGps, InferenceSession, SweepConfig, SweepTask,
 };
+use cirgps_failpoints::FailAction;
 use subgraph_sample::{SamplerConfig, XcNormalizer};
 
 use crate::engine::{Engine, SubmitError, TaskKind};
 use crate::http::{
-    finish_chunked, read_request, write_chunk, write_chunked_head, write_response, Request,
+    finish_chunked, read_request_limited, write_chunk, write_chunked_head, write_response,
+    IngressLimits, Request, RequestError,
 };
 use crate::json::{escape, Json};
 use crate::metrics::Metrics;
@@ -48,7 +50,9 @@ pub struct ServeConfig {
     /// Subgraph sampler for pair queries (ground queries use the same
     /// node cap at 2 hops, the training convention).
     pub sampler: SamplerConfig,
-    /// Per-connection socket read timeout (idle keep-alive reaping).
+    /// Per-connection socket *write* timeout (a peer that stops reading
+    /// its response cannot wedge a connection thread forever). Read-side
+    /// timing is governed by `idle_timeout` and `ingress_timeout`.
     pub read_timeout: Duration,
     /// How long a graceful drain ([`Server::begin_drain`]) waits for
     /// open connections to finish before force-closing them.
@@ -57,6 +61,21 @@ pub struct ServeConfig {
     /// this window gets `504` instead of stranding the client behind a
     /// stalled batch.
     pub request_timeout: Duration,
+    /// Largest accepted request body; bigger declarations get `413`.
+    pub max_body_bytes: usize,
+    /// Most headers accepted per request; more gets `400`.
+    pub max_headers: usize,
+    /// How long a keep-alive connection may sit idle *between* requests
+    /// before the daemon closes it (separate from `ingress_timeout`,
+    /// which bounds a request already in flight).
+    pub idle_timeout: Duration,
+    /// Wall-clock budget for reading one request, armed at its first
+    /// byte. A slow-loris body that dribbles in past this deadline gets
+    /// `408` instead of holding a thread open indefinitely.
+    pub ingress_timeout: Duration,
+    /// Open-connection cap: accepts beyond it are shed immediately with
+    /// `503` + `Retry-After` instead of piling up threads.
+    pub max_connections: usize,
 }
 
 impl Default for ServeConfig {
@@ -74,6 +93,97 @@ impl Default for ServeConfig {
             read_timeout: Duration::from_secs(30),
             drain_timeout: Duration::from_secs(5),
             request_timeout: Duration::from_secs(30),
+            max_body_bytes: crate::http::MAX_BODY_BYTES,
+            max_headers: crate::http::MAX_HEADERS,
+            idle_timeout: Duration::from_secs(60),
+            ingress_timeout: Duration::from_secs(10),
+            max_connections: 256,
+        }
+    }
+}
+
+/// Shared per-connection deadline latch: armed at a request's first
+/// byte, disarmed between requests. Lives behind an `Arc` because the
+/// connection loop owns the write half while the `BufReader` owns the
+/// [`DeadlineStream`] wrapping the read half.
+#[derive(Debug, Default)]
+struct DeadlineGate {
+    deadline: Mutex<Option<Instant>>,
+}
+
+impl DeadlineGate {
+    fn get(&self) -> Option<Instant> {
+        *self.deadline.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn set(&self, d: Option<Instant>) {
+        *self.deadline.lock().unwrap_or_else(PoisonError::into_inner) = d;
+    }
+}
+
+/// Read wrapper that turns a `TcpStream`'s socket timeouts into two
+/// deterministic signals: [`std::io::ErrorKind::WouldBlock`] for an idle
+/// keep-alive connection (no request in flight) and
+/// [`std::io::ErrorKind::TimedOut`] for a request that blew its ingress
+/// deadline mid-read (slow-loris). The HTTP layer maps the former to a
+/// silent close and the latter to `408`.
+#[derive(Debug)]
+struct DeadlineStream {
+    inner: TcpStream,
+    idle: Duration,
+    ingress: Duration,
+    gate: Arc<DeadlineGate>,
+}
+
+impl Read for DeadlineStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        // Chaos hook: `delay:MS` here models a stalled read path; with a
+        // request in flight the delay consumes the ingress deadline and
+        // the request is shed with 408.
+        cirgps_failpoints::eval("serve.ingress.read");
+        loop {
+            let armed = self.gate.get();
+            let timeout = match armed {
+                Some(deadline) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::TimedOut,
+                            "request read deadline exceeded",
+                        ));
+                    }
+                    deadline - now
+                }
+                None => self.idle,
+            };
+            let _ = self
+                .inner
+                .set_read_timeout(Some(timeout.max(Duration::from_millis(1))));
+            match self.inner.read(buf) {
+                Ok(n) => {
+                    if n > 0 && armed.is_none() {
+                        self.gate.set(Some(Instant::now() + self.ingress));
+                    }
+                    return Ok(n);
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if armed.is_none() {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::WouldBlock,
+                            "idle keep-alive timeout",
+                        ));
+                    }
+                    // Armed: loop back and re-check the wall clock (the
+                    // socket timeout may have fired marginally early).
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
         }
     }
 }
@@ -183,6 +293,23 @@ impl Server {
                     break;
                 }
                 let Ok(stream) = stream else { continue };
+                // Accept-level shedding: past the connection cap, answer
+                // 503 on the accept thread and close instead of spawning
+                // yet another thread for a load we cannot serve.
+                if self.conns().streams.len() >= self.cfg.max_connections {
+                    Metrics::inc(&self.engine.metrics().rejected_max_conns);
+                    let retry_after = self.retry_after_secs().to_string();
+                    let mut stream = stream;
+                    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+                    let _ = write_response(
+                        &mut stream,
+                        503,
+                        "application/json",
+                        &[("retry-after", &retry_after), ("connection", "close")],
+                        b"{\"error\":\"too many connections, retry later\"}",
+                    );
+                    continue;
+                }
                 s.spawn(move || self.handle_connection(stream));
             }
             // Refuse new connections from this instant: queued backlog
@@ -245,8 +372,62 @@ impl Server {
             .unwrap_or_else(PoisonError::into_inner)
     }
 
+    /// The load-aware `Retry-After` advertised on `503`: the predicted
+    /// time to drain the current backlog (`ceil(depth / max_batch)`
+    /// batches at the recent EWMA service time across the workers),
+    /// clamped to `[1, 30]` seconds. An idle or cold server advertises
+    /// the 1-second floor; a deeply backed-up one tells clients to stay
+    /// away longer instead of dogpiling every second.
+    fn retry_after_secs(&self) -> u64 {
+        let depth = self.engine.queue_depth() as u64;
+        let batch = self.engine.max_batch().max(1) as u64;
+        let workers = self.cfg.workers.max(1) as u64;
+        let est_us = depth
+            .div_ceil(batch)
+            .saturating_mul(self.engine.recent_batch_us())
+            / workers;
+        let secs = est_us.div_ceil(1_000_000).clamp(1, 30);
+        self.engine
+            .metrics()
+            .retry_after_s
+            .store(secs, Ordering::Relaxed);
+        secs
+    }
+
+    /// Writes one buffered response, honoring the `serve.ingress.write`
+    /// chaos hook (`truncate:N` cuts the wire mid-response, `error`
+    /// drops it entirely — both then poison the connection like a real
+    /// broken pipe would).
+    fn write_reply(
+        &self,
+        writer: &mut TcpStream,
+        status: u16,
+        content_type: &str,
+        extra: &[(&str, &str)],
+        body: &[u8],
+    ) -> std::io::Result<()> {
+        match cirgps_failpoints::eval("serve.ingress.write") {
+            Some(FailAction::Truncate(n)) => {
+                let mut wire = Vec::new();
+                write_response(&mut wire, status, content_type, extra, body)?;
+                wire.truncate(n as usize);
+                writer.write_all(&wire)?;
+                let _ = writer.flush();
+                Err(std::io::Error::new(
+                    std::io::ErrorKind::BrokenPipe,
+                    "torn response (failpoint)",
+                ))
+            }
+            Some(FailAction::Error) => Err(std::io::Error::new(
+                std::io::ErrorKind::BrokenPipe,
+                "response write failed (failpoint)",
+            )),
+            None => write_response(writer, status, content_type, extra, body),
+        }
+    }
+
     fn handle_connection(&self, stream: TcpStream) {
-        let _ = stream.set_read_timeout(Some(self.cfg.read_timeout));
+        let _ = stream.set_write_timeout(Some(self.cfg.read_timeout));
         let Ok(read_half) = stream.try_clone() else {
             return;
         };
@@ -269,10 +450,24 @@ impl Server {
         }
         let _guard = Deregister(self, id);
 
-        let mut reader = BufReader::new(read_half);
+        let gate = Arc::new(DeadlineGate::default());
+        let mut reader = BufReader::new(DeadlineStream {
+            inner: read_half,
+            idle: self.cfg.idle_timeout,
+            ingress: self.cfg.ingress_timeout,
+            gate: gate.clone(),
+        });
         let mut writer = stream;
+        let limits = IngressLimits {
+            max_body_bytes: self.cfg.max_body_bytes,
+            max_headers: self.cfg.max_headers,
+        };
+        let metrics = self.engine.metrics();
         loop {
-            match read_request(&mut reader) {
+            // Between requests the connection is idle, not mid-request:
+            // the ingress deadline re-arms at the next first byte.
+            gate.set(None);
+            match read_request_limited(&mut reader, &limits) {
                 Ok(Some(req)) => {
                     // During shutdown/drain the keep-alive loop must not
                     // spin on a chatty client forever: answer this
@@ -281,6 +476,10 @@ impl Server {
                     let close = req.close
                         || self.shutdown.load(Ordering::SeqCst)
                         || self.draining.load(Ordering::SeqCst);
+                    // The request is fully read; its predict/sweep time
+                    // is governed by `request_timeout`, not the ingress
+                    // deadline.
+                    gate.set(None);
                     // Sweeps stream a chunked body directly to the
                     // socket (their length is unknown up front), so they
                     // bypass the buffered `route` path.
@@ -290,16 +489,17 @@ impl Server {
                             Ok(()) if !close => continue,
                             Ok(()) => return,
                             Err(SweepError::Bad(msg)) => {
-                                Metrics::inc(&self.engine.metrics().http_bad_request);
+                                Metrics::inc(&metrics.http_bad_request);
                                 let body = format!("{{\"error\":\"{}\"}}", escape(&msg));
-                                if write_response(
-                                    &mut writer,
-                                    400,
-                                    "application/json",
-                                    &[],
-                                    body.as_bytes(),
-                                )
-                                .is_err()
+                                if self
+                                    .write_reply(
+                                        &mut writer,
+                                        400,
+                                        "application/json",
+                                        &[],
+                                        body.as_bytes(),
+                                    )
+                                    .is_err()
                                     || close
                                 {
                                     return;
@@ -311,14 +511,18 @@ impl Server {
                     }
                     let (status, content_type, body) = self.route(&req);
                     // Backpressure is transient — tell clients when to
-                    // come back (docs/serving.md recommends exponential
-                    // backoff from this floor).
+                    // come back. The value is load-aware: it scales with
+                    // the predicted backlog drain time (docs/serving.md
+                    // recommends exponential backoff from that floor).
+                    let retry_after;
                     let extra: &[(&str, &str)] = if status == 503 {
-                        &[("retry-after", "1")]
+                        retry_after = self.retry_after_secs().to_string();
+                        &[("retry-after", &retry_after)]
                     } else {
                         &[]
                     };
-                    if write_response(&mut writer, status, content_type, extra, body.as_bytes())
+                    if self
+                        .write_reply(&mut writer, status, content_type, extra, body.as_bytes())
                         .is_err()
                         || close
                     {
@@ -326,14 +530,51 @@ impl Server {
                     }
                 }
                 Ok(None) => return,
-                Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
-                    Metrics::inc(&self.engine.metrics().http_bad_request);
-                    let body = format!("{{\"error\":\"{}\"}}", escape(&e.to_string()));
-                    let _ =
-                        write_response(&mut writer, 400, "application/json", &[], body.as_bytes());
+                Err(RequestError::Bad(msg)) => {
+                    Metrics::inc(&metrics.http_bad_request);
+                    let body = format!("{{\"error\":\"{}\"}}", escape(&msg));
+                    let _ = self.write_reply(
+                        &mut writer,
+                        400,
+                        "application/json",
+                        &[],
+                        body.as_bytes(),
+                    );
                     return;
                 }
-                Err(_) => return,
+                Err(RequestError::TooLarge(msg)) => {
+                    // The oversized body was never read, so the stream
+                    // position is unknown — answer and close.
+                    Metrics::inc(&metrics.requests_too_large);
+                    let body = format!("{{\"error\":\"{}\"}}", escape(&msg));
+                    let _ = self.write_reply(
+                        &mut writer,
+                        413,
+                        "application/json",
+                        &[("connection", "close")],
+                        body.as_bytes(),
+                    );
+                    return;
+                }
+                Err(RequestError::Timeout) => {
+                    Metrics::inc(&metrics.requests_ingress_timeout);
+                    let _ = self.write_reply(
+                        &mut writer,
+                        408,
+                        "application/json",
+                        &[("connection", "close")],
+                        b"{\"error\":\"request read deadline exceeded\"}",
+                    );
+                    return;
+                }
+                Err(RequestError::Io(e)) => {
+                    if e.kind() == std::io::ErrorKind::WouldBlock {
+                        // Idle keep-alive expiry — a normal lifecycle
+                        // event, closed silently.
+                        Metrics::inc(&metrics.connections_idle_closed);
+                    }
+                    return;
+                }
             }
         }
     }
@@ -351,7 +592,12 @@ impl Server {
                 (
                     200,
                     "text/plain; version=0.0.4",
-                    metrics.render(self.engine.queue_depth(), self.is_draining()),
+                    metrics.render(
+                        self.engine.queue_depth(),
+                        self.is_draining(),
+                        self.engine.in_brownout(),
+                        self.engine.recent_batch_us(),
+                    ),
                 )
             }
             ("POST", "/v1/predict") => match self.handle_predict(&req.body) {
@@ -371,6 +617,11 @@ impl Server {
                     503,
                     "application/json",
                     "{\"error\":\"queue full, retry later\"}".into(),
+                ),
+                Err(PredictError::Shed) => (
+                    503,
+                    "application/json",
+                    "{\"error\":\"overloaded (admission control), retry later\"}".into(),
                 ),
                 Err(PredictError::ShuttingDown) => (
                     503,
@@ -495,6 +746,22 @@ impl Server {
             )));
         }
 
+        // Admission control: once the EWMA service time is warm, shed
+        // requests whose predicted queue sojourn already exceeds their
+        // deadline — answering 503 now beats making the client wait the
+        // full `request_timeout` for a guaranteed 504.
+        let per_batch_us = self.engine.recent_batch_us();
+        if per_batch_us > 0 {
+            let backlog = (self.engine.queue_depth() + keys.len()) as u64;
+            let batch = self.engine.max_batch().max(1) as u64;
+            let workers = self.cfg.workers.max(1) as u64;
+            let est_us = backlog.div_ceil(batch).saturating_mul(per_batch_us) / workers;
+            if est_us > self.cfg.request_timeout.as_micros() as u64 {
+                Metrics::inc(&self.engine.metrics().rejected_admission);
+                return Err(PredictError::Shed);
+            }
+        }
+
         let slot = self.engine.submit(kind, &keys).map_err(|e| match e {
             SubmitError::QueueFull => PredictError::Overloaded,
             SubmitError::ShuttingDown => PredictError::ShuttingDown,
@@ -554,6 +821,12 @@ impl Server {
         let mut io_err = false;
         let mut buf = String::new();
         let mut emit = |ps: &[(u32, u32)], vs: &[f32]| -> bool {
+            // Chaos hook: a client that disconnects mid-stream surfaces
+            // here as a write error on the next chunk.
+            if cirgps_failpoints::eval("serve.sweep.chunk").is_some() {
+                io_err = true;
+                return false;
+            }
             buf.clear();
             for (&(a, b), v) in ps.iter().zip(vs) {
                 // Shortest round-trip formatting, same exactness contract
@@ -699,6 +972,7 @@ fn node_id(v: &Json, num_nodes: u32, what: &str) -> Result<u32, String> {
 enum PredictError {
     Bad(String),
     Overloaded,
+    Shed,
     ShuttingDown,
     Timeout,
 }

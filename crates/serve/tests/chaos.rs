@@ -134,6 +134,7 @@ fn injected_worker_panic_and_batch_stall_are_survived() {
             read_timeout: Duration::from_secs(5),
             drain_timeout: Duration::from_secs(2),
             request_timeout: DEADLINE,
+            ..ServeConfig::default()
         },
     );
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind");

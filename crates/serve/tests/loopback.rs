@@ -231,6 +231,7 @@ fn concurrent_singletons_coalesce_and_match_direct_predictions() {
         read_timeout: Duration::from_secs(5),
         drain_timeout: Duration::from_secs(2),
         request_timeout: Duration::from_secs(10),
+        ..ServeConfig::default()
     };
     let server = Server::new(model, graph, "TOY".into(), cfg);
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
@@ -356,6 +357,7 @@ fn graceful_drain_answers_in_flight_bitwise_and_refuses_new_connections() {
         read_timeout: Duration::from_secs(5),
         drain_timeout: Duration::from_secs(5),
         request_timeout: Duration::from_secs(10),
+        ..ServeConfig::default()
     };
     let server = Server::new(model, graph, "TOY".into(), cfg);
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
@@ -639,6 +641,216 @@ fn protocol_errors_are_reported_not_fatal() {
         );
         assert_eq!(status, 200, "{resp}");
         assert!(resp.contains("\"count\":1"), "{resp}");
+
+        server.shutdown(addr);
+    });
+}
+
+/// Fetches one counter row from `/metrics`.
+fn metric(addr: SocketAddr, name: &str) -> u64 {
+    let (status, body) = http(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    body.lines()
+        .find_map(|l| l.strip_prefix(&format!("cirgps_serve_{name} ")))
+        .unwrap_or_else(|| panic!("no {name} row in {body}"))
+        .parse()
+        .unwrap_or_else(|_| panic!("non-numeric {name}"))
+}
+
+/// Ingress hardening, observed from outside: an oversized body is
+/// refused with 413 before it is read, an idle keep-alive connection is
+/// closed (not leaked), and a client vanishing mid-sweep neither wedges
+/// nor poisons the daemon. Each rejection ticks its metric.
+#[test]
+fn hostile_ingress_is_bounded_and_the_daemon_survives() {
+    let (graph, pairs) = toy_graph();
+    let server = Server::new(
+        small_model(),
+        graph,
+        "TOY".into(),
+        ServeConfig {
+            max_wait: Duration::ZERO,
+            workers: 1,
+            read_timeout: Duration::from_secs(5),
+            max_body_bytes: 1024,
+            idle_timeout: Duration::from_millis(300),
+            ingress_timeout: Duration::from_secs(2),
+            ..ServeConfig::default()
+        },
+    );
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+
+    std::thread::scope(|s| {
+        s.spawn(|| server.serve(listener));
+
+        // Oversized body: the Content-Length alone earns a 413 — the
+        // server must not wait for (or buffer) the advertised megabytes.
+        {
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            stream
+                .set_read_timeout(Some(Duration::from_secs(5)))
+                .unwrap();
+            write!(
+                stream,
+                "POST /v1/predict HTTP/1.1\r\nHost: x\r\nContent-Length: 10000000\r\n\r\n"
+            )
+            .expect("send");
+            let mut reader = BufReader::new(stream);
+            let (status, body) = read_response(&mut reader);
+            assert_eq!(status, 413, "{body}");
+            assert!(body.contains("exceeds the 1024 byte limit"), "{body}");
+            // 413 closes the connection: the next read sees EOF.
+            let mut probe = String::new();
+            assert_eq!(reader.read_line(&mut probe).unwrap(), 0);
+        }
+        assert_eq!(metric(addr, "requests_too_large_total"), 1);
+
+        // Too many header lines is a 400, not an unbounded Vec.
+        {
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            stream
+                .set_read_timeout(Some(Duration::from_secs(5)))
+                .unwrap();
+            let headers: String = (0..100).map(|i| format!("X-{i}: y\r\n")).collect();
+            write!(
+                stream,
+                "GET /healthz HTTP/1.1\r\n{headers}Content-Length: 0\r\n\r\n"
+            )
+            .expect("send");
+            let mut reader = BufReader::new(stream);
+            let (status, body) = read_response(&mut reader);
+            assert_eq!(status, 400, "{body}");
+            assert!(body.contains("more than"), "{body}");
+        }
+
+        // Idle keep-alive connection: closed by the server after the
+        // idle deadline, and counted.
+        {
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            stream
+                .set_read_timeout(Some(Duration::from_secs(5)))
+                .unwrap();
+            let mut probe = [0u8; 1];
+            // The server should close us without a byte in response.
+            assert_eq!(stream.read(&mut probe).expect("clean EOF"), 0);
+        }
+        assert!(metric(addr, "connections_idle_closed_total") >= 1);
+
+        // Client vanishing mid-sweep: read one chunk, then drop the
+        // connection. The sweep thread must unwind without wedging.
+        {
+            let pair_list = pairs
+                .iter()
+                .map(|&(a, b)| format!("[{a},{b}]"))
+                .collect::<Vec<_>>()
+                .join(",");
+            let body = format!("{{\"task\":\"link\",\"pairs\":[{pair_list}],\"chunk\":1}}");
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            stream
+                .set_read_timeout(Some(Duration::from_secs(5)))
+                .unwrap();
+            write!(
+                stream,
+                "POST /v1/sweep HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .expect("send");
+            let mut reader = BufReader::new(stream);
+            let mut status_line = String::new();
+            reader.read_line(&mut status_line).expect("status");
+            assert!(status_line.contains("200"), "{status_line}");
+            // Drop with the rest of the stream unread.
+        }
+
+        // The daemon is still fully healthy after all of the above.
+        let (status, resp) = http(
+            addr,
+            "POST",
+            "/v1/predict",
+            &format!(
+                "{{\"task\":\"link\",\"pairs\":[[{},{}]]}}",
+                pairs[0].0, pairs[0].1
+            ),
+        );
+        assert_eq!(status, 200, "{resp}");
+        assert!(resp.contains("\"count\":1"), "{resp}");
+
+        server.shutdown(addr);
+    });
+}
+
+/// The accept-level connection cap sheds with a 503 whose `Retry-After`
+/// is the load-aware estimate (≥ 1 s), and frees up once the hogging
+/// connection closes.
+#[test]
+fn connection_cap_sheds_with_load_aware_retry_after() {
+    let (graph, _pairs) = toy_graph();
+    let server = Server::new(
+        small_model(),
+        graph,
+        "TOY".into(),
+        ServeConfig {
+            max_wait: Duration::ZERO,
+            workers: 1,
+            read_timeout: Duration::from_secs(5),
+            max_connections: 1,
+            ..ServeConfig::default()
+        },
+    );
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+
+    std::thread::scope(|s| {
+        s.spawn(|| server.serve(listener));
+
+        // Connection 1 takes the only slot and keeps it (keep-alive).
+        let mut hog = TcpStream::connect(addr).expect("connect");
+        hog.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        send_request(&mut hog, "GET", "/healthz", "");
+        let mut hog_reader = BufReader::new(hog.try_clone().unwrap());
+        let (status, _) = read_response(&mut hog_reader);
+        assert_eq!(status, 200);
+
+        // Connection 2 is shed at accept time with a parseable
+        // Retry-After.
+        let shed = TcpStream::connect(addr).expect("connect");
+        shed.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut reader = BufReader::new(shed.try_clone().unwrap());
+        let mut status_line = String::new();
+        reader.read_line(&mut status_line).expect("status");
+        assert!(status_line.contains("503"), "{status_line}");
+        let mut retry_after: Option<u64> = None;
+        loop {
+            let mut line = String::new();
+            if reader.read_line(&mut line).unwrap_or(0) == 0 {
+                break;
+            }
+            let line = line.trim_end().to_ascii_lowercase();
+            if line.is_empty() {
+                break;
+            }
+            if let Some(v) = line.strip_prefix("retry-after:") {
+                retry_after = v.trim().parse().ok();
+            }
+        }
+        let retry_after = retry_after.expect("shed 503 must carry Retry-After");
+        assert!((1..=30).contains(&retry_after), "{retry_after}");
+        drop(reader);
+        drop(shed);
+
+        // Freeing the slot lets the next connection through.
+        drop(hog_reader);
+        drop(hog);
+        for attempt in 0.. {
+            let (status, _) = http(addr, "GET", "/healthz", "");
+            if status == 200 {
+                break;
+            }
+            assert!(attempt < 50, "slot never freed");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert!(metric(addr, "rejected_max_conns_total") >= 1);
 
         server.shutdown(addr);
     });

@@ -42,25 +42,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Strategy 1: from scratch.
     let mut scratch = CircuitGps::new(ModelConfig::default());
-    finetune_regression(&mut scratch, train, FinetuneMode::Scratch, &tcfg);
+    finetune_regression(&mut scratch, train, FinetuneMode::Scratch, &tcfg)?;
     let m1 = evaluate_regression(&scratch, test);
 
     // Pre-train a meta-learner for the fine-tuning strategies.
     let mut pretrained = CircuitGps::new(ModelConfig::default());
-    pretrain_link(&mut pretrained, train, &tcfg);
+    pretrain_link(&mut pretrained, train, &tcfg)?;
     let mut checkpoint = Vec::new();
     pretrained.save(&mut checkpoint)?;
 
     // Strategy 2: freeze encoders + GPS layers, train only the head.
     let mut head_ft = CircuitGps::new(ModelConfig::default());
     head_ft.load(&checkpoint[..])?;
-    finetune_regression(&mut head_ft, train, FinetuneMode::HeadOnly, &tcfg);
+    finetune_regression(&mut head_ft, train, FinetuneMode::HeadOnly, &tcfg)?;
     let m2 = evaluate_regression(&head_ft, test);
 
     // Strategy 3: fine-tune everything from the pre-trained init.
     let mut all_ft = CircuitGps::new(ModelConfig::default());
     all_ft.load(&checkpoint[..])?;
-    finetune_regression(&mut all_ft, train, FinetuneMode::All, &tcfg);
+    finetune_regression(&mut all_ft, train, FinetuneMode::All, &tcfg)?;
     let m3 = evaluate_regression(&all_ft, test);
 
     println!("capacitance regression on held-out SSRAM links:");

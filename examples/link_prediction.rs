@@ -55,7 +55,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             log_every: 1,
             ..Default::default()
         },
-    );
+    )
+    .expect("training diverged");
 
     // Save the meta-learner checkpoint, as the paper does before
     // fine-tuning or zero-shot transfer.

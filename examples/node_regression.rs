@@ -38,7 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             log_every: 2,
             ..Default::default()
         },
-    );
+    )?;
     let m = evaluate_regression(&model, test);
     println!(
         "ground-capacitance regression: MAE {:.3}  RMSE {:.3}  R2 {:.3}",

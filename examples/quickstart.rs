@@ -66,7 +66,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             log_every: 1,
             ..Default::default()
         },
-    );
+    )
+    .expect("training diverged");
     println!("trained in {:.1}s", history.seconds);
 
     // 6. Evaluate.

@@ -18,6 +18,7 @@ use std::net::TcpListener;
 use std::process::ExitCode;
 use std::time::Duration;
 
+use cirgps::client::{Client, RetryPolicy};
 use cirgps::datagen::{generate_with_parasitics, DesignKind, SizePreset};
 use cirgps::graph::{netlist_to_graph, CircuitGraph, GraphStats, XcSpec};
 use cirgps::model::{
@@ -54,6 +55,7 @@ fn main() -> ExitCode {
         "predict" => cmd_predict(&flags),
         "sweep" => cmd_sweep(&flags),
         "serve" => cmd_serve(&flags),
+        "client" => cmd_client(&flags),
         "energy" => cmd_energy(&flags),
         other => Err(format!("unknown command {other:?}\n{USAGE}")),
     });
@@ -211,8 +213,40 @@ USAGE:
         --request-timeout-ms
                        per-request deadline; a request not answered in
                        time gets 504 instead of hanging (default 30000)
+        --max-body-bytes
+                       reject request bodies larger than this with 413
+                       (default 8388608)
+        --max-headers  reject requests with more header lines with 400
+                       (default 64)
+        --idle-timeout-ms
+                       close a keep-alive connection idle this long
+                       (default 60000)
+        --ingress-timeout-ms
+                       wall-clock budget for reading one request once
+                       its first byte arrives; slow-loris senders get
+                       408 (default 10000)
+        --max-conns    concurrent-connection cap; excess connections are
+                       shed with 503 + Retry-After (default 256)
       Endpoints: GET /healthz, GET /metrics, POST /v1/predict,
       POST /v1/sweep (chunked JSONL bulk sweep).
+
+  cirgps client [--addr HOST:PORT] [--method GET|POST] [--path P]
+                [--body JSON | --body-file FILE]
+                [--retries N] [--deadline-ms N] [--seed N]
+      Query a running daemon through the retrying client: exponential
+      backoff with decorrelated jitter, Retry-After honoring, and a
+      total deadline budget (docs/robustness.md has the recipe).
+      `--path /v1/sweep` streams the chunked JSONL response to stdout
+      as it arrives; other paths print the response body.
+        --addr         daemon address (default 127.0.0.1:8321)
+        --method       GET (default) or POST
+        --path P       request path (default /healthz)
+        --body JSON    inline request body
+        --body-file F  read the request body from a file
+        --retries N    attempts before giving up (default 6)
+        --deadline-ms N
+                       total budget across all attempts (default 30000)
+        --seed N       backoff jitter seed (default 24301)
 
   cirgps energy --netlist FILE.sp --top NAME --spf FILE.spf
                 [--vectors N] [--vdd V] [--seed N]
@@ -736,6 +770,18 @@ fn cmd_pretrain(flags: &HashMap<String, String>) -> Result<(), String> {
             }
         },
     );
+    let outcome = match outcome {
+        Ok(o) => o,
+        Err(e) => {
+            // The rolling snapshot written at the last epoch boundary is
+            // untouched — after fixing the divergence (data, lr), resume
+            // from it with `--resume`.
+            return Err(format!(
+                "training aborted: {e}; the most recent rolling snapshot is still \
+                 valid — fix the run and continue with `cirgps pretrain --resume`"
+            ));
+        }
+    };
     let hist = outcome.history;
 
     if outcome.interrupted {
@@ -882,7 +928,8 @@ fn cmd_finetune(flags: &HashMap<String, String>) -> Result<(), String> {
                 p.epoch, rm.mae, rm.rmse, rm.r2
             ));
         }
-    });
+    })
+    .map_err(|e| format!("training aborted: {e}"))?;
 
     let rm = evaluate_regression(&model, &eval_set);
     eprintln!(
@@ -1332,6 +1379,11 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
             "cache-cap",
             "drain-timeout-ms",
             "request-timeout-ms",
+            "max-body-bytes",
+            "max-headers",
+            "idle-timeout-ms",
+            "ingress-timeout-ms",
+            "max-conns",
         ],
     )?;
     let defaults = ServeConfig::default();
@@ -1350,8 +1402,30 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         "request-timeout-ms",
         defaults.request_timeout.as_millis() as u64,
     )?;
+    let max_body_bytes = flag_parse(flags, "max-body-bytes", defaults.max_body_bytes)?;
+    let max_headers = flag_parse(flags, "max-headers", defaults.max_headers)?;
+    let idle_timeout_ms = flag_parse(
+        flags,
+        "idle-timeout-ms",
+        defaults.idle_timeout.as_millis() as u64,
+    )?;
+    let ingress_timeout_ms = flag_parse(
+        flags,
+        "ingress-timeout-ms",
+        defaults.ingress_timeout.as_millis() as u64,
+    )?;
+    let max_conns = flag_parse(flags, "max-conns", defaults.max_connections)?;
     if request_timeout_ms == 0 {
         return Err("--request-timeout-ms must be positive".into());
+    }
+    if max_body_bytes == 0 || max_headers == 0 {
+        return Err("--max-body-bytes and --max-headers must be positive".into());
+    }
+    if idle_timeout_ms == 0 || ingress_timeout_ms == 0 {
+        return Err("--idle-timeout-ms and --ingress-timeout-ms must be positive".into());
+    }
+    if max_conns == 0 {
+        return Err("--max-conns must be positive".into());
     }
     if max_batch == 0 || workers == 0 {
         return Err("--max-batch and --workers must be positive".into());
@@ -1393,6 +1467,11 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         cache_capacity: cache_cap,
         drain_timeout: Duration::from_millis(drain_timeout_ms),
         request_timeout: Duration::from_millis(request_timeout_ms),
+        max_body_bytes,
+        max_headers,
+        idle_timeout: Duration::from_millis(idle_timeout_ms),
+        ingress_timeout: Duration::from_millis(ingress_timeout_ms),
+        max_connections: max_conns,
         ..defaults
     };
     let listener = TcpListener::bind(&addr).map_err(|e| format!("binding {addr}: {e}"))?;
@@ -1433,6 +1512,100 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         done.store(true, std::sync::atomic::Ordering::SeqCst);
     });
     eprintln!("cirgps-serve: drained; all accepted work answered");
+    Ok(())
+}
+
+fn cmd_client(flags: &HashMap<String, String>) -> Result<(), String> {
+    use std::io::Write as _;
+    check_flags(
+        flags,
+        "client",
+        &[
+            "addr",
+            "method",
+            "path",
+            "body",
+            "body-file",
+            "retries",
+            "deadline-ms",
+            "seed",
+        ],
+    )?;
+    let addr = flags
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:8321".into());
+    let method = flags
+        .get("method")
+        .cloned()
+        .unwrap_or_else(|| "GET".into())
+        .to_ascii_uppercase();
+    if method != "GET" && method != "POST" {
+        return Err(format!("--method must be GET or POST, got {method:?}"));
+    }
+    let path = flags
+        .get("path")
+        .cloned()
+        .unwrap_or_else(|| "/healthz".into());
+    let body = match (flags.get("body"), flags.get("body-file")) {
+        (Some(_), Some(_)) => return Err("--body and --body-file are exclusive".into()),
+        (Some(b), None) => b.clone().into_bytes(),
+        (None, Some(f)) => fs::read(f).map_err(|e| format!("reading {f}: {e}"))?,
+        (None, None) => Vec::new(),
+    };
+    let retries: usize = flag_parse(flags, "retries", 6)?;
+    let deadline_ms: u64 = flag_parse(flags, "deadline-ms", 30_000)?;
+    if retries == 0 || deadline_ms == 0 {
+        return Err("--retries and --deadline-ms must be positive".into());
+    }
+    let seed: u64 = flag_parse(flags, "seed", 0x5eed)?;
+    let policy = RetryPolicy {
+        max_attempts: retries,
+        deadline: Duration::from_millis(deadline_ms),
+        ..RetryPolicy::default()
+    };
+    let mut client = Client::new(addr).with_policy(policy).with_seed(seed);
+
+    // /v1/sweep streams a chunked JSONL body: forward each chunk to
+    // stdout as it arrives instead of buffering the whole sweep.
+    if path.starts_with("/v1/sweep") {
+        let stdout = std::io::stdout();
+        let mut out = stdout.lock();
+        let mut write_ok = true;
+        let status = client
+            .post_stream(&path, &body, &mut |chunk| {
+                write_ok = out.write_all(chunk).is_ok() && out.flush().is_ok();
+                write_ok
+            })
+            .map_err(|e| e.to_string())?;
+        if !write_ok {
+            return Err("stdout closed mid-stream".into());
+        }
+        if status >= 400 {
+            return Err(format!("server answered {status}"));
+        }
+        return Ok(());
+    }
+
+    let resp = match method.as_str() {
+        "GET" => client.get(&path),
+        _ => client.post(&path, &body),
+    }
+    .map_err(|e| e.to_string())?;
+    let mut stdout = std::io::stdout().lock();
+    stdout
+        .write_all(&resp.body)
+        .and_then(|()| {
+            if resp.body.last() != Some(&b'\n') {
+                stdout.write_all(b"\n")
+            } else {
+                Ok(())
+            }
+        })
+        .map_err(|e| e.to_string())?;
+    if resp.status >= 400 {
+        return Err(format!("server answered {}", resp.status));
+    }
     Ok(())
 }
 

@@ -46,6 +46,7 @@ pub use ams_netlist as netlist;
 pub use circuit_graph as graph;
 pub use circuitgps as model;
 pub use cirgps_baselines as baselines;
+pub use cirgps_client as client;
 pub use cirgps_nn as nn;
 pub use cirgps_serve as serve;
 pub use graph_pe as pe;

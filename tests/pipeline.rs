@@ -46,7 +46,7 @@ fn end_to_end_link_prediction_learns() {
         epochs: 3,
         ..Default::default()
     };
-    let hist = pretrain_link(&mut model, &samples, &cfg);
+    let hist = pretrain_link(&mut model, &samples, &cfg).expect("training diverged");
     assert!(
         hist.epoch_losses.last().unwrap() < &hist.epoch_losses[0],
         "loss should decrease: {:?}",
@@ -77,7 +77,8 @@ fn end_to_end_regression_beats_constant_predictor() {
         epochs: 4,
         ..Default::default()
     };
-    finetune_regression(&mut model, &samples, FinetuneMode::Scratch, &cfg);
+    finetune_regression(&mut model, &samples, FinetuneMode::Scratch, &cfg)
+        .expect("training diverged");
     let m = evaluate_regression(&model, &samples);
 
     // A constant predictor at the target mean has MAE equal to the mean
@@ -130,7 +131,8 @@ fn zero_shot_transfer_between_archetypes() {
             epochs: 4,
             ..Default::default()
         },
-    );
+    )
+    .expect("training diverged");
     let m = evaluate_link(&model, &test);
     assert!(
         m.auc > 0.7,
