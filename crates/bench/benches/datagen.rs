@@ -1,0 +1,8 @@
+//! Grammar-enumerator throughput: pure enumeration plus build+extract
+//! cost at three design-size tiers. The measurement body lives in
+//! `cirgps_bench::perf` so `bench_json` can snapshot it too.
+
+use criterion::{criterion_group, criterion_main};
+
+criterion_group!(benches, cirgps_bench::perf::datagen_enumerate_suite);
+criterion_main!(benches);

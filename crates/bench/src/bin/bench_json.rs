@@ -1,6 +1,7 @@
 //! Perf-snapshot harness: runs the criterion suites (`layer_forward`,
 //! `attention`, `sampling`, `full_pipeline`, `serve_throughput`,
-//! `sweep_throughput`) in-process and writes every result as a
+//! `sweep_throughput`, `datagen_enumerate`) in-process and writes every
+//! result as a
 //! JSON line `{"group", "name", "ns_per_iter", "iters"}` to
 //! `BENCH_<date>.json`, so successive PRs accumulate a comparable perf
 //! trajectory.
@@ -105,6 +106,8 @@ fn main() -> ExitCode {
     perf::serve_throughput_suite(&mut c);
     eprintln!("== sweep_throughput ==");
     perf::sweep_throughput_suite(&mut c);
+    eprintln!("== datagen_enumerate ==");
+    perf::datagen_enumerate_suite(&mut c);
 
     let mut f = std::fs::File::create(&args.out_path).expect("cannot create bench output file");
     for r in c.results() {

@@ -254,6 +254,49 @@ pub fn sweep_throughput_suite(c: &mut Criterion) {
     group.finish();
 }
 
+/// Grammar-enumerator throughput driver: how fast the composition
+/// grammar turns into training data. `enumerate_terms` measures pure
+/// enumeration (designs/sec over the default CLI window); the
+/// `build_extract` tiers measure one design's full build + parasitic
+/// extraction at three device-count scales, so nodes/sec is
+/// `devices / ns_per_iter` and regressions in either the builder or the
+/// extractor's spatial scans show up at the tier where they bite.
+pub fn datagen_enumerate_suite(c: &mut Criterion) {
+    use ams_datagen::enumerate::{build_term, enumerate_terms, term_extract_seed};
+    use ams_datagen::{extract_parasitics, ExtractConfig};
+
+    let mut group = c.benchmark_group("datagen_enumerate");
+    group.sample_size(10);
+
+    group.bench_function("enumerate_terms/4000", |b| {
+        b.iter(|| std::hint::black_box(enumerate_terms(None, 0, 4000).len()))
+    });
+
+    for (label, lo, hi) in [
+        ("1k", 900u64, 1_100),
+        ("10k", 9_000, 11_000),
+        ("100k", 90_000, 120_000),
+    ] {
+        let terms = enumerate_terms(None, lo, hi);
+        let term = terms
+            .first()
+            .unwrap_or_else(|| panic!("no terms in window [{lo}, {hi}]"))
+            .clone();
+        let cfg = ExtractConfig {
+            seed: term_extract_seed(7, &term),
+            ..ExtractConfig::default()
+        };
+        group.bench_function(format!("build_extract/{label}"), |b| {
+            b.iter(|| {
+                let d = build_term(&term, 7).expect("enumerated term must build");
+                let spf = extract_parasitics(&d, &cfg);
+                std::hint::black_box((d.netlist.num_devices(), spf.len()))
+            })
+        });
+    }
+    group.finish();
+}
+
 /// Table IV driver: enclosing-subgraph sampling throughput (the paper's
 /// sampling step is the dataset-construction bottleneck at scale).
 pub fn sampling_suite(c: &mut Criterion) {

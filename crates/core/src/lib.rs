@@ -32,6 +32,7 @@
 
 mod checkpoint;
 mod config;
+pub mod corpus;
 mod durable;
 mod infer;
 pub mod interrupt;

@@ -43,6 +43,69 @@ pub fn cell_ports(cell: &str) -> Option<&'static [&'static str]> {
     })
 }
 
+/// Electrical role of a cell port, as seen from outside the cell.
+///
+/// The composition grammar uses this to wire productions legally (every
+/// `Input` port must see a driven net) and the validity filters use it to
+/// explain violations in library terms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortRole {
+    /// High-impedance gate input: must be driven by something else.
+    Input,
+    /// Actively driven output.
+    Output,
+    /// Source/drain channel terminal (bitlines, pass-gate ends): conducts
+    /// both ways, counts as a driver for validity purposes.
+    Channel,
+    /// Power or ground rail.
+    Supply,
+}
+
+/// The [`PortRole`] of `port` on `cell`, or `None` for unknown pairs.
+pub fn cell_port_role(cell: &str, port: &str) -> Option<PortRole> {
+    use PortRole::*;
+    if matches!(port, "VDD" | "VSS" | "VDDL" | "VDDH") {
+        return cell_ports(cell)?.contains(&port).then_some(Supply);
+    }
+    Some(match (cell, port) {
+        ("INV" | "INVX4" | "BUF" | "RCDELAY" | "LVLSHIFT", "A") => Input,
+        ("INV" | "INVX4" | "BUF" | "RCDELAY" | "LVLSHIFT", "Z") => Output,
+        ("NAND2" | "NAND3" | "NOR2" | "XOR2", "A" | "B" | "C") => Input,
+        ("NAND2" | "NAND3" | "NOR2" | "XOR2", "Z") => Output,
+        ("MUX2", "A" | "B" | "S") => Input,
+        ("MUX2", "Z") => Output,
+        ("DFF", "D" | "CK") => Input,
+        ("DFF", "Q") => Output,
+        ("TGATE", "A" | "Z") => Channel,
+        ("TGATE", "EN" | "ENB") => Input,
+        ("SRAM6T", "BL" | "BLB") => Channel,
+        ("SRAM6T", "WL") => Input,
+        ("SRAM8T", "WBL" | "WBLB" | "RBL") => Channel,
+        ("SRAM8T", "WWL" | "RWL") => Input,
+        ("PRECH", "BL" | "BLB") => Output,
+        ("PRECH", "PCB") => Input,
+        ("SENSEAMP", "BL" | "BLB") => Channel,
+        ("SENSEAMP", "SAE") => Input,
+        ("SENSEAMP", "OUT" | "OUTB") => Output,
+        ("WRDRV", "D" | "WEN") => Input,
+        ("WRDRV", "BL" | "BLB") => Output,
+        ("COLMUX", "BL0" | "BL1" | "BLO") => Channel,
+        ("COLMUX", "SEL") => Input,
+        ("WLDRV", "IN") => Input,
+        ("WLDRV", "WL") => Output,
+        ("DIFFAMP", "INP" | "INN" | "VBN") => Input,
+        ("DIFFAMP", "OUT") => Output,
+        ("COMPARATOR", "INP" | "INN" | "CLK") => Input,
+        ("COMPARATOR", "OUTP" | "OUTN") => Output,
+        ("CURMIR", "IREF") => Channel,
+        ("CURMIR", "IOUT") => Output,
+        ("VREF", "VOUT") => Output,
+        ("FULLADD", "A" | "B" | "CI") => Input,
+        ("FULLADD", "S" | "CO") => Output,
+        _ => return None,
+    })
+}
+
 /// Approximate primitive-device count per cell (for sizing estimates).
 pub fn cell_device_count(cell: &str) -> Option<usize> {
     Some(match cell {

@@ -4,8 +4,8 @@
 //! the three test designs.
 
 use crate::builder::{BuildDesignError, Design, DesignBuilder};
-use crate::designs::sram_common::{bitcell_array_6t, CELL_H, CELL_W};
 use crate::designs::SizePreset;
+use crate::tiles::{bitcell_array_6t, CELL_H, CELL_W};
 
 /// `(rows, cols)` per preset.
 pub fn dims(preset: SizePreset) -> (usize, usize) {

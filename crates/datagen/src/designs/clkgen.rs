@@ -5,8 +5,8 @@
 //! with SRAM columns.
 
 use crate::builder::{BuildDesignError, Design, DesignBuilder};
-use crate::designs::sram_common::{clock_tree, CELL_H};
 use crate::designs::SizePreset;
+use crate::tiles::{clock_tree, CELL_H};
 
 /// `(ring_stages, replica_rows, divider_bits, n_branches)` per preset.
 pub fn dims(preset: SizePreset) -> (usize, usize, usize, usize) {

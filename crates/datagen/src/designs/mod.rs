@@ -12,7 +12,7 @@
 mod array;
 mod clkgen;
 mod sandwich;
-mod sram_common;
+
 mod ssram;
 mod timing;
 mod ultra8t;

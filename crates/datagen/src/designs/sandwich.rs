@@ -5,10 +5,8 @@
 //! are physically interleaved.
 
 use crate::builder::{BuildDesignError, Design, DesignBuilder};
-use crate::designs::sram_common::{
-    bitcell_array_6t, column_periphery, row_decoder, CELL_H, CELL_W,
-};
 use crate::designs::SizePreset;
+use crate::tiles::{bitcell_array_6t, column_periphery, row_decoder, CELL_H, CELL_W};
 
 /// `(rows_per_bank, cols, adder_width)` per preset.
 pub fn dims(preset: SizePreset) -> (usize, usize, usize) {
@@ -33,6 +31,10 @@ pub fn generate(preset: SizePreset) -> Result<Design, BuildDesignError> {
     for i in 0..adder_w {
         b.port(&format!("ACT{i}"));
     }
+    // Weight-write data bus, shared by both banks.
+    for c in 0..cols {
+        b.port(&format!("D{c}"));
+    }
 
     let bank_h = rows as f64 * CELL_H;
     let compute_h = 6.0;
@@ -47,6 +49,46 @@ pub fn generate(preset: SizePreset) -> Result<Design, BuildDesignError> {
     bitcell_array_6t(&mut b, "tb_", rows, cols, 0.0, top_y)?;
     row_decoder(&mut b, "tb_", rows, "tb_", 0.0, top_y)?;
     column_periphery(&mut b, "tb_", cols, 0.0, top_y + bank_h)?;
+
+    // Per-bank periphery control + data drivers: the precharge follows
+    // the clock, write/sense enables gate off the top-level controls,
+    // column selects come off the registered address, and the write
+    // drivers see the shared data bus. Without these the periphery's
+    // gate inputs float.
+    for (bi, p) in ["bb_", "tb_"].iter().enumerate() {
+        let y = if bi == 0 {
+            bank_h + 3.0
+        } else {
+            top_y + bank_h + 3.0
+        };
+        let csel0 = "abuf0".to_string();
+        let csel1 = format!("abuf{}", 1 % abits);
+        let ctls: [(&str, &str); 5] = [
+            ("PCB", "CLK"),
+            ("WEN", "WEN"),
+            ("SAE", "CEN"),
+            ("CSEL0", &csel0),
+            ("CSEL1", &csel1),
+        ];
+        for (j, (ctl, src)) in ctls.iter().enumerate() {
+            b.instance(
+                &format!("X{p}ctl{j}"),
+                "BUF",
+                &[src, &format!("{p}{ctl}"), "VDD", "VSS"],
+                -2.0,
+                y + j as f64 * 0.4,
+            )?;
+        }
+        for c in 0..cols {
+            b.instance(
+                &format!("X{p}din{c}"),
+                "BUF",
+                &[&format!("D{c}"), &format!("{p}D{c}"), "VDD", "VSS"],
+                c as f64 * CELL_W,
+                y + 2.2,
+            )?;
+        }
+    }
 
     // Shared address registers feeding both decoders.
     for i in 0..abits {

@@ -3,10 +3,8 @@
 //! IO latches, control), modeled on the paper's training design [23].
 
 use crate::builder::{BuildDesignError, Design, DesignBuilder};
-use crate::designs::sram_common::{
-    bitcell_array_6t, clock_tree, column_periphery, row_decoder, CELL_H, CELL_W,
-};
 use crate::designs::SizePreset;
+use crate::tiles::{bitcell_array_6t, clock_tree, column_periphery, row_decoder, CELL_H, CELL_W};
 
 /// Array dimensions per preset.
 pub fn dims(preset: SizePreset) -> (usize, usize) {

@@ -5,8 +5,8 @@
 //! VDDL core and VDDH periphery domains.
 
 use crate::builder::{BuildDesignError, Design, DesignBuilder};
-use crate::designs::sram_common::{bitcell_array_8t, row_decoder, CELL_H, CELL_W};
 use crate::designs::SizePreset;
+use crate::tiles::{bitcell_array_8t, row_decoder, CELL_H, CELL_W};
 
 /// `(rows, cols, banks)` per preset.
 pub fn dims(preset: SizePreset) -> (usize, usize, usize) {
@@ -27,6 +27,11 @@ pub fn generate(preset: SizePreset) -> Result<Design, BuildDesignError> {
     let abits = rows.next_power_of_two().trailing_zeros().max(1) as usize;
     for i in 0..abits {
         b.port(&format!("A{i}"));
+    }
+    // Write-data bus, shared across banks (the write drivers' D inputs
+    // must be driven from outside the macro).
+    for c in 0..cols {
+        b.port(&format!("D{c}"));
     }
 
     let bank_w = cols as f64 * CELL_W * 1.3 + 4.0;
@@ -64,7 +69,7 @@ pub fn generate(preset: SizePreset) -> Result<Design, BuildDesignError> {
                 &format!("X{p}wd{c}"),
                 "WRDRV",
                 &[
-                    &format!("{p}D{c}"),
+                    &format!("D{c}"),
                     "wen_l",
                     &format!("{p}WBL{c}"),
                     &format!("{p}WBLB{c}"),
@@ -124,10 +129,13 @@ pub fn generate(preset: SizePreset) -> Result<Design, BuildDesignError> {
             x0 + bank_w - 2.0,
             arr_top + 2.2,
         )?;
+        // The mirror sources the reference current into the replica read
+        // bitline the comparator monitors (an open mirror output would
+        // leave the measurement node floating).
         b.instance(
             &format!("X{p}mir"),
             "CURMIR",
-            &["ibias", &format!("{p}ileak"), "VSS"],
+            &["ibias", &format!("{p}RBL0"), "VSS"],
             x0 + bank_w - 1.0,
             arr_top + 2.8,
         )?;

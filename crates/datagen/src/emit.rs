@@ -1,0 +1,54 @@
+//! Shared SPICE+SPF emission: the one place a design pair becomes files.
+//!
+//! Both `cirgps gen` (the six hand-written archetypes) and
+//! `cirgps datagen` (the grammar enumerator) write through here, so the
+//! on-disk contract — `<NAME>.sp` holds the hierarchical source,
+//! `<NAME>.spf` the extracted parasitics — lives in exactly one place.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use ams_netlist::SpfFile;
+
+use crate::builder::Design;
+
+/// Writes `<dir>/<NAME>.sp` (hierarchical SPICE source) and
+/// `<dir>/<NAME>.spf` (extracted parasitics), creating `dir` if needed.
+/// Returns both paths.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_design_pair(
+    dir: &Path,
+    design: &Design,
+    spf: &SpfFile,
+) -> io::Result<(PathBuf, PathBuf)> {
+    std::fs::create_dir_all(dir)?;
+    let sp = dir.join(format!("{}.sp", design.name));
+    let spf_path = dir.join(format!("{}.spf", design.name));
+    // The hierarchical source is more useful than the flattened netlist:
+    // the pipeline re-flattens on load, and hierarchy keeps files small.
+    std::fs::write(&sp, &design.spice)?;
+    std::fs::write(&spf_path, spf.to_text())?;
+    Ok((sp, spf_path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{extract_parasitics, generate, DesignKind, ExtractConfig, SizePreset};
+
+    #[test]
+    fn pair_files_land_under_the_design_name() {
+        let d = generate(DesignKind::TimingControl, SizePreset::Tiny).unwrap();
+        let spf = extract_parasitics(&d, &ExtractConfig::default());
+        let dir = std::env::temp_dir().join("cirgps_emit_test");
+        let (sp, spf_path) = write_design_pair(&dir, &d, &spf).unwrap();
+        assert!(sp.ends_with("TIMING_CONTROL.sp"));
+        assert!(spf_path.ends_with("TIMING_CONTROL.spf"));
+        let text = std::fs::read_to_string(&sp).unwrap();
+        assert!(text.contains(".SUBCKT TIMING_CONTROL"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

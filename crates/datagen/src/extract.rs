@@ -270,9 +270,25 @@ pub fn extract_parasitics(design: &Design, cfg: &ExtractConfig) -> SpfFile {
     // --- Spatial grid over pins and signal-net boxes -----------------------
     let cell = cfg.coupling_radius.max(0.2);
     let key = |x: f64, y: f64| ((x / cell).floor() as i64, (y / cell).floor() as i64);
+    // The pin-pin radius is only 0.6x the coupling radius, so pins get
+    // their own finer grid — scanning 1.2 µm cells for a 0.72 µm radius
+    // visits ~3x more candidates than needed. A compact geometry
+    // side-array keeps the hot scan out of the 90-byte PinInfo structs
+    // (whose SpfNode strings the scan never reads).
+    let pcell = (cfg.coupling_radius * 0.6).max(0.1);
+    let pkey = |x: f64, y: f64| ((x / pcell).floor() as i64, (y / pcell).floor() as i64);
+    let pin_geo: Vec<(f64, f64, u32, f64)> = pins
+        .iter()
+        .map(|p| (p.x, p.y, p.net as u32, p.width_um))
+        .collect();
     let mut pin_grid: HashMap<(i64, i64), Vec<usize>> = HashMap::new();
     for (i, p) in pins.iter().enumerate() {
-        pin_grid.entry(key(p.x, p.y)).or_default().push(i);
+        // Supply-net pins are never coupling partners; keeping them out of
+        // the grid halves the bucket sizes the hot pin-pin scan walks.
+        if nets[p.net].supply {
+            continue;
+        }
+        pin_grid.entry(pkey(p.x, p.y)).or_default().push(i);
     }
     let mut net_grid: std::collections::BTreeMap<(i64, i64), Vec<usize>> =
         std::collections::BTreeMap::new();
@@ -280,8 +296,12 @@ pub fn extract_parasitics(design: &Design, cfg: &ExtractConfig) -> SpfFile {
         if n.supply || n.n_pins == 0 {
             continue;
         }
-        let (kx0, ky0) = key(n.bbox.x0 - cell, n.bbox.y0 - cell);
-        let (kx1, ky1) = key(n.bbox.x1 + cell, n.bbox.y1 + cell);
+        // No padding at insertion: the scans already visit neighbor
+        // buckets, and with cell == coupling_radius any in-range pair's
+        // covered cells are at most one bucket apart. Padding here would
+        // multiply every bucket's size for nothing.
+        let (kx0, ky0) = key(n.bbox.x0, n.bbox.y0);
+        let (kx1, ky1) = key(n.bbox.x1, n.bbox.y1);
         // Cap the insertion footprint so long wires (bitlines) don't blow
         // up the grid; long spans are truncated to their endpoints + center.
         if ((kx1 - kx0 + 1) * (ky1 - ky0 + 1)) as usize > 512 {
@@ -300,51 +320,79 @@ pub fn extract_parasitics(design: &Design, cfg: &ExtractConfig) -> SpfFile {
 
     // Per-category partner budgets reproduce the paper's link-type
     // imbalance: pin-net couplings dominate, net-net couplings are rarest.
-    let budget = |a: &SpfNode, b: &SpfNode| -> (u8, usize) {
-        match (a, b) {
-            (SpfNode::Pin { .. }, SpfNode::Pin { .. }) => (1, cfg.max_partners / 2),
-            (SpfNode::Net(_), SpfNode::Net(_)) => (2, (cfg.max_partners / 6).max(2)),
-            _ => (0, cfg.max_partners),
+    //
+    // All bookkeeping runs on compact integer node ids (pin i -> i, net i
+    // -> num_pins + i) rather than on `SpfNode` keys: at 1e6-node scale the
+    // candidate stream is in the hundreds of millions, and cloning/hashing
+    // two heap strings per candidate used to dominate the whole extraction
+    // (minutes of allocator time). `SpfNode`s are built only on emission.
+    let num_pins = pins.len();
+    let cat_of = |a: usize, b: usize| -> (usize, usize) {
+        let (a_pin, b_pin) = (a < num_pins, b < num_pins);
+        if a_pin && b_pin {
+            (1, cfg.max_partners / 2)
+        } else if !a_pin && !b_pin {
+            (2, (cfg.max_partners / 6).max(2))
+        } else {
+            (0, cfg.max_partners)
         }
     };
-    let mut partner_count: HashMap<(SpfNode, u8), usize> = HashMap::new();
-    let mut emitted: std::collections::HashSet<(SpfNode, SpfNode)> =
-        std::collections::HashSet::new();
-    let push_coupling = |spf: &mut SpfFile,
-                         partner_count: &mut HashMap<(SpfNode, u8), usize>,
-                         emitted: &mut std::collections::HashSet<(SpfNode, SpfNode)>,
-                         a: SpfNode,
-                         b: SpfNode,
-                         value: f64| {
-        if value < cfg.keep_threshold {
-            return;
-        }
-        let (cat, cap) = budget(&a, &b);
-        let ca = partner_count.get(&(a.clone(), cat)).copied().unwrap_or(0);
-        let cb = partner_count.get(&(b.clone(), cat)).copied().unwrap_or(0);
-        if ca >= cap || cb >= cap {
-            return;
-        }
-        let pair = if a <= b {
-            (a.clone(), b.clone())
+    let mut partner_count: Vec<[u32; 3]> = vec![[0; 3]; num_pins + nets.len()];
+    let mut emitted: std::collections::HashSet<u64> = std::collections::HashSet::new();
+    let node_of = |id: usize| -> SpfNode {
+        if id < num_pins {
+            pins[id].node.clone()
         } else {
-            (b.clone(), a.clone())
-        };
-        if !emitted.insert(pair) {
+            SpfNode::Net(nets[id - num_pins].name.clone())
+        }
+    };
+    // Jitter is applied only after the budget/dedup checks pass: the
+    // Box-Muller transcendentals per candidate were the next-biggest cost
+    // after the string keys, and most candidates in a dense array lose to
+    // a saturated budget anyway. A budget-rejected candidate therefore no
+    // longer advances the RNG — values stay a pure function of the seed.
+    let push_coupling = |spf: &mut SpfFile,
+                         partner_count: &mut Vec<[u32; 3]>,
+                         emitted: &mut std::collections::HashSet<u64>,
+                         jitter: &mut dyn FnMut() -> f64,
+                         a: usize,
+                         b: usize,
+                         base: f64| {
+        // Threshold the nominal (pre-jitter) value first: in a dense array
+        // most in-radius candidates are far-field pairs below the keep
+        // threshold, and testing them last used to pollute the dedup set
+        // with tens of millions of entries, keep budgets from ever
+        // saturating, and spend a Box-Muller draw per reject.
+        if base < cfg.keep_threshold {
             return;
         }
-        *partner_count.entry((a.clone(), cat)).or_default() += 1;
-        *partner_count.entry((b.clone(), cat)).or_default() += 1;
+        let (cat, cap) = cat_of(a, b);
+        if partner_count[a][cat] as usize >= cap || partner_count[b][cat] as usize >= cap {
+            return;
+        }
+        let (x, y) = if a <= b { (a, b) } else { (b, a) };
+        if !emitted.insert(((x as u64) << 32) | y as u64) {
+            return;
+        }
+        let value = base * jitter();
+        partner_count[a][cat] += 1;
+        partner_count[b][cat] += 1;
         spf.coupling_caps.push(CouplingCap {
-            a,
-            b,
+            a: node_of(a),
+            b: node_of(b),
             value: value.clamp(lo, hi),
         });
     };
 
     // --- Net-net couplings -------------------------------------------------
+    let nn_cap = (cfg.max_partners / 6).max(2) as u32;
     for (ki, bucket) in &net_grid {
         for (bi, &i) in bucket.iter().enumerate() {
+            // A net whose net-net budget is spent can't start new pairs;
+            // skip its whole forward scan (it may still be found by others).
+            if partner_count[num_pins + i][2] >= nn_cap {
+                continue;
+            }
             // Same-bucket pairs plus the 4 forward neighbor buckets: each
             // unordered bucket pair is visited once.
             let forward = [(0, 0), (1, 0), (0, 1), (1, 1), (1, -1)];
@@ -366,13 +414,14 @@ pub fn extract_parasitics(design: &Design, cfg: &ExtractConfig) -> SpfFile {
                     }
                     let parallel = ox.max(oy).max(0.15);
                     let spacing = gap.max(cfg.min_spacing);
-                    let v = cfg.c_nn_per_um * parallel * (cfg.min_spacing / spacing) * jitter();
+                    let v = cfg.c_nn_per_um * parallel * (cfg.min_spacing / spacing);
                     push_coupling(
                         &mut spf,
                         &mut partner_count,
                         &mut emitted,
-                        SpfNode::Net(a.name.clone()),
-                        SpfNode::Net(b.name.clone()),
+                        &mut jitter,
+                        num_pins + i,
+                        num_pins + j,
                         v,
                     );
                 }
@@ -381,17 +430,26 @@ pub fn extract_parasitics(design: &Design, cfg: &ExtractConfig) -> SpfFile {
     }
 
     // --- Pin-net and pin-pin couplings -------------------------------------
+    let pn_cap = cfg.max_partners as u32;
+    let pp_cap = (cfg.max_partners / 2) as u32;
     for (i, pin) in pins.iter().enumerate() {
         if nets[pin.net].supply {
             continue;
         }
         let k = key(pin.x, pin.y);
         // Pin-net: the pin couples to nearby signal nets it is not on.
+        // Saturated pins skip the scan — they can't start new pairs.
         for dxk in -1..=1i64 {
+            if partner_count[i][0] >= pn_cap {
+                break;
+            }
             for dyk in -1..=1i64 {
                 if let Some(bucket) = net_grid.get(&(k.0 + dxk, k.1 + dyk)) {
                     for &ni in bucket {
-                        if ni == pin.net {
+                        // Budget checks before geometry: a saturated net
+                        // rejects with one cache-friendly u32 load instead
+                        // of a NetInfo fetch plus gap/sqrt math.
+                        if ni == pin.net || partner_count[num_pins + ni][0] >= pn_cap {
                             continue;
                         }
                         let nb = &nets[ni];
@@ -402,14 +460,14 @@ pub fn extract_parasitics(design: &Design, cfg: &ExtractConfig) -> SpfFile {
                         }
                         let v = cfg.c_pn_base
                             * pin.width_um.max(0.1)
-                            * (cfg.min_spacing / dist.max(cfg.min_spacing))
-                            * jitter();
+                            * (cfg.min_spacing / dist.max(cfg.min_spacing));
                         push_coupling(
                             &mut spf,
                             &mut partner_count,
                             &mut emitted,
-                            pin.node.clone(),
-                            SpfNode::Net(nb.name.clone()),
+                            &mut jitter,
+                            i,
+                            num_pins + ni,
                             v,
                         );
                     }
@@ -417,33 +475,41 @@ pub fn extract_parasitics(design: &Design, cfg: &ExtractConfig) -> SpfFile {
             }
         }
         // Pin-pin: forward-only scan within the same and neighbor buckets.
+        let pk = pkey(pin.x, pin.y);
         let forward = [(0, 0), (1, 0), (0, 1), (1, 1), (1, -1)];
         for (dxk, dyk) in forward {
-            let Some(bucket) = pin_grid.get(&(k.0 + dxk, k.1 + dyk)) else {
+            if partner_count[i][1] >= pp_cap {
+                break;
+            }
+            let Some(bucket) = pin_grid.get(&(pk.0 + dxk, pk.1 + dyk)) else {
                 continue;
             };
             for &j in bucket {
                 if (dxk, dyk) == (0, 0) && j <= i {
                     continue;
                 }
-                let q = &pins[j];
-                if q.net == pin.net || nets[q.net].supply {
+                // Saturated partners reject before the geometry fetch.
+                if partner_count[j][1] >= pp_cap {
                     continue;
                 }
-                let d = ((pin.x - q.x).powi(2) + (pin.y - q.y).powi(2)).sqrt();
+                let (qx, qy, qnet, qw) = pin_geo[j];
+                if qnet as usize == pin.net {
+                    continue;
+                }
+                let d = ((pin.x - qx).powi(2) + (pin.y - qy).powi(2)).sqrt();
                 if d > cfg.coupling_radius * 0.6 {
                     continue;
                 }
                 let v = cfg.c_pp_base
-                    * (pin.width_um.min(q.width_um)).max(0.05)
-                    * (cfg.min_spacing / d.max(cfg.min_spacing))
-                    * jitter();
+                    * (pin.width_um.min(qw)).max(0.05)
+                    * (cfg.min_spacing / d.max(cfg.min_spacing));
                 push_coupling(
                     &mut spf,
                     &mut partner_count,
                     &mut emitted,
-                    pin.node.clone(),
-                    q.node.clone(),
+                    &mut jitter,
+                    i,
+                    j,
                     v,
                 );
             }

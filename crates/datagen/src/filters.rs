@@ -1,0 +1,202 @@
+//! Electrical-validity filters for enumerated designs.
+//!
+//! The grammar guarantees *structural* well-formedness (cells exist,
+//! port counts match); these filters check the *electrical* invariants
+//! the ISSUE calls out, on the flattened primitive netlist where they
+//! are unambiguous:
+//!
+//! * **terminal arity** — every primitive device carries exactly the
+//!   terminal count its [`DeviceKind`](ams_netlist::DeviceKind) defines;
+//! * **no dangling nets** — every non-port net is seen by at least two
+//!   device terminals (a single-terminal net is an antenna);
+//! * **driven nets / no floating gates** — every net that feeds a MOS
+//!   gate is also reachable from a driver: a non-gate terminal
+//!   (drain/source/body or an R/C/diode end), a supply rail, or a
+//!   top-level port (driven by the outside world).
+//!
+//! [`check_design`] returns *all* violations, not just the first, so a
+//! failing production in the enumerator is diagnosable in one pass.
+
+use std::fmt;
+
+use ams_netlist::Netlist;
+
+use crate::builder::Design;
+
+/// One electrical-validity violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// A device carries the wrong number of terminals for its kind.
+    TerminalArity {
+        /// Flattened device name.
+        device: String,
+        /// Terminals found.
+        found: usize,
+        /// Terminals its kind requires.
+        expected: usize,
+    },
+    /// A non-port net connects to fewer than two device terminals.
+    DanglingNet {
+        /// Net name.
+        net: String,
+        /// Terminal connections found (0 or 1).
+        connections: usize,
+    },
+    /// A net feeds at least one MOS gate but has no driver of any kind.
+    FloatingGate {
+        /// Net name.
+        net: String,
+        /// Number of gates hanging off it.
+        gates: usize,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::TerminalArity {
+                device,
+                found,
+                expected,
+            } => write!(f, "device {device}: {found} terminals, expected {expected}"),
+            Violation::DanglingNet { net, connections } => {
+                write!(f, "net {net}: dangling ({connections} connection(s))")
+            }
+            Violation::FloatingGate { net, gates } => {
+                write!(f, "net {net}: {gates} floating gate(s), no driver")
+            }
+        }
+    }
+}
+
+/// Whether a net name is a global supply rail.
+fn is_supply(name: &str) -> bool {
+    name.starts_with("VDD") || name.starts_with("VSS")
+}
+
+/// Runs every filter over the flattened netlist. `Ok(())` means the
+/// design is electrically valid; `Err` carries every violation found.
+///
+/// # Errors
+///
+/// Returns the complete violation list when any invariant fails.
+pub fn check_design(design: &Design) -> Result<(), Vec<Violation>> {
+    check_netlist(&design.netlist)
+}
+
+/// [`check_design`] over a bare flattened netlist (used by tests that
+/// parse SPICE from disk rather than building a [`Design`]).
+///
+/// # Errors
+///
+/// Returns the complete violation list when any invariant fails.
+pub fn check_netlist(netlist: &Netlist) -> Result<(), Vec<Violation>> {
+    let num_nets = netlist.num_nets();
+    // Per-net tallies in one device pass: total terminal connections and
+    // how many of them are MOS gates vs. anything that can drive.
+    let mut connections = vec![0u32; num_nets];
+    let mut gates = vec![0u32; num_nets];
+    let mut drivers = vec![0u32; num_nets];
+    let mut violations = Vec::new();
+
+    for (_, dev) in netlist.devices() {
+        let expected = dev.kind.terminal_names().len();
+        if dev.terminals.len() != expected {
+            violations.push(Violation::TerminalArity {
+                device: dev.name.clone(),
+                found: dev.terminals.len(),
+                expected,
+            });
+            continue;
+        }
+        for (i, net) in dev.terminals.iter().enumerate() {
+            let n = net.0 as usize;
+            connections[n] += 1;
+            // Terminal index 1 is the gate on D/G/S/B-ordered MOS cards;
+            // every other terminal of any device kind conducts.
+            if dev.kind.is_mos() && i == 1 {
+                gates[n] += 1;
+            } else {
+                drivers[n] += 1;
+            }
+        }
+    }
+
+    for (id, net) in netlist.nets() {
+        let n = id.0 as usize;
+        let externally_driven = net.is_port || is_supply(&net.name);
+        if !externally_driven && connections[n] < 2 {
+            violations.push(Violation::DanglingNet {
+                net: net.name.clone(),
+                connections: connections[n] as usize,
+            });
+        }
+        if !externally_driven && gates[n] > 0 && drivers[n] == 0 {
+            violations.push(Violation::FloatingGate {
+                net: net.name.clone(),
+                gates: gates[n] as usize,
+            });
+        }
+    }
+
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(violations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DesignBuilder;
+
+    #[test]
+    fn hand_written_archetypes_pass_every_filter() {
+        for kind in crate::DesignKind::ALL {
+            let d = crate::generate(kind, crate::SizePreset::Tiny).unwrap();
+            if let Err(v) = check_design(&d) {
+                panic!("{kind:?}: {} violations, first: {}", v.len(), v[0]);
+            }
+        }
+    }
+
+    #[test]
+    fn floating_gate_is_caught() {
+        // An inverter whose input net has no driver and is not a port.
+        let mut b = DesignBuilder::new("BAD");
+        b.port("OUT");
+        b.instance("Xi", "INV", &["floater", "OUT", "VDD", "VSS"], 0.0, 0.0)
+            .unwrap();
+        let d = b.finish().unwrap();
+        let v = check_design(&d).unwrap_err();
+        assert!(
+            v.iter().any(|x| matches!(
+                x,
+                Violation::FloatingGate { net, .. } if net.contains("floater")
+            )),
+            "missing floating-gate violation: {v:?}"
+        );
+    }
+
+    #[test]
+    fn dangling_net_is_caught() {
+        // A decap whose far end touches nothing else: one lone terminal.
+        let mut b = DesignBuilder::new("BAD");
+        b.port("IN");
+        b.instance("Xb", "INV", &["IN", "mid", "VDD", "VSS"], 0.0, 0.0)
+            .unwrap();
+        b.instance("Xc", "INV", &["mid", "IN", "VDD", "VSS"], 0.0, 0.3)
+            .unwrap();
+        b.raw_device("Cdang nowhere VSS 1f", 1.0, 1.0);
+        let d = b.finish().unwrap();
+        let v = check_design(&d).unwrap_err();
+        assert!(
+            v.iter().any(|x| matches!(
+                x,
+                Violation::DanglingNet { net, .. } if net.contains("nowhere")
+            )),
+            "missing dangling-net violation: {v:?}"
+        );
+    }
+}

@@ -1,0 +1,607 @@
+//! Composition grammar over the cell library, with ruler-style workload
+//! enumeration.
+//!
+//! The design space is described the way `ruler` describes rewrite-rule
+//! workloads: a [`Workload`] starts from s-expression *patterns* with
+//! named holes (`(chain C N)`), [`Workload::plug`] substitutes each hole
+//! with every atom of another workload (a cross product), and
+//! [`Workload::filter`] prunes the expansion. Forcing a workload yields
+//! ground s-expressions that compile to typed [`Term`]s — one term per
+//! structurally distinct design.
+//!
+//! Everything here is *symbolic*: no SPICE is built until
+//! [`crate::enumerate`] lowers a [`Term`] onto the [`crate::DesignBuilder`].
+//! That keeps enumeration cheap (millions of candidate terms per second)
+//! so size filtering can run over the whole space before any netlist
+//! exists.
+//!
+//! Determinism contract: [`family_workload`] is a pure function of the
+//! family, `plug` expands in left-to-right declaration order, and
+//! [`enumerate_terms`](crate::enumerate::enumerate_terms) sorts by
+//! `(size, name)` — so the term sequence for a `(family, max_size)` pair
+//! is identical across runs, platforms and thread counts.
+
+use std::fmt;
+
+use crate::cells;
+
+/// A design family: one top-level production of the grammar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// Linear cell chains (`IN -> cell -> cell -> ... -> OUT`).
+    Chain,
+    /// Buffer fan-out trees (clock-tree shaped, inverter loads at leaves).
+    Tree,
+    /// Parallel multi-lane pipelines placed at coupling pitch.
+    Bus,
+    /// Mux selection trees and address-decoder fabrics.
+    Fabric,
+    /// Parameterized SRAM array tilings, bare or with periphery.
+    Array,
+    /// Cross-coupled sandwich stacks: two bitcell banks around a
+    /// full-adder compute layer.
+    Sandwich,
+}
+
+impl Family {
+    /// Every family, in grammar declaration order.
+    pub const ALL: [Family; 6] = [
+        Family::Chain,
+        Family::Tree,
+        Family::Bus,
+        Family::Fabric,
+        Family::Array,
+        Family::Sandwich,
+    ];
+
+    /// Lower-case CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::Chain => "chain",
+            Family::Tree => "tree",
+            Family::Bus => "bus",
+            Family::Fabric => "fabric",
+            Family::Array => "array",
+            Family::Sandwich => "sandwich",
+        }
+    }
+
+    /// Parses a CLI family name.
+    pub fn parse(s: &str) -> Option<Family> {
+        Family::ALL.into_iter().find(|f| f.name() == s)
+    }
+}
+
+impl fmt::Display for Family {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A minimal s-expression: the currency of workload enumeration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Sexp {
+    /// A bare token: a hole name, a cell name, or an integer literal.
+    Atom(String),
+    /// A parenthesized production application.
+    List(Vec<Sexp>),
+}
+
+impl Sexp {
+    /// Substitutes every `Atom(var)` with `val`, recursively.
+    fn plug(&self, var: &str, val: &Sexp) -> Sexp {
+        match self {
+            Sexp::Atom(a) if a == var => val.clone(),
+            Sexp::Atom(_) => self.clone(),
+            Sexp::List(items) => Sexp::List(items.iter().map(|s| s.plug(var, val)).collect()),
+        }
+    }
+
+    /// Parses one s-expression from a pattern string. Panics on malformed
+    /// input: patterns are compiled into the binary, not user data.
+    fn parse(s: &str) -> Sexp {
+        fn walk(tokens: &mut std::iter::Peekable<std::vec::IntoIter<String>>) -> Sexp {
+            let tok = tokens.next().expect("unbalanced pattern");
+            if tok == "(" {
+                let mut items = Vec::new();
+                while tokens.peek().map(String::as_str) != Some(")") {
+                    items.push(walk(tokens));
+                }
+                tokens.next();
+                Sexp::List(items)
+            } else {
+                Sexp::Atom(tok)
+            }
+        }
+        let toks: Vec<String> = s
+            .replace('(', " ( ")
+            .replace(')', " ) ")
+            .split_whitespace()
+            .map(String::from)
+            .collect();
+        walk(&mut toks.into_iter().peekable())
+    }
+}
+
+impl fmt::Display for Sexp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sexp::Atom(a) => f.write_str(a),
+            Sexp::List(items) => {
+                f.write_str("(")?;
+                for (i, it) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(" ")?;
+                    }
+                    write!(f, "{it}")?;
+                }
+                f.write_str(")")
+            }
+        }
+    }
+}
+
+/// A predicate over candidate terms, applied during workload forcing.
+#[derive(Debug, Clone)]
+pub enum Filter {
+    /// Keep only terms whose [`Term::size_estimate`] is `<= max`.
+    MaxSize(u64),
+    /// Keep only terms whose [`Term::size_estimate`] is `>= min`.
+    MinSize(u64),
+}
+
+impl Filter {
+    fn keeps(&self, term: &Term) -> bool {
+        match self {
+            Filter::MaxSize(max) => term.size_estimate() <= *max,
+            Filter::MinSize(min) => term.size_estimate() >= *min,
+        }
+    }
+}
+
+/// A lazily described set of terms: patterns plus the plug/filter program
+/// that expands them. Mirrors ruler's `Workload` surface.
+#[derive(Debug, Clone)]
+pub enum Workload {
+    /// A literal set of atoms (hole fillers or ground patterns).
+    Atoms(Vec<String>),
+    /// Substitute each occurrence of a hole with every value of another
+    /// workload (cross product, declaration order).
+    Plug(Box<Workload>, String, Box<Workload>),
+    /// Prune the expansion with a [`Filter`]. Filters apply to *compiled*
+    /// terms, so they see real size estimates; expansions that do not
+    /// compile to a [`Term`] are dropped here too.
+    Filter(Box<Workload>, Filter),
+    /// The union of several workloads, in order.
+    Append(Vec<Workload>),
+}
+
+impl Workload {
+    /// A workload from pattern strings, e.g. `(chain C N)`.
+    pub fn new<const K: usize>(patterns: [&str; K]) -> Workload {
+        Workload::Atoms(patterns.iter().map(|s| s.to_string()).collect())
+    }
+
+    /// Integer atoms `lo..=hi`.
+    pub fn ints(lo: u32, hi: u32) -> Workload {
+        Workload::Atoms((lo..=hi).map(|v| v.to_string()).collect())
+    }
+
+    /// Integer atoms from an explicit ladder.
+    pub fn ladder(values: &[u32]) -> Workload {
+        Workload::Atoms(values.iter().map(|v| v.to_string()).collect())
+    }
+
+    /// Plugs `var` with every value of `vals`.
+    pub fn plug(self, var: &str, vals: Workload) -> Workload {
+        Workload::Plug(Box::new(self), var.to_string(), Box::new(vals))
+    }
+
+    /// Prunes the expansion with `filter`.
+    pub fn filter(self, filter: Filter) -> Workload {
+        Workload::Filter(Box::new(self), filter)
+    }
+
+    /// Expands to ground s-expressions. Plugging is a cross product in
+    /// declaration order; no deduplication happens here.
+    pub fn force(&self) -> Vec<Sexp> {
+        match self {
+            Workload::Atoms(patterns) => patterns.iter().map(|p| Sexp::parse(p)).collect(),
+            Workload::Plug(inner, var, vals) => {
+                let vals = vals.force();
+                inner
+                    .force()
+                    .iter()
+                    .flat_map(|sexp| vals.iter().map(move |v| sexp.plug(var, v)))
+                    .collect()
+            }
+            Workload::Filter(inner, filter) => inner
+                .force()
+                .into_iter()
+                .filter(|s| Term::compile(s).is_some_and(|t| filter.keeps(&t)))
+                .collect(),
+            Workload::Append(parts) => parts.iter().flat_map(|w| w.force()).collect(),
+        }
+    }
+
+    /// Forces the workload and compiles every ground expansion that forms
+    /// a well-typed term (ill-typed expansions are silently dropped, as in
+    /// ruler's workload semantics).
+    pub fn terms(&self) -> Vec<Term> {
+        self.force().iter().filter_map(Term::compile).collect()
+    }
+}
+
+/// Cells that can form a chain/bus stage, with how their non-datapath
+/// inputs are tied (see `enumerate::build_chain_stage`).
+pub const STAGE_CELLS: [&str; 8] = [
+    "INV", "BUF", "INVX4", "NAND2", "NOR2", "XOR2", "DFF", "RCDELAY",
+];
+
+/// A ground term of the grammar: one structurally distinct design.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Term {
+    /// `(chain CELL LEN)`: LEN stages of CELL between ports IN and OUT.
+    Chain {
+        /// Stage cell (one of [`STAGE_CELLS`]).
+        cell: &'static str,
+        /// Number of stages, `>= 1`.
+        len: u32,
+    },
+    /// `(tree DEPTH FANOUT)`: a buffer tree of the given shape; every
+    /// leaf net is an output port loaded by an inverter.
+    Tree {
+        /// Buffer levels below the root, `>= 1`.
+        depth: u32,
+        /// Children per buffer, `2..=4`.
+        fanout: u32,
+    },
+    /// `(bus CELL LANES STAGES)`: LANES parallel chains at coupling pitch.
+    Bus {
+        /// Stage cell (one of [`STAGE_CELLS`]).
+        cell: &'static str,
+        /// Parallel lanes, `>= 2`.
+        lanes: u32,
+        /// Stages per lane, `>= 1`.
+        stages: u32,
+    },
+    /// `(mux BITS LANES)`: LANES binary MUX2 selection trees over
+    /// `2^BITS` data inputs with shared buffered selects.
+    Mux {
+        /// Select bits, `1..=6`.
+        bits: u32,
+        /// Independent data lanes sharing the select bus, `>= 1`.
+        lanes: u32,
+    },
+    /// `(decoder BITS)`: a `2^BITS`-row address decoder driving a
+    /// two-column bitcell slice (wordline loads).
+    Decoder {
+        /// Address bits, `1..=8`.
+        bits: u32,
+    },
+    /// `(array KIND ROWS COLS PERIPH)`: an SRAM bitcell tiling, bare
+    /// (port-terminated bitlines/wordlines) or with column periphery and
+    /// a row decoder.
+    Array {
+        /// `true` for the 8T cell, `false` for 6T.
+        eight_t: bool,
+        /// Rows.
+        rows: u32,
+        /// Columns.
+        cols: u32,
+        /// Attach column periphery + row decoder.
+        periphery: bool,
+    },
+    /// `(sandwich ROWS COLS)`: two 6T banks around a FULLADD compute
+    /// layer (one ripple chain per column pair).
+    Sandwich {
+        /// Rows per bank.
+        rows: u32,
+        /// Columns (also adders in the compute layer).
+        cols: u32,
+    },
+}
+
+impl Term {
+    /// Compiles a ground s-expression to a term. Returns `None` for
+    /// unknown heads, leftover holes, or out-of-range parameters — the
+    /// workload-level notion of an ill-typed expansion.
+    pub fn compile(sexp: &Sexp) -> Option<Term> {
+        let Sexp::List(items) = sexp else { return None };
+        let head = match items.first()? {
+            Sexp::Atom(a) => a.as_str(),
+            Sexp::List(_) => return None,
+        };
+        let int = |i: usize| -> Option<u32> {
+            match items.get(i)? {
+                Sexp::Atom(a) => a.parse().ok(),
+                Sexp::List(_) => None,
+            }
+        };
+        let cell = |i: usize| -> Option<&'static str> {
+            match items.get(i)? {
+                Sexp::Atom(a) => STAGE_CELLS.iter().find(|c| *c == a).copied(),
+                Sexp::List(_) => None,
+            }
+        };
+        let arity = |n: usize| items.len() == n + 1;
+        Some(match head {
+            "chain" if arity(2) => Term::Chain {
+                cell: cell(1)?,
+                len: int(2).filter(|&n| n >= 1)?,
+            },
+            "tree" if arity(2) => Term::Tree {
+                depth: int(1).filter(|&d| (1..=8).contains(&d))?,
+                fanout: int(2).filter(|&f| (2..=4).contains(&f))?,
+            },
+            "bus" if arity(3) => Term::Bus {
+                cell: cell(1)?,
+                lanes: int(2).filter(|&l| l >= 2)?,
+                stages: int(3).filter(|&s| s >= 1)?,
+            },
+            "mux" if arity(2) => Term::Mux {
+                bits: int(1).filter(|&b| (1..=6).contains(&b))?,
+                lanes: int(2).filter(|&l| l >= 1)?,
+            },
+            "decoder" if arity(1) => Term::Decoder {
+                bits: int(1).filter(|&b| (1..=8).contains(&b))?,
+            },
+            "array" if arity(4) => {
+                let kind = match items.get(1)? {
+                    Sexp::Atom(a) if a == "6t" => false,
+                    Sexp::Atom(a) if a == "8t" => true,
+                    _ => return None,
+                };
+                let periph = match items.get(4)? {
+                    Sexp::Atom(a) if a == "bare" => false,
+                    // Periphery tiles (PRECH/WRDRV/COLMUX) speak the 6T
+                    // bitline protocol; an 8T periphery term is ill-typed.
+                    Sexp::Atom(a) if a == "periph" && !kind => true,
+                    _ => return None,
+                };
+                Term::Array {
+                    eight_t: kind,
+                    rows: int(2).filter(|&r| r >= 2)?,
+                    cols: int(3).filter(|&c| c >= 2)?,
+                    periphery: periph,
+                }
+            }
+            "sandwich" if arity(2) => Term::Sandwich {
+                rows: int(1).filter(|&r| r >= 2)?,
+                cols: int(2).filter(|&c| (2..=256).contains(&c) && c % 2 == 0)?,
+            },
+            _ => return None,
+        })
+    }
+
+    /// The family this term belongs to.
+    pub fn family(&self) -> Family {
+        match self {
+            Term::Chain { .. } => Family::Chain,
+            Term::Tree { .. } => Family::Tree,
+            Term::Bus { .. } => Family::Bus,
+            Term::Mux { .. } | Term::Decoder { .. } => Family::Fabric,
+            Term::Array { .. } => Family::Array,
+            Term::Sandwich { .. } => Family::Sandwich,
+        }
+    }
+
+    /// Deterministic design name; doubles as the top-level `.SUBCKT` name
+    /// and the output file stem.
+    pub fn name(&self) -> String {
+        match self {
+            Term::Chain { cell, len } => format!("G_CHAIN_{cell}_N{len}"),
+            Term::Tree { depth, fanout } => format!("G_TREE_D{depth}_F{fanout}"),
+            Term::Bus {
+                cell,
+                lanes,
+                stages,
+            } => format!("G_BUS_{cell}_L{lanes}_S{stages}"),
+            Term::Mux { bits, lanes } => format!("G_MUX_B{bits}_L{lanes}"),
+            Term::Decoder { bits } => format!("G_DEC_B{bits}"),
+            Term::Array {
+                eight_t,
+                rows,
+                cols,
+                periphery,
+            } => format!(
+                "G_ARR{}_R{rows}_C{cols}{}",
+                if *eight_t { "8T" } else { "6T" },
+                if *periphery { "_P" } else { "" }
+            ),
+            Term::Sandwich { rows, cols } => format!("G_SAND_R{rows}_C{cols}"),
+        }
+    }
+
+    /// Number of buffers in a tree term (geometric series).
+    fn tree_buffers(depth: u32, fanout: u32) -> u64 {
+        // root buffer + fanout + fanout^2 + ... + fanout^depth
+        let mut total = 1u64;
+        let mut level = 1u64;
+        for _ in 0..depth {
+            level = level.saturating_mul(fanout as u64);
+            total = total.saturating_add(level);
+        }
+        total
+    }
+
+    /// Approximate heterogeneous-graph node count (nets + devices + pins)
+    /// of the flattened design. The size metric the `--max-size` filter
+    /// and the scaling benchmarks run on.
+    ///
+    /// Intentionally an *estimate*: it is evaluated for every candidate
+    /// term before any SPICE exists, so it must be pure arithmetic. The
+    /// datagen unit tests pin it within 2x of the real node count.
+    pub fn size_estimate(&self) -> u64 {
+        // One flattened device contributes itself + ~4 pins; each cell
+        // also contributes ~1.5 internal/boundary nets on average.
+        let cell_nodes = |cell: &str, count: u64| -> u64 {
+            let devs = cells::cell_device_count(cell).unwrap_or(4) as u64;
+            count.saturating_mul(devs * 5 + 2)
+        };
+        match *self {
+            Term::Chain { cell, len } => cell_nodes(cell, len as u64) + cell_nodes("INV", 1),
+            Term::Tree { depth, fanout } => {
+                let bufs = Self::tree_buffers(depth, fanout);
+                let leaves = (fanout as u64).saturating_pow(depth);
+                cell_nodes("BUF", bufs) + cell_nodes("INV", leaves)
+            }
+            Term::Bus {
+                cell,
+                lanes,
+                stages,
+            } => cell_nodes(cell, lanes as u64 * stages as u64) + cell_nodes("INV", 1),
+            Term::Mux { bits, lanes } => {
+                let muxes_per_lane = (1u64 << bits) - 1;
+                cell_nodes("MUX2", muxes_per_lane * lanes as u64) + cell_nodes("BUF", bits as u64)
+            }
+            Term::Decoder { bits } => {
+                let rows = 1u64 << bits;
+                cell_nodes("NAND3", rows)
+                    + cell_nodes("WLDRV", rows)
+                    + cell_nodes("INV", bits as u64)
+                    + cell_nodes("SRAM6T", rows * 2)
+            }
+            Term::Array {
+                eight_t,
+                rows,
+                cols,
+                periphery,
+            } => {
+                let cell = if eight_t { "SRAM8T" } else { "SRAM6T" };
+                let core = cell_nodes(cell, rows as u64 * cols as u64);
+                if periphery {
+                    let per_col = cell_nodes("PRECH", 1) + cell_nodes("WRDRV", 1);
+                    let per_grp = cell_nodes("COLMUX", 3) + cell_nodes("SENSEAMP", 1);
+                    let per_row = cell_nodes("NAND3", 1) + cell_nodes("WLDRV", 1);
+                    core + per_col * cols as u64
+                        + per_grp * (cols as u64).div_ceil(4)
+                        + per_row * rows as u64
+                } else {
+                    core
+                }
+            }
+            Term::Sandwich { rows, cols } => {
+                cell_nodes("SRAM6T", 2 * rows as u64 * cols as u64)
+                    + cell_nodes("FULLADD", cols as u64)
+                    + cell_nodes("SENSEAMP", 2 * cols as u64)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+/// The full per-family workload: patterns plus parameter ladders.
+///
+/// Ladders are deliberately generous — forcing one of these enumerates
+/// the *whole* parameter grid symbolically (tens of thousands of terms in
+/// microseconds); callers narrow it with [`Filter::MaxSize`] /
+/// [`Filter::MinSize`] before any design is built.
+pub fn family_workload(family: Family) -> Workload {
+    // Geometric-ish ladders: dense at the small end (test diversity),
+    // sparse at the big end (scaling tiers up to ~1e6 graph nodes).
+    const DIM: [u32; 16] = [
+        2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128, 176, 256, 352,
+    ];
+    let cells = || Workload::Atoms(STAGE_CELLS.iter().map(|s| s.to_string()).collect());
+    match family {
+        Family::Chain => Workload::new(["(chain C N)"])
+            .plug("C", cells())
+            .plug("N", Workload::ints(1, 96)),
+        Family::Tree => Workload::new(["(tree D F)"])
+            .plug("D", Workload::ints(1, 8))
+            .plug("F", Workload::ints(2, 4)),
+        Family::Bus => Workload::new(["(bus C L S)"])
+            .plug("C", cells())
+            .plug("L", Workload::ladder(&DIM[..10]))
+            .plug("S", Workload::ints(1, 12)),
+        Family::Fabric => Workload::Append(vec![
+            Workload::new(["(mux B L)"])
+                .plug("B", Workload::ints(1, 6))
+                .plug("L", Workload::ladder(&[1, 2, 4, 8, 16, 32])),
+            Workload::new(["(decoder B)"]).plug("B", Workload::ints(1, 8)),
+        ]),
+        Family::Array => Workload::new(["(array K R C P)"])
+            .plug("K", Workload::new(["6t", "8t"]))
+            .plug("R", Workload::ladder(&DIM))
+            .plug("C", Workload::ladder(&DIM[..13]))
+            .plug("P", Workload::new(["bare", "periph"])),
+        Family::Sandwich => Workload::new(["(sandwich R C)"])
+            .plug("R", Workload::ladder(&DIM[..12]))
+            .plug("C", Workload::ladder(&[2, 4, 6, 8, 12, 16, 24, 32, 48, 64])),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sexp_round_trips_through_display() {
+        let s = Sexp::parse("(chain INV 17)");
+        assert_eq!(s.to_string(), "(chain INV 17)");
+    }
+
+    #[test]
+    fn plug_is_a_cross_product_in_order() {
+        let w = Workload::new(["(chain C N)"])
+            .plug("C", Workload::new(["INV", "BUF"]))
+            .plug("N", Workload::ints(1, 3));
+        let terms = w.terms();
+        assert_eq!(terms.len(), 6);
+        assert_eq!(
+            terms[0],
+            Term::Chain {
+                cell: "INV",
+                len: 1
+            }
+        );
+        assert_eq!(
+            terms[3],
+            Term::Chain {
+                cell: "BUF",
+                len: 1
+            }
+        );
+    }
+
+    #[test]
+    fn ill_typed_expansions_are_dropped() {
+        // SRAM6T is not a stage cell; 0-length chains are out of range.
+        let w = Workload::new(["(chain SRAM6T 3)", "(chain INV 0)", "(chain INV 2)"]);
+        assert_eq!(w.terms().len(), 1);
+    }
+
+    #[test]
+    fn max_size_filter_prunes_before_build() {
+        let w = family_workload(Family::Array).filter(Filter::MaxSize(10_000));
+        let terms = w.terms();
+        assert!(!terms.is_empty());
+        assert!(terms.iter().all(|t| t.size_estimate() <= 10_000));
+        // The unfiltered grid is strictly bigger.
+        assert!(family_workload(Family::Array).terms().len() > terms.len());
+    }
+
+    #[test]
+    fn term_names_are_distinct_across_every_family() {
+        let mut names = std::collections::BTreeSet::new();
+        for f in Family::ALL {
+            for t in family_workload(f).terms() {
+                assert!(names.insert(t.name()), "duplicate name {}", t.name());
+            }
+        }
+        assert!(names.len() > 2_000, "grammar too small: {}", names.len());
+    }
+
+    #[test]
+    fn workload_forcing_is_deterministic() {
+        let a = family_workload(Family::Bus).force();
+        let b = family_workload(Family::Bus).force();
+        assert_eq!(a, b);
+    }
+}

@@ -27,12 +27,20 @@
 mod builder;
 mod cells;
 mod designs;
+pub mod emit;
+pub mod enumerate;
 mod extract;
+pub mod filters;
+pub mod grammar;
+pub mod tiles;
 
 pub use builder::{BuildDesignError, Design, DesignBuilder, Placement};
-pub use cells::{cell_device_count, cell_ports, library_spice};
+pub use cells::{cell_device_count, cell_port_role, cell_ports, library_spice, PortRole};
 pub use designs::{generate, DesignKind, SizePreset};
+pub use enumerate::{enumerate_designs, DesignEnumerator, EnumerateConfig, GeneratedDesign};
 pub use extract::{extract_parasitics, ExtractConfig};
+pub use filters::{check_design, Violation};
+pub use grammar::{Family, Filter, Term, Workload};
 
 /// Convenience: generates a design and its parasitic ground truth in one
 /// call with a seed for extraction jitter.

@@ -1,5 +1,7 @@
-//! Shared SRAM-macro building blocks: bitcell arrays, column periphery,
-//! row decoders and clock trees.
+//! Shared structural tiles: bitcell arrays, column periphery, row
+//! decoders and clock trees. Used by both the six hand-written design
+//! archetypes (`designs`) and the composition-grammar enumerator
+//! (`grammar`/`enumerate`).
 
 use crate::builder::{BuildDesignError, DesignBuilder};
 

@@ -93,6 +93,18 @@ const DICTIONARY: &[&[u8]] = &[
     b"transfer-encoding: chunked",
     b"\r\n\r\n",
     b"Retry-After: ",
+    // Grammar-enumerator productions: cell names, instance prefixes and
+    // the subcircuit header shapes the datagen emitter writes, so
+    // mutations reach the hierarchy walk with realistic card fragments.
+    b"INVX4",
+    b"NAND2",
+    b"MUX2",
+    b"DFF",
+    b"VDD VSS",
+    b"Xu0 n0 n1 VDD VSS BUF",
+    b".SUBCKT G_CHAIN_BUF_N2 VDD VSS",
+    b"Xg_",
+    b" W=0.42u L=0.05u",
 ];
 
 /// The seed corpus: one small well-formed exemplar per input language,
@@ -116,6 +128,19 @@ pub fn seed_corpus() -> Vec<Vec<u8>> {
         {
             let mut v = vec![b'['; 100];
             v.extend(vec![b']'; 100]);
+            v
+        },
+        // Hierarchical SPICE from the grammar enumerator (deterministic:
+        // the first term in the smallest size window), truncated to the
+        // input cap — mutations start from the exact card shapes that
+        // `cirgps datagen` emits, reaching the library + hierarchy walk.
+        {
+            let terms = ams_datagen::enumerate::enumerate_terms(None, 0, 200);
+            let mut v = ams_datagen::enumerate::build_term(&terms[0], 1)
+                .expect("grammar seed must build")
+                .spice
+                .into_bytes();
+            v.truncate(MAX_INPUT);
             v
         },
     ]

@@ -173,7 +173,10 @@ impl SpfFile {
 
     /// Renders the file as SPF text (parseable by [`SpfFile::parse`]).
     pub fn to_text(&self) -> String {
-        let mut out = String::new();
+        // ~64 bytes/line: saves ~30 doubling reallocs on multi-hundred-MB
+        // outputs from million-node designs.
+        let mut out =
+            String::with_capacity(64 * (self.ground_caps.len() + self.coupling_caps.len()) + 128);
         let _ = writeln!(out, "*|DSPF 1.5");
         let _ = writeln!(out, "*|DESIGN \"{}\"", self.design);
         let _ = writeln!(out, "* ground capacitances: {}", self.ground_caps.len());

@@ -19,8 +19,14 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use cirgps::client::{Client, RetryPolicy};
-use cirgps::datagen::{generate_with_parasitics, DesignKind, SizePreset};
+use cirgps::datagen::emit::write_design_pair;
+use cirgps::datagen::enumerate::{build_term, enumerate_terms, term_extract_seed};
+use cirgps::datagen::{
+    check_design, extract_parasitics, generate_with_parasitics, DesignKind, ExtractConfig, Family,
+    SizePreset,
+};
 use cirgps::graph::{netlist_to_graph, CircuitGraph, GraphStats, XcSpec};
+use cirgps::model::corpus::CorpusSpec;
 use cirgps::model::{
     evaluate_link, evaluate_regression, finetune_regression_with_progress, interrupt,
     prepare_link_dataset, sweep_pairs, train_resumable, write_atomic, CandidatePairs,
@@ -47,6 +53,7 @@ fn main() -> ExitCode {
     }
     let result = parse_flags(&args[1..]).and_then(|flags| match cmd.as_str() {
         "gen" => cmd_gen(&flags),
+        "datagen" => cmd_datagen(&flags),
         "stats" => cmd_stats(&flags),
         "sample" => cmd_sample(&flags),
         "pretrain" => cmd_pretrain(&flags),
@@ -76,6 +83,27 @@ USAGE:
                 [--preset tiny|small|paper] [--seed N] [--out DIR]
       Generate a synthetic AMS design; writes <NAME>.sp and <NAME>.spf.
 
+  cirgps datagen [--family all|chain|tree|bus|fabric|array|sandwich]
+                [--seed N] [--max-size S] [--min-size S] [--count K]
+                [--out DIR] [--threads N] [--list]
+      Enumerate the composition grammar's design space: every structure
+      whose size estimate falls in [--min-size, --max-size], in a
+      canonical deterministic order, validity-filtered and written as
+      the same <NAME>.sp + <NAME>.spf pairs `gen` produces
+      (docs/datagen.md has the grammar reference).
+        --family F        restrict to one grammar family (default all)
+        --seed N          parasitic-extraction seed; the SPICE structure
+                          is seed-independent (default 7)
+        --max-size S      upper size-estimate bound (default 4000;
+                          roughly heterogeneous-graph nodes)
+        --min-size S      lower size-estimate bound (default 0)
+        --count K         stop after the first K designs (default all)
+        --out DIR         output directory (default .)
+        --threads N       parallel builders; output bytes are identical
+                          for every N (default 1)
+        --list            print name/family/size-estimate per design
+                          without building anything
+
   cirgps stats  --netlist FILE.sp --top NAME
       Parse + flatten a SPICE netlist and print heterogeneous-graph
       statistics (Table IV format) and the Table-I feature spec.
@@ -86,6 +114,7 @@ USAGE:
       enclosing subgraphs, and print dataset statistics.
 
   cirgps pretrain --netlist A.sp[,B.sp...] --top A[,B...] --spf A.spf[,B.spf...]
+                [--grammar FAMILY[:MAX_SIZE[:COUNT[:MIN_SIZE]]]]
                 [--epochs N] [--batch-size N] [--lr F] [--seed N]
                 [--per-type N] [--hidden-dim N] [--layers N] [--heads N]
                 [--pe-dim N] [--dropout F] [--holdout PCT] [--eval-every N]
@@ -95,6 +124,9 @@ USAGE:
       design pairs (comma-separated lists, aligned by position), then
       write a self-describing checkpoint (embedded model config; see
       docs/checkpoint-format.md). Progress streams to stderr per epoch.
+      `--grammar` appends enumerated grammar designs to the corpus
+      without touching disk (and makes the file flags optional);
+      `chain:900:4` = first 4 chain designs under size 900.
         --epochs N        training epochs (default 30)
         --batch-size N    minibatch size (default 32)
         --lr F            peak learning rate (default 1e-3)
@@ -136,7 +168,8 @@ USAGE:
         --epochs N        fine-tuning epochs (default 50)
 
   cirgps eval   --model FILE.ckpt --netlist FILE.sp[,...] --top NAME[,...]
-                --spf FILE.spf[,...] [--task link|cap|both] [--per-type N]
+                --spf FILE.spf[,...] [--grammar SPEC]
+                [--task link|cap|both] [--per-type N]
       Evaluate a checkpoint on the designs' sampled pair sets and print
       one JSON object to stdout: link metrics (accuracy/F1/AUC) over all
       pairs and/or regression metrics (MAE/RMSE/R2, normalized scale)
@@ -375,12 +408,33 @@ struct DesignPair {
 }
 
 /// Loads the `--netlist`/`--top`/`--spf` comma-separated design lists
-/// (aligned by position) used by the training subcommands.
+/// (aligned by position) used by the training subcommands, plus any
+/// `--grammar` corpus (enumerated in memory, no files involved).
 fn load_design_pairs(flags: &HashMap<String, String>) -> Result<Vec<DesignPair>, String> {
+    let grammar = match flags.get("grammar") {
+        Some(spec) => {
+            let spec = CorpusSpec::parse(spec)?;
+            let corpus = spec.load(seed(flags)?);
+            if corpus.len() < spec.count {
+                return Err(format!(
+                    "--grammar window holds only {} design(s), asked for {} (widen the \
+                     size bounds)",
+                    corpus.len(),
+                    spec.count
+                ));
+            }
+            corpus
+        }
+        None => Vec::new(),
+    };
     let split = |name: &str| -> Result<Vec<String>, String> {
+        let listed = flags.get(name).map(String::as_str).unwrap_or("");
+        if listed.is_empty() && !grammar.is_empty() {
+            return Ok(Vec::new());
+        }
         Ok(flags
             .get(name)
-            .ok_or(format!("--{name} is required"))?
+            .ok_or(format!("--{name} is required (or use --grammar)"))?
             .split(',')
             .map(str::trim)
             .filter(|s| !s.is_empty())
@@ -390,7 +444,7 @@ fn load_design_pairs(flags: &HashMap<String, String>) -> Result<Vec<DesignPair>,
     let netlists = split("netlist")?;
     let tops = split("top")?;
     let spfs = split("spf")?;
-    if netlists.is_empty() {
+    if netlists.is_empty() && grammar.is_empty() {
         return Err("--netlist lists no files".into());
     }
     if netlists.len() != tops.len() || netlists.len() != spfs.len() {
@@ -401,7 +455,7 @@ fn load_design_pairs(flags: &HashMap<String, String>) -> Result<Vec<DesignPair>,
             spfs.len()
         ));
     }
-    let mut pairs = Vec::with_capacity(netlists.len());
+    let mut pairs = Vec::with_capacity(netlists.len() + grammar.len());
     for ((path, top), spf_path) in netlists.iter().zip(&tops).zip(&spfs) {
         let text = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
         let file = SpiceFile::parse(&text).map_err(|e| format!("{path}: {e}"))?;
@@ -409,6 +463,12 @@ fn load_design_pairs(flags: &HashMap<String, String>) -> Result<Vec<DesignPair>,
         let text = fs::read_to_string(spf_path).map_err(|e| format!("reading {spf_path}: {e}"))?;
         let spf = SpfFile::parse(&text).map_err(|e| format!("{spf_path}: {e}"))?;
         pairs.push(DesignPair { netlist, spf });
+    }
+    for d in grammar {
+        pairs.push(DesignPair {
+            netlist: d.netlist,
+            spf: d.spf,
+        });
     }
     Ok(pairs)
 }
@@ -606,6 +666,7 @@ fn cmd_pretrain(flags: &HashMap<String, String>) -> Result<(), String> {
             "netlist",
             "top",
             "spf",
+            "grammar",
             "per-type",
             "epochs",
             "batch-size",
@@ -959,7 +1020,9 @@ fn cmd_eval(flags: &HashMap<String, String>) -> Result<(), String> {
     check_flags(
         flags,
         "eval",
-        &["model", "netlist", "top", "spf", "task", "per-type"],
+        &[
+            "model", "netlist", "top", "spf", "grammar", "task", "per-type",
+        ],
     )?;
     let model_path = flags.get("model").ok_or("--model is required")?;
     let per_type = flag_parse(flags, "per-type", 200)?;
@@ -998,20 +1061,134 @@ fn cmd_eval(flags: &HashMap<String, String>) -> Result<(), String> {
 fn cmd_gen(flags: &HashMap<String, String>) -> Result<(), String> {
     check_flags(flags, "gen", &["kind", "preset", "seed", "out"])?;
     let kind = design_kind(flags.get("kind").ok_or("--kind is required")?)?;
-    let out_dir = flags.get("out").cloned().unwrap_or_else(|| ".".into());
+    let out_dir = std::path::PathBuf::from(flags.get("out").cloned().unwrap_or_else(|| ".".into()));
     let (design, spf) =
         generate_with_parasitics(kind, preset(flags)?, seed(flags)?).map_err(|e| e.to_string())?;
-    fs::create_dir_all(&out_dir).map_err(|e| e.to_string())?;
-    let sp_path = format!("{out_dir}/{}.sp", design.name);
-    let spf_path = format!("{out_dir}/{}.spf", design.name);
-    // The hierarchical source is more useful than the flattened netlist.
-    fs::write(&sp_path, &design.spice).map_err(|e| e.to_string())?;
-    fs::write(&spf_path, spf.to_text()).map_err(|e| e.to_string())?;
+    let (sp_path, spf_path) =
+        write_design_pair(&out_dir, &design, &spf).map_err(|e| e.to_string())?;
     println!(
-        "wrote {sp_path} ({} devices flattened) and {spf_path} ({} ground + {} coupling caps)",
+        "wrote {} ({} devices flattened) and {} ({} ground + {} coupling caps)",
+        sp_path.display(),
         design.netlist.num_devices(),
+        spf_path.display(),
         spf.ground_caps.len(),
         spf.coupling_caps.len()
+    );
+    Ok(())
+}
+
+fn cmd_datagen(flags: &HashMap<String, String>) -> Result<(), String> {
+    check_flags(
+        flags,
+        "datagen",
+        &[
+            "family", "seed", "max-size", "min-size", "count", "out", "threads", "list",
+        ],
+    )?;
+    let family = match flags.get("family").map(String::as_str).unwrap_or("all") {
+        "all" => None,
+        name => Some(Family::parse(name).ok_or_else(|| {
+            format!("unknown --family {name:?} (expected all, chain, tree, bus, fabric, array or sandwich)")
+        })?),
+    };
+    let run_seed = seed(flags)?;
+    let max_size: u64 = flag_parse(flags, "max-size", 4_000)?;
+    let min_size: u64 = flag_parse(flags, "min-size", 0)?;
+    let count: usize = flag_parse(flags, "count", 0)?;
+    let threads: usize = flag_parse(flags, "threads", 1)?;
+    if threads == 0 {
+        return Err("--threads must be positive".into());
+    }
+
+    let mut terms = enumerate_terms(family, min_size, max_size);
+    if count > 0 {
+        terms.truncate(count);
+    }
+    if terms.is_empty() {
+        return Err(format!(
+            "no designs in the size window [{min_size}, {max_size}]"
+        ));
+    }
+    if flag_bool(flags, "list")? {
+        for t in &terms {
+            println!("{}\t{}\t{}", t.name(), t.family().name(), t.size_estimate());
+        }
+        eprintln!("{} designs in the window", terms.len());
+        return Ok(());
+    }
+
+    let out_dir = std::path::PathBuf::from(flags.get("out").cloned().unwrap_or_else(|| ".".into()));
+    let start = std::time::Instant::now();
+
+    // Work-stealing over the canonically sorted term list. Every design's
+    // bytes are a pure function of (term, seed), so thread count only
+    // decides who builds what — never what gets built. Per-design report
+    // lines are collected and re-sorted by term index so stdout is also
+    // byte-identical across --threads.
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let lines = std::sync::Mutex::new(Vec::<(usize, String)>::new());
+    let skipped = std::sync::atomic::AtomicUsize::new(0);
+    let failure = std::sync::Mutex::new(None::<String>);
+    std::thread::scope(|s| {
+        for _ in 0..threads.min(terms.len()) {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(term) = terms.get(i) else { return };
+                if failure.lock().unwrap().is_some() {
+                    return;
+                }
+                let design = match build_term(term, run_seed) {
+                    Ok(d) => d,
+                    Err(e) => {
+                        *failure.lock().unwrap() = Some(format!("building {}: {e}", term.name()));
+                        return;
+                    }
+                };
+                if let Err(violations) = check_design(&design) {
+                    skipped.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let mut lock = lines.lock().unwrap();
+                    lock.push((i, format!("{}: SKIPPED ({})", term.name(), violations[0])));
+                    continue;
+                }
+                let spf = extract_parasitics(
+                    &design,
+                    &ExtractConfig {
+                        seed: term_extract_seed(run_seed, term),
+                        ..Default::default()
+                    },
+                );
+                if let Err(e) = write_design_pair(&out_dir, &design, &spf) {
+                    *failure.lock().unwrap() = Some(format!("writing {}: {e}", term.name()));
+                    return;
+                }
+                let line = format!(
+                    "{}\t{}\test {}\t{} devices\t{} + {} caps",
+                    term.name(),
+                    term.family().name(),
+                    term.size_estimate(),
+                    design.netlist.num_devices(),
+                    spf.ground_caps.len(),
+                    spf.coupling_caps.len()
+                );
+                lines.lock().unwrap().push((i, line));
+            });
+        }
+    });
+    if let Some(e) = failure.into_inner().unwrap() {
+        return Err(e);
+    }
+    let mut lines = lines.into_inner().unwrap();
+    lines.sort_unstable_by_key(|(i, _)| *i);
+    for (_, line) in &lines {
+        println!("{line}");
+    }
+    let skipped = skipped.into_inner();
+    let written = lines.len() - skipped;
+    let secs = start.elapsed().as_secs_f64();
+    eprintln!(
+        "wrote {written} design pairs to {} in {secs:.2}s ({:.1} designs/s), {skipped} skipped invalid",
+        out_dir.display(),
+        written as f64 / secs.max(1e-9),
     );
     Ok(())
 }
@@ -1350,13 +1527,14 @@ fn cmd_sweep(flags: &HashMap<String, String>) -> Result<(), String> {
     let us_per_pair = elapsed.as_micros() as f64 / stats.pairs as f64;
     eprintln!(
         "swept {} pairs in {} windows of {} ({} unique forwards, {} dedup hits = {:.1}%); \
-         {:.2}s total, {:.1}µs/pair amortized",
+         peak resident {} pairs; {:.2}s total, {:.1}µs/pair amortized",
         stats.pairs,
         stats.chunks,
         chunk,
         stats.unique_forwards,
         stats.dedup_hits,
         100.0 * stats.dedup_hits as f64 / stats.pairs as f64,
+        stats.peak_resident,
         elapsed.as_secs_f64(),
         us_per_pair
     );

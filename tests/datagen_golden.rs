@@ -1,0 +1,167 @@
+//! Determinism contract for the grammar enumerator: the same
+//! `(grammar, seed, size)` triple must produce byte-identical SPICE and
+//! SPF, across repeat runs in one process, across processes, and across
+//! `--threads` settings of the CLI.
+
+use std::process::Command;
+
+use cirgps::datagen::enumerate::{build_term, enumerate_terms, term_extract_seed};
+use cirgps::datagen::{extract_parasitics, ExtractConfig};
+
+fn cirgps() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_cirgps"))
+}
+
+/// FNV-1a over bytes; the goldens below are hex digests of this.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+#[test]
+fn enumeration_order_is_deterministic_and_rich() {
+    let a = enumerate_terms(None, 0, 4000);
+    let b = enumerate_terms(None, 0, 4000);
+    let names_a: Vec<String> = a.iter().map(|t| t.name()).collect();
+    let names_b: Vec<String> = b.iter().map(|t| t.name()).collect();
+    assert_eq!(names_a, names_b, "enumeration order must be stable");
+    assert!(
+        names_a.len() >= 1000,
+        "expected >= 1000 designs in the default window, got {}",
+        names_a.len()
+    );
+    let distinct: std::collections::HashSet<&String> = names_a.iter().collect();
+    assert_eq!(distinct.len(), names_a.len(), "design names must be unique");
+
+    // Sizes are sorted ascending (ties broken by name), so corpus slicing
+    // by index is itself deterministic.
+    for w in a.windows(2) {
+        let (s0, s1) = (w[0].size_estimate(), w[1].size_estimate());
+        assert!(
+            s0 < s1 || (s0 == s1 && w[0].name() < w[1].name()),
+            "terms out of order: {} then {}",
+            w[0].name(),
+            w[1].name()
+        );
+    }
+}
+
+#[test]
+fn design_bytes_are_identical_across_repeat_builds() {
+    let terms = enumerate_terms(None, 200, 2000);
+    assert!(!terms.is_empty());
+    let stride = (terms.len() / 4).max(1);
+    for t in terms.iter().step_by(stride).take(4) {
+        let cfg = ExtractConfig {
+            seed: term_extract_seed(11, t),
+            ..ExtractConfig::default()
+        };
+        let d1 = build_term(t, 11).unwrap();
+        let d2 = build_term(t, 11).unwrap();
+        assert_eq!(
+            d1.spice, d2.spice,
+            "{}: spice differs across builds",
+            d1.name
+        );
+        let s1 = extract_parasitics(&d1, &cfg).to_text();
+        let s2 = extract_parasitics(&d2, &cfg).to_text();
+        assert_eq!(s1, s2, "{}: spf differs across builds", d1.name);
+    }
+}
+
+#[test]
+fn design_bytes_match_committed_goldens() {
+    // Cross-process / cross-version determinism: these digests were
+    // recorded once and must never drift for a fixed (term, seed). If an
+    // intentional generator or extraction change invalidates them, update
+    // the constants in the same commit and say so in the message.
+    const GOLDENS: &[(&str, u64, u64)] = &[
+        ("G_BUS_BUF_L2_S2", 0xb7124f99ce3766fe, 0xa54af58a753b47d2),
+        ("G_CHAIN_BUF_N26", 0x59c525923b99107d, 0xe006558d19b8f2fe),
+        ("G_CHAIN_NAND2_N55", 0x7856da11b96c60ff, 0x6774ed287f31c697),
+    ];
+    let terms = enumerate_terms(None, 100, 2600);
+    let stride = (terms.len() / 3).max(1);
+    for (t, &(name, spice_h, spf_h)) in terms.iter().step_by(stride).zip(GOLDENS) {
+        let d = build_term(t, 7).unwrap();
+        let cfg = ExtractConfig {
+            seed: term_extract_seed(7, t),
+            ..ExtractConfig::default()
+        };
+        let spf = extract_parasitics(&d, &cfg).to_text();
+        assert_eq!(
+            (
+                d.name.as_str(),
+                fnv1a(d.spice.as_bytes()),
+                fnv1a(spf.as_bytes())
+            ),
+            (name, spice_h, spf_h),
+            "golden mismatch for {} (got spice {:#018x}, spf {:#018x})",
+            d.name,
+            fnv1a(d.spice.as_bytes()),
+            fnv1a(spf.as_bytes()),
+        );
+    }
+}
+
+#[test]
+fn cli_datagen_is_thread_count_invariant() {
+    let base = std::env::temp_dir().join(format!("cirgps_datagen_det_{}", std::process::id()));
+    let dir1 = base.join("t1");
+    let dir4 = base.join("t4");
+    let mut outs = Vec::new();
+    for (dir, threads) in [(&dir1, "1"), (&dir4, "4")] {
+        let out = cirgps()
+            .args([
+                "datagen",
+                "--family",
+                "bus",
+                "--seed",
+                "5",
+                "--max-size",
+                "900",
+                "--count",
+                "6",
+                "--threads",
+                threads,
+                "--out",
+                dir.to_str().unwrap(),
+            ])
+            .output()
+            .expect("run datagen");
+        assert!(
+            out.status.success(),
+            "datagen --threads {threads} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        outs.push(out.stdout);
+    }
+    assert_eq!(
+        outs[0], outs[1],
+        "stdout must be byte-identical across --threads"
+    );
+
+    let mut names: Vec<String> = std::fs::read_dir(&dir1)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().into_string().unwrap())
+        .collect();
+    names.sort();
+    assert!(
+        names.iter().any(|n| n.ends_with(".sp")) && names.iter().any(|n| n.ends_with(".spf")),
+        "expected .sp/.spf pairs, got {names:?}"
+    );
+    for n in &names {
+        let a = std::fs::read(dir1.join(n)).unwrap();
+        let b = std::fs::read(dir4.join(n))
+            .unwrap_or_else(|_| panic!("{n} missing from --threads 4 run"));
+        assert_eq!(a, b, "{n}: bytes differ across --threads");
+    }
+    let count4 = std::fs::read_dir(&dir4).unwrap().count();
+    assert_eq!(names.len(), count4, "file sets differ across --threads");
+
+    let _ = std::fs::remove_dir_all(&base);
+}

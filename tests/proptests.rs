@@ -1,10 +1,18 @@
-//! Property-based tests over the public API: parser/writer round trips
-//! and subgraph-sampling invariants on randomized graphs.
+//! Property-based tests over the public API: parser/writer round trips,
+//! subgraph-sampling invariants on randomized graphs, and end-to-end
+//! pipeline invariants on grammar-enumerated designs.
 
-use cirgps::graph::{EdgeType, GraphBuilder, NodeType};
-use cirgps::netlist::{format_spice_value, parse_spice_value};
+use std::sync::OnceLock;
+
+use cirgps::datagen::enumerate::{build_term, enumerate_terms, term_extract_seed};
+use cirgps::datagen::{check_design, extract_parasitics, Design, ExtractConfig};
+use cirgps::graph::{
+    netlist_to_graph, CircuitGraph, Edge, EdgeType, GraphBuilder, NodeMap, NodeType,
+};
+use cirgps::model::CandidatePairs;
+use cirgps::netlist::{format_spice_value, parse_spice_value, SpfFile, SpiceFile};
 use cirgps::pe::{compute_pe, PeFeatures, PeKind};
-use cirgps::sample::{SamplerConfig, SubgraphSampler, SweepSampler, UNREACHABLE};
+use cirgps::sample::{LinkSet, SamplerConfig, SubgraphSampler, SweepSampler, UNREACHABLE};
 use proptest::prelude::*;
 
 proptest! {
@@ -177,6 +185,160 @@ proptest! {
             for &v in &data {
                 prop_assert!((0.0..=1.0 + 1e-5).contains(&v), "rwse value {v}");
             }
+        }
+    }
+}
+
+/// A grammar-enumerated design carried through the full pipeline once:
+/// build -> validity filter -> extraction -> graph conversion.
+struct GrammarCase {
+    design: Design,
+    spf: SpfFile,
+    graph: CircuitGraph,
+    map: NodeMap,
+}
+
+/// A small corpus of designs sampled evenly across the enumeration order
+/// (all families, sizes 100..2600), built once and shared by every case.
+fn grammar_corpus() -> &'static [GrammarCase] {
+    static CORPUS: OnceLock<Vec<GrammarCase>> = OnceLock::new();
+    CORPUS.get_or_init(|| {
+        let terms = enumerate_terms(None, 100, 2600);
+        assert!(terms.len() >= 12, "size window too narrow: {}", terms.len());
+        let stride = (terms.len() / 12).max(1);
+        terms
+            .iter()
+            .step_by(stride)
+            .take(12)
+            .map(|t| {
+                let design = build_term(t, 7).expect("grammar term must build");
+                if let Err(v) = check_design(&design) {
+                    panic!(
+                        "{}: enumerated design fails validity: {}",
+                        design.name, v[0]
+                    );
+                }
+                let cfg = ExtractConfig {
+                    seed: term_extract_seed(7, t),
+                    ..ExtractConfig::default()
+                };
+                let spf = extract_parasitics(&design, &cfg);
+                let (graph, map) = netlist_to_graph(&design.netlist);
+                GrammarCase {
+                    design,
+                    spf,
+                    graph,
+                    map,
+                }
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    // The corpus designs are fixed and cached; the random input only picks
+    // which design (and sampler settings) each case exercises.
+    #[test]
+    fn grammar_designs_survive_the_full_pipeline(idx in 0usize..12) {
+        let corpus = grammar_corpus();
+        let case = &corpus[idx % corpus.len()];
+        let netlist = &case.design.netlist;
+
+        // The emitted hierarchical SPICE re-parses and flattens back to a
+        // netlist with the same primitive shape.
+        let file = SpiceFile::parse(&case.design.spice).expect("emitted spice must parse");
+        let flat = file.flatten(&case.design.name).expect("emitted spice must flatten");
+        prop_assert_eq!(flat.num_devices(), netlist.num_devices());
+        prop_assert_eq!(flat.num_nets(), netlist.num_nets());
+
+        // Terminal arity matches the cell library and no terminal dangles.
+        for (_, dev) in netlist.devices() {
+            prop_assert_eq!(dev.terminals.len(), dev.kind.terminal_names().len());
+            for &net in &dev.terminals {
+                prop_assert!((net.0 as usize) < netlist.num_nets(), "dangling net in {}", dev.name);
+            }
+        }
+
+        // The graph holds every net and device as a node.
+        prop_assert!(case.graph.num_nodes() >= netlist.num_nets() + netlist.num_devices());
+
+        // Every SPF node resolves to a graph node, and every value sits
+        // inside the extraction clamp range.
+        let (lo, hi) = ExtractConfig::default().cap_range;
+        for g in &case.spf.ground_caps {
+            prop_assert!(case.map.resolve(netlist, &g.node).is_some(), "unresolvable {}", g.node);
+            prop_assert!(g.value > 0.0);
+        }
+        for c in &case.spf.coupling_caps {
+            prop_assert!(case.map.resolve(netlist, &c.a).is_some(), "unresolvable {}", c.a);
+            prop_assert!(case.map.resolve(netlist, &c.b).is_some(), "unresolvable {}", c.b);
+            prop_assert!(c.value >= lo && c.value <= hi, "cap {} out of range", c.value);
+        }
+    }
+
+    #[test]
+    fn labeled_pairs_are_enumerable_after_link_injection(idx in 0usize..12) {
+        // Training/eval consume SPF labels through the SEAL setup: observed
+        // couplings are injected into the graph, where each labeled pair is
+        // distance 1. Every labeled pair must then fall inside the candidate
+        // enumeration that the sweep planner uses.
+        let corpus = grammar_corpus();
+        let case = &corpus[idx % corpus.len()];
+        let links = LinkSet::from_spf(
+            &case.spf,
+            &case.design.netlist,
+            &case.graph,
+            &case.map,
+            ExtractConfig::default().cap_range,
+        );
+        let injected: Vec<Edge> = links
+            .p2n
+            .iter()
+            .chain(&links.p2p)
+            .chain(&links.n2n)
+            .map(|l| Edge { a: l.a, b: l.b, ty: l.ty })
+            .collect();
+        prop_assume!(!injected.is_empty());
+        let aug = case.graph.with_injected_links(&injected);
+        let candidates: std::collections::HashSet<(u32, u32)> = CandidatePairs::new(&aug, 0, 0)
+            .map(|(a, b)| (a.min(b), a.max(b)))
+            .collect();
+        for l in &injected {
+            prop_assert!(
+                candidates.contains(&(l.a.min(l.b), l.a.max(l.b))),
+                "labeled pair ({},{}) not enumerable in {}", l.a, l.b, case.design.name
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_sampler_matches_per_pair_sampler_on_grammar_graphs(
+        idx in 0usize..12,
+        hops in 1u32..3,
+    ) {
+        // Same bitwise-parity invariant as on random graphs, but over real
+        // enumerated circuit graphs and the planner's own candidate pairs.
+        let corpus = grammar_corpus();
+        let case = &corpus[idx % corpus.len()];
+        let pairs: Vec<(u32, u32)> = CandidatePairs::new(&case.graph, 2, 24).collect();
+        prop_assume!(!pairs.is_empty());
+        let cfg = SamplerConfig { hops, max_nodes: 256 };
+        let mut shared = SweepSampler::new(&case.graph, cfg);
+        let mut buf = shared.enclosing_subgraph(pairs[0].0, pairs[0].1);
+        for &(m, n) in &pairs {
+            shared.extract_into(m, n, &mut buf);
+            let want = SubgraphSampler::new(&case.graph, cfg).enclosing_subgraph(m, n);
+            prop_assert_eq!(&buf.nodes, &want.nodes);
+            prop_assert_eq!(&buf.node_types, &want.node_types);
+            prop_assert_eq!(&buf.src, &want.src);
+            prop_assert_eq!(&buf.dst, &want.dst);
+            prop_assert_eq!(&buf.edge_types, &want.edge_types);
+            prop_assert_eq!(&buf.dist_a, &want.dist_a);
+            prop_assert_eq!(&buf.dist_b, &want.dist_b);
+            prop_assert_eq!(buf.num_anchors, want.num_anchors);
+            let got_bits: Vec<u32> = buf.xc.iter().map(|v| v.to_bits()).collect();
+            let want_bits: Vec<u32> = want.xc.iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(got_bits, want_bits);
         }
     }
 }
