@@ -51,6 +51,11 @@ pub const CHECKPOINT_VERSION: u32 = 2;
 /// Section name under which resumable-training state
 /// ([`crate::TrainState`]) is stored in a v2 container.
 pub const TRAIN_STATE_SECTION: &str = "train_state";
+/// Section name under which int8 weight quantization (per-tensor scales
+/// plus codes, see [`cirgps_nn::QuantMatrix`]) is stored in a v2
+/// container. Purely additive: readers predating the section — and
+/// checkpoints predating it — interoperate as pure f32.
+pub const QUANT_SECTION: &str = "quant";
 
 /// Most sections a v2 container may carry; far above anything written
 /// today, it only bounds the loop on (CRC-verified) input.
@@ -102,6 +107,10 @@ pub enum CheckpointError {
     /// The parameter blob does not match the model built from the
     /// embedded config (names the parameter and both shapes).
     Params(ParamLoadError),
+    /// The `quant` section is malformed or inconsistent with the model
+    /// (truncated payload, unknown parameter, shape mismatch, or a
+    /// weight this model cannot serve quantized).
+    Quant(String),
 }
 
 impl std::fmt::Display for CheckpointError {
@@ -124,6 +133,7 @@ impl std::fmt::Display for CheckpointError {
             ),
             CheckpointError::Config(msg) => write!(f, "embedded model config: {msg}"),
             CheckpointError::Params(e) => write!(f, "{e}"),
+            CheckpointError::Quant(msg) => write!(f, "checkpoint quant section: {msg}"),
         }
     }
 }
@@ -331,6 +341,11 @@ impl CircuitGps {
     /// [`TRAIN_STATE_SECTION`]). Readers that only want the model ignore
     /// sections they don't recognize.
     ///
+    /// If the parameter store holds int8 weight snapshots (after
+    /// [`cirgps_nn::ParamStore::quantize_int8`], e.g. the CLI's
+    /// `--quantize` export flag), they are appended automatically as the
+    /// [`QUANT_SECTION`] and reapplied on load.
+    ///
     /// # Errors
     ///
     /// Propagates I/O errors from the writer.
@@ -347,9 +362,23 @@ impl CircuitGps {
         write_u64(&mut body, cfg_block.len() as u64)?;
         body.write_all(&cfg_block)?;
         self.store().save_blob(&mut body)?;
-        write_u32(&mut body, sections.len() as u32)?;
+        let quant_payload =
+            if self.store().has_quant() && !sections.iter().any(|(n, _)| *n == QUANT_SECTION) {
+                let mut payload = Vec::new();
+                self.store().save_quant_blob(&mut payload)?;
+                Some(payload)
+            } else {
+                None
+            };
+        let n_sections = sections.len() + usize::from(quant_payload.is_some());
+        write_u32(&mut body, n_sections as u32)?;
         for (name, payload) in sections {
             write_str(&mut body, name)?;
+            write_u64(&mut body, payload.len() as u64)?;
+            body.write_all(payload)?;
+        }
+        if let Some(payload) = &quant_payload {
+            write_str(&mut body, QUANT_SECTION)?;
             write_u64(&mut body, payload.len() as u64)?;
             body.write_all(payload)?;
         }
@@ -493,6 +522,19 @@ impl CircuitGps {
                 "{} trailing bytes after the last section",
                 br.len()
             )));
+        }
+        // Reapply int8 weight snapshots so a `--quantize`-exported model
+        // serves quantized by default (callers wanting pure f32 clear
+        // the snapshots with `store_mut().clear_quant()`).
+        if let Some(payload) = sections
+            .iter()
+            .find(|(n, _)| n == QUANT_SECTION)
+            .map(|(_, p)| p.as_slice())
+        {
+            model
+                .store_mut()
+                .load_quant_blob(payload)
+                .map_err(CheckpointError::Quant)?;
         }
         Ok(Checkpoint {
             model,
@@ -650,6 +692,83 @@ mod tests {
         assert_eq!(fmt, CheckpointFormat::Legacy);
         assert_eq!(loaded.cfg, ModelConfig::default());
         assert_eq!(loaded.predict_link(&s).to_bits(), want.to_bits());
+    }
+
+    #[test]
+    fn quant_section_round_trips_and_serves_quantized() {
+        let s = sample();
+        let mut model = CircuitGps::new(non_default_config());
+        assert!(model.store_mut().quantize_int8() > 0);
+        let want = model.predict_link(&s);
+
+        let mut bytes = Vec::new();
+        model.save_checkpoint(&mut bytes).unwrap();
+        let ck = CircuitGps::load_checkpoint_full(&bytes[..]).unwrap();
+        assert!(ck.section(QUANT_SECTION).is_some(), "quant section written");
+        assert!(ck.model.store().has_quant(), "snapshots reapplied on load");
+        assert_eq!(
+            ck.model.predict_link(&s).to_bits(),
+            want.to_bits(),
+            "quantized predictions must round-trip bitwise"
+        );
+
+        // Clearing the snapshots reverts to the pure-f32 path.
+        let mut f32_model = CircuitGps::load_checkpoint_full(&bytes[..]).unwrap().model;
+        f32_model.store_mut().clear_quant();
+        let f32_pred = f32_model.predict_link(&s);
+        assert!(f32_pred.is_finite());
+    }
+
+    #[test]
+    fn checkpoint_without_quant_section_loads_pure_f32() {
+        let model = CircuitGps::new(non_default_config());
+        let mut bytes = Vec::new();
+        model.save_checkpoint(&mut bytes).unwrap();
+        let ck = CircuitGps::load_checkpoint_full(&bytes[..]).unwrap();
+        assert!(ck.section(QUANT_SECTION).is_none());
+        assert!(!ck.model.store().has_quant());
+    }
+
+    #[test]
+    fn corrupt_quant_section_is_a_named_error_not_a_panic() {
+        let model = CircuitGps::new(non_default_config());
+        // The CRC footer catches random bit flips; this test targets the
+        // section *parser* by writing well-framed containers whose quant
+        // payload is garbage (as a buggy or malicious writer would).
+        for payload in [
+            &b""[..],                         // truncated: no entry count
+            &[0xFF; 8][..],                   // absurd entry count
+            &1u64.to_le_bytes()[..],          // one entry, then truncation
+            &[1, 0, 0, 0, 0, 0, 0, 0, 3][..], // truncated mid-name
+        ] {
+            let mut bytes = Vec::new();
+            model
+                .save_checkpoint_with_sections(&mut bytes, &[(QUANT_SECTION, payload)])
+                .unwrap();
+            match CircuitGps::load_checkpoint_full(&bytes[..]) {
+                Err(CheckpointError::Quant(msg)) => {
+                    assert!(!msg.is_empty(), "quant error must explain itself")
+                }
+                other => panic!("payload {payload:?}: expected Quant error, got {other:?}"),
+            }
+        }
+        // A structurally valid payload naming an unknown parameter.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&1u64.to_le_bytes());
+        payload.extend_from_slice(&7u64.to_le_bytes());
+        payload.extend_from_slice(b"no.such");
+        payload.extend_from_slice(&1u64.to_le_bytes());
+        payload.extend_from_slice(&1u64.to_le_bytes());
+        payload.extend_from_slice(&1.0f32.to_le_bytes());
+        payload.push(5);
+        let mut bytes = Vec::new();
+        model
+            .save_checkpoint_with_sections(&mut bytes, &[(QUANT_SECTION, &payload)])
+            .unwrap();
+        match CircuitGps::load_checkpoint_full(&bytes[..]) {
+            Err(CheckpointError::Quant(msg)) => assert!(msg.contains("no.such"), "{msg}"),
+            other => panic!("expected Quant error naming the parameter, got {other:?}"),
+        }
     }
 
     #[test]

@@ -15,7 +15,61 @@
 //! no op log, no [`crate::Var`] table and no per-op shape bookkeeping.
 
 use crate::pool;
+use crate::simd::Backend;
 use crate::tensor::{fast_exp, gemm, Tensor};
+
+/// In-place `v = max(v, 0)` on an explicit backend (bitwise-equal to the
+/// scalar sweep, including `-0.0 → +0.0` and `NaN → 0.0`).
+#[cfg_attr(not(target_arch = "x86_64"), allow(unused_variables))]
+pub(crate) fn relu_sweep_with(backend: Backend, xs: &mut [f32]) {
+    #[cfg(target_arch = "x86_64")]
+    if backend != Backend::Scalar {
+        // SAFETY: non-scalar backends imply a successful AVX2+FMA probe.
+        return unsafe { crate::simd::avx2::relu_sweep(xs) };
+    }
+    for v in xs.iter_mut() {
+        *v = v.max(0.0);
+    }
+}
+
+/// In-place `v = fast_exp(v)` on an explicit backend.
+#[cfg_attr(not(target_arch = "x86_64"), allow(unused_variables))]
+pub(crate) fn exp_sweep_with(backend: Backend, xs: &mut [f32]) {
+    #[cfg(target_arch = "x86_64")]
+    if backend != Backend::Scalar {
+        // SAFETY: non-scalar backends imply a successful AVX2+FMA probe.
+        return unsafe { crate::simd::avx2::exp_sweep(xs) };
+    }
+    for v in xs.iter_mut() {
+        *v = fast_exp(*v);
+    }
+}
+
+/// In-place `v = stable_sigmoid(v)` on an explicit backend.
+#[cfg_attr(not(target_arch = "x86_64"), allow(unused_variables))]
+pub(crate) fn sigmoid_sweep_with(backend: Backend, xs: &mut [f32]) {
+    #[cfg(target_arch = "x86_64")]
+    if backend != Backend::Scalar {
+        // SAFETY: non-scalar backends imply a successful AVX2+FMA probe.
+        return unsafe { crate::simd::avx2::sigmoid_sweep(xs) };
+    }
+    for v in xs.iter_mut() {
+        *v = stable_sigmoid(*v);
+    }
+}
+
+/// In-place `v *= s` on an explicit backend.
+#[cfg_attr(not(target_arch = "x86_64"), allow(unused_variables))]
+pub(crate) fn scale_sweep_with(backend: Backend, xs: &mut [f32], s: f32) {
+    #[cfg(target_arch = "x86_64")]
+    if backend != Backend::Scalar {
+        // SAFETY: non-scalar backends imply a successful AVX2+FMA probe.
+        return unsafe { crate::simd::avx2::scale_sweep(xs, s) };
+    }
+    for v in xs.iter_mut() {
+        *v *= s;
+    }
+}
 
 /// Numerically stable sigmoid, written select-style (no branch) so the
 /// `map` loops over whole tensors auto-vectorize.
@@ -60,31 +114,94 @@ pub(crate) fn linear_fwd(xv: &Tensor, wv: &Tensor, bias: Option<&Tensor>, relu: 
     }
     gemm(xv.as_slice(), wv.as_slice(), &mut out, m, k, n);
     if relu {
-        for v in out.iter_mut() {
-            *v = v.max(0.0);
+        relu_sweep_with(Backend::active(), &mut out);
+    }
+    Tensor::from_vec(m, n, out)
+}
+
+/// [`linear_fwd`] against an int8-quantized weight: same bias seeding
+/// and ReLU epilogue, with the GEMM routed through the dequantizing
+/// kernels (see [`crate::quant`]).
+///
+/// # Panics
+///
+/// Panics on shape mismatch (`b` must be `1×n` when given).
+pub(crate) fn linear_fwd_quant(
+    xv: &Tensor,
+    qw: &crate::quant::QuantMatrix,
+    bias: Option<&Tensor>,
+    relu: bool,
+) -> Tensor {
+    let (m, k) = xv.shape();
+    assert_eq!(
+        k,
+        qw.rows(),
+        "linear shape mismatch: {:?} vs {}x{} (quant)",
+        xv.shape(),
+        qw.rows(),
+        qw.cols()
+    );
+    let n = qw.cols();
+    let mut out = pool::take_capacity(m * n);
+    match bias {
+        Some(bv) => {
+            assert_eq!(bv.shape(), (1, n), "bias must be 1x{n}");
+            for _ in 0..m {
+                out.extend_from_slice(bv.as_slice());
+            }
         }
+        None => out.resize(m * n, 0.0),
+    }
+    crate::quant::gemm_quant(xv.as_slice(), qw, &mut out, m);
+    if relu {
+        relu_sweep_with(Backend::active(), &mut out);
     }
     Tensor::from_vec(m, n, out)
 }
 
 /// Row-wise softmax (append-only writes, vectorizable exp pass).
+///
+/// The row max and the row sum stay scalar-sequential on every backend
+/// so the reduction order — hence the result — is backend-invariant;
+/// only the elementwise exp and normalize passes dispatch to SIMD.
 pub(crate) fn softmax_rows_fwd(x: &Tensor) -> Tensor {
+    softmax_rows_impl(Backend::active(), x, 1.0)
+}
+
+/// Row-wise softmax of `scale · x` on an explicit backend.
+#[cfg_attr(not(target_arch = "x86_64"), allow(unused_variables))]
+pub(crate) fn softmax_rows_impl(backend: Backend, x: &Tensor, scale: f32) -> Tensor {
     let (n, d) = x.shape();
     // Rows are written append-only (no zero-fill pass): for an
     // N×N attention matrix the saved memset is a full extra sweep.
     let mut out = pool::take_capacity(n * d);
+    out.reserve(n * d);
     for r in 0..n {
         let row = x.row_slice(r);
-        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let max = row
+            .iter()
+            .map(|&v| v * scale)
+            .fold(f32::NEG_INFINITY, f32::max);
         let start = out.len();
         // Separate exp/sum/scale passes: the exp pass carries no
-        // cross-iteration dependency, so it vectorizes.
-        out.extend(row.iter().map(|&v| fast_exp(v - max)));
+        // cross-iteration dependency, so it vectorizes. (`v · 1.0`
+        // is exact, so the unscaled softmax shares this path.)
+        #[cfg(target_arch = "x86_64")]
+        if backend != Backend::Scalar {
+            // SAFETY: backend probe succeeded; `reserve` above guarantees
+            // capacity for the `d` raw writes before `set_len`.
+            unsafe {
+                crate::simd::avx2::softmax_exp_pass(out.as_mut_ptr().add(start), row, scale, max);
+                out.set_len(start + d);
+            }
+        } else {
+            out.extend(row.iter().map(|&v| fast_exp(v * scale - max)));
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        out.extend(row.iter().map(|&v| fast_exp(v * scale - max)));
         let sum: f32 = out[start..].iter().sum();
         let inv = 1.0 / sum.max(1e-30);
-        for o in &mut out[start..] {
-            *o *= inv;
-        }
+        scale_sweep_with(backend, &mut out[start..], inv);
     }
     Tensor::from_vec(n, d, out)
 }
@@ -278,8 +395,12 @@ pub(crate) fn linear_add_gathered2(
     let n = w.cols();
     debug_assert_eq!(m, dst.len());
     // Same dispatch conditions as the gemm fast path; other shapes take
-    // the two-pass route.
-    if k > 256 || !matches!(n, 8 | 16 | 32 | 64) {
+    // the two-pass route. SIMD backends always go two-pass: the vector
+    // microkernel stores the plain GEMM result and the gathered adds run
+    // as a second sweep — bitwise-equal to the fused store epilogue,
+    // since the epilogue applies the same per-element ops to the same
+    // final accumulator values.
+    if Backend::active() != Backend::Scalar || k > 256 || !matches!(n, 8 | 16 | 32 | 64) {
         let ce = linear_fwd(e, w, bias, false);
         return add_gathered2_inplace(ce, dx, dst, ex, src);
     }
@@ -363,15 +484,29 @@ pub(crate) fn gated_scatter(
     dst: &[usize],
     n_out: usize,
 ) -> (Tensor, Tensor) {
+    gated_scatter_with(Backend::active(), e_hat, bx, src, dst, n_out)
+}
+
+/// [`gated_scatter`] on an explicit backend.
+pub(crate) fn gated_scatter_with(
+    backend: Backend,
+    e_hat: &Tensor,
+    bx: &Tensor,
+    src: &[usize],
+    dst: &[usize],
+    n_out: usize,
+) -> (Tensor, Tensor) {
     match e_hat.cols() {
-        16 => gated_scatter_impl::<16>(e_hat, bx, src, dst, n_out),
-        32 => gated_scatter_impl::<32>(e_hat, bx, src, dst, n_out),
-        64 => gated_scatter_impl::<64>(e_hat, bx, src, dst, n_out),
-        _ => gated_scatter_impl::<0>(e_hat, bx, src, dst, n_out),
+        16 => gated_scatter_impl::<16>(backend, e_hat, bx, src, dst, n_out),
+        32 => gated_scatter_impl::<32>(backend, e_hat, bx, src, dst, n_out),
+        64 => gated_scatter_impl::<64>(backend, e_hat, bx, src, dst, n_out),
+        _ => gated_scatter_impl::<0>(backend, e_hat, bx, src, dst, n_out),
     }
 }
 
+#[cfg_attr(not(target_arch = "x86_64"), allow(unused_variables))]
 fn gated_scatter_impl<const D: usize>(
+    backend: Backend,
     e_hat: &Tensor,
     bx: &Tensor,
     src: &[usize],
@@ -382,6 +517,23 @@ fn gated_scatter_impl<const D: usize>(
     debug_assert_eq!(e_hat.rows(), src.len());
     let mut num = Tensor::zeros(n_out, d);
     let mut den = Tensor::zeros(n_out, d);
+    // SIMD backends fuse sigmoid + multiply + both accumulates per edge
+    // (no η staging buffer); per-element values and the per-destination
+    // edge-order accumulation are identical to the scalar loop.
+    #[cfg(target_arch = "x86_64")]
+    if backend != Backend::Scalar {
+        for (i, (&j_src, &j_dst)) in src.iter().zip(dst).enumerate() {
+            let er = &e_hat.row_slice(i)[..d];
+            let bxr = &bx.row_slice(j_src)[..d];
+            let nr = &mut num.as_mut_slice()[j_dst * d..(j_dst + 1) * d];
+            let dr = &mut den.as_mut_slice()[j_dst * d..(j_dst + 1) * d];
+            // SAFETY: non-scalar backends imply a successful AVX2 probe.
+            unsafe {
+                crate::simd::avx2::gated_edge(er, bxr, nr, dr);
+            }
+        }
+        return (num, den);
+    }
     let mut eta = pool::take_zeroed(d);
     for (i, (&j_src, &j_dst)) in src.iter().zip(dst).enumerate() {
         let er = &e_hat.row_slice(i)[..d];
@@ -403,9 +555,34 @@ fn gated_scatter_impl<const D: usize>(
 }
 
 /// Fused `x̂ = ax + num / (den + ε)`, consuming `ax`'s buffer.
-pub(crate) fn add_div_inplace(mut ax: Tensor, num: &Tensor, den: &Tensor, eps: f32) -> Tensor {
+pub(crate) fn add_div_inplace(ax: Tensor, num: &Tensor, den: &Tensor, eps: f32) -> Tensor {
+    add_div_inplace_with(Backend::active(), ax, num, den, eps)
+}
+
+/// [`add_div_inplace`] on an explicit backend.
+#[cfg_attr(not(target_arch = "x86_64"), allow(unused_variables))]
+pub(crate) fn add_div_inplace_with(
+    backend: Backend,
+    mut ax: Tensor,
+    num: &Tensor,
+    den: &Tensor,
+    eps: f32,
+) -> Tensor {
     debug_assert_eq!(ax.shape(), num.shape());
     debug_assert_eq!(ax.shape(), den.shape());
+    #[cfg(target_arch = "x86_64")]
+    if backend != Backend::Scalar {
+        // SAFETY: non-scalar backends imply a successful AVX2+FMA probe.
+        unsafe {
+            crate::simd::avx2::add_div_sweep(
+                ax.as_mut_slice(),
+                num.as_slice(),
+                den.as_slice(),
+                eps,
+            );
+        }
+        return ax;
+    }
     for ((a, &n), &d) in ax
         .as_mut_slice()
         .iter_mut()
@@ -430,10 +607,51 @@ pub(crate) fn batch_norm_eval_relu_add_fwd(
     var: &Tensor,
     residual: &Tensor,
 ) -> Tensor {
+    batch_norm_eval_relu_add_with(Backend::active(), x, gamma, beta, eps, mean, var, residual)
+}
+
+/// [`batch_norm_eval_relu_add_fwd`] on an explicit backend.
+#[allow(clippy::too_many_arguments)]
+#[cfg_attr(not(target_arch = "x86_64"), allow(unused_variables))]
+pub(crate) fn batch_norm_eval_relu_add_with(
+    backend: Backend,
+    x: &Tensor,
+    gamma: &Tensor,
+    beta: &Tensor,
+    eps: f32,
+    mean: &Tensor,
+    var: &Tensor,
+    residual: &Tensor,
+) -> Tensor {
     let (n, d) = x.shape();
     debug_assert_eq!(residual.shape(), (n, d));
     let invstd = var.map(|v| 1.0 / (v + eps).sqrt());
     let mut out = pool::take_capacity(n * d);
+    #[cfg(target_arch = "x86_64")]
+    if backend != Backend::Scalar {
+        out.reserve(n * d);
+        for r in 0..n {
+            let start = out.len();
+            // SAFETY: backend probe succeeded; `reserve` guarantees
+            // capacity for the `d` raw writes before `set_len`.
+            unsafe {
+                crate::simd::avx2::bn_row(
+                    out.as_mut_ptr().add(start),
+                    x.row_slice(r),
+                    Some(residual.row_slice(r)),
+                    true,
+                    mean.as_slice(),
+                    invstd.as_slice(),
+                    gamma.as_slice(),
+                    beta.as_slice(),
+                    d,
+                );
+                out.set_len(start + d);
+            }
+        }
+        invstd.recycle();
+        return Tensor::from_vec(n, d, out);
+    }
     for r in 0..n {
         out.extend(
             x.row_slice(r)
@@ -463,10 +681,50 @@ pub(crate) fn batch_norm_eval_of_sum_fwd(
     mean: &Tensor,
     var: &Tensor,
 ) -> Tensor {
+    batch_norm_eval_of_sum_with(Backend::active(), a, b, gamma, beta, eps, mean, var)
+}
+
+/// [`batch_norm_eval_of_sum_fwd`] on an explicit backend.
+#[allow(clippy::too_many_arguments)]
+#[cfg_attr(not(target_arch = "x86_64"), allow(unused_variables))]
+pub(crate) fn batch_norm_eval_of_sum_with(
+    backend: Backend,
+    a: &Tensor,
+    b: &Tensor,
+    gamma: &Tensor,
+    beta: &Tensor,
+    eps: f32,
+    mean: &Tensor,
+    var: &Tensor,
+) -> Tensor {
     let (n, d) = a.shape();
     debug_assert_eq!(b.shape(), (n, d));
     let invstd = var.map(|v| 1.0 / (v + eps).sqrt());
     let mut out = pool::take_capacity(n * d);
+    #[cfg(target_arch = "x86_64")]
+    if backend != Backend::Scalar {
+        out.reserve(n * d);
+        for r in 0..n {
+            let start = out.len();
+            // SAFETY: backend probe succeeded; `reserve` guarantees
+            // capacity for the `d` raw writes before `set_len`.
+            unsafe {
+                crate::simd::avx2::bn_of_sum_row(
+                    out.as_mut_ptr().add(start),
+                    a.row_slice(r),
+                    b.row_slice(r),
+                    mean.as_slice(),
+                    invstd.as_slice(),
+                    gamma.as_slice(),
+                    beta.as_slice(),
+                    d,
+                );
+                out.set_len(start + d);
+            }
+        }
+        invstd.recycle();
+        return Tensor::from_vec(n, d, out);
+    }
     for r in 0..n {
         out.extend(
             a.row_slice(r)
@@ -489,23 +747,7 @@ pub(crate) fn batch_norm_eval_of_sum_fwd(
 /// the row max is the scaled max — bitwise-equal to scale-then-softmax.
 pub(crate) fn softmax_rows_scaled_fwd(x: &Tensor, scale: f32) -> Tensor {
     debug_assert!(scale > 0.0);
-    let (n, d) = x.shape();
-    let mut out = pool::take_capacity(n * d);
-    for r in 0..n {
-        let row = x.row_slice(r);
-        let max = row
-            .iter()
-            .map(|&v| v * scale)
-            .fold(f32::NEG_INFINITY, f32::max);
-        let start = out.len();
-        out.extend(row.iter().map(|&v| fast_exp(v * scale - max)));
-        let sum: f32 = out[start..].iter().sum();
-        let inv = 1.0 / sum.max(1e-30);
-        for o in &mut out[start..] {
-            *o *= inv;
-        }
-    }
-    Tensor::from_vec(n, d, out)
+    softmax_rows_impl(Backend::active(), x, scale)
 }
 
 /// Packs the three attention projection weights `[Wq | Wk | Wv]`
@@ -598,12 +840,47 @@ pub(crate) fn mha_block_diag_fwd(
 /// the unfused exp → +ε → ·(1/√m) sequence exactly (no reassociation),
 /// and the squares are summed left-to-right like a `mul` + `row_sum`.
 pub(crate) fn performer_feature_map_fwd(xs: &Tensor, omega_t: &Tensor, features: usize) -> Tensor {
-    let mut prod = xs.matmul(omega_t);
+    performer_feature_map_with(Backend::active(), xs, omega_t, features)
+}
+
+/// [`performer_feature_map_fwd`] on an explicit backend.
+pub(crate) fn performer_feature_map_with(
+    backend: Backend,
+    xs: &Tensor,
+    omega_t: &Tensor,
+    features: usize,
+) -> Tensor {
+    let (rows, k) = xs.shape();
+    let cols = omega_t.cols();
+    let mut buf = pool::take_zeroed(rows * cols);
+    crate::tensor::gemm_with(
+        backend,
+        xs.as_slice(),
+        omega_t.as_slice(),
+        &mut buf,
+        rows,
+        k,
+        cols,
+    );
+    let mut prod = Tensor::from_vec(rows, cols, buf);
     let inv = 1.0 / (features as f32).sqrt();
     let (n, m) = prod.shape();
     for r in 0..n {
+        // The squared-norm reduction stays scalar-sequential on every
+        // backend (order-sensitive); only the elementwise sweep
+        // vectorizes.
         let half: f32 = xs.row_slice(r).iter().map(|&v| v * v).sum::<f32>() * 0.5;
-        for v in &mut prod.as_mut_slice()[r * m..(r + 1) * m] {
+        let row = &mut prod.as_mut_slice()[r * m..(r + 1) * m];
+        #[cfg(target_arch = "x86_64")]
+        if backend != Backend::Scalar {
+            // SAFETY: non-scalar backends imply a successful AVX2 probe.
+            unsafe {
+                crate::simd::avx2::feature_map_sweep(row, half, inv);
+            }
+            continue;
+        }
+        let _ = backend;
+        for v in row.iter_mut() {
             *v = (fast_exp(*v - half) + 1e-6) * inv;
         }
     }
@@ -721,9 +998,48 @@ pub(crate) fn batch_norm_eval_fwd(
     mean: &Tensor,
     var: &Tensor,
 ) -> Tensor {
+    batch_norm_eval_with(Backend::active(), x, gamma, beta, eps, mean, var)
+}
+
+/// [`batch_norm_eval_fwd`] on an explicit backend.
+#[cfg_attr(not(target_arch = "x86_64"), allow(unused_variables))]
+pub(crate) fn batch_norm_eval_with(
+    backend: Backend,
+    x: &Tensor,
+    gamma: &Tensor,
+    beta: &Tensor,
+    eps: f32,
+    mean: &Tensor,
+    var: &Tensor,
+) -> Tensor {
     let (n, d) = x.shape();
     let invstd = var.map(|v| 1.0 / (v + eps).sqrt());
     let mut out = pool::take_capacity(n * d);
+    #[cfg(target_arch = "x86_64")]
+    if backend != Backend::Scalar {
+        out.reserve(n * d);
+        for r in 0..n {
+            let start = out.len();
+            // SAFETY: backend probe succeeded; `reserve` guarantees
+            // capacity for the `d` raw writes before `set_len`.
+            unsafe {
+                crate::simd::avx2::bn_row(
+                    out.as_mut_ptr().add(start),
+                    x.row_slice(r),
+                    None,
+                    false,
+                    mean.as_slice(),
+                    invstd.as_slice(),
+                    gamma.as_slice(),
+                    beta.as_slice(),
+                    d,
+                );
+                out.set_len(start + d);
+            }
+        }
+        invstd.recycle();
+        return Tensor::from_vec(n, d, out);
+    }
     for r in 0..n {
         out.extend(
             x.row_slice(r)

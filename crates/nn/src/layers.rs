@@ -40,22 +40,15 @@ impl Activation {
     /// same elementwise kernels as the taped ops, so results are
     /// bitwise-equal.
     pub fn infer(self, x: &mut Tensor) {
+        let backend = crate::simd::Backend::active();
         match self {
-            Activation::Relu => {
-                for v in x.as_mut_slice() {
-                    *v = v.max(0.0);
-                }
-            }
+            Activation::Relu => crate::infer::relu_sweep_with(backend, x.as_mut_slice()),
             Activation::Tanh => {
                 for v in x.as_mut_slice() {
                     *v = v.tanh();
                 }
             }
-            Activation::Sigmoid => {
-                for v in x.as_mut_slice() {
-                    *v = crate::infer::stable_sigmoid(*v);
-                }
-            }
+            Activation::Sigmoid => crate::infer::sigmoid_sweep_with(backend, x.as_mut_slice()),
             Activation::Identity => {}
         }
     }
@@ -100,6 +93,11 @@ impl Linear {
             xavier_uniform(in_dim, out_dim, rng),
             true,
         );
+        // Linear weights route through the dequantizing GEMM when an
+        // int8 snapshot exists; layers whose inference path reads the
+        // raw f32 weight instead (the packed QKV projections) unmark
+        // theirs at construction.
+        store.set_quantizable(w, true);
         let b =
             bias.then(|| store.register(&format!("{name}.bias"), Tensor::zeros(1, out_dim), true));
         Linear {
@@ -142,14 +140,29 @@ impl Linear {
     }
 
     /// Tape-free forward (eval mode): same fused kernel as
-    /// [`Linear::forward`], reading weights straight from `params`.
+    /// [`Linear::forward`], reading weights straight from `params`. If
+    /// the store holds an int8 snapshot of this weight, the GEMM runs
+    /// through the dequantizing kernels instead.
     pub fn infer(&self, params: &ParamStore, x: &Tensor) -> Tensor {
-        crate::infer::linear_fwd(x, params.get(self.w), self.b.map(|b| params.get(b)), false)
+        match params.quant_of(self.w) {
+            Some(q) => crate::infer::linear_fwd_quant(x, q, self.b.map(|b| params.get(b)), false),
+            None => crate::infer::linear_fwd(
+                x,
+                params.get(self.w),
+                self.b.map(|b| params.get(b)),
+                false,
+            ),
+        }
     }
 
     /// Tape-free `relu(xW + b)` (eval mode).
     pub fn infer_relu(&self, params: &ParamStore, x: &Tensor) -> Tensor {
-        crate::infer::linear_fwd(x, params.get(self.w), self.b.map(|b| params.get(b)), true)
+        match params.quant_of(self.w) {
+            Some(q) => crate::infer::linear_fwd_quant(x, q, self.b.map(|b| params.get(b)), true),
+            None => {
+                crate::infer::linear_fwd(x, params.get(self.w), self.b.map(|b| params.get(b)), true)
+            }
+        }
     }
 
     /// Tape-free `(xW + b) + dx[dst] + ex[src]` with the gathered adds
@@ -163,6 +176,12 @@ impl Linear {
         ex: &Tensor,
         src: &[usize],
     ) -> Tensor {
+        if let Some(q) = params.quant_of(self.w) {
+            // Quantized route: dequantizing GEMM, gathered adds as a
+            // second sweep (bitwise-equal to the fused epilogue).
+            let ce = crate::infer::linear_fwd_quant(x, q, self.b.map(|b| params.get(b)), false);
+            return crate::infer::add_gathered2_inplace(ce, dx, dst, ex, src);
+        }
         crate::infer::linear_add_gathered2(
             x,
             params.get(self.w),

@@ -50,6 +50,8 @@ mod layers;
 mod optim;
 mod params;
 pub mod pool;
+pub mod quant;
+pub mod simd;
 mod tape;
 mod tensor;
 
@@ -61,5 +63,7 @@ pub use params::{
     normal_init, xavier_uniform, BufferId, GradStore, ParamId, ParamLoadError, ParamStore,
 };
 pub use pool::PoolStats;
+pub use quant::QuantMatrix;
+pub use simd::Backend;
 pub use tape::{Tape, Var};
 pub use tensor::Tensor;

@@ -13,6 +13,7 @@ use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::Rng;
 
+use crate::quant::QuantMatrix;
 use crate::tensor::Tensor;
 
 /// Why loading a parameter blob into a [`ParamStore`] failed.
@@ -145,6 +146,12 @@ pub struct ParamStore {
     trainable: Vec<bool>,
     buffers: Vec<Mutex<Tensor>>,
     buffer_names: Vec<String>,
+    /// Whether each parameter is a weight matrix the int8 path may
+    /// quantize (set by the layer that registered it).
+    quantizable: Vec<bool>,
+    /// Per-parameter int8 snapshot, populated by
+    /// [`ParamStore::quantize_int8`] or a checkpoint's `quant` section.
+    quant: Vec<Option<QuantMatrix>>,
 }
 
 impl ParamStore {
@@ -162,6 +169,8 @@ impl ParamStore {
         self.params.push(init);
         self.names.push(name.to_string());
         self.trainable.push(trainable);
+        self.quantizable.push(false);
+        self.quant.push(None);
         ParamId(self.params.len() - 1)
     }
 
@@ -178,7 +187,12 @@ impl ParamStore {
     }
 
     /// Mutably borrows a parameter tensor (used by optimizers).
+    ///
+    /// Invalidates any int8 snapshot of the parameter: the quantized
+    /// codes would otherwise go stale the moment an optimizer step
+    /// mutates the f32 values.
     pub fn get_mut(&mut self, id: ParamId) -> &mut Tensor {
+        self.quant[id.0] = None;
         &mut self.params[id.0]
     }
 
@@ -210,6 +224,115 @@ impl ParamStore {
             }
         }
         n
+    }
+
+    /// Marks a parameter as eligible for int8 weight quantization.
+    ///
+    /// Layers call this for weight matrices whose inference path goes
+    /// through a dequantizing GEMM (currently [`crate::Linear`] weights,
+    /// except the attention QKV projections, which are re-packed from
+    /// raw f32 at inference time). Biases, embeddings and batch-norm
+    /// parameters stay f32.
+    pub fn set_quantizable(&mut self, id: ParamId, quantizable: bool) {
+        self.quantizable[id.0] = quantizable;
+        if !quantizable {
+            self.quant[id.0] = None;
+        }
+    }
+
+    /// Whether a parameter is eligible for int8 quantization.
+    pub fn is_quantizable(&self, id: ParamId) -> bool {
+        self.quantizable[id.0]
+    }
+
+    /// Quantizes every quantizable parameter to int8, returning how many
+    /// tensors were snapshotted. Inference then routes those weights
+    /// through the dequantizing GEMM kernels (see [`crate::QuantMatrix`]).
+    pub fn quantize_int8(&mut self) -> usize {
+        let mut n = 0;
+        for i in 0..self.params.len() {
+            if self.quantizable[i] {
+                self.quant[i] = Some(QuantMatrix::quantize(&self.params[i]));
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Drops every int8 snapshot, reverting inference to pure f32.
+    pub fn clear_quant(&mut self) {
+        for q in &mut self.quant {
+            *q = None;
+        }
+    }
+
+    /// The int8 snapshot of a parameter, if one exists.
+    pub fn quant_of(&self, id: ParamId) -> Option<&QuantMatrix> {
+        self.quant[id.0].as_ref()
+    }
+
+    /// Whether any parameter currently has an int8 snapshot.
+    pub fn has_quant(&self) -> bool {
+        self.quant.iter().any(Option::is_some)
+    }
+
+    /// Serializes the int8 snapshots as a `quant` section payload
+    /// (sorted by parameter index, i.e. registration order).
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the writer.
+    pub fn save_quant_blob<W: Write>(&self, w: W) -> io::Result<()> {
+        let entries: Vec<(&str, &QuantMatrix)> = self
+            .quant
+            .iter()
+            .enumerate()
+            .filter_map(|(i, q)| q.as_ref().map(|q| (self.names[i].as_str(), q)))
+            .collect();
+        crate::quant::write_quant_blob(w, &entries)
+    }
+
+    /// Loads int8 snapshots from a `quant` section payload (the
+    /// counterpart of [`ParamStore::save_quant_blob`]).
+    ///
+    /// Every entry must name a known parameter, match its shape, and be
+    /// marked quantizable in this store — a checkpoint quantizing a
+    /// weight this model re-packs from f32 would silently lose the
+    /// quantization, so it is rejected instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive message on truncation, corruption, an
+    /// unknown parameter name, or a shape/eligibility mismatch.
+    pub fn load_quant_blob<R: Read>(&mut self, r: R) -> Result<usize, String> {
+        let entries = crate::quant::read_quant_blob(r)?;
+        let mut loaded = 0;
+        for (name, q) in entries {
+            let idx = self
+                .names
+                .iter()
+                .position(|n| *n == name)
+                .ok_or_else(|| format!("quant section names unknown parameter {name:?}"))?;
+            let shape = self.params[idx].shape();
+            if (q.rows(), q.cols()) != shape {
+                return Err(format!(
+                    "quant section shape mismatch for {name:?}: model expects {}x{}, \
+                     section has {}x{}",
+                    shape.0,
+                    shape.1,
+                    q.rows(),
+                    q.cols()
+                ));
+            }
+            if !self.quantizable[idx] {
+                return Err(format!(
+                    "quant section quantizes {name:?}, which this model cannot serve quantized"
+                ));
+            }
+            self.quant[idx] = Some(q);
+            loaded += 1;
+        }
+        Ok(loaded)
     }
 
     /// Number of registered parameters (tensors, not scalars).
@@ -638,6 +761,61 @@ mod tests {
         let pre = g.clip_global_norm(1.0);
         assert!((pre - 5.0).abs() < 1e-6);
         assert!((g.global_norm() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn quantize_marks_and_optimizer_writes_invalidate() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut s = ParamStore::new();
+        let w = s.register("w", xavier_uniform(4, 8, &mut rng), true);
+        let b = s.register("b", xavier_uniform(1, 8, &mut rng), true);
+        s.set_quantizable(w, true);
+        assert_eq!(s.quantize_int8(), 1);
+        assert!(s.quant_of(w).is_some());
+        assert!(s.quant_of(b).is_none());
+        // Mutating a parameter (the optimizer path) drops its snapshot.
+        s.get_mut(w).as_mut_slice()[0] += 1.0;
+        assert!(s.quant_of(w).is_none());
+        assert!(!s.has_quant());
+    }
+
+    #[test]
+    fn quant_blob_round_trips_and_validates() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut s = ParamStore::new();
+        let w = s.register("w", xavier_uniform(4, 8, &mut rng), true);
+        s.set_quantizable(w, true);
+        s.quantize_int8();
+        let mut bytes = Vec::new();
+        s.save_quant_blob(&mut bytes).unwrap();
+
+        let mut s2 = ParamStore::new();
+        let w2 = s2.register("w", Tensor::zeros(4, 8), true);
+        s2.set_quantizable(w2, true);
+        assert_eq!(s2.load_quant_blob(&bytes[..]).unwrap(), 1);
+        assert_eq!(s2.quant_of(w2), s.quant_of(w));
+
+        // Unknown name, wrong shape and non-quantizable targets are all
+        // named errors rather than silent drops.
+        let mut s3 = ParamStore::new();
+        s3.register("other", Tensor::zeros(4, 8), true);
+        assert!(s3
+            .load_quant_blob(&bytes[..])
+            .unwrap_err()
+            .contains("unknown"));
+        let mut s4 = ParamStore::new();
+        let w4 = s4.register("w", Tensor::zeros(2, 8), true);
+        s4.set_quantizable(w4, true);
+        assert!(s4
+            .load_quant_blob(&bytes[..])
+            .unwrap_err()
+            .contains("shape"));
+        let mut s5 = ParamStore::new();
+        s5.register("w", Tensor::zeros(4, 8), true);
+        assert!(s5
+            .load_quant_blob(&bytes[..])
+            .unwrap_err()
+            .contains("cannot serve quantized"));
     }
 
     #[test]

@@ -1,0 +1,1339 @@
+//! Runtime-dispatched SIMD backends for the hot inference kernels.
+//!
+//! The release binary is no longer compiled with `-C target-cpu=native`:
+//! instead, every hot kernel (the fixed-width GEMM microkernels, the
+//! generic blocked GEMM, the `fast_exp`/sigmoid/softmax sweeps and the
+//! fused infer epilogues) has explicit `std::arch` implementations for
+//! AVX2+FMA and AVX-512F, selected **once per process** by
+//! [`Backend::active`] from runtime CPU-feature detection. The same
+//! binary runs at full speed on machines it was not compiled on, and
+//! falls back to the portable scalar kernels everywhere else.
+//!
+//! # Bitwise parity contract
+//!
+//! Every SIMD kernel is **bitwise-equal** to its scalar counterpart, not
+//! merely close. This works because the scalar kernels were already
+//! written with vectorization in mind:
+//!
+//! * GEMM accumulation chains are per-output-element (column `j` of a
+//!   row never mixes with column `j+1`), so vectorizing **across
+//!   columns** with per-lane FMA preserves the exact sequential k-order
+//!   of every element's chain. Scalar `f32::mul_add` and `vfmaddps` are
+//!   both correctly-rounded fused multiply-adds, hence identical.
+//! * [`crate::tensor::fast_exp`] and the fused epilogues are pure
+//!   elementwise dataflow (no cross-lane reduction), transcribed op for
+//!   op: where the scalar source uses separate `*`/`+`, the SIMD kernel
+//!   uses `mul_ps`/`add_ps` — never a contracting FMA.
+//! * Order-sensitive reductions (softmax row sums, row-max folds) stay
+//!   scalar on every backend; only the elementwise passes vectorize.
+//! * The `dot`/`laned_sum` kernels keep their fixed 8-lane reduction
+//!   tree on every backend (AVX-512 reuses the 8-lane kernel), so the
+//!   summation order never depends on the vector width.
+//!
+//! The cross-backend parity test matrix (`crates/nn/tests/simd_parity.rs`
+//! plus this module's unit tests) enforces the contract for every
+//! microkernel width and fused op, including ragged shapes.
+//!
+//! # Selecting a backend
+//!
+//! * Default: best available, probed once (`Avx512` → `Avx2` → `Scalar`).
+//! * `CIRGPS_FORCE_BACKEND=scalar|avx2|avx512` forces one; an
+//!   unavailable forced backend **panics** at first kernel use rather
+//!   than silently falling back (CI relies on this to keep its matrix
+//!   legs honest).
+//! * [`Backend::force`] does the same programmatically (the CLI's
+//!   `--backend` flag) with a `Result` instead of a panic.
+//!
+//! See `docs/simd-quant.md` for the dispatch table and measurements.
+
+use std::sync::OnceLock;
+
+/// Which kernel implementation set a process uses. Selected once, used
+/// by every subsequent tensor/infer kernel call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Portable scalar kernels (the reference semantics). `f32::mul_add`
+    /// lowers to a correctly-rounded libm call on CPUs without FMA, so
+    /// results are identical everywhere — only speed differs.
+    Scalar,
+    /// 8-lane AVX2 + FMA kernels.
+    Avx2,
+    /// 16-lane AVX-512F kernels for the wide GEMM microkernels; narrower
+    /// and reduction-order-sensitive kernels reuse the AVX2 set (an
+    /// AVX-512 machine always has AVX2+FMA).
+    Avx512,
+}
+
+static ACTIVE: OnceLock<Backend> = OnceLock::new();
+
+impl Backend {
+    /// All backends, best-first (used by tests and probes).
+    pub const ALL: [Backend; 3] = [Backend::Avx512, Backend::Avx2, Backend::Scalar];
+
+    /// The backend's lowercase name (`scalar` / `avx2` / `avx512`), as
+    /// accepted by [`Backend::parse`] and `CIRGPS_FORCE_BACKEND`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Scalar => "scalar",
+            Backend::Avx2 => "avx2",
+            Backend::Avx512 => "avx512",
+        }
+    }
+
+    /// Parses a backend name (the `CIRGPS_FORCE_BACKEND` /
+    /// `--backend` vocabulary).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the accepted values on unknown input.
+    pub fn parse(s: &str) -> Result<Backend, String> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "scalar" => Ok(Backend::Scalar),
+            "avx2" => Ok(Backend::Avx2),
+            "avx512" => Ok(Backend::Avx512),
+            other => Err(format!(
+                "unknown backend {other:?} (expected scalar, avx2 or avx512)"
+            )),
+        }
+    }
+
+    /// Whether this CPU can run the backend's kernels.
+    pub fn available(self) -> bool {
+        match self {
+            Backend::Scalar => true,
+            #[cfg(target_arch = "x86_64")]
+            Backend::Avx2 => is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma"),
+            #[cfg(target_arch = "x86_64")]
+            Backend::Avx512 => {
+                is_x86_feature_detected!("avx512f")
+                    && is_x86_feature_detected!("avx2")
+                    && is_x86_feature_detected!("fma")
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => false,
+        }
+    }
+
+    /// Best backend this CPU supports (ignores the env override).
+    pub fn detect() -> Backend {
+        *Backend::ALL
+            .iter()
+            .find(|b| b.available())
+            .unwrap_or(&Backend::Scalar)
+    }
+
+    /// The process-wide backend every kernel dispatches on.
+    ///
+    /// First call wins: probes the CPU, honoring `CIRGPS_FORCE_BACKEND`
+    /// if set; later calls return the cached choice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `CIRGPS_FORCE_BACKEND` names an unknown backend or one
+    /// this CPU cannot run — a forced backend must never silently
+    /// degrade to another implementation.
+    pub fn active() -> Backend {
+        *ACTIVE.get_or_init(|| match std::env::var("CIRGPS_FORCE_BACKEND") {
+            Ok(name) if !name.is_empty() => {
+                let b =
+                    Backend::parse(&name).unwrap_or_else(|e| panic!("CIRGPS_FORCE_BACKEND: {e}"));
+                assert!(
+                    b.available(),
+                    "CIRGPS_FORCE_BACKEND={} but this CPU does not support it \
+                     (refusing to silently fall back)",
+                    b.name()
+                );
+                b
+            }
+            _ => Backend::detect(),
+        })
+    }
+
+    /// Selects the process-wide backend programmatically (the CLI's
+    /// `--backend` flag). Must run before the first kernel dispatch.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the backend is unavailable on this CPU, or if dispatch
+    /// already latched a different backend (first selection wins).
+    pub fn force(b: Backend) -> Result<(), String> {
+        if !b.available() {
+            return Err(format!(
+                "backend {} is not available on this CPU (best: {})",
+                b.name(),
+                Backend::detect().name()
+            ));
+        }
+        let got = *ACTIVE.get_or_init(|| b);
+        if got != b {
+            return Err(format!(
+                "backend already selected as {} (a process picks its backend once)",
+                got.name()
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 + FMA kernels (8 lanes).
+//
+// Safety convention: every function in this module is `unsafe fn` with
+// `#[target_feature(enable = "avx2,fma")]`; callers must have verified
+// `Backend::Avx2.available()` (the dispatchers in `tensor`/`infer` only
+// reach these arms when `Backend::active()` is Avx2/Avx512, which
+// implies the probe succeeded).
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+// Register-accumulator arrays are indexed by vector lane on purpose: the
+// `acc[v]` form mirrors the pointer arithmetic around it.
+#[allow(clippy::needless_range_loop)]
+pub(crate) mod avx2 {
+    use std::arch::x86_64::*;
+
+    /// `out += a · b` for compile-time width `N` (multiple of 8): the
+    /// SIMD twin of `tensor::gemm_fixed_n`. Per-element k-order matches
+    /// the scalar kernel: groups of four sequential FMAs, then single
+    /// FMAs for the k tail.
+    #[target_feature(enable = "avx2,fma")]
+    pub(crate) unsafe fn gemm_fixed<const N: usize>(
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+        m: usize,
+        k: usize,
+    ) {
+        debug_assert_eq!(N % 8, 0);
+        debug_assert!(a.len() >= m * k && b.len() >= k * N && out.len() >= m * N);
+        let nv = N / 8;
+        let ap = a.as_ptr();
+        let bp = b.as_ptr();
+        let op = out.as_mut_ptr();
+        let mut i = 0;
+        // Two output rows per pass while the accumulators fit the
+        // register file (nv ≤ 4 ⇒ ≤ 8 live accumulators); rows are
+        // independent so per-row arithmetic is unchanged.
+        while nv <= 4 && i + 2 <= m {
+            let ar0 = ap.add(i * k);
+            let ar1 = ap.add((i + 1) * k);
+            let o0 = op.add(i * N);
+            let o1 = op.add((i + 1) * N);
+            let mut acc0 = [_mm256_setzero_ps(); 4];
+            let mut acc1 = [_mm256_setzero_ps(); 4];
+            for v in 0..nv {
+                acc0[v] = _mm256_loadu_ps(o0.add(v * 8));
+                acc1[v] = _mm256_loadu_ps(o1.add(v * 8));
+            }
+            let mut p = 0;
+            while p + 4 <= k {
+                let x0 = _mm256_set1_ps(*ar0.add(p));
+                let x1 = _mm256_set1_ps(*ar0.add(p + 1));
+                let x2 = _mm256_set1_ps(*ar0.add(p + 2));
+                let x3 = _mm256_set1_ps(*ar0.add(p + 3));
+                let y0 = _mm256_set1_ps(*ar1.add(p));
+                let y1 = _mm256_set1_ps(*ar1.add(p + 1));
+                let y2 = _mm256_set1_ps(*ar1.add(p + 2));
+                let y3 = _mm256_set1_ps(*ar1.add(p + 3));
+                for v in 0..nv {
+                    let b0 = _mm256_loadu_ps(bp.add(p * N + v * 8));
+                    let b1 = _mm256_loadu_ps(bp.add((p + 1) * N + v * 8));
+                    let b2 = _mm256_loadu_ps(bp.add((p + 2) * N + v * 8));
+                    let b3 = _mm256_loadu_ps(bp.add((p + 3) * N + v * 8));
+                    let t0 = _mm256_fmadd_ps(x1, b1, _mm256_fmadd_ps(x0, b0, acc0[v]));
+                    acc0[v] = _mm256_fmadd_ps(x3, b3, _mm256_fmadd_ps(x2, b2, t0));
+                    let t1 = _mm256_fmadd_ps(y1, b1, _mm256_fmadd_ps(y0, b0, acc1[v]));
+                    acc1[v] = _mm256_fmadd_ps(y3, b3, _mm256_fmadd_ps(y2, b2, t1));
+                }
+                p += 4;
+            }
+            while p < k {
+                let x = _mm256_set1_ps(*ar0.add(p));
+                let y = _mm256_set1_ps(*ar1.add(p));
+                for v in 0..nv {
+                    let bv = _mm256_loadu_ps(bp.add(p * N + v * 8));
+                    acc0[v] = _mm256_fmadd_ps(x, bv, acc0[v]);
+                    acc1[v] = _mm256_fmadd_ps(y, bv, acc1[v]);
+                }
+                p += 1;
+            }
+            for v in 0..nv {
+                _mm256_storeu_ps(o0.add(v * 8), acc0[v]);
+                _mm256_storeu_ps(o1.add(v * 8), acc1[v]);
+            }
+            i += 2;
+        }
+        while i < m {
+            let ar = ap.add(i * k);
+            let o = op.add(i * N);
+            let mut acc = [_mm256_setzero_ps(); 8];
+            for v in 0..nv {
+                acc[v] = _mm256_loadu_ps(o.add(v * 8));
+            }
+            let mut p = 0;
+            while p + 4 <= k {
+                let x0 = _mm256_set1_ps(*ar.add(p));
+                let x1 = _mm256_set1_ps(*ar.add(p + 1));
+                let x2 = _mm256_set1_ps(*ar.add(p + 2));
+                let x3 = _mm256_set1_ps(*ar.add(p + 3));
+                for v in 0..nv {
+                    let b0 = _mm256_loadu_ps(bp.add(p * N + v * 8));
+                    let b1 = _mm256_loadu_ps(bp.add((p + 1) * N + v * 8));
+                    let b2 = _mm256_loadu_ps(bp.add((p + 2) * N + v * 8));
+                    let b3 = _mm256_loadu_ps(bp.add((p + 3) * N + v * 8));
+                    let t = _mm256_fmadd_ps(x1, b1, _mm256_fmadd_ps(x0, b0, acc[v]));
+                    acc[v] = _mm256_fmadd_ps(x3, b3, _mm256_fmadd_ps(x2, b2, t));
+                }
+                p += 4;
+            }
+            while p < k {
+                let x = _mm256_set1_ps(*ar.add(p));
+                for v in 0..nv {
+                    let bv = _mm256_loadu_ps(bp.add(p * N + v * 8));
+                    acc[v] = _mm256_fmadd_ps(x, bv, acc[v]);
+                }
+                p += 1;
+            }
+            for v in 0..nv {
+                _mm256_storeu_ps(o.add(v * 8), acc[v]);
+            }
+            i += 1;
+        }
+    }
+
+    /// Generic `out += a · b` (any `n`): SIMD twin of the k-panelled
+    /// AXPY loop in `tensor::gemm_serial`. The vector body and the
+    /// scalar `mul_add` column tail use the same per-element chain.
+    #[target_feature(enable = "avx2,fma")]
+    pub(crate) unsafe fn gemm_generic(
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+        m: usize,
+        k: usize,
+        n: usize,
+        kc: usize,
+    ) {
+        let bp = b.as_ptr();
+        let mut p0 = 0;
+        while p0 < k {
+            let p1 = (p0 + kc).min(k);
+            for i in 0..m {
+                let arow = &a[i * k..(i + 1) * k];
+                let orow = &mut out[i * n..i * n + n];
+                let op = orow.as_mut_ptr();
+                let mut p = p0;
+                while p + 4 <= p1 {
+                    let (a0, a1, a2, a3) = (arow[p], arow[p + 1], arow[p + 2], arow[p + 3]);
+                    let va0 = _mm256_set1_ps(a0);
+                    let va1 = _mm256_set1_ps(a1);
+                    let va2 = _mm256_set1_ps(a2);
+                    let va3 = _mm256_set1_ps(a3);
+                    let b0 = bp.add(p * n);
+                    let b1 = bp.add((p + 1) * n);
+                    let b2 = bp.add((p + 2) * n);
+                    let b3 = bp.add((p + 3) * n);
+                    let mut j = 0;
+                    while j + 8 <= n {
+                        let o = _mm256_loadu_ps(op.add(j));
+                        let t = _mm256_fmadd_ps(
+                            va1,
+                            _mm256_loadu_ps(b1.add(j)),
+                            _mm256_fmadd_ps(va0, _mm256_loadu_ps(b0.add(j)), o),
+                        );
+                        let r = _mm256_fmadd_ps(
+                            va3,
+                            _mm256_loadu_ps(b3.add(j)),
+                            _mm256_fmadd_ps(va2, _mm256_loadu_ps(b2.add(j)), t),
+                        );
+                        _mm256_storeu_ps(op.add(j), r);
+                        j += 8;
+                    }
+                    while j < n {
+                        let o = orow[j];
+                        let t = a1.mul_add(*b1.add(j), a0.mul_add(*b0.add(j), o));
+                        orow[j] = a3.mul_add(*b3.add(j), a2.mul_add(*b2.add(j), t));
+                        j += 1;
+                    }
+                    p += 4;
+                }
+                while p < p1 {
+                    let av = arow[p];
+                    let va = _mm256_set1_ps(av);
+                    let br = bp.add(p * n);
+                    let mut j = 0;
+                    while j + 8 <= n {
+                        let o = _mm256_loadu_ps(op.add(j));
+                        _mm256_storeu_ps(
+                            op.add(j),
+                            _mm256_fmadd_ps(va, _mm256_loadu_ps(br.add(j)), o),
+                        );
+                        j += 8;
+                    }
+                    while j < n {
+                        orow[j] = av.mul_add(*br.add(j), orow[j]);
+                        j += 1;
+                    }
+                    p += 1;
+                }
+            }
+            p0 = p1;
+        }
+    }
+
+    /// Band kernel for `out += aᵀ · b`: SIMD twin of `tensor::atb_band`.
+    #[target_feature(enable = "avx2,fma")]
+    pub(crate) unsafe fn atb_band(
+        a: &[f32],
+        b: &[f32],
+        oband: &mut [f32],
+        i0: usize,
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        let rows = oband.len().checked_div(n).unwrap_or(0);
+        let bp = b.as_ptr();
+        let mut p = 0;
+        while p + 4 <= k {
+            let b0 = bp.add(p * n);
+            let b1 = bp.add((p + 1) * n);
+            let b2 = bp.add((p + 2) * n);
+            let b3 = bp.add((p + 3) * n);
+            for i in 0..rows {
+                let a0 = a[p * m + i0 + i];
+                let a1 = a[(p + 1) * m + i0 + i];
+                let a2 = a[(p + 2) * m + i0 + i];
+                let a3 = a[(p + 3) * m + i0 + i];
+                let va0 = _mm256_set1_ps(a0);
+                let va1 = _mm256_set1_ps(a1);
+                let va2 = _mm256_set1_ps(a2);
+                let va3 = _mm256_set1_ps(a3);
+                let orow = &mut oband[i * n..i * n + n];
+                let op = orow.as_mut_ptr();
+                let mut j = 0;
+                while j + 8 <= n {
+                    let o = _mm256_loadu_ps(op.add(j));
+                    let t = _mm256_fmadd_ps(
+                        va1,
+                        _mm256_loadu_ps(b1.add(j)),
+                        _mm256_fmadd_ps(va0, _mm256_loadu_ps(b0.add(j)), o),
+                    );
+                    let r = _mm256_fmadd_ps(
+                        va3,
+                        _mm256_loadu_ps(b3.add(j)),
+                        _mm256_fmadd_ps(va2, _mm256_loadu_ps(b2.add(j)), t),
+                    );
+                    _mm256_storeu_ps(op.add(j), r);
+                    j += 8;
+                }
+                while j < n {
+                    let o = orow[j];
+                    let t = a1.mul_add(*b1.add(j), a0.mul_add(*b0.add(j), o));
+                    orow[j] = a3.mul_add(*b3.add(j), a2.mul_add(*b2.add(j), t));
+                    j += 1;
+                }
+            }
+            p += 4;
+        }
+        while p < k {
+            let br = bp.add(p * n);
+            for i in 0..rows {
+                let av = a[p * m + i0 + i];
+                let va = _mm256_set1_ps(av);
+                let orow = &mut oband[i * n..i * n + n];
+                let op = orow.as_mut_ptr();
+                let mut j = 0;
+                while j + 8 <= n {
+                    let o = _mm256_loadu_ps(op.add(j));
+                    _mm256_storeu_ps(
+                        op.add(j),
+                        _mm256_fmadd_ps(va, _mm256_loadu_ps(br.add(j)), o),
+                    );
+                    j += 8;
+                }
+                while j < n {
+                    orow[j] = av.mul_add(*br.add(j), orow[j]);
+                    j += 1;
+                }
+            }
+            p += 1;
+        }
+    }
+
+    /// Eight-lane dot product with exactly `tensor::dot`'s reduction
+    /// tree: one vector FMA chain is the eight scalar lanes, the
+    /// 128-bit half-add produces `[l0+l4, l1+l5, l2+l6, l3+l7]`, and the
+    /// final scalar adds replay `(s0 + s1) + tail`.
+    #[target_feature(enable = "avx2,fma")]
+    pub(crate) unsafe fn dot(x: &[f32], y: &[f32]) -> f32 {
+        let len = x.len().min(y.len());
+        let chunks = len / 8;
+        let xp = x.as_ptr();
+        let yp = y.as_ptr();
+        let mut acc = _mm256_setzero_ps();
+        for c in 0..chunks {
+            acc = _mm256_fmadd_ps(
+                _mm256_loadu_ps(xp.add(c * 8)),
+                _mm256_loadu_ps(yp.add(c * 8)),
+                acc,
+            );
+        }
+        let mut tail = 0.0f32;
+        for idx in chunks * 8..len {
+            tail = (*xp.add(idx)).mul_add(*yp.add(idx), tail);
+        }
+        let q = _mm_add_ps(_mm256_castps256_ps128(acc), _mm256_extractf128_ps(acc, 1));
+        let mut lanes = [0.0f32; 4];
+        _mm_storeu_ps(lanes.as_mut_ptr(), q);
+        let s0 = lanes[0] + lanes[1];
+        let s1 = lanes[2] + lanes[3];
+        (s0 + s1) + tail
+    }
+
+    /// Eight-lane sum with `tensor::laned_sum`'s exact tree.
+    #[target_feature(enable = "avx2,fma")]
+    pub(crate) unsafe fn laned_sum(x: &[f32]) -> f32 {
+        let len = x.len();
+        let chunks = len / 8;
+        let xp = x.as_ptr();
+        let mut acc = _mm256_setzero_ps();
+        for c in 0..chunks {
+            acc = _mm256_add_ps(_mm256_loadu_ps(xp.add(c * 8)), acc);
+        }
+        let mut tail = 0.0f32;
+        for idx in chunks * 8..len {
+            tail += *xp.add(idx);
+        }
+        let q = _mm_add_ps(_mm256_castps256_ps128(acc), _mm256_extractf128_ps(acc, 1));
+        let mut lanes = [0.0f32; 4];
+        _mm_storeu_ps(lanes.as_mut_ptr(), q);
+        let s0 = lanes[0] + lanes[1];
+        let s1 = lanes[2] + lanes[3];
+        (s0 + s1) + tail
+    }
+
+    /// Vector transcription of [`crate::tensor::fast_exp`], op for op:
+    /// the clamp's operand order preserves NaN propagation, and every
+    /// multiply/add stays separate (the scalar source has no `mul_add`).
+    #[inline]
+    #[target_feature(enable = "avx2,fma")]
+    #[allow(clippy::excessive_precision)] // coefficients transcribed from the scalar source
+    pub(crate) unsafe fn fast_exp_v(x: __m256) -> __m256 {
+        let x = _mm256_min_ps(
+            _mm256_set1_ps(88.0),
+            _mm256_max_ps(_mm256_set1_ps(-87.0), x),
+        );
+        let magic = _mm256_set1_ps(12_582_912.0);
+        let zf = _mm256_add_ps(
+            _mm256_mul_ps(x, _mm256_set1_ps(std::f32::consts::LOG2_E)),
+            magic,
+        );
+        let n = _mm256_sub_ps(zf, magic);
+        #[allow(clippy::excessive_precision)]
+        const C1: f32 = 0.693_359_375;
+        #[allow(clippy::excessive_precision)]
+        const C2: f32 = -2.121_944_4e-4;
+        let r = _mm256_sub_ps(
+            _mm256_sub_ps(x, _mm256_mul_ps(n, _mm256_set1_ps(C1))),
+            _mm256_mul_ps(n, _mm256_set1_ps(C2)),
+        );
+        let z = _mm256_mul_ps(r, r);
+        let mut p = _mm256_set1_ps(1.987_569_2e-4);
+        p = _mm256_add_ps(_mm256_mul_ps(p, r), _mm256_set1_ps(1.398_200_0e-3));
+        p = _mm256_add_ps(_mm256_mul_ps(p, r), _mm256_set1_ps(8.333_452_0e-3));
+        p = _mm256_add_ps(_mm256_mul_ps(p, r), _mm256_set1_ps(4.166_579_6e-2));
+        p = _mm256_add_ps(_mm256_mul_ps(p, r), _mm256_set1_ps(1.666_666_5e-1));
+        p = _mm256_add_ps(_mm256_mul_ps(p, r), _mm256_set1_ps(5.000_000_1e-1));
+        let y = _mm256_add_ps(_mm256_add_ps(_mm256_mul_ps(p, z), r), _mm256_set1_ps(1.0));
+        let n_i = _mm256_sub_epi32(_mm256_castps_si256(zf), _mm256_set1_epi32(0x4B40_0000));
+        let scale = _mm256_castsi256_ps(_mm256_slli_epi32(
+            _mm256_add_epi32(n_i, _mm256_set1_epi32(127)),
+            23,
+        ));
+        _mm256_mul_ps(y, scale)
+    }
+
+    /// Vector `stable_sigmoid`: `e = fast_exp(-|x|)`, `s = e/(1+e)`,
+    /// blended by `x ≥ 0` exactly like the scalar select.
+    #[inline]
+    #[target_feature(enable = "avx2,fma")]
+    pub(crate) unsafe fn sigmoid_v(x: __m256) -> __m256 {
+        let sign = _mm256_set1_ps(-0.0);
+        let nabs = _mm256_or_ps(_mm256_andnot_ps(sign, x), sign);
+        let e = fast_exp_v(nabs);
+        let one = _mm256_set1_ps(1.0);
+        let s = _mm256_div_ps(e, _mm256_add_ps(one, e));
+        let ge = _mm256_cmp_ps(x, _mm256_setzero_ps(), _CMP_GE_OQ);
+        _mm256_blendv_ps(s, _mm256_sub_ps(one, s), ge)
+    }
+
+    /// In-place `v = fast_exp(v)` sweep; ragged tail runs the scalar fn.
+    #[target_feature(enable = "avx2,fma")]
+    pub(crate) unsafe fn exp_sweep(xs: &mut [f32]) {
+        let n = xs.len();
+        let p = xs.as_mut_ptr();
+        let mut j = 0;
+        while j + 8 <= n {
+            _mm256_storeu_ps(p.add(j), fast_exp_v(_mm256_loadu_ps(p.add(j))));
+            j += 8;
+        }
+        while j < n {
+            xs[j] = crate::tensor::fast_exp(xs[j]);
+            j += 1;
+        }
+    }
+
+    /// In-place `v = stable_sigmoid(v)` sweep.
+    #[target_feature(enable = "avx2,fma")]
+    pub(crate) unsafe fn sigmoid_sweep(xs: &mut [f32]) {
+        let n = xs.len();
+        let p = xs.as_mut_ptr();
+        let mut j = 0;
+        while j + 8 <= n {
+            _mm256_storeu_ps(p.add(j), sigmoid_v(_mm256_loadu_ps(p.add(j))));
+            j += 8;
+        }
+        while j < n {
+            xs[j] = crate::infer::stable_sigmoid(xs[j]);
+            j += 1;
+        }
+    }
+
+    /// In-place `v = v.max(0.0)` sweep. `max_ps(v, 0)` matches the
+    /// scalar `f32::max` bit for bit here: `-0.0 → +0.0`, `NaN → 0.0`.
+    #[target_feature(enable = "avx2,fma")]
+    pub(crate) unsafe fn relu_sweep(xs: &mut [f32]) {
+        let n = xs.len();
+        let p = xs.as_mut_ptr();
+        let zero = _mm256_setzero_ps();
+        let mut j = 0;
+        while j + 8 <= n {
+            _mm256_storeu_ps(p.add(j), _mm256_max_ps(_mm256_loadu_ps(p.add(j)), zero));
+            j += 8;
+        }
+        while j < n {
+            xs[j] = xs[j].max(0.0);
+            j += 1;
+        }
+    }
+
+    /// In-place `v *= s` sweep (softmax's normalize pass).
+    #[target_feature(enable = "avx2,fma")]
+    pub(crate) unsafe fn scale_sweep(xs: &mut [f32], s: f32) {
+        let n = xs.len();
+        let p = xs.as_mut_ptr();
+        let vs = _mm256_set1_ps(s);
+        let mut j = 0;
+        while j + 8 <= n {
+            _mm256_storeu_ps(p.add(j), _mm256_mul_ps(_mm256_loadu_ps(p.add(j)), vs));
+            j += 8;
+        }
+        while j < n {
+            xs[j] *= s;
+            j += 1;
+        }
+    }
+
+    /// Softmax exp pass: writes `fast_exp(row[j]·scale − max)` to the
+    /// (uninitialized) destination. `scale = 1.0` reproduces the
+    /// unscaled pass (`v·1.0` is exact).
+    ///
+    /// # Safety
+    ///
+    /// Besides the CPU-feature contract, `dst` must be valid for
+    /// `row.len()` writes.
+    #[target_feature(enable = "avx2,fma")]
+    pub(crate) unsafe fn softmax_exp_pass(dst: *mut f32, row: &[f32], scale: f32, max: f32) {
+        let n = row.len();
+        let rp = row.as_ptr();
+        let vs = _mm256_set1_ps(scale);
+        let vm = _mm256_set1_ps(max);
+        let mut j = 0;
+        while j + 8 <= n {
+            let v = _mm256_sub_ps(_mm256_mul_ps(_mm256_loadu_ps(rp.add(j)), vs), vm);
+            _mm256_storeu_ps(dst.add(j), fast_exp_v(v));
+            j += 8;
+        }
+        while j < n {
+            dst.add(j)
+                .write(crate::tensor::fast_exp(row[j] * scale - max));
+            j += 1;
+        }
+    }
+
+    /// Performer feature-map sweep: `v = (fast_exp(v − half) + 1e-6)·inv`.
+    #[target_feature(enable = "avx2,fma")]
+    pub(crate) unsafe fn feature_map_sweep(xs: &mut [f32], half: f32, inv: f32) {
+        let n = xs.len();
+        let p = xs.as_mut_ptr();
+        let vh = _mm256_set1_ps(half);
+        let veps = _mm256_set1_ps(1e-6);
+        let vi = _mm256_set1_ps(inv);
+        let mut j = 0;
+        while j + 8 <= n {
+            let e = fast_exp_v(_mm256_sub_ps(_mm256_loadu_ps(p.add(j)), vh));
+            _mm256_storeu_ps(p.add(j), _mm256_mul_ps(_mm256_add_ps(e, veps), vi));
+            j += 8;
+        }
+        while j < n {
+            xs[j] = (crate::tensor::fast_exp(xs[j] - half) + 1e-6) * inv;
+            j += 1;
+        }
+    }
+
+    /// Fused BN(+ReLU)+residual row: writes
+    /// `((x−μ)·is)·γ + β` (+ optional ReLU, + optional residual) to the
+    /// (uninitialized) destination row, matching the scalar sweeps in
+    /// `infer.rs` op for op.
+    ///
+    /// # Safety
+    ///
+    /// Besides the CPU-feature contract, `dst` must be valid for `d`
+    /// writes, and all row slices must hold at least `d` elements.
+    #[target_feature(enable = "avx2,fma")]
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) unsafe fn bn_row(
+        dst: *mut f32,
+        x: &[f32],
+        res: Option<&[f32]>,
+        relu: bool,
+        mean: &[f32],
+        invstd: &[f32],
+        gamma: &[f32],
+        beta: &[f32],
+        d: usize,
+    ) {
+        let xp = x.as_ptr();
+        let mp = mean.as_ptr();
+        let ip = invstd.as_ptr();
+        let gp = gamma.as_ptr();
+        let bp = beta.as_ptr();
+        let zero = _mm256_setzero_ps();
+        let mut j = 0;
+        while j + 8 <= d {
+            let xv = _mm256_loadu_ps(xp.add(j));
+            let t = _mm256_mul_ps(
+                _mm256_mul_ps(
+                    _mm256_sub_ps(xv, _mm256_loadu_ps(mp.add(j))),
+                    _mm256_loadu_ps(ip.add(j)),
+                ),
+                _mm256_loadu_ps(gp.add(j)),
+            );
+            let mut t = _mm256_add_ps(t, _mm256_loadu_ps(bp.add(j)));
+            if relu {
+                t = _mm256_max_ps(t, zero);
+            }
+            if let Some(r) = res {
+                t = _mm256_add_ps(t, _mm256_loadu_ps(r.as_ptr().add(j)));
+            }
+            _mm256_storeu_ps(dst.add(j), t);
+            j += 8;
+        }
+        while j < d {
+            let mut t = ((x[j] - mean[j]) * invstd[j]) * gamma[j] + beta[j];
+            if relu {
+                t = t.max(0.0);
+            }
+            if let Some(r) = res {
+                t += r[j];
+            }
+            dst.add(j).write(t);
+            j += 1;
+        }
+    }
+
+    /// Fused BN-of-sum row: `(((a+b)−μ)·is)·γ + β` into `dst`.
+    ///
+    /// # Safety
+    ///
+    /// Besides the CPU-feature contract, `dst` must be valid for `d`
+    /// writes, and all row slices must hold at least `d` elements.
+    #[target_feature(enable = "avx2,fma")]
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) unsafe fn bn_of_sum_row(
+        dst: *mut f32,
+        a: &[f32],
+        b: &[f32],
+        mean: &[f32],
+        invstd: &[f32],
+        gamma: &[f32],
+        beta: &[f32],
+        d: usize,
+    ) {
+        let ap = a.as_ptr();
+        let b2p = b.as_ptr();
+        let mp = mean.as_ptr();
+        let ip = invstd.as_ptr();
+        let gp = gamma.as_ptr();
+        let bp = beta.as_ptr();
+        let mut j = 0;
+        while j + 8 <= d {
+            let s = _mm256_add_ps(_mm256_loadu_ps(ap.add(j)), _mm256_loadu_ps(b2p.add(j)));
+            let t = _mm256_mul_ps(
+                _mm256_mul_ps(
+                    _mm256_sub_ps(s, _mm256_loadu_ps(mp.add(j))),
+                    _mm256_loadu_ps(ip.add(j)),
+                ),
+                _mm256_loadu_ps(gp.add(j)),
+            );
+            _mm256_storeu_ps(dst.add(j), _mm256_add_ps(t, _mm256_loadu_ps(bp.add(j))));
+            j += 8;
+        }
+        while j < d {
+            dst.add(j)
+                .write((((a[j] + b[j]) - mean[j]) * invstd[j]) * gamma[j] + beta[j]);
+            j += 1;
+        }
+    }
+
+    /// Fused `ax += num / (den + eps)` sweep.
+    #[target_feature(enable = "avx2,fma")]
+    pub(crate) unsafe fn add_div_sweep(ax: &mut [f32], num: &[f32], den: &[f32], eps: f32) {
+        let n = ax.len();
+        let ap = ax.as_mut_ptr();
+        let np = num.as_ptr();
+        let dp = den.as_ptr();
+        let ve = _mm256_set1_ps(eps);
+        let mut j = 0;
+        while j + 8 <= n {
+            let q = _mm256_div_ps(
+                _mm256_loadu_ps(np.add(j)),
+                _mm256_add_ps(_mm256_loadu_ps(dp.add(j)), ve),
+            );
+            _mm256_storeu_ps(ap.add(j), _mm256_add_ps(_mm256_loadu_ps(ap.add(j)), q));
+            j += 8;
+        }
+        while j < n {
+            ax[j] += num[j] / (den[j] + eps);
+            j += 1;
+        }
+    }
+
+    /// One gated-scatter edge: `η = σ(e)`, `num += η ⊙ bx`, `den += η`,
+    /// with the scalar kernel's separate multiply-then-add (no FMA).
+    #[target_feature(enable = "avx2,fma")]
+    pub(crate) unsafe fn gated_edge(er: &[f32], bxr: &[f32], nr: &mut [f32], dr: &mut [f32]) {
+        let d = er.len();
+        let ep = er.as_ptr();
+        let bp = bxr.as_ptr();
+        let np = nr.as_mut_ptr();
+        let dp = dr.as_mut_ptr();
+        let mut j = 0;
+        while j + 8 <= d {
+            let g = sigmoid_v(_mm256_loadu_ps(ep.add(j)));
+            let prod = _mm256_mul_ps(g, _mm256_loadu_ps(bp.add(j)));
+            _mm256_storeu_ps(np.add(j), _mm256_add_ps(_mm256_loadu_ps(np.add(j)), prod));
+            _mm256_storeu_ps(dp.add(j), _mm256_add_ps(_mm256_loadu_ps(dp.add(j)), g));
+            j += 8;
+        }
+        while j < d {
+            let g = crate::infer::stable_sigmoid(er[j]);
+            nr[j] += g * bxr[j];
+            dr[j] += g;
+            j += 1;
+        }
+    }
+
+    /// Dequantizing `out += a · (q·scale)` for compile-time width `N`
+    /// (multiple of 8). Same per-element chain as the scalar quant
+    /// kernel: one FMA per k-step onto each column's accumulator, with
+    /// the weight dequantized as `(q as f32) * scale` (both exact ops).
+    #[target_feature(enable = "avx2,fma")]
+    pub(crate) unsafe fn gemm_quant_fixed<const N: usize>(
+        a: &[f32],
+        q: &[i8],
+        scale: f32,
+        out: &mut [f32],
+        m: usize,
+        k: usize,
+    ) {
+        debug_assert_eq!(N % 8, 0);
+        let nv = N / 8;
+        let ap = a.as_ptr();
+        let qp = q.as_ptr();
+        let op = out.as_mut_ptr();
+        let vs = _mm256_set1_ps(scale);
+        let mut i = 0;
+        while nv <= 4 && i + 2 <= m {
+            let ar0 = ap.add(i * k);
+            let ar1 = ap.add((i + 1) * k);
+            let o0 = op.add(i * N);
+            let o1 = op.add((i + 1) * N);
+            let mut acc0 = [_mm256_setzero_ps(); 4];
+            let mut acc1 = [_mm256_setzero_ps(); 4];
+            for v in 0..nv {
+                acc0[v] = _mm256_loadu_ps(o0.add(v * 8));
+                acc1[v] = _mm256_loadu_ps(o1.add(v * 8));
+            }
+            for p in 0..k {
+                let x = _mm256_set1_ps(*ar0.add(p));
+                let y = _mm256_set1_ps(*ar1.add(p));
+                for v in 0..nv {
+                    let qv = _mm_loadl_epi64(qp.add(p * N + v * 8) as *const __m128i);
+                    let w = _mm256_mul_ps(_mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(qv)), vs);
+                    acc0[v] = _mm256_fmadd_ps(x, w, acc0[v]);
+                    acc1[v] = _mm256_fmadd_ps(y, w, acc1[v]);
+                }
+            }
+            for v in 0..nv {
+                _mm256_storeu_ps(o0.add(v * 8), acc0[v]);
+                _mm256_storeu_ps(o1.add(v * 8), acc1[v]);
+            }
+            i += 2;
+        }
+        while i < m {
+            let ar = ap.add(i * k);
+            let o = op.add(i * N);
+            let mut acc = [_mm256_setzero_ps(); 8];
+            for v in 0..nv {
+                acc[v] = _mm256_loadu_ps(o.add(v * 8));
+            }
+            for p in 0..k {
+                let x = _mm256_set1_ps(*ar.add(p));
+                for v in 0..nv {
+                    let qv = _mm_loadl_epi64(qp.add(p * N + v * 8) as *const __m128i);
+                    let w = _mm256_mul_ps(_mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(qv)), vs);
+                    acc[v] = _mm256_fmadd_ps(x, w, acc[v]);
+                }
+            }
+            for v in 0..nv {
+                _mm256_storeu_ps(o.add(v * 8), acc[v]);
+            }
+            i += 1;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AVX-512F kernels (16 lanes) for the wide GEMM microkernels and the
+// elementwise exp sweeps. Narrow widths and order-sensitive reductions
+// delegate to the AVX2 set (see the dispatchers in `tensor`/`infer`).
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+#[allow(clippy::needless_range_loop)] // same `acc[v]` idiom as `avx2`
+pub(crate) mod avx512 {
+    use std::arch::x86_64::*;
+
+    /// `out += a · b` for compile-time width `N` (multiple of 16):
+    /// 16-lane twin of [`super::avx2::gemm_fixed`]; per-element k-order
+    /// is identical (lanes are independent columns).
+    #[target_feature(enable = "avx512f")]
+    pub(crate) unsafe fn gemm_fixed<const N: usize>(
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+        m: usize,
+        k: usize,
+    ) {
+        debug_assert_eq!(N % 16, 0);
+        let nv = N / 16;
+        let ap = a.as_ptr();
+        let bp = b.as_ptr();
+        let op = out.as_mut_ptr();
+        let mut i = 0;
+        while nv <= 2 && i + 2 <= m {
+            let ar0 = ap.add(i * k);
+            let ar1 = ap.add((i + 1) * k);
+            let o0 = op.add(i * N);
+            let o1 = op.add((i + 1) * N);
+            let mut acc0 = [_mm512_setzero_ps(); 2];
+            let mut acc1 = [_mm512_setzero_ps(); 2];
+            for v in 0..nv {
+                acc0[v] = _mm512_loadu_ps(o0.add(v * 16));
+                acc1[v] = _mm512_loadu_ps(o1.add(v * 16));
+            }
+            let mut p = 0;
+            while p + 4 <= k {
+                let x0 = _mm512_set1_ps(*ar0.add(p));
+                let x1 = _mm512_set1_ps(*ar0.add(p + 1));
+                let x2 = _mm512_set1_ps(*ar0.add(p + 2));
+                let x3 = _mm512_set1_ps(*ar0.add(p + 3));
+                let y0 = _mm512_set1_ps(*ar1.add(p));
+                let y1 = _mm512_set1_ps(*ar1.add(p + 1));
+                let y2 = _mm512_set1_ps(*ar1.add(p + 2));
+                let y3 = _mm512_set1_ps(*ar1.add(p + 3));
+                for v in 0..nv {
+                    let b0 = _mm512_loadu_ps(bp.add(p * N + v * 16));
+                    let b1 = _mm512_loadu_ps(bp.add((p + 1) * N + v * 16));
+                    let b2 = _mm512_loadu_ps(bp.add((p + 2) * N + v * 16));
+                    let b3 = _mm512_loadu_ps(bp.add((p + 3) * N + v * 16));
+                    let t0 = _mm512_fmadd_ps(x1, b1, _mm512_fmadd_ps(x0, b0, acc0[v]));
+                    acc0[v] = _mm512_fmadd_ps(x3, b3, _mm512_fmadd_ps(x2, b2, t0));
+                    let t1 = _mm512_fmadd_ps(y1, b1, _mm512_fmadd_ps(y0, b0, acc1[v]));
+                    acc1[v] = _mm512_fmadd_ps(y3, b3, _mm512_fmadd_ps(y2, b2, t1));
+                }
+                p += 4;
+            }
+            while p < k {
+                let x = _mm512_set1_ps(*ar0.add(p));
+                let y = _mm512_set1_ps(*ar1.add(p));
+                for v in 0..nv {
+                    let bv = _mm512_loadu_ps(bp.add(p * N + v * 16));
+                    acc0[v] = _mm512_fmadd_ps(x, bv, acc0[v]);
+                    acc1[v] = _mm512_fmadd_ps(y, bv, acc1[v]);
+                }
+                p += 1;
+            }
+            for v in 0..nv {
+                _mm512_storeu_ps(o0.add(v * 16), acc0[v]);
+                _mm512_storeu_ps(o1.add(v * 16), acc1[v]);
+            }
+            i += 2;
+        }
+        while i < m {
+            let ar = ap.add(i * k);
+            let o = op.add(i * N);
+            let mut acc = [_mm512_setzero_ps(); 4];
+            for v in 0..nv {
+                acc[v] = _mm512_loadu_ps(o.add(v * 16));
+            }
+            let mut p = 0;
+            while p + 4 <= k {
+                let x0 = _mm512_set1_ps(*ar.add(p));
+                let x1 = _mm512_set1_ps(*ar.add(p + 1));
+                let x2 = _mm512_set1_ps(*ar.add(p + 2));
+                let x3 = _mm512_set1_ps(*ar.add(p + 3));
+                for v in 0..nv {
+                    let b0 = _mm512_loadu_ps(bp.add(p * N + v * 16));
+                    let b1 = _mm512_loadu_ps(bp.add((p + 1) * N + v * 16));
+                    let b2 = _mm512_loadu_ps(bp.add((p + 2) * N + v * 16));
+                    let b3 = _mm512_loadu_ps(bp.add((p + 3) * N + v * 16));
+                    let t = _mm512_fmadd_ps(x1, b1, _mm512_fmadd_ps(x0, b0, acc[v]));
+                    acc[v] = _mm512_fmadd_ps(x3, b3, _mm512_fmadd_ps(x2, b2, t));
+                }
+                p += 4;
+            }
+            while p < k {
+                let x = _mm512_set1_ps(*ar.add(p));
+                for v in 0..nv {
+                    let bv = _mm512_loadu_ps(bp.add(p * N + v * 16));
+                    acc[v] = _mm512_fmadd_ps(x, bv, acc[v]);
+                }
+                p += 1;
+            }
+            for v in 0..nv {
+                _mm512_storeu_ps(o.add(v * 16), acc[v]);
+            }
+            i += 1;
+        }
+    }
+
+    /// Dequantizing `out += a · (q·scale)` for compile-time width `N`
+    /// (multiple of 16); 16-lane twin of
+    /// [`super::avx2::gemm_quant_fixed`].
+    #[target_feature(enable = "avx512f")]
+    pub(crate) unsafe fn gemm_quant_fixed<const N: usize>(
+        a: &[f32],
+        q: &[i8],
+        scale: f32,
+        out: &mut [f32],
+        m: usize,
+        k: usize,
+    ) {
+        debug_assert_eq!(N % 16, 0);
+        let nv = N / 16;
+        let ap = a.as_ptr();
+        let qp = q.as_ptr();
+        let op = out.as_mut_ptr();
+        let vs = _mm512_set1_ps(scale);
+        let mut i = 0;
+        while nv <= 2 && i + 2 <= m {
+            let ar0 = ap.add(i * k);
+            let ar1 = ap.add((i + 1) * k);
+            let o0 = op.add(i * N);
+            let o1 = op.add((i + 1) * N);
+            let mut acc0 = [_mm512_setzero_ps(); 2];
+            let mut acc1 = [_mm512_setzero_ps(); 2];
+            for v in 0..nv {
+                acc0[v] = _mm512_loadu_ps(o0.add(v * 16));
+                acc1[v] = _mm512_loadu_ps(o1.add(v * 16));
+            }
+            for p in 0..k {
+                let x = _mm512_set1_ps(*ar0.add(p));
+                let y = _mm512_set1_ps(*ar1.add(p));
+                for v in 0..nv {
+                    let qv = _mm_loadu_si128(qp.add(p * N + v * 16) as *const __m128i);
+                    let w = _mm512_mul_ps(_mm512_cvtepi32_ps(_mm512_cvtepi8_epi32(qv)), vs);
+                    acc0[v] = _mm512_fmadd_ps(x, w, acc0[v]);
+                    acc1[v] = _mm512_fmadd_ps(y, w, acc1[v]);
+                }
+            }
+            for v in 0..nv {
+                _mm512_storeu_ps(o0.add(v * 16), acc0[v]);
+                _mm512_storeu_ps(o1.add(v * 16), acc1[v]);
+            }
+            i += 2;
+        }
+        while i < m {
+            let ar = ap.add(i * k);
+            let o = op.add(i * N);
+            let mut acc = [_mm512_setzero_ps(); 4];
+            for v in 0..nv {
+                acc[v] = _mm512_loadu_ps(o.add(v * 16));
+            }
+            for p in 0..k {
+                let x = _mm512_set1_ps(*ar.add(p));
+                for v in 0..nv {
+                    let qv = _mm_loadu_si128(qp.add(p * N + v * 16) as *const __m128i);
+                    let w = _mm512_mul_ps(_mm512_cvtepi32_ps(_mm512_cvtepi8_epi32(qv)), vs);
+                    acc[v] = _mm512_fmadd_ps(x, w, acc[v]);
+                }
+            }
+            for v in 0..nv {
+                _mm512_storeu_ps(o.add(v * 16), acc[v]);
+            }
+            i += 1;
+        }
+    }
+}
+
+/// Explicit-backend entry points for the cross-backend parity test
+/// matrix and the kernel benchmarks.
+///
+/// Each function asserts the requested backend is available on this CPU
+/// (a parity run must never silently compare a backend against itself)
+/// and then runs the exact kernel the inference path would run with that
+/// backend active. Production code should use the model/layer APIs,
+/// which dispatch on [`Backend::active`] instead.
+pub mod ops {
+    use super::Backend;
+    use crate::quant::QuantMatrix;
+    use crate::tensor::Tensor;
+
+    fn check(backend: Backend) {
+        assert!(
+            backend.available(),
+            "backend {backend} is not available on this CPU"
+        );
+    }
+
+    /// `out += a · b` for row-major `a (m×k)`, `b (k×n)`, `out (m×n)`
+    /// (auto serial/parallel; the parallel banding is bitwise-equal).
+    pub fn gemm(
+        backend: Backend,
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        check(backend);
+        assert_eq!(a.len(), m * k, "a length");
+        assert_eq!(b.len(), k * n, "b length");
+        assert_eq!(out.len(), m * n, "out length");
+        crate::tensor::gemm_with(backend, a, b, out, m, k, n);
+    }
+
+    /// `out += aᵀ · b` for row-major `a (k×m)`, `b (k×n)`, `out (m×n)`.
+    pub fn gemm_atb(
+        backend: Backend,
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        check(backend);
+        assert_eq!(a.len(), k * m, "a length");
+        assert_eq!(b.len(), k * n, "b length");
+        assert_eq!(out.len(), m * n, "out length");
+        crate::tensor::gemm_atb_with(backend, a, b, out, m, k, n);
+    }
+
+    /// `out += a · bᵀ` for row-major `a (m×k)`, `b (n×k)`, `out (m×n)`.
+    pub fn gemm_abt(
+        backend: Backend,
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        check(backend);
+        assert_eq!(a.len(), m * k, "a length");
+        assert_eq!(b.len(), n * k, "b length");
+        assert_eq!(out.len(), m * n, "out length");
+        crate::tensor::gemm_abt_with(backend, a, b, out, m, k, n);
+    }
+
+    /// Dequantizing `out += a · (q·s)` against an int8 weight.
+    pub fn gemm_quant(backend: Backend, a: &[f32], q: &QuantMatrix, out: &mut [f32], m: usize) {
+        check(backend);
+        assert_eq!(a.len(), m * q.rows(), "a length");
+        assert_eq!(out.len(), m * q.cols(), "out length");
+        crate::quant::gemm_quant_with(backend, a, q, out, m);
+    }
+
+    /// Eight-lane dot product (same reduction tree on every backend).
+    pub fn dot(backend: Backend, x: &[f32], y: &[f32]) -> f32 {
+        check(backend);
+        assert_eq!(x.len(), y.len(), "dot length mismatch");
+        crate::tensor::dot_with(backend, x, y)
+    }
+
+    /// Eight-lane sum with the dot kernel's reduction tree.
+    pub fn laned_sum(backend: Backend, x: &[f32]) -> f32 {
+        check(backend);
+        crate::tensor::laned_sum_with(backend, x)
+    }
+
+    /// In-place `v = max(v, 0)`.
+    pub fn relu_sweep(backend: Backend, xs: &mut [f32]) {
+        check(backend);
+        crate::infer::relu_sweep_with(backend, xs);
+    }
+
+    /// In-place `v = fast_exp(v)`.
+    pub fn exp_sweep(backend: Backend, xs: &mut [f32]) {
+        check(backend);
+        crate::infer::exp_sweep_with(backend, xs);
+    }
+
+    /// In-place stable sigmoid.
+    pub fn sigmoid_sweep(backend: Backend, xs: &mut [f32]) {
+        check(backend);
+        crate::infer::sigmoid_sweep_with(backend, xs);
+    }
+
+    /// In-place `v *= s`.
+    pub fn scale_sweep(backend: Backend, xs: &mut [f32], s: f32) {
+        check(backend);
+        crate::infer::scale_sweep_with(backend, xs, s);
+    }
+
+    /// Row-wise softmax of `scale · x` (`scale` must be positive).
+    pub fn softmax_rows(backend: Backend, x: &Tensor, scale: f32) -> Tensor {
+        check(backend);
+        assert!(scale > 0.0, "softmax scale must be positive");
+        crate::infer::softmax_rows_impl(backend, x, scale)
+    }
+
+    /// Fused eval-mode batch norm `((x − μ)·invstd)·γ + β`.
+    pub fn batch_norm(
+        backend: Backend,
+        x: &Tensor,
+        gamma: &Tensor,
+        beta: &Tensor,
+        eps: f32,
+        mean: &Tensor,
+        var: &Tensor,
+    ) -> Tensor {
+        check(backend);
+        crate::infer::batch_norm_eval_with(backend, x, gamma, beta, eps, mean, var)
+    }
+
+    /// Fused eval-mode `max(BN(x), 0) + residual`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn batch_norm_relu_add(
+        backend: Backend,
+        x: &Tensor,
+        gamma: &Tensor,
+        beta: &Tensor,
+        eps: f32,
+        mean: &Tensor,
+        var: &Tensor,
+        residual: &Tensor,
+    ) -> Tensor {
+        check(backend);
+        crate::infer::batch_norm_eval_relu_add_with(
+            backend, x, gamma, beta, eps, mean, var, residual,
+        )
+    }
+
+    /// Fused eval-mode `BN(a + b)`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn batch_norm_of_sum(
+        backend: Backend,
+        a: &Tensor,
+        b: &Tensor,
+        gamma: &Tensor,
+        beta: &Tensor,
+        eps: f32,
+        mean: &Tensor,
+        var: &Tensor,
+    ) -> Tensor {
+        check(backend);
+        crate::infer::batch_norm_eval_of_sum_with(backend, a, b, gamma, beta, eps, mean, var)
+    }
+
+    /// Fused gated aggregation: per edge `η = σ(ê)`, scatter-adds
+    /// `η ⊙ Bx[src]` into `num[dst]` and `η` into `den[dst]`.
+    pub fn gated_scatter(
+        backend: Backend,
+        e_hat: &Tensor,
+        bx: &Tensor,
+        src: &[usize],
+        dst: &[usize],
+        n_out: usize,
+    ) -> (Tensor, Tensor) {
+        check(backend);
+        assert_eq!(e_hat.rows(), src.len(), "one e_hat row per edge");
+        assert_eq!(src.len(), dst.len(), "src/dst length mismatch");
+        assert!(src.iter().all(|&j| j < bx.rows()), "src index out of range");
+        assert!(dst.iter().all(|&j| j < n_out), "dst index out of range");
+        crate::infer::gated_scatter_with(backend, e_hat, bx, src, dst, n_out)
+    }
+
+    /// Fused `x̂ = ax + num / (den + ε)`, consuming `ax`.
+    pub fn add_div(backend: Backend, ax: Tensor, num: &Tensor, den: &Tensor, eps: f32) -> Tensor {
+        check(backend);
+        assert_eq!(ax.shape(), num.shape(), "num shape mismatch");
+        assert_eq!(ax.shape(), den.shape(), "den shape mismatch");
+        crate::infer::add_div_inplace_with(backend, ax, num, den, eps)
+    }
+
+    /// Performer feature map `φ(x̂) = (exp(x̂Ωᵀ − ‖x̂‖²/2) + ε)/√m` over a
+    /// pre-scaled input.
+    pub fn performer_feature_map(
+        backend: Backend,
+        xs: &Tensor,
+        omega_t: &Tensor,
+        features: usize,
+    ) -> Tensor {
+        check(backend);
+        assert_eq!(xs.cols(), omega_t.rows(), "projection shape mismatch");
+        crate::infer::performer_feature_map_with(backend, xs, omega_t, features)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_names() {
+        for b in Backend::ALL {
+            assert_eq!(Backend::parse(b.name()).unwrap(), b);
+        }
+        assert!(Backend::parse("neon").is_err());
+    }
+
+    #[test]
+    fn detect_is_available_and_scalar_always_is() {
+        assert!(Backend::detect().available());
+        assert!(Backend::Scalar.available());
+    }
+
+    #[test]
+    fn active_is_stable_and_honors_env() {
+        let a = Backend::active();
+        assert_eq!(a, Backend::active());
+        if let Ok(name) = std::env::var("CIRGPS_FORCE_BACKEND") {
+            if !name.is_empty() {
+                assert_eq!(a, Backend::parse(&name).unwrap());
+            }
+        }
+        assert!(a.available());
+    }
+}

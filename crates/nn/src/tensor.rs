@@ -21,6 +21,7 @@ use std::fmt;
 use std::sync::OnceLock;
 
 use crate::pool;
+use crate::simd::Backend;
 
 /// k-panel height for the blocked GEMM kernels. A `KC × n` panel of the
 /// right-hand matrix stays cache-hot while every output row is updated,
@@ -44,7 +45,7 @@ fn par_macs_threshold() -> usize {
     })
 }
 
-fn hardware_threads() -> usize {
+pub(crate) fn hardware_threads() -> usize {
     static CELL: OnceLock<usize> = OnceLock::new();
     *CELL.get_or_init(|| {
         std::thread::available_parallelism()
@@ -53,7 +54,7 @@ fn hardware_threads() -> usize {
     })
 }
 
-fn use_parallel(m: usize, k: usize, n: usize) -> bool {
+pub(crate) fn use_parallel(m: usize, k: usize, n: usize) -> bool {
     let threshold = par_macs_threshold();
     threshold > 0
         && hardware_threads() > 1
@@ -71,6 +72,22 @@ fn use_parallel(m: usize, k: usize, n: usize) -> bool {
 /// bitwise-identical; versus a naive i-k-j loop the 4-way grouping is
 /// tolerance-equal (different f32 summation tree), not bitwise.
 pub(crate) fn gemm_serial(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    gemm_serial_with(Backend::active(), a, b, out, m, k, n)
+}
+
+/// [`gemm_serial`] on an explicit backend. The SIMD microkernels keep
+/// each output element's k-accumulation order, so every backend is
+/// bitwise-equal (see `crate::simd`).
+#[cfg_attr(not(target_arch = "x86_64"), allow(unused_variables))]
+pub(crate) fn gemm_serial_with(
+    backend: Backend,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(out.len(), m * n);
@@ -80,9 +97,31 @@ pub(crate) fn gemm_serial(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: us
         // Lives here (not in the `gemm` dispatcher) so serial, parallel,
         // and auto paths all use the same kernel for this shape.
         for (i, o) in out.iter_mut().enumerate() {
-            *o += dot(&a[i * k..(i + 1) * k], b);
+            *o += dot_with(backend, &a[i * k..(i + 1) * k], b);
         }
         return;
+    }
+    // SIMD backends: the fixed-width microkernels cover the model's
+    // power-of-two widths at any k (a straight 4-unrolled k loop equals
+    // the KC-panelled one because KC % 4 == 0); everything else runs the
+    // vectorized generic AXPY loop. N=8 stays on the AVX2 kernel under
+    // Avx512 (one 256-bit vector per row is already optimal).
+    #[cfg(target_arch = "x86_64")]
+    if backend != Backend::Scalar {
+        // SAFETY: a non-scalar backend is only selected after its CPU
+        // feature probe succeeded (`Backend::available`).
+        unsafe {
+            return match (backend, n) {
+                (Backend::Avx512, 16) => crate::simd::avx512::gemm_fixed::<16>(a, b, out, m, k),
+                (Backend::Avx512, 32) => crate::simd::avx512::gemm_fixed::<32>(a, b, out, m, k),
+                (Backend::Avx512, 64) => crate::simd::avx512::gemm_fixed::<64>(a, b, out, m, k),
+                (_, 8) => crate::simd::avx2::gemm_fixed::<8>(a, b, out, m, k),
+                (_, 16) => crate::simd::avx2::gemm_fixed::<16>(a, b, out, m, k),
+                (_, 32) => crate::simd::avx2::gemm_fixed::<32>(a, b, out, m, k),
+                (_, 64) => crate::simd::avx2::gemm_fixed::<64>(a, b, out, m, k),
+                _ => crate::simd::avx2::gemm_generic(a, b, out, m, k, n, KC),
+            };
+        }
     }
     // Register-blocked microkernels for the model's power-of-two widths:
     // the output row lives in a `[f32; N]` accumulator for the whole k
@@ -238,10 +277,24 @@ pub(crate) fn gemm_fixed_n_epilogue<const N: usize, E>(
 /// band of output rows and runs the serial kernel on it, so the result
 /// is bitwise-identical to [`gemm_serial`].
 pub(crate) fn gemm_parallel(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    gemm_parallel_with(Backend::active(), a, b, out, m, k, n)
+}
+
+/// [`gemm_parallel`] on an explicit backend (each band runs the serial
+/// kernel for that backend, so results stay bitwise-identical).
+pub(crate) fn gemm_parallel_with(
+    backend: Backend,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
     let threads = hardware_threads().min(m).max(1);
     // Empty output: nothing to do (and `chunks_mut(0)` would panic).
     if out.is_empty() || threads < 2 {
-        return gemm_serial(a, b, out, m, k, n);
+        return gemm_serial_with(backend, a, b, out, m, k, n);
     }
     let rows_per = m.div_ceil(threads);
     std::thread::scope(|s| {
@@ -249,23 +302,53 @@ pub(crate) fn gemm_parallel(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: 
             let i0 = ti * rows_per;
             let rows = ochunk.len() / n;
             let aband = &a[i0 * k..(i0 + rows) * k];
-            s.spawn(move || gemm_serial(aband, b, ochunk, rows, k, n));
+            s.spawn(move || gemm_serial_with(backend, aband, b, ochunk, rows, k, n));
         }
     });
 }
 
 pub(crate) fn gemm(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    gemm_with(Backend::active(), a, b, out, m, k, n)
+}
+
+/// Auto serial/parallel `out += a · b` on an explicit backend.
+pub(crate) fn gemm_with(
+    backend: Backend,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
     if n != 1 && use_parallel(m, k, n) {
-        gemm_parallel(a, b, out, m, k, n);
+        gemm_parallel_with(backend, a, b, out, m, k, n);
     } else {
-        gemm_serial(a, b, out, m, k, n);
+        gemm_serial_with(backend, a, b, out, m, k, n);
     }
 }
 
 /// Band kernel shared by the serial and parallel `aᵀ · b` paths: updates
 /// output rows `[i0, i0 + rows)` with the accumulation unrolled over four
 /// k-steps. Sharing one kernel keeps both paths bitwise-identical.
-fn atb_band(a: &[f32], b: &[f32], oband: &mut [f32], i0: usize, m: usize, k: usize, n: usize) {
+#[cfg_attr(not(target_arch = "x86_64"), allow(unused_variables))]
+#[allow(clippy::too_many_arguments)]
+fn atb_band(
+    backend: Backend,
+    a: &[f32],
+    b: &[f32],
+    oband: &mut [f32],
+    i0: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if backend != Backend::Scalar {
+        // SAFETY: non-scalar backends imply a successful AVX2+FMA probe;
+        // AVX-512 reuses the AVX2 band kernel (same 8-lane j sweep).
+        return unsafe { crate::simd::avx2::atb_band(a, b, oband, i0, m, k, n) };
+    }
     let rows = oband.len().checked_div(n).unwrap_or(0);
     let mut p = 0;
     while p + 4 <= k {
@@ -300,18 +383,27 @@ fn atb_band(a: &[f32], b: &[f32], oband: &mut [f32], i0: usize, m: usize, k: usi
 }
 
 /// `out += aᵀ · b` for row-major `a (k×m)`, `b (k×n)`, `out (m×n)`,
-/// without materializing the transpose.
-pub(crate) fn gemm_atb_serial(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+/// without materializing the transpose, on an explicit backend.
+pub(crate) fn gemm_atb_serial_with(
+    backend: Backend,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
     debug_assert_eq!(a.len(), k * m);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(out.len(), m * n);
-    atb_band(a, b, out, 0, m, k, n);
+    atb_band(backend, a, b, out, 0, m, k, n);
 }
 
-/// Parallel `out += aᵀ · b`: workers own disjoint output-row bands
-/// (columns of `a`) and run the same band kernel, so results match
-/// [`gemm_atb_serial`] bitwise.
-pub(crate) fn gemm_atb_parallel(
+/// Parallel `out += aᵀ · b` on an explicit backend: workers own disjoint
+/// output-row bands (columns of `a`) and run the same band kernel, so
+/// results match [`gemm_atb_serial_with`] bitwise.
+pub(crate) fn gemm_atb_parallel_with(
+    backend: Backend,
     a: &[f32],
     b: &[f32],
     out: &mut [f32],
@@ -321,30 +413,51 @@ pub(crate) fn gemm_atb_parallel(
 ) {
     let threads = hardware_threads().min(m).max(1);
     if out.is_empty() || threads < 2 {
-        return gemm_atb_serial(a, b, out, m, k, n);
+        return gemm_atb_serial_with(backend, a, b, out, m, k, n);
     }
     let rows_per = m.div_ceil(threads);
     std::thread::scope(|s| {
         for (ti, ochunk) in out.chunks_mut(rows_per * n).enumerate() {
             let i0 = ti * rows_per;
-            s.spawn(move || atb_band(a, b, ochunk, i0, m, k, n));
+            s.spawn(move || atb_band(backend, a, b, ochunk, i0, m, k, n));
         }
     });
 }
 
 pub(crate) fn gemm_atb(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    gemm_atb_with(Backend::active(), a, b, out, m, k, n)
+}
+
+/// Auto serial/parallel `out += aᵀ · b` on an explicit backend.
+pub(crate) fn gemm_atb_with(
+    backend: Backend,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
     if use_parallel(m, k, n) {
-        gemm_atb_parallel(a, b, out, m, k, n);
+        gemm_atb_parallel_with(backend, a, b, out, m, k, n);
     } else {
-        gemm_atb_serial(a, b, out, m, k, n);
+        gemm_atb_serial_with(backend, a, b, out, m, k, n);
     }
 }
 
-/// Eight-lane unrolled dot product. The lane split breaks the serial
-/// floating-point dependency chain so the compiler can vectorize; the
-/// summation order is deterministic (lanes then remainder).
+/// Eight-lane unrolled dot product on an explicit backend. The lane
+/// split breaks the serial floating-point dependency chain so the scalar
+/// path vectorizes; every backend keeps the same 8-lane split and
+/// reduction tree (AVX-512 reuses the 8-lane AVX2 kernel), so the
+/// summation order — hence the result — never changes.
 #[inline]
-fn dot(x: &[f32], y: &[f32]) -> f32 {
+#[cfg_attr(not(target_arch = "x86_64"), allow(unused_variables))]
+pub(crate) fn dot_with(backend: Backend, x: &[f32], y: &[f32]) -> f32 {
+    #[cfg(target_arch = "x86_64")]
+    if backend != Backend::Scalar {
+        // SAFETY: non-scalar backends imply a successful AVX2+FMA probe.
+        return unsafe { crate::simd::avx2::dot(x, y) };
+    }
     let mut lanes = [0.0f32; 8];
     let mut xc = x.chunks_exact(8);
     let mut yc = y.chunks_exact(8);
@@ -362,10 +475,22 @@ fn dot(x: &[f32], y: &[f32]) -> f32 {
     (s0 + s1) + tail
 }
 
-/// Eight-lane unrolled sum with exactly [`dot`]'s summation tree: equals
-/// `dot(x, ones)` bitwise (multiplying by 1.0 is exact), letting callers
-/// skip materializing an all-ones vector. Keep in sync with [`dot`].
+/// Eight-lane unrolled sum with exactly [`dot_with`]'s summation tree:
+/// equals `dot(x, ones)` bitwise (multiplying by 1.0 is exact), letting
+/// callers skip materializing an all-ones vector. Keep in sync with
+/// [`dot_with`].
 pub(crate) fn laned_sum(x: &[f32]) -> f32 {
+    laned_sum_with(Backend::active(), x)
+}
+
+/// [`laned_sum`] on an explicit backend (same tree on every backend).
+#[cfg_attr(not(target_arch = "x86_64"), allow(unused_variables))]
+pub(crate) fn laned_sum_with(backend: Backend, x: &[f32]) -> f32 {
+    #[cfg(target_arch = "x86_64")]
+    if backend != Backend::Scalar {
+        // SAFETY: non-scalar backends imply a successful AVX2+FMA probe.
+        return unsafe { crate::simd::avx2::laned_sum(x) };
+    }
     let mut lanes = [0.0f32; 8];
     let mut xc = x.chunks_exact(8);
     for cx in &mut xc {
@@ -382,9 +507,18 @@ pub(crate) fn laned_sum(x: &[f32]) -> f32 {
     (s0 + s1) + tail
 }
 
-/// `out += a · bᵀ` for row-major `a (m×k)`, `b (n×k)`, `out (m×n)`:
-/// every output element is an unrolled dot product of two rows.
-pub(crate) fn gemm_abt_serial(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+/// `out += a · bᵀ` for row-major `a (m×k)`, `b (n×k)`, `out (m×n)` on an
+/// explicit backend: every output element is one [`dot_with`], so the
+/// reduction order is backend-invariant.
+pub(crate) fn gemm_abt_serial_with(
+    backend: Backend,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), n * k);
     debug_assert_eq!(out.len(), m * n);
@@ -392,14 +526,16 @@ pub(crate) fn gemm_abt_serial(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k
         let arow = &a[i * k..(i + 1) * k];
         let orow = &mut out[i * n..(i + 1) * n];
         for (j, o) in orow.iter_mut().enumerate() {
-            *o += dot(arow, &b[j * k..(j + 1) * k]);
+            *o += dot_with(backend, arow, &b[j * k..(j + 1) * k]);
         }
     }
 }
 
-/// Row-partitioned parallel `out += a · bᵀ`; bitwise-equal to
-/// [`gemm_abt_serial`] because each element is one dot product.
-pub(crate) fn gemm_abt_parallel(
+/// Row-partitioned parallel `out += a · bᵀ` on an explicit backend;
+/// bitwise-equal to [`gemm_abt_serial_with`] because each element is one
+/// dot product.
+pub(crate) fn gemm_abt_parallel_with(
+    backend: Backend,
     a: &[f32],
     b: &[f32],
     out: &mut [f32],
@@ -409,7 +545,7 @@ pub(crate) fn gemm_abt_parallel(
 ) {
     let threads = hardware_threads().min(m).max(1);
     if out.is_empty() || threads < 2 {
-        return gemm_abt_serial(a, b, out, m, k, n);
+        return gemm_abt_serial_with(backend, a, b, out, m, k, n);
     }
     let rows_per = m.div_ceil(threads);
     std::thread::scope(|s| {
@@ -417,16 +553,29 @@ pub(crate) fn gemm_abt_parallel(
             let i0 = ti * rows_per;
             let rows = ochunk.len() / n;
             let aband = &a[i0 * k..(i0 + rows) * k];
-            s.spawn(move || gemm_abt_serial(aband, b, ochunk, rows, k, n));
+            s.spawn(move || gemm_abt_serial_with(backend, aband, b, ochunk, rows, k, n));
         }
     });
 }
 
 pub(crate) fn gemm_abt(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    gemm_abt_with(Backend::active(), a, b, out, m, k, n)
+}
+
+/// Auto serial/parallel `out += a · bᵀ` on an explicit backend.
+pub(crate) fn gemm_abt_with(
+    backend: Backend,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
     if use_parallel(m, k, n) {
-        gemm_abt_parallel(a, b, out, m, k, n);
+        gemm_abt_parallel_with(backend, a, b, out, m, k, n);
     } else {
-        gemm_abt_serial(a, b, out, m, k, n);
+        gemm_abt_serial_with(backend, a, b, out, m, k, n);
     }
 }
 
@@ -987,8 +1136,25 @@ mod tests {
             37,
             (0..k * 37).map(|i| (i as f32 * 0.093).sin()).collect(),
         );
-        gemm_atb_serial(at.as_slice(), b.as_slice(), &mut o1[..37 * 19], 37, k, 19);
-        gemm_atb_parallel(at.as_slice(), b.as_slice(), &mut o2[..37 * 19], 37, k, 19);
+        let be = Backend::active();
+        gemm_atb_serial_with(
+            be,
+            at.as_slice(),
+            b.as_slice(),
+            &mut o1[..37 * 19],
+            37,
+            k,
+            19,
+        );
+        gemm_atb_parallel_with(
+            be,
+            at.as_slice(),
+            b.as_slice(),
+            &mut o2[..37 * 19],
+            37,
+            k,
+            19,
+        );
         assert_eq!(&o1[..37 * 19], &o2[..37 * 19]);
 
         let bt = Tensor::from_vec(
@@ -998,8 +1164,8 @@ mod tests {
         );
         let mut o3 = vec![0.0f32; 37 * 19];
         let mut o4 = vec![0.0f32; 37 * 19];
-        gemm_abt_serial(a.as_slice(), bt.as_slice(), &mut o3, 37, k, 19);
-        gemm_abt_parallel(a.as_slice(), bt.as_slice(), &mut o4, 37, k, 19);
+        gemm_abt_serial_with(be, a.as_slice(), bt.as_slice(), &mut o3, 37, k, 19);
+        gemm_abt_parallel_with(be, a.as_slice(), bt.as_slice(), &mut o4, 37, k, 19);
         assert_eq!(o3, o4);
     }
 

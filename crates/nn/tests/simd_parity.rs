@@ -1,0 +1,349 @@
+//! Cross-backend parity matrix for the SIMD dispatch layer.
+//!
+//! The repo-wide bitwise-parity contract (`predict == sweep == serve`,
+//! taped == tape-free) only holds if every dispatched kernel returns
+//! *identical bits* on every backend the dispatcher can pick. These
+//! proptests pin that contract at the kernel level: for each microkernel
+//! width (N ∈ {8, 16, 32, 64}), each generic/ragged shape (including
+//! single-row and empty), and each fused inference op, the scalar
+//! reference and every SIMD backend available on this CPU must agree
+//! exactly. The int8 path gets the same treatment, plus an analytic
+//! divergence bound against full-precision f32.
+//!
+//! On hardware without AVX2/AVX-512 the `backends()` list degenerates to
+//! `[Scalar]` and the tests check self-consistency only; CI runs the
+//! matrix on AVX2 hosts (see `.github/workflows/ci.yml`).
+
+use cirgps_nn::simd::ops;
+use cirgps_nn::{Backend, QuantMatrix, Tensor};
+use proptest::prelude::*;
+
+/// Every backend this CPU can execute, scalar always included.
+fn backends() -> Vec<Backend> {
+    Backend::ALL
+        .iter()
+        .copied()
+        .filter(|b| b.available())
+        .collect()
+}
+
+/// Deterministic pseudo-random fill in roughly [-1.9, 1.9].
+fn fill(len: usize, seed: u64) -> Vec<f32> {
+    (0..len)
+        .map(|i| ((i as u64).wrapping_mul(seed.wrapping_mul(2) + 1) % 97) as f32 * 0.04 - 1.9)
+        .collect()
+}
+
+fn tensor(rows: usize, cols: usize, seed: u64) -> Tensor {
+    Tensor::from_vec(rows, cols, fill(rows * cols, seed))
+}
+
+/// Asserts two f32 slices are bitwise identical (stricter than `==`:
+/// distinguishes -0.0 from 0.0 and would catch NaN-vs-NaN).
+fn assert_bitwise(label: &str, backend: Backend, scalar: &[f32], simd: &[f32]) {
+    assert_eq!(scalar.len(), simd.len(), "{label}: length vs {backend}");
+    for (i, (a, b)) in scalar.iter().zip(simd).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "{label}[{i}]: scalar {a} != {backend} {b}"
+        );
+    }
+}
+
+/// Shapes covering the microkernel widths, ragged tails, single-row
+/// activations (the serve singleton path) and empty batches.
+fn gemm_shapes() -> impl Strategy<Value = (usize, usize, usize)> {
+    prop_oneof![
+        // The fixed-width microkernels the dispatcher specializes.
+        (1usize..6, 1usize..48, Just(8usize)),
+        (1usize..6, 1usize..48, Just(16usize)),
+        (1usize..6, 1usize..48, Just(32usize)),
+        (1usize..6, 1usize..48, Just(64usize)),
+        // Ragged widths around the 8/16-lane boundaries.
+        (1usize..6, 1usize..32, 1usize..20),
+        // Single row and empty batch.
+        Just((1usize, 9usize, 24usize)),
+        Just((0usize, 5usize, 8usize)),
+        Just((3usize, 1usize, 1usize)),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn gemm_family_is_bitwise_equal_across_backends(
+        (m, k, n) in gemm_shapes(),
+        seed in 0u64..500,
+    ) {
+        let a = fill(m * k, seed);
+        let b = fill(k * n, seed ^ 0x9e37);
+        for backend in backends() {
+            let mut scalar = vec![0.0f32; m * n];
+            let mut simd = vec![0.0f32; m * n];
+            ops::gemm(Backend::Scalar, &a, &b, &mut scalar, m, k, n);
+            ops::gemm(backend, &a, &b, &mut simd, m, k, n);
+            assert_bitwise("gemm", backend, &scalar, &simd);
+
+            // aᵀ·b: a stored k×m.
+            let at = fill(k * m, seed ^ 0x1111);
+            let mut scalar = vec![0.0f32; m * n];
+            let mut simd = vec![0.0f32; m * n];
+            ops::gemm_atb(Backend::Scalar, &at, &b, &mut scalar, m, k, n);
+            ops::gemm_atb(backend, &at, &b, &mut simd, m, k, n);
+            assert_bitwise("gemm_atb", backend, &scalar, &simd);
+
+            // a·bᵀ: b stored n×k.
+            let bt = fill(n * k, seed ^ 0x2222);
+            let mut scalar = vec![0.0f32; m * n];
+            let mut simd = vec![0.0f32; m * n];
+            ops::gemm_abt(Backend::Scalar, &a, &bt, &mut scalar, m, k, n);
+            ops::gemm_abt(backend, &a, &bt, &mut simd, m, k, n);
+            assert_bitwise("gemm_abt", backend, &scalar, &simd);
+        }
+    }
+
+    #[test]
+    fn quantized_gemm_is_bitwise_equal_across_backends_and_to_dequantized_f32(
+        (m, k, n) in gemm_shapes(),
+        seed in 0u64..500,
+    ) {
+        // QuantMatrix requires a non-degenerate weight.
+        let (k, n) = (k.max(1), n.max(1));
+        let w = tensor(k, n, seed ^ 0x7f3a);
+        let q = QuantMatrix::quantize(&w);
+        let a = fill(m * k, seed);
+
+        // Backend parity: identical bits everywhere.
+        let mut scalar = vec![0.0f32; m * n];
+        ops::gemm_quant(Backend::Scalar, &a, &q, &mut scalar, m);
+        for backend in backends() {
+            let mut simd = vec![0.0f32; m * n];
+            ops::gemm_quant(backend, &a, &q, &mut simd, m);
+            assert_bitwise("gemm_quant", backend, &scalar, &simd);
+        }
+
+        // Dequantization is exact per element ((q as f32) is exact, q·s is
+        // one correctly-rounded multiply), so running the f32 GEMM over the
+        // dequantized weight must reproduce the fused int8 kernel bitwise.
+        let deq = q.dequantize();
+        let mut f32_path = vec![0.0f32; m * n];
+        ops::gemm(Backend::Scalar, &a, deq.as_slice(), &mut f32_path, m, k, n);
+        assert_bitwise("gemm_quant vs dequantized", Backend::Scalar, &f32_path, &scalar);
+    }
+
+    #[test]
+    fn quantized_gemm_divergence_from_f32_is_analytically_bounded(
+        (m, k, n) in (1usize..5, 1usize..24, 1usize..40),
+        seed in 0u64..500,
+    ) {
+        // Per-weight rounding error is at most scale/2, so element (i, j)
+        // of the output diverges from full precision by at most
+        // Σ_p |a[i,p]| · scale/2 (plus f32 accumulation noise).
+        let w = tensor(k, n, seed ^ 0x55cc);
+        let q = QuantMatrix::quantize(&w);
+        let a = fill(m * k, seed);
+
+        let mut exact = vec![0.0f32; m * n];
+        ops::gemm(Backend::Scalar, &a, w.as_slice(), &mut exact, m, k, n);
+        let mut quant = vec![0.0f32; m * n];
+        ops::gemm_quant(Backend::Scalar, &a, &q, &mut quant, m);
+
+        for i in 0..m {
+            let row_l1: f32 = a[i * k..(i + 1) * k].iter().map(|v| v.abs()).sum();
+            let bound = row_l1 * q.max_weight_error() + 1e-5 * (1.0 + k as f32);
+            for j in 0..n {
+                let d = (exact[i * n + j] - quant[i * n + j]).abs();
+                prop_assert!(
+                    d <= bound,
+                    "({i},{j}): diverged {d} > bound {bound} (scale {})",
+                    q.scale()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reductions_and_sweeps_are_bitwise_equal_across_backends(
+        len in 0usize..200,
+        seed in 0u64..500,
+    ) {
+        let x = fill(len, seed);
+        let y = fill(len, seed ^ 0x3c3c);
+        for backend in backends() {
+            assert_eq!(
+                ops::dot(Backend::Scalar, &x, &y).to_bits(),
+                ops::dot(backend, &x, &y).to_bits(),
+                "dot vs {backend}"
+            );
+            assert_eq!(
+                ops::laned_sum(Backend::Scalar, &x).to_bits(),
+                ops::laned_sum(backend, &x).to_bits(),
+                "laned_sum vs {backend}"
+            );
+
+            let mut s = x.clone();
+            let mut v = x.clone();
+            ops::relu_sweep(Backend::Scalar, &mut s);
+            ops::relu_sweep(backend, &mut v);
+            assert_bitwise("relu_sweep", backend, &s, &v);
+
+            let mut s = x.clone();
+            let mut v = x.clone();
+            ops::exp_sweep(Backend::Scalar, &mut s);
+            ops::exp_sweep(backend, &mut v);
+            assert_bitwise("exp_sweep", backend, &s, &v);
+
+            let mut s = x.clone();
+            let mut v = x.clone();
+            ops::sigmoid_sweep(Backend::Scalar, &mut s);
+            ops::sigmoid_sweep(backend, &mut v);
+            assert_bitwise("sigmoid_sweep", backend, &s, &v);
+
+            let mut s = x.clone();
+            let mut v = x.clone();
+            ops::scale_sweep(Backend::Scalar, &mut s, 0.37);
+            ops::scale_sweep(backend, &mut v, 0.37);
+            assert_bitwise("scale_sweep", backend, &s, &v);
+        }
+    }
+
+    #[test]
+    fn softmax_and_batch_norm_fusions_are_bitwise_equal_across_backends(
+        (rows, cols) in (1usize..8, 1usize..40),
+        seed in 0u64..500,
+    ) {
+        let x = tensor(rows, cols, seed);
+        let residual = tensor(rows, cols, seed ^ 0x1357);
+        let b2 = tensor(rows, cols, seed ^ 0x2468);
+        let gamma = tensor(1, cols, seed ^ 0xaaaa);
+        let beta = tensor(1, cols, seed ^ 0xbbbb);
+        let mean = tensor(1, cols, seed ^ 0xcccc);
+        // Variances must be non-negative.
+        let var = Tensor::from_vec(
+            1,
+            cols,
+            fill(cols, seed ^ 0xdddd).iter().map(|v| v.abs()).collect(),
+        );
+        let eps = 1e-5;
+
+        for backend in backends() {
+            let s = ops::softmax_rows(Backend::Scalar, &x, 0.5);
+            let v = ops::softmax_rows(backend, &x, 0.5);
+            assert_bitwise("softmax_rows", backend, s.as_slice(), v.as_slice());
+
+            let s = ops::batch_norm(Backend::Scalar, &x, &gamma, &beta, eps, &mean, &var);
+            let v = ops::batch_norm(backend, &x, &gamma, &beta, eps, &mean, &var);
+            assert_bitwise("batch_norm", backend, s.as_slice(), v.as_slice());
+
+            let s = ops::batch_norm_relu_add(
+                Backend::Scalar, &x, &gamma, &beta, eps, &mean, &var, &residual,
+            );
+            let v = ops::batch_norm_relu_add(
+                backend, &x, &gamma, &beta, eps, &mean, &var, &residual,
+            );
+            assert_bitwise("batch_norm_relu_add", backend, s.as_slice(), v.as_slice());
+
+            let s = ops::batch_norm_of_sum(Backend::Scalar, &x, &b2, &gamma, &beta, eps, &mean, &var);
+            let v = ops::batch_norm_of_sum(backend, &x, &b2, &gamma, &beta, eps, &mean, &var);
+            assert_bitwise("batch_norm_of_sum", backend, s.as_slice(), v.as_slice());
+        }
+    }
+
+    #[test]
+    fn gated_scatter_and_add_div_are_bitwise_equal_across_backends(
+        (nodes, cols, edges) in (1usize..10, 1usize..24, 0usize..30),
+        seed in 0u64..500,
+    ) {
+        let bx = tensor(nodes, cols, seed);
+        let e_hat = tensor(edges, cols, seed ^ 0x4141);
+        let src: Vec<usize> = (0..edges)
+            .map(|i| (i.wrapping_mul(7) ^ seed as usize) % nodes)
+            .collect();
+        let dst: Vec<usize> = (0..edges)
+            .map(|i| (i.wrapping_mul(13) ^ (seed as usize >> 3)) % nodes)
+            .collect();
+
+        let (num_s, den_s) = ops::gated_scatter(Backend::Scalar, &e_hat, &bx, &src, &dst, nodes);
+        for backend in backends() {
+            let (num_v, den_v) = ops::gated_scatter(backend, &e_hat, &bx, &src, &dst, nodes);
+            assert_bitwise("gated_scatter num", backend, num_s.as_slice(), num_v.as_slice());
+            assert_bitwise("gated_scatter den", backend, den_s.as_slice(), den_v.as_slice());
+
+            let ax = tensor(nodes, cols, seed ^ 0x8888);
+            let s = ops::add_div(Backend::Scalar, ax.clone(), &num_s, &den_s, 1e-6);
+            let v = ops::add_div(backend, ax, &num_s, &den_s, 1e-6);
+            assert_bitwise("add_div", backend, s.as_slice(), v.as_slice());
+        }
+    }
+
+    #[test]
+    fn performer_feature_map_is_bitwise_equal_across_backends(
+        (rows, dim, features) in (1usize..8, 1usize..16, 1usize..24),
+        seed in 0u64..500,
+    ) {
+        let xs = tensor(rows, dim, seed);
+        let omega_t = tensor(dim, features, seed ^ 0x6e6e);
+        let s = ops::performer_feature_map(Backend::Scalar, &xs, &omega_t, features);
+        for backend in backends() {
+            let v = ops::performer_feature_map(backend, &xs, &omega_t, features);
+            assert_bitwise("performer_feature_map", backend, s.as_slice(), v.as_slice());
+        }
+    }
+}
+
+/// FNV-1a over bytes; the quant-blob golden below is a hex digest of
+/// this (same convention as `tests/datagen_golden.rs`).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// The serialized quant blob is part of the checkpoint wire format:
+/// its bytes must never drift, or previously exported `--quantize`
+/// checkpoints stop being reproducible. Golden digest committed here.
+#[test]
+fn quant_blob_bytes_are_golden_stable() {
+    let w = tensor(5, 9, 42);
+    let q = QuantMatrix::quantize(&w);
+    let mut blob = Vec::new();
+    cirgps_nn::quant::write_quant_blob(&mut blob, &[("enc.l0.w", &q), ("head.w", &q)])
+        .expect("write blob");
+    // Two snapshots of the same logical content must be byte-identical.
+    let mut again = Vec::new();
+    cirgps_nn::quant::write_quant_blob(&mut again, &[("enc.l0.w", &q), ("head.w", &q)])
+        .expect("write blob");
+    assert_eq!(
+        blob, again,
+        "quant blob serialization must be deterministic"
+    );
+    assert_eq!(
+        format!("{:016x}", fnv1a(&blob)),
+        "341814160a59d95d",
+        "quant blob wire format drifted — if intentional, bump the \
+         checkpoint version and update this digest"
+    );
+}
+
+/// Env-forced backends and in-process comparisons must agree: whatever
+/// `Backend::active()` latched, re-running a kernel through the explicit
+/// `ops` surface with that same backend reproduces the implicit path.
+#[test]
+fn active_backend_matches_explicit_dispatch() {
+    let active = Backend::active();
+    assert!(active.available(), "active backend must be executable");
+    let a = tensor(3, 17, 7);
+    let b = tensor(17, 24, 8);
+    let implicit = a.matmul(&b);
+    let mut explicit = vec![0.0f32; 3 * 24];
+    ops::gemm(active, a.as_slice(), b.as_slice(), &mut explicit, 3, 17, 24);
+    assert_bitwise(
+        "matmul vs ops::gemm",
+        active,
+        implicit.as_slice(),
+        &explicit,
+    );
+}

@@ -360,7 +360,7 @@ mod tests {
     fn f32_shortest_formatting_round_trips_bitwise() {
         // The serving protocol's exactness contract: format-with-Display
         // then parse returns the identical f32 bits.
-        for v in [0.123456789f32, 1.0e-12, 0.999999, f32::MIN_POSITIVE] {
+        for v in [0.123_456_79_f32, 1.0e-12, 0.999999, f32::MIN_POSITIVE] {
             let text = format!("{v}");
             let back: f32 = text.parse().unwrap();
             assert_eq!(v.to_bits(), back.to_bits(), "{text}");

@@ -97,13 +97,17 @@ impl Metrics {
     /// Renders the counters in Prometheus text format. `queue_depth`,
     /// `draining`, `brownout` and `recent_batch_us` are sampled by the
     /// caller (they live in the queue, the server and the engine, not
-    /// here).
+    /// here); `backend`/`int8` describe the inference configuration and
+    /// are emitted as an info-style gauge so dashboards can tell which
+    /// SIMD backend and weight precision a deployment runs.
     pub fn render(
         &self,
         queue_depth: usize,
         draining: bool,
         brownout: bool,
         recent_batch_us: u64,
+        backend: &str,
+        int8: bool,
     ) -> String {
         let c = |a: &AtomicU64| a.load(Ordering::Relaxed);
         let rows: [(&str, &str, u64); 24] = [
@@ -192,6 +196,11 @@ impl Metrics {
         out.push_str(&format!(
             "# TYPE cirgps_serve_recent_batch_us gauge\ncirgps_serve_recent_batch_us {recent_batch_us}\n"
         ));
+        out.push_str(&format!(
+            "# TYPE cirgps_serve_backend_info gauge\n\
+             cirgps_serve_backend_info{{backend=\"{backend}\",precision=\"{}\"}} 1\n",
+            if int8 { "int8" } else { "f32" }
+        ));
         out
     }
 }
@@ -209,7 +218,7 @@ mod tests {
         m.observe_latency_us(100);
         m.observe_latency_us(250);
         Metrics::inc(&m.http_predict);
-        let text = m.render(11, true, true, 1500);
+        let text = m.render(11, true, true, 1500, "scalar", false);
         assert!(text.contains("cirgps_serve_batches_total 3"), "{text}");
         assert!(
             text.contains("cirgps_serve_batch_occupancy_sum 15"),
@@ -242,10 +251,14 @@ mod tests {
             "{text}"
         );
         assert!(text.contains("cirgps_serve_retry_after_s 0"), "{text}");
+        assert!(
+            text.contains("cirgps_serve_backend_info{backend=\"scalar\",precision=\"f32\"} 1"),
+            "{text}"
+        );
         m.sweep_pairs_total.fetch_add(100, Ordering::Relaxed);
         m.sweep_forwards_total.fetch_add(9, Ordering::Relaxed);
         Metrics::inc(&m.http_sweep);
-        let text = m.render(0, false, false, 0);
+        let text = m.render(0, false, false, 0, "avx2", true);
         assert!(
             text.contains("cirgps_serve_requests_sweep_total 1"),
             "{text}"
@@ -256,6 +269,10 @@ mod tests {
         );
         assert!(
             text.contains("cirgps_serve_sweep_forwards_total 9"),
+            "{text}"
+        );
+        assert!(
+            text.contains("cirgps_serve_backend_info{backend=\"avx2\",precision=\"int8\"} 1"),
             "{text}"
         );
     }

@@ -597,6 +597,8 @@ impl Server {
                         self.is_draining(),
                         self.engine.in_brownout(),
                         self.engine.recent_batch_us(),
+                        circuitgps::Backend::active().name(),
+                        self.model.store().has_quant(),
                     ),
                 )
             }

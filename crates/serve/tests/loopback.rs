@@ -333,6 +333,87 @@ fn concurrent_singletons_coalesce_and_match_direct_predictions() {
         assert_eq!(status, 200);
         assert!(body.contains("cirgps_serve_batches_total"), "{body}");
         assert!(body.contains("cirgps_serve_batch_occupancy_sum"), "{body}");
+        // The backend every bitwise comparison above ran under is pinned
+        // and visible: /metrics must report exactly the active dispatch
+        // backend and the f32 weight precision of this deployment.
+        assert!(
+            body.contains(&format!(
+                "cirgps_serve_backend_info{{backend=\"{}\",precision=\"f32\"}} 1",
+                circuitgps::Backend::active().name()
+            )),
+            "{body}"
+        );
+
+        server.shutdown(addr);
+    });
+}
+
+/// int8 serving holds the same parity bar as f32: responses are
+/// bitwise-equal to a direct session over the same quantized model, and
+/// the precision is reported on `/metrics`.
+#[test]
+fn quantized_model_serves_bitwise_and_reports_int8() {
+    let (graph, pairs) = toy_graph();
+    let mut model = small_model();
+    assert!(
+        model.store_mut().quantize_int8() > 0,
+        "quantization must cover at least one weight tensor"
+    );
+    let cfg = ServeConfig {
+        max_batch: 4,
+        max_wait: Duration::from_millis(50),
+        workers: 1,
+        queue_capacity: 64,
+        cache_capacity: 64,
+        sampler: SamplerConfig {
+            hops: 1,
+            max_nodes: 64,
+        },
+        read_timeout: Duration::from_secs(5),
+        drain_timeout: Duration::from_secs(2),
+        request_timeout: Duration::from_secs(10),
+        ..ServeConfig::default()
+    };
+    let server = Server::new(model, graph, "TOY".into(), cfg);
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+
+    let mut session = server.session();
+    let want = session.predict_links(&pairs);
+
+    std::thread::scope(|s| {
+        s.spawn(|| server.serve(listener));
+        let pair_list = pairs
+            .iter()
+            .map(|&(a, b)| format!("[{a},{b}]"))
+            .collect::<Vec<_>>()
+            .join(",");
+        let (status, body) = http(
+            addr,
+            "POST",
+            "/v1/predict",
+            &format!("{{\"task\":\"link\",\"pairs\":[{pair_list}]}}"),
+        );
+        assert_eq!(status, 200, "{body}");
+        let probs = parse_f32_array(&body, "probs");
+        assert_eq!(probs.len(), want.len());
+        for (i, (got, want)) in probs.iter().zip(&want).enumerate() {
+            assert_eq!(
+                got.to_bits(),
+                want.to_bits(),
+                "pair {i}: served {got} != direct {want}"
+            );
+        }
+
+        let (status, body) = http(addr, "GET", "/metrics", "");
+        assert_eq!(status, 200);
+        assert!(
+            body.contains(&format!(
+                "cirgps_serve_backend_info{{backend=\"{}\",precision=\"int8\"}} 1",
+                circuitgps::Backend::active().name()
+            )),
+            "{body}"
+        );
 
         server.shutdown(addr);
     });

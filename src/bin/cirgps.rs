@@ -118,7 +118,7 @@ USAGE:
                 [--epochs N] [--batch-size N] [--lr F] [--seed N]
                 [--per-type N] [--hidden-dim N] [--layers N] [--heads N]
                 [--pe-dim N] [--dropout F] [--holdout PCT] [--eval-every N]
-                [--checkpoint-every N] [--resume]
+                [--checkpoint-every N] [--resume] [--quantize]
                 [--metrics-out FILE.json] --out FILE.ckpt
       Pre-train CircuitGPS on coupling link prediction over one or more
       design pairs (comma-separated lists, aligned by position), then
@@ -152,11 +152,15 @@ USAGE:
                           writes a final snapshot (docs/robustness.md)
         --metrics-out F   write a JSON training log (per-epoch loss,
                           periodic + final eval metrics)
+        --quantize        snapshot weights as int8 (per-tensor symmetric
+                          scales) before saving; the checkpoint carries a
+                          `quant` section and predict/sweep/serve default
+                          to int8 inference (docs/simd-quant.md)
 
   cirgps finetune --model PRE.ckpt --netlist FILE.sp --top NAME
                 --spf FILE.spf --shots N [--unfreeze-all]
                 [--epochs N] [--batch-size N] [--lr F] [--seed N]
-                [--per-type N] [--eval-every N]
+                [--per-type N] [--eval-every N] [--quantize]
                 [--metrics-out FILE.json] --out FILE.ckpt
       Few-shot fine-tune a pre-trained checkpoint for capacitance
       regression on a target design: N labeled positive pairs train the
@@ -177,7 +181,8 @@ USAGE:
 
   cirgps predict --netlist FILE.sp --top NAME --spf FILE.spf
                 [--task link|cap] [--batch-size N] [--per-type N]
-                [--model FILE.ckpt] [--out FILE.json]
+                [--model FILE.ckpt] [--backend B] [--precision P]
+                [--out FILE.json]
       Score the design's candidate coupling pairs with the batched
       tape-free inference engine (block-diagonal attention).
         --task link|cap   link probability (default) or normalized +
@@ -190,6 +195,13 @@ USAGE:
                           config). Without it a freshly initialized
                           default model is used (structure-only smoke
                           predictions)
+        --backend B       force the SIMD dispatch backend: scalar, avx2
+                          or avx512 (default: best available; errors if
+                          the CPU lacks it — docs/simd-quant.md)
+        --precision P     f32 or int8. Default follows the checkpoint:
+                          int8 when it carries a `quant` section, f32
+                          otherwise. int8 quantizes in-process when the
+                          checkpoint shipped no codes
         --out FILE.json   write JSON lines there instead of stdout
       Output: one JSON object per candidate pair.
 
@@ -197,6 +209,7 @@ USAGE:
                 [--task link|cap] [--pairs FILE] [--per-node-cap N]
                 [--max-pairs N] [--chunk N] [--threads N]
                 [--format jsonl|csv] [--out FILE] [--no-dedup]
+                [--backend B] [--precision P]
       Plan and execute a full-chip sweep: score *every* candidate pair
       of the design (or an explicit pair list) as one batched job with
       shared subgraph extraction and neighborhood deduplication,
@@ -222,12 +235,16 @@ USAGE:
         --out FILE        write results there instead of stdout
         --no-dedup        disable neighborhood deduplication (for
                           measurement; results are identical)
+        --backend/--precision
+                          SIMD backend + int8/f32 knobs, exactly as in
+                          `cirgps predict` (docs/simd-quant.md)
       Prints planner statistics (pairs, unique forwards, dedup rate,
       amortized µs/pair) to stderr.
 
   cirgps serve  --netlist FILE.sp --top NAME [--model FILE.ckpt]
                 [--addr HOST:PORT] [--max-batch N] [--max-wait-us N]
                 [--workers N] [--queue-cap N] [--cache-cap N]
+                [--backend B] [--precision P]
                 [--drain-timeout-ms N] [--request-timeout-ms N]
       Run the long-lived inference daemon: model, graph and sample
       caches stay warm, and concurrent HTTP queries are coalesced into
@@ -260,6 +277,10 @@ USAGE:
                        408 (default 10000)
         --max-conns    concurrent-connection cap; excess connections are
                        shed with 503 + Retry-After (default 256)
+        --backend/--precision
+                       SIMD backend + int8/f32 knobs, exactly as in
+                       `cirgps predict`; the selection is reported on
+                       /metrics (docs/simd-quant.md)
       Endpoints: GET /healthz, GET /metrics, POST /v1/predict,
       POST /v1/sweep (chunked JSONL bulk sweep).
 
@@ -516,6 +537,61 @@ fn build_link_samples(
     Ok((names, samples))
 }
 
+/// Applies `--backend scalar|avx2|avx512`: forces the SIMD dispatch
+/// backend process-wide before any kernel runs. Fails loudly when the
+/// requested backend is unsupported by this CPU or was already latched
+/// to something else — silently falling back would invalidate any
+/// parity or benchmark run that asked for a specific backend.
+fn apply_backend_flag(flags: &HashMap<String, String>) -> Result<(), String> {
+    if let Some(name) = flags.get("backend") {
+        let backend = cirgps::nn::Backend::parse(name)?;
+        cirgps::nn::Backend::force(backend).map_err(|e| format!("--backend {name}: {e}"))?;
+    }
+    Ok(())
+}
+
+/// Applies `--precision f32|int8` to a loaded model. Without the flag
+/// the checkpoint decides: one exported with `--quantize` carries a
+/// `quant` section and serves int8, anything else serves f32. `f32`
+/// drops any loaded int8 codes; `int8` quantizes in-process when the
+/// checkpoint did not ship codes (same math as `--quantize` at export).
+fn apply_precision_flag(
+    flags: &HashMap<String, String>,
+    model: &mut CircuitGps,
+) -> Result<(), String> {
+    match flags.get("precision").map(String::as_str) {
+        None => Ok(()),
+        Some("f32") => {
+            model.store_mut().clear_quant();
+            Ok(())
+        }
+        Some("int8") => {
+            if !model.store().has_quant() {
+                let n = model.store_mut().quantize_int8();
+                eprintln!("quantized {n} weight tensors to int8 (in-process, per-tensor scales)");
+            }
+            Ok(())
+        }
+        Some(other) => Err(format!(
+            "unknown --precision {other:?} (expected f32 or int8)"
+        )),
+    }
+}
+
+/// Applies `--quantize` before a checkpoint export: snapshots every
+/// quantizable weight as int8 so the saved file carries a `quant`
+/// section and downstream `predict`/`sweep`/`serve` default to int8.
+fn apply_quantize_flag(
+    flags: &HashMap<String, String>,
+    model: &mut CircuitGps,
+) -> Result<(), String> {
+    if flag_bool(flags, "quantize")? {
+        let n = model.store_mut().quantize_int8();
+        eprintln!("quantized {n} weight tensors to int8 for export (per-tensor scales)");
+    }
+    Ok(())
+}
+
 /// Loads a checkpoint file via the self-describing container, printing a
 /// deprecation warning when the file is a legacy raw weight dump.
 fn load_checkpoint_file(path: &str) -> Result<CircuitGps, String> {
@@ -681,6 +757,7 @@ fn cmd_pretrain(flags: &HashMap<String, String>) -> Result<(), String> {
             "eval-every",
             "checkpoint-every",
             "resume",
+            "quantize",
             "metrics-out",
             "out",
         ],
@@ -874,6 +951,7 @@ fn cmd_pretrain(flags: &HashMap<String, String>) -> Result<(), String> {
         &json_link(&lm),
         hist.seconds,
     )?;
+    apply_quantize_flag(flags, &mut model)?;
     save_checkpoint_file(&model, out)?;
     println!(
         "wrote {out}: {} trainable params, {} epochs, final loss {:.4}, {final_label} AUC {:.3}",
@@ -902,6 +980,7 @@ fn cmd_finetune(flags: &HashMap<String, String>) -> Result<(), String> {
             "lr",
             "seed",
             "eval-every",
+            "quantize",
             "metrics-out",
             "out",
         ],
@@ -1006,6 +1085,7 @@ fn cmd_finetune(flags: &HashMap<String, String>) -> Result<(), String> {
         &json_reg(&rm),
         hist.seconds,
     )?;
+    apply_quantize_flag(flags, &mut model)?;
     save_checkpoint_file(&model, out)?;
     println!(
         "wrote {out}: fine-tuned on {} shots ({} mode), holdout MAE {:.4}",
@@ -1258,9 +1338,12 @@ fn cmd_predict(flags: &HashMap<String, String>) -> Result<(), String> {
             "batch-size",
             "per-type",
             "model",
+            "backend",
+            "precision",
             "out",
         ],
     )?;
+    apply_backend_flag(flags)?;
     let netlist = load_netlist(flags)?;
     let spf = load_spf(flags)?;
     let per_type: usize = flag_parse(flags, "per-type", 200)?;
@@ -1286,10 +1369,11 @@ fn cmd_predict(flags: &HashMap<String, String>) -> Result<(), String> {
         },
     );
 
-    let model = match flags.get("model") {
+    let mut model = match flags.get("model") {
         Some(path) => load_checkpoint_file(path)?,
         None => CircuitGps::new(ModelConfig::default()),
     };
+    apply_precision_flag(flags, &mut model)?;
     let xcn = XcNormalizer::fit(&[&graph]);
     let mut session = InferenceSession::new(
         model,
@@ -1401,8 +1485,11 @@ fn cmd_sweep(flags: &HashMap<String, String>) -> Result<(), String> {
             "format",
             "out",
             "no-dedup",
+            "backend",
+            "precision",
         ],
     )?;
+    apply_backend_flag(flags)?;
     let netlist = load_netlist(flags)?;
     let task = match flags.get("task").map(String::as_str).unwrap_or("link") {
         "link" => SweepTask::Link,
@@ -1427,10 +1514,11 @@ fn cmd_sweep(flags: &HashMap<String, String>) -> Result<(), String> {
     let max_pairs: usize = flag_parse(flags, "max-pairs", 0)?;
 
     let (graph, _map) = netlist_to_graph(&netlist);
-    let model = match flags.get("model") {
+    let mut model = match flags.get("model") {
         Some(path) => load_checkpoint_file(path)?,
         None => CircuitGps::new(ModelConfig::default()),
     };
+    apply_precision_flag(flags, &mut model)?;
     // Same normalization and extraction parameters as `cirgps predict`
     // over the *plain* graph — the bitwise parity contract depends on
     // matching its inputs exactly.
@@ -1562,8 +1650,11 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
             "idle-timeout-ms",
             "ingress-timeout-ms",
             "max-conns",
+            "backend",
+            "precision",
         ],
     )?;
+    apply_backend_flag(flags)?;
     let defaults = ServeConfig::default();
     let max_batch = flag_parse(flags, "max-batch", defaults.max_batch)?;
     let max_wait_us = flag_parse(flags, "max-wait-us", defaults.max_wait.as_micros() as usize)?;
@@ -1625,7 +1716,7 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
 
     let netlist = load_netlist(flags)?;
     let (graph, _map) = netlist_to_graph(&netlist);
-    let model = match flags.get("model") {
+    let mut model = match flags.get("model") {
         Some(path) => load_checkpoint_file(path)?,
         None => {
             eprintln!(
@@ -1636,6 +1727,16 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
             CircuitGps::new(ModelConfig::default())
         }
     };
+    apply_precision_flag(flags, &mut model)?;
+    eprintln!(
+        "inference backend: {}, precision: {}",
+        cirgps::nn::Backend::active().name(),
+        if model.store().has_quant() {
+            "int8"
+        } else {
+            "f32"
+        }
+    );
 
     let cfg = ServeConfig {
         max_batch,

@@ -723,3 +723,195 @@ fn cli_serve_boots_and_answers_queries() {
     let _ = std::fs::remove_dir_all(&dir);
     result.unwrap();
 }
+
+/// SIMD backends this host can run, as `--backend` values. Scalar is
+/// always first; the cross-backend assertions are vacuous (self vs
+/// self) on hosts with nothing wider, and CI pins an AVX2 runner.
+fn host_backends() -> Vec<&'static str> {
+    let mut v = vec!["scalar"];
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+        {
+            v.push("avx2");
+        }
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            v.push("avx512");
+        }
+    }
+    v
+}
+
+/// Boots `serve` with the given extra flags, POSTs one predict request,
+/// and returns the raw response body. Wire format across backends is
+/// compared on these bytes.
+fn serve_once(sp: &str, extra: &[&str]) -> String {
+    use std::io::{BufRead, BufReader, Read, Write};
+    let port = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap().port()
+    };
+    let addr = format!("127.0.0.1:{port}");
+    let mut args = vec![
+        "serve",
+        "--netlist",
+        sp,
+        "--top",
+        "TIMING_CONTROL",
+        "--addr",
+        &addr,
+        "--workers",
+        "1",
+        "--max-wait-us",
+        "100",
+    ];
+    args.extend_from_slice(extra);
+    let mut daemon = cirgps()
+        .args(&args)
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+    let result = (|| -> Result<String, String> {
+        let mut connected = false;
+        for _ in 0..100 {
+            if std::net::TcpStream::connect(&addr).is_ok() {
+                connected = true;
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        }
+        if !connected {
+            return Err("daemon never started listening".into());
+        }
+        let body = "{\"task\":\"link\",\"pairs\":[[0,1],[1,2],[0,3]]}";
+        let mut s = std::net::TcpStream::connect(&addr).map_err(|e| e.to_string())?;
+        s.write_all(
+            format!(
+                "POST /v1/predict HTTP/1.1\r\nConnection: close\r\n\
+                 Content-Length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        )
+        .map_err(|e| e.to_string())?;
+        let mut r = BufReader::new(s);
+        let mut status = String::new();
+        r.read_line(&mut status).map_err(|e| e.to_string())?;
+        if !status.contains("200") {
+            return Err(format!("bad status {status:?}"));
+        }
+        let mut len = 0usize;
+        loop {
+            let mut line = String::new();
+            r.read_line(&mut line).map_err(|e| e.to_string())?;
+            if line.trim_end().is_empty() {
+                break;
+            }
+            if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+                len = v.trim().parse().map_err(|_| "bad length")?;
+            }
+        }
+        let mut resp = vec![0u8; len];
+        r.read_exact(&mut resp).map_err(|e| e.to_string())?;
+        String::from_utf8(resp).map_err(|e| e.to_string())
+    })();
+    let _ = daemon.kill();
+    let _ = daemon.wait();
+    result.unwrap()
+}
+
+/// The wire-format half of the parity contract: `predict` output files
+/// and `serve` response bodies must be byte-identical no matter which
+/// SIMD backend the process was forced onto, for both f32 and int8.
+#[test]
+fn cli_cross_backend_wire_format_is_stable() {
+    let dir = std::env::temp_dir().join(format!("cirgps_cli_xbackend_{}", std::process::id()));
+    let dir_s = dir.to_str().unwrap().to_string();
+    let out = cirgps()
+        .args([
+            "gen", "--kind", "timing", "--preset", "tiny", "--seed", "3", "--out", &dir_s,
+        ])
+        .output()
+        .expect("run gen");
+    assert!(out.status.success());
+    let sp = format!("{dir_s}/TIMING_CONTROL.sp");
+    let spf = format!("{dir_s}/TIMING_CONTROL.spf");
+
+    for precision in ["f32", "int8"] {
+        let mut reference: Option<(String, Vec<u8>)> = None;
+        for backend in host_backends() {
+            let out_path = format!("{dir_s}/pred_{backend}_{precision}.jsonl");
+            let out = cirgps()
+                .args([
+                    "predict",
+                    "--netlist",
+                    &sp,
+                    "--top",
+                    "TIMING_CONTROL",
+                    "--spf",
+                    &spf,
+                    "--per-type",
+                    "20",
+                    "--backend",
+                    backend,
+                    "--precision",
+                    precision,
+                    "--out",
+                    &out_path,
+                ])
+                .output()
+                .expect("run predict");
+            assert!(
+                out.status.success(),
+                "predict --backend {backend} --precision {precision} failed: {}",
+                String::from_utf8_lossy(&out.stderr)
+            );
+            let bytes = std::fs::read(&out_path).expect("predict output");
+            assert!(!bytes.is_empty());
+            match &reference {
+                None => reference = Some((backend.to_string(), bytes)),
+                Some((ref_backend, ref_bytes)) => assert_eq!(
+                    ref_bytes, &bytes,
+                    "predict ({precision}) differs between {ref_backend} and {backend}"
+                ),
+            }
+        }
+    }
+
+    // An unsupported forced backend must fail loudly, not fall back.
+    let out = cirgps()
+        .args([
+            "predict",
+            "--netlist",
+            &sp,
+            "--top",
+            "TIMING_CONTROL",
+            "--spf",
+            &spf,
+            "--backend",
+            "neon",
+        ])
+        .output()
+        .expect("run predict");
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("backend"),
+        "error must name the backend flag"
+    );
+
+    // Serve wire format: identical response bytes under every backend.
+    let mut reference: Option<(String, String)> = None;
+    for backend in host_backends() {
+        let body = serve_once(&sp, &["--backend", backend]);
+        assert!(body.contains("\"probs\":["), "bad predict body {body}");
+        match &reference {
+            None => reference = Some((backend.to_string(), body)),
+            Some((ref_backend, ref_body)) => assert_eq!(
+                ref_body, &body,
+                "serve response differs between {ref_backend} and {backend}"
+            ),
+        }
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
